@@ -1,0 +1,148 @@
+//! Static-analysis and scaling benchmarks.
+//!
+//! * the per-phase costs of the DiSE pipeline (CFG construction,
+//!   post-dominators, control dependence, reachability closure, diff,
+//!   affected-set fixpoint) on generated programs of increasing size —
+//!   the "overhead of computing the affected locations and supporting
+//!   data structures" the paper measures as DiSE's 9–30% tax;
+//! * a path-space scaling sweep: DiSE vs full as the number of
+//!   independent conditionals grows (the OAE-style exponential regime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dise_artifacts::random::{random_mutant, random_program, GenConfig};
+use dise_cfg::{build_cfg, ControlDeps, PostDomTree, Reachability};
+use dise_core::dise::{run_dise, run_full_on, DiseConfig};
+use dise_ir::Program;
+use std::hint::black_box;
+
+fn sized_program(scale: usize) -> Program {
+    random_program(&GenConfig {
+        int_params: 3,
+        bool_params: 1,
+        globals: 2,
+        max_depth: scale,
+        max_stmts: 3,
+        seed: 0xd15e,
+    })
+}
+
+/// A rule-checker in the OAE's shape: `n` independent symbolic
+/// conditionals followed by a guarded output block.
+fn rule_checker(n: usize) -> Program {
+    let mut body = String::new();
+    let mut params = Vec::new();
+    for i in 0..n {
+        params.push(format!("int s{i}"));
+        body.push_str(&format!(
+            "  if (s{i} > {}) {{\n    fired = fired + 1;\n  }}\n",
+            i * 10
+        ));
+    }
+    body.push_str("  if (fired > 0) {\n    mode = 1;\n  }\n");
+    let source = format!(
+        "int fired = 0;\nint mode = 0;\nproc f({}) {{\n{}}}\n",
+        params.join(", "),
+        body
+    );
+    dise_ir::parse_program(&source).expect("generated rule checker parses")
+}
+
+fn static_analyses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyses/static");
+    for scale in [2usize, 3, 4] {
+        let program = sized_program(scale);
+        let cfg = build_cfg(program.proc("f").unwrap());
+        group.bench_with_input(BenchmarkId::new("build_cfg", scale), &program, |b, p| {
+            b.iter(|| black_box(build_cfg(p.proc("f").unwrap()).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("postdom", scale), &cfg, |b, cfg| {
+            b.iter(|| black_box(PostDomTree::new(cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("control_deps", scale), &cfg, |b, cfg| {
+            let postdom = PostDomTree::new(cfg);
+            b.iter(|| black_box(ControlDeps::new(cfg, &postdom)))
+        });
+        group.bench_with_input(BenchmarkId::new("reachability", scale), &cfg, |b, cfg| {
+            b.iter(|| black_box(Reachability::new(cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn diff_and_affected(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyses/pipeline");
+    for scale in [2usize, 3, 4] {
+        let base = sized_program(scale);
+        let (mutant, _) = random_mutant(&base, 17, 2);
+        group.bench_with_input(
+            BenchmarkId::new("diff", scale),
+            &(base.clone(), mutant.clone()),
+            |b, (base, mutant)| {
+                b.iter(|| {
+                    black_box(
+                        dise_diff::stmt_diff::diff_programs(base, mutant, "f").unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("affected_fixpoint", scale),
+            &(base.clone(), mutant.clone()),
+            |b, (base, mutant)| {
+                b.iter(|| {
+                    let (cfg_base, cfg_mod, diff) =
+                        dise_diff::CfgDiff::from_programs(base, mutant, "f").unwrap();
+                    black_box(dise_core::removed::affected_locations(
+                        &cfg_base,
+                        &cfg_mod,
+                        &diff,
+                        dise_core::DataflowPrecision::CfgPath,
+                        false,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn scaling_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/rule_checker");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let base = rule_checker(n);
+        // Mutate the first rule's threshold: a localized change.
+        let source = dise_ir::pretty::pretty_program(&base).replace("s0 > 0", "s0 >= 0");
+        let mutant = dise_ir::parse_program(&source).expect("mutant parses");
+        let quiet = DiseConfig {
+            exec: dise_symexec::ExecConfig {
+                record_traces: false,
+                ..Default::default()
+            },
+            ..DiseConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("full", n), &mutant, |b, m| {
+            b.iter(|| {
+                black_box(run_full_on(m, "f", &quiet).expect("full runs").pc_count())
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dise", n),
+            &(base.clone(), mutant.clone()),
+            |b, (base, m)| {
+                b.iter(|| {
+                    black_box(
+                        run_dise(base, m, "f", &quiet)
+                            .expect("dise runs")
+                            .summary
+                            .pc_count(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(analyses, static_analyses, diff_and_affected, scaling_sweep);
+criterion_main!(analyses);

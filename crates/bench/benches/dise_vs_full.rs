@@ -1,0 +1,66 @@
+//! Table 2's time columns as statistically sound benchmarks: DiSE versus
+//! full symbolic execution on representative versions of each artifact.
+//!
+//! The interesting comparisons, matching the paper's analysis (§4.2.5):
+//!
+//! * a *localized* change (DiSE explores a sliver of the path space);
+//! * a *pervasive* change (DiSE degenerates to full exploration and pays
+//!   the static-analysis overhead — the paper's 9–30%).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dise_artifacts::{asw, oae, wbs, Artifact};
+use dise_core::dise::{run_dise, run_full_on, DiseConfig};
+
+fn quiet_config() -> DiseConfig {
+    DiseConfig {
+        exec: dise_symexec::ExecConfig {
+            record_traces: false,
+            ..Default::default()
+        },
+        ..DiseConfig::default()
+    }
+}
+
+fn bench_artifact(c: &mut Criterion, artifact: &Artifact, versions: &[&str]) {
+    let mut group = c.benchmark_group(format!("table2/{}", artifact.name));
+    group.sample_size(10);
+    for &id in versions {
+        let version = artifact.version(id).expect("version exists");
+        group.bench_with_input(BenchmarkId::new("dise", id), version, |b, version| {
+            b.iter(|| {
+                run_dise(
+                    &artifact.base,
+                    &version.program,
+                    artifact.proc_name,
+                    &quiet_config(),
+                )
+                .expect("dise runs")
+                .summary
+                .pc_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full", id), version, |b, version| {
+            b.iter(|| {
+                run_full_on(&version.program, artifact.proc_name, &quiet_config())
+                    .expect("full runs")
+                    .pc_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // ASW: v6 is a localized dead-counter change; v8 degenerates to
+    // near-full (the infeasible clamp keeps the filter passing).
+    bench_artifact(c, &asw::artifact(), &["v6", "v8"]);
+    // WBS: v4 touches only the gear chain; v1 affects the whole brake
+    // chain and pays the overhead.
+    bench_artifact(c, &wbs::artifact(), &["v4", "v1"]);
+    // OAE: the headline case — v2 (leaf write) versus v1 (first flight
+    // rule) on a ~1.5k-path space.
+    bench_artifact(c, &oae::artifact(), &["v2", "v1"]);
+}
+
+criterion_group!(table2, benches);
+criterion_main!(table2);

@@ -1,0 +1,70 @@
+//! Wall-clock costs of the evolution applications on the WBS artifact:
+//! what a downstream user pays on top of the DiSE run itself.
+//!
+//! * `witnesses` — solve every affected PC + two concrete replays each;
+//! * `classify`  — two concolic runs + solver equivalence checks per
+//!   affected PC;
+//! * `localize`  — base summary + DiSE run + suite replay + spectrum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dise_artifacts::wbs;
+use dise_evolution::diffsum::{classify_changes, DiffSumConfig};
+use dise_evolution::localize::{localize_change, LocalizeConfig};
+use dise_evolution::witness::{find_witnesses, WitnessConfig};
+use dise_ir::parse_program;
+
+fn benches(c: &mut Criterion) {
+    let artifact = wbs::artifact();
+    let mut group = c.benchmark_group("evolution/wbs");
+    group.sample_size(10);
+
+    // v1: boundary mutation, 39 affected PCs, 8 diverging.
+    // v4: leaf write on the gear chain, a single affected PC.
+    for id in ["v1", "v4"] {
+        let version = artifact.version(id).expect("version exists");
+        group.bench_with_input(BenchmarkId::new("witnesses", id), version, |b, version| {
+            b.iter(|| {
+                find_witnesses(
+                    &artifact.base,
+                    &version.program,
+                    artifact.proc_name,
+                    &WitnessConfig::default(),
+                )
+                .expect("artifact runs")
+                .diverging_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("classify", id), version, |b, version| {
+            b.iter(|| {
+                classify_changes(
+                    &artifact.base,
+                    &version.program,
+                    artifact.proc_name,
+                    &DiffSumConfig::default(),
+                )
+                .expect("artifact runs")
+                .preserving_count()
+            })
+        });
+    }
+
+    // Localization on an injected assertion-violating fault.
+    let base = parse_program(wbs::BASE_SRC).expect("WBS base parses");
+    let faulty_src = wbs::BASE_SRC.replace(
+        "MeterValveCmd = 60;",
+        "MeterValveCmd = AntiSkidCmd + 45;",
+    );
+    let faulty = parse_program(&faulty_src).expect("fault parses");
+    group.bench_function("localize/uncapped_valve", |b| {
+        b.iter(|| {
+            localize_change(&base, &faulty, "update", &LocalizeConfig::default())
+                .expect("WBS localizes")
+                .best_changed_rank
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(evolution, benches);
+criterion_main!(evolution);

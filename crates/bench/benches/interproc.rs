@@ -1,0 +1,101 @@
+//! System-level incremental analysis (the §7 extension) as a benchmark:
+//! DiSE over the impacted call chain versus re-running full symbolic
+//! execution on every procedure, as the system grows.
+//!
+//! The system is `width` independent call chains of `depth` procedures
+//! behind a dispatcher; the change sits in the leaf of chain 0. Full
+//! re-analysis scales with `width × depth`; system DiSE scales with
+//! `depth` only (the impacted chain), so the gap widens with the system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dise_core::dise::{run_full_on, DiseConfig};
+use dise_core::interproc::{run_dise_system, SystemConfig};
+use dise_ir::ast::Program;
+use dise_ir::parse_program;
+
+/// `width` chains of `depth` procedures plus a dispatcher; the leaf of
+/// chain 0 differs between the base and modified versions.
+fn chain_system(width: usize, depth: usize, changed: bool) -> Program {
+    let mut src = String::from("int acc;\n");
+    for chain in 0..width {
+        for level in 0..depth {
+            let body = if level == 0 {
+                let delta = if changed && chain == 0 { 2 } else { 1 };
+                format!(
+                    "proc c{chain}_l0(int v) {{ if (v > 0) {{ acc = acc + {delta}; }} else {{ acc = acc - 1; }} }}\n"
+                )
+            } else {
+                format!(
+                    "proc c{chain}_l{level}(int v) {{ if (v > {level}) {{ c{chain}_l{prev}(v - 1); }} else {{ c{chain}_l{prev}(v); }} }}\n",
+                    prev = level - 1
+                )
+            };
+            src.push_str(&body);
+        }
+    }
+    src.push_str("proc dispatch(int x) {\n");
+    for chain in 0..width {
+        src.push_str(&format!(
+            "  if (x == {chain}) {{ c{chain}_l{top}(x); }}\n",
+            top = depth - 1
+        ));
+    }
+    src.push_str("}\n");
+    parse_program(&src).expect("generated system parses")
+}
+
+fn quiet_config() -> DiseConfig {
+    DiseConfig {
+        exec: dise_symexec::ExecConfig {
+            record_traces: false,
+            ..Default::default()
+        },
+        ..DiseConfig::default()
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interproc/system");
+    group.sample_size(10);
+    for (width, depth) in [(2usize, 2usize), (4, 3), (8, 3)] {
+        let base = chain_system(width, depth, false);
+        let modified = chain_system(width, depth, true);
+        let label = format!("{width}x{depth}");
+        group.bench_with_input(
+            BenchmarkId::new("dise_system", &label),
+            &(&base, &modified),
+            |b, (base, modified)| {
+                let config = SystemConfig {
+                    dise: quiet_config(),
+                    only: None,
+                };
+                b.iter(|| {
+                    run_dise_system(base, modified, &config)
+                        .expect("system runs")
+                        .total_affected_pcs()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_all_procs", &label),
+            &modified,
+            |b, modified| {
+                b.iter(|| {
+                    modified
+                        .procs
+                        .iter()
+                        .map(|p| {
+                            run_full_on(modified, &p.name, &quiet_config())
+                                .expect("full runs")
+                                .pc_count()
+                        })
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(interproc, benches);
+criterion_main!(interproc);

@@ -1,0 +1,113 @@
+//! Constraint-solver microbenchmarks: the operations symbolic execution
+//! performs once per branch (the paper's cost driver, §4.2.5 notes "the
+//! number and complexity of the constraints … contributes to the
+//! differences in execution time").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dise_solver::{Solver, SymExpr, SymTy, SymVar, VarPool};
+use std::hint::black_box;
+
+fn vars(n: usize) -> (VarPool, Vec<SymVar>) {
+    let mut pool = VarPool::new();
+    let vars = (0..n).map(|i| pool.fresh(format!("v{i}"), SymTy::Int)).collect();
+    (pool, vars)
+}
+
+/// A WBS-style path condition: a chain of interval constraints on a few
+/// inputs.
+fn branch_chain(vars: &[SymVar], depth: usize) -> Vec<SymExpr> {
+    (0..depth)
+        .map(|i| {
+            let v = &vars[i % vars.len()];
+            if i % 2 == 0 {
+                SymExpr::gt(SymExpr::var(v), SymExpr::int(i as i64))
+            } else {
+                SymExpr::le(SymExpr::var(v), SymExpr::int(100 + i as i64))
+            }
+        })
+        .collect()
+}
+
+fn benches(c: &mut Criterion) {
+    let (_, xs) = vars(4);
+
+    c.bench_function("solver/sat_branch_chain_depth8", |b| {
+        let constraints = branch_chain(&xs, 8);
+        b.iter(|| {
+            // Fresh solver: no cache assistance.
+            let mut solver = Solver::new();
+            black_box(solver.check(black_box(&constraints)).is_sat())
+        })
+    });
+
+    c.bench_function("solver/sat_branch_chain_cached", |b| {
+        let constraints = branch_chain(&xs, 8);
+        let mut solver = Solver::new();
+        solver.check(&constraints); // warm the cache
+        b.iter(|| black_box(solver.check(black_box(&constraints)).is_sat()))
+    });
+
+    c.bench_function("solver/unsat_bounds_conflict", |b| {
+        let constraints = vec![
+            SymExpr::gt(SymExpr::var(&xs[0]), SymExpr::int(10)),
+            SymExpr::lt(SymExpr::var(&xs[0]), SymExpr::int(5)),
+        ];
+        b.iter(|| {
+            let mut solver = Solver::new();
+            black_box(solver.check(black_box(&constraints)).is_unsat())
+        })
+    });
+
+    c.bench_function("solver/unsat_fm_chain", |b| {
+        // x0 < x1 < x2 < x3 < x0: needs elimination, not just intervals.
+        let mut constraints: Vec<SymExpr> = (0..3)
+            .map(|i| SymExpr::lt(SymExpr::var(&xs[i]), SymExpr::var(&xs[i + 1])))
+            .collect();
+        constraints.push(SymExpr::lt(SymExpr::var(&xs[3]), SymExpr::var(&xs[0])));
+        b.iter(|| {
+            let mut solver = Solver::new();
+            black_box(solver.check(black_box(&constraints)).is_unsat())
+        })
+    });
+
+    c.bench_function("solver/model_coupled_equalities", |b| {
+        let constraints = vec![
+            SymExpr::eq(
+                SymExpr::add(SymExpr::var(&xs[0]), SymExpr::var(&xs[1])),
+                SymExpr::int(10),
+            ),
+            SymExpr::eq(
+                SymExpr::sub(SymExpr::var(&xs[0]), SymExpr::var(&xs[1])),
+                SymExpr::int(4),
+            ),
+            SymExpr::ge(SymExpr::var(&xs[2]), SymExpr::var(&xs[0])),
+        ];
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let outcome = solver.check(black_box(&constraints));
+            black_box(outcome.model().is_some())
+        })
+    });
+
+    c.bench_function("solver/disjunction_case_split", |b| {
+        let constraints = vec![
+            SymExpr::or(
+                SymExpr::lt(SymExpr::var(&xs[0]), SymExpr::int(-100)),
+                SymExpr::gt(SymExpr::var(&xs[0]), SymExpr::int(100)),
+            ),
+            SymExpr::Binary {
+                op: dise_solver::sym::BinOp::Ne,
+                lhs: SymExpr::var(&xs[1]).into(),
+                rhs: SymExpr::int(0).into(),
+            },
+            SymExpr::ge(SymExpr::var(&xs[0]), SymExpr::int(0)),
+        ];
+        b.iter(|| {
+            let mut solver = Solver::new();
+            black_box(solver.check(black_box(&constraints)).is_sat())
+        })
+    });
+}
+
+criterion_group!(solver, benches);
+criterion_main!(solver);

@@ -1,0 +1,250 @@
+//! Evolution-application experiments (beyond the paper's tables):
+//!
+//! * `witnesses` — how many of DiSE's affected path conditions are
+//!   *behaviourally* real, per artifact version. Quantifies §5's remark
+//!   that the conservative static analysis "may generate some path
+//!   conditions that represent unchanged paths".
+//! * `localize`  — spectrum fault localization on injected WBS faults:
+//!   where do the changed statements rank, per formula?
+//! * `impact`    — the system-level incremental experiment: DiSE over a
+//!   widening multi-procedure system vs. re-running full symbolic
+//!   execution on every procedure.
+
+use dise_artifacts::{asw, wbs};
+use dise_core::dise::{run_full_on, DiseConfig};
+use dise_core::interproc::{run_dise_system, SystemConfig};
+use dise_core::report::TextTable;
+use dise_evolution::diffsum::{classify_changes, DiffSumConfig};
+use dise_evolution::localize::{localize_change, Formula, LocalizeConfig};
+use dise_evolution::witness::{find_witnesses, WitnessConfig};
+use dise_ir::ast::Program;
+use dise_ir::parse_program;
+
+fn heading(title: &str) {
+    println!("\n==== {title} ====\n");
+}
+
+/// Per-version witness classification for the fast artifacts (WBS, ASW;
+/// OAE's largest versions generate tens of thousands of affected paths —
+/// replaying them all adds minutes without changing the shape).
+///
+/// Two strengths of evidence per version: *Diverging*/*Same-on-input*
+/// come from replaying one solved input per affected path; *Proven
+/// equiv*/*Undecided* come from the solver comparing the two versions'
+/// symbolic effects over the whole overlap region of each path pair.
+pub fn witnesses() {
+    heading("Witnesses — how many affected path conditions change real behaviour");
+    for artifact in [wbs::artifact(), asw::artifact()] {
+        println!("{}:", artifact.name);
+        let mut table = TextTable::new(vec![
+            "Version".into(),
+            "Affected PCs".into(),
+            "Diverging".into(),
+            "Same on input".into(),
+            "Proven equiv".into(),
+            "Undecided".into(),
+        ]);
+        for version in &artifact.versions {
+            let report = find_witnesses(
+                &artifact.base,
+                &version.program,
+                artifact.proc_name,
+                &WitnessConfig::default(),
+            )
+            .expect("artifact runs");
+            let summary = classify_changes(
+                &artifact.base,
+                &version.program,
+                artifact.proc_name,
+                &DiffSumConfig::default(),
+            )
+            .expect("artifact runs");
+            table.row(vec![
+                version.id.clone(),
+                report.affected_pcs.to_string(),
+                report.diverging_count().to_string(),
+                report.equivalent_count().to_string(),
+                summary.preserving_count().to_string(),
+                summary.undecided_count().to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+    println!("Affected path conditions over-approximate behavioural change (§5): versions");
+    println!("whose mutation is masked downstream show 0 diverging replays, while boundary");
+    println!("mutations diverge on exactly the boundary region. `Proven equiv` upgrades the");
+    println!("per-input agreement to a solver proof over the whole path-pair overlap region;");
+    println!("the gap between the columns is paths equivalent on the sampled input but");
+    println!("diverging elsewhere in their region.");
+}
+
+/// The injected WBS faults for the localization experiment: each breaks
+/// the 3000 psi assertion on part of the input space.
+fn injected_faults() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "uncapped valve",
+            wbs::BASE_SRC.replace("MeterValveCmd = 60;", "MeterValveCmd = AntiSkidCmd + 45;"),
+        ),
+        (
+            "wrong gain",
+            wbs::BASE_SRC.replace(
+                "NorPressure = MeterValveCmd * 30;",
+                "NorPressure = MeterValveCmd * 80;",
+            ),
+        ),
+        (
+            "clamp off by far",
+            wbs::BASE_SRC.replace("MeterValveCmd = 60;", "MeterValveCmd = 160;"),
+        ),
+    ]
+}
+
+/// Fault localization accuracy on the injected WBS faults.
+pub fn localize() {
+    heading("Fault localization — rank of the changed statement, per formula");
+    let base = parse_program(wbs::BASE_SRC).expect("WBS base parses");
+    let mut table = TextTable::new(vec![
+        "Fault".into(),
+        "Formula".into(),
+        "Failing".into(),
+        "Passing".into(),
+        "Best rank".into(),
+        "EXAM".into(),
+    ]);
+    for (name, source) in injected_faults() {
+        let faulty = parse_program(&source).expect("injected fault parses");
+        for formula in [
+            Formula::Ochiai,
+            Formula::Tarantula,
+            Formula::Jaccard,
+            Formula::DStar2,
+        ] {
+            let config = LocalizeConfig {
+                formula,
+                ..LocalizeConfig::default()
+            };
+            let outcome =
+                localize_change(&base, &faulty, "update", &config).expect("WBS localizes");
+            table.row(vec![
+                name.to_string(),
+                formula.to_string(),
+                outcome.report.failing.to_string(),
+                outcome.report.passing.to_string(),
+                outcome
+                    .best_changed_rank
+                    .map_or("-".to_string(), |r| r.to_string()),
+                outcome
+                    .exam
+                    .map_or("-".to_string(), |e| format!("{:.2}", e)),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!("Faults that fail on a minority of inputs localize sharply (EXAM ≈ 0.05: the");
+    println!("changed statement sits in the top tie group). The `wrong gain` fault fails on");
+    println!("most inputs, so the spectrum diffuses over the common path — the classic");
+    println!("weakness of spectrum formulas when failing runs dominate the suite.");
+}
+
+/// Builds a synthetic system: `width` independent call chains of `depth`
+/// procedures hanging off a dispatcher, with the change injected into the
+/// leaf of chain 0.
+fn chain_system(width: usize, depth: usize, changed: bool) -> Program {
+    let mut src = String::from("int acc;\n");
+    for chain in 0..width {
+        for level in 0..depth {
+            let body = if level == 0 {
+                let delta = if changed && chain == 0 { 2 } else { 1 };
+                format!(
+                    "proc c{chain}_l0(int v) {{ if (v > 0) {{ acc = acc + {delta}; }} else {{ acc = acc - 1; }} }}\n"
+                )
+            } else {
+                format!(
+                    "proc c{chain}_l{level}(int v) {{ if (v > {level}) {{ c{chain}_l{prev}(v - 1); }} else {{ c{chain}_l{prev}(v); }} }}\n",
+                    prev = level - 1
+                )
+            };
+            src.push_str(&body);
+        }
+    }
+    src.push_str("proc dispatch(int x) {\n");
+    for chain in 0..width {
+        src.push_str(&format!(
+            "  if (x == {chain}) {{ c{chain}_l{top}(x); }}\n",
+            top = depth - 1
+        ));
+    }
+    src.push_str("}\n");
+    parse_program(&src).expect("generated system parses")
+}
+
+/// The system-level incremental experiment.
+pub fn impact() {
+    heading("System-level DiSE — analyze only the impacted call chain");
+    let mut table = TextTable::new(vec![
+        "System (procs)".into(),
+        "Impacted".into(),
+        "Skipped".into(),
+        "DiSE states".into(),
+        "Full states (all procs)".into(),
+        "Reduction".into(),
+    ]);
+    for (width, depth) in [(2usize, 2usize), (4, 2), (4, 3), (8, 3)] {
+        let base = chain_system(width, depth, false);
+        let modified = chain_system(width, depth, true);
+        let result = run_dise_system(&base, &modified, &SystemConfig::default())
+            .expect("system runs");
+        let full_states: u64 = modified
+            .procs
+            .iter()
+            .map(|p| {
+                run_full_on(&modified, &p.name, &DiseConfig::default())
+                    .expect("system runs")
+                    .stats()
+                    .states_explored
+            })
+            .sum();
+        let dise_states = result.total_states();
+        table.row(vec![
+            format!("{}×{} + dispatch ({})", width, depth, modified.procs.len()),
+            result.procedures.len().to_string(),
+            result.skipped.len().to_string(),
+            dise_states.to_string(),
+            full_states.to_string(),
+            format!("{:.1}×", full_states as f64 / dise_states.max(1) as f64),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("Only the changed leaf's chain (leaf → … → dispatcher) is analyzed; every other");
+    println!("chain is skipped outright. The reduction grows with system size — the §7");
+    println!("system-level payoff of combining call-graph impact with per-procedure DiSE.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_system_shape() {
+        let program = chain_system(3, 2, false);
+        // 3 chains × 2 levels + dispatcher.
+        assert_eq!(program.procs.len(), 7);
+        dise_ir::check_program(&program).unwrap();
+        let changed = chain_system(3, 2, true);
+        assert!(!program.syn_eq(&changed));
+    }
+
+    #[test]
+    fn injected_faults_parse_and_differ() {
+        let base = parse_program(wbs::BASE_SRC).unwrap();
+        for (name, source) in injected_faults() {
+            let faulty = parse_program(&source)
+                .unwrap_or_else(|e| panic!("fault {name:?} fails to parse: {e}"));
+            assert!(!base.syn_eq(&faulty), "fault {name:?} is a no-op");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Regenerating the paper's figures and Table 1.
+
+use std::collections::HashMap;
+
+use dise_artifacts::figures::{fig2_base, fig2_modified, fig2_paper_node, test_x};
+use dise_cfg::dot::{to_dot, NodeMark};
+use dise_core::dise::{run_dise, run_full_on, DiseConfig};
+use dise_symexec::{ExecConfig, Executor, FullExploration};
+
+fn heading(title: &str) {
+    println!("\n==== {title} ====\n");
+}
+
+/// Fig. 1: the symbolic execution tree for `testX`.
+pub fn fig1() {
+    heading("Fig. 1 — symbolic execution tree for testX()");
+    let program = test_x();
+    let config = ExecConfig {
+        record_tree: true,
+        ..ExecConfig::default()
+    };
+    let mut executor = Executor::new(&program, "testX", config).expect("testX executes");
+    let summary = executor.explore(&mut FullExploration);
+    print!("{}", summary.tree().expect("tree recorded").render());
+    println!("\npath conditions:");
+    for pc in summary.path_conditions() {
+        println!("  {pc}");
+    }
+}
+
+/// Fig. 2: the simplified WBS, its CFG (DOT, with changed/affected node
+/// marks), and the §2.2 path-condition comparison.
+pub fn fig2() {
+    heading("Fig. 2 — simplified Wheel Brake System");
+    let base = fig2_base();
+    let modified = fig2_modified();
+    println!("change: `PedalPos == 0`  ->  `PedalPos <= 0` (paper line 2)\n");
+
+    let config = DiseConfig::default();
+    let result = run_dise(&base, &modified, "update", &config).expect("fig2 runs");
+    let full = run_full_on(&modified, "update", &config).expect("fig2 full runs");
+
+    println!(
+        "full symbolic execution: {} path conditions (paper: 21)",
+        full.pc_count()
+    );
+    println!(
+        "DiSE:                    {} path conditions (paper: 7)\n",
+        result.summary.pc_count()
+    );
+    println!("affected path conditions:");
+    for pc in result.affected_pc_strings() {
+        println!("  {pc}");
+    }
+
+    // DOT rendering with the paper's node classes.
+    let cfg = dise_cfg::build_cfg(modified.proc("update").unwrap());
+    let mut marks = HashMap::new();
+    marks.insert(fig2_paper_node(&cfg, 0), NodeMark::Changed);
+    for &i in &[2usize, 10, 12] {
+        marks.insert(fig2_paper_node(&cfg, i), NodeMark::AffectedCond);
+    }
+    for &i in &[1usize, 3, 4, 5, 11, 13, 14] {
+        marks.insert(fig2_paper_node(&cfg, i), NodeMark::AffectedWrite);
+    }
+    println!("\nCFG (Graphviz DOT, Fig. 2(b) with affected-node marks):\n");
+    print!("{}", to_dot(&cfg, &marks));
+}
+
+/// Fig. 5(b): the affected-set fixpoint trace.
+pub fn fig5b() {
+    heading("Fig. 5(b) — computing the affected node sets");
+    let config = DiseConfig {
+        trace_affected: true,
+        ..DiseConfig::default()
+    };
+    let result =
+        run_dise(&fig2_base(), &fig2_modified(), "update", &config).expect("fig5b runs");
+    let cfg = dise_cfg::build_cfg(fig2_modified().proc("update").unwrap());
+    println!(
+        "(node numbering: our CFGs reserve n0 for the virtual begin node, so our n_k is the paper's n_(k-1))\n"
+    );
+    print!("{}", result.affected.render_trace(&cfg));
+    println!(
+        "\nfinal ACN (paper: {{n0, n2, n10, n12}}) and AWN (paper: {{n1, n3, n4, n5, n11, n13, n14}})"
+    );
+    println!(
+        "ACN = {}",
+        dise_core::report::node_set(result.affected.acn())
+    );
+    println!(
+        "AWN = {}",
+        dise_core::report::node_set(result.affected.awn())
+    );
+}
+
+/// Table 1: directed-search explored/unexplored set evolution.
+pub fn table1() {
+    heading("Table 1 — directed symbolic execution on the Fig. 2 example");
+    let config = DiseConfig {
+        trace_directed: true,
+        ..DiseConfig::default()
+    };
+    let result =
+        run_dise(&fig2_base(), &fig2_modified(), "update", &config).expect("table1 runs");
+    println!(
+        "(node numbering: our CFGs reserve n0 for the virtual begin node, so our n_k is the paper's n_(k-1))\n"
+    );
+    print!(
+        "{}",
+        result
+            .directed_trace
+            .as_deref()
+            .expect("directed trace recorded")
+    );
+    println!(
+        "\n(the state sequences include the virtual begin node; the paper's rows elide it)"
+    );
+}

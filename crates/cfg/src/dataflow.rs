@@ -1,0 +1,304 @@
+//! A generic bitvector dataflow framework and reaching definitions.
+//!
+//! The paper's affected-set rules approximate data flow with
+//! `Def(ni) ∈ Use(nj) ∧ IsCFGPath(ni, nj)` (rules Eq. 3/4). This module
+//! provides classic *reaching definitions*, which the `dise-core` crate
+//! uses for an optional, more precise variant of those rules (an ablation
+//! measured by the benchmark harness: a definition only affects a use it
+//! actually reaches without being killed).
+
+use std::collections::HashMap;
+
+use crate::build::Cfg;
+use crate::defuse::DefUse;
+use crate::graph::NodeId;
+
+/// A dense bitset used as the dataflow fact domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Inserts element `i`. Returns `true` if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Removes element `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self |= other`. Returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let merged = *a | b;
+            if merged != *a {
+                *a = merged;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// `self &= !other` (set difference in place).
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterates over the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// A forward may-analysis over per-node gen/kill bitsets (classic
+/// `out = gen ∪ (in \ kill)` with `in = ⋃ preds' out`), iterated to a fixed
+/// point with a worklist.
+pub fn forward_may_analysis(
+    cfg: &Cfg,
+    universe: usize,
+    gen: &[BitSet],
+    kill: &[BitSet],
+) -> Vec<(BitSet, BitSet)> {
+    let len = cfg.len();
+    let mut facts: Vec<(BitSet, BitSet)> = (0..len)
+        .map(|_| (BitSet::new(universe), BitSet::new(universe)))
+        .collect();
+    // Seed every out-set with gen so unreachable nodes are still sane.
+    for n in 0..len {
+        facts[n].1 = gen[n].clone();
+    }
+    let mut worklist: Vec<NodeId> = cfg.graph().reverse_post_order(cfg.begin());
+    while let Some(n) = worklist.pop() {
+        let mut input = BitSet::new(universe);
+        for &p in cfg.preds(n) {
+            input.union_with(&facts[p.index()].1);
+        }
+        let mut output = input.clone();
+        output.subtract(&kill[n.index()]);
+        output.union_with(&gen[n.index()]);
+        let changed = output != facts[n.index()].1;
+        facts[n.index()].0 = input;
+        if changed {
+            facts[n.index()].1 = output;
+            for &(s, _) in cfg.succs(n) {
+                worklist.push(s);
+            }
+        }
+    }
+    facts
+}
+
+/// Reaching definitions: for each node, which `Write` nodes' definitions
+/// may reach its entry.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// Definition sites, in node order; index in this vec = bit position.
+    sites: Vec<NodeId>,
+    site_of_node: HashMap<NodeId, usize>,
+    /// `in_sets[n]` = definition sites reaching the entry of node `n`.
+    in_sets: Vec<BitSet>,
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions for `cfg`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dise_cfg::dataflow::ReachingDefs;
+    /// use dise_cfg::{build_cfg, DefUse};
+    /// use dise_ir::parse_program;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = parse_program(
+    ///     "proc f(int x) { x = 1; x = 2; assert(x > 0); }",
+    /// )?;
+    /// let cfg = build_cfg(&p.procs[0]);
+    /// let du = DefUse::new(&cfg);
+    /// let rd = ReachingDefs::new(&cfg, &du);
+    /// let writes: Vec<_> = cfg.write_nodes().collect();
+    /// let cond = cfg.cond_nodes().next().unwrap();
+    /// // Only the second definition of x reaches the assert.
+    /// assert!(!rd.reaches(writes[0], cond));
+    /// assert!(rd.reaches(writes[1], cond));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(cfg: &Cfg, defuse: &DefUse) -> ReachingDefs {
+        let sites: Vec<NodeId> = cfg
+            .node_ids()
+            .filter(|&n| defuse.def(n).is_some())
+            .collect();
+        let site_of_node: HashMap<NodeId, usize> =
+            sites.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let universe = sites.len();
+        let len = cfg.len();
+
+        let mut gen = vec![BitSet::new(universe); len];
+        let mut kill = vec![BitSet::new(universe); len];
+        for (i, &site) in sites.iter().enumerate() {
+            gen[site.index()].insert(i);
+            let var = defuse.def(site).expect("site defines a variable");
+            for (j, &other) in sites.iter().enumerate() {
+                if j != i && defuse.def(other) == Some(var) {
+                    kill[site.index()].insert(j);
+                }
+            }
+        }
+
+        let facts = forward_may_analysis(cfg, universe, &gen, &kill);
+        ReachingDefs {
+            sites,
+            site_of_node,
+            in_sets: facts.into_iter().map(|(input, _)| input).collect(),
+        }
+    }
+
+    /// Does the definition at `def_node` reach the entry of `use_node`?
+    ///
+    /// Returns `false` if `def_node` defines nothing.
+    pub fn reaches(&self, def_node: NodeId, use_node: NodeId) -> bool {
+        match self.site_of_node.get(&def_node) {
+            Some(&bit) => self.in_sets[use_node.index()].contains(bit),
+            None => false,
+        }
+    }
+
+    /// All definition sites whose value may reach the entry of `node`.
+    pub fn reaching(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_sets[node.index()]
+            .iter()
+            .map(move |bit| self.sites[bit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cfg;
+    use dise_ir::parse_program;
+
+    fn setup(src: &str) -> (Cfg, DefUse, ReachingDefs) {
+        let cfg = build_cfg(&parse_program(src).unwrap().procs[0]);
+        let du = DefUse::new(&cfg);
+        let rd = ReachingDefs::new(&cfg, &du);
+        (cfg, du, rd)
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        s.remove(0);
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn bitset_union_and_subtract() {
+        let mut a = BitSet::new(10);
+        a.insert(1);
+        let mut b = BitSet::new(10);
+        b.insert(1);
+        b.insert(2);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.count(), 2);
+        a.subtract(&b);
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn straight_line_kill() {
+        let (cfg, _, rd) = setup("proc f(int x) { x = 1; x = 2; assert(x > 0); }");
+        let writes: Vec<_> = cfg.write_nodes().collect();
+        let cond = cfg.cond_nodes().next().unwrap();
+        assert!(!rd.reaches(writes[0], cond));
+        assert!(rd.reaches(writes[1], cond));
+        assert_eq!(rd.reaching(cond).collect::<Vec<_>>(), vec![writes[1]]);
+    }
+
+    #[test]
+    fn both_branch_definitions_reach_join() {
+        let (cfg, _, rd) = setup(
+            "proc f(int c, int x) {
+               if (c > 0) { x = 1; } else { x = 2; }
+               assert(x > 0);
+             }",
+        );
+        let writes: Vec<_> = cfg.write_nodes().collect();
+        let cond_assert = cfg
+            .cond_nodes()
+            .find(|&n| cfg.node(n).span.line == 3)
+            .unwrap();
+        assert!(rd.reaches(writes[0], cond_assert));
+        assert!(rd.reaches(writes[1], cond_assert));
+    }
+
+    #[test]
+    fn loop_definition_reaches_loop_head() {
+        let (cfg, _, rd) = setup("proc f(int x) { while (x > 0) { x = x - 1; } }");
+        let branch = cfg.cond_nodes().next().unwrap();
+        let body = cfg.write_nodes().next().unwrap();
+        assert!(rd.reaches(body, branch)); // via the back edge
+        assert!(rd.reaches(body, body)); // around the loop
+    }
+
+    #[test]
+    fn unrelated_variable_does_not_interfere() {
+        let (cfg, du, rd) = setup("proc f(int x, int y) { x = 1; y = 2; assert(x > 0); }");
+        let x_def = cfg
+            .write_nodes()
+            .find(|&n| du.def(n) == Some("x"))
+            .unwrap();
+        let cond = cfg.cond_nodes().next().unwrap();
+        // y's definition does not kill x's.
+        assert!(rd.reaches(x_def, cond));
+    }
+
+    #[test]
+    fn non_definition_nodes_reach_nothing() {
+        let (cfg, _, rd) = setup("proc f(int x) { assert(x > 0); }");
+        let cond = cfg.cond_nodes().next().unwrap();
+        assert!(!rd.reaches(cfg.begin(), cond));
+        assert!(!rd.reaches(cond, cond));
+    }
+}

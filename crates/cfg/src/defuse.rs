@@ -1,0 +1,170 @@
+//! The `Def` and `Use` maps (Definitions 3.6 and 3.7) and the variable set
+//! `Vars` (Definition 3.3).
+
+use std::collections::BTreeSet;
+
+use crate::build::{Cfg, NodeKind};
+use crate::graph::NodeId;
+
+/// Per-node definition/use information for one CFG.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    /// `def[n]` = the variable defined at `n`, if any (Definition 3.6).
+    def: Vec<Option<String>>,
+    /// `uses[n]` = the variables read at `n` (Definition 3.7).
+    uses: Vec<BTreeSet<String>>,
+    /// All variables read or written in the procedure (Definition 3.3).
+    vars: BTreeSet<String>,
+}
+
+impl DefUse {
+    /// Computes `Def`/`Use` for every node of `cfg`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dise_cfg::{build_cfg, DefUse};
+    /// use dise_ir::parse_program;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = parse_program("proc f(int x) { x = x + 1; }")?;
+    /// let cfg = build_cfg(&p.procs[0]);
+    /// let du = DefUse::new(&cfg);
+    /// let write = cfg.write_nodes().next().unwrap();
+    /// assert_eq!(du.def(write), Some("x"));
+    /// assert!(du.uses(write).contains("x"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(cfg: &Cfg) -> DefUse {
+        let len = cfg.len();
+        let mut def = vec![None; len];
+        let mut uses = vec![BTreeSet::new(); len];
+        let mut vars = BTreeSet::new();
+        for id in cfg.node_ids() {
+            match &cfg.node(id).kind {
+                NodeKind::Assign { var, value } => {
+                    def[id.index()] = Some(var.clone());
+                    vars.insert(var.clone());
+                    for v in value.vars() {
+                        vars.insert(v.clone());
+                        uses[id.index()].insert(v);
+                    }
+                }
+                NodeKind::Branch { cond } | NodeKind::Assume { cond } => {
+                    for v in cond.vars() {
+                        vars.insert(v.clone());
+                        uses[id.index()].insert(v);
+                    }
+                }
+                NodeKind::Begin | NodeKind::End | NodeKind::Error { .. } | NodeKind::Nop => {}
+            }
+        }
+        DefUse { def, uses, vars }
+    }
+
+    /// `Def(n)`: the variable defined at `n`, or `None` (the paper's `⊥`).
+    pub fn def(&self, n: NodeId) -> Option<&str> {
+        self.def[n.index()].as_deref()
+    }
+
+    /// `Use(n)`: the set of variables read at `n` (empty for the paper's
+    /// `⊥`).
+    pub fn uses(&self, n: NodeId) -> &BTreeSet<String> {
+        &self.uses[n.index()]
+    }
+
+    /// `Vars`: every variable read or written in the procedure.
+    pub fn vars(&self) -> &BTreeSet<String> {
+        &self.vars
+    }
+
+    /// Returns `true` if the definition at `ni` is used at `nj`
+    /// (`Def(ni) ∈ Use(nj) ∧ Def(ni) ≠ ⊥` — the data-flow premise of rules
+    /// Eq. (3) and Eq. (4)).
+    pub fn def_feeds_use(&self, ni: NodeId, nj: NodeId) -> bool {
+        match self.def(ni) {
+            Some(var) => self.uses(nj).contains(var),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cfg;
+    use dise_ir::parse_program;
+
+    fn setup(src: &str) -> (Cfg, DefUse) {
+        let cfg = build_cfg(&parse_program(src).unwrap().procs[0]);
+        let du = DefUse::new(&cfg);
+        (cfg, du)
+    }
+
+    #[test]
+    fn paper_example_def_and_use() {
+        // §3.2: "Def(n9) returns the variable Meter which is defined at
+        // line 13. Similarly the map Uses(n10) returns PedalCmd."
+        let (cfg, du) = setup(
+            "int Meter = 2;
+             int AltPress = 0;
+             proc update(int PedalCmd, int BSwitch) {
+               if (BSwitch == 1) { Meter = 2; }
+               if (PedalCmd == 2) { AltPress = 0; }
+             }",
+        );
+        let meter_write = cfg
+            .write_nodes()
+            .find(|&n| du.def(n) == Some("Meter"))
+            .unwrap();
+        assert_eq!(du.def(meter_write), Some("Meter"));
+        assert!(du.uses(meter_write).is_empty());
+        let pedal_cond = cfg
+            .cond_nodes()
+            .find(|&n| du.uses(n).contains("PedalCmd"))
+            .unwrap();
+        assert_eq!(du.uses(pedal_cond).len(), 1);
+        assert_eq!(du.def(pedal_cond), None);
+    }
+
+    #[test]
+    fn vars_contains_reads_and_writes() {
+        let (_, du) = setup("int g = 0; proc f(int a, int b) { g = a + b; }");
+        let vars: Vec<_> = du.vars().iter().cloned().collect();
+        assert_eq!(vars, vec!["a", "b", "g"]);
+    }
+
+    #[test]
+    fn begin_end_have_no_def_use() {
+        let (cfg, du) = setup("proc f(int x) { x = 1; }");
+        assert_eq!(du.def(cfg.begin()), None);
+        assert_eq!(du.def(cfg.end()), None);
+        assert!(du.uses(cfg.begin()).is_empty());
+    }
+
+    #[test]
+    fn def_feeds_use_checks_data_flow() {
+        let (cfg, du) = setup("proc f(int x, int y) { x = y + 1; assert(x > 0); }");
+        let write = cfg.write_nodes().next().unwrap();
+        let cond = cfg.cond_nodes().next().unwrap();
+        assert!(du.def_feeds_use(write, cond));
+        assert!(!du.def_feeds_use(cond, write)); // Def(cond) = ⊥
+        assert!(!du.def_feeds_use(write, write)); // x = y+1 does not read x
+    }
+
+    #[test]
+    fn self_feeding_assignment() {
+        let (cfg, du) = setup("proc f(int x) { x = x + 1; }");
+        let write = cfg.write_nodes().next().unwrap();
+        assert!(du.def_feeds_use(write, write));
+    }
+
+    #[test]
+    fn assume_uses_condition_vars() {
+        let (cfg, du) = setup("proc f(int a, int b) { assume(a < b); }");
+        let assume = cfg.cond_nodes().next().unwrap();
+        assert!(du.uses(assume).contains("a"));
+        assert!(du.uses(assume).contains("b"));
+    }
+}

@@ -1,0 +1,275 @@
+//! A small directed-graph arena with labelled edges.
+//!
+//! Nodes are dense `u32` indices ([`NodeId`]); each node stores successor
+//! edges labelled with [`EdgeLabel`] and a predecessor list. This is the
+//! shared backbone of the CFG and of every analysis in this crate.
+
+use std::fmt;
+
+/// A node handle: a dense index into the owning graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index as a `usize` (for indexing analysis arrays).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The label on a CFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeLabel {
+    /// Unconditional fall-through.
+    Seq,
+    /// Branch taken (condition true).
+    True,
+    /// Branch not taken (condition false).
+    False,
+}
+
+impl fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeLabel::Seq => f.write_str(""),
+            EdgeLabel::True => f.write_str("true"),
+            EdgeLabel::False => f.write_str("false"),
+        }
+    }
+}
+
+/// A directed graph over nodes of type `N` with labelled edges.
+#[derive(Debug, Clone)]
+pub struct DiGraph<N> {
+    nodes: Vec<N>,
+    succs: Vec<Vec<(NodeId, EdgeLabel)>>,
+    preds: Vec<Vec<NodeId>>,
+}
+
+impl<N> Default for DiGraph<N> {
+    fn default() -> Self {
+        DiGraph {
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        }
+    }
+}
+
+impl<N> DiGraph<N> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph::default()
+    }
+
+    /// Adds a node, returning its handle.
+    pub fn add_node(&mut self, node: N) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("graph too large"));
+        self.nodes.push(node);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds a labelled edge `from -> to`. Parallel edges are allowed (they
+    /// arise when both branch targets of a degenerate conditional coincide).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, label: EdgeLabel) {
+        self.succs[from.index()].push((to, label));
+        self.preds[to.index()].push(from);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node payload for `id`.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to the node payload for `id`.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Successor edges of `id`, in insertion order.
+    pub fn succs(&self, id: NodeId) -> &[(NodeId, EdgeLabel)] {
+        &self.succs[id.index()]
+    }
+
+    /// Predecessors of `id`, in insertion order.
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.index()]
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over `(id, payload)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Depth-first post-order starting from `entry` (only nodes reachable
+    /// from `entry` appear).
+    pub fn post_order(&self, entry: NodeId) -> Vec<NodeId> {
+        let mut visited = vec![false; self.len()];
+        let mut order = Vec::with_capacity(self.len());
+        // Iterative DFS with an explicit stack of (node, next-successor-ix).
+        let mut stack = vec![(entry, 0usize)];
+        visited[entry.index()] = true;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if let Some(&(succ, _)) = self.succs[node.index()].get(*next) {
+                *next += 1;
+                if !visited[succ.index()] {
+                    visited[succ.index()] = true;
+                    stack.push((succ, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order
+    }
+
+    /// Reverse post-order from `entry`.
+    pub fn reverse_post_order(&self, entry: NodeId) -> Vec<NodeId> {
+        let mut order = self.post_order(entry);
+        order.reverse();
+        order
+    }
+
+    /// The set of nodes reachable from `entry` (following successor edges).
+    pub fn reachable_from(&self, entry: NodeId) -> Vec<bool> {
+        let mut visited = vec![false; self.len()];
+        let mut stack = vec![entry];
+        visited[entry.index()] = true;
+        while let Some(node) = stack.pop() {
+            for &(succ, _) in self.succs(node) {
+                if !visited[succ.index()] {
+                    visited[succ.index()] = true;
+                    stack.push(succ);
+                }
+            }
+        }
+        visited
+    }
+
+    /// The set of nodes that can reach `exit` (following predecessor edges).
+    pub fn reaches(&self, exit: NodeId) -> Vec<bool> {
+        let mut visited = vec![false; self.len()];
+        let mut stack = vec![exit];
+        visited[exit.index()] = true;
+        while let Some(node) = stack.pop() {
+            for &pred in self.preds(node) {
+                if !visited[pred.index()] {
+                    visited[pred.index()] = true;
+                    stack.push(pred);
+                }
+            }
+        }
+        visited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the diamond `0 -> {1,2} -> 3`.
+    fn diamond() -> (DiGraph<&'static str>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = ["a", "b", "c", "d"].into_iter().map(|n| g.add_node(n)).collect();
+        g.add_edge(ids[0], ids[1], EdgeLabel::True);
+        g.add_edge(ids[0], ids[2], EdgeLabel::False);
+        g.add_edge(ids[1], ids[3], EdgeLabel::Seq);
+        g.add_edge(ids[2], ids[3], EdgeLabel::Seq);
+        (g, ids)
+    }
+
+    #[test]
+    fn add_node_and_edge() {
+        let (g, ids) = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.succs(ids[0]).len(), 2);
+        assert_eq!(g.preds(ids[3]), &[ids[1], ids[2]]);
+        assert_eq!(*g.node(ids[1]), "b");
+    }
+
+    #[test]
+    fn post_order_ends_with_entry() {
+        let (g, ids) = diamond();
+        let order = g.post_order(ids[0]);
+        assert_eq!(order.len(), 4);
+        assert_eq!(*order.last().unwrap(), ids[0]);
+        // d must come before b and c in post-order.
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(ids[3]) < pos(ids[1]));
+        assert!(pos(ids[3]) < pos(ids[2]));
+    }
+
+    #[test]
+    fn reverse_post_order_starts_with_entry() {
+        let (g, ids) = diamond();
+        let order = g.reverse_post_order(ids[0]);
+        assert_eq!(order[0], ids[0]);
+    }
+
+    #[test]
+    fn post_order_skips_unreachable() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let orphan = g.add_node("orphan");
+        g.add_edge(a, b, EdgeLabel::Seq);
+        let order = g.post_order(a);
+        assert!(!order.contains(&orphan));
+        assert_eq!(order, vec![b, a]);
+    }
+
+    #[test]
+    fn reachability_front_and_back() {
+        let (g, ids) = diamond();
+        let fwd = g.reachable_from(ids[1]);
+        assert!(fwd[ids[3].index()]);
+        assert!(!fwd[ids[0].index()]);
+        assert!(!fwd[ids[2].index()]);
+        let back = g.reaches(ids[1]);
+        assert!(back[ids[0].index()]);
+        assert!(!back[ids[2].index()]);
+    }
+
+    #[test]
+    fn cycle_post_order_terminates() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, EdgeLabel::Seq);
+        g.add_edge(b, a, EdgeLabel::Seq);
+        let order = g.post_order(a);
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,282 @@
+//! Strongly connected components (Tarjan) and the loop-entry predicate.
+//!
+//! The `CheckLoops` procedure of Fig. 6 asks two questions about a node:
+//! is it the entry node of a loop (`IsLoopEntryNode`), and what is the
+//! strongly connected component containing it (`GetSCC`). A node is a loop
+//! entry when it belongs to a non-trivial SCC (size > 1, or a self-loop)
+//! and has a predecessor outside that SCC.
+
+use crate::build::Cfg;
+use crate::graph::NodeId;
+
+/// The SCC decomposition of a CFG.
+#[derive(Debug, Clone)]
+pub struct Sccs {
+    /// `component[n]` = dense id of the SCC containing `n`.
+    component: Vec<usize>,
+    /// Members of each SCC, by dense id.
+    members: Vec<Vec<NodeId>>,
+    /// Whether each SCC is non-trivial (a real loop).
+    nontrivial: Vec<bool>,
+    /// Whether each node is a loop entry.
+    loop_entry: Vec<bool>,
+}
+
+impl Sccs {
+    /// Computes SCCs of `cfg` with an iterative Tarjan's algorithm.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dise_cfg::{build_cfg, Sccs};
+    /// use dise_ir::parse_program;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = parse_program("proc f(int x) { while (x > 0) { x = x - 1; } }")?;
+    /// let cfg = build_cfg(&p.procs[0]);
+    /// let sccs = Sccs::new(&cfg);
+    /// let branch = cfg.cond_nodes().next().unwrap();
+    /// assert!(sccs.is_loop_entry(branch));
+    /// assert_eq!(sccs.scc_of(branch).len(), 2); // branch + body
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(cfg: &Cfg) -> Sccs {
+        let len = cfg.len();
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; len];
+        let mut lowlink = vec![0usize; len];
+        let mut on_stack = vec![false; len];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut next_index = 0usize;
+        let mut component = vec![usize::MAX; len];
+        let mut members: Vec<Vec<NodeId>> = Vec::new();
+
+        // Iterative Tarjan with an explicit call stack of
+        // (node, next-successor-position).
+        for start in cfg.node_ids() {
+            if index[start.index()] != UNVISITED {
+                continue;
+            }
+            let mut call_stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+            index[start.index()] = next_index;
+            lowlink[start.index()] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start.index()] = true;
+
+            while let Some(&mut (node, ref mut pos)) = call_stack.last_mut() {
+                if let Some(&(succ, _)) = cfg.succs(node).get(*pos) {
+                    *pos += 1;
+                    if index[succ.index()] == UNVISITED {
+                        index[succ.index()] = next_index;
+                        lowlink[succ.index()] = next_index;
+                        next_index += 1;
+                        stack.push(succ);
+                        on_stack[succ.index()] = true;
+                        call_stack.push((succ, 0));
+                    } else if on_stack[succ.index()] {
+                        lowlink[node.index()] =
+                            lowlink[node.index()].min(index[succ.index()]);
+                    }
+                } else {
+                    // All successors processed: maybe pop an SCC, then
+                    // propagate the lowlink to the parent.
+                    if lowlink[node.index()] == index[node.index()] {
+                        let scc_id = members.len();
+                        let mut scc = Vec::new();
+                        loop {
+                            let member = stack.pop().expect("SCC stack invariant");
+                            on_stack[member.index()] = false;
+                            component[member.index()] = scc_id;
+                            scc.push(member);
+                            if member == node {
+                                break;
+                            }
+                        }
+                        scc.sort();
+                        members.push(scc);
+                    }
+                    call_stack.pop();
+                    if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                        lowlink[parent.index()] =
+                            lowlink[parent.index()].min(lowlink[node.index()]);
+                    }
+                }
+            }
+        }
+
+        let mut nontrivial = vec![false; members.len()];
+        for (scc_id, scc) in members.iter().enumerate() {
+            nontrivial[scc_id] = scc.len() > 1
+                || cfg
+                    .succs(scc[0])
+                    .iter()
+                    .any(|&(succ, _)| succ == scc[0]);
+        }
+
+        let mut loop_entry = vec![false; len];
+        for n in cfg.node_ids() {
+            let scc_id = component[n.index()];
+            if !nontrivial[scc_id] {
+                continue;
+            }
+            loop_entry[n.index()] = cfg
+                .preds(n)
+                .iter()
+                .any(|&p| component[p.index()] != scc_id);
+        }
+
+        Sccs {
+            component,
+            members,
+            nontrivial,
+            loop_entry,
+        }
+    }
+
+    /// `GetSCC(n)`: the members of the SCC containing `n` (sorted).
+    pub fn scc_of(&self, n: NodeId) -> &[NodeId] {
+        &self.members[self.component[n.index()]]
+    }
+
+    /// `IsLoopEntryNode(n)`: is `n` the entry of a loop (member of a
+    /// non-trivial SCC with an incoming edge from outside)?
+    pub fn is_loop_entry(&self, n: NodeId) -> bool {
+        self.loop_entry[n.index()]
+    }
+
+    /// Is `n` part of any loop?
+    pub fn in_loop(&self, n: NodeId) -> bool {
+        self.nontrivial[self.component[n.index()]]
+    }
+
+    /// Number of SCCs (trivial ones included).
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Are `a` and `b` in the same SCC?
+    pub fn same_scc(&self, a: NodeId, b: NodeId) -> bool {
+        self.component[a.index()] == self.component[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cfg;
+    use dise_ir::parse_program;
+
+    fn setup(src: &str) -> (Cfg, Sccs) {
+        let cfg = build_cfg(&parse_program(src).unwrap().procs[0]);
+        let sccs = Sccs::new(&cfg);
+        (cfg, sccs)
+    }
+
+    #[test]
+    fn acyclic_cfg_has_only_trivial_sccs() {
+        let (cfg, sccs) = setup("proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }");
+        assert_eq!(sccs.count(), cfg.len());
+        for n in cfg.node_ids() {
+            assert!(!sccs.in_loop(n));
+            assert!(!sccs.is_loop_entry(n));
+            assert_eq!(sccs.scc_of(n), &[n]);
+        }
+    }
+
+    #[test]
+    fn while_loop_forms_one_scc() {
+        let (cfg, sccs) = setup("proc f(int x) { while (x > 0) { x = x - 1; } }");
+        let branch = cfg.cond_nodes().next().unwrap();
+        let body = cfg.true_succ(branch);
+        assert!(sccs.same_scc(branch, body));
+        assert_eq!(sccs.scc_of(branch).len(), 2);
+        assert!(sccs.is_loop_entry(branch));
+        // The body has no predecessor outside the SCC.
+        assert!(!sccs.is_loop_entry(body));
+        assert!(sccs.in_loop(body));
+    }
+
+    #[test]
+    fn nested_loops_share_outer_scc() {
+        let (cfg, sccs) = setup(
+            "proc f(int x, int y) {
+               while (x > 0) {
+                 while (y > 0) { y = y - 1; }
+                 x = x - 1;
+               }
+             }",
+        );
+        let outer = cfg
+            .cond_nodes()
+            .find(|&n| {
+                use dise_cfg_test_util::cond_var;
+                cond_var(&cfg, n) == "x"
+            })
+            .unwrap();
+        let inner = cfg
+            .cond_nodes()
+            .find(|&n| {
+                use dise_cfg_test_util::cond_var;
+                cond_var(&cfg, n) == "y"
+            })
+            .unwrap();
+        // Inner loop nodes are inside the outer SCC (single SCC overall).
+        assert!(sccs.same_scc(outer, inner));
+        assert!(sccs.is_loop_entry(outer));
+        // The inner header's only outside-SCC predecessors would be outside
+        // the merged component — it has none, so it is not an entry.
+        assert!(!sccs.is_loop_entry(inner));
+    }
+
+    /// Helper namespace for extracting a branch condition's single variable.
+    mod dise_cfg_test_util {
+        use crate::build::{Cfg, NodeKind};
+        use crate::graph::NodeId;
+
+        pub fn cond_var(cfg: &Cfg, n: NodeId) -> String {
+            match &cfg.node(n).kind {
+                NodeKind::Branch { cond } => cond.vars().remove(0),
+                _ => panic!("not a branch"),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_loops_are_separate_sccs() {
+        let (cfg, sccs) = setup(
+            "proc f(int x, int y) {
+               while (x > 0) { x = x - 1; }
+               while (y > 0) { y = y - 1; }
+             }",
+        );
+        let mut conds = cfg.cond_nodes();
+        let first = conds.next().unwrap();
+        let second = conds.next().unwrap();
+        assert!(!sccs.same_scc(first, second));
+        assert!(sccs.is_loop_entry(first));
+        assert!(sccs.is_loop_entry(second));
+    }
+
+    #[test]
+    fn component_partition_is_consistent() {
+        let (cfg, sccs) = setup(
+            "proc f(int x) {
+               while (x > 0) {
+                 if (x > 5) { x = x - 2; } else { x = x - 1; }
+               }
+             }",
+        );
+        // Every node appears in exactly one SCC member list.
+        let mut seen = vec![0usize; cfg.len()];
+        for n in cfg.node_ids() {
+            for &m in sccs.scc_of(n) {
+                if m == n {
+                    seen[n.index()] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+}

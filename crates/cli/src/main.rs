@@ -1,0 +1,395 @@
+//! `dise` — the command-line front end.
+//!
+//! ```text
+//! dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs]
+//!     Diff two program versions and report the affected path conditions.
+//!     --full           also run full symbolic execution for comparison
+//!     --trace          print the Fig. 5(b) and Table 1 style traces
+//!     --simplify       subsume redundant bounds in printed path conditions
+//!     --reaching-defs  use the precise data-flow premise (ablation mode)
+//!
+//! dise tests <base.mj> <modified.mj> <proc>
+//!     Regression-testing mode (§5.2): generate the old suite, select and
+//!     augment for the new version.
+//!
+//! dise inspect <file.mj> <proc> [--dot]
+//!     Parse, type-check, and describe one procedure; --dot emits the CFG
+//!     as Graphviz.
+//!
+//! dise witness <base.mj> <modified.mj> <proc>
+//!     Solve every affected path condition, replay it on both versions,
+//!     and report the inputs on which the versions observably differ.
+//!
+//! dise localize <base.mj> <modified.mj> <proc> [--formula ochiai|tarantula|jaccard|dstar2]
+//!     Spectrum fault localization: replay the DiSE-derived suite on the
+//!     modified version and rank statements by suspiciousness.
+//!
+//! dise classify <base.mj> <modified.mj> <proc>
+//!     Differential summarization: solver-checked classification of every
+//!     affected path as effect-preserving or diverging.
+//!
+//! dise impact <base.mj> <modified.mj> [--dot]
+//!     System-level change impact: call-graph propagation plus per-
+//!     procedure DiSE on every impacted procedure; --dot emits the call
+//!     graph with the impact overlaid.
+//!
+//! dise report <base.mj> <modified.mj> <proc>
+//!     Render the Markdown change-impact report.
+//! ```
+
+use std::process::ExitCode;
+
+use dise_core::dise::{run_dise, run_full_on, DiseConfig};
+use dise_core::report::duration_mmss;
+use dise_core::DataflowPrecision;
+use dise_ir::Program;
+
+fn main() -> ExitCode {
+    match dispatch(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: Vec<String>) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    for arg in &args {
+        if arg.starts_with("--") {
+            flags.push(arg.as_str());
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    match positional.first().copied() {
+        Some("run") => run_command(&positional[1..], &flags),
+        Some("tests") => tests_command(&positional[1..]),
+        Some("inspect") => inspect_command(&positional[1..], &flags),
+        Some("witness") => witness_command(&positional[1..]),
+        Some("classify") => classify_command(&positional[1..]),
+        Some("localize") => localize_command(&positional[1..], &args),
+        Some("impact") => impact_command(&positional[1..], &flags),
+        Some("report") => report_command(&positional[1..]),
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}
+
+const USAGE: &str = "usage:
+  dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs]
+  dise tests <base.mj> <modified.mj> <proc>
+  dise inspect <file.mj> <proc> [--dot]
+  dise witness <base.mj> <modified.mj> <proc>
+  dise classify <base.mj> <modified.mj> <proc>
+  dise localize <base.mj> <modified.mj> <proc> [--formula <name>]
+  dise impact <base.mj> <modified.mj> [--dot]
+  dise report <base.mj> <modified.mj> <proc>";
+
+fn load(path: &str) -> Result<Program, String> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let program =
+        dise_ir::parse_program(&source).map_err(|e| format!("{path}: {e}"))?;
+    dise_ir::check_program(&program).map_err(|e| format!("{path}: {e}"))?;
+    Ok(program)
+}
+
+fn run_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
+    let [base_path, mod_path, proc_name] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let base = load(base_path)?;
+    let modified = load(mod_path)?;
+    let config = DiseConfig {
+        precision: if flags.contains(&"--reaching-defs") {
+            DataflowPrecision::ReachingDefs
+        } else {
+            DataflowPrecision::CfgPath
+        },
+        trace_affected: flags.contains(&"--trace"),
+        trace_directed: flags.contains(&"--trace"),
+        ..DiseConfig::default()
+    };
+
+    let result =
+        run_dise(&base, &modified, proc_name, &config).map_err(|e| e.to_string())?;
+    println!(
+        "changed CFG nodes: {}   affected CFG nodes: {}",
+        result.changed_nodes, result.affected_nodes
+    );
+    println!(
+        "DiSE: {} affected path conditions, {} states, {}",
+        result.summary.pc_count(),
+        result.summary.stats().states_explored,
+        duration_mmss(result.total_time)
+    );
+    if flags.contains(&"--simplify") {
+        for pc in dise_solver::simplify::simplify_pc_strings(
+            result.summary.path_conditions(),
+        ) {
+            println!("  {pc}");
+        }
+    } else {
+        for pc in result.affected_pc_strings() {
+            println!("  {pc}");
+        }
+    }
+    if flags.contains(&"--trace") {
+        println!("\naffected-set fixpoint trace:");
+        let flat = dise_ir::inline::inline_program(&modified, proc_name)
+            .map_err(|e| e.to_string())?;
+        let cfg = dise_cfg::build_cfg(flat.proc(proc_name).expect("inlined proc"));
+        print!("{}", result.affected.render_trace(&cfg));
+        if let Some(trace) = &result.directed_trace {
+            println!("\ndirected-search trace:");
+            print!("{trace}");
+        }
+    }
+    if flags.contains(&"--full") {
+        let full =
+            run_full_on(&modified, proc_name, &config).map_err(|e| e.to_string())?;
+        println!(
+            "\nfull symbolic execution: {} path conditions, {} states, {}",
+            full.pc_count(),
+            full.stats().states_explored,
+            duration_mmss(full.stats().elapsed)
+        );
+    }
+    Ok(())
+}
+
+fn tests_command(positional: &[&str]) -> Result<(), String> {
+    let [base_path, mod_path, proc_name] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let base = load(base_path)?;
+    let modified = load(mod_path)?;
+    let config = DiseConfig::default();
+
+    let base_summary =
+        run_full_on(&base, proc_name, &config).map_err(|e| e.to_string())?;
+    // Test generation needs the flattened program (inputs of the analyzed
+    // summary); mirror the driver's inlining.
+    let base_flat = dise_ir::inline::inline_program(&base, proc_name)
+        .map_err(|e| e.to_string())?;
+    let base_suite = dise_regression::generate_tests(&base_flat, &base_summary);
+    println!("existing suite ({} tests)", base_suite.len());
+
+    let result =
+        run_dise(&base, &modified, proc_name, &config).map_err(|e| e.to_string())?;
+    let mod_flat = dise_ir::inline::inline_program(&modified, proc_name)
+        .map_err(|e| e.to_string())?;
+    let dise_suite = dise_regression::generate_tests(&mod_flat, &result.summary);
+    let selection = dise_regression::select_and_augment(&base_suite, &dise_suite);
+    println!(
+        "selected {} existing test(s); {} new test(s) required",
+        selection.selected.len(),
+        selection.added.len()
+    );
+    for test in &selection.selected {
+        println!("  selected: {test}");
+    }
+    for test in &selection.added {
+        println!("  new:      {test}");
+    }
+    Ok(())
+}
+
+fn inspect_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
+    let [path, proc_name] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let program = load(path)?;
+    let flat = dise_ir::inline::inline_program(&program, proc_name)
+        .map_err(|e| e.to_string())?;
+    let procedure = flat
+        .proc(proc_name)
+        .ok_or_else(|| format!("procedure `{proc_name}` not found"))?;
+    let cfg = dise_cfg::build_cfg(procedure);
+    if flags.contains(&"--dot") {
+        print!("{}", dise_cfg::dot::to_dot(&cfg, &Default::default()));
+        return Ok(());
+    }
+    println!(
+        "{}: {} statements, CFG with {} nodes ({} conditionals, {} writes)",
+        proc_name,
+        procedure.body.stmt_count(),
+        cfg.len(),
+        cfg.cond_nodes().count(),
+        cfg.write_nodes().count()
+    );
+    for id in cfg.node_ids() {
+        let succs: Vec<String> = cfg
+            .succs(id)
+            .iter()
+            .map(|(s, label)| match label {
+                dise_cfg::EdgeLabel::Seq => s.to_string(),
+                other => format!("{s}[{other}]"),
+            })
+            .collect();
+        println!("  {id}: {:<40} -> {}", cfg.label(id), succs.join(", "));
+    }
+    Ok(())
+}
+
+fn witness_command(positional: &[&str]) -> Result<(), String> {
+    let [base_path, mod_path, proc_name] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let base = load(base_path)?;
+    let modified = load(mod_path)?;
+    let report = dise_evolution::witness::find_witnesses(
+        &base,
+        &modified,
+        proc_name,
+        &dise_evolution::witness::WitnessConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{} affected path condition(s): {} diverge, {} agree",
+        report.affected_pcs,
+        report.diverging_count(),
+        report.equivalent_count()
+    );
+    for witness in &report.witnesses {
+        let verdict = match &witness.divergence {
+            dise_evolution::witness::Divergence::None => "agrees".to_string(),
+            dise_evolution::witness::Divergence::Outcome { base, modified } => {
+                format!("outcome {base} -> {modified}")
+            }
+            dise_evolution::witness::Divergence::Effect(diffs) => diffs
+                .iter()
+                .map(|d| format!("{}: {} -> {}", d.var, d.base, d.modified))
+                .collect::<Vec<_>>()
+                .join(", "),
+        };
+        println!(
+            "  [{}] {}",
+            dise_evolution::inputs::render_env(&witness.input),
+            verdict
+        );
+    }
+    Ok(())
+}
+
+fn localize_command(positional: &[&str], args: &[String]) -> Result<(), String> {
+    // `--formula <name>` contributes a bare value to the positional list;
+    // only the first three positionals are paths and the procedure.
+    let [base_path, mod_path, proc_name, ..] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let formula = match args
+        .iter()
+        .position(|a| a == "--formula")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("ochiai") => dise_evolution::localize::Formula::Ochiai,
+        Some("tarantula") => dise_evolution::localize::Formula::Tarantula,
+        Some("jaccard") => dise_evolution::localize::Formula::Jaccard,
+        Some("dstar2") => dise_evolution::localize::Formula::DStar2,
+        Some(other) => return Err(format!("unknown formula `{other}`")),
+    };
+    let base = load(base_path)?;
+    let modified = load(mod_path)?;
+    let config = dise_evolution::localize::LocalizeConfig {
+        formula,
+        ..Default::default()
+    };
+    let outcome =
+        dise_evolution::localize::localize_change(&base, &modified, proc_name, &config)
+            .map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        dise_evolution::localize::render_ranking(&outcome.report, None, 10)
+    );
+    match (outcome.best_changed_rank, outcome.exam) {
+        (Some(rank), Some(exam)) => println!(
+            "changed statement: rank {rank} of {} (EXAM {exam:.2})",
+            outcome.report.ranking.len()
+        ),
+        _ => println!("no changed statement to rank (identical versions?)"),
+    }
+    Ok(())
+}
+
+fn classify_command(positional: &[&str]) -> Result<(), String> {
+    let [base_path, mod_path, proc_name] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let base = load(base_path)?;
+    let modified = load(mod_path)?;
+    let summary = dise_evolution::diffsum::classify_changes(
+        &base,
+        &modified,
+        proc_name,
+        &dise_evolution::diffsum::DiffSumConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    print!("{}", summary.render());
+    Ok(())
+}
+
+fn impact_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
+    let [base_path, mod_path] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let base = load(base_path)?;
+    let modified = load(mod_path)?;
+    let result = dise_core::interproc::run_dise_system(
+        &base,
+        &modified,
+        &dise_core::interproc::SystemConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    if flags.contains(&"--dot") {
+        print!("{}", result.impact.to_dot());
+        return Ok(());
+    }
+    println!("impacted procedures:");
+    for proc_result in &result.procedures {
+        println!(
+            "  {}: {} — {} affected PCs, {} states",
+            proc_result.name,
+            proc_result.reason,
+            proc_result.result.summary.pc_count(),
+            proc_result.result.summary.stats().states_explored
+        );
+    }
+    for (name, err) in &result.failed {
+        println!("  {name}: impacted but not analyzable ({err})");
+    }
+    if !result.skipped.is_empty() {
+        println!("skipped (unimpacted): {}", result.skipped.join(", "));
+    }
+    if !result.impact.removed.is_empty() {
+        println!("removed in modified version: {}", result.impact.removed.join(", "));
+    }
+    println!(
+        "total: {} affected path conditions, {} states, {}",
+        result.total_affected_pcs(),
+        result.total_states(),
+        duration_mmss(result.total_time)
+    );
+    Ok(())
+}
+
+fn report_command(positional: &[&str]) -> Result<(), String> {
+    let [base_path, mod_path, proc_name] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let base = load(base_path)?;
+    let modified = load(mod_path)?;
+    let text = dise_evolution::report::impact_report(
+        &base,
+        &modified,
+        proc_name,
+        &dise_evolution::report::ImpactConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}

@@ -1,0 +1,244 @@
+//! End-to-end tests of the `dise` binary: every subcommand, the error
+//! paths, and the exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write_fixture(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("fixture writes");
+    path
+}
+
+struct Fixture {
+    _dir: tempdir::TempDir,
+    base: PathBuf,
+    modified: PathBuf,
+}
+
+/// Minimal stand-in for the `tempdir` crate: a unique directory under the
+/// target tmp dir, removed on drop.
+mod tempdir {
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub fn new(prefix: &str) -> std::io::Result<TempDir> {
+            let unique = format!(
+                "{prefix}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            );
+            let path = std::env::temp_dir().join(unique);
+            std::fs::create_dir_all(&path)?;
+            Ok(TempDir(path))
+        }
+
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+fn fixture() -> Fixture {
+    let dir = tempdir::TempDir::new("dise-cli-test").expect("temp dir");
+    let base = write_fixture(
+        dir.path(),
+        "base.mj",
+        "int out;\nproc f(int x) { if (x > 0) { out = 1; } else { out = 2; } }\n",
+    );
+    let modified = write_fixture(
+        dir.path(),
+        "modified.mj",
+        "int out;\nproc f(int x) { if (x >= 0) { out = 1; } else { out = 2; } }\n",
+    );
+    Fixture {
+        _dir: dir,
+        base,
+        modified,
+    }
+}
+
+fn dise(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dise"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn run_reports_affected_path_conditions() {
+    let fx = fixture();
+    let out = dise(&[
+        "run",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--full",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("affected path conditions"), "{text}");
+    assert!(text.contains("X >= 0"), "{text}");
+    assert!(text.contains("full symbolic execution"), "{text}");
+}
+
+#[test]
+fn tests_selects_and_augments() {
+    let fx = fixture();
+    let out = dise(&[
+        "tests",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("existing suite"), "{text}");
+    assert!(text.contains("selected"), "{text}");
+}
+
+#[test]
+fn inspect_describes_and_dots() {
+    let fx = fixture();
+    let out = dise(&["inspect", fx.modified.to_str().unwrap(), "f"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("CFG with"), "{}", stdout(&out));
+
+    let dot = dise(&["inspect", fx.modified.to_str().unwrap(), "f", "--dot"]);
+    assert!(dot.status.success());
+    assert!(stdout(&dot).starts_with("digraph"), "{}", stdout(&dot));
+}
+
+#[test]
+fn witness_prints_the_boundary_input() {
+    let fx = fixture();
+    let out = dise(&[
+        "witness",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("1 diverge"), "{text}");
+    assert!(text.contains("[x = 0] out: 2 -> 1"), "{text}");
+}
+
+#[test]
+fn classify_prints_verdicts() {
+    let fx = fixture();
+    let out = dise(&[
+        "classify",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("diverges on out"), "{text}");
+    assert!(text.contains("preserving"), "{text}");
+}
+
+#[test]
+fn localize_accepts_formula_flag() {
+    let fx = fixture();
+    let out = dise(&[
+        "localize",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--formula",
+        "tarantula",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("formula tarantula"), "{}", stdout(&out));
+
+    let bad = dise(&[
+        "localize",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--formula",
+        "nonsense",
+    ]);
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("unknown formula"), "{}", stderr(&bad));
+}
+
+#[test]
+fn impact_lists_and_dots() {
+    let fx = fixture();
+    let out = dise(&[
+        "impact",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("f: body changed"), "{}", stdout(&out));
+
+    let dot = dise(&[
+        "impact",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "--dot",
+    ]);
+    assert!(dot.status.success());
+    assert!(stdout(&dot).starts_with("digraph impact"), "{}", stdout(&dot));
+}
+
+#[test]
+fn report_renders_markdown() {
+    let fx = fixture();
+    let out = dise(&[
+        "report",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("# Change impact: `f`"), "{text}");
+    assert!(text.contains("## Regression suite"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = dise(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = dise(&["run", "/nonexistent/a.mj", "/nonexistent/b.mj", "f"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+}
+
+#[test]
+fn parse_error_points_at_the_file() {
+    let dir = tempdir::TempDir::new("dise-cli-parse").expect("temp dir");
+    let bad = write_fixture(dir.path(), "bad.mj", "proc f( { }");
+    let out = dise(&["run", bad.to_str().unwrap(), bad.to_str().unwrap(), "f"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad.mj"), "{}", stderr(&out));
+}

@@ -1,0 +1,280 @@
+//! The end-to-end DiSE driver.
+//!
+//! Ties the pipeline together exactly as §3.1 describes: diff the two
+//! program versions, lift the diff onto the CFGs, compute affected
+//! locations (including removed-node effects), then run directed symbolic
+//! execution on the modified version. The reported time covers both the
+//! static analysis and the symbolic execution, matching the paper's
+//! "time spent computing the affected program locations and the time
+//! spent performing symbolic execution" (§4.2.2).
+
+use std::borrow::Cow;
+use std::time::{Duration, Instant};
+
+use dise_diff::{CfgDiff, DiffError};
+use dise_ir::ast::Program;
+use dise_ir::inline::{contains_calls, inline_program, InlineError};
+use dise_symexec::{ExecConfig, ExecError, Executor, FullExploration, SymbolicSummary};
+
+use crate::affected::{AffectedSets, DataflowPrecision};
+use crate::directed::DirectedStrategy;
+use crate::removed::affected_locations;
+
+/// Configuration of a DiSE run.
+#[derive(Debug, Clone, Default)]
+pub struct DiseConfig {
+    /// Symbolic-execution settings (depth bound, solver, recording).
+    pub exec: ExecConfig,
+    /// The data-flow premise of rules (3)/(4); the paper uses
+    /// [`DataflowPrecision::CfgPath`].
+    pub precision: DataflowPrecision,
+    /// Capture the Fig. 5(b) fixpoint trace.
+    pub trace_affected: bool,
+    /// Capture the Table 1 directed-search trace.
+    pub trace_directed: bool,
+}
+
+/// Errors from the DiSE pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiseError {
+    /// Differencing failed (missing procedure or ambiguous spans).
+    Diff(DiffError),
+    /// Symbolic execution setup failed.
+    Exec(ExecError),
+    /// A multi-procedure program could not be inlined.
+    Inline(InlineError),
+}
+
+impl std::fmt::Display for DiseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiseError::Diff(e) => write!(f, "diff error: {e}"),
+            DiseError::Exec(e) => write!(f, "execution error: {e}"),
+            DiseError::Inline(e) => write!(f, "inline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiseError {}
+
+impl From<DiffError> for DiseError {
+    fn from(e: DiffError) -> Self {
+        DiseError::Diff(e)
+    }
+}
+
+impl From<ExecError> for DiseError {
+    fn from(e: ExecError) -> Self {
+        DiseError::Exec(e)
+    }
+}
+
+impl From<InlineError> for DiseError {
+    fn from(e: InlineError) -> Self {
+        DiseError::Inline(e)
+    }
+}
+
+/// Flattens multi-procedure programs before analysis; call-free programs
+/// pass through untouched. DiSE is intra-procedural (§3.2), so calls are
+/// expanded by bounded inlining — the pragmatic realization of the paper's
+/// inter-procedural future work (§7).
+fn flatten<'p>(program: &'p Program, proc_name: &str) -> Result<Cow<'p, Program>, InlineError> {
+    if contains_calls(program, proc_name) {
+        Ok(Cow::Owned(inline_program(program, proc_name)?))
+    } else {
+        Ok(Cow::Borrowed(program))
+    }
+}
+
+/// The result of a DiSE run.
+#[derive(Debug, Clone)]
+pub struct DiseResult {
+    /// The symbolic summary of the directed run: its path conditions are
+    /// the *affected* path conditions.
+    pub summary: SymbolicSummary,
+    /// The computed affected sets (over the modified version's CFG).
+    pub affected: AffectedSets,
+    /// Number of changed CFG nodes (changed/added in mod + removed in
+    /// base) — Table 2's "Changed" column.
+    pub changed_nodes: usize,
+    /// Number of affected CFG nodes — Table 2's "Affected" column.
+    pub affected_nodes: usize,
+    /// Time spent in differencing + static analysis.
+    pub analysis_time: Duration,
+    /// Total wall-clock time (static analysis + directed execution).
+    pub total_time: Duration,
+    /// The Table 1 trace, when requested.
+    pub directed_trace: Option<String>,
+}
+
+impl DiseResult {
+    /// The affected path conditions as display strings (the canonical form
+    /// consumed by the regression application).
+    pub fn affected_pc_strings(&self) -> Vec<String> {
+        self.summary
+            .path_conditions()
+            .map(|pc| pc.to_string())
+            .collect()
+    }
+}
+
+/// Runs DiSE on the procedure `proc_name` of `base` → `modified`.
+///
+/// # Errors
+///
+/// [`DiseError::Diff`] when the differencing fails,
+/// [`DiseError::Exec`] when the procedure cannot be executed.
+///
+/// # Examples
+///
+/// ```
+/// use dise_core::dise::{run_dise, DiseConfig};
+/// use dise_ir::parse_program;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base = parse_program("proc f(int x) { if (x == 0) { x = 1; } }")?;
+/// let new = parse_program("proc f(int x) { if (x <= 0) { x = 1; } }")?;
+/// let result = run_dise(&base, &new, "f", &DiseConfig::default())?;
+/// assert_eq!(result.changed_nodes, 1);
+/// assert!(result.summary.pc_count() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_dise(
+    base: &Program,
+    modified: &Program,
+    proc_name: &str,
+    config: &DiseConfig,
+) -> Result<DiseResult, DiseError> {
+    let start = Instant::now();
+
+    // Phase 0: flatten multi-procedure versions by inlining.
+    let base = flatten(base, proc_name)?;
+    let modified = flatten(modified, proc_name)?;
+    let (base, modified) = (base.as_ref(), modified.as_ref());
+
+    // Phase 1: differencing + affected locations (§3.2).
+    let (cfg_base, cfg_mod, diff) = CfgDiff::from_programs(base, modified, proc_name)?;
+    let affected = affected_locations(
+        &cfg_base,
+        &cfg_mod,
+        &diff,
+        config.precision,
+        config.trace_affected,
+    );
+    let analysis_time = start.elapsed();
+
+    // Phase 2: directed symbolic execution (§3.3).
+    let mut executor = Executor::new(modified, proc_name, config.exec.clone())?;
+    debug_assert_eq!(
+        executor.cfg().len(),
+        cfg_mod.len(),
+        "CFG construction must be deterministic"
+    );
+    let mut strategy = DirectedStrategy::new(&cfg_mod, &affected, config.trace_directed);
+    let summary = executor.explore(&mut strategy);
+
+    Ok(DiseResult {
+        changed_nodes: diff.changed_node_count(),
+        affected_nodes: affected.len(),
+        directed_trace: config.trace_directed.then(|| strategy.render_trace()),
+        summary,
+        affected,
+        analysis_time,
+        total_time: start.elapsed(),
+    })
+}
+
+/// Runs *full* symbolic execution on `program` with the same executor
+/// settings — the paper's control technique.
+///
+/// # Errors
+///
+/// [`DiseError::Exec`] when the procedure cannot be executed.
+pub fn run_full_on(
+    program: &Program,
+    proc_name: &str,
+    config: &DiseConfig,
+) -> Result<SymbolicSummary, DiseError> {
+    let program = flatten(program, proc_name)?;
+    let mut executor = Executor::new(program.as_ref(), proc_name, config.exec.clone())?;
+    Ok(executor.explore(&mut FullExploration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affected::tests::FIG2_BASE_SRC;
+    use dise_ir::parse_program;
+
+    fn fig2_pair() -> (Program, Program) {
+        let base = parse_program(FIG2_BASE_SRC).unwrap();
+        let modified =
+            parse_program(&FIG2_BASE_SRC.replace("PedalPos == 0", "PedalPos <= 0")).unwrap();
+        (base, modified)
+    }
+
+    #[test]
+    fn fig2_end_to_end_counts() {
+        let (base, modified) = fig2_pair();
+        let result = run_dise(&base, &modified, "update", &DiseConfig::default()).unwrap();
+        assert_eq!(result.changed_nodes, 1);
+        assert_eq!(result.affected_nodes, 11);
+        let full = run_full_on(&modified, "update", &DiseConfig::default()).unwrap();
+        assert!(result.summary.pc_count() < full.pc_count());
+        assert!(result.total_time >= result.analysis_time);
+    }
+
+    #[test]
+    fn identical_versions_yield_no_affected_pcs() {
+        let (base, _) = fig2_pair();
+        let result = run_dise(&base, &base, "update", &DiseConfig::default()).unwrap();
+        assert_eq!(result.changed_nodes, 0);
+        assert_eq!(result.affected_nodes, 0);
+        assert_eq!(result.summary.pc_count(), 0);
+        // The straight-line prefix up to the first choice point is
+        // executed, then everything is pruned (SPF-faithful filter scope).
+        assert_eq!(result.summary.stats().states_explored, 2);
+    }
+
+    #[test]
+    fn traces_are_captured_on_request() {
+        let (base, modified) = fig2_pair();
+        let config = DiseConfig {
+            trace_affected: true,
+            trace_directed: true,
+            ..DiseConfig::default()
+        };
+        let result = run_dise(&base, &modified, "update", &config).unwrap();
+        assert!(!result.affected.trace().is_empty());
+        let directed = result.directed_trace.as_ref().unwrap();
+        assert!(directed.contains("UnExCond"));
+    }
+
+    #[test]
+    fn affected_pc_strings_are_canonical() {
+        let (base, modified) = fig2_pair();
+        let result = run_dise(&base, &modified, "update", &DiseConfig::default()).unwrap();
+        let strings = result.affected_pc_strings();
+        assert_eq!(strings.len(), result.summary.pc_count());
+        assert!(strings.iter().all(|s| !s.is_empty()));
+        // The changed constraint shows up in some affected PC.
+        assert!(strings.iter().any(|s| s.contains("PedalPos <= 0")));
+    }
+
+    #[test]
+    fn missing_procedure_is_a_diff_error() {
+        let (base, modified) = fig2_pair();
+        let err = run_dise(&base, &modified, "nope", &DiseConfig::default()).unwrap_err();
+        assert!(matches!(err, DiseError::Diff(_)));
+    }
+
+    #[test]
+    fn theorem_3_10_holds_end_to_end() {
+        let (base, modified) = fig2_pair();
+        let result = run_dise(&base, &modified, "update", &DiseConfig::default()).unwrap();
+        let full = run_full_on(&modified, "update", &DiseConfig::default()).unwrap();
+        crate::theorem::check_theorem_3_10(&full, &result.summary, &result.affected).unwrap();
+    }
+}

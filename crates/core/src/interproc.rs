@@ -1,0 +1,720 @@
+//! Inter-procedural (system-level) change impact — the paper's §7 future
+//! work.
+//!
+//! DiSE proper is intra-procedural: it analyzes one procedure and "does
+//! not generate affected path conditions arising from changes at the
+//! inter-procedural level" (§3.2). This module extends the pipeline to a
+//! whole program in the way the conclusion sketches:
+//!
+//! 1. **Procedure-level differencing** — compare the two versions
+//!    procedure by procedure (and global by global) with the structural
+//!    equality the statement diff uses, yielding the directly changed
+//!    procedures.
+//! 2. **Impact propagation** — close the changed set over the call graph
+//!    (a caller of an impacted procedure is impacted through its call
+//!    sites: the callee may leave different global state or read the
+//!    caller's arguments differently) and over changed global initializers
+//!    (a procedure reading a changed global is impacted).
+//! 3. **Per-procedure directed symbolic execution** — run the standard
+//!    intra-procedural DiSE pipeline (with call flattening) on every
+//!    impacted procedure; *unimpacted procedures are skipped entirely*,
+//!    which is where the system-level savings come from.
+//!
+//! Step 3 inherits the intra-procedural pipeline's precision: flattening
+//! inlines callees, so the statement diff sees callee-level changes
+//! in-line and the affected-location analysis stays as tight as the
+//! single-procedure case. Step 2's call-graph closure only decides *which*
+//! procedures are analyzed at all.
+//!
+//! # Examples
+//!
+//! ```
+//! use dise_core::interproc::{run_dise_system, SystemConfig};
+//! use dise_ir::parse_program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let base = parse_program(
+//!     "int g;
+//!      proc leaf(int v) { g = v; }
+//!      proc caller(int x) { if (x > 0) { leaf(x); } }
+//!      proc unrelated(int y) { if (y > 0) { y = 1; } }",
+//! )?;
+//! let modified = parse_program(
+//!     "int g;
+//!      proc leaf(int v) { g = v + 1; }
+//!      proc caller(int x) { if (x > 0) { leaf(x); } }
+//!      proc unrelated(int y) { if (y > 0) { y = 1; } }",
+//! )?;
+//! let result = run_dise_system(&base, &modified, &SystemConfig::default())?;
+//! // `leaf` changed, `caller` is impacted through the call; `unrelated`
+//! // is skipped.
+//! assert!(result.procedure("leaf").is_some());
+//! assert!(result.procedure("caller").is_some());
+//! assert!(result.procedure("unrelated").is_none());
+//! assert_eq!(result.skipped, vec!["unrelated".to_string()]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use dise_ir::ast::{Block, Expr, Program, StmtKind};
+
+use crate::dise::{run_dise, DiseConfig, DiseError, DiseResult};
+
+/// The static call graph of an MJ program: procedure names and their
+/// direct calls.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Procedure → set of directly called procedures.
+    calls: BTreeMap<String, BTreeSet<String>>,
+    /// Procedure → set of direct callers (the transpose).
+    callers: BTreeMap<String, BTreeSet<String>>,
+    /// Procedure → set of global variables it reads (directly).
+    reads_globals: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    pub fn new(program: &Program) -> CallGraph {
+        let globals: BTreeSet<&str> = program.globals.iter().map(|g| g.name.as_str()).collect();
+        let mut graph = CallGraph::default();
+        for procedure in &program.procs {
+            let mut callees = BTreeSet::new();
+            collect_calls(&procedure.body, &mut callees);
+            graph.calls.insert(procedure.name.clone(), callees.clone());
+            for callee in callees {
+                graph
+                    .callers
+                    .entry(callee)
+                    .or_default()
+                    .insert(procedure.name.clone());
+            }
+            let mut reads = BTreeSet::new();
+            let locals = local_names(procedure);
+            collect_reads(&procedure.body, &mut reads);
+            let global_reads: BTreeSet<String> = reads
+                .into_iter()
+                .filter(|name| globals.contains(name.as_str()) && !locals.contains(name))
+                .collect();
+            graph
+                .reads_globals
+                .insert(procedure.name.clone(), global_reads);
+        }
+        graph
+    }
+
+    /// The procedures `name` directly calls.
+    pub fn callees(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.calls
+            .get(name)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
+    }
+
+    /// The procedures that directly call `name`.
+    pub fn callers(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.callers
+            .get(name)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
+    }
+
+    /// The global variables `name` reads directly.
+    pub fn global_reads(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.reads_globals
+            .get(name)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
+    }
+
+    /// All procedure names in the graph.
+    pub fn procedures(&self) -> impl Iterator<Item = &str> {
+        self.calls.keys().map(String::as_str)
+    }
+}
+
+fn collect_calls(block: &Block, out: &mut BTreeSet<String>) {
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::Call { callee, .. } => {
+                out.insert(callee.clone());
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_calls(then_branch, out);
+                if let Some(e) = else_branch {
+                    collect_calls(e, out);
+                }
+            }
+            StmtKind::While { body, .. } => collect_calls(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn collect_reads(block: &Block, out: &mut BTreeSet<String>) {
+    let push_expr = |expr: &Expr, out: &mut BTreeSet<String>| {
+        for var in expr.vars() {
+            out.insert(var);
+        }
+    };
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::Decl { init, .. } => push_expr(init, out),
+            StmtKind::Assign { value, .. } => push_expr(value, out),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                push_expr(cond, out);
+                collect_reads(then_branch, out);
+                if let Some(e) = else_branch {
+                    collect_reads(e, out);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                push_expr(cond, out);
+                collect_reads(body, out);
+            }
+            StmtKind::Assert { cond } | StmtKind::Assume { cond } => push_expr(cond, out),
+            StmtKind::Call { args, .. } => {
+                for arg in args {
+                    push_expr(arg, out);
+                }
+            }
+            StmtKind::Skip | StmtKind::Return => {}
+        }
+    }
+}
+
+/// Local names (parameters and declared locals) of a procedure — reads of
+/// these shadow same-named globals.
+fn local_names(procedure: &dise_ir::ast::Procedure) -> BTreeSet<String> {
+    fn collect_decls(block: &Block, out: &mut BTreeSet<String>) {
+        for stmt in &block.stmts {
+            match &stmt.kind {
+                StmtKind::Decl { name, .. } => {
+                    out.insert(name.clone());
+                }
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    collect_decls(then_branch, out);
+                    if let Some(e) = else_branch {
+                        collect_decls(e, out);
+                    }
+                }
+                StmtKind::While { body, .. } => collect_decls(body, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out: BTreeSet<String> = procedure.params.iter().map(|p| p.name.clone()).collect();
+    collect_decls(&procedure.body, &mut out);
+    out
+}
+
+/// Why a procedure is considered impacted by the change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImpactReason {
+    /// The procedure's body or signature differs between the versions.
+    ChangedBody,
+    /// The procedure exists only in the modified version.
+    Added,
+    /// The procedure (transitively) calls an impacted procedure; the field
+    /// names the direct callee that propagated the impact.
+    CallsImpacted(String),
+    /// The procedure reads a global whose declaration (type or
+    /// initializer) changed.
+    ReadsChangedGlobal(String),
+    /// The procedure called a procedure that was removed in the modified
+    /// version (its body necessarily changed too, but the removal is the
+    /// more precise root cause).
+    CalledRemoved(String),
+}
+
+impl fmt::Display for ImpactReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImpactReason::ChangedBody => f.write_str("body changed"),
+            ImpactReason::Added => f.write_str("added in modified version"),
+            ImpactReason::CallsImpacted(callee) => {
+                write!(f, "calls impacted procedure `{callee}`")
+            }
+            ImpactReason::ReadsChangedGlobal(var) => {
+                write!(f, "reads changed global `{var}`")
+            }
+            ImpactReason::CalledRemoved(callee) => {
+                write!(f, "called removed procedure `{callee}`")
+            }
+        }
+    }
+}
+
+/// The system-level change-impact summary.
+#[derive(Debug, Clone)]
+pub struct SystemImpact {
+    /// Impacted procedures of the modified version, each with the first
+    /// reason that marked it (seeds before propagation).
+    pub impacted: BTreeMap<String, ImpactReason>,
+    /// Procedures present only in the base version.
+    pub removed: Vec<String>,
+    /// Globals whose declaration changed between the versions.
+    pub changed_globals: Vec<String>,
+    /// The modified version's call graph.
+    pub call_graph: CallGraph,
+}
+
+impl SystemImpact {
+    /// `true` if `name` is impacted.
+    pub fn is_impacted(&self, name: &str) -> bool {
+        self.impacted.contains_key(name)
+    }
+
+    /// Renders the call graph as Graphviz DOT with the impact overlaid:
+    /// directly changed/added procedures are filled red, transitively
+    /// impacted ones orange, unimpacted ones stay unfilled, and removed
+    /// procedures appear as dashed ghosts.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph impact {\n  rankdir=LR;\n  node [shape=box];\n");
+        for name in self.call_graph.procedures() {
+            let attrs = match self.impacted.get(name) {
+                Some(ImpactReason::ChangedBody)
+                | Some(ImpactReason::Added)
+                | Some(ImpactReason::CalledRemoved(_)) => {
+                    " [style=filled, fillcolor=\"#f4cccc\"]"
+                }
+                Some(_) => " [style=filled, fillcolor=\"#fce5cd\"]",
+                None => "",
+            };
+            out.push_str(&format!("  \"{name}\"{attrs};\n"));
+        }
+        for gone in &self.removed {
+            out.push_str(&format!(
+                "  \"{gone}\" [style=dashed, label=\"{gone} (removed)\"];\n"
+            ));
+        }
+        for caller in self.call_graph.procedures() {
+            for callee in self.call_graph.callees(caller) {
+                out.push_str(&format!("  \"{caller}\" -> \"{callee}\";\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Computes the impacted-procedure set for `base` → `modified`.
+///
+/// Seeds: procedures whose body/signature differ, procedures only in
+/// `modified`, procedures reading a changed global, and former callers of
+/// removed procedures. The set is then closed over the modified version's
+/// call graph: every (transitive) caller of an impacted procedure is
+/// impacted.
+pub fn system_impact(base: &Program, modified: &Program) -> SystemImpact {
+    let call_graph = CallGraph::new(modified);
+    let base_graph = CallGraph::new(base);
+
+    let mut changed_globals = Vec::new();
+    for global in &modified.globals {
+        match base.global(&global.name) {
+            None => changed_globals.push(global.name.clone()),
+            Some(old) => {
+                let init_eq = match (&old.init, &global.init) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => a.syn_eq(b),
+                    _ => false,
+                };
+                if old.ty != global.ty || !init_eq {
+                    changed_globals.push(global.name.clone());
+                }
+            }
+        }
+    }
+
+    let mut impacted: BTreeMap<String, ImpactReason> = BTreeMap::new();
+    for procedure in &modified.procs {
+        match base.proc(&procedure.name) {
+            None => {
+                impacted.insert(procedure.name.clone(), ImpactReason::Added);
+            }
+            Some(old) => {
+                if !old.syn_eq(procedure) {
+                    impacted.insert(procedure.name.clone(), ImpactReason::ChangedBody);
+                }
+            }
+        }
+    }
+    let removed: Vec<String> = base
+        .procs
+        .iter()
+        .filter(|p| modified.proc(&p.name).is_none())
+        .map(|p| p.name.clone())
+        .collect();
+    for gone in &removed {
+        for caller in base_graph.callers(gone) {
+            if modified.proc(caller).is_some() {
+                impacted
+                    .entry(caller.to_string())
+                    .or_insert_with(|| ImpactReason::CalledRemoved(gone.clone()));
+            }
+        }
+    }
+    for procedure in &modified.procs {
+        if impacted.contains_key(&procedure.name) {
+            continue;
+        }
+        if let Some(var) = call_graph
+            .global_reads(&procedure.name)
+            .find(|v| changed_globals.iter().any(|c| c == v))
+        {
+            impacted.insert(
+                procedure.name.clone(),
+                ImpactReason::ReadsChangedGlobal(var.to_string()),
+            );
+        }
+    }
+
+    // Close over the call graph: callers of impacted procedures are
+    // impacted.
+    let mut worklist: Vec<String> = impacted.keys().cloned().collect();
+    while let Some(name) = worklist.pop() {
+        let callers: Vec<String> = call_graph.callers(&name).map(str::to_string).collect();
+        for caller in callers {
+            if !impacted.contains_key(&caller) {
+                impacted.insert(caller.clone(), ImpactReason::CallsImpacted(name.clone()));
+                worklist.push(caller);
+            }
+        }
+    }
+
+    SystemImpact {
+        impacted,
+        removed,
+        changed_globals,
+        call_graph,
+    }
+}
+
+/// Configuration of a system-level DiSE run.
+#[derive(Debug, Clone, Default)]
+pub struct SystemConfig {
+    /// Per-procedure DiSE settings.
+    pub dise: DiseConfig,
+    /// Restrict the analysis to these procedures (`None` = all impacted).
+    /// Procedures listed here but not impacted are still skipped.
+    pub only: Option<Vec<String>>,
+}
+
+/// The per-procedure outcome of a system run.
+#[derive(Debug)]
+pub struct ProcedureResult {
+    /// The procedure's name.
+    pub name: String,
+    /// Why it was analyzed.
+    pub reason: ImpactReason,
+    /// The intra-procedural DiSE result (over the flattened body).
+    pub result: DiseResult,
+}
+
+/// The result of [`run_dise_system`].
+#[derive(Debug)]
+pub struct SystemDiseResult {
+    /// Analyzed procedures, in call-graph-name order.
+    pub procedures: Vec<ProcedureResult>,
+    /// Procedures skipped as unimpacted.
+    pub skipped: Vec<String>,
+    /// Procedures that were impacted but could not be analyzed (e.g.,
+    /// recursive — cannot be flattened), with the error.
+    pub failed: Vec<(String, DiseError)>,
+    /// The impact analysis that drove the run.
+    pub impact: SystemImpact,
+    /// Total wall-clock time including the impact analysis.
+    pub total_time: Duration,
+}
+
+impl SystemDiseResult {
+    /// The result for one procedure, if it was analyzed.
+    pub fn procedure(&self, name: &str) -> Option<&ProcedureResult> {
+        self.procedures.iter().find(|p| p.name == name)
+    }
+
+    /// Total affected path conditions across all analyzed procedures.
+    pub fn total_affected_pcs(&self) -> usize {
+        self.procedures
+            .iter()
+            .map(|p| p.result.summary.pc_count())
+            .sum()
+    }
+
+    /// Total symbolic states explored across all analyzed procedures.
+    pub fn total_states(&self) -> u64 {
+        self.procedures
+            .iter()
+            .map(|p| p.result.summary.stats().states_explored)
+            .sum()
+    }
+}
+
+/// Runs DiSE over the whole system: impact analysis, then the standard
+/// intra-procedural pipeline on every impacted procedure.
+///
+/// Procedures that exist only in the base version cannot be analyzed (there
+/// is nothing to execute) and are reported via [`SystemImpact::removed`].
+/// Impacted procedures whose flattening fails (recursion) are collected in
+/// [`SystemDiseResult::failed`] rather than aborting the whole run.
+///
+/// # Errors
+///
+/// Currently infallible at the system level (per-procedure failures are
+/// collected); the `Result` return type leaves room for system-level
+/// validation.
+pub fn run_dise_system(
+    base: &Program,
+    modified: &Program,
+    config: &SystemConfig,
+) -> Result<SystemDiseResult, DiseError> {
+    let start = Instant::now();
+    let impact = system_impact(base, modified);
+
+    let mut procedures = Vec::new();
+    let mut skipped = Vec::new();
+    let mut failed = Vec::new();
+    for procedure in &modified.procs {
+        let name = &procedure.name;
+        if let Some(only) = &config.only {
+            if !only.iter().any(|o| o == name) {
+                continue;
+            }
+        }
+        let Some(reason) = impact.impacted.get(name) else {
+            skipped.push(name.clone());
+            continue;
+        };
+        match run_dise(base, modified, name, &config.dise) {
+            Ok(result) => procedures.push(ProcedureResult {
+                name: name.clone(),
+                reason: reason.clone(),
+                result,
+            }),
+            Err(err) => failed.push((name.clone(), err)),
+        }
+    }
+
+    Ok(SystemDiseResult {
+        procedures,
+        skipped,
+        failed,
+        impact,
+        total_time: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_ir::parse_program;
+
+    fn programs(base: &str, modified: &str) -> (Program, Program) {
+        (
+            parse_program(base).unwrap(),
+            parse_program(modified).unwrap(),
+        )
+    }
+
+    const CHAIN_BASE: &str = "int g;
+         proc leaf(int v) { g = v; }
+         proc mid(int x) { if (x > 0) { leaf(x); } else { leaf(0 - x); } }
+         proc top(int y) { mid(y); }
+         proc other(int z) { if (z > 0) { z = 1; } }";
+
+    #[test]
+    fn call_graph_edges_and_transpose() {
+        let program = parse_program(CHAIN_BASE).unwrap();
+        let graph = CallGraph::new(&program);
+        assert_eq!(graph.callees("mid").collect::<Vec<_>>(), vec!["leaf"]);
+        assert_eq!(graph.callers("leaf").collect::<Vec<_>>(), vec!["mid"]);
+        assert_eq!(graph.callers("mid").collect::<Vec<_>>(), vec!["top"]);
+        assert!(graph.callees("other").next().is_none());
+        assert_eq!(graph.procedures().count(), 4);
+    }
+
+    #[test]
+    fn global_reads_exclude_shadowing_locals() {
+        let program = parse_program(
+            "int g; int h;
+             proc reads_g(int x) { x = g; }
+             proc shadows(int g) { g = 1; }
+             proc reads_h() { int g = 2; g = h + g; }",
+        )
+        .unwrap();
+        let graph = CallGraph::new(&program);
+        assert_eq!(graph.global_reads("reads_g").collect::<Vec<_>>(), vec!["g"]);
+        assert!(graph.global_reads("shadows").next().is_none());
+        assert_eq!(graph.global_reads("reads_h").collect::<Vec<_>>(), vec!["h"]);
+    }
+
+    #[test]
+    fn leaf_change_impacts_whole_call_chain_only() {
+        let (base, modified) = programs(
+            CHAIN_BASE,
+            &CHAIN_BASE.replace("g = v;", "g = v + 1;"),
+        );
+        let impact = system_impact(&base, &modified);
+        assert_eq!(impact.impacted.get("leaf"), Some(&ImpactReason::ChangedBody));
+        assert_eq!(
+            impact.impacted.get("mid"),
+            Some(&ImpactReason::CallsImpacted("leaf".to_string()))
+        );
+        assert_eq!(
+            impact.impacted.get("top"),
+            Some(&ImpactReason::CallsImpacted("mid".to_string()))
+        );
+        assert!(!impact.is_impacted("other"));
+    }
+
+    #[test]
+    fn changed_global_initializer_impacts_readers() {
+        let (base, modified) = programs(
+            "int limit = 10;
+             proc reads(int x) { if (x > limit) { x = 0; } }
+             proc ignores(int x) { x = 1; }",
+            "int limit = 20;
+             proc reads(int x) { if (x > limit) { x = 0; } }
+             proc ignores(int x) { x = 1; }",
+        );
+        let impact = system_impact(&base, &modified);
+        assert_eq!(impact.changed_globals, vec!["limit".to_string()]);
+        assert_eq!(
+            impact.impacted.get("reads"),
+            Some(&ImpactReason::ReadsChangedGlobal("limit".to_string()))
+        );
+        assert!(!impact.is_impacted("ignores"));
+    }
+
+    #[test]
+    fn added_and_removed_procedures_are_tracked() {
+        let (base, modified) = programs(
+            "proc gone() { skip; }
+             proc caller(int x) { gone(); }",
+            "proc caller(int x) { skip; }
+             proc fresh(int y) { y = 1; }",
+        );
+        let impact = system_impact(&base, &modified);
+        assert_eq!(impact.removed, vec!["gone".to_string()]);
+        // `caller`'s body changed anyway (the call disappeared), so the
+        // ChangedBody seed wins; `fresh` is Added.
+        assert_eq!(
+            impact.impacted.get("caller"),
+            Some(&ImpactReason::ChangedBody)
+        );
+        assert_eq!(impact.impacted.get("fresh"), Some(&ImpactReason::Added));
+    }
+
+    #[test]
+    fn run_dise_system_analyzes_exactly_the_impacted_set() {
+        let (base, modified) = programs(
+            CHAIN_BASE,
+            &CHAIN_BASE.replace("g = v;", "g = v + 1;"),
+        );
+        let result = run_dise_system(&base, &modified, &SystemConfig::default()).unwrap();
+        let analyzed: Vec<&str> = result.procedures.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(analyzed, vec!["leaf", "mid", "top"]);
+        assert_eq!(result.skipped, vec!["other".to_string()]);
+        assert!(result.failed.is_empty());
+        assert!(result.total_affected_pcs() > 0);
+        // Every analyzed procedure saw the change through inlining.
+        for proc_result in &result.procedures {
+            assert!(
+                proc_result.result.changed_nodes > 0,
+                "{} saw no changed nodes",
+                proc_result.name
+            );
+        }
+    }
+
+    #[test]
+    fn only_filter_restricts_the_run() {
+        let (base, modified) = programs(
+            CHAIN_BASE,
+            &CHAIN_BASE.replace("g = v;", "g = v + 1;"),
+        );
+        let config = SystemConfig {
+            only: Some(vec!["mid".to_string()]),
+            ..SystemConfig::default()
+        };
+        let result = run_dise_system(&base, &modified, &config).unwrap();
+        assert_eq!(result.procedures.len(), 1);
+        assert_eq!(result.procedures[0].name, "mid");
+        assert!(result.skipped.is_empty());
+    }
+
+    #[test]
+    fn recursive_impacted_procedure_is_reported_not_fatal() {
+        let (base, modified) = programs(
+            "proc rec(int x) { if (x > 0) { rec(x); } }
+             proc plain(int y) { y = 1; }",
+            "proc rec(int x) { if (x >= 0) { rec(x); } }
+             proc plain(int y) { y = 1; }",
+        );
+        let result = run_dise_system(&base, &modified, &SystemConfig::default()).unwrap();
+        assert!(result.procedures.is_empty());
+        assert_eq!(result.failed.len(), 1);
+        assert_eq!(result.failed[0].0, "rec");
+        assert_eq!(result.skipped, vec!["plain".to_string()]);
+    }
+
+    #[test]
+    fn impact_dot_colors_the_chain() {
+        let (base, modified) = programs(
+            CHAIN_BASE,
+            &CHAIN_BASE.replace("g = v;", "g = v + 1;"),
+        );
+        let impact = system_impact(&base, &modified);
+        let dot = impact.to_dot();
+        assert!(dot.starts_with("digraph impact {"));
+        // The changed leaf is red, its callers orange, the bystander
+        // plain.
+        assert!(dot.contains("\"leaf\" [style=filled, fillcolor=\"#f4cccc\"]"));
+        assert!(dot.contains("\"mid\" [style=filled, fillcolor=\"#fce5cd\"]"));
+        assert!(dot.contains("\"top\" [style=filled, fillcolor=\"#fce5cd\"]"));
+        assert!(dot.contains("  \"other\";"));
+        // Call edges survive.
+        assert!(dot.contains("\"mid\" -> \"leaf\";"));
+        assert!(dot.contains("\"top\" -> \"mid\";"));
+    }
+
+    #[test]
+    fn impact_dot_marks_removed_procedures() {
+        let (base, modified) = programs(
+            "proc gone() { skip; }
+             proc caller(int x) { gone(); }",
+            "proc caller(int x) { skip; }",
+        );
+        let impact = system_impact(&base, &modified);
+        let dot = impact.to_dot();
+        assert!(dot.contains("gone (removed)"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn identical_systems_skip_everything() {
+        let program = parse_program(CHAIN_BASE).unwrap();
+        let result = run_dise_system(&program, &program, &SystemConfig::default()).unwrap();
+        assert!(result.procedures.is_empty());
+        assert_eq!(result.skipped.len(), 4);
+        assert!(result.impact.impacted.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Plain-text table rendering, shared by the trace renderers and the
+//! benchmark harness (which regenerates the paper's tables on stdout).
+
+use std::collections::BTreeSet;
+
+use dise_cfg::NodeId;
+
+/// A simple fixed-width text table: header row, separator, data rows.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> TextTable {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row. Short rows are padded with empty cells; long
+    /// rows are truncated to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column-aligned padding:
+    ///
+    /// ```text
+    /// A   | B
+    /// ----+---
+    /// 1   | 2
+    /// ```
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', widths[i] - cell.len()));
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &mut out);
+        for (i, width) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("-+-");
+            }
+            out.extend(std::iter::repeat_n('-', *width));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a node set the way the paper prints them: `{n0, n2, n10}`.
+pub fn node_set(set: &BTreeSet<NodeId>) -> String {
+    let mut out = String::from("{");
+    for (i, node) in set.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&node.to_string());
+    }
+    out.push('}');
+    out
+}
+
+/// Formats a duration as the paper's `mm:ss` plus millisecond precision
+/// for the sub-second runs our reproduction produces.
+pub fn duration_mmss(d: std::time::Duration) -> String {
+    let total_ms = d.as_millis();
+    let minutes = total_ms / 60_000;
+    let seconds = (total_ms % 60_000) / 1000;
+    let millis = total_ms % 1000;
+    format!("{minutes:02}:{seconds:02}.{millis:03}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["Version".into(), "PCs".into()]);
+        t.row(vec!["v1".into(), "1728".into()]);
+        t.row(vec!["v10".into(), "3".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Version | PCs"));
+        assert!(lines[1].starts_with("--------+----"));
+        assert!(lines[2].starts_with("v1      | 1728"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["A".into(), "B".into(), "C".into()]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let rendered = t.render();
+        assert!(rendered.lines().count() == 3);
+    }
+
+    #[test]
+    fn node_set_formats_like_paper() {
+        let set: BTreeSet<NodeId> = [NodeId(0), NodeId(2), NodeId(10)].into_iter().collect();
+        assert_eq!(node_set(&set), "{n0, n2, n10}");
+        assert_eq!(node_set(&BTreeSet::new()), "{}");
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(
+            duration_mmss(std::time::Duration::from_millis(17 * 60_000 + 19_000)),
+            "17:19.000"
+        );
+        assert_eq!(duration_mmss(std::time::Duration::from_millis(215)), "00:00.215");
+    }
+}

@@ -1,0 +1,40 @@
+//! # dise-diff — lightweight program differencing
+//!
+//! DiSE takes as input "the results of a lightweight differential (diff)
+//! analysis (e.g., source line or abstract syntax tree diff)" (§3.1). This
+//! crate provides both:
+//!
+//! * [`line_diff`](mod@line_diff) — a classic LCS diff over source lines (display and
+//!   sanity checks);
+//! * [`stmt_diff`] — the structural AST diff used by the pipeline: it
+//!   matches statements between the two versions of a procedure (recursing
+//!   into `if`/`while` bodies) and classifies every statement as
+//!   *unchanged*, *changed*, *added* (mod-only) or *removed* (base-only);
+//! * [`cfg_map`] — the pre-processing step of §3.1 that transfers
+//!   statement marks onto CFG nodes and builds the `diffMap` relating
+//!   `CFG_base` nodes to their `CFG_mod` counterparts (removed nodes map
+//!   to nothing).
+//!
+//! # Examples
+//!
+//! ```
+//! use dise_diff::stmt_diff::diff_programs;
+//! use dise_ir::parse_program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let base = parse_program("proc f(int x) { if (x == 0) { x = 1; } }")?;
+//! let new = parse_program("proc f(int x) { if (x <= 0) { x = 1; } }")?;
+//! let diff = diff_programs(&base, &new, "f")?;
+//! assert!(!diff.is_identical());
+//! assert_eq!(diff.changed_mod_spans().count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cfg_map;
+pub mod line_diff;
+pub mod stmt_diff;
+
+pub use cfg_map::CfgDiff;
+pub use line_diff::{line_diff, LineEdit};
+pub use stmt_diff::{diff_procedures, diff_programs, BaseMark, DiffError, ModMark, ProcDiff};

@@ -1,0 +1,210 @@
+//! Source-line diff (longest-common-subsequence).
+//!
+//! The simplest of the two "lightweight diff" frontends the paper mentions.
+//! The structural AST diff ([`crate::stmt_diff`]) is what the DiSE pipeline
+//! actually consumes; the line diff is kept for display and for
+//! cross-checking that a mutant really differs from its base in the
+//! expected number of places.
+
+/// One edit in a line diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineEdit {
+    /// Line present in both versions (1-based line numbers in each).
+    Common {
+        /// Line number in the base version.
+        base_line: u32,
+        /// Line number in the modified version.
+        mod_line: u32,
+        /// The text.
+        text: String,
+    },
+    /// Line only in the base version.
+    Removed {
+        /// Line number in the base version.
+        base_line: u32,
+        /// The text.
+        text: String,
+    },
+    /// Line only in the modified version.
+    Added {
+        /// Line number in the modified version.
+        mod_line: u32,
+        /// The text.
+        text: String,
+    },
+}
+
+/// Computes an LCS diff between two texts, line by line.
+///
+/// # Examples
+///
+/// ```
+/// use dise_diff::{line_diff, LineEdit};
+///
+/// let edits = line_diff("a\nb\nc", "a\nx\nc");
+/// let removed: Vec<_> = edits
+///     .iter()
+///     .filter(|e| matches!(e, LineEdit::Removed { .. }))
+///     .collect();
+/// assert_eq!(removed.len(), 1);
+/// ```
+pub fn line_diff(base: &str, modified: &str) -> Vec<LineEdit> {
+    let base_lines: Vec<&str> = base.lines().collect();
+    let mod_lines: Vec<&str> = modified.lines().collect();
+    let matched = lcs_table(&base_lines, &mod_lines, |a, b| a == b);
+
+    let mut edits = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    for &(bi, mj) in &matched {
+        while i < bi {
+            edits.push(LineEdit::Removed {
+                base_line: (i + 1) as u32,
+                text: base_lines[i].to_string(),
+            });
+            i += 1;
+        }
+        while j < mj {
+            edits.push(LineEdit::Added {
+                mod_line: (j + 1) as u32,
+                text: mod_lines[j].to_string(),
+            });
+            j += 1;
+        }
+        edits.push(LineEdit::Common {
+            base_line: (bi + 1) as u32,
+            mod_line: (mj + 1) as u32,
+            text: base_lines[bi].to_string(),
+        });
+        i = bi + 1;
+        j = mj + 1;
+    }
+    while i < base_lines.len() {
+        edits.push(LineEdit::Removed {
+            base_line: (i + 1) as u32,
+            text: base_lines[i].to_string(),
+        });
+        i += 1;
+    }
+    while j < mod_lines.len() {
+        edits.push(LineEdit::Added {
+            mod_line: (j + 1) as u32,
+            text: mod_lines[j].to_string(),
+        });
+        j += 1;
+    }
+    edits
+}
+
+/// Generic LCS: returns the matched index pairs `(base_idx, mod_idx)` in
+/// order. Shared with the statement diff.
+pub(crate) fn lcs_table<T>(
+    base: &[T],
+    modified: &[T],
+    eq: impl Fn(&T, &T) -> bool,
+) -> Vec<(usize, usize)> {
+    let n = base.len();
+    let m = modified.len();
+    // dp[i][j] = LCS length of base[i..], modified[j..]
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if eq(&base[i], &modified[j]) {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if eq(&base[i], &modified[j]) && dp[i][j] == dp[i + 1][j + 1] + 1 {
+            pairs.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(edits: &[LineEdit]) -> String {
+        edits
+            .iter()
+            .map(|e| match e {
+                LineEdit::Common { .. } => '=',
+                LineEdit::Removed { .. } => '-',
+                LineEdit::Added { .. } => '+',
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_texts_are_all_common() {
+        let edits = line_diff("a\nb", "a\nb");
+        assert_eq!(kinds(&edits), "==");
+    }
+
+    #[test]
+    fn single_line_change_is_remove_plus_add() {
+        let edits = line_diff("a\nb\nc", "a\nx\nc");
+        assert_eq!(kinds(&edits), "=-+=");
+    }
+
+    #[test]
+    fn pure_insertion() {
+        let edits = line_diff("a\nc", "a\nb\nc");
+        assert_eq!(kinds(&edits), "=+=");
+        let LineEdit::Added { mod_line, text } = &edits[1] else {
+            panic!("expected Added");
+        };
+        assert_eq!(*mod_line, 2);
+        assert_eq!(text, "b");
+    }
+
+    #[test]
+    fn pure_deletion() {
+        let edits = line_diff("a\nb\nc", "a\nc");
+        assert_eq!(kinds(&edits), "=-=");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(line_diff("", "").is_empty());
+        assert_eq!(kinds(&line_diff("", "x")), "+");
+        assert_eq!(kinds(&line_diff("x", "")), "-");
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_tracked() {
+        let edits = line_diff("a\nb", "b");
+        // 'a' removed from line 1; 'b' common (base 2, mod 1).
+        assert_eq!(
+            edits,
+            vec![
+                LineEdit::Removed {
+                    base_line: 1,
+                    text: "a".into()
+                },
+                LineEdit::Common {
+                    base_line: 2,
+                    mod_line: 1,
+                    text: "b".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn lcs_prefers_longest_match() {
+        let pairs = lcs_table(&["a", "b", "a"], &["b", "a"], |x, y| x == y);
+        assert_eq!(pairs.len(), 2); // "b a"
+    }
+}

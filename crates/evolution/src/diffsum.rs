@@ -1,0 +1,541 @@
+//! Differential program summarization over affected paths.
+//!
+//! [`crate::witness`] compares the two program versions on *single
+//! inputs*. This module strengthens the comparison to *input regions*
+//! using the constraint solver, in the spirit of the differential symbolic
+//! execution work the paper cites as \[27\]:
+//!
+//! 1. solve an affected path condition to a concrete input *i*;
+//! 2. run both versions **concolically** on *i*, obtaining for each
+//!    version the path condition of the executed path and the *symbolic*
+//!    final value of every global (`PC_b`, `E_b` and `PC_m`, `E_m`);
+//! 3. align the two runs' symbolic variables by input name, then ask the
+//!    solver whether `PC_b ∧ PC_m ∧ E_b[g] ≠ E_m[g]` is satisfiable for
+//!    any shared global `g`.
+//!
+//! *Unsatisfiable for all globals* proves the two paths compute identical
+//! global states on **every** input in the overlap region `PC_b ∧ PC_m` —
+//! the path is **effect-preserving** even though the static analysis
+//! flagged it as affected. *Satisfiable* yields a model: a fresh witness
+//! input on which the versions genuinely differ, usually more informative
+//! than the original solved input (the solver picks any point in the
+//! diverging region, not just the one DiSE's path condition happened to
+//! produce).
+//!
+//! The classification is per affected path: it covers the inputs in the
+//! overlap of the two executed paths. Inputs of the affected region
+//! outside the overlap are covered by the other affected paths' entries.
+
+use std::collections::BTreeMap;
+
+use dise_core::dise::{run_dise, DiseConfig};
+use dise_ir::ast::Program;
+use dise_solver::{SatResult, Solver, SymExpr, SymVar, VarPool};
+use dise_symexec::concolic::ConcolicExecutor;
+use dise_symexec::concrete::{ConcreteConfig, ConcreteOutcome};
+use dise_symexec::ValueEnv;
+
+use crate::inputs::{env_from_model, solve_inputs, SolveStats};
+use crate::witness::shared_globals;
+use crate::EvolutionError;
+
+/// Configuration of a differential summarization run.
+#[derive(Debug, Clone, Default)]
+pub struct DiffSumConfig {
+    /// Settings of the underlying DiSE run.
+    pub dise: DiseConfig,
+    /// Settings of the concolic replays.
+    pub concrete: ConcreteConfig,
+    /// Budget of the solver deciding effect equivalence. A starved budget
+    /// degrades verdicts to [`PathClass::Undecided`] — never to a wrong
+    /// `EffectPreserving`.
+    pub solver: dise_solver::SolverConfig,
+    /// Stop after this many affected path conditions (`None` = all).
+    pub max_paths: Option<usize>,
+}
+
+/// The classification of one affected path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathClass {
+    /// The two versions end differently on the original input (e.g., only
+    /// the modified version fails an assertion).
+    OutcomeDiverging {
+        /// Base version's outcome.
+        base: ConcreteOutcome,
+        /// Modified version's outcome.
+        modified: ConcreteOutcome,
+    },
+    /// Some shared global can end with different values: the solver found
+    /// an input in the overlap region where the versions disagree.
+    EffectDiverging {
+        /// The globals that can diverge.
+        vars: Vec<String>,
+        /// A solver-produced input demonstrating the divergence.
+        witness: ValueEnv,
+    },
+    /// Proven: on every input in the overlap of the two executed paths,
+    /// all shared globals end with identical values.
+    EffectPreserving,
+    /// The solver could not decide equivalence for this variable
+    /// (nonlinear constraints beyond its budget) — conservatively *not*
+    /// proven equivalent.
+    Undecided {
+        /// The first variable whose comparison came back unknown.
+        var: String,
+    },
+}
+
+impl PathClass {
+    /// `true` when the path demonstrably changes behaviour.
+    pub fn is_diverging(&self) -> bool {
+        matches!(
+            self,
+            PathClass::OutcomeDiverging { .. } | PathClass::EffectDiverging { .. }
+        )
+    }
+}
+
+/// One affected path condition with its classification.
+#[derive(Debug, Clone)]
+pub struct ClassifiedPath {
+    /// The affected path condition (rendered).
+    pub pc: String,
+    /// The input it was solved to.
+    pub input: ValueEnv,
+    /// The classification.
+    pub class: PathClass,
+}
+
+/// The result of a differential summarization run.
+#[derive(Debug, Clone)]
+pub struct DiffSummary {
+    /// The analyzed procedure.
+    pub proc_name: String,
+    /// One entry per solved affected path condition.
+    pub paths: Vec<ClassifiedPath>,
+    /// Solving counters.
+    pub solve_stats: SolveStats,
+}
+
+impl DiffSummary {
+    /// Number of paths proven effect-preserving.
+    pub fn preserving_count(&self) -> usize {
+        self.paths
+            .iter()
+            .filter(|p| p.class == PathClass::EffectPreserving)
+            .count()
+    }
+
+    /// Number of paths with demonstrated divergence (outcome or effect).
+    pub fn diverging_count(&self) -> usize {
+        self.paths.iter().filter(|p| p.class.is_diverging()).count()
+    }
+
+    /// Number of paths the solver could not decide.
+    pub fn undecided_count(&self) -> usize {
+        self.paths
+            .iter()
+            .filter(|p| matches!(p.class, PathClass::Undecided { .. }))
+            .count()
+    }
+
+    /// Renders the summary as indented text, one line per classified
+    /// path.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: {} affected path(s) — {} diverging, {} preserving, {} undecided\n",
+            self.proc_name,
+            self.paths.len(),
+            self.diverging_count(),
+            self.preserving_count(),
+            self.undecided_count(),
+        );
+        for path in &self.paths {
+            let verdict = match &path.class {
+                PathClass::EffectPreserving => "preserving".to_string(),
+                PathClass::Undecided { var } => format!("undecided on `{var}`"),
+                PathClass::OutcomeDiverging { base, modified } => {
+                    format!("outcome {base} -> {modified}")
+                }
+                PathClass::EffectDiverging { vars, witness } => format!(
+                    "diverges on {} (witness: {})",
+                    vars.join(", "),
+                    crate::inputs::render_env(witness)
+                ),
+            };
+            out.push_str(&format!("  {} : {verdict}\n", path.pc));
+        }
+        out
+    }
+}
+
+/// Runs DiSE on `base` → `modified` and classifies every affected path as
+/// effect-preserving or diverging.
+///
+/// # Errors
+///
+/// [`EvolutionError::Dise`] if the DiSE pipeline fails,
+/// [`EvolutionError::Exec`] if either version cannot be executed.
+pub fn classify_changes(
+    base: &Program,
+    modified: &Program,
+    proc_name: &str,
+    config: &DiffSumConfig,
+) -> Result<DiffSummary, EvolutionError> {
+    let result = run_dise(base, modified, proc_name, &config.dise)?;
+
+    let flat_base = crate::flatten(base, proc_name)?;
+    let flat_mod = crate::flatten(modified, proc_name)?;
+    let base_exec = ConcolicExecutor::new(flat_base.as_ref(), proc_name, config.concrete)?;
+    let mod_exec = ConcolicExecutor::new(flat_mod.as_ref(), proc_name, config.concrete)?;
+    let shared = shared_globals(flat_base.as_ref(), flat_mod.as_ref());
+    let alignment = Alignment::new(base_exec.inputs(), mod_exec.inputs());
+
+    let (solved, solve_stats) = solve_inputs(&result.summary);
+    let limit = config.max_paths.unwrap_or(usize::MAX);
+    let mut solver = Solver::with_config(config.solver);
+    let mut paths = Vec::new();
+    for item in solved.into_iter().take(limit) {
+        let base_run = base_exec.run(&item.env);
+        let mod_run = mod_exec.run(&item.env);
+
+        let class = if base_run.outcome != mod_run.outcome {
+            PathClass::OutcomeDiverging {
+                base: base_run.outcome.clone(),
+                modified: mod_run.outcome.clone(),
+            }
+        } else {
+            // Build the overlap region PC_b ∧ PC_m in the aligned
+            // namespace.
+            let mut region: Vec<SymExpr> = Vec::new();
+            for conjunct in base_run.pc.conjuncts() {
+                region.push(alignment.rename_base(conjunct));
+            }
+            for conjunct in mod_run.pc.conjuncts() {
+                region.push(alignment.rename_mod(conjunct));
+            }
+            classify_effects(
+                &mut solver,
+                &region,
+                &shared,
+                &base_run.final_env,
+                &mod_run.final_env,
+                &alignment,
+                &item.env,
+            )
+        };
+        paths.push(ClassifiedPath {
+            pc: item.pc,
+            input: item.env,
+            class,
+        });
+    }
+
+    Ok(DiffSummary {
+        proc_name: proc_name.to_string(),
+        paths,
+        solve_stats,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn classify_effects(
+    solver: &mut Solver,
+    region: &[SymExpr],
+    shared: &[String],
+    base_env: &dise_symexec::Env,
+    mod_env: &dise_symexec::Env,
+    alignment: &Alignment,
+    original_input: &ValueEnv,
+) -> PathClass {
+    let mut diverging = Vec::new();
+    let mut witness = None;
+    for name in shared {
+        let (Some(b), Some(m)) = (base_env.get(name), mod_env.get(name)) else {
+            continue;
+        };
+        if b.ty() != m.ty() {
+            // A type-changed global cannot be compared symbolically; the
+            // declaration change itself is already reported by the diff.
+            continue;
+        }
+        let b = alignment.rename_base(b);
+        let m = alignment.rename_mod(m);
+        let differs = SymExpr::ne(b, m);
+        match differs {
+            // Syntactically identical effects fold away — decided without
+            // the solver.
+            SymExpr::Bool(false) => continue,
+            // Constant-vs-constant effects fold to a definite divergence;
+            // the original input (which satisfies the whole region by
+            // construction) is already a witness.
+            SymExpr::Bool(true) => {
+                diverging.push(name.clone());
+                if witness.is_none() {
+                    witness = Some(original_input.clone());
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let mut constraints = region.to_vec();
+        constraints.push(differs);
+        let outcome = solver.check(&constraints);
+        match outcome.result() {
+            SatResult::Sat => {
+                diverging.push(name.clone());
+                if witness.is_none() {
+                    witness = outcome
+                        .model()
+                        .map(|model| env_from_model(&alignment.fresh_inputs, model));
+                }
+            }
+            SatResult::Unsat => {}
+            SatResult::Unknown => {
+                return PathClass::Undecided { var: name.clone() };
+            }
+        }
+    }
+    if diverging.is_empty() {
+        PathClass::EffectPreserving
+    } else {
+        PathClass::EffectDiverging {
+            vars: diverging,
+            witness: witness.unwrap_or_default(),
+        }
+    }
+}
+
+/// A shared symbolic namespace for two independently-allocated variable
+/// pools: base and modified inputs with the same program name (and type)
+/// map to one fresh variable, so constraints from both runs can be
+/// conjoined soundly.
+struct Alignment {
+    /// Program name → fresh variable, in base-then-mod declaration order.
+    fresh_inputs: Vec<(String, SymVar)>,
+    base_map: BTreeMap<u32, SymVar>,
+    mod_map: BTreeMap<u32, SymVar>,
+}
+
+impl Alignment {
+    fn new(base_inputs: &[(String, SymVar)], mod_inputs: &[(String, SymVar)]) -> Alignment {
+        let mut pool = VarPool::new();
+        let mut fresh_inputs: Vec<(String, SymVar)> = Vec::new();
+        let mut base_map = BTreeMap::new();
+        let mut mod_map = BTreeMap::new();
+        for (name, var) in base_inputs {
+            let fresh = pool.fresh(var.name(), var.ty());
+            base_map.insert(var.id(), fresh.clone());
+            fresh_inputs.push((name.clone(), fresh));
+        }
+        for (name, var) in mod_inputs {
+            let matching = fresh_inputs
+                .iter()
+                .find(|(n, f)| n == name && f.ty() == var.ty())
+                .map(|(_, f)| f.clone());
+            let fresh = match matching {
+                Some(fresh) => fresh,
+                None => {
+                    let fresh = pool.fresh(var.name(), var.ty());
+                    fresh_inputs.push((name.clone(), fresh.clone()));
+                    fresh
+                }
+            };
+            mod_map.insert(var.id(), fresh);
+        }
+        Alignment {
+            fresh_inputs,
+            base_map,
+            mod_map,
+        }
+    }
+
+    fn rename_base(&self, expr: &SymExpr) -> SymExpr {
+        rename(expr, &self.base_map)
+    }
+
+    fn rename_mod(&self, expr: &SymExpr) -> SymExpr {
+        rename(expr, &self.mod_map)
+    }
+}
+
+/// Rebuilds `expr` with every variable replaced per `map`, using the smart
+/// constructors (renaming is a bijection on variables, so any folding the
+/// constructors perform is sound).
+///
+/// # Panics
+///
+/// Panics if `expr` contains a variable absent from `map` — impossible for
+/// expressions produced by an executor whose inputs seeded the map.
+fn rename(expr: &SymExpr, map: &BTreeMap<u32, SymVar>) -> SymExpr {
+    match expr {
+        SymExpr::Int(v) => SymExpr::int(*v),
+        SymExpr::Bool(b) => SymExpr::boolean(*b),
+        SymExpr::Var(var) => {
+            let fresh = map
+                .get(&var.id())
+                .unwrap_or_else(|| panic!("variable {} missing from alignment", var.name()));
+            SymExpr::var(fresh)
+        }
+        SymExpr::Unary { op, arg } => SymExpr::unary(*op, rename(arg, map)),
+        SymExpr::Binary { op, lhs, rhs } => {
+            SymExpr::binary(*op, rename(lhs, map), rename(rhs, map))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_ir::parse_program;
+    use dise_solver::model::Value;
+
+    fn classify(base_src: &str, mod_src: &str, proc: &str) -> DiffSummary {
+        let base = parse_program(base_src).unwrap();
+        let modified = parse_program(mod_src).unwrap();
+        classify_changes(&base, &modified, proc, &DiffSumConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn semantically_equivalent_rewrite_is_proven_preserving() {
+        // `x + x` vs `2 * x` — every affected path is effect-preserving,
+        // and unlike the concrete witness check this is a *proof* over the
+        // whole overlap region.
+        let summary = classify(
+            "int out;
+             proc f(int x) { out = x + x; if (out > 10) { out = 0; } }",
+            "int out;
+             proc f(int x) { out = 2 * x; if (out > 10) { out = 0; } }",
+            "f",
+        );
+        assert!(!summary.paths.is_empty());
+        assert_eq!(summary.preserving_count(), summary.paths.len());
+        assert_eq!(summary.diverging_count(), 0);
+    }
+
+    #[test]
+    fn real_change_produces_a_solver_witness() {
+        let summary = classify(
+            "int out;
+             proc f(int x) { if (x > 0) { out = 1; } else { out = 2; } }",
+            "int out;
+             proc f(int x) { if (x >= 0) { out = 1; } else { out = 2; } }",
+            "f",
+        );
+        assert!(summary.diverging_count() >= 1);
+        let diverging = summary
+            .paths
+            .iter()
+            .find(|p| p.class.is_diverging())
+            .unwrap();
+        let PathClass::EffectDiverging { vars, witness } = &diverging.class else {
+            panic!("expected effect divergence, got {:?}", diverging.class);
+        };
+        assert_eq!(vars, &["out".to_string()]);
+        // The solver witness must lie in the diverging region: x = 0 is
+        // the only input where the versions differ on this path pair.
+        assert_eq!(witness.get("x"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn mixed_change_separates_diverging_from_preserving_arms() {
+        // Both arms change, but only the then-arm changes behaviour: the
+        // else-arm's `0 + 0` → `0 * 1` rewrite is semantically identity.
+        let summary = classify(
+            "int out;
+             proc f(int x) { if (x > 0) { out = x; } else { out = 0 + 0; } }",
+            "int out;
+             proc f(int x) { if (x > 0) { out = x + 1; } else { out = 0 * 1; } }",
+            "f",
+        );
+        assert!(summary.diverging_count() >= 1);
+        assert!(summary.preserving_count() >= 1);
+        assert_eq!(summary.undecided_count(), 0);
+    }
+
+    #[test]
+    fn introduced_assertion_failure_is_outcome_divergence() {
+        let summary = classify(
+            "proc f(int x) { assert(x < 100 || x >= 100); }",
+            "proc f(int x) { assert(x < 100); }",
+            "f",
+        );
+        assert!(summary
+            .paths
+            .iter()
+            .any(|p| matches!(&p.class, PathClass::OutcomeDiverging { base, modified }
+                if base.is_completed() && modified.is_failure())));
+    }
+
+    #[test]
+    fn constant_effects_diverge_without_the_solver() {
+        // Both versions write constants, so the comparison folds to a
+        // definite divergence and the original input doubles as the
+        // witness — even a zero-budget solver cannot stop this verdict.
+        let base = parse_program(
+            "int out;
+             proc f(int x) { if (x > 0) { out = 1; } else { out = 2; } }",
+        )
+        .unwrap();
+        let modified = parse_program(
+            "int out;
+             proc f(int x) { if (x > 0) { out = 9; } else { out = 2; } }",
+        )
+        .unwrap();
+        let config = DiffSumConfig {
+            solver: dise_solver::SolverConfig {
+                case_budget: 0,
+                ..dise_solver::SolverConfig::default()
+            },
+            ..DiffSumConfig::default()
+        };
+        let summary = classify_changes(&base, &modified, "f", &config).unwrap();
+        let diverging = summary
+            .paths
+            .iter()
+            .find(|p| p.class.is_diverging())
+            .expect("the constant change must diverge");
+        let PathClass::EffectDiverging { vars, witness } = &diverging.class else {
+            panic!("expected effect divergence");
+        };
+        assert_eq!(vars, &["out".to_string()]);
+        // The witness is the original solved input, which lies in the
+        // then-region.
+        assert!(matches!(witness.get("x"), Some(Value::Int(v)) if *v > 0));
+    }
+
+    #[test]
+    fn rename_aligns_independent_pools() {
+        let mut pool_a = VarPool::new();
+        let mut pool_b = VarPool::new();
+        let xa = pool_a.fresh("X", dise_solver::SymTy::Int);
+        let _pad = pool_b.fresh("PAD", dise_solver::SymTy::Int);
+        let xb = pool_b.fresh("X", dise_solver::SymTy::Int);
+        assert_ne!(xa.id(), xb.id());
+
+        let alignment = Alignment::new(
+            &[("x".to_string(), xa.clone())],
+            &[("pad".to_string(), _pad), ("x".to_string(), xb.clone())],
+        );
+        let ea = alignment.rename_base(&SymExpr::gt(SymExpr::var(&xa), SymExpr::int(0)));
+        let eb = alignment.rename_mod(&SymExpr::gt(SymExpr::var(&xb), SymExpr::int(0)));
+        assert_eq!(ea, eb, "same program name must align to one variable");
+    }
+
+    #[test]
+    fn type_changed_global_is_skipped_not_compared() {
+        let summary = classify(
+            "int flag;
+             proc f(int x) { if (x > 0) { flag = 1; } }",
+            "bool flag;
+             proc f(int x) { if (x >= 0) { flag = true; } }",
+            "f",
+        );
+        // No panic, and `flag` never appears as a diverging var.
+        for path in &summary.paths {
+            if let PathClass::EffectDiverging { vars, .. } = &path.class {
+                assert!(vars.iter().all(|v| v != "flag"));
+            }
+        }
+    }
+}

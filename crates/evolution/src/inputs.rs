@@ -1,0 +1,208 @@
+//! Turning symbolic summaries into concrete input environments.
+//!
+//! Every evolution application starts the same way: take the path
+//! conditions of a [`SymbolicSummary`] (full or DiSE-directed), solve each
+//! one, and read the model back as a concrete assignment to the
+//! procedure's symbolic inputs. Unlike the regression crate's test *call
+//! strings* (which, faithful to §5.2, only carry method arguments), these
+//! environments keep values for **all** symbolic inputs — including
+//! uninitialized globals — because the concrete executor needs the full
+//! entry state to replay a path.
+
+use dise_solver::{Solver, SymVar};
+use dise_symexec::{SymbolicSummary, ValueEnv};
+
+/// A solved path condition: the concrete entry state plus the rendered
+/// path condition it came from.
+#[derive(Debug, Clone)]
+pub struct SolvedInput {
+    /// Concrete values for every symbolic input constrained by the path
+    /// condition (unconstrained inputs are absent; the executors default
+    /// them to `0` / `false`).
+    pub env: ValueEnv,
+    /// The originating path condition, rendered.
+    pub pc: String,
+}
+
+/// Counters for one solving sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Path conditions processed.
+    pub path_conditions: usize,
+    /// Path conditions the solver could not re-solve (skipped).
+    pub unsolved: usize,
+}
+
+/// Solves every path condition of `summary` to a concrete input.
+///
+/// Summaries produced by this workspace's executor contain only feasible
+/// paths, so `unsolved` stays `0` in practice; it is reported for
+/// completeness (a solver budget too small to *re-solve* a feasible
+/// condition would show up here rather than panic).
+pub fn solve_inputs(summary: &SymbolicSummary) -> (Vec<SolvedInput>, SolveStats) {
+    let mut solver = Solver::new();
+    let mut stats = SolveStats::default();
+    let mut out = Vec::new();
+    for pc in summary.path_conditions() {
+        stats.path_conditions += 1;
+        let outcome = solver.check(pc.conjuncts());
+        let Some(model) = outcome.model() else {
+            stats.unsolved += 1;
+            continue;
+        };
+        out.push(SolvedInput {
+            env: env_from_model(summary.inputs(), model),
+            pc: pc.to_string(),
+        });
+    }
+    (out, stats)
+}
+
+/// Reads a model back as a concrete environment over the given inputs.
+/// Inputs the model leaves unassigned are omitted (executors apply the
+/// `0` / `false` default).
+pub fn env_from_model(inputs: &[(String, SymVar)], model: &dise_solver::Model) -> ValueEnv {
+    let mut env = ValueEnv::new();
+    for (name, var) in inputs {
+        if let Some(value) = model.value(var) {
+            env.insert(name.clone(), value);
+        }
+    }
+    env
+}
+
+/// Renders a concrete input environment as `name = value` pairs, sorted by
+/// name — the format the reports embed.
+pub fn render_env(env: &ValueEnv) -> String {
+    if env.is_empty() {
+        return "(any input)".to_string();
+    }
+    env.iter()
+        .map(|(name, value)| format!("{name} = {value}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Parses [`render_env`]'s format back into an environment, so witness
+/// inputs written to reports or files can be replayed later.
+///
+/// Accepts `name = value` pairs separated by commas; values are `true`,
+/// `false`, or a (possibly negative) 64-bit integer. The special form
+/// `(any input)` parses to the empty environment.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed pair.
+pub fn parse_env(text: &str) -> Result<ValueEnv, String> {
+    use dise_solver::model::Value;
+    let text = text.trim();
+    let mut env = ValueEnv::new();
+    if text.is_empty() || text == "(any input)" {
+        return Ok(env);
+    }
+    for pair in text.split(',') {
+        let Some((name, value)) = pair.split_once('=') else {
+            return Err(format!("expected `name = value`, found {pair:?}"));
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!("empty variable name in {pair:?}"));
+        }
+        let value = match value.trim() {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            number => Value::Int(
+                number
+                    .parse::<i64>()
+                    .map_err(|e| format!("bad value {number:?}: {e}"))?,
+            ),
+        };
+        env.insert(name.to_string(), value);
+    }
+    Ok(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_solver::model::Value;
+    use dise_symexec::{ExecConfig, Executor, FullExploration};
+
+    fn summary_of(src: &str, proc: &str) -> SymbolicSummary {
+        let program = dise_ir::parse_program(src).unwrap();
+        dise_ir::check_program(&program).unwrap();
+        let mut executor = Executor::new(&program, proc, ExecConfig::default()).unwrap();
+        executor.explore(&mut FullExploration)
+    }
+
+    #[test]
+    fn solves_every_feasible_path() {
+        let summary = summary_of(
+            "proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }",
+            "f",
+        );
+        let (inputs, stats) = solve_inputs(&summary);
+        assert_eq!(stats.path_conditions, 2);
+        assert_eq!(stats.unsolved, 0);
+        assert_eq!(inputs.len(), 2);
+        // One input is positive, the other is not.
+        let xs: Vec<i64> = inputs
+            .iter()
+            .map(|i| match i.env.get("x") {
+                Some(Value::Int(v)) => *v,
+                other => panic!("expected an int for x, got {other:?}"),
+            })
+            .collect();
+        assert!(xs.iter().any(|&x| x > 0));
+        assert!(xs.iter().any(|&x| x <= 0));
+    }
+
+    #[test]
+    fn globals_appear_in_solved_inputs() {
+        let summary = summary_of(
+            "int g;
+             proc f(int x) { if (g > 5) { x = 1; } }",
+            "f",
+        );
+        let (inputs, _) = solve_inputs(&summary);
+        assert!(inputs.iter().any(|i| matches!(
+            i.env.get("g"),
+            Some(Value::Int(v)) if *v > 5
+        )));
+    }
+
+    #[test]
+    fn render_env_is_sorted_and_readable() {
+        let mut env = ValueEnv::new();
+        env.insert("z".into(), Value::Int(3));
+        env.insert("a".into(), Value::Bool(true));
+        assert_eq!(render_env(&env), "a = true, z = 3");
+        assert_eq!(render_env(&ValueEnv::new()), "(any input)");
+    }
+
+    #[test]
+    fn env_round_trips_through_the_report_format() {
+        let mut env = ValueEnv::new();
+        env.insert("pedal".into(), Value::Int(-3));
+        env.insert("skid".into(), Value::Bool(true));
+        env.insert("auto".into(), Value::Bool(false));
+        let rendered = render_env(&env);
+        assert_eq!(parse_env(&rendered).unwrap(), env);
+        assert_eq!(parse_env("(any input)").unwrap(), ValueEnv::new());
+        assert_eq!(parse_env("").unwrap(), ValueEnv::new());
+    }
+
+    #[test]
+    fn parse_env_rejects_malformed_pairs() {
+        assert!(parse_env("x").unwrap_err().contains("name = value"));
+        assert!(parse_env("= 3").unwrap_err().contains("empty variable"));
+        assert!(parse_env("x = maybe").unwrap_err().contains("bad value"));
+    }
+
+    #[test]
+    fn pc_strings_accompany_inputs() {
+        let summary = summary_of("proc f(int x) { if (x == 7) { x = 0; } }", "f");
+        let (inputs, _) = solve_inputs(&summary);
+        assert!(inputs.iter().any(|i| i.pc.contains("X == 7")));
+    }
+}

@@ -1,0 +1,581 @@
+//! Spectrum-based fault localization over DiSE-derived test suites.
+//!
+//! When a change introduces a failure (an assertion violation in the
+//! modified version), the affected path conditions point at the inputs
+//! that can reach it. This module turns those inputs into a localization
+//! spectrum:
+//!
+//! 1. build a test suite — inputs solved from the base version's symbolic
+//!    summary (the "existing suite" of §5.2) plus inputs solved from
+//!    DiSE's affected path conditions (the "augmented" tests);
+//! 2. replay every input on the modified version with the concrete
+//!    executor, labelling runs *passing* (completed) or *failing*
+//!    (assertion failure);
+//! 3. from the per-run node traces, compute each CFG node's suspiciousness
+//!    with a standard spectrum formula (Ochiai, Tarantula, Jaccard, D*²)
+//!    and rank the nodes.
+//!
+//! The interesting measurement — reproduced by `dise-bench localize` — is
+//! that DiSE's *affected* inputs concentrate the spectrum on the changed
+//! code: the changed nodes rank near the top, with an EXAM score (fraction
+//! of the program inspected before reaching a changed node) far below the
+//! 50% a random inspection order would give.
+
+use std::collections::BTreeSet;
+
+use dise_cfg::{Cfg, NodeId};
+use dise_core::dise::{run_dise, run_full_on, DiseConfig};
+use dise_diff::CfgDiff;
+use dise_ir::ast::Program;
+use dise_ir::Span;
+use dise_symexec::concrete::{ConcreteConfig, ConcreteExecutor, ConcreteOutcome};
+use dise_symexec::ValueEnv;
+
+use crate::inputs::solve_inputs;
+use crate::EvolutionError;
+
+/// A suspiciousness formula over the four spectrum counters: `ef`/`ep` =
+/// failing/passing tests that executed the node, `nf`/`np` = failing/
+/// passing tests that did not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Formula {
+    /// `ef / sqrt((ef + nf) · (ef + ep))` — the usual default; best
+    /// general accuracy in the classic studies.
+    #[default]
+    Ochiai,
+    /// `(ef/F) / (ef/F + ep/P)`.
+    Tarantula,
+    /// `ef / (ef + nf + ep)`.
+    Jaccard,
+    /// `ef² / (ep + nf)` — D* with the customary exponent 2.
+    DStar2,
+}
+
+impl Formula {
+    /// Scores one node's counters. Returns `0.0` when the node was never
+    /// executed by a failing test (all four formulas agree there), and
+    /// caps the D* division-by-zero case at a large finite score so
+    /// ranking stays total.
+    pub fn score(self, ef: u32, ep: u32, nf: u32, np: u32) -> f64 {
+        let (ef, ep, nf, np) = (f64::from(ef), f64::from(ep), f64::from(nf), f64::from(np));
+        if ef == 0.0 {
+            return 0.0;
+        }
+        match self {
+            Formula::Ochiai => ef / ((ef + nf) * (ef + ep)).sqrt(),
+            Formula::Tarantula => {
+                let fail_rate = ef / (ef + nf);
+                let pass_total = ep + np;
+                let pass_rate = if pass_total == 0.0 { 0.0 } else { ep / pass_total };
+                fail_rate / (fail_rate + pass_rate)
+            }
+            Formula::Jaccard => ef / (ef + nf + ep),
+            Formula::DStar2 => {
+                let denom = ep + nf;
+                if denom == 0.0 {
+                    f64::from(u32::MAX) // executed by every failing test and no passing one
+                } else {
+                    ef * ef / denom
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Formula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Formula::Ochiai => f.write_str("ochiai"),
+            Formula::Tarantula => f.write_str("tarantula"),
+            Formula::Jaccard => f.write_str("jaccard"),
+            Formula::DStar2 => f.write_str("dstar2"),
+        }
+    }
+}
+
+/// One node with its spectrum counters and suspiciousness score.
+#[derive(Debug, Clone)]
+pub struct RankedNode {
+    /// The CFG node.
+    pub node: NodeId,
+    /// Rendered statement (the CFG node's display form).
+    pub label: String,
+    /// Source location of the originating statement.
+    pub span: Span,
+    /// Failing tests that executed the node.
+    pub exec_fail: u32,
+    /// Passing tests that executed the node.
+    pub exec_pass: u32,
+    /// The suspiciousness score.
+    pub score: f64,
+}
+
+/// The result of a localization run.
+#[derive(Debug, Clone)]
+pub struct LocalizeReport {
+    /// Nodes sorted by descending score (ties broken by node id).
+    pub ranking: Vec<RankedNode>,
+    /// Number of failing tests in the suite.
+    pub failing: usize,
+    /// Number of passing tests in the suite.
+    pub passing: usize,
+    /// The formula used.
+    pub formula: Formula,
+}
+
+impl LocalizeReport {
+    /// The worst-case 1-based rank of `node`: the number of nodes with a
+    /// score greater than or equal to its own (the standard tie-pessimistic
+    /// rank used for EXAM scores). `None` if the node is not in the
+    /// ranking.
+    pub fn rank_of(&self, node: NodeId) -> Option<usize> {
+        let score = self
+            .ranking
+            .iter()
+            .find(|r| r.node == node)
+            .map(|r| r.score)?;
+        Some(self.ranking.iter().filter(|r| r.score >= score).count())
+    }
+
+    /// The EXAM score of `node`: fraction of ranked nodes inspected before
+    /// reaching it under the worst-case rank. `None` if absent.
+    pub fn exam_score(&self, node: NodeId) -> Option<f64> {
+        let rank = self.rank_of(node)?;
+        if self.ranking.is_empty() {
+            return None;
+        }
+        Some(rank as f64 / self.ranking.len() as f64)
+    }
+
+    /// The highest-scored nodes (up to `k`).
+    pub fn top(&self, k: usize) -> &[RankedNode] {
+        &self.ranking[..k.min(self.ranking.len())]
+    }
+}
+
+/// Replays `tests` on `program`'s `proc_name` and ranks the procedure's
+/// CFG nodes by suspiciousness.
+///
+/// Runs that neither complete nor fail an assertion (assume violations,
+/// fuel exhaustion, arithmetic errors) are excluded from the spectrum —
+/// they are neither passing nor failing evidence.
+///
+/// # Errors
+///
+/// [`EvolutionError::Exec`] if the procedure cannot be executed.
+pub fn localize(
+    program: &Program,
+    proc_name: &str,
+    tests: &[ValueEnv],
+    formula: Formula,
+    concrete: ConcreteConfig,
+) -> Result<LocalizeReport, EvolutionError> {
+    let flat = crate::flatten(program, proc_name)?;
+    let executor = ConcreteExecutor::new(flat.as_ref(), proc_name, concrete)?;
+    let cfg = executor.cfg();
+
+    let mut failing = 0u32;
+    let mut passing = 0u32;
+    let mut exec_fail = vec![0u32; cfg.len()];
+    let mut exec_pass = vec![0u32; cfg.len()];
+    for input in tests {
+        let run = executor.run(input);
+        let counters = match run.outcome {
+            ConcreteOutcome::Completed => {
+                passing += 1;
+                &mut exec_pass
+            }
+            ConcreteOutcome::AssertionFailure(_) => {
+                failing += 1;
+                &mut exec_fail
+            }
+            _ => continue,
+        };
+        let mut seen = BTreeSet::new();
+        for &node in &run.trace {
+            if seen.insert(node) {
+                counters[node.0 as usize] += 1;
+            }
+        }
+    }
+
+    let mut ranking: Vec<RankedNode> = cfg
+        .node_ids()
+        .map(|node| {
+            let idx = node.0 as usize;
+            let ef = exec_fail[idx];
+            let ep = exec_pass[idx];
+            let payload = cfg.node(node);
+            RankedNode {
+                node,
+                label: payload.to_string(),
+                span: payload.span,
+                exec_fail: ef,
+                exec_pass: ep,
+                score: formula.score(ef, ep, failing - ef, passing - ep),
+            }
+        })
+        .collect();
+    ranking.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are never NaN")
+            .then(a.node.cmp(&b.node))
+    });
+
+    Ok(LocalizeReport {
+        ranking,
+        failing: failing as usize,
+        passing: passing as usize,
+        formula,
+    })
+}
+
+/// Configuration of an end-to-end change localization.
+#[derive(Debug, Clone, Default)]
+pub struct LocalizeConfig {
+    /// Settings of the underlying DiSE run.
+    pub dise: DiseConfig,
+    /// Settings of the concrete replays.
+    pub concrete: ConcreteConfig,
+    /// The spectrum formula.
+    pub formula: Formula,
+}
+
+/// The result of [`localize_change`].
+#[derive(Debug, Clone)]
+pub struct ChangeLocalization {
+    /// The spectrum ranking over the modified version's CFG.
+    pub report: LocalizeReport,
+    /// The changed/added nodes in the modified version's CFG (ground
+    /// truth).
+    pub changed_nodes: Vec<NodeId>,
+    /// The best (smallest) worst-case rank among the changed nodes.
+    pub best_changed_rank: Option<usize>,
+    /// EXAM score of the best-ranked changed node.
+    pub exam: Option<f64>,
+    /// Suite composition: tests reused from the base suite.
+    pub reused_tests: usize,
+    /// Suite composition: tests added from DiSE's affected path
+    /// conditions.
+    pub affected_tests: usize,
+}
+
+/// End-to-end change localization: builds the §5.2-style suite (base
+/// summary inputs + DiSE affected inputs), replays it on the modified
+/// version, and reports where the changed nodes rank.
+///
+/// # Errors
+///
+/// [`EvolutionError::Dise`] if the DiSE pipeline fails,
+/// [`EvolutionError::Exec`] if the modified version cannot be executed.
+pub fn localize_change(
+    base: &Program,
+    modified: &Program,
+    proc_name: &str,
+    config: &LocalizeConfig,
+) -> Result<ChangeLocalization, EvolutionError> {
+    // Existing suite: full symbolic execution of the base version.
+    let base_summary = run_full_on(base, proc_name, &config.dise)?;
+    let (base_inputs, _) = solve_inputs(&base_summary);
+    // Augmentation: DiSE's affected path conditions on the change.
+    let result = run_dise(base, modified, proc_name, &config.dise)?;
+    let (affected_inputs, _) = solve_inputs(&result.summary);
+
+    let mut tests: Vec<ValueEnv> = Vec::new();
+    let mut seen = BTreeSet::new();
+    for item in base_inputs.iter().chain(affected_inputs.iter()) {
+        if seen.insert(crate::inputs::render_env(&item.env)) {
+            tests.push(item.env.clone());
+        }
+    }
+
+    let report = localize(modified, proc_name, &tests, config.formula, config.concrete)?;
+
+    // Ground truth: the changed/added nodes of the modified CFG.
+    let flat_base = crate::flatten(base, proc_name)?;
+    let flat_mod = crate::flatten(modified, proc_name)?;
+    let (_, _, diff) = CfgDiff::from_programs(flat_base.as_ref(), flat_mod.as_ref(), proc_name)
+        .map_err(dise_core::dise::DiseError::from)
+        .map_err(EvolutionError::from)?;
+    let changed_nodes: Vec<NodeId> = diff.changed_or_added_mod().collect();
+    let best_changed_rank = changed_nodes
+        .iter()
+        .filter_map(|&n| report.rank_of(n))
+        .min();
+    let exam = changed_nodes
+        .iter()
+        .filter_map(|&n| report.exam_score(n))
+        .min_by(|a, b| a.partial_cmp(b).expect("EXAM scores are never NaN"));
+
+    Ok(ChangeLocalization {
+        report,
+        changed_nodes,
+        best_changed_rank,
+        exam,
+        reused_tests: base_inputs.len(),
+        affected_tests: affected_inputs.len(),
+    })
+}
+
+/// Renders a localization report as a text table (top `k` nodes).
+pub fn render_ranking(report: &LocalizeReport, cfg_hint: Option<&Cfg>, k: usize) -> String {
+    let _ = cfg_hint; // labels are already embedded; hint reserved for DOT overlays
+    let mut out = String::new();
+    out.push_str(&format!(
+        "spectrum: {} failing / {} passing tests, formula {}\n",
+        report.failing, report.passing, report.formula
+    ));
+    out.push_str("rank  score   ef  ep  node  statement\n");
+    for (i, r) in report.top(k).iter().enumerate() {
+        out.push_str(&format!(
+            "{:>4}  {:>6.3} {:>4} {:>3}  {:>4}  {}\n",
+            i + 1,
+            r.score,
+            r.exec_fail,
+            r.exec_pass,
+            r.node.0,
+            r.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_ir::parse_program;
+    use dise_solver::model::Value;
+
+    /// A base/mod pair where the change makes the assertion violable: the
+    /// mutated branch adds 100 instead of 10 when x > 5.
+    const BASE: &str = "int total;
+         proc f(int x) {
+           total = 0;
+           if (x > 5) { total = total + 10; } else { total = total + 1; }
+           if (x > 100) { total = total + 1; }
+           assert(total <= 50);
+         }";
+    const MODIFIED: &str = "int total;
+         proc f(int x) {
+           total = 0;
+           if (x > 5) { total = total + 100; } else { total = total + 1; }
+           if (x > 100) { total = total + 1; }
+           assert(total <= 50);
+         }";
+
+    #[test]
+    fn formulas_agree_on_never_failing_nodes() {
+        for formula in [
+            Formula::Ochiai,
+            Formula::Tarantula,
+            Formula::Jaccard,
+            Formula::DStar2,
+        ] {
+            assert_eq!(formula.score(0, 5, 3, 2), 0.0, "{formula}");
+        }
+    }
+
+    #[test]
+    fn ochiai_prefers_fail_only_nodes() {
+        let fail_only = Formula::Ochiai.score(3, 0, 0, 5);
+        let mixed = Formula::Ochiai.score(3, 5, 0, 0);
+        assert!(fail_only > mixed);
+        assert!((fail_only - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dstar2_caps_zero_denominator() {
+        let score = Formula::DStar2.score(4, 0, 0, 9);
+        assert!(score.is_finite());
+        assert!(score > Formula::DStar2.score(4, 1, 0, 9));
+    }
+
+    #[test]
+    fn localize_ranks_the_faulty_assignment_first() {
+        let modified = parse_program(MODIFIED).unwrap();
+        // Hand-built suite: one failing input (x > 5) and two passing.
+        let tests: Vec<ValueEnv> = [6i64, 0, 3]
+            .iter()
+            .map(|&x| {
+                let mut env = ValueEnv::new();
+                env.insert("x".to_string(), Value::Int(x));
+                env
+            })
+            .collect();
+        let report = localize(
+            &modified,
+            "f",
+            &tests,
+            Formula::Ochiai,
+            ConcreteConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.failing, 1);
+        assert_eq!(report.passing, 2);
+        // The faulty assignment `total = total + 100` must be among the
+        // top-scored nodes (score 1.0: executed by the failing test only).
+        let top = &report.ranking[0];
+        assert!((top.score - 1.0).abs() < 1e-9);
+        assert!(
+            report
+                .ranking
+                .iter()
+                .take_while(|r| (r.score - 1.0).abs() < 1e-9)
+                .any(|r| r.label.contains("total + 100")),
+            "faulty statement not in the top tie group:\n{}",
+            render_ranking(&report, None, 10)
+        );
+    }
+
+    #[test]
+    fn localize_change_end_to_end_ranks_changed_node_highly() {
+        let base = parse_program(BASE).unwrap();
+        let modified = parse_program(MODIFIED).unwrap();
+        let outcome =
+            localize_change(&base, &modified, "f", &LocalizeConfig::default()).unwrap();
+        assert!(outcome.report.failing > 0, "the change introduces failures");
+        assert!(!outcome.changed_nodes.is_empty());
+        let rank = outcome.best_changed_rank.expect("changed node is ranked");
+        // The changed node sits in the top tie group — well inside the
+        // first third of the ranking.
+        let exam = outcome.exam.unwrap();
+        assert!(
+            exam <= 0.34,
+            "changed node ranked too low: rank {rank}, EXAM {exam:.2}\n{}",
+            render_ranking(&outcome.report, None, 20)
+        );
+    }
+
+    #[test]
+    fn non_terminating_and_assume_runs_are_excluded() {
+        let program = parse_program(
+            "proc f(int x) {
+               assume(x >= 0);
+               while (x > 0) { x = x + 1; }
+               assert(x == 0);
+             }",
+        )
+        .unwrap();
+        let tests: Vec<ValueEnv> = [-1i64, 1, 0]
+            .iter()
+            .map(|&x| {
+                let mut env = ValueEnv::new();
+                env.insert("x".to_string(), Value::Int(x));
+                env
+            })
+            .collect();
+        let report = localize(
+            &program,
+            "f",
+            &tests,
+            Formula::Ochiai,
+            ConcreteConfig { fuel: 1_000 },
+        )
+        .unwrap();
+        // x = -1 violates the assume; x = 1 loops forever; only x = 0
+        // contributes (a passing run).
+        assert_eq!(report.failing, 0);
+        assert_eq!(report.passing, 1);
+    }
+
+    mod formula_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        const ALL: [Formula; 4] = [
+            Formula::Ochiai,
+            Formula::Tarantula,
+            Formula::Jaccard,
+            Formula::DStar2,
+        ];
+
+        proptest! {
+            /// Never executed by a failing test ⇒ score 0, for every
+            /// formula.
+            #[test]
+            fn zero_fail_coverage_scores_zero(ep in 0u32..50, nf in 0u32..50, np in 0u32..50) {
+                for formula in ALL {
+                    prop_assert_eq!(formula.score(0, ep, nf, np), 0.0);
+                }
+            }
+
+            /// Scores are finite and non-negative over the whole counter
+            /// space (D*'s zero-denominator case is capped, not infinite).
+            #[test]
+            fn scores_are_finite_and_non_negative(
+                ef in 0u32..50, ep in 0u32..50, nf in 0u32..50, np in 0u32..50,
+            ) {
+                for formula in ALL {
+                    let score = formula.score(ef, ep, nf, np);
+                    prop_assert!(score.is_finite(), "{formula}: {score}");
+                    prop_assert!(score >= 0.0, "{formula}: {score}");
+                }
+            }
+
+            /// Ochiai, Tarantula and Jaccard stay within [0, 1].
+            #[test]
+            fn normalized_formulas_stay_in_unit_interval(
+                ef in 0u32..50, ep in 0u32..50, nf in 0u32..50, np in 0u32..50,
+            ) {
+                for formula in [Formula::Ochiai, Formula::Tarantula, Formula::Jaccard] {
+                    let score = formula.score(ef, ep, nf, np);
+                    prop_assert!((0.0..=1.0).contains(&score), "{formula}: {score}");
+                }
+            }
+
+            /// More failing coverage never lowers suspiciousness (other
+            /// counters fixed; total failing tests grow with ef).
+            #[test]
+            fn monotone_in_failing_coverage(
+                ef in 0u32..49, ep in 0u32..50, nf in 0u32..50, np in 0u32..50,
+            ) {
+                for formula in ALL {
+                    let lo = formula.score(ef, ep, nf, np);
+                    let hi = formula.score(ef + 1, ep, nf, np);
+                    prop_assert!(hi >= lo, "{formula}: {hi} < {lo}");
+                }
+            }
+
+            /// More passing coverage never raises suspiciousness.
+            #[test]
+            fn antitone_in_passing_coverage(
+                ef in 0u32..50, ep in 0u32..49, nf in 0u32..50, np in 0u32..50,
+            ) {
+                for formula in ALL {
+                    let lo = formula.score(ef, ep + 1, nf, np);
+                    let hi = formula.score(ef, ep, nf, np);
+                    prop_assert!(hi >= lo, "{formula}: {hi} < {lo}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_is_tie_pessimistic() {
+        let modified = parse_program(MODIFIED).unwrap();
+        let tests: Vec<ValueEnv> = [6i64, 0]
+            .iter()
+            .map(|&x| {
+                let mut env = ValueEnv::new();
+                env.insert("x".to_string(), Value::Int(x));
+                env
+            })
+            .collect();
+        let report = localize(
+            &modified,
+            "f",
+            &tests,
+            Formula::Ochiai,
+            ConcreteConfig::default(),
+        )
+        .unwrap();
+        let top_score = report.ranking[0].score;
+        let ties = report
+            .ranking
+            .iter()
+            .filter(|r| (r.score - top_score).abs() < 1e-12)
+            .count();
+        assert_eq!(report.rank_of(report.ranking[0].node), Some(ties));
+    }
+}

@@ -1,0 +1,275 @@
+//! Change-impact documentation.
+//!
+//! "DiSE enables other program analysis techniques to efficiently perform
+//! software evolution tasks such as program documentation …" (§1). This
+//! module renders a self-contained Markdown report of a change: what
+//! changed, which locations the static analysis marks as affected, which
+//! path conditions characterize the affected behaviours (each with a
+//! concrete witness input), how the two versions behave on those inputs,
+//! and what the change means for an existing regression suite.
+//!
+//! The report consumes only the two program versions — the property the
+//! paper emphasizes ("only the source code for two related program
+//! versions is required", abstract).
+
+use std::fmt::Write as _;
+
+use dise_core::dise::{run_dise, run_full_on, DiseConfig};
+use dise_diff::CfgDiff;
+use dise_ir::ast::Program;
+use dise_regression::{generate_tests, select_and_augment};
+use dise_symexec::concrete::ConcreteConfig;
+
+use crate::inputs::render_env;
+use crate::witness::{find_witnesses, Divergence, WitnessConfig};
+use crate::EvolutionError;
+
+/// Configuration of an impact report.
+#[derive(Debug, Clone)]
+pub struct ImpactConfig {
+    /// Settings of the underlying DiSE run.
+    pub dise: DiseConfig,
+    /// Settings of the concrete replays backing the witness section.
+    pub concrete: ConcreteConfig,
+    /// Maximum number of affected path conditions listed verbatim.
+    pub max_pcs: usize,
+    /// Maximum number of diverging witnesses listed verbatim.
+    pub max_witnesses: usize,
+}
+
+impl Default for ImpactConfig {
+    fn default() -> Self {
+        ImpactConfig {
+            dise: DiseConfig::default(),
+            concrete: ConcreteConfig::default(),
+            max_pcs: 20,
+            max_witnesses: 10,
+        }
+    }
+}
+
+/// Renders the Markdown change-impact report for `proc_name` of
+/// `base` → `modified`.
+///
+/// # Errors
+///
+/// [`EvolutionError::Dise`] if the DiSE pipeline fails,
+/// [`EvolutionError::Exec`] if either version cannot be executed.
+pub fn impact_report(
+    base: &Program,
+    modified: &Program,
+    proc_name: &str,
+    config: &ImpactConfig,
+) -> Result<String, EvolutionError> {
+    let result = run_dise(base, modified, proc_name, &config.dise)?;
+
+    let flat_base = crate::flatten(base, proc_name)?;
+    let flat_mod = crate::flatten(modified, proc_name)?;
+    let (_, cfg_mod, diff) =
+        CfgDiff::from_programs(flat_base.as_ref(), flat_mod.as_ref(), proc_name)
+            .map_err(dise_core::dise::DiseError::from)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Change impact: `{proc_name}`\n");
+
+    // §1 — the change.
+    let _ = writeln!(out, "## Changed statements\n");
+    if diff.is_identical() {
+        let _ = writeln!(out, "No statement-level differences detected.\n");
+    } else {
+        for node in diff.changed_or_added_mod() {
+            let payload = cfg_mod.node(node);
+            let mark = if diff.added_mod().any(|n| n == node) {
+                "added"
+            } else {
+                "changed"
+            };
+            let _ = writeln!(
+                out,
+                "- line {}: `{}` ({mark})",
+                payload.span.line, payload
+            );
+        }
+        let removed: Vec<_> = diff.removed_base().collect();
+        if !removed.is_empty() {
+            let _ = writeln!(
+                out,
+                "- {} statement(s) removed from the base version",
+                removed.len()
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    // §2 — affected locations.
+    let _ = writeln!(out, "## Affected locations\n");
+    let _ = writeln!(
+        out,
+        "{} changed node(s) → {} affected node(s): {} affected conditional(s) (ACN), {} affected write(s) (AWN).\n",
+        result.changed_nodes,
+        result.affected_nodes,
+        result.affected.acn().len(),
+        result.affected.awn().len(),
+    );
+    for &node in result.affected.acn() {
+        let payload = cfg_mod.node(node);
+        let _ = writeln!(out, "- ACN {}: line {}, `{}`", node, payload.span.line, payload);
+    }
+    for &node in result.affected.awn() {
+        let payload = cfg_mod.node(node);
+        let _ = writeln!(out, "- AWN {}: line {}, `{}`", node, payload.span.line, payload);
+    }
+    let _ = writeln!(out);
+
+    // §3 — affected behaviours, with witnesses.
+    let witness_config = WitnessConfig {
+        dise: config.dise.clone(),
+        concrete: config.concrete,
+        max_paths: None,
+    };
+    let witnesses = find_witnesses(base, modified, proc_name, &witness_config)?;
+    let _ = writeln!(out, "## Affected path conditions\n");
+    let _ = writeln!(
+        out,
+        "DiSE generated {} affected path condition(s); {} replay(s) diverge between the versions, {} agree.\n",
+        witnesses.affected_pcs,
+        witnesses.diverging_count(),
+        witnesses.equivalent_count(),
+    );
+    for witness in witnesses.witnesses.iter().take(config.max_pcs) {
+        let _ = writeln!(out, "- `{}`", witness.pc);
+        let _ = writeln!(out, "  - witness input: {}", render_env(&witness.input));
+        match &witness.divergence {
+            Divergence::None => {
+                let _ = writeln!(out, "  - behaviour: identical on this input");
+            }
+            Divergence::Outcome { base, modified } => {
+                let _ = writeln!(
+                    out,
+                    "  - behaviour: base {base}, modified {modified} ⚠"
+                );
+            }
+            Divergence::Effect(diffs) => {
+                for d in diffs {
+                    let _ = writeln!(
+                        out,
+                        "  - behaviour: `{}` was {}, now {} ⚠",
+                        d.var, d.base, d.modified
+                    );
+                }
+            }
+        }
+    }
+    if witnesses.witnesses.len() > config.max_pcs {
+        let _ = writeln!(
+            out,
+            "- … {} more path condition(s) elided",
+            witnesses.witnesses.len() - config.max_pcs
+        );
+    }
+    let _ = writeln!(out);
+
+    // §4 — regression-suite impact (§5.2 of the paper).
+    let base_summary = run_full_on(base, proc_name, &config.dise)?;
+    let existing = generate_tests(flat_base.as_ref(), &base_summary);
+    let dise_tests = generate_tests(flat_mod.as_ref(), &result.summary);
+    let selection = select_and_augment(&existing, &dise_tests);
+    let _ = writeln!(out, "## Regression suite\n");
+    let _ = writeln!(
+        out,
+        "Existing suite: {} test(s). Selected for re-run: {}. New tests to add: {}. Total to execute: {} ({} would be run by re-test-all).\n",
+        existing.len(),
+        selection.selected.len(),
+        selection.added.len(),
+        selection.total(),
+        existing.len(),
+    );
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_ir::parse_program;
+
+    fn report(base_src: &str, mod_src: &str, proc: &str) -> String {
+        let base = parse_program(base_src).unwrap();
+        let modified = parse_program(mod_src).unwrap();
+        impact_report(&base, &modified, proc, &ImpactConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn report_has_all_sections() {
+        let text = report(
+            "int out;
+             proc f(int x) { if (x > 0) { out = 1; } else { out = 2; } }",
+            "int out;
+             proc f(int x) { if (x >= 0) { out = 1; } else { out = 2; } }",
+            "f",
+        );
+        for heading in [
+            "# Change impact: `f`",
+            "## Changed statements",
+            "## Affected locations",
+            "## Affected path conditions",
+            "## Regression suite",
+        ] {
+            assert!(text.contains(heading), "missing {heading:?} in:\n{text}");
+        }
+        // The changed condition appears with its line number.
+        assert!(text.contains("x >= 0"));
+        // The boundary divergence is called out.
+        assert!(text.contains("⚠"), "no divergence marker:\n{text}");
+    }
+
+    #[test]
+    fn identical_versions_report_no_differences() {
+        let src = "proc f(int x) { if (x > 0) { x = 1; } }";
+        let text = report(src, src, "f");
+        assert!(text.contains("No statement-level differences"));
+        assert!(text.contains("0 affected node(s)"));
+    }
+
+    #[test]
+    fn pc_listing_is_capped() {
+        // Two affected if/else blocks → 4 affected path conditions; cap
+        // the listing at 2.
+        let base = parse_program(
+            "int out;
+             proc f(int x, int y) {
+               if (x > 0) { out = 1; } else { out = 2; }
+               if (y > 0) { out = out + 2; } else { out = out + 3; }
+               assert(out >= 0);
+             }",
+        )
+        .unwrap();
+        let modified = parse_program(
+            "int out;
+             proc f(int x, int y) {
+               if (x >= 0) { out = 1; } else { out = 2; }
+               if (y > 0) { out = out + 2; } else { out = out + 3; }
+               assert(out >= 0);
+             }",
+        )
+        .unwrap();
+        let config = ImpactConfig {
+            max_pcs: 2,
+            ..ImpactConfig::default()
+        };
+        let text = impact_report(&base, &modified, "f", &config).unwrap();
+        assert!(text.contains("more path condition(s) elided"));
+    }
+
+    #[test]
+    fn regression_section_reports_selection_counts() {
+        let text = report(
+            "int out;
+             proc f(int x) { if (x > 0) { out = 1; } else { out = 2; } }",
+            "int out;
+             proc f(int x) { if (x >= 0) { out = 1; } else { out = 2; } }",
+            "f",
+        );
+        assert!(text.contains("Existing suite: 2 test(s)"));
+    }
+}

@@ -1,0 +1,667 @@
+//! Abstract syntax tree for the MJ language.
+//!
+//! Every node carries a [`Span`]. Two flavours of equality exist:
+//!
+//! * derived `PartialEq` compares spans too (useful in parser tests);
+//! * `syn_eq` methods compare *structure only*, ignoring spans — this is the
+//!   equality the differencing analysis uses to decide whether a statement
+//!   changed between program versions.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// The two MJ value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integers.
+    Int,
+    /// Booleans.
+    Bool,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Bool => f.write_str("bool"),
+        }
+    }
+}
+
+/// Binary operators, grouped by the type discipline they impose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` on integers.
+    Add,
+    /// `-` on integers.
+    Sub,
+    /// `*` on integers.
+    Mul,
+    /// `/` on integers (C-style truncating division).
+    Div,
+    /// `%` on integers (C-style remainder).
+    Rem,
+    /// `==` on either type (operands must agree).
+    Eq,
+    /// `!=` on either type (operands must agree).
+    Ne,
+    /// `<` on integers.
+    Lt,
+    /// `<=` on integers.
+    Le,
+    /// `>` on integers.
+    Gt,
+    /// `>=` on integers.
+    Ge,
+    /// `&&` on booleans.
+    And,
+    /// `||` on booleans.
+    Or,
+}
+
+impl BinOp {
+    /// Returns `true` for `+ - * / %`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
+    }
+
+    /// Returns `true` for `< <= > >=` (integer-only comparisons).
+    pub fn is_ordering(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// Returns `true` for `==` and `!=`.
+    pub fn is_equality(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne)
+    }
+
+    /// Returns `true` for `&&` and `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// The result type of the operator (given well-typed operands).
+    pub fn result_type(self) -> Type {
+        if self.is_arithmetic() {
+            Type::Int
+        } else {
+            Type::Bool
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negation `-`.
+    Neg,
+    /// Boolean negation `!`.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => f.write_str("-"),
+            UnOp::Not => f.write_str("!"),
+        }
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// The expression's shape.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The shape of an [`Expr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable read.
+    Var(String),
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Creates an expression with a dummy span.
+    pub fn new(kind: ExprKind) -> Self {
+        Expr {
+            kind,
+            span: Span::dummy(),
+        }
+    }
+
+    /// Creates an expression with an explicit span.
+    pub fn with_span(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Structural equality, ignoring spans.
+    pub fn syn_eq(&self, other: &Expr) -> bool {
+        match (&self.kind, &other.kind) {
+            (ExprKind::Int(a), ExprKind::Int(b)) => a == b,
+            (ExprKind::Bool(a), ExprKind::Bool(b)) => a == b,
+            (ExprKind::Var(a), ExprKind::Var(b)) => a == b,
+            (
+                ExprKind::Unary { op: oa, expr: ea },
+                ExprKind::Unary { op: ob, expr: eb },
+            ) => oa == ob && ea.syn_eq(eb),
+            (
+                ExprKind::Binary {
+                    op: oa,
+                    lhs: la,
+                    rhs: ra,
+                },
+                ExprKind::Binary {
+                    op: ob,
+                    lhs: lb,
+                    rhs: rb,
+                },
+            ) => oa == ob && la.syn_eq(lb) && ra.syn_eq(rb),
+            _ => false,
+        }
+    }
+
+    /// Collects the names of all variables read by this expression into
+    /// `out`, in left-to-right order (duplicates preserved).
+    pub fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match &self.kind {
+            ExprKind::Int(_) | ExprKind::Bool(_) => {}
+            ExprKind::Var(name) => out.push(name),
+            ExprKind::Unary { expr, .. } => expr.collect_vars(out),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+        }
+    }
+
+    /// Returns the set of distinct variable names read by this expression.
+    pub fn vars(&self) -> Vec<String> {
+        let mut raw = Vec::new();
+        self.collect_vars(&mut raw);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for v in raw {
+            if seen.insert(v) {
+                out.push(v.to_string());
+            }
+        }
+        out
+    }
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// The statement's shape.
+    pub kind: StmtKind,
+    /// Source location (for an `if`/`while`, the span of the header).
+    pub span: Span,
+}
+
+/// The shape of a [`Stmt`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// Local variable declaration with mandatory initializer:
+    /// `int x = e;`.
+    Decl {
+        /// Declared type.
+        ty: Type,
+        /// Variable name.
+        name: String,
+        /// Initial value.
+        init: Expr,
+    },
+    /// Assignment `x = e;`.
+    Assign {
+        /// Assigned variable.
+        name: String,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Conditional. `else_branch` is `None` for a bare `if`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Statements executed when the condition holds.
+        then_branch: Block,
+        /// Statements executed otherwise, if present.
+        else_branch: Option<Block>,
+    },
+    /// Loop `while (cond) { body }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `assert(cond);` — desugared by the CFG builder into a conditional
+    /// branch to an error node, mirroring Java's bytecode-level de-sugaring
+    /// discussed in §5.1 of the paper.
+    Assert {
+        /// Asserted condition.
+        cond: Expr,
+    },
+    /// `assume(cond);` — prunes paths where the condition is false.
+    Assume {
+        /// Assumed condition.
+        cond: Expr,
+    },
+    /// `skip;` — no effect.
+    Skip,
+    /// `return;` — jump to the procedure exit.
+    Return,
+    /// A (void) procedure call `callee(arg, …);`.
+    ///
+    /// Calls must be inlined ([`crate::inline`]) before CFG construction:
+    /// DiSE's analyses are intra-procedural (§3.2), so multi-procedure
+    /// programs are flattened into the analyzed procedure first — the
+    /// paper's stated future-work direction, realized here by bounded
+    /// inlining.
+    Call {
+        /// The called procedure's name.
+        callee: String,
+        /// Actual arguments, in order.
+        args: Vec<Expr>,
+    },
+}
+
+impl Stmt {
+    /// Creates a statement with a dummy span.
+    pub fn new(kind: StmtKind) -> Self {
+        Stmt {
+            kind,
+            span: Span::dummy(),
+        }
+    }
+
+    /// Creates a statement with an explicit span.
+    pub fn with_span(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+
+    /// Structural equality, ignoring spans, recursing into nested blocks.
+    pub fn syn_eq(&self, other: &Stmt) -> bool {
+        match (&self.kind, &other.kind) {
+            (
+                StmtKind::Decl {
+                    ty: ta,
+                    name: na,
+                    init: ia,
+                },
+                StmtKind::Decl {
+                    ty: tb,
+                    name: nb,
+                    init: ib,
+                },
+            ) => ta == tb && na == nb && ia.syn_eq(ib),
+            (
+                StmtKind::Assign {
+                    name: na,
+                    value: va,
+                },
+                StmtKind::Assign {
+                    name: nb,
+                    value: vb,
+                },
+            ) => na == nb && va.syn_eq(vb),
+            (
+                StmtKind::If {
+                    cond: ca,
+                    then_branch: ta,
+                    else_branch: ea,
+                },
+                StmtKind::If {
+                    cond: cb,
+                    then_branch: tb,
+                    else_branch: eb,
+                },
+            ) => {
+                ca.syn_eq(cb)
+                    && ta.syn_eq(tb)
+                    && match (ea, eb) {
+                        (None, None) => true,
+                        (Some(a), Some(b)) => a.syn_eq(b),
+                        _ => false,
+                    }
+            }
+            (
+                StmtKind::While { cond: ca, body: ba },
+                StmtKind::While { cond: cb, body: bb },
+            ) => ca.syn_eq(cb) && ba.syn_eq(bb),
+            (StmtKind::Assert { cond: a }, StmtKind::Assert { cond: b }) => a.syn_eq(b),
+            (StmtKind::Assume { cond: a }, StmtKind::Assume { cond: b }) => a.syn_eq(b),
+            (StmtKind::Skip, StmtKind::Skip) => true,
+            (StmtKind::Return, StmtKind::Return) => true,
+            (
+                StmtKind::Call {
+                    callee: ca,
+                    args: aa,
+                },
+                StmtKind::Call {
+                    callee: cb,
+                    args: ab,
+                },
+            ) => {
+                ca == cb
+                    && aa.len() == ab.len()
+                    && aa.iter().zip(ab).all(|(x, y)| x.syn_eq(y))
+            }
+            _ => false,
+        }
+    }
+
+    /// Structural equality of the statement *header only*: for compound
+    /// statements this compares just the condition, for simple statements it
+    /// is full [`Stmt::syn_eq`]. The differencing analysis uses this to match
+    /// an `if` whose body changed but whose condition did not.
+    pub fn header_eq(&self, other: &Stmt) -> bool {
+        match (&self.kind, &other.kind) {
+            (StmtKind::If { cond: ca, .. }, StmtKind::If { cond: cb, .. }) => ca.syn_eq(cb),
+            (StmtKind::While { cond: ca, .. }, StmtKind::While { cond: cb, .. }) => {
+                ca.syn_eq(cb)
+            }
+            _ => self.syn_eq(other),
+        }
+    }
+
+    /// Returns `true` for compound statements (`if`, `while`).
+    pub fn is_compound(&self) -> bool {
+        matches!(self.kind, StmtKind::If { .. } | StmtKind::While { .. })
+    }
+}
+
+/// A sequence of statements enclosed in braces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    /// The statements, in program order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Creates a block from statements.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Block { stmts }
+    }
+
+    /// Structural equality, ignoring spans.
+    pub fn syn_eq(&self, other: &Block) -> bool {
+        self.stmts.len() == other.stmts.len()
+            && self
+                .stmts
+                .iter()
+                .zip(&other.stmts)
+                .all(|(a, b)| a.syn_eq(b))
+    }
+
+    /// Total number of statements, including statements nested in compound
+    /// statements.
+    pub fn stmt_count(&self) -> usize {
+        let mut count = 0;
+        for stmt in &self.stmts {
+            count += 1;
+            match &stmt.kind {
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    count += then_branch.stmt_count();
+                    if let Some(e) = else_branch {
+                        count += e.stmt_count();
+                    }
+                }
+                StmtKind::While { body, .. } => count += body.stmt_count(),
+                _ => {}
+            }
+        }
+        count
+    }
+}
+
+/// A procedure parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A procedure definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Procedure name.
+    pub name: String,
+    /// Formal parameters (symbolic inputs during symbolic execution).
+    pub params: Vec<Param>,
+    /// The body.
+    pub body: Block,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+impl Procedure {
+    /// Structural equality, ignoring spans.
+    pub fn syn_eq(&self, other: &Procedure) -> bool {
+        self.name == other.name
+            && self.params.len() == other.params.len()
+            && self
+                .params
+                .iter()
+                .zip(&other.params)
+                .all(|(a, b)| a.ty == b.ty && a.name == b.name)
+            && self.body.syn_eq(&other.body)
+    }
+}
+
+/// A global variable declaration.
+///
+/// A global without an initializer (`int y;`) is a *symbolic input* during
+/// symbolic execution, mirroring how the paper's `testX` example treats the
+/// field `y`. A global with an initializer starts concrete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Declared type.
+    pub ty: Type,
+    /// Variable name.
+    pub name: String,
+    /// Concrete initial value, if any.
+    pub init: Option<Expr>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A complete MJ program: globals followed by procedures.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Global variable declarations.
+    pub globals: Vec<Global>,
+    /// Procedure definitions.
+    pub procs: Vec<Procedure>,
+}
+
+impl Program {
+    /// Looks up a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&Procedure> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Structural equality, ignoring spans.
+    pub fn syn_eq(&self, other: &Program) -> bool {
+        self.globals.len() == other.globals.len()
+            && self.globals.iter().zip(&other.globals).all(|(a, b)| {
+                a.ty == b.ty
+                    && a.name == b.name
+                    && match (&a.init, &b.init) {
+                        (None, None) => true,
+                        (Some(x), Some(y)) => x.syn_eq(y),
+                        _ => false,
+                    }
+            })
+            && self.procs.len() == other.procs.len()
+            && self
+                .procs
+                .iter()
+                .zip(&other.procs)
+                .all(|(a, b)| a.syn_eq(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str) -> Expr {
+        Expr::new(ExprKind::Var(name.to_string()))
+    }
+
+    fn int(v: i64) -> Expr {
+        Expr::new(ExprKind::Int(v))
+    }
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::new(ExprKind::Binary {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        })
+    }
+
+    #[test]
+    fn syn_eq_ignores_spans() {
+        let a = Expr::with_span(ExprKind::Int(1), Span::point(1, 1));
+        let b = Expr::with_span(ExprKind::Int(1), Span::point(9, 9));
+        assert!(a.syn_eq(&b));
+        assert_ne!(a, b); // derived equality sees the spans
+    }
+
+    #[test]
+    fn syn_eq_distinguishes_operators() {
+        let a = bin(BinOp::Eq, var("x"), int(0));
+        let b = bin(BinOp::Le, var("x"), int(0));
+        assert!(!a.syn_eq(&b));
+        assert!(a.syn_eq(&a.clone()));
+    }
+
+    #[test]
+    fn header_eq_matches_if_with_different_bodies() {
+        let cond = bin(BinOp::Gt, var("x"), int(0));
+        let a = Stmt::new(StmtKind::If {
+            cond: cond.clone(),
+            then_branch: Block::new(vec![Stmt::new(StmtKind::Skip)]),
+            else_branch: None,
+        });
+        let b = Stmt::new(StmtKind::If {
+            cond,
+            then_branch: Block::new(vec![Stmt::new(StmtKind::Return)]),
+            else_branch: None,
+        });
+        assert!(a.header_eq(&b));
+        assert!(!a.syn_eq(&b));
+    }
+
+    #[test]
+    fn expr_vars_are_deduplicated_in_order() {
+        let e = bin(BinOp::Add, bin(BinOp::Add, var("y"), var("x")), var("y"));
+        assert_eq!(e.vars(), vec!["y".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn stmt_count_recurses() {
+        let inner = Block::new(vec![Stmt::new(StmtKind::Skip), Stmt::new(StmtKind::Skip)]);
+        let outer = Block::new(vec![Stmt::new(StmtKind::If {
+            cond: var("b"),
+            then_branch: inner.clone(),
+            else_branch: Some(inner),
+        })]);
+        assert_eq!(outer.stmt_count(), 5);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Add.is_arithmetic());
+        assert!(BinOp::Lt.is_ordering());
+        assert!(BinOp::Eq.is_equality());
+        assert!(BinOp::And.is_logical());
+        assert_eq!(BinOp::Add.result_type(), Type::Int);
+        assert_eq!(BinOp::Lt.result_type(), Type::Bool);
+    }
+
+    #[test]
+    fn program_lookup() {
+        let program = Program {
+            globals: vec![Global {
+                ty: Type::Int,
+                name: "g".into(),
+                init: None,
+                span: Span::dummy(),
+            }],
+            procs: vec![Procedure {
+                name: "p".into(),
+                params: vec![],
+                body: Block::default(),
+                span: Span::dummy(),
+            }],
+        };
+        assert!(program.proc("p").is_some());
+        assert!(program.proc("q").is_none());
+        assert!(program.global("g").is_some());
+        assert!(program.global("h").is_none());
+    }
+}

@@ -1,0 +1,304 @@
+//! Programmatic AST construction.
+//!
+//! Two layers:
+//!
+//! * free functions ([`var`], [`int`], [`add`], [`le`], …) that build
+//!   expressions and statements with dummy spans — handy in tests and in the
+//!   random program generators used by the property tests;
+//! * [`ProgramBuilder`], a non-consuming builder assembling whole programs.
+//!
+//! # Examples
+//!
+//! ```
+//! use dise_ir::builder::{assign, add, gt, if_else, int, var, ProgramBuilder};
+//!
+//! let program = ProgramBuilder::new()
+//!     .global_int("y", None) // uninitialized global: symbolic input
+//!     .proc(
+//!         "testX",
+//!         [("x", dise_ir::Type::Int)],
+//!         vec![if_else(
+//!             gt(var("x"), int(0)),
+//!             vec![assign("y", add(var("y"), var("x")))],
+//!             vec![assign("y", dise_ir::builder::sub(var("y"), var("x")))],
+//!         )],
+//!     )
+//!     .build();
+//! assert!(dise_ir::check_program(&program).is_ok());
+//! ```
+
+use crate::ast::{
+    BinOp, Block, Expr, ExprKind, Global, Param, Procedure, Program, Stmt, StmtKind, Type, UnOp,
+};
+use crate::span::Span;
+
+/// Builds an integer literal expression.
+pub fn int(value: i64) -> Expr {
+    Expr::new(ExprKind::Int(value))
+}
+
+/// Builds a boolean literal expression.
+pub fn boolean(value: bool) -> Expr {
+    Expr::new(ExprKind::Bool(value))
+}
+
+/// Builds a variable-read expression.
+pub fn var(name: impl Into<String>) -> Expr {
+    Expr::new(ExprKind::Var(name.into()))
+}
+
+/// Builds a binary expression.
+pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::new(ExprKind::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    })
+}
+
+/// Builds a unary expression.
+pub fn unary(op: UnOp, expr: Expr) -> Expr {
+    Expr::new(ExprKind::Unary {
+        op,
+        expr: Box::new(expr),
+    })
+}
+
+macro_rules! binop_fns {
+    ($(#[$doc:meta] $name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $name(lhs: Expr, rhs: Expr) -> Expr {
+                binary(BinOp::$op, lhs, rhs)
+            }
+        )*
+    };
+}
+
+binop_fns! {
+    /// Builds `lhs + rhs`.
+    add => Add,
+    /// Builds `lhs - rhs`.
+    sub => Sub,
+    /// Builds `lhs * rhs`.
+    mul => Mul,
+    /// Builds `lhs / rhs`.
+    div => Div,
+    /// Builds `lhs % rhs`.
+    rem => Rem,
+    /// Builds `lhs == rhs`.
+    eq => Eq,
+    /// Builds `lhs != rhs`.
+    ne => Ne,
+    /// Builds `lhs < rhs`.
+    lt => Lt,
+    /// Builds `lhs <= rhs`.
+    le => Le,
+    /// Builds `lhs > rhs`.
+    gt => Gt,
+    /// Builds `lhs >= rhs`.
+    ge => Ge,
+    /// Builds `lhs && rhs`.
+    and => And,
+    /// Builds `lhs || rhs`.
+    or => Or,
+}
+
+/// Builds `-expr`.
+pub fn neg(expr: Expr) -> Expr {
+    unary(UnOp::Neg, expr)
+}
+
+/// Builds `!expr`.
+pub fn not(expr: Expr) -> Expr {
+    unary(UnOp::Not, expr)
+}
+
+/// Builds an assignment statement `name = value;`.
+pub fn assign(name: impl Into<String>, value: Expr) -> Stmt {
+    Stmt::new(StmtKind::Assign {
+        name: name.into(),
+        value,
+    })
+}
+
+/// Builds a local declaration `ty name = init;`.
+pub fn decl(ty: Type, name: impl Into<String>, init: Expr) -> Stmt {
+    Stmt::new(StmtKind::Decl {
+        ty,
+        name: name.into(),
+        init,
+    })
+}
+
+/// Builds a bare `if` statement.
+pub fn if_then(cond: Expr, then_branch: Vec<Stmt>) -> Stmt {
+    Stmt::new(StmtKind::If {
+        cond,
+        then_branch: Block::new(then_branch),
+        else_branch: None,
+    })
+}
+
+/// Builds an `if`/`else` statement.
+pub fn if_else(cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Stmt {
+    Stmt::new(StmtKind::If {
+        cond,
+        then_branch: Block::new(then_branch),
+        else_branch: Some(Block::new(else_branch)),
+    })
+}
+
+/// Builds a `while` loop.
+pub fn while_loop(cond: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::new(StmtKind::While {
+        cond,
+        body: Block::new(body),
+    })
+}
+
+/// Builds `assert(cond);`.
+pub fn assert_stmt(cond: Expr) -> Stmt {
+    Stmt::new(StmtKind::Assert { cond })
+}
+
+/// Builds `assume(cond);`.
+pub fn assume_stmt(cond: Expr) -> Stmt {
+    Stmt::new(StmtKind::Assume { cond })
+}
+
+/// Builds `skip;`.
+pub fn skip() -> Stmt {
+    Stmt::new(StmtKind::Skip)
+}
+
+/// Builds `return;`.
+pub fn ret() -> Stmt {
+    Stmt::new(StmtKind::Return)
+}
+
+/// Non-consuming builder for [`Program`] values.
+///
+/// See the [module documentation](self) for a complete example.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Adds an `int` global; `init` of `None` makes it a symbolic input.
+    pub fn global_int(&mut self, name: impl Into<String>, init: Option<i64>) -> &mut Self {
+        self.program.globals.push(Global {
+            ty: Type::Int,
+            name: name.into(),
+            init: init.map(int),
+            span: Span::dummy(),
+        });
+        self
+    }
+
+    /// Adds a `bool` global; `init` of `None` makes it a symbolic input.
+    pub fn global_bool(&mut self, name: impl Into<String>, init: Option<bool>) -> &mut Self {
+        self.program.globals.push(Global {
+            ty: Type::Bool,
+            name: name.into(),
+            init: init.map(boolean),
+            span: Span::dummy(),
+        });
+        self
+    }
+
+    /// Adds a procedure with the given parameters and body.
+    pub fn proc<'a>(
+        &mut self,
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = (&'a str, Type)>,
+        body: Vec<Stmt>,
+    ) -> &mut Self {
+        self.program.procs.push(Procedure {
+            name: name.into(),
+            params: params
+                .into_iter()
+                .map(|(name, ty)| Param {
+                    ty,
+                    name: name.to_string(),
+                    span: Span::dummy(),
+                })
+                .collect(),
+            body: Block::new(body),
+            span: Span::dummy(),
+        });
+        self
+    }
+
+    /// Finishes the build, returning the assembled program.
+    pub fn build(&self) -> Program {
+        self.program.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::pretty_program;
+    use crate::typeck::check_program;
+
+    #[test]
+    fn builder_produces_well_typed_program() {
+        let program = ProgramBuilder::new()
+            .global_int("g", Some(0))
+            .global_bool("flag", None)
+            .proc(
+                "f",
+                [("x", Type::Int)],
+                vec![
+                    decl(Type::Int, "t", add(var("x"), int(1))),
+                    if_else(
+                        and(var("flag"), gt(var("t"), int(0))),
+                        vec![assign("g", var("t"))],
+                        vec![assign("g", neg(var("t")))],
+                    ),
+                    while_loop(gt(var("g"), int(0)), vec![assign("g", sub(var("g"), int(1)))]),
+                    assert_stmt(le(var("g"), int(0))),
+                ],
+            )
+            .build();
+        check_program(&program).unwrap();
+    }
+
+    #[test]
+    fn built_program_pretty_prints_and_reparses() {
+        let program = ProgramBuilder::new()
+            .global_int("y", None)
+            .proc(
+                "testX",
+                [("x", Type::Int)],
+                vec![if_else(
+                    gt(var("x"), int(0)),
+                    vec![assign("y", add(var("y"), var("x")))],
+                    vec![assign("y", sub(var("y"), var("x")))],
+                )],
+            )
+            .build();
+        let printed = pretty_program(&program);
+        let reparsed = crate::parser::parse_program(&printed).unwrap();
+        assert!(program.syn_eq(&reparsed));
+    }
+
+    #[test]
+    fn helpers_build_expected_shapes() {
+        assert!(matches!(skip().kind, StmtKind::Skip));
+        assert!(matches!(ret().kind, StmtKind::Return));
+        assert!(matches!(assume_stmt(boolean(true)).kind, StmtKind::Assume { .. }));
+        let s = if_then(boolean(true), vec![skip()]);
+        let StmtKind::If { else_branch, .. } = &s.kind else {
+            panic!("expected if");
+        };
+        assert!(else_branch.is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Error types for parsing and type checking.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::span::Span;
+
+/// An error produced while lexing or parsing MJ source text.
+///
+/// # Examples
+///
+/// ```
+/// use dise_ir::parse_program;
+///
+/// let err = parse_program("proc p( {").unwrap_err();
+/// assert!(err.to_string().contains("expected"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates a parse error with a message and the offending location.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The human-readable description of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where in the source the error was detected.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// An error produced by the type checker.
+///
+/// # Examples
+///
+/// ```
+/// use dise_ir::{check_program, parse_program};
+///
+/// let program = parse_program("proc p(int x) { y = 1; }").unwrap();
+/// let err = check_program(&program).unwrap_err();
+/// assert!(err.to_string().contains("undeclared"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    message: String,
+    span: Span,
+}
+
+impl TypeError {
+    /// Creates a type error with a message and the offending location.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        TypeError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The human-readable description of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where in the source the error was detected.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for TypeError {}
+
+/// Any front-end error: either a [`ParseError`] or a [`TypeError`].
+///
+/// Returned by convenience entry points that parse and check in one call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// The source text failed to parse.
+    Parse(ParseError),
+    /// The program parsed but failed type checking.
+    Type(TypeError),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Parse(e) => e.fmt(f),
+            IrError::Type(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for IrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IrError::Parse(e) => Some(e),
+            IrError::Type(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for IrError {
+    fn from(e: ParseError) -> Self {
+        IrError::Parse(e)
+    }
+}
+
+impl From<TypeError> for IrError {
+    fn from(e: TypeError) -> Self {
+        IrError::Type(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display_includes_location() {
+        let e = ParseError::new("unexpected `}`", Span::point(4, 2));
+        assert_eq!(e.to_string(), "parse error at 4:2: unexpected `}`");
+        assert_eq!(e.message(), "unexpected `}`");
+        assert_eq!(e.span(), Span::point(4, 2));
+    }
+
+    #[test]
+    fn type_error_display_includes_location() {
+        let e = TypeError::new("undeclared variable `y`", Span::point(1, 8));
+        assert!(e.to_string().contains("1:8"));
+        assert!(e.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn ir_error_wraps_both() {
+        let p: IrError = ParseError::new("m", Span::dummy()).into();
+        let t: IrError = TypeError::new("m", Span::dummy()).into();
+        assert!(matches!(p, IrError::Parse(_)));
+        assert!(matches!(t, IrError::Type(_)));
+        assert!(Error::source(&p).is_some());
+        assert!(Error::source(&t).is_some());
+    }
+}

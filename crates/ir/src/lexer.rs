@@ -1,0 +1,373 @@
+//! Hand-written lexer for MJ source text.
+//!
+//! The lexer is total over arbitrary input: every byte sequence either lexes
+//! into a token stream terminated by [`TokenKind::Eof`] or produces a
+//! [`ParseError`] with the offending position. Line comments (`// ...`) and
+//! block comments (`/* ... */`, non-nesting) are skipped.
+
+use crate::error::ParseError;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `source` into a vector of tokens terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unknown characters, malformed operators
+/// (a bare `&` or `|`), integer literals that overflow `i64`, or unterminated
+/// block comments.
+///
+/// # Examples
+///
+/// ```
+/// use dise_ir::lexer::lex;
+/// use dise_ir::token::TokenKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tokens = lex("x <= 10")?;
+/// assert_eq!(tokens[1].kind, TokenKind::Le);
+/// assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'src> {
+    chars: Vec<char>,
+    src: std::marker::PhantomData<&'src str>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(source: &'src str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            src: std::marker::PhantomData,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn here(&self) -> (u32, u32) {
+        (self.line, self.col)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = self.here();
+            let Some(c) = self.peek() else {
+                tokens.push(Token::new(TokenKind::Eof, Span::point(line, col)));
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_digit() {
+                self.lex_int()?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.lex_word()
+            } else {
+                self.lex_operator()?
+            };
+            let (end_line, end_col) = self.here();
+            tokens.push(Token::new(kind, Span::new(line, col, end_line, end_col)));
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let (line, col) = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    Span::point(line, col),
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_int(&mut self) -> Result<TokenKind, ParseError> {
+        let (line, col) = self.here();
+        let mut value: i64 = 0;
+        while let Some(c) = self.peek() {
+            let Some(digit) = c.to_digit(10) else { break };
+            self.bump();
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(i64::from(digit)))
+                .ok_or_else(|| {
+                    ParseError::new("integer literal overflows i64", Span::point(line, col))
+                })?;
+        }
+        Ok(TokenKind::Int(value))
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::keyword(&word).unwrap_or(TokenKind::Ident(word))
+    }
+
+    fn lex_operator(&mut self) -> Result<TokenKind, ParseError> {
+        let (line, col) = self.here();
+        let c = self.bump().expect("caller checked peek");
+        let kind = match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            ';' => TokenKind::Semi,
+            ',' => TokenKind::Comma,
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '=' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(ParseError::new(
+                        "expected `&&` (MJ has no bitwise `&`)",
+                        Span::point(line, col),
+                    ));
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(ParseError::new(
+                        "expected `||` (MJ has no bitwise `|`)",
+                        Span::point(line, col),
+                    ));
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    Span::point(line, col),
+                ));
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        assert_eq!(
+            kinds("x = x + 1;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("x".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_compound_operators() {
+        assert_eq!(
+            kinds("< <= > >= == != = ! && ||"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Assign,
+                TokenKind::Bang,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert_eq!(
+            kinds("if iff"),
+            vec![TokenKind::KwIf, TokenKind::Ident("iff".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(
+            kinds("a // comment\n/* block\n comment */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[1].span.col, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.message().contains("unexpected character"));
+    }
+
+    #[test]
+    fn rejects_bare_ampersand_and_pipe() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_integer() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(err.message().contains("overflow"));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        let err = lex("/* never closed").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn max_i64_literal_is_accepted() {
+        assert_eq!(
+            kinds("9223372036854775807"),
+            vec![TokenKind::Int(i64::MAX), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_only_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        assert_eq!(
+            kinds("_x x_1"),
+            vec![
+                TokenKind::Ident("_x".into()),
+                TokenKind::Ident("x_1".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,739 @@
+//! Recursive-descent parser for MJ.
+//!
+//! The grammar (Java-flavoured, semicolon-terminated):
+//!
+//! ```text
+//! program  := (global | proc)*
+//! global   := type IDENT ("=" expr)? ";"
+//! proc     := "proc" IDENT "(" (param ("," param)*)? ")" block
+//! param    := type IDENT
+//! type     := "int" | "bool"
+//! block    := "{" stmt* "}"
+//! stmt     := type IDENT "=" expr ";"
+//!           | IDENT "=" expr ";"
+//!           | IDENT "(" (expr ("," expr)*)? ")" ";"
+//!           | "if" "(" expr ")" block ("else" (block | if-stmt))?
+//!           | "while" "(" expr ")" block
+//!           | "assert" "(" expr ")" ";"
+//!           | "assume" "(" expr ")" ";"
+//!           | "skip" ";"
+//!           | "return" ";"
+//! expr     := or
+//! or       := and ("||" and)*
+//! and      := cmp ("&&" cmp)*
+//! cmp      := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//! add      := mul (("+"|"-") mul)*
+//! mul      := unary (("*"|"/"|"%") unary)*
+//! unary    := ("-"|"!") unary | primary
+//! primary  := INT | "true" | "false" | IDENT | "(" expr ")"
+//! ```
+//!
+//! `else if` chains parse as nested `If` statements in the else block,
+//! exactly as the pretty-printer renders them, so parse∘pretty is the
+//! identity on ASTs (up to spans).
+
+use crate::ast::{
+    BinOp, Block, Expr, ExprKind, Global, Param, Procedure, Program, Stmt, StmtKind, Type, UnOp,
+};
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete MJ program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+///
+/// # Examples
+///
+/// ```
+/// use dise_ir::parse_program;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program("int g = 2; proc main(int x) { g = g + x; }")?;
+/// assert_eq!(p.globals.len(), 1);
+/// assert_eq!(p.procs.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    let program = parser.program()?;
+    parser.expect_eof()?;
+    Ok(program)
+}
+
+/// Parses a single expression (useful in tests and the REPL-style examples).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the text is not exactly one expression.
+///
+/// # Examples
+///
+/// ```
+/// use dise_ir::parse_expr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let e = parse_expr("x + 2 * y <= 10")?;
+/// assert_eq!(e.vars(), vec!["x".to_string(), "y".to_string()]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.expr()?;
+    parser.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            let found = self.peek();
+            Err(ParseError::new(
+                format!("expected `{kind}`, found {}", found.kind.describe()),
+                found.span,
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.at(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            let found = self.peek();
+            Err(ParseError::new(
+                format!("expected end of input, found {}", found.kind.describe()),
+                found.span,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let token = self.bump();
+                let TokenKind::Ident(name) = token.kind else {
+                    unreachable!("peeked an identifier");
+                };
+                Ok((name, token.span))
+            }
+            other => Err(ParseError::new(
+                format!("expected identifier, found {}", other.describe()),
+                self.peek().span,
+            )),
+        }
+    }
+
+    fn peek_type(&self) -> Option<Type> {
+        match self.peek().kind {
+            TokenKind::KwInt => Some(Type::Int),
+            TokenKind::KwBool => Some(Type::Bool),
+            _ => None,
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::default();
+        loop {
+            if self.at(&TokenKind::Eof) {
+                return Ok(program);
+            }
+            if self.at(&TokenKind::KwProc) {
+                program.procs.push(self.procedure()?);
+            } else if self.peek_type().is_some() {
+                program.globals.push(self.global()?);
+            } else {
+                let found = self.peek();
+                return Err(ParseError::new(
+                    format!(
+                        "expected `proc`, `int`, or `bool` at top level, found {}",
+                        found.kind.describe()
+                    ),
+                    found.span,
+                ));
+            }
+        }
+    }
+
+    fn global(&mut self) -> Result<Global, ParseError> {
+        let ty_token = self.bump();
+        let ty = match ty_token.kind {
+            TokenKind::KwInt => Type::Int,
+            TokenKind::KwBool => Type::Bool,
+            _ => unreachable!("caller checked peek_type"),
+        };
+        let (name, _) = self.expect_ident()?;
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::Semi)?;
+        Ok(Global {
+            ty,
+            name,
+            init,
+            span: ty_token.span.merge(end.span),
+        })
+    }
+
+    fn procedure(&mut self) -> Result<Procedure, ParseError> {
+        let kw = self.expect(&TokenKind::KwProc)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let close = self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Procedure {
+            name,
+            params,
+            body,
+            span: kw.span.merge(close.span),
+        })
+    }
+
+    fn param(&mut self) -> Result<Param, ParseError> {
+        let Some(ty) = self.peek_type() else {
+            let found = self.peek();
+            return Err(ParseError::new(
+                format!(
+                    "expected parameter type `int` or `bool`, found {}",
+                    found.kind.describe()
+                ),
+                found.span,
+            ));
+        };
+        let ty_token = self.bump();
+        let (name, name_span) = self.expect_ident()?;
+        Ok(Param {
+            ty,
+            name,
+            span: ty_token.span.merge(name_span),
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                let found = self.peek();
+                return Err(ParseError::new("unclosed block: expected `}`", found.span));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Block::new(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().kind {
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwWhile => self.while_stmt(),
+            TokenKind::KwAssert => self.assert_stmt(false),
+            TokenKind::KwAssume => self.assert_stmt(true),
+            TokenKind::KwSkip => {
+                let kw = self.bump();
+                let end = self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::with_span(StmtKind::Skip, kw.span.merge(end.span)))
+            }
+            TokenKind::KwReturn => {
+                let kw = self.bump();
+                let end = self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::with_span(StmtKind::Return, kw.span.merge(end.span)))
+            }
+            TokenKind::KwInt | TokenKind::KwBool => self.decl_stmt(),
+            TokenKind::Ident(_) => {
+                if self.peek2().kind == TokenKind::LParen {
+                    self.call_stmt()
+                } else {
+                    self.assign_stmt()
+                }
+            }
+            _ => {
+                let found = self.peek();
+                Err(ParseError::new(
+                    format!("expected a statement, found {}", found.kind.describe()),
+                    found.span,
+                ))
+            }
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let ty_token = self.bump();
+        let ty = match ty_token.kind {
+            TokenKind::KwInt => Type::Int,
+            TokenKind::KwBool => Type::Bool,
+            _ => unreachable!("caller checked for a type keyword"),
+        };
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let init = self.expr()?;
+        let end = self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::with_span(
+            StmtKind::Decl { ty, name, init },
+            ty_token.span.merge(end.span),
+        ))
+    }
+
+    fn assign_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let (name, name_span) = self.expect_ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let value = self.expr()?;
+        let end = self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::with_span(
+            StmtKind::Assign { name, value },
+            name_span.merge(end.span),
+        ))
+    }
+
+    fn call_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let (callee, callee_span) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let end = self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::with_span(
+            StmtKind::Call { callee, args },
+            callee_span.merge(end.span),
+        ))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let kw = self.expect(&TokenKind::KwIf)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        let close = self.expect(&TokenKind::RParen)?;
+        let then_branch = self.block()?;
+        let else_branch = if self.eat(&TokenKind::KwElse) {
+            if self.at(&TokenKind::KwIf) {
+                // `else if` sugar: a one-statement else block.
+                let nested = self.if_stmt()?;
+                Some(Block::new(vec![nested]))
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::with_span(
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            },
+            kw.span.merge(close.span),
+        ))
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let kw = self.expect(&TokenKind::KwWhile)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        let close = self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::with_span(
+            StmtKind::While { cond, body },
+            kw.span.merge(close.span),
+        ))
+    }
+
+    fn assert_stmt(&mut self, is_assume: bool) -> Result<Stmt, ParseError> {
+        let kw = self.bump();
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let end = self.expect(&TokenKind::Semi)?;
+        let kind = if is_assume {
+            StmtKind::Assume { cond }
+        } else {
+            StmtKind::Assert { cond }
+        };
+        Ok(Stmt::with_span(kind, kw.span.merge(end.span)))
+    }
+
+    pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(binary(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = binary(op, lhs, rhs);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = binary(op, lhs, rhs);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek().kind {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Bang => Some(UnOp::Not),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let op_token = self.bump();
+            let inner = self.unary_expr()?;
+            let span = op_token.span.merge(inner.span);
+            return Ok(Expr::with_span(
+                ExprKind::Unary {
+                    op,
+                    expr: Box::new(inner),
+                },
+                span,
+            ));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        let token = self.peek().clone();
+        match token.kind {
+            TokenKind::Int(value) => {
+                self.bump();
+                Ok(Expr::with_span(ExprKind::Int(value), token.span))
+            }
+            TokenKind::KwTrue => {
+                self.bump();
+                Ok(Expr::with_span(ExprKind::Bool(true), token.span))
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Ok(Expr::with_span(ExprKind::Bool(false), token.span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::with_span(ExprKind::Var(name), token.span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                let close = self.expect(&TokenKind::RParen)?;
+                Ok(Expr::with_span(inner.kind, token.span.merge(close.span)))
+            }
+            other => Err(ParseError::new(
+                format!("expected an expression, found {}", other.describe()),
+                token.span,
+            )),
+        }
+    }
+}
+
+fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    let span = lhs.span.merge(rhs.span);
+    Expr::with_span(
+        ExprKind::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        },
+        span,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_with_and_without_init() {
+        let p = parse_program("int a = 0; int b; bool c = true;").unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert!(p.globals[0].init.is_some());
+        assert!(p.globals[1].init.is_none());
+        assert_eq!(p.globals[2].ty, Type::Bool);
+    }
+
+    #[test]
+    fn parses_procedure_with_params() {
+        let p = parse_program("proc f(int x, bool b) { skip; }").unwrap();
+        let f = p.proc("f").unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "x");
+        assert_eq!(f.params[1].ty, Type::Bool);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        let ExprKind::Binary { op, rhs, .. } = &e.kind else {
+            panic!("expected binary expr");
+        };
+        assert_eq!(*op, BinOp::Add);
+        let ExprKind::Binary { op: inner, .. } = &rhs.kind else {
+            panic!("expected nested binary expr");
+        };
+        assert_eq!(*inner, BinOp::Mul);
+    }
+
+    #[test]
+    fn precedence_cmp_binds_tighter_than_and() {
+        let e = parse_expr("x < 1 && y > 2").unwrap();
+        let ExprKind::Binary { op, .. } = &e.kind else {
+            panic!("expected binary expr");
+        };
+        assert_eq!(*op, BinOp::And);
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let e = parse_expr("a && b || c").unwrap();
+        let ExprKind::Binary { op, lhs, .. } = &e.kind else {
+            panic!("expected binary expr");
+        };
+        assert_eq!(*op, BinOp::Or);
+        let ExprKind::Binary { op: inner, .. } = &lhs.kind else {
+            panic!("expected nested binary expr");
+        };
+        assert_eq!(*inner, BinOp::And);
+    }
+
+    #[test]
+    fn parses_else_if_chain_as_nested_if() {
+        let p = parse_program(
+            "proc f(int x) { if (x == 0) { skip; } else if (x == 1) { skip; } else { skip; } }",
+        )
+        .unwrap();
+        let StmtKind::If { else_branch, .. } = &p.procs[0].body.stmts[0].kind else {
+            panic!("expected if");
+        };
+        let else_block = else_branch.as_ref().unwrap();
+        assert_eq!(else_block.stmts.len(), 1);
+        assert!(matches!(else_block.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn parses_while_assert_assume_skip_return() {
+        let p = parse_program(
+            "proc f(int x) {
+               while (x > 0) { x = x - 1; }
+               assert(x == 0);
+               assume(x >= 0);
+               skip;
+               return;
+             }",
+        )
+        .unwrap();
+        let kinds: Vec<_> = p.procs[0].body.stmts.iter().map(|s| &s.kind).collect();
+        assert!(matches!(kinds[0], StmtKind::While { .. }));
+        assert!(matches!(kinds[1], StmtKind::Assert { .. }));
+        assert!(matches!(kinds[2], StmtKind::Assume { .. }));
+        assert!(matches!(kinds[3], StmtKind::Skip));
+        assert!(matches!(kinds[4], StmtKind::Return));
+    }
+
+    #[test]
+    fn local_decl_requires_initializer() {
+        assert!(parse_program("proc f() { int x; }").is_err());
+        assert!(parse_program("proc f() { int x = 3; }").is_ok());
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let e = parse_expr("--x").unwrap();
+        let ExprKind::Unary { op, expr } = &e.kind else {
+            panic!("expected unary");
+        };
+        assert_eq!(*op, UnOp::Neg);
+        assert!(matches!(expr.kind, ExprKind::Unary { .. }));
+        let not = parse_expr("!(a && b)").unwrap();
+        assert!(matches!(not.kind, ExprKind::Unary { op: UnOp::Not, .. }));
+    }
+
+    #[test]
+    fn statement_spans_record_source_lines() {
+        let p = parse_program("proc f(int x) {\n  x = 1;\n  x = 2;\n}").unwrap();
+        assert_eq!(p.procs[0].body.stmts[0].span.line, 2);
+        assert_eq!(p.procs[0].body.stmts[1].span.line, 3);
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse_program("proc f() { skip }").unwrap_err();
+        assert!(err.to_string().contains("expected `;`"));
+    }
+
+    #[test]
+    fn error_on_unclosed_block() {
+        let err = parse_program("proc f() { skip;").unwrap_err();
+        assert!(err.message().contains("unclosed block"));
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        let err = parse_program("proc f() { } }").unwrap_err();
+        assert!(err.message().contains("expected"));
+    }
+
+    #[test]
+    fn error_on_garbage_top_level() {
+        let err = parse_program("42").unwrap_err();
+        assert!(err.message().contains("top level"));
+    }
+
+    #[test]
+    fn parenthesized_expression_keeps_structure() {
+        let a = parse_expr("(1 + 2) * 3").unwrap();
+        let ExprKind::Binary { op, .. } = &a.kind else {
+            panic!("expected binary");
+        };
+        assert_eq!(*op, BinOp::Mul);
+    }
+
+    #[test]
+    fn parses_call_statements() {
+        let p = parse_program(
+            "proc helper(int a, bool b) { skip; }
+             proc main(int x) {
+               helper(x + 1, true);
+               helper(0, false);
+             }",
+        )
+        .unwrap();
+        let StmtKind::Call { callee, args } = &p.proc("main").unwrap().body.stmts[0].kind
+        else {
+            panic!("expected call");
+        };
+        assert_eq!(callee, "helper");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn parses_zero_argument_call() {
+        let p = parse_program("proc tick() { skip; } proc main() { tick(); }").unwrap();
+        assert!(matches!(
+            p.proc("main").unwrap().body.stmts[0].kind,
+            StmtKind::Call { .. }
+        ));
+    }
+
+    #[test]
+    fn call_requires_semicolon_and_close_paren() {
+        assert!(parse_program("proc main() { tick() }").is_err());
+        assert!(parse_program("proc main() { tick(; }").is_err());
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        // `a < b < c` is a type error in MJ, but syntactically it must fail
+        // to swallow the second `<` (cmp accepts at most one operator).
+        assert!(parse_expr("a < b < c").is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! Canonical pretty-printer.
+//!
+//! The printer emits fully parenthesized-where-needed source such that
+//! `parse_program(pretty(p))` reproduces `p` up to spans (verified by a
+//! property test in the umbrella crate). `else`-blocks containing exactly one
+//! `if` are rendered as `else if` chains, matching the parser's sugar.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Block, Expr, ExprKind, Procedure, Program, Stmt, StmtKind, UnOp};
+
+/// Renders a whole program as canonical MJ source.
+///
+/// # Examples
+///
+/// ```
+/// use dise_ir::{parse_program, pretty::pretty_program};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program("proc f(int x) { if (x>0) { x = x-1; } }")?;
+/// let text = pretty_program(&p);
+/// let reparsed = parse_program(&text)?;
+/// assert!(p.syn_eq(&reparsed));
+/// # Ok(())
+/// # }
+/// ```
+pub fn pretty_program(program: &Program) -> String {
+    let mut out = String::new();
+    for global in &program.globals {
+        let _ = write!(out, "{} {}", global.ty, global.name);
+        if let Some(init) = &global.init {
+            let _ = write!(out, " = {}", pretty_expr(init));
+        }
+        out.push_str(";\n");
+    }
+    if !program.globals.is_empty() && !program.procs.is_empty() {
+        out.push('\n');
+    }
+    for (i, procedure) in program.procs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        pretty_proc_into(procedure, &mut out);
+    }
+    out
+}
+
+/// Renders a single procedure as canonical MJ source.
+pub fn pretty_proc(procedure: &Procedure) -> String {
+    let mut out = String::new();
+    pretty_proc_into(procedure, &mut out);
+    out
+}
+
+fn pretty_proc_into(procedure: &Procedure, out: &mut String) {
+    let _ = write!(out, "proc {}(", procedure.name);
+    for (i, param) in procedure.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", param.ty, param.name);
+    }
+    out.push_str(") {\n");
+    pretty_block_into(&procedure.body, 1, out);
+    out.push_str("}\n");
+}
+
+/// Renders a statement (with trailing newline) at the given indent level.
+pub fn pretty_stmt(stmt: &Stmt, indent: usize) -> String {
+    let mut out = String::new();
+    pretty_stmt_into(stmt, indent, &mut out);
+    out
+}
+
+fn pretty_block_into(block: &Block, indent: usize, out: &mut String) {
+    for stmt in &block.stmts {
+        pretty_stmt_into(stmt, indent, out);
+    }
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn pretty_stmt_into(stmt: &Stmt, indent: usize, out: &mut String) {
+    push_indent(indent, out);
+    match &stmt.kind {
+        StmtKind::Decl { ty, name, init } => {
+            let _ = writeln!(out, "{ty} {name} = {};", pretty_expr(init));
+        }
+        StmtKind::Assign { name, value } => {
+            let _ = writeln!(out, "{name} = {};", pretty_expr(value));
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", pretty_expr(cond));
+            pretty_block_into(then_branch, indent + 1, out);
+            match else_branch {
+                None => {
+                    push_indent(indent, out);
+                    out.push_str("}\n");
+                }
+                Some(else_block) => {
+                    push_indent(indent, out);
+                    // Render `else { if ... }` with a single nested if as
+                    // `else if ...`, the form the parser produces.
+                    if else_block.stmts.len() == 1 {
+                        if let StmtKind::If { .. } = else_block.stmts[0].kind {
+                            out.push_str("} else ");
+                            let mut chained = String::new();
+                            pretty_stmt_into(&else_block.stmts[0], indent, &mut chained);
+                            // Drop the indent the nested call added.
+                            out.push_str(chained.trim_start());
+                            return;
+                        }
+                    }
+                    out.push_str("} else {\n");
+                    pretty_block_into(else_block, indent + 1, out);
+                    push_indent(indent, out);
+                    out.push_str("}\n");
+                }
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", pretty_expr(cond));
+            pretty_block_into(body, indent + 1, out);
+            push_indent(indent, out);
+            out.push_str("}\n");
+        }
+        StmtKind::Assert { cond } => {
+            let _ = writeln!(out, "assert({});", pretty_expr(cond));
+        }
+        StmtKind::Assume { cond } => {
+            let _ = writeln!(out, "assume({});", pretty_expr(cond));
+        }
+        StmtKind::Skip => out.push_str("skip;\n"),
+        StmtKind::Return => out.push_str("return;\n"),
+        StmtKind::Call { callee, args } => {
+            let rendered: Vec<String> = args.iter().map(pretty_expr).collect();
+            let _ = writeln!(out, "{callee}({});", rendered.join(", "));
+        }
+    }
+}
+
+/// Renders an expression with minimal parentheses.
+///
+/// # Examples
+///
+/// ```
+/// use dise_ir::{parse_expr, pretty::pretty_expr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// assert_eq!(pretty_expr(&parse_expr("(x + 1) * 2")?), "(x + 1) * 2");
+/// assert_eq!(pretty_expr(&parse_expr("x + 1 * 2")?), "x + 1 * 2");
+/// # Ok(())
+/// # }
+/// ```
+pub fn pretty_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(expr, 0, &mut out).expect("writing to String cannot fail");
+    out
+}
+
+/// Binding strength: higher binds tighter. Mirrors the parser's grammar
+/// levels (or < and < cmp < add < mul < unary).
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+    }
+}
+
+fn write_expr(expr: &Expr, min_prec: u8, out: &mut String) -> fmt::Result {
+    match &expr.kind {
+        ExprKind::Int(v) => {
+            if *v < 0 {
+                // Negative literals only arise from constant folding; they
+                // must re-parse as a unary negation, so parenthesize under
+                // tight contexts.
+                if min_prec >= 6 {
+                    write!(out, "({v})")
+                } else {
+                    write!(out, "{v}")
+                }
+            } else {
+                write!(out, "{v}")
+            }
+        }
+        ExprKind::Bool(b) => write!(out, "{b}"),
+        ExprKind::Var(name) => write!(out, "{name}"),
+        ExprKind::Unary { op, expr: inner } => {
+            match op {
+                UnOp::Neg => out.push('-'),
+                UnOp::Not => out.push('!'),
+            }
+            // Unary binds tighter than all binary operators (level 6).
+            write_expr(inner, 6, out)
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let prec = precedence(*op);
+            let needs_parens = prec < min_prec;
+            if needs_parens {
+                out.push('(');
+            }
+            // Left-associative: the left child may be at the same level, the
+            // right child must bind strictly tighter. Comparisons are
+            // non-associative, so both children must bind strictly tighter.
+            let (left_min, right_min) = if op.is_equality() || op.is_ordering() {
+                (prec + 1, prec + 1)
+            } else {
+                (prec, prec + 1)
+            };
+            write_expr(lhs, left_min, out)?;
+            write!(out, " {op} ")?;
+            write_expr(rhs, right_min, out)?;
+            if needs_parens {
+                out.push(')');
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn round_trip_expr(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        assert!(
+            e.syn_eq(&reparsed),
+            "round trip failed: {src} -> {printed}"
+        );
+    }
+
+    #[test]
+    fn expr_round_trips() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "a - b - c",
+            "a - (b - c)",
+            "-x + y",
+            "-(x + y)",
+            "!(a && b) || c",
+            "x / y % z",
+            "x % (y / z)",
+            "a == b && c != d",
+            "x <= 0",
+            "!!a",
+            "1 - -2",
+        ] {
+            round_trip_expr(src);
+        }
+    }
+
+    #[test]
+    fn associativity_is_preserved() {
+        assert_eq!(pretty_expr(&parse_expr("a - b - c").unwrap()), "a - b - c");
+        assert_eq!(
+            pretty_expr(&parse_expr("a - (b - c)").unwrap()),
+            "a - (b - c)"
+        );
+    }
+
+    #[test]
+    fn logical_precedence_round_trips() {
+        assert_eq!(
+            pretty_expr(&parse_expr("(a || b) && c").unwrap()),
+            "(a || b) && c"
+        );
+        assert_eq!(
+            pretty_expr(&parse_expr("a || b && c").unwrap()),
+            "a || b && c"
+        );
+    }
+
+    #[test]
+    fn program_round_trips() {
+        let src = "int AltPress = 0;
+int Meter = 2;
+
+proc update(int PedalPos, int BSwitch, int PedalCmd) {
+  if (PedalPos <= 0) {
+    PedalCmd = PedalCmd + 1;
+  } else if (PedalPos == 1) {
+    PedalCmd = PedalCmd + 2;
+  } else {
+    PedalCmd = PedalPos;
+  }
+  PedalCmd = PedalCmd + 1;
+  if (BSwitch == 0) {
+    Meter = 1;
+  } else if (BSwitch == 1) {
+    Meter = 2;
+  }
+  if (PedalCmd == 2) {
+    AltPress = 0;
+  } else if (PedalCmd == 3) {
+    AltPress = 25;
+  } else {
+    AltPress = 50;
+  }
+}
+";
+        let p = parse_program(src).unwrap();
+        let printed = pretty_program(&p);
+        let reparsed = parse_program(&printed).unwrap();
+        assert!(p.syn_eq(&reparsed));
+        // The canonical form is a fixed point of pretty-printing.
+        assert_eq!(printed, pretty_program(&reparsed));
+    }
+
+    #[test]
+    fn else_if_chains_stay_flat() {
+        let src = "proc f(int x) {
+  if (x == 0) {
+    skip;
+  } else if (x == 1) {
+    skip;
+  } else {
+    skip;
+  }
+}
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(pretty_program(&p), src);
+    }
+
+    #[test]
+    fn while_and_assert_print() {
+        let p = parse_program("proc f(int x) { while (x > 0) { x = x - 1; } assert(x == 0); }")
+            .unwrap();
+        let printed = pretty_program(&p);
+        assert!(printed.contains("while (x > 0) {"));
+        assert!(printed.contains("assert(x == 0);"));
+        assert!(p.syn_eq(&parse_program(&printed).unwrap()));
+    }
+
+    #[test]
+    fn call_statements_round_trip() {
+        let src = "proc helper(int a) {
+  skip;
+}
+
+proc main(int x) {
+  helper(x * 2);
+  helper(0);
+}
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(pretty_program(&p), src);
+        assert!(p.syn_eq(&parse_program(&pretty_program(&p)).unwrap()));
+    }
+
+    #[test]
+    fn negative_literal_reparses() {
+        use crate::ast::{Expr, ExprKind};
+        let e = Expr::new(ExprKind::Int(-5));
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        // -5 reparses as Neg(5); both evaluate identically, and printing the
+        // reparsed form must also parse.
+        let reprinted = pretty_expr(&reparsed);
+        assert!(parse_expr(&reprinted).is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Source positions.
+//!
+//! Every AST node carries a [`Span`] giving its line/column range in the
+//! original source. The differencing analysis ([`dise-diff`]) uses spans only
+//! for reporting; structural matching is span-insensitive.
+//!
+//! [`dise-diff`]: https://example.invalid/dise
+
+use std::fmt;
+
+/// A half-open region of source text identified by line/column coordinates.
+///
+/// Lines and columns are 1-based, matching what editors display. The dummy
+/// span ([`Span::dummy`]) is used for synthesized nodes (for example those
+/// produced by [`crate::builder::ProgramBuilder`]).
+///
+/// # Examples
+///
+/// ```
+/// use dise_ir::Span;
+///
+/// let span = Span::new(3, 5, 3, 12);
+/// assert_eq!(span.line, 3);
+/// assert_eq!(format!("{span}"), "3:5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// 1-based line of the first character, or 0 for synthesized nodes.
+    pub line: u32,
+    /// 1-based column of the first character, or 0 for synthesized nodes.
+    pub col: u32,
+    /// 1-based line of the last character.
+    pub end_line: u32,
+    /// 1-based column just past the last character.
+    pub end_col: u32,
+}
+
+impl Span {
+    /// Creates a span covering `line:col` through `end_line:end_col`.
+    pub fn new(line: u32, col: u32, end_line: u32, end_col: u32) -> Self {
+        Span {
+            line,
+            col,
+            end_line,
+            end_col,
+        }
+    }
+
+    /// Creates a zero-width span at a single position.
+    pub fn point(line: u32, col: u32) -> Self {
+        Span::new(line, col, line, col)
+    }
+
+    /// The span used for synthesized nodes with no source location.
+    pub fn dummy() -> Self {
+        Span::default()
+    }
+
+    /// Returns `true` if this span refers to no real source location.
+    pub fn is_dummy(&self) -> bool {
+        self.line == 0
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// Dummy spans are treated as identity elements.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        let (line, col) = if (self.line, self.col) <= (other.line, other.col) {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        let (end_line, end_col) =
+            if (self.end_line, self.end_col) >= (other.end_line, other.end_col) {
+                (self.end_line, self.end_col)
+            } else {
+                (other.end_line, other.end_col)
+            };
+        Span::new(line, col, end_line, end_col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dummy() {
+            write!(f, "<synthesized>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_span_is_dummy() {
+        assert!(Span::dummy().is_dummy());
+        assert!(!Span::point(1, 1).is_dummy());
+    }
+
+    #[test]
+    fn merge_takes_extremes() {
+        let a = Span::new(2, 4, 2, 9);
+        let b = Span::new(3, 1, 4, 2);
+        let m = a.merge(b);
+        assert_eq!(m, Span::new(2, 4, 4, 2));
+        // Merging is commutative.
+        assert_eq!(b.merge(a), m);
+    }
+
+    #[test]
+    fn merge_with_dummy_is_identity() {
+        let a = Span::new(5, 1, 5, 10);
+        assert_eq!(a.merge(Span::dummy()), a);
+        assert_eq!(Span::dummy().merge(a), a);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Span::point(7, 3)), "7:3");
+        assert_eq!(format!("{}", Span::dummy()), "<synthesized>");
+    }
+
+    #[test]
+    fn merge_overlapping_spans() {
+        let a = Span::new(1, 1, 3, 5);
+        let b = Span::new(2, 2, 2, 8);
+        assert_eq!(a.merge(b), Span::new(1, 1, 3, 5));
+    }
+}

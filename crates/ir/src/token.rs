@@ -1,0 +1,219 @@
+//! Lexical tokens of the MJ language.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexical token together with its source [`Span`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where the token appears in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token from its kind and span.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+/// The different kinds of MJ tokens.
+///
+/// Keywords are distinguished from identifiers during lexing; the parser
+/// never sees a keyword as an [`TokenKind::Ident`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal, e.g. `42`. Stored as `i64`; the lexer rejects
+    /// literals that overflow.
+    Int(i64),
+    /// An identifier, e.g. `PedalPos`.
+    Ident(String),
+
+    // Keywords.
+    /// `proc`
+    KwProc,
+    /// `int`
+    KwInt,
+    /// `bool`
+    KwBool,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `assert`
+    KwAssert,
+    /// `assume`
+    KwAssume,
+    /// `skip`
+    KwSkip,
+    /// `return`
+    KwReturn,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+
+    // Operators.
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+
+    /// End of input (always the final token produced by the lexer).
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `word`, if `word` is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "proc" => TokenKind::KwProc,
+            "int" => TokenKind::KwInt,
+            "bool" => TokenKind::KwBool,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "assert" => TokenKind::KwAssert,
+            "assume" => TokenKind::KwAssume,
+            "skip" => TokenKind::KwSkip,
+            "return" => TokenKind::KwReturn,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable description used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer literal `{n}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            TokenKind::Int(n) => return write!(f, "{n}"),
+            TokenKind::Ident(s) => return write!(f, "{s}"),
+            TokenKind::KwProc => "proc",
+            TokenKind::KwInt => "int",
+            TokenKind::KwBool => "bool",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwWhile => "while",
+            TokenKind::KwAssert => "assert",
+            TokenKind::KwAssume => "assume",
+            TokenKind::KwSkip => "skip",
+            TokenKind::KwReturn => "return",
+            TokenKind::KwTrue => "true",
+            TokenKind::KwFalse => "false",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Assign => "=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Bang => "!",
+            TokenKind::Eof => "<eof>",
+        };
+        f.write_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_recognized() {
+        assert_eq!(TokenKind::keyword("if"), Some(TokenKind::KwIf));
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("proc"), Some(TokenKind::KwProc));
+        assert_eq!(TokenKind::keyword("iff"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(TokenKind::Le.to_string(), "<=");
+        assert_eq!(TokenKind::AndAnd.to_string(), "&&");
+        assert_eq!(TokenKind::Int(17).to_string(), "17");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "x");
+    }
+
+    #[test]
+    fn describe_is_never_empty() {
+        for kind in [
+            TokenKind::Int(0),
+            TokenKind::Ident("v".into()),
+            TokenKind::Eof,
+            TokenKind::KwIf,
+            TokenKind::Le,
+        ] {
+            assert!(!kind.describe().is_empty());
+        }
+    }
+}

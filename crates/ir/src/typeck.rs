@@ -1,0 +1,453 @@
+//! Type checker for MJ programs.
+//!
+//! Checks, per procedure:
+//!
+//! * every variable read or written is a global, a parameter, or a local
+//!   declared earlier in scope;
+//! * no variable shadows another (a deliberate restriction: the DiSE
+//!   `Def`/`Use` maps of the paper are keyed by *name*, Definition 3.3);
+//! * operators are applied to operands of the right type;
+//! * `if`/`while`/`assert`/`assume` conditions are boolean;
+//! * assignments preserve the declared type.
+//!
+//! Locals declared inside a branch are scoped to that branch.
+
+use std::collections::HashMap;
+
+use crate::ast::{Block, Expr, ExprKind, Procedure, Program, Stmt, StmtKind, Type, UnOp};
+use crate::error::TypeError;
+
+/// The callable signatures visible while checking a procedure body.
+type Signatures = HashMap<String, Vec<Type>>;
+
+/// Checks a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found, with the offending location.
+///
+/// # Examples
+///
+/// ```
+/// use dise_ir::{check_program, parse_program};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program("int g = 1; proc f(int x) { g = g + x; }")?;
+/// check_program(&p)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_program(program: &Program) -> Result<(), TypeError> {
+    let mut globals = HashMap::new();
+    for global in &program.globals {
+        if globals.insert(global.name.clone(), global.ty).is_some() {
+            return Err(TypeError::new(
+                format!("duplicate global `{}`", global.name),
+                global.span,
+            ));
+        }
+        if let Some(init) = &global.init {
+            let ty = check_const_expr(init)?;
+            if ty != global.ty {
+                return Err(TypeError::new(
+                    format!(
+                        "global `{}` declared `{}` but initialized with `{}`",
+                        global.name, global.ty, ty
+                    ),
+                    init.span,
+                ));
+            }
+        }
+    }
+    let mut signatures: Signatures = HashMap::new();
+    for procedure in &program.procs {
+        let params = procedure.params.iter().map(|p| p.ty).collect();
+        if signatures.insert(procedure.name.clone(), params).is_some() {
+            return Err(TypeError::new(
+                format!("duplicate procedure `{}`", procedure.name),
+                procedure.span,
+            ));
+        }
+    }
+    for procedure in &program.procs {
+        check_procedure_with(&globals, &signatures, procedure)?;
+    }
+    Ok(())
+}
+
+/// Checks a single procedure against a global environment (no other
+/// procedures are callable).
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found.
+pub fn check_procedure(
+    globals: &HashMap<String, Type>,
+    procedure: &Procedure,
+) -> Result<(), TypeError> {
+    check_procedure_with(globals, &Signatures::new(), procedure)
+}
+
+fn check_procedure_with(
+    globals: &HashMap<String, Type>,
+    signatures: &Signatures,
+    procedure: &Procedure,
+) -> Result<(), TypeError> {
+    let mut env = Env::new(globals.clone());
+    for param in &procedure.params {
+        env.declare(&param.name, param.ty).map_err(|msg| {
+            TypeError::new(msg, param.span)
+        })?;
+    }
+    check_block(&mut env, signatures, &procedure.body)
+}
+
+/// Global initializers must be compile-time constants (no variable reads),
+/// mirroring Java field initializers in the paper's artifacts.
+fn check_const_expr(expr: &Expr) -> Result<Type, TypeError> {
+    if let Some(v) = expr.vars().first() {
+        return Err(TypeError::new(
+            format!("global initializer may not read variable `{v}`"),
+            expr.span,
+        ));
+    }
+    // No variables, so an empty environment suffices.
+    let env = Env::new(HashMap::new());
+    env.check_expr(expr)
+}
+
+struct Env {
+    globals: HashMap<String, Type>,
+    /// Lexical scopes of locals/params; the last entry is the innermost.
+    scopes: Vec<HashMap<String, Type>>,
+}
+
+impl Env {
+    fn new(globals: HashMap<String, Type>) -> Self {
+        Env {
+            globals,
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(ty) = scope.get(name) {
+                return Some(*ty);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) -> Result<(), String> {
+        if self.lookup(name).is_some() {
+            return Err(format!(
+                "`{name}` shadows an existing variable (MJ forbids shadowing; \
+                 the analysis Def/Use maps are keyed by name)"
+            ));
+        }
+        self.scopes
+            .last_mut()
+            .expect("environment always has a scope")
+            .insert(name.to_string(), ty);
+        Ok(())
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn check_expr(&self, expr: &Expr) -> Result<Type, TypeError> {
+        match &expr.kind {
+            ExprKind::Int(_) => Ok(Type::Int),
+            ExprKind::Bool(_) => Ok(Type::Bool),
+            ExprKind::Var(name) => self.lookup(name).ok_or_else(|| {
+                TypeError::new(format!("undeclared variable `{name}`"), expr.span)
+            }),
+            ExprKind::Unary { op, expr: inner } => {
+                let inner_ty = self.check_expr(inner)?;
+                let (want, result) = match op {
+                    UnOp::Neg => (Type::Int, Type::Int),
+                    UnOp::Not => (Type::Bool, Type::Bool),
+                };
+                if inner_ty != want {
+                    return Err(TypeError::new(
+                        format!("operator `{op}` expects `{want}`, found `{inner_ty}`"),
+                        expr.span,
+                    ));
+                }
+                Ok(result)
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs)?;
+                let rt = self.check_expr(rhs)?;
+                if op.is_arithmetic() || op.is_ordering() {
+                    if lt != Type::Int || rt != Type::Int {
+                        return Err(TypeError::new(
+                            format!("operator `{op}` expects integer operands"),
+                            expr.span,
+                        ));
+                    }
+                } else if op.is_logical() {
+                    if lt != Type::Bool || rt != Type::Bool {
+                        return Err(TypeError::new(
+                            format!("operator `{op}` expects boolean operands"),
+                            expr.span,
+                        ));
+                    }
+                } else if lt != rt {
+                    return Err(TypeError::new(
+                        format!("operator `{op}` expects operands of the same type"),
+                        expr.span,
+                    ));
+                }
+                Ok(op.result_type())
+            }
+        }
+    }
+}
+
+fn check_block(env: &mut Env, signatures: &Signatures, block: &Block) -> Result<(), TypeError> {
+    env.push_scope();
+    let result = block
+        .stmts
+        .iter()
+        .try_for_each(|stmt| check_stmt(env, signatures, stmt));
+    env.pop_scope();
+    result
+}
+
+fn check_stmt(env: &mut Env, signatures: &Signatures, stmt: &Stmt) -> Result<(), TypeError> {
+    match &stmt.kind {
+        StmtKind::Decl { ty, name, init } => {
+            let init_ty = env.check_expr(init)?;
+            if init_ty != *ty {
+                return Err(TypeError::new(
+                    format!("`{name}` declared `{ty}` but initialized with `{init_ty}`"),
+                    stmt.span,
+                ));
+            }
+            env.declare(name, *ty)
+                .map_err(|msg| TypeError::new(msg, stmt.span))
+        }
+        StmtKind::Assign { name, value } => {
+            let Some(var_ty) = env.lookup(name) else {
+                return Err(TypeError::new(
+                    format!("assignment to undeclared variable `{name}`"),
+                    stmt.span,
+                ));
+            };
+            let value_ty = env.check_expr(value)?;
+            if value_ty != var_ty {
+                return Err(TypeError::new(
+                    format!("cannot assign `{value_ty}` to `{name}: {var_ty}`"),
+                    stmt.span,
+                ));
+            }
+            Ok(())
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            expect_bool(env, cond)?;
+            check_block(env, signatures, then_branch)?;
+            if let Some(else_block) = else_branch {
+                check_block(env, signatures, else_block)?;
+            }
+            Ok(())
+        }
+        StmtKind::While { cond, body } => {
+            expect_bool(env, cond)?;
+            check_block(env, signatures, body)
+        }
+        StmtKind::Assert { cond } | StmtKind::Assume { cond } => expect_bool(env, cond),
+        StmtKind::Skip | StmtKind::Return => Ok(()),
+        StmtKind::Call { callee, args } => {
+            let Some(params) = signatures.get(callee) else {
+                return Err(TypeError::new(
+                    format!("call to undeclared procedure `{callee}`"),
+                    stmt.span,
+                ));
+            };
+            if params.len() != args.len() {
+                return Err(TypeError::new(
+                    format!(
+                        "`{callee}` expects {} argument(s), found {}",
+                        params.len(),
+                        args.len()
+                    ),
+                    stmt.span,
+                ));
+            }
+            for (expected, arg) in params.iter().zip(args) {
+                let found = env.check_expr(arg)?;
+                if found != *expected {
+                    return Err(TypeError::new(
+                        format!(
+                            "argument to `{callee}` has type `{found}`, expected `{expected}`"
+                        ),
+                        arg.span,
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn expect_bool(env: &Env, cond: &Expr) -> Result<(), TypeError> {
+    let ty = env.check_expr(cond)?;
+    if ty != Type::Bool {
+        return Err(TypeError::new(
+            format!("condition must be `bool`, found `{ty}`"),
+            cond.span,
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<(), TypeError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        check(
+            "int g = 0;
+             proc f(int x, bool b) {
+               int y = x + 1;
+               if (b && y > 0) { g = y; } else { g = -y; }
+               while (g > 0) { g = g - 1; }
+               assert(g <= 0);
+             }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_read() {
+        let err = check("proc f() { int x = y; }").unwrap_err();
+        assert!(err.message().contains("undeclared variable `y`"));
+    }
+
+    #[test]
+    fn rejects_undeclared_write() {
+        let err = check("proc f() { z = 1; }").unwrap_err();
+        assert!(err.message().contains("undeclared variable `z`"));
+    }
+
+    #[test]
+    fn rejects_shadowing() {
+        let err = check("int g = 0; proc f(int g) { skip; }").unwrap_err();
+        assert!(err.message().contains("shadows"));
+        let err = check("proc f(int x) { if (x > 0) { int x = 1; } }").unwrap_err();
+        assert!(err.message().contains("shadows"));
+    }
+
+    #[test]
+    fn branch_locals_are_scoped() {
+        // `y` declared in the then-branch is not visible afterwards.
+        let err = check("proc f(int x) { if (x > 0) { int y = 1; } x = y; }").unwrap_err();
+        assert!(err.message().contains("undeclared variable `y`"));
+    }
+
+    #[test]
+    fn sibling_branches_may_reuse_names() {
+        check("proc f(int x) { if (x > 0) { int y = 1; x = y; } else { int y = 2; x = y; } }")
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_bool_arithmetic() {
+        let err = check("proc f(bool b) { int x = b + 1; }").unwrap_err();
+        assert!(err.message().contains("integer operands"));
+    }
+
+    #[test]
+    fn rejects_int_condition() {
+        let err = check("proc f(int x) { if (x) { skip; } }").unwrap_err();
+        assert!(err.message().contains("must be `bool`"));
+    }
+
+    #[test]
+    fn rejects_mixed_equality() {
+        let err = check("proc f(int x, bool b) { assert(x == b); }").unwrap_err();
+        assert!(err.message().contains("same type"));
+    }
+
+    #[test]
+    fn bool_equality_is_allowed() {
+        check("proc f(bool a, bool b) { assert(a == b); assert(a != b); }").unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_assignment() {
+        let err = check("proc f(int x, bool b) { x = b; }").unwrap_err();
+        assert!(err.message().contains("cannot assign"));
+    }
+
+    #[test]
+    fn rejects_duplicate_global() {
+        let err = check("int g = 0; int g = 1; proc f() { skip; }").unwrap_err();
+        assert!(err.message().contains("duplicate global"));
+    }
+
+    #[test]
+    fn rejects_duplicate_procedure() {
+        let err = check("proc f() { skip; } proc f() { skip; }").unwrap_err();
+        assert!(err.message().contains("duplicate procedure"));
+    }
+
+    #[test]
+    fn rejects_variable_in_global_initializer() {
+        let err = check("int a = 0; int b = a; proc f() { skip; }").unwrap_err();
+        assert!(err.message().contains("may not read variable"));
+    }
+
+    #[test]
+    fn rejects_wrong_global_init_type() {
+        let err = check("bool b = 3; proc f() { skip; }").unwrap_err();
+        assert!(err.message().contains("initialized with"));
+    }
+
+    #[test]
+    fn uninitialized_global_is_fine() {
+        check("int y; proc f(int x) { y = y + x; }").unwrap();
+    }
+
+    #[test]
+    fn call_checking() {
+        assert!(check(
+            "proc helper(int a, bool b) { skip; } proc main(int x) { helper(x, true); }"
+        )
+        .is_ok());
+        let err = check("proc main(int x) { nothere(x); }").unwrap_err();
+        assert!(err.message().contains("undeclared procedure"));
+        let err =
+            check("proc helper(int a) { skip; } proc main(int x) { helper(x, x); }")
+                .unwrap_err();
+        assert!(err.message().contains("expects 1 argument"));
+        let err =
+            check("proc helper(int a) { skip; } proc main(bool b) { helper(b); }")
+                .unwrap_err();
+        assert!(err.message().contains("has type `bool`"));
+    }
+
+    #[test]
+    fn unary_operator_types() {
+        assert!(check("proc f(bool b) { int x = -1; bool c = !b; }").is_ok());
+        assert!(check("proc f(bool b) { int x = -b; }").is_err());
+        assert!(check("proc f(int x) { bool c = !x; }").is_err());
+    }
+}

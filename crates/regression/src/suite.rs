@@ -1,0 +1,141 @@
+//! Test suites: ordered, deduplicated sets of concrete test calls.
+//!
+//! The canonical representation of a test is its call string
+//! (`update(1, true, false)`), matching the paper's string-comparison
+//! methodology. Suites serialize to a plain line-based text format so the
+//! regression workflow can persist the old version's suite without any
+//! extra dependency.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A deduplicated set of test-call strings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TestSuite {
+    tests: BTreeSet<String>,
+}
+
+impl TestSuite {
+    /// An empty suite.
+    pub fn new() -> TestSuite {
+        TestSuite::default()
+    }
+
+    /// Inserts a test call. Returns `true` if it was new.
+    pub fn insert(&mut self, call: impl Into<String>) -> bool {
+        self.tests.insert(call.into())
+    }
+
+    /// Does the suite contain this exact call string?
+    pub fn contains(&self, call: &str) -> bool {
+        self.tests.contains(call)
+    }
+
+    /// Number of distinct tests.
+    pub fn len(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Returns `true` if the suite has no tests.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty()
+    }
+
+    /// Iterates over the calls in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.tests.iter().map(String::as_str)
+    }
+
+    /// Serializes to the line-based text format (one call per line).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for test in &self.tests {
+            out.push_str(test);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the line-based text format (blank lines ignored).
+    pub fn from_text(text: &str) -> TestSuite {
+        let mut suite = TestSuite::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if !line.is_empty() {
+                suite.insert(line);
+            }
+        }
+        suite
+    }
+}
+
+impl fmt::Display for TestSuite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+impl FromIterator<String> for TestSuite {
+    fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
+        let mut suite = TestSuite::new();
+        for call in iter {
+            suite.insert(call);
+        }
+        suite
+    }
+}
+
+impl Extend<String> for TestSuite {
+    fn extend<T: IntoIterator<Item = String>>(&mut self, iter: T) {
+        for call in iter {
+            self.insert(call);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut suite = TestSuite::new();
+        assert!(suite.insert("f(1)"));
+        assert!(!suite.insert("f(1)"));
+        assert_eq!(suite.len(), 1);
+        assert!(suite.contains("f(1)"));
+        assert!(!suite.contains("f(2)"));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let suite: TestSuite = ["f(2, true)", "f(1, false)"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        let text = suite.to_text();
+        assert_eq!(text, "f(1, false)\nf(2, true)\n"); // sorted
+        assert_eq!(TestSuite::from_text(&text), suite);
+    }
+
+    #[test]
+    fn from_text_skips_blank_lines() {
+        let suite = TestSuite::from_text("a()\n\n  \nb()\n");
+        assert_eq!(suite.len(), 2);
+    }
+
+    #[test]
+    fn display_matches_to_text() {
+        let mut suite = TestSuite::new();
+        suite.insert("g(0)");
+        assert_eq!(suite.to_string(), suite.to_text());
+    }
+
+    #[test]
+    fn extend_and_iter() {
+        let mut suite = TestSuite::new();
+        suite.extend(["x()".to_string(), "y()".to_string()]);
+        let collected: Vec<&str> = suite.iter().collect();
+        assert_eq!(collected, vec!["x()", "y()"]);
+    }
+}

@@ -1,0 +1,58 @@
+//! # dise-solver — symbolic expressions and constraint solving
+//!
+//! The paper's prototype delegates path-condition satisfiability to the
+//! Choco solver. This crate is the equivalent substrate, built from scratch:
+//!
+//! * [`sym`] — symbolic expressions ([`SymExpr`]) over typed symbolic
+//!   variables, with eagerly-folding smart constructors;
+//! * [`constraint`] — path conditions (conjunctions of boolean symbolic
+//!   expressions) as accumulated during symbolic execution;
+//! * [`linear`] — extraction of linear atoms `Σ cᵢ·xᵢ + k ⋈ 0`;
+//! * [`interval`] — interval constraint propagation (fast bounds and quick
+//!   unsatisfiability);
+//! * [`fm`] — Fourier–Motzkin elimination (sound UNSAT answers over the
+//!   integers; rational-SAT answers are confirmed by model search);
+//! * [`model`] — integer/boolean model construction by bounded backtracking
+//!   search over propagated intervals;
+//! * [`solve`] — the [`Solver`] facade: normalization, case splitting,
+//!   caching, statistics, and the SPF-compatible "unknown ⇒ unsat" policy
+//!   (§4.1 of the paper; configurable).
+//!
+//! Decision-procedure soundness contract:
+//!
+//! * [`SatResult::Unsat`] is only returned when the constraint system
+//!   provably has no integer/boolean solution;
+//! * [`SatResult::Sat`] is only returned together with a verified model;
+//! * everything else is [`SatResult::Unknown`], which the symbolic executor
+//!   maps according to its configured policy.
+//!
+//! # Examples
+//!
+//! ```
+//! use dise_solver::{Solver, SymExpr, SymTy, VarPool};
+//!
+//! let mut pool = VarPool::new();
+//! let x = pool.fresh("X", SymTy::Int);
+//! let constraint = SymExpr::gt(SymExpr::var(&x), SymExpr::int(0));
+//! let mut solver = Solver::new();
+//! let outcome = solver.check(std::slice::from_ref(&constraint));
+//! assert!(outcome.is_sat());
+//! let model = outcome.model().unwrap();
+//! assert!(model.int_value(&x).unwrap() > 0);
+//! ```
+
+pub mod constraint;
+pub mod fm;
+pub mod interval;
+pub mod linear;
+pub mod model;
+pub mod simplify;
+pub mod solve;
+pub mod sym;
+
+pub use constraint::PathCondition;
+pub use interval::Interval;
+pub use model::Model;
+pub use simplify::simplify_pc;
+pub use solve::{CheckOutcome, SatResult, Solver, SolverConfig, SolverStats};
+pub use sym::{SymExpr, SymTy, SymVar, VarPool};

@@ -1,0 +1,729 @@
+//! The [`Solver`] facade.
+//!
+//! Orchestrates the decision pipeline over a conjunction of boolean
+//! symbolic expressions (a path condition):
+//!
+//! 1. flatten conjunctions and push negations inward (NNF — the smart
+//!    constructors already keep comparisons in atom form);
+//! 2. split disjunctions and integer disequalities into *cases* (DNF) under
+//!    a budget;
+//! 3. per case: extract linear atoms, propagate intervals, substitute
+//!    equalities, run Fourier–Motzkin (sound UNSAT), and finally search for
+//!    an explicit integer/boolean model (sound SAT);
+//! 4. verify any model against the original constraints before reporting
+//!    [`SatResult::Sat`].
+//!
+//! Results are cached per constraint vector — symbolic execution re-checks
+//! many identical prefixes, which is where the cache pays off (the
+//! statistics report hit rates).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::fm::{eliminate, substitute_equalities, FmResult};
+use crate::interval::{propagate, PropagationResult};
+use crate::linear::{atomize_cmp, LinAtom};
+use crate::model::{search_model, Model, SearchConfig, Value};
+use crate::sym::{BinOp, SymExpr, SymTy, SymVar, UnOp};
+use crate::PathCondition;
+
+/// Three-valued satisfiability verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SatResult {
+    /// A verified model exists.
+    Sat,
+    /// Provably no solution.
+    Unsat,
+    /// The solver gave up (budget/overflow). The paper's prototype treats
+    /// this as unsatisfiable (§4.1); the executor applies that policy.
+    Unknown,
+}
+
+/// The result of a [`Solver::check`] call: the verdict plus a model when
+/// satisfiable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    result: SatResult,
+    model: Option<Model>,
+}
+
+impl CheckOutcome {
+    /// The verdict.
+    pub fn result(&self) -> SatResult {
+        self.result
+    }
+
+    /// `true` iff the verdict is [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        self.result == SatResult::Sat
+    }
+
+    /// `true` iff the verdict is [`SatResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        self.result == SatResult::Unsat
+    }
+
+    /// The verifying model (present exactly when satisfiable).
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    fn sat(model: Model) -> Self {
+        CheckOutcome {
+            result: SatResult::Sat,
+            model: Some(model),
+        }
+    }
+
+    fn unsat() -> Self {
+        CheckOutcome {
+            result: SatResult::Unsat,
+            model: None,
+        }
+    }
+
+    fn unknown() -> Self {
+        CheckOutcome {
+            result: SatResult::Unknown,
+            model: None,
+        }
+    }
+}
+
+/// Tuning knobs for the solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Maximum number of DNF cases explored per query.
+    pub case_budget: usize,
+    /// Model-search configuration.
+    pub search: SearchConfig,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            case_budget: 256,
+            search: SearchConfig::default(),
+        }
+    }
+}
+
+/// Counters describing solver activity (reported by the benchmark harness
+/// alongside the paper's time/state metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Total `check` calls.
+    pub checks: u64,
+    /// Calls answered from the cache.
+    pub cache_hits: u64,
+    /// Verdicts per kind.
+    pub sat: u64,
+    /// Provably-unsat verdicts.
+    pub unsat: u64,
+    /// Given-up verdicts.
+    pub unknown: u64,
+    /// Fourier–Motzkin runs.
+    pub fm_runs: u64,
+    /// Model searches attempted.
+    pub model_searches: u64,
+}
+
+/// The constraint solver: a caching decision procedure for path
+/// conditions. See the [module documentation](self) for the pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    config: SolverConfig,
+    cache: HashMap<Vec<SymExpr>, CheckOutcome>,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates a solver with default configuration.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Creates a solver with explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver {
+            config,
+            ..Solver::default()
+        }
+    }
+
+    /// Activity counters accumulated so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Clears the result cache (the statistics are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Checks a path condition.
+    pub fn check_pc(&mut self, pc: &PathCondition) -> CheckOutcome {
+        self.check(pc.conjuncts())
+    }
+
+    /// Checks the conjunction of `constraints`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dise_solver::{Solver, SymExpr, SymTy, VarPool};
+    ///
+    /// let mut pool = VarPool::new();
+    /// let x = pool.fresh("X", SymTy::Int);
+    /// let mut solver = Solver::new();
+    /// let c = [
+    ///     SymExpr::gt(SymExpr::var(&x), SymExpr::int(3)),
+    ///     SymExpr::lt(SymExpr::var(&x), SymExpr::int(3)),
+    /// ];
+    /// assert!(solver.check(&c).is_unsat());
+    /// ```
+    pub fn check(&mut self, constraints: &[SymExpr]) -> CheckOutcome {
+        self.stats.checks += 1;
+        let key: Vec<SymExpr> = constraints.to_vec();
+        if let Some(cached) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return cached.clone();
+        }
+        let outcome = self.check_uncached(constraints);
+        match outcome.result {
+            SatResult::Sat => self.stats.sat += 1,
+            SatResult::Unsat => self.stats.unsat += 1,
+            SatResult::Unknown => self.stats.unknown += 1,
+        }
+        self.cache.insert(key, outcome.clone());
+        outcome
+    }
+
+    fn check_uncached(&mut self, constraints: &[SymExpr]) -> CheckOutcome {
+        // 1. Flatten conjunctions, normalize negations.
+        let mut conjuncts = Vec::new();
+        for c in constraints {
+            if !flatten_conjunct(&nnf(c, true), &mut conjuncts) {
+                return CheckOutcome::unsat();
+            }
+        }
+
+        // 2. Case split.
+        let Some(cases) = expand_cases(&conjuncts, self.config.case_budget) else {
+            return CheckOutcome::unknown();
+        };
+
+        // 3. Decide each case.
+        let mut any_unknown = false;
+        for case in &cases {
+            match self.solve_case(case, constraints) {
+                CaseVerdict::Sat(model) => return CheckOutcome::sat(model),
+                CaseVerdict::Unsat => {}
+                CaseVerdict::Unknown => any_unknown = true,
+            }
+        }
+        if any_unknown {
+            CheckOutcome::unknown()
+        } else {
+            CheckOutcome::unsat()
+        }
+    }
+
+    fn solve_case(&mut self, case: &[SymExpr], originals: &[SymExpr]) -> CaseVerdict {
+        let mut lin: Vec<LinAtom> = Vec::new();
+        let mut residuals: Vec<SymExpr> = Vec::new();
+        let mut fixed = Model::new();
+        let mut vars: BTreeMap<u32, SymVar> = BTreeMap::new();
+
+        for atom in case {
+            atom.collect_vars(&mut vars);
+            match classify(atom) {
+                Classified::True => {}
+                Classified::False => return CaseVerdict::Unsat,
+                Classified::BoolAssign(var, value) => {
+                    match fixed.value(&var) {
+                        Some(Value::Bool(existing)) if existing != value => {
+                            return CaseVerdict::Unsat;
+                        }
+                        _ => fixed.set(var.id(), Value::Bool(value)),
+                    }
+                }
+                Classified::Linear(atom) => lin.push(atom),
+                Classified::Residual(expr) => residuals.push(expr),
+            }
+        }
+
+        // Interval propagation: quick unsat + bounds for the search.
+        let bounds = match propagate(&lin, &BTreeMap::new()) {
+            PropagationResult::Empty => return CaseVerdict::Unsat,
+            PropagationResult::Bounds(bounds) => bounds,
+        };
+
+        // Sound UNSAT via equality substitution + Fourier–Motzkin. UNSAT
+        // from the linear part alone is sound even with residual atoms (a
+        // residual can only constrain further) — but SAT is not, hence the
+        // model search.
+        self.stats.fm_runs += 1;
+        let substitution = substitute_equalities(lin.clone());
+        if let Some(sub) = &substitution {
+            if eliminate(&sub.atoms) == FmResult::Unsat {
+                return CaseVerdict::Unsat;
+            }
+        }
+
+        // Model search. When there are no residual atoms we can search the
+        // *reduced* system (fewer variables — coupled equalities are solved
+        // exactly) and back-substitute; residuals mention eliminated
+        // variables, so in their presence we search the original system.
+        self.stats.model_searches += 1;
+        let found = match (&substitution, residuals.is_empty()) {
+            (Some(sub), true) if !sub.eliminated.is_empty() => {
+                let surviving: BTreeMap<u32, SymVar> = vars
+                    .iter()
+                    .filter(|(id, _)| !sub.eliminated.iter().any(|(e, _)| e == *id))
+                    .map(|(id, v)| (*id, v.clone()))
+                    .collect();
+                search_model(
+                    &sub.atoms,
+                    &[],
+                    &surviving,
+                    &BTreeMap::new(),
+                    &fixed,
+                    &self.config.search,
+                )
+                .and_then(|model| {
+                    let mut assignment: BTreeMap<u32, i64> = model
+                        .iter()
+                        .filter_map(|(id, v)| match v {
+                            Value::Int(i) => Some((id, i)),
+                            Value::Bool(_) => None,
+                        })
+                        .collect();
+                    sub.back_solve(&mut assignment)?;
+                    let mut full = model;
+                    for (id, value) in assignment {
+                        full.set(id, Value::Int(value));
+                    }
+                    Some(full)
+                })
+            }
+            _ => search_model(
+                &lin,
+                &residuals,
+                &vars,
+                &bounds,
+                &fixed,
+                &self.config.search,
+            ),
+        };
+        match found {
+            Some(mut model) => {
+                // Default-fill variables that appear in the originals but
+                // not in this case (dropped `true` conjuncts, other
+                // disjuncts), then verify everything.
+                let mut all_vars = BTreeMap::new();
+                for c in originals {
+                    c.collect_vars(&mut all_vars);
+                }
+                for (id, var) in &all_vars {
+                    if model.value(var).is_none() {
+                        match var.ty() {
+                            SymTy::Int => model.set(*id, Value::Int(0)),
+                            SymTy::Bool => model.set(*id, Value::Bool(false)),
+                        }
+                    }
+                }
+                if originals.iter().all(|c| model.satisfies(c)) {
+                    CaseVerdict::Sat(model)
+                } else {
+                    CaseVerdict::Unknown
+                }
+            }
+            None => CaseVerdict::Unknown,
+        }
+    }
+}
+
+enum CaseVerdict {
+    Sat(Model),
+    Unsat,
+    Unknown,
+}
+
+/// Negation normal form: pushes `!` inward through `&&`/`||` (De Morgan)
+/// and flips comparisons. `positive == false` means "return NNF of !e".
+fn nnf(expr: &SymExpr, positive: bool) -> SymExpr {
+    match expr {
+        SymExpr::Unary {
+            op: UnOp::Not,
+            arg,
+        } => nnf(arg, !positive),
+        SymExpr::Binary { op, lhs, rhs } if *op == BinOp::And || *op == BinOp::Or => {
+            let flipped = match (op, positive) {
+                (BinOp::And, true) | (BinOp::Or, false) => BinOp::And,
+                _ => BinOp::Or,
+            };
+            SymExpr::binary(flipped, nnf(lhs, positive), nnf(rhs, positive))
+        }
+        other => {
+            if positive {
+                other.clone()
+            } else {
+                SymExpr::not(other.clone())
+            }
+        }
+    }
+}
+
+/// Flattens nested `&&` into `out`. Returns `false` on a literal `false`.
+fn flatten_conjunct(expr: &SymExpr, out: &mut Vec<SymExpr>) -> bool {
+    match expr {
+        SymExpr::Bool(true) => true,
+        SymExpr::Bool(false) => false,
+        SymExpr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => flatten_conjunct(lhs, out) && flatten_conjunct(rhs, out),
+        other => {
+            out.push(other.clone());
+            true
+        }
+    }
+}
+
+/// Expands disjunctions and integer disequalities into a bounded set of
+/// conjunction-only cases. Returns `None` if the budget is exceeded.
+fn expand_cases(conjuncts: &[SymExpr], budget: usize) -> Option<Vec<Vec<SymExpr>>> {
+    let mut cases: Vec<Vec<SymExpr>> = vec![Vec::new()];
+    for conjunct in conjuncts {
+        let alternatives = split_alternatives(conjunct);
+        let mut next = Vec::with_capacity(cases.len() * alternatives.len());
+        for case in &cases {
+            for alt in &alternatives {
+                let mut extended = case.clone();
+                let mut ok = true;
+                for atom in alt {
+                    ok &= flatten_conjunct(atom, &mut extended);
+                }
+                if ok {
+                    next.push(extended);
+                }
+                if next.len() > budget {
+                    return None;
+                }
+            }
+        }
+        cases = next;
+        if cases.is_empty() {
+            // Every alternative was literally false: represent one
+            // impossible case so the caller reports UNSAT.
+            return Some(vec![vec![SymExpr::boolean(false)]]);
+        }
+    }
+    Some(cases)
+}
+
+/// The alternative branches contributed by one conjunct: a disjunction
+/// splits, an integer `≠` becomes `<` or `>`, everything else is a single
+/// alternative.
+fn split_alternatives(expr: &SymExpr) -> Vec<Vec<SymExpr>> {
+    match expr {
+        SymExpr::Binary {
+            op: BinOp::Or,
+            lhs,
+            rhs,
+        } => {
+            let mut alts = split_alternatives(lhs);
+            alts.extend(split_alternatives(rhs));
+            alts
+        }
+        SymExpr::Binary {
+            op: BinOp::Ne,
+            lhs,
+            rhs,
+        } if lhs.ty() == SymTy::Int => {
+            vec![
+                vec![SymExpr::lt((**lhs).clone(), (**rhs).clone())],
+                vec![SymExpr::gt((**lhs).clone(), (**rhs).clone())],
+            ]
+        }
+        // A nested And below an Or: keep as one alternative, flattened by
+        // the caller.
+        other => vec![vec![other.clone()]],
+    }
+}
+
+enum Classified {
+    True,
+    False,
+    BoolAssign(SymVar, bool),
+    Linear(LinAtom),
+    Residual(SymExpr),
+}
+
+fn classify(atom: &SymExpr) -> Classified {
+    match atom {
+        SymExpr::Bool(true) => Classified::True,
+        SymExpr::Bool(false) => Classified::False,
+        SymExpr::Var(v) if v.ty() == SymTy::Bool => Classified::BoolAssign(v.clone(), true),
+        SymExpr::Unary {
+            op: UnOp::Not,
+            arg,
+        } => match &**arg {
+            SymExpr::Var(v) if v.ty() == SymTy::Bool => {
+                Classified::BoolAssign(v.clone(), false)
+            }
+            _ => Classified::Residual(atom.clone()),
+        },
+        SymExpr::Binary { op, lhs, rhs }
+            if (op.is_ordering() || *op == BinOp::Eq) && lhs.ty() == SymTy::Int =>
+        {
+            match atomize_cmp(*op, lhs, rhs) {
+                Some(lin) => Classified::Linear(lin),
+                None => Classified::Residual(atom.clone()),
+            }
+        }
+        _ => Classified::Residual(atom.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::VarPool;
+
+    fn setup() -> (VarPool, SymVar, SymVar, SymVar) {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("X", SymTy::Int);
+        let y = pool.fresh("Y", SymTy::Int);
+        let b = pool.fresh("B", SymTy::Bool);
+        (pool, x, y, b)
+    }
+
+    #[test]
+    fn trivial_truths() {
+        let mut solver = Solver::new();
+        assert!(solver.check(&[]).is_sat());
+        assert!(solver.check(&[SymExpr::boolean(true)]).is_sat());
+        assert!(solver.check(&[SymExpr::boolean(false)]).is_unsat());
+    }
+
+    #[test]
+    fn simple_range_is_sat_with_model() {
+        let (_, x, _, _) = setup();
+        let mut solver = Solver::new();
+        let outcome = solver.check(&[
+            SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)),
+            SymExpr::le(SymExpr::var(&x), SymExpr::int(3)),
+        ]);
+        assert!(outcome.is_sat());
+        let v = outcome.model().unwrap().int_value(&x).unwrap();
+        assert!(v > 0 && v <= 3);
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let (_, x, _, _) = setup();
+        let mut solver = Solver::new();
+        let outcome = solver.check(&[
+            SymExpr::eq(SymExpr::var(&x), SymExpr::int(2)),
+            SymExpr::eq(SymExpr::var(&x), SymExpr::int(3)),
+        ]);
+        assert!(outcome.is_unsat());
+    }
+
+    #[test]
+    fn integer_gap_is_unsat() {
+        let (_, x, _, _) = setup();
+        // x > 2 ∧ x < 3 has a rational solution but no integer one;
+        // interval propagation catches the gap.
+        let mut solver = Solver::new();
+        let outcome = solver.check(&[
+            SymExpr::gt(SymExpr::var(&x), SymExpr::int(2)),
+            SymExpr::lt(SymExpr::var(&x), SymExpr::int(3)),
+        ]);
+        assert!(outcome.is_unsat());
+    }
+
+    #[test]
+    fn disequality_splits() {
+        let (_, x, _, _) = setup();
+        let mut solver = Solver::new();
+        // x ≠ 0 ∧ x ≥ 0 ⇒ x > 0
+        let outcome = solver.check(&[
+            SymExpr::Binary {
+                op: BinOp::Ne,
+                lhs: SymExpr::var(&x).into(),
+                rhs: SymExpr::int(0).into(),
+            },
+            SymExpr::ge(SymExpr::var(&x), SymExpr::int(0)),
+        ]);
+        assert!(outcome.is_sat());
+        assert!(outcome.model().unwrap().int_value(&x).unwrap() > 0);
+    }
+
+    #[test]
+    fn disjunction_explores_both_branches() {
+        let (_, x, _, _) = setup();
+        let mut solver = Solver::new();
+        // (x < -5 || x > 5) ∧ x ≥ 0 ⇒ x > 5
+        let outcome = solver.check(&[
+            SymExpr::or(
+                SymExpr::lt(SymExpr::var(&x), SymExpr::int(-5)),
+                SymExpr::gt(SymExpr::var(&x), SymExpr::int(5)),
+            ),
+            SymExpr::ge(SymExpr::var(&x), SymExpr::int(0)),
+        ]);
+        assert!(outcome.is_sat());
+        assert!(outcome.model().unwrap().int_value(&x).unwrap() > 5);
+    }
+
+    #[test]
+    fn negated_conjunction_de_morgans() {
+        let (_, x, _, _) = setup();
+        let mut solver = Solver::new();
+        // !(x ≥ 0 && x ≤ 10) ∧ x ≥ -3  ⇒ x ∈ [-3, -1] (or x > 10)
+        let inside = SymExpr::Binary {
+            op: BinOp::And,
+            lhs: SymExpr::ge(SymExpr::var(&x), SymExpr::int(0)).into(),
+            rhs: SymExpr::le(SymExpr::var(&x), SymExpr::int(10)).into(),
+        };
+        let outcome = solver.check(&[
+            SymExpr::Unary {
+                op: UnOp::Not,
+                arg: inside.into(),
+            },
+            SymExpr::ge(SymExpr::var(&x), SymExpr::int(-3)),
+        ]);
+        assert!(outcome.is_sat());
+        let v = outcome.model().unwrap().int_value(&x).unwrap();
+        assert!((-3..0).contains(&v) || v > 10);
+    }
+
+    #[test]
+    fn boolean_variables() {
+        let (_, _, _, b) = setup();
+        let mut solver = Solver::new();
+        let outcome = solver.check(&[SymExpr::var(&b)]);
+        assert!(outcome.is_sat());
+        assert_eq!(outcome.model().unwrap().bool_value(&b), Some(true));
+        let outcome = solver.check(&[SymExpr::var(&b), SymExpr::not(SymExpr::var(&b))]);
+        assert!(outcome.is_unsat());
+    }
+
+    #[test]
+    fn two_variable_system() {
+        let (_, x, y, _) = setup();
+        let mut solver = Solver::new();
+        // x + y = 10 ∧ x - y = 4 ⇒ x = 7, y = 3
+        let outcome = solver.check(&[
+            SymExpr::eq(
+                SymExpr::add(SymExpr::var(&x), SymExpr::var(&y)),
+                SymExpr::int(10),
+            ),
+            SymExpr::eq(
+                SymExpr::sub(SymExpr::var(&x), SymExpr::var(&y)),
+                SymExpr::int(4),
+            ),
+        ]);
+        assert!(outcome.is_sat());
+        let m = outcome.model().unwrap();
+        assert_eq!(m.int_value(&x), Some(7));
+        assert_eq!(m.int_value(&y), Some(3));
+    }
+
+    #[test]
+    fn unsat_linear_combination() {
+        let (_, x, y, _) = setup();
+        let mut solver = Solver::new();
+        // x ≤ y ∧ y ≤ x ∧ x ≠ y
+        let outcome = solver.check(&[
+            SymExpr::le(SymExpr::var(&x), SymExpr::var(&y)),
+            SymExpr::le(SymExpr::var(&y), SymExpr::var(&x)),
+            SymExpr::Binary {
+                op: BinOp::Ne,
+                lhs: SymExpr::var(&x).into(),
+                rhs: SymExpr::var(&y).into(),
+            },
+        ]);
+        assert!(outcome.is_unsat());
+    }
+
+    #[test]
+    fn nonlinear_constraints_are_searched() {
+        let (_, x, y, _) = setup();
+        let mut solver = Solver::new();
+        // x*y = 6 ∧ 1 ≤ x ≤ 6 ∧ 1 ≤ y ≤ 6
+        let outcome = solver.check(&[
+            SymExpr::Binary {
+                op: BinOp::Eq,
+                lhs: SymExpr::Binary {
+                    op: BinOp::Mul,
+                    lhs: SymExpr::var(&x).into(),
+                    rhs: SymExpr::var(&y).into(),
+                }
+                .into(),
+                rhs: SymExpr::int(6).into(),
+            },
+            SymExpr::ge(SymExpr::var(&x), SymExpr::int(1)),
+            SymExpr::le(SymExpr::var(&x), SymExpr::int(6)),
+            SymExpr::ge(SymExpr::var(&y), SymExpr::int(1)),
+            SymExpr::le(SymExpr::var(&y), SymExpr::int(6)),
+        ]);
+        assert!(outcome.is_sat());
+        let m = outcome.model().unwrap();
+        assert_eq!(
+            m.int_value(&x).unwrap() * m.int_value(&y).unwrap(),
+            6
+        );
+    }
+
+    #[test]
+    fn cache_hits_are_counted() {
+        let (_, x, _, _) = setup();
+        let mut solver = Solver::new();
+        let constraints = [SymExpr::gt(SymExpr::var(&x), SymExpr::int(0))];
+        solver.check(&constraints);
+        solver.check(&constraints);
+        assert_eq!(solver.stats().checks, 2);
+        assert_eq!(solver.stats().cache_hits, 1);
+        solver.clear_cache();
+        solver.check(&constraints);
+        assert_eq!(solver.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn sat_models_always_verify() {
+        // A mixed bag of shapes; every SAT answer must carry a model that
+        // satisfies the original constraints (the solver re-verifies, so a
+        // SAT here is self-validating; this test just pins the behaviour).
+        let mut pool = VarPool::new();
+        let x = pool.fresh("X", SymTy::Int);
+        let b = pool.fresh("B", SymTy::Bool);
+        let mut solver = Solver::new();
+        let cs = [
+            SymExpr::or(
+                SymExpr::var(&b),
+                SymExpr::gt(SymExpr::var(&x), SymExpr::int(100)),
+            ),
+            SymExpr::le(SymExpr::var(&x), SymExpr::int(100)),
+        ];
+        let outcome = solver.check(&cs);
+        assert!(outcome.is_sat());
+        let m = outcome.model().unwrap();
+        assert!(cs.iter().all(|c| m.satisfies(c)));
+        assert_eq!(m.bool_value(&b), Some(true)); // forced by second conjunct
+    }
+
+    #[test]
+    fn paper_fig1_branch_feasibility() {
+        // testX: both PC `X > 0` and `!(X > 0)` are feasible.
+        let mut pool = VarPool::new();
+        let x = pool.fresh("X", SymTy::Int);
+        let mut solver = Solver::new();
+        let taken = SymExpr::gt(SymExpr::var(&x), SymExpr::int(0));
+        assert!(solver.check(std::slice::from_ref(&taken)).is_sat());
+        let not_taken = SymExpr::not(taken);
+        assert!(solver.check(std::slice::from_ref(&not_taken)).is_sat());
+    }
+}

@@ -1,0 +1,620 @@
+//! Symbolic expressions.
+//!
+//! A [`SymExpr`] is an expression over typed symbolic variables
+//! ([`SymVar`]) and constants — the values the symbolic executor stores for
+//! program variables, and the atoms path conditions are made of. Smart
+//! constructors fold constants eagerly (`X + 0` ⇒ `X`, `3 < 5` ⇒ `true`),
+//! keeping path conditions small without a separate simplification pass.
+//!
+//! Sub-expressions are shared via [`Arc`], so cloning an environment during
+//! symbolic execution is cheap.
+
+use std::fmt;
+use std::sync::Arc;
+
+pub use dise_ir::ast::{BinOp, UnOp};
+
+/// The type of a symbolic variable or expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymTy {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for SymTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymTy::Int => f.write_str("int"),
+            SymTy::Bool => f.write_str("bool"),
+        }
+    }
+}
+
+/// A symbolic variable: a fresh unknown introduced for a program input.
+///
+/// Identity is the numeric `id`; the name is carried for display only (the
+/// paper writes the symbolic input for parameter `x` as `X`).
+#[derive(Debug, Clone)]
+pub struct SymVar {
+    id: u32,
+    name: Arc<str>,
+    ty: SymTy,
+}
+
+impl SymVar {
+    /// The unique id within the owning [`VarPool`].
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variable's type.
+    pub fn ty(&self) -> SymTy {
+        self.ty
+    }
+}
+
+impl PartialEq for SymVar {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for SymVar {}
+
+impl std::hash::Hash for SymVar {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Display for SymVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Allocator for [`SymVar`]s with unique ids.
+#[derive(Debug, Clone, Default)]
+pub struct VarPool {
+    vars: Vec<SymVar>,
+}
+
+impl VarPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        VarPool::default()
+    }
+
+    /// Allocates a fresh variable. Names need not be unique (ids are).
+    pub fn fresh(&mut self, name: impl Into<String>, ty: SymTy) -> SymVar {
+        let var = SymVar {
+            id: u32::try_from(self.vars.len()).expect("too many symbolic variables"),
+            name: Arc::from(name.into().as_str()),
+            ty,
+        };
+        self.vars.push(var.clone());
+        var
+    }
+
+    /// Number of variables allocated so far.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` if no variables were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Looks a variable up by id.
+    pub fn get(&self, id: u32) -> Option<&SymVar> {
+        self.vars.get(id as usize)
+    }
+
+    /// Iterates over all allocated variables.
+    pub fn iter(&self) -> impl Iterator<Item = &SymVar> {
+        self.vars.iter()
+    }
+}
+
+/// A symbolic expression.
+///
+/// Construct these with the associated smart constructors ([`SymExpr::add`],
+/// [`SymExpr::lt`], …), which fold constants. The raw enum is exposed for
+/// pattern matching in the decision procedures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SymExpr {
+    /// Integer constant.
+    Int(i64),
+    /// Boolean constant.
+    Bool(bool),
+    /// Symbolic variable.
+    Var(SymVar),
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        arg: Arc<SymExpr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Arc<SymExpr>,
+        /// Right operand.
+        rhs: Arc<SymExpr>,
+    },
+}
+
+impl SymExpr {
+    /// Integer constant.
+    pub fn int(value: i64) -> SymExpr {
+        SymExpr::Int(value)
+    }
+
+    /// Boolean constant.
+    pub fn boolean(value: bool) -> SymExpr {
+        SymExpr::Bool(value)
+    }
+
+    /// Variable reference.
+    pub fn var(v: &SymVar) -> SymExpr {
+        SymExpr::Var(v.clone())
+    }
+
+    /// The expression's type. Assumes well-typed construction (guaranteed
+    /// when built from type-checked MJ programs).
+    pub fn ty(&self) -> SymTy {
+        match self {
+            SymExpr::Int(_) => SymTy::Int,
+            SymExpr::Bool(_) => SymTy::Bool,
+            SymExpr::Var(v) => v.ty(),
+            SymExpr::Unary { op, .. } => match op {
+                UnOp::Neg => SymTy::Int,
+                UnOp::Not => SymTy::Bool,
+            },
+            SymExpr::Binary { op, .. } => {
+                if op.is_arithmetic() {
+                    SymTy::Int
+                } else {
+                    SymTy::Bool
+                }
+            }
+        }
+    }
+
+    /// Returns the constant integer value, if this is an integer literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            SymExpr::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant boolean value, if this is a boolean literal.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            SymExpr::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the expression contains no variables.
+    pub fn is_concrete(&self) -> bool {
+        match self {
+            SymExpr::Int(_) | SymExpr::Bool(_) => true,
+            SymExpr::Var(_) => false,
+            SymExpr::Unary { arg, .. } => arg.is_concrete(),
+            SymExpr::Binary { lhs, rhs, .. } => lhs.is_concrete() && rhs.is_concrete(),
+        }
+    }
+
+    /// Collects the distinct variables of the expression into `out`.
+    pub fn collect_vars(&self, out: &mut std::collections::BTreeMap<u32, SymVar>) {
+        match self {
+            SymExpr::Int(_) | SymExpr::Bool(_) => {}
+            SymExpr::Var(v) => {
+                out.insert(v.id(), v.clone());
+            }
+            SymExpr::Unary { arg, .. } => arg.collect_vars(out),
+            SymExpr::Binary { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+        }
+    }
+
+    /// Generic binary smart constructor with constant folding.
+    pub fn binary(op: BinOp, lhs: SymExpr, rhs: SymExpr) -> SymExpr {
+        // Fold constant operands.
+        match (&lhs, &rhs) {
+            (SymExpr::Int(a), SymExpr::Int(b)) => {
+                if let Some(folded) = fold_int(op, *a, *b) {
+                    return folded;
+                }
+            }
+            (SymExpr::Bool(a), SymExpr::Bool(b)) => {
+                if let Some(folded) = fold_bool(op, *a, *b) {
+                    return folded;
+                }
+            }
+            _ => {}
+        }
+        // Algebraic identities.
+        match (op, &lhs, &rhs) {
+            (BinOp::Add, e, SymExpr::Int(0)) | (BinOp::Sub, e, SymExpr::Int(0)) => {
+                return e.clone()
+            }
+            (BinOp::Add, SymExpr::Int(0), e) => return e.clone(),
+            (BinOp::Mul, e, SymExpr::Int(1)) | (BinOp::Mul, SymExpr::Int(1), e) => {
+                return e.clone()
+            }
+            (BinOp::Mul, _, SymExpr::Int(0)) | (BinOp::Mul, SymExpr::Int(0), _) => {
+                return SymExpr::Int(0)
+            }
+            (BinOp::And, e, SymExpr::Bool(true)) | (BinOp::And, SymExpr::Bool(true), e) => {
+                return e.clone()
+            }
+            (BinOp::And, _, SymExpr::Bool(false)) | (BinOp::And, SymExpr::Bool(false), _) => {
+                return SymExpr::Bool(false)
+            }
+            (BinOp::Or, e, SymExpr::Bool(false)) | (BinOp::Or, SymExpr::Bool(false), e) => {
+                return e.clone()
+            }
+            (BinOp::Or, _, SymExpr::Bool(true)) | (BinOp::Or, SymExpr::Bool(true), _) => {
+                return SymExpr::Bool(true)
+            }
+            _ => {}
+        }
+        // Syntactically identical operands.
+        if lhs == rhs {
+            match op {
+                BinOp::Eq | BinOp::Le | BinOp::Ge => return SymExpr::Bool(true),
+                BinOp::Ne | BinOp::Lt | BinOp::Gt => return SymExpr::Bool(false),
+                BinOp::Sub => return SymExpr::Int(0),
+                BinOp::And | BinOp::Or => return lhs,
+                _ => {}
+            }
+        }
+        SymExpr::Binary {
+            op,
+            lhs: Arc::new(lhs),
+            rhs: Arc::new(rhs),
+        }
+    }
+
+    /// Generic unary smart constructor with constant folding.
+    pub fn unary(op: UnOp, arg: SymExpr) -> SymExpr {
+        match (op, &arg) {
+            (UnOp::Neg, SymExpr::Int(v)) => {
+                if let Some(neg) = v.checked_neg() {
+                    return SymExpr::Int(neg);
+                }
+            }
+            (UnOp::Not, SymExpr::Bool(b)) => return SymExpr::Bool(!b),
+            // Double negation.
+            (
+                UnOp::Neg,
+                SymExpr::Unary {
+                    op: UnOp::Neg,
+                    arg: inner,
+                },
+            )
+            | (
+                UnOp::Not,
+                SymExpr::Unary {
+                    op: UnOp::Not,
+                    arg: inner,
+                },
+            ) => return (**inner).clone(),
+            // `!(a ⋈ b)` ⇒ flipped comparison, keeping conditions in atom
+            // form for the decision procedures.
+            (UnOp::Not, SymExpr::Binary { op, lhs, rhs }) => {
+                if let Some(flipped) = negate_cmp(*op) {
+                    return SymExpr::Binary {
+                        op: flipped,
+                        lhs: lhs.clone(),
+                        rhs: rhs.clone(),
+                    };
+                }
+            }
+            _ => {}
+        }
+        SymExpr::Unary {
+            op,
+            arg: Arc::new(arg),
+        }
+    }
+
+    /// Builds `!expr`.
+    // Associated function (no receiver) — `std::ops::Not` is not an
+    // alternative spelling.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(expr: SymExpr) -> SymExpr {
+        SymExpr::unary(UnOp::Not, expr)
+    }
+
+    /// Builds `-expr`.
+    // Associated function (no receiver) — `std::ops::Neg` is not an
+    // alternative spelling.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(expr: SymExpr) -> SymExpr {
+        SymExpr::unary(UnOp::Neg, expr)
+    }
+}
+
+macro_rules! binop_ctors {
+    ($(#[$doc:meta] $name:ident => $op:ident),* $(,)?) => {
+        // These are associated *functions* (no receiver), so the std ops
+        // traits (which take `self`) are not an alternative spelling.
+        #[allow(clippy::should_implement_trait)]
+        impl SymExpr {
+            $(
+                #[$doc]
+                pub fn $name(lhs: SymExpr, rhs: SymExpr) -> SymExpr {
+                    SymExpr::binary(BinOp::$op, lhs, rhs)
+                }
+            )*
+        }
+    };
+}
+
+binop_ctors! {
+    /// Builds `lhs + rhs` with folding.
+    add => Add,
+    /// Builds `lhs - rhs` with folding.
+    sub => Sub,
+    /// Builds `lhs * rhs` with folding.
+    mul => Mul,
+    /// Builds `lhs / rhs` (truncating) with folding.
+    div => Div,
+    /// Builds `lhs % rhs` with folding.
+    rem => Rem,
+    /// Builds `lhs == rhs` with folding.
+    eq => Eq,
+    /// Builds `lhs != rhs` with folding.
+    ne => Ne,
+    /// Builds `lhs < rhs` with folding.
+    lt => Lt,
+    /// Builds `lhs <= rhs` with folding.
+    le => Le,
+    /// Builds `lhs > rhs` with folding.
+    gt => Gt,
+    /// Builds `lhs >= rhs` with folding.
+    ge => Ge,
+    /// Builds `lhs && rhs` with folding.
+    and => And,
+    /// Builds `lhs || rhs` with folding.
+    or => Or,
+}
+
+fn fold_int(op: BinOp, a: i64, b: i64) -> Option<SymExpr> {
+    Some(match op {
+        BinOp::Add => SymExpr::Int(a.checked_add(b)?),
+        BinOp::Sub => SymExpr::Int(a.checked_sub(b)?),
+        BinOp::Mul => SymExpr::Int(a.checked_mul(b)?),
+        BinOp::Div => SymExpr::Int(a.checked_div(b)?),
+        BinOp::Rem => SymExpr::Int(a.checked_rem(b)?),
+        BinOp::Eq => SymExpr::Bool(a == b),
+        BinOp::Ne => SymExpr::Bool(a != b),
+        BinOp::Lt => SymExpr::Bool(a < b),
+        BinOp::Le => SymExpr::Bool(a <= b),
+        BinOp::Gt => SymExpr::Bool(a > b),
+        BinOp::Ge => SymExpr::Bool(a >= b),
+        BinOp::And | BinOp::Or => return None,
+    })
+}
+
+fn fold_bool(op: BinOp, a: bool, b: bool) -> Option<SymExpr> {
+    Some(match op {
+        BinOp::And => SymExpr::Bool(a && b),
+        BinOp::Or => SymExpr::Bool(a || b),
+        BinOp::Eq => SymExpr::Bool(a == b),
+        BinOp::Ne => SymExpr::Bool(a != b),
+        _ => return None,
+    })
+}
+
+/// Returns the comparison operator equivalent to `!(a op b)`, if any.
+pub(crate) fn negate_cmp(op: BinOp) -> Option<BinOp> {
+    Some(match op {
+        BinOp::Eq => BinOp::Ne,
+        BinOp::Ne => BinOp::Eq,
+        BinOp::Lt => BinOp::Ge,
+        BinOp::Le => BinOp::Gt,
+        BinOp::Gt => BinOp::Le,
+        BinOp::Ge => BinOp::Lt,
+        _ => return None,
+    })
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_prec(self, 0, f)
+    }
+}
+
+fn prec_of(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+    }
+}
+
+fn write_prec(expr: &SymExpr, min: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match expr {
+        SymExpr::Int(v) => write!(f, "{v}"),
+        SymExpr::Bool(b) => write!(f, "{b}"),
+        SymExpr::Var(v) => write!(f, "{v}"),
+        SymExpr::Unary { op, arg } => {
+            match op {
+                UnOp::Neg => write!(f, "-")?,
+                UnOp::Not => write!(f, "!")?,
+            }
+            write_prec(arg, 6, f)
+        }
+        SymExpr::Binary { op, lhs, rhs } => {
+            let p = prec_of(*op);
+            if p < min {
+                write!(f, "(")?;
+            }
+            let (lmin, rmin) = if op.is_equality() || op.is_ordering() {
+                (p + 1, p + 1)
+            } else {
+                (p, p + 1)
+            };
+            write_prec(lhs, lmin, f)?;
+            write!(f, " {op} ")?;
+            write_prec(rhs, rmin, f)?;
+            if p < min {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool2() -> (VarPool, SymVar, SymVar) {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("X", SymTy::Int);
+        let y = pool.fresh("Y", SymTy::Int);
+        (pool, x, y)
+    }
+
+    #[test]
+    fn constants_fold() {
+        assert_eq!(SymExpr::add(SymExpr::int(2), SymExpr::int(3)), SymExpr::Int(5));
+        assert_eq!(SymExpr::lt(SymExpr::int(2), SymExpr::int(3)), SymExpr::Bool(true));
+        assert_eq!(
+            SymExpr::div(SymExpr::int(1), SymExpr::int(4)),
+            SymExpr::Int(0) // truncating, like Java
+        );
+        assert_eq!(SymExpr::rem(SymExpr::int(7), SymExpr::int(3)), SymExpr::Int(1));
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let e = SymExpr::div(SymExpr::int(1), SymExpr::int(0));
+        assert!(matches!(e, SymExpr::Binary { .. }));
+    }
+
+    #[test]
+    fn overflow_is_not_folded() {
+        let e = SymExpr::add(SymExpr::int(i64::MAX), SymExpr::int(1));
+        assert!(matches!(e, SymExpr::Binary { .. }));
+    }
+
+    #[test]
+    fn identities_simplify() {
+        let (_, x, _) = pool2();
+        let xv = SymExpr::var(&x);
+        assert_eq!(SymExpr::add(xv.clone(), SymExpr::int(0)), xv);
+        assert_eq!(SymExpr::mul(xv.clone(), SymExpr::int(1)), xv);
+        assert_eq!(SymExpr::mul(xv.clone(), SymExpr::int(0)), SymExpr::Int(0));
+        assert_eq!(
+            SymExpr::and(SymExpr::boolean(true), SymExpr::gt(xv.clone(), SymExpr::int(0))),
+            SymExpr::gt(xv.clone(), SymExpr::int(0))
+        );
+        assert_eq!(
+            SymExpr::or(SymExpr::boolean(true), SymExpr::gt(xv.clone(), SymExpr::int(0))),
+            SymExpr::Bool(true)
+        );
+    }
+
+    #[test]
+    fn identical_operands_simplify() {
+        let (_, x, _) = pool2();
+        let xv = SymExpr::var(&x);
+        assert_eq!(SymExpr::eq(xv.clone(), xv.clone()), SymExpr::Bool(true));
+        assert_eq!(SymExpr::ne(xv.clone(), xv.clone()), SymExpr::Bool(false));
+        assert_eq!(SymExpr::lt(xv.clone(), xv.clone()), SymExpr::Bool(false));
+        assert_eq!(SymExpr::sub(xv.clone(), xv.clone()), SymExpr::Int(0));
+    }
+
+    #[test]
+    fn negated_comparison_flips() {
+        let (_, x, _) = pool2();
+        let cond = SymExpr::gt(SymExpr::var(&x), SymExpr::int(0));
+        let negated = SymExpr::not(cond);
+        assert_eq!(
+            negated,
+            SymExpr::le(SymExpr::var(&x), SymExpr::int(0))
+        );
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let (_, x, _) = pool2();
+        let e = SymExpr::neg(SymExpr::neg(SymExpr::var(&x)));
+        assert_eq!(e, SymExpr::var(&x));
+    }
+
+    #[test]
+    fn var_identity_is_by_id() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("X", SymTy::Int);
+        let b = pool.fresh("X", SymTy::Int);
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(0).unwrap().name(), "X");
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let (_, x, y) = pool2();
+        let e = SymExpr::add(SymExpr::var(&y), SymExpr::var(&x));
+        assert_eq!(e.to_string(), "Y + X");
+        let c = SymExpr::gt(SymExpr::var(&x), SymExpr::int(0));
+        assert_eq!(c.to_string(), "X > 0");
+        let n = SymExpr::Unary {
+            op: UnOp::Not,
+            arg: Arc::new(c),
+        };
+        assert_eq!(n.to_string(), "!(X > 0)");
+    }
+
+    #[test]
+    fn collect_vars_dedups() {
+        let (_, x, y) = pool2();
+        let e = SymExpr::add(
+            SymExpr::var(&x),
+            SymExpr::mul(SymExpr::var(&y), SymExpr::var(&x)),
+        );
+        let mut vars = std::collections::BTreeMap::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn ty_of_expressions() {
+        let (_, x, _) = pool2();
+        assert_eq!(SymExpr::var(&x).ty(), SymTy::Int);
+        assert_eq!(SymExpr::lt(SymExpr::var(&x), SymExpr::int(3)).ty(), SymTy::Bool);
+        assert_eq!(SymExpr::neg(SymExpr::var(&x)).ty(), SymTy::Int);
+    }
+
+    #[test]
+    fn is_concrete() {
+        let (_, x, _) = pool2();
+        assert!(SymExpr::int(4).is_concrete());
+        assert!(!SymExpr::var(&x).is_concrete());
+        assert!(!SymExpr::add(SymExpr::int(1), SymExpr::var(&x)).is_concrete());
+    }
+}

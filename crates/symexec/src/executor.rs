@@ -1,0 +1,965 @@
+//! The symbolic execution engine.
+//!
+//! See the [crate documentation](crate) for the SPF-equivalence notes. The
+//! engine walks the CFG depth-first with explicit frames that mimic the
+//! recursion of the paper's Fig. 6, so [`Strategy`] hook side effects are
+//! observed in exactly the pseudocode's order.
+
+use std::time::{Duration, Instant};
+
+use dise_cfg::{build_cfg, Cfg, NodeKind};
+use dise_ir::ast::Program;
+use dise_solver::{
+    PathCondition, SatResult, Solver, SolverConfig, SolverStats, SymExpr, SymTy, SymVar, VarPool,
+};
+
+use crate::env::Env;
+use crate::eval::{eval_symbolic, EvalError};
+use crate::state::SymState;
+use crate::tree::ExecTree;
+use dise_cfg::NodeId;
+
+/// Exploration hooks. The trivial implementation ([`FullExploration`])
+/// yields standard full symbolic execution; `dise-core` provides the
+/// directed strategy of Fig. 6.
+pub trait Strategy {
+    /// Called when a state is entered (the paper's `UpdateExploredSet`,
+    /// Fig. 6 line 7).
+    fn on_enter(&mut self, node: NodeId) {
+        let _ = node;
+    }
+
+    /// Decides whether a feasible successor state at `node` should be
+    /// explored (the paper's `AffectedLocIsReachable`, Fig. 6 line 9).
+    /// May mutate strategy state (the reset of explored sets happens inside
+    /// this check in the paper's pseudocode).
+    fn should_explore(&mut self, node: NodeId) -> bool {
+        let _ = node;
+        true
+    }
+
+    /// Called when the search backtracks past a state (its subtree is
+    /// complete). Purely observational — used by trace renderers.
+    fn on_leave(&mut self, node: NodeId) {
+        let _ = node;
+    }
+}
+
+/// Standard full symbolic execution: explore every feasible successor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullExploration;
+
+impl Strategy for FullExploration {}
+
+/// Which successors are submitted to [`Strategy::should_explore`].
+///
+/// The paper's prototype lives inside Symbolic PathFinder, where symbolic
+/// states exist only at *choice generators* — symbolic branches with more
+/// than one feasible outcome. Straight-line code and branches whose
+/// condition is concrete never create states, so the
+/// `AffectedLocIsReachable` filter of Fig. 6 is only ever consulted at
+/// choice points. [`FilterScope::ChoicePoints`] reproduces that behaviour
+/// and is the default; [`FilterScope::AllStates`] applies the filter at
+/// every CFG node (the literal reading of the pseudocode, kept for the
+/// fidelity comparison in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterScope {
+    /// Filter only successors produced by a symbolic two-way fork
+    /// (SPF-faithful; the default).
+    #[default]
+    ChoicePoints,
+    /// Filter every successor state.
+    AllStates,
+}
+
+/// Configuration of an execution run.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Maximum path depth (states along one path); `None` = unbounded,
+    /// like the paper's loop-free case studies.
+    pub depth_bound: Option<u32>,
+    /// Treat [`SatResult::Unknown`] as feasible. Default `false`, matching
+    /// SPF's "solver timeout ⇒ unsatisfiable" rule (§4.1).
+    pub unknown_is_sat: bool,
+    /// Abort after this many states (safety valve). `None` = unbounded.
+    pub max_states: Option<u64>,
+    /// Record the node trace of every path (needed by the regression
+    /// application and the Table 1 renderer; costs memory on huge runs).
+    pub record_traces: bool,
+    /// Record strategy-pruned path prefixes as [`PathOutcome::Pruned`]
+    /// entries (used by the Theorem 3.10 checker; they never contribute
+    /// path conditions).
+    pub record_pruned: bool,
+    /// Capture the full symbolic execution tree (Fig. 1 rendering).
+    pub record_tree: bool,
+    /// Which successors the strategy filter applies to.
+    pub filter_scope: FilterScope,
+    /// Constraint-solver tuning.
+    pub solver: SolverConfig,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            depth_bound: None,
+            unknown_is_sat: false,
+            max_states: None,
+            record_traces: true,
+            record_pruned: false,
+            record_tree: false,
+            filter_scope: FilterScope::default(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Errors constructing an executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program has no procedure with the requested name.
+    MissingProcedure(String),
+    /// The procedure contains procedure calls; inline them first
+    /// ([`dise_ir::inline::inline_program`]).
+    ContainsCalls(String),
+    /// Evaluating a global initializer failed (unchecked program).
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MissingProcedure(name) => {
+                write!(f, "procedure `{name}` not found")
+            }
+            ExecError::ContainsCalls(name) => write!(
+                f,
+                "procedure `{name}` contains calls; inline first (dise_ir::inline)"
+            ),
+            ExecError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<EvalError> for ExecError {
+    fn from(e: EvalError) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+/// How a recorded path ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathOutcome {
+    /// Reached the procedure exit.
+    Completed,
+    /// Reached an error node (failed assertion).
+    Error(String),
+    /// Stopped by the depth bound.
+    DepthBounded,
+    /// Rejected by the exploration strategy (DiSE pruning); the recorded
+    /// path is the prefix up to and including the rejected successor.
+    Pruned,
+}
+
+/// One explored execution path.
+#[derive(Debug, Clone)]
+pub struct PathSummary {
+    /// The path condition characterizing the path.
+    pub pc: PathCondition,
+    /// How the path ended.
+    pub outcome: PathOutcome,
+    /// Symbolic values of all variables at the end of the path.
+    pub final_env: Env,
+    /// The CFG nodes visited, in order (empty when trace recording is
+    /// disabled).
+    pub trace: Vec<NodeId>,
+}
+
+/// Counters for one execution run (the dependent variables of §4.2.2).
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Symbolic states entered (the paper's "states explored").
+    pub states_explored: u64,
+    /// Paths that reached the exit node.
+    pub paths_completed: u64,
+    /// Paths that reached an error node.
+    pub paths_error: u64,
+    /// Paths cut off by the depth bound.
+    pub paths_depth_bounded: u64,
+    /// Successors discarded as infeasible by the solver.
+    pub infeasible: u64,
+    /// Successors discarded by the strategy (DiSE pruning).
+    pub pruned: u64,
+    /// `true` if `max_states` stopped the run early.
+    pub truncated: bool,
+    /// Wall-clock time of the exploration.
+    pub elapsed: Duration,
+    /// Solver activity during the run.
+    pub solver: SolverStats,
+}
+
+/// The result of a run: "a symbolic summary … made up of path conditions
+/// that represent the feasible execution paths" (§2.1).
+#[derive(Debug, Clone)]
+pub struct SymbolicSummary {
+    proc_name: String,
+    inputs: Vec<(String, SymVar)>,
+    paths: Vec<PathSummary>,
+    stats: ExecStats,
+    tree: Option<ExecTree>,
+}
+
+impl SymbolicSummary {
+    /// The analyzed procedure's name.
+    pub fn proc_name(&self) -> &str {
+        &self.proc_name
+    }
+
+    /// The symbolic inputs: `(program variable, symbolic variable)` for
+    /// every parameter and uninitialized global, in declaration order
+    /// (parameters first).
+    pub fn inputs(&self) -> &[(String, SymVar)] {
+        &self.inputs
+    }
+
+    /// All recorded paths.
+    pub fn paths(&self) -> &[PathSummary] {
+        &self.paths
+    }
+
+    /// The path conditions of *terminated* paths (completed or error) —
+    /// what the paper counts as "path conditions generated".
+    pub fn path_conditions(&self) -> impl Iterator<Item = &PathCondition> {
+        self.paths
+            .iter()
+            .filter(|p| {
+                !matches!(
+                    p.outcome,
+                    PathOutcome::DepthBounded | PathOutcome::Pruned
+                )
+            })
+            .map(|p| &p.pc)
+    }
+
+    /// Number of generated path conditions.
+    pub fn pc_count(&self) -> usize {
+        self.path_conditions().count()
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// The captured execution tree, when [`ExecConfig::record_tree`] was
+    /// set.
+    pub fn tree(&self) -> Option<&ExecTree> {
+        self.tree.as_ref()
+    }
+}
+
+/// The symbolic executor for one procedure of one program.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    proc_name: String,
+    cfg: Cfg,
+    init_env: Env,
+    inputs: Vec<(String, SymVar)>,
+    pool: VarPool,
+    config: ExecConfig,
+}
+
+impl Executor {
+    /// Prepares symbolic execution of `proc_name` in `program`: builds the
+    /// CFG and the initial environment (parameters and uninitialized
+    /// globals become symbolic inputs; initialized globals start concrete).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MissingProcedure`] if the procedure does not exist;
+    /// [`ExecError::Eval`] if a global initializer is unevaluable.
+    pub fn new(
+        program: &Program,
+        proc_name: &str,
+        config: ExecConfig,
+    ) -> Result<Executor, ExecError> {
+        let procedure = program
+            .proc(proc_name)
+            .ok_or_else(|| ExecError::MissingProcedure(proc_name.to_string()))?;
+        if dise_ir::inline::contains_calls(program, proc_name) {
+            return Err(ExecError::ContainsCalls(proc_name.to_string()));
+        }
+        let cfg = build_cfg(procedure);
+
+        let mut pool = VarPool::new();
+        let mut env = Env::new();
+        let mut inputs = Vec::new();
+        for param in &procedure.params {
+            let ty = match param.ty {
+                dise_ir::Type::Int => SymTy::Int,
+                dise_ir::Type::Bool => SymTy::Bool,
+            };
+            let var = pool.fresh(symbolic_name(&param.name), ty);
+            env.bind(&param.name, SymExpr::var(&var));
+            inputs.push((param.name.clone(), var));
+        }
+        for global in &program.globals {
+            match &global.init {
+                Some(init) => {
+                    let value = eval_symbolic(init, &Env::new())?;
+                    env.bind(&global.name, value);
+                }
+                None => {
+                    let ty = match global.ty {
+                        dise_ir::Type::Int => SymTy::Int,
+                        dise_ir::Type::Bool => SymTy::Bool,
+                    };
+                    let var = pool.fresh(symbolic_name(&global.name), ty);
+                    env.bind(&global.name, SymExpr::var(&var));
+                    inputs.push((global.name.clone(), var));
+                }
+            }
+        }
+
+        Ok(Executor {
+            proc_name: proc_name.to_string(),
+            cfg,
+            init_env: env,
+            inputs,
+            pool,
+            config,
+        })
+    }
+
+    /// The CFG being executed (shared with the static analyses in
+    /// `dise-core`).
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// The symbolic-variable pool (for callers that need fresh variables
+    /// consistent with this run).
+    pub fn pool(&self) -> &VarPool {
+        &self.pool
+    }
+
+    /// The initial symbolic environment: parameters and uninitialized
+    /// globals bound to fresh symbolic variables, initialized globals bound
+    /// to their concrete initial values.
+    pub fn init_env(&self) -> &Env {
+        &self.init_env
+    }
+
+    /// The symbolic inputs: `(program variable, symbolic variable)` in
+    /// declaration order (parameters first), same shape as
+    /// [`SymbolicSummary::inputs`].
+    pub fn inputs(&self) -> &[(String, SymVar)] {
+        &self.inputs
+    }
+
+    /// Runs the exploration with the given strategy.
+    pub fn explore(&mut self, strategy: &mut dyn Strategy) -> SymbolicSummary {
+        let start = Instant::now();
+        let mut solver = Solver::with_config(self.config.solver);
+        let mut run = Run {
+            cfg: &self.cfg,
+            config: &self.config,
+            solver: &mut solver,
+            strategy,
+            paths: Vec::new(),
+            stats: ExecStats::default(),
+            tree: if self.config.record_tree {
+                Some(ExecTree::new())
+            } else {
+                None
+            },
+            trace: Vec::new(),
+        };
+        let initial = SymState::initial(self.cfg.begin(), self.init_env.clone());
+        run.dfs(initial);
+        let mut stats = run.stats;
+        let paths = run.paths;
+        let tree = run.tree;
+        stats.elapsed = start.elapsed();
+        stats.solver = *solver.stats();
+        SymbolicSummary {
+            proc_name: self.proc_name.clone(),
+            inputs: self.inputs.clone(),
+            paths,
+            stats,
+            tree,
+        }
+    }
+}
+
+/// The symbolic-input naming convention: the paper writes the symbolic
+/// value of variable `x` as `X`.
+fn symbolic_name(program_name: &str) -> String {
+    let mut chars = program_name.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+/// A successor candidate: the state, whether its extended path condition
+/// still needs a satisfiability check, and whether it came from a symbolic
+/// fork (a choice point).
+#[derive(Clone)]
+struct Succ {
+    state: SymState,
+    needs_check: bool,
+    forked: bool,
+}
+
+struct Frame {
+    node: NodeId,
+    successors: Vec<Succ>,
+    next: usize,
+    tree_index: Option<usize>,
+    /// Whether [`Strategy::on_enter`] ran for this state (Fig. 6 line 5
+    /// returns *before* `UpdateExploredSet` for depth-bounded and error
+    /// states, so those never notify the strategy).
+    notified: bool,
+}
+
+struct Run<'a> {
+    cfg: &'a Cfg,
+    config: &'a ExecConfig,
+    solver: &'a mut Solver,
+    strategy: &'a mut dyn Strategy,
+    paths: Vec<PathSummary>,
+    stats: ExecStats,
+    tree: Option<ExecTree>,
+    trace: Vec<NodeId>,
+}
+
+impl Run<'_> {
+    fn dfs(&mut self, initial: SymState) {
+        let mut stack: Vec<Frame> = Vec::new();
+        let root = self.enter(initial, None);
+        stack.push(root);
+        while let Some(top) = stack.last_mut() {
+            if self.stats.truncated {
+                break;
+            }
+            if top.next >= top.successors.len() {
+                let node = top.node;
+                let notified = top.notified;
+                stack.pop();
+                if notified {
+                    self.strategy.on_leave(node);
+                }
+                if self.config.record_traces {
+                    self.trace.pop();
+                }
+                continue;
+            }
+            let Succ {
+                state: succ,
+                needs_check,
+                forked,
+            } = top.successors[top.next].clone();
+            top.next += 1;
+            let parent_tree = top.tree_index;
+            if needs_check && !self.feasible(&succ.pc) {
+                self.stats.infeasible += 1;
+                continue;
+            }
+            let filtered = match self.config.filter_scope {
+                FilterScope::AllStates => true,
+                FilterScope::ChoicePoints => forked,
+            };
+            if filtered && !self.strategy.should_explore(succ.node) {
+                self.stats.pruned += 1;
+                if self.config.record_pruned {
+                    let mut trace = self.trace.clone();
+                    trace.push(succ.node);
+                    self.paths.push(PathSummary {
+                        pc: succ.pc.clone(),
+                        outcome: PathOutcome::Pruned,
+                        final_env: succ.env.clone(),
+                        trace,
+                    });
+                }
+                continue;
+            }
+            let frame = self.enter(succ, parent_tree);
+            stack.push(frame);
+        }
+        // Unwind any remaining trace entries (possible after truncation).
+        self.trace.clear();
+    }
+
+    fn feasible(&mut self, pc: &PathCondition) -> bool {
+        match self.solver.check_pc(pc).result() {
+            SatResult::Sat => true,
+            SatResult::Unsat => false,
+            SatResult::Unknown => self.config.unknown_is_sat,
+        }
+    }
+
+    /// State entry: counting, hooks, terminal detection, successor
+    /// generation. Returns the frame to push.
+    fn enter(&mut self, state: SymState, parent_tree: Option<usize>) -> Frame {
+        self.stats.states_explored += 1;
+        if let Some(max) = self.config.max_states {
+            if self.stats.states_explored >= max {
+                self.stats.truncated = true;
+            }
+        }
+        if self.config.record_traces {
+            self.trace.push(state.node);
+        }
+        let tree_index = self
+            .tree
+            .as_mut()
+            .map(|tree| tree.record(parent_tree, &state, self.cfg));
+
+        let node = self.cfg.node(state.node);
+
+        // Fig. 6 line 5: depth-bounded and error states return *before*
+        // `UpdateExploredSet` runs — they never notify the strategy.
+        if let NodeKind::Error { message } = &node.kind {
+            self.stats.paths_error += 1;
+            self.record_path(&state, PathOutcome::Error(message.clone()));
+            return Frame {
+                node: state.node,
+                successors: Vec::new(),
+                next: 0,
+                tree_index,
+                notified: false,
+            };
+        }
+        if let Some(bound) = self.config.depth_bound {
+            if state.depth >= bound && !matches!(node.kind, NodeKind::End) {
+                self.stats.paths_depth_bounded += 1;
+                self.record_path(&state, PathOutcome::DepthBounded);
+                return Frame {
+                    node: state.node,
+                    successors: Vec::new(),
+                    next: 0,
+                    tree_index,
+                    notified: false,
+                };
+            }
+        }
+
+        self.strategy.on_enter(state.node);
+        if matches!(node.kind, NodeKind::End) {
+            self.stats.paths_completed += 1;
+            self.record_path(&state, PathOutcome::Completed);
+            return Frame {
+                node: state.node,
+                successors: Vec::new(),
+                next: 0,
+                tree_index,
+                notified: true,
+            };
+        }
+
+        Frame {
+            node: state.node,
+            successors: self.successors(&state),
+            next: 0,
+            tree_index,
+            notified: true,
+        }
+    }
+
+    fn record_path(&mut self, state: &SymState, outcome: PathOutcome) {
+        self.paths.push(PathSummary {
+            pc: state.pc.clone(),
+            outcome,
+            final_env: state.env.clone(),
+            trace: if self.config.record_traces {
+                self.trace.clone()
+            } else {
+                Vec::new()
+            },
+        });
+    }
+
+    /// The feasible-successor candidates of a state, in the order Fig. 6
+    /// explores them (true branch before false branch).
+    fn successors(&mut self, state: &SymState) -> Vec<Succ> {
+        let plain = |state: SymState| Succ {
+            state,
+            needs_check: false,
+            forked: false,
+        };
+        let node = self.cfg.node(state.node);
+        match &node.kind {
+            NodeKind::Begin | NodeKind::Nop => self
+                .cfg
+                .succs(state.node)
+                .iter()
+                .map(|&(succ, _)| plain(state.step_to(succ)))
+                .collect(),
+            NodeKind::Assign { var, value } => {
+                let value = eval_symbolic(value, &state.env)
+                    .expect("type-checked program has no unbound variables");
+                let succ = self.cfg.succs(state.node)[0].0;
+                let mut next = state.step_to(succ);
+                next.env = state.env.with(var.clone(), value);
+                vec![plain(next)]
+            }
+            NodeKind::Assume { cond } => {
+                let cond = eval_symbolic(cond, &state.env)
+                    .expect("type-checked program has no unbound variables");
+                match cond.as_bool() {
+                    Some(true) => {
+                        let succ = self.cfg.succs(state.node)[0].0;
+                        vec![plain(state.step_to(succ))]
+                    }
+                    Some(false) => {
+                        self.stats.infeasible += 1;
+                        Vec::new()
+                    }
+                    None => {
+                        let succ = self.cfg.succs(state.node)[0].0;
+                        let mut next = state.step_to(succ);
+                        next.pc = state.pc.and(cond);
+                        vec![Succ {
+                            state: next,
+                            needs_check: true,
+                            forked: false,
+                        }]
+                    }
+                }
+            }
+            NodeKind::Branch { cond } => {
+                let cond = eval_symbolic(cond, &state.env)
+                    .expect("type-checked program has no unbound variables");
+                let true_succ = self.cfg.true_succ(state.node);
+                let false_succ = self.cfg.false_succ(state.node);
+                match cond.as_bool() {
+                    // A concrete condition is not a choice point: SPF
+                    // would simply continue executing.
+                    Some(true) => vec![plain(state.step_to(true_succ))],
+                    Some(false) => vec![plain(state.step_to(false_succ))],
+                    None => {
+                        let mut taken = state.step_to(true_succ);
+                        taken.pc = state.pc.and(cond.clone());
+                        let mut not_taken = state.step_to(false_succ);
+                        not_taken.pc = state.pc.and(SymExpr::not(cond));
+                        vec![
+                            Succ {
+                                state: taken,
+                                needs_check: true,
+                                forked: true,
+                            },
+                            Succ {
+                                state: not_taken,
+                                needs_check: true,
+                                forked: true,
+                            },
+                        ]
+                    }
+                }
+            }
+            NodeKind::End | NodeKind::Error { .. } => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_ir::parse_program;
+
+    fn run_full(src: &str, proc: &str) -> SymbolicSummary {
+        let program = parse_program(src).unwrap();
+        dise_ir::check_program(&program).unwrap();
+        let mut executor = Executor::new(&program, proc, ExecConfig::default()).unwrap();
+        executor.explore(&mut FullExploration)
+    }
+
+    #[test]
+    fn figure1_testx_has_two_paths() {
+        let summary = run_full(
+            "int y;
+             proc testX(int x) {
+               if (x > 0) { y = y + x; } else { y = y - x; }
+             }",
+            "testX",
+        );
+        assert_eq!(summary.pc_count(), 2);
+        let pcs: Vec<String> = summary.path_conditions().map(|pc| pc.to_string()).collect();
+        assert_eq!(pcs, vec!["X > 0", "X <= 0"]);
+        // Final env on the first path: y = Y + X (Fig. 1).
+        let first = &summary.paths()[0];
+        assert_eq!(first.final_env.get("y").unwrap().to_string(), "Y + X");
+        assert_eq!(
+            summary.paths()[1].final_env.get("y").unwrap().to_string(),
+            "Y - X"
+        );
+    }
+
+    #[test]
+    fn infeasible_paths_are_dropped() {
+        let summary = run_full(
+            "proc f(int x) {
+               if (x > 5) {
+                 if (x < 3) { x = 1; } else { x = 2; }
+               }
+             }",
+            "f",
+        );
+        // Feasible paths: x>5 (inner else) and x≤5; x>5 ∧ x<3 is pruned.
+        assert_eq!(summary.pc_count(), 2);
+        assert!(summary.stats().infeasible >= 1);
+    }
+
+    #[test]
+    fn nested_branching_multiplies_paths() {
+        let summary = run_full(
+            "proc f(int a, int b, int c) {
+               if (a > 0) { skip; }
+               if (b > 0) { skip; }
+               if (c > 0) { skip; }
+             }",
+            "f",
+        );
+        assert_eq!(summary.pc_count(), 8);
+    }
+
+    #[test]
+    fn concrete_branches_do_not_fork() {
+        let summary = run_full(
+            "proc f(int x) {
+               int t = 3;
+               if (t > 0) { x = 1; } else { x = 2; }
+             }",
+            "f",
+        );
+        // `t > 0` folds to true: one path, no solver involvement.
+        assert_eq!(summary.pc_count(), 1);
+        assert_eq!(summary.stats().solver.checks, 0);
+    }
+
+    #[test]
+    fn assertion_failure_produces_error_path() {
+        let summary = run_full(
+            "proc f(int x) {
+               assert(x > 0);
+               x = x + 1;
+             }",
+            "f",
+        );
+        assert_eq!(summary.stats().paths_error, 1);
+        assert_eq!(summary.stats().paths_completed, 1);
+        assert_eq!(summary.pc_count(), 2);
+        let error_path = summary
+            .paths()
+            .iter()
+            .find(|p| matches!(p.outcome, PathOutcome::Error(_)))
+            .unwrap();
+        assert_eq!(error_path.pc.to_string(), "X <= 0");
+    }
+
+    #[test]
+    fn assume_prunes_half_the_space() {
+        let summary = run_full(
+            "proc f(int x) {
+               assume(x > 0);
+               if (x > 10) { skip; }
+             }",
+            "f",
+        );
+        assert_eq!(summary.pc_count(), 2);
+        for pc in summary.path_conditions() {
+            assert!(pc.to_string().starts_with("X > 0"));
+        }
+    }
+
+    #[test]
+    fn loop_requires_depth_bound() {
+        let program = parse_program(
+            "proc f(int x) {
+               while (x > 0) { x = x - 1; }
+             }",
+        )
+        .unwrap();
+        let config = ExecConfig {
+            depth_bound: Some(12),
+            ..ExecConfig::default()
+        };
+        let mut executor = Executor::new(&program, "f", config).unwrap();
+        let summary = executor.explore(&mut FullExploration);
+        // Some paths complete (x ≤ 0, x = 1, …); at least one hits the bound.
+        assert!(summary.stats().paths_completed > 0);
+        assert!(summary.stats().paths_depth_bounded > 0);
+        // Depth-bounded paths do not contribute path conditions.
+        assert_eq!(
+            summary.pc_count() as u64,
+            summary.stats().paths_completed + summary.stats().paths_error
+        );
+    }
+
+    #[test]
+    fn loop_unrolls_within_bound() {
+        let program = parse_program(
+            "proc f(int x) {
+               int n = 0;
+               while (n < x) { n = n + 1; }
+             }",
+        )
+        .unwrap();
+        let config = ExecConfig {
+            depth_bound: Some(50),
+            ..ExecConfig::default()
+        };
+        let mut executor = Executor::new(&program, "f", config).unwrap();
+        let summary = executor.explore(&mut FullExploration);
+        // Completed paths: x ≤ 0 (no iterations), x = 1, x = 2, …
+        assert!(summary.stats().paths_completed >= 5);
+        // The zero-iteration path is among them (DFS takes the true branch
+        // first, so it is the last completed path, not the first).
+        assert!(summary
+            .paths()
+            .iter()
+            .any(|p| p.outcome == PathOutcome::Completed && p.pc.to_string() == "0 >= X"));
+    }
+
+    #[test]
+    fn initialized_globals_start_concrete() {
+        let summary = run_full(
+            "int g = 7;
+             proc f(int x) {
+               if (g > 0) { x = 1; } else { x = 2; }
+             }",
+            "f",
+        );
+        // g is concrete ⇒ no branching on it.
+        assert_eq!(summary.pc_count(), 1);
+        assert_eq!(summary.inputs().len(), 1); // only x
+    }
+
+    #[test]
+    fn uninitialized_globals_are_symbolic_inputs() {
+        let summary = run_full(
+            "int g;
+             proc f(int x) {
+               if (g > x) { skip; }
+             }",
+            "f",
+        );
+        assert_eq!(summary.pc_count(), 2);
+        let names: Vec<&str> = summary.inputs().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["x", "g"]);
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let program = parse_program(
+            "proc f(int x) { while (x > 0) { x = x - 1; } }",
+        )
+        .unwrap();
+        let config = ExecConfig {
+            depth_bound: Some(1000),
+            max_states: Some(20),
+            ..ExecConfig::default()
+        };
+        let mut executor = Executor::new(&program, "f", config).unwrap();
+        let summary = executor.explore(&mut FullExploration);
+        assert!(summary.stats().truncated);
+        assert!(summary.stats().states_explored <= 21);
+    }
+
+    #[test]
+    fn missing_procedure_errors() {
+        let program = parse_program("proc f() { skip; }").unwrap();
+        assert_eq!(
+            Executor::new(&program, "g", ExecConfig::default()).unwrap_err(),
+            ExecError::MissingProcedure("g".into())
+        );
+    }
+
+    #[test]
+    fn traces_follow_cfg_paths() {
+        let summary = run_full(
+            "proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }",
+            "f",
+        );
+        for path in summary.paths() {
+            let trace = &path.trace;
+            assert!(!trace.is_empty());
+            // Each consecutive pair is a CFG edge.
+            for pair in trace.windows(2) {
+                let program = parse_program(
+                    "proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }",
+                )
+                .unwrap();
+                let cfg = build_cfg(program.proc("f").unwrap());
+                assert!(
+                    cfg.succs(pair[0]).iter().any(|&(s, _)| s == pair[1]),
+                    "{} -> {} is not an edge",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_strategy_cuts_exploration() {
+        struct PruneEverything;
+        impl Strategy for PruneEverything {
+            fn should_explore(&mut self, _node: NodeId) -> bool {
+                false
+            }
+        }
+        let program = parse_program(
+            "proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }",
+        )
+        .unwrap();
+        let mut executor = Executor::new(&program, "f", ExecConfig::default()).unwrap();
+        let summary = executor.explore(&mut PruneEverything);
+        // Under the default ChoicePoints scope the straight-line prefix
+        // (begin + the branch node) is entered, then both symbolic arms
+        // are pruned.
+        assert_eq!(summary.stats().states_explored, 2);
+        assert_eq!(summary.pc_count(), 0);
+        assert_eq!(summary.stats().pruned, 2);
+
+        // The literal AllStates scope filters the very first successor.
+        let config = ExecConfig {
+            filter_scope: FilterScope::AllStates,
+            ..ExecConfig::default()
+        };
+        let mut executor = Executor::new(&program, "f", config).unwrap();
+        let summary = executor.explore(&mut PruneEverything);
+        assert_eq!(summary.stats().states_explored, 1);
+        assert_eq!(summary.pc_count(), 0);
+    }
+
+    #[test]
+    fn strategy_hooks_fire_in_dfs_order() {
+        #[derive(Default)]
+        struct Recorder {
+            entered: Vec<NodeId>,
+        }
+        impl Strategy for Recorder {
+            fn on_enter(&mut self, node: NodeId) {
+                self.entered.push(node);
+            }
+        }
+        let program = parse_program(
+            "proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }",
+        )
+        .unwrap();
+        let mut executor = Executor::new(&program, "f", ExecConfig::default()).unwrap();
+        let cfg_len = executor.cfg().len();
+        let mut recorder = Recorder::default();
+        let summary = executor.explore(&mut recorder);
+        assert_eq!(
+            recorder.entered.len() as u64,
+            summary.stats().states_explored
+        );
+        // Every CFG node is visited at least once in this tiny program;
+        // the join (end) twice.
+        assert!(recorder.entered.len() > cfg_len - 2);
+    }
+}

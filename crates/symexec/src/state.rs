@@ -1,0 +1,84 @@
+//! Symbolic program states.
+
+use std::fmt;
+
+use dise_cfg::NodeId;
+use dise_solver::PathCondition;
+
+use crate::env::Env;
+
+/// A symbolic program state: "a unique program location identifier (Loc),
+/// symbolic expressions for the symbolic input variables, and a path
+/// condition (PC)" (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymState {
+    /// The CFG node this state is at.
+    pub node: NodeId,
+    /// Symbolic values of all program variables.
+    pub env: Env,
+    /// Constraints accumulated along the path to this state.
+    pub pc: PathCondition,
+    /// Number of transitions taken from the initial state.
+    pub depth: u32,
+}
+
+impl SymState {
+    /// The initial state of a procedure at its `begin` node.
+    pub fn initial(node: NodeId, env: Env) -> SymState {
+        SymState {
+            node,
+            env,
+            pc: PathCondition::new(),
+            depth: 0,
+        }
+    }
+
+    /// A successor at `node` with the same environment and path condition.
+    pub fn step_to(&self, node: NodeId) -> SymState {
+        SymState {
+            node,
+            env: self.env.clone(),
+            pc: self.pc.clone(),
+            depth: self.depth + 1,
+        }
+    }
+}
+
+impl fmt::Display for SymState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Loc: {}, {}, PC: {}", self.node, self.env, self.pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_solver::{SymExpr, SymTy, VarPool};
+
+    #[test]
+    fn initial_state_has_true_pc_and_zero_depth() {
+        let state = SymState::initial(NodeId(0), Env::new());
+        assert!(state.pc.is_empty());
+        assert_eq!(state.depth, 0);
+    }
+
+    #[test]
+    fn step_to_increments_depth() {
+        let state = SymState::initial(NodeId(0), Env::new());
+        let next = state.step_to(NodeId(3));
+        assert_eq!(next.depth, 1);
+        assert_eq!(next.node, NodeId(3));
+        assert_eq!(next.pc, state.pc);
+    }
+
+    #[test]
+    fn display_matches_figure1_format() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("X", SymTy::Int);
+        let mut env = Env::new();
+        env.bind("x", SymExpr::var(&x));
+        let mut state = SymState::initial(NodeId(1), env);
+        state.pc.push(SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)));
+        assert_eq!(state.to_string(), "Loc: n1, x: X, PC: X > 0");
+    }
+}

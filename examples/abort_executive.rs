@@ -1,0 +1,60 @@
+//! Change-impact triage on a path-explosive system: the On-board Abort
+//! Executive.
+//!
+//! The OAE's flight-rule checks are independent conditionals, so its path
+//! space grows exponentially — full symbolic execution explores ~1.5k
+//! paths on this model (the paper's Java artifact: 130,820). DiSE answers
+//! "what did my one-line change affect?" in a handful of states.
+//!
+//! ```text
+//! cargo run --release --example abort_executive
+//! ```
+
+use dise::artifacts::oae;
+use dise::core::dise::{run_dise, run_full_on, DiseConfig};
+use dise::core::report::duration_mmss;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let artifact = oae::artifact();
+    let config = DiseConfig::default();
+
+    let full = run_full_on(&artifact.base, artifact.proc_name, &config)?;
+    println!(
+        "full symbolic execution of {}::{}: {} path conditions, {} states, {}",
+        artifact.name,
+        artifact.proc_name,
+        full.pc_count(),
+        full.stats().states_explored,
+        duration_mmss(full.stats().elapsed),
+    );
+    println!();
+
+    for version in &artifact.versions {
+        let result = run_dise(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &config,
+        )?;
+        let full = run_full_on(&version.program, artifact.proc_name, &config)?;
+        let ratio = result.summary.stats().states_explored as f64
+            / full.stats().states_explored.max(1) as f64;
+        println!(
+            "{:>3} ({} change{}): {:>4} affected PCs vs {:>4} full | {:>5} vs {:>5} states ({:>5.1}%) | {}",
+            version.id,
+            version.num_changes,
+            if version.num_changes == 1 { "" } else { "s" },
+            result.summary.pc_count(),
+            full.pc_count(),
+            result.summary.stats().states_explored,
+            full.stats().states_explored,
+            ratio * 100.0,
+            version.description,
+        );
+    }
+
+    println!();
+    println!("a change to a leaf write (v2) is triaged in a few dozen states; a change to");
+    println!("a flight rule (v1) focuses the search on the ~1% of paths it can affect.");
+    Ok(())
+}

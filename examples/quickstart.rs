@@ -1,0 +1,74 @@
+//! Quickstart: run DiSE on the paper's own running example.
+//!
+//! Two versions of the simplified Wheel Brake System differ in one
+//! comparison operator (`PedalPos == 0` → `PedalPos <= 0`). DiSE finds the
+//! path conditions affected by the change without exploring the rest of
+//! the program.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dise::core::dise::{run_dise, run_full_on, DiseConfig};
+use dise::ir::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = parse_program(
+        "int AltPress = 0;
+         int Meter = 2;
+         proc update(int PedalPos, int BSwitch, int PedalCmd) {
+           if (PedalPos == 0) {
+             PedalCmd = PedalCmd + 1;
+           } else if (PedalPos == 1) {
+             PedalCmd = PedalCmd + 2;
+           } else {
+             PedalCmd = PedalPos;
+           }
+           PedalCmd = PedalCmd + 1;
+           if (BSwitch == 0) {
+             Meter = 1;
+           } else if (BSwitch == 1) {
+             Meter = 2;
+           }
+           if (PedalCmd == 2) {
+             AltPress = 0;
+           } else if (PedalCmd == 3) {
+             AltPress = 25;
+           } else {
+             AltPress = 50;
+           }
+         }",
+    )?;
+
+    // The evolved version relaxes the first comparison.
+    let modified_source = dise::ir::pretty::pretty_program(&base)
+        .replace("PedalPos == 0", "PedalPos <= 0");
+    let modified = parse_program(&modified_source)?;
+
+    // Run DiSE: diff the versions, compute affected locations, direct
+    // symbolic execution at the change.
+    let result = run_dise(&base, &modified, "update", &DiseConfig::default())?;
+
+    println!("changed CFG nodes:  {}", result.changed_nodes);
+    println!("affected CFG nodes: {}", result.affected_nodes);
+    println!();
+    println!("affected path conditions ({}):", result.summary.pc_count());
+    for pc in result.affected_pc_strings() {
+        println!("  {pc}");
+    }
+
+    // Compare against full symbolic execution of the modified version.
+    let full = run_full_on(&modified, "update", &DiseConfig::default())?;
+    println!();
+    println!(
+        "full symbolic execution generates {} path conditions; DiSE pruned {} of them",
+        full.pc_count(),
+        full.pc_count() - result.summary.pc_count()
+    );
+    println!(
+        "states explored: DiSE {} vs full {}",
+        result.summary.stats().states_explored,
+        full.stats().states_explored
+    );
+    Ok(())
+}

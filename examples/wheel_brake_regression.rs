@@ -1,0 +1,69 @@
+//! Regression testing a safety-critical controller with DiSE (§5.2).
+//!
+//! Scenario: the Wheel Brake System's `update` method evolves. The team
+//! has a test suite generated from the old version; they want to know
+//! which existing tests still exercise the changed behaviours and which
+//! new tests must be written.
+//!
+//! ```text
+//! cargo run --example wheel_brake_regression
+//! ```
+
+use dise::artifacts::wbs;
+use dise::core::dise::{run_dise, run_full_on, DiseConfig};
+use dise::regression::{generate_tests, select_and_augment};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let artifact = wbs::artifact();
+    let config = DiseConfig::default();
+
+    // The existing suite: full symbolic execution of the base version,
+    // one test per path condition (deduplicated on argument values).
+    let base_summary = run_full_on(&artifact.base, artifact.proc_name, &config)?;
+    let base_suite = generate_tests(&artifact.base, &base_summary);
+    println!(
+        "existing suite ({} paths -> {} tests):",
+        base_summary.pc_count(),
+        base_suite.len()
+    );
+    for test in base_suite.iter().take(5) {
+        println!("  {test}");
+    }
+    println!("  ...\n");
+
+    // A maintainer relaxes the pedal threshold (version v1) — which tests
+    // survive, and what must be added?
+    for id in ["v1", "v4", "v5"] {
+        let version = artifact.version(id).expect("version exists");
+        let result = run_dise(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &config,
+        )?;
+        let dise_suite = generate_tests(&version.program, &result.summary);
+        let selection = select_and_augment(&base_suite, &dise_suite);
+        println!(
+            "{id} ({}): {} affected path conditions",
+            version.description,
+            result.summary.pc_count()
+        );
+        println!(
+            "  selected {} existing tests, added {} new tests (total {})",
+            selection.selected.len(),
+            selection.added.len(),
+            selection.total()
+        );
+        for test in selection.added.iter().take(3) {
+            println!("    new: {test}");
+        }
+        println!();
+    }
+
+    println!(
+        "re-test-all would run {} tests for every change; DiSE-based selection runs only",
+        base_suite.len()
+    );
+    println!("the affected subset — and pinpoints the behaviours that need new tests.");
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! # dise — Directed Incremental Symbolic Execution
+//!
+//! A from-scratch Rust reproduction of *Directed Incremental Symbolic
+//! Execution* (Person, Yang, Rungta, Khurshid — PLDI 2011): a technique
+//! that combines a cheap static change-impact analysis over two program
+//! versions with symbolic execution, steering the symbolic search of the
+//! modified version toward only the execution paths whose path conditions
+//! may be *affected* by the change.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`ir`] | `dise-ir` | the MJ language: parser, AST, type checker, pretty printer |
+//! | [`cfg`](mod@cfg) | `dise-cfg` | CFGs, dominators, control dependence, def/use, reachability, SCCs |
+//! | [`diff`] | `dise-diff` | source-line and structural AST differencing, CFG change maps |
+//! | [`solver`] | `dise-solver` | symbolic expressions, path conditions, the constraint solver |
+//! | [`symexec`] | `dise-symexec` | the symbolic execution engine with pluggable strategies |
+//! | [`core`] | `dise-core` | **the paper's contribution**: affected locations + directed search |
+//! | [`artifacts`] | `dise-artifacts` | the WBS / OAE / ASW case studies and their mutants |
+//! | [`regression`] | `dise-regression` | test generation, selection and augmentation |
+//! | [`evolution`] | `dise-evolution` | differential witnesses, summaries, fault localization, impact reports |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dise::core::dise::{run_dise, run_full_on, DiseConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let base = dise::ir::parse_program(
+//!     "int y;
+//!      proc testX(int x) {
+//!        if (x > 0) { y = y + x; } else { y = y - x; }
+//!      }",
+//! )?;
+//! // The evolved version flips the comparison.
+//! let modified = dise::ir::parse_program(
+//!     "int y;
+//!      proc testX(int x) {
+//!        if (x >= 0) { y = y + x; } else { y = y - x; }
+//!      }",
+//! )?;
+//!
+//! let result = run_dise(&base, &modified, "testX", &DiseConfig::default())?;
+//! let full = run_full_on(&modified, "testX", &DiseConfig::default())?;
+//!
+//! // Every path goes through the changed conditional, so DiSE explores
+//! // both of them — and tells you exactly which constraints changed.
+//! assert_eq!(result.summary.pc_count(), full.pc_count());
+//! for pc in result.affected_pc_strings() {
+//!     println!("affected: {pc}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # From affected paths to evidence
+//!
+//! The [`evolution`] crate turns affected path conditions into concrete
+//! artifacts: witness inputs that demonstrate the behavioural change,
+//! solver proofs that an affected path is actually equivalent, fault
+//! rankings, and impact reports.
+//!
+//! ```
+//! use dise::evolution::witness::{find_witnesses, WitnessConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let base = dise::ir::parse_program(
+//!     "int out;
+//!      proc f(int x) { if (x > 0) { out = 1; } else { out = 2; } }",
+//! )?;
+//! let modified = dise::ir::parse_program(
+//!     "int out;
+//!      proc f(int x) { if (x >= 0) { out = 1; } else { out = 2; } }",
+//! )?;
+//! let report = find_witnesses(&base, &modified, "f", &WitnessConfig::default())?;
+//! // The boundary input x = 0 is found automatically: base writes 2,
+//! // the modified version writes 1.
+//! assert_eq!(report.diverging_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dise_artifacts as artifacts;
+pub use dise_cfg as cfg;
+pub use dise_core as core;
+pub use dise_diff as diff;
+pub use dise_evolution as evolution;
+pub use dise_ir as ir;
+pub use dise_regression as regression;
+pub use dise_solver as solver;
+pub use dise_symexec as symexec;

@@ -1,0 +1,265 @@
+//! Cross-engine oracle properties: the symbolic, concolic, and concrete
+//! engines must tell one consistent story.
+//!
+//! These are the strongest internal-consistency checks in the workspace:
+//! a model of a symbolic path condition, replayed concretely, must follow
+//! exactly the predicted path; run concolically, it must regenerate
+//! exactly the same path condition. The evolution applications (witnesses,
+//! differential summaries, localization) are built on these guarantees.
+
+use dise::artifacts::random::{random_mutant, random_program, GenConfig};
+use dise::evolution::diffsum::{classify_changes, DiffSumConfig, PathClass};
+use dise::evolution::witness::{find_witnesses, Divergence, WitnessConfig};
+use dise::ir::check_program;
+use dise::solver::Solver;
+use dise::symexec::concolic::ConcolicExecutor;
+use dise::symexec::concrete::{ConcreteConfig, ConcreteExecutor, ConcreteOutcome};
+use dise::symexec::{ExecConfig, Executor, FullExploration, PathOutcome};
+use proptest::prelude::*;
+
+fn small_config(seed: u64) -> GenConfig {
+    GenConfig {
+        int_params: 2,
+        bool_params: 1,
+        globals: 1,
+        max_depth: 2,
+        max_stmts: 3,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Solving a completed path's condition and replaying the model
+    /// concretely reproduces the exact node trace and outcome.
+    #[test]
+    fn model_replay_follows_the_predicted_path(seed in any::<u64>()) {
+        let program = random_program(&small_config(seed));
+        check_program(&program).expect("generator emits well-typed programs");
+
+        let mut executor = Executor::new(&program, "f", ExecConfig::default()).unwrap();
+        let summary = executor.explore(&mut FullExploration);
+        let concrete =
+            ConcreteExecutor::new(&program, "f", ConcreteConfig::default()).unwrap();
+        let mut solver = Solver::new();
+        for path in summary.paths() {
+            let expected_failure = match &path.outcome {
+                PathOutcome::Completed => false,
+                PathOutcome::Error(_) => true,
+                _ => continue,
+            };
+            let outcome = solver.check(path.pc.conjuncts());
+            let model = outcome.model().expect("engine keeps only feasible paths");
+            let run = concrete.run_with_model(summary.inputs(), model);
+            prop_assert_eq!(
+                run.outcome.is_failure(),
+                expected_failure,
+                "outcome mismatch for PC {}: {:?}",
+                path.pc,
+                run.outcome
+            );
+            prop_assert!(
+                run.outcome.is_failure() || run.outcome.is_completed(),
+                "unexpected outcome {:?}",
+                run.outcome
+            );
+            prop_assert_eq!(
+                &run.trace,
+                &path.trace,
+                "trace mismatch for PC {}",
+                path.pc
+            );
+        }
+    }
+
+    /// A concolic run on a path's model regenerates that path's condition
+    /// verbatim and agrees with the concrete replay on the final state.
+    #[test]
+    fn concolic_run_regenerates_the_path_condition(seed in any::<u64>()) {
+        let program = random_program(&small_config(seed));
+        let mut executor = Executor::new(&program, "f", ExecConfig::default()).unwrap();
+        let summary = executor.explore(&mut FullExploration);
+        let concolic =
+            ConcolicExecutor::new(&program, "f", ConcreteConfig::default()).unwrap();
+        let concrete =
+            ConcreteExecutor::new(&program, "f", ConcreteConfig::default()).unwrap();
+        let mut solver = Solver::new();
+        for path in summary.paths() {
+            if !matches!(path.outcome, PathOutcome::Completed | PathOutcome::Error(_)) {
+                continue;
+            }
+            let outcome = solver.check(path.pc.conjuncts());
+            let model = outcome.model().expect("engine keeps only feasible paths");
+            let mut input = dise::symexec::ValueEnv::new();
+            for (name, var) in summary.inputs() {
+                if let Some(value) = model.value(var) {
+                    input.insert(name.clone(), value);
+                }
+            }
+            let run = concolic.run(&input);
+            prop_assert_eq!(
+                run.pc.to_string(),
+                path.pc.to_string(),
+                "concolic PC diverged from symbolic PC"
+            );
+            // Concrete and concolic agree on every final value the
+            // concolic run can evaluate concretely.
+            let replay = concrete.run(&input);
+            prop_assert_eq!(&run.final_values, &replay.final_env);
+            prop_assert_eq!(run.trace, replay.trace);
+        }
+    }
+
+    /// Every diverging witness reported for a random mutant genuinely
+    /// distinguishes the two versions under independent concrete replay.
+    #[test]
+    fn witnesses_are_sound_on_random_mutants(seed in any::<u64>()) {
+        let program = random_program(&small_config(seed));
+        let (mutant, mutations) = random_mutant(&program, seed ^ 0xdead_beef, 1);
+        prop_assume!(mutations > 0);
+
+        let report =
+            find_witnesses(&program, &mutant, "f", &WitnessConfig::default()).unwrap();
+        let base_exec =
+            ConcreteExecutor::new(&program, "f", ConcreteConfig::default()).unwrap();
+        let mod_exec =
+            ConcreteExecutor::new(&mutant, "f", ConcreteConfig::default()).unwrap();
+        for witness in &report.witnesses {
+            let base_run = base_exec.run(&witness.input);
+            let mod_run = mod_exec.run(&witness.input);
+            match &witness.divergence {
+                Divergence::Outcome { base, modified } => {
+                    prop_assert_eq!(&base_run.outcome, base);
+                    prop_assert_eq!(&mod_run.outcome, modified);
+                }
+                Divergence::Effect(diffs) => {
+                    for diff in diffs {
+                        prop_assert_eq!(base_run.value(&diff.var), Some(diff.base));
+                        prop_assert_eq!(mod_run.value(&diff.var), Some(diff.modified));
+                    }
+                }
+                Divergence::None => {
+                    prop_assert_eq!(&base_run.outcome, &mod_run.outcome);
+                }
+            }
+        }
+    }
+
+    /// Differential-summary verdicts are sound: a solver-produced
+    /// divergence witness, replayed concretely, really produces different
+    /// values for the claimed variable; an effect-preserving verdict means
+    /// the original input's replays agree.
+    #[test]
+    fn diffsum_verdicts_replay_correctly(seed in any::<u64>()) {
+        let program = random_program(&small_config(seed));
+        let (mutant, mutations) = random_mutant(&program, seed ^ 0x5eed_cafe, 1);
+        prop_assume!(mutations > 0);
+
+        let summary =
+            classify_changes(&program, &mutant, "f", &DiffSumConfig::default()).unwrap();
+        let base_exec =
+            ConcreteExecutor::new(&program, "f", ConcreteConfig::default()).unwrap();
+        let mod_exec =
+            ConcreteExecutor::new(&mutant, "f", ConcreteConfig::default()).unwrap();
+        for path in &summary.paths {
+            match &path.class {
+                PathClass::EffectDiverging { vars, witness } => {
+                    let base_run = base_exec.run(witness);
+                    let mod_run = mod_exec.run(witness);
+                    // The solver witness lies in the overlap region, so
+                    // both replays terminate the same way; at least one
+                    // claimed variable must differ.
+                    prop_assert_eq!(&base_run.outcome, &mod_run.outcome);
+                    prop_assert!(
+                        vars.iter().any(|v| base_run.value(v) != mod_run.value(v)),
+                        "claimed divergence on {:?} not reproduced (witness {:?})",
+                        vars,
+                        witness
+                    );
+                }
+                PathClass::EffectPreserving => {
+                    let base_run = base_exec.run(&path.input);
+                    let mod_run = mod_exec.run(&path.input);
+                    prop_assert_eq!(&base_run.outcome, &mod_run.outcome);
+                    for global in program.globals.iter() {
+                        if mutant.global(&global.name).is_some() {
+                            prop_assert_eq!(
+                                base_run.value(&global.name),
+                                mod_run.value(&global.name),
+                                "preserving path diverged on {}",
+                                global.name
+                            );
+                        }
+                    }
+                }
+                PathClass::OutcomeDiverging { base, modified } => {
+                    let base_run = base_exec.run(&path.input);
+                    let mod_run = mod_exec.run(&path.input);
+                    prop_assert_eq!(&base_run.outcome, base);
+                    prop_assert_eq!(&mod_run.outcome, modified);
+                }
+                PathClass::Undecided { .. } => {}
+            }
+        }
+    }
+
+    /// The concrete executor is total on random inputs: every run on a
+    /// loop-free program terminates with a definite outcome and a trace
+    /// that walks real CFG edges.
+    #[test]
+    fn concrete_runs_terminate_and_walk_cfg_edges(
+        seed in any::<u64>(),
+        x in -50i64..50,
+        y in -50i64..50,
+        b in any::<bool>(),
+        g in -50i64..50,
+    ) {
+        let program = random_program(&small_config(seed));
+        let executor =
+            ConcreteExecutor::new(&program, "f", ConcreteConfig::default()).unwrap();
+        // Assign values by declared type: ints cycle through {x, y, g},
+        // bools take b.
+        let mut input = dise::symexec::ValueEnv::new();
+        let mut ints = [x, y, g].into_iter().cycle();
+        let procedure = program.proc("f").unwrap();
+        for param in &procedure.params {
+            let value = match param.ty {
+                dise::ir::Type::Int => {
+                    dise::solver::model::Value::Int(ints.next().unwrap())
+                }
+                dise::ir::Type::Bool => dise::solver::model::Value::Bool(b),
+            };
+            input.insert(param.name.clone(), value);
+        }
+        for global in &program.globals {
+            if global.init.is_none() {
+                input.insert(
+                    global.name.clone(),
+                    dise::solver::model::Value::Int(ints.next().unwrap()),
+                );
+            }
+        }
+        let run = executor.run(&input);
+        prop_assert!(
+            matches!(
+                run.outcome,
+                ConcreteOutcome::Completed | ConcreteOutcome::AssertionFailure(_)
+            ),
+            "unexpected outcome {:?}",
+            run.outcome
+        );
+        for pair in run.trace.windows(2) {
+            prop_assert!(
+                executor
+                    .cfg()
+                    .succs(pair[0])
+                    .iter()
+                    .any(|&(next, _)| next == pair[1]),
+                "trace takes a non-edge {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}

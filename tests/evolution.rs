@@ -1,0 +1,431 @@
+//! Integration tests: the evolution applications running end-to-end on
+//! the paper's artifacts (and on a composed multi-procedure system).
+
+use dise::artifacts::wbs;
+use dise::core::dise::{run_dise, run_full_on, DiseConfig};
+use dise::core::interproc::{run_dise_system, ImpactReason, SystemConfig};
+use dise::evolution::diffsum::{classify_changes, DiffSumConfig};
+use dise::evolution::localize::{localize_change, LocalizeConfig};
+use dise::evolution::report::{impact_report, ImpactConfig};
+use dise::evolution::witness::{find_witnesses, Divergence, WitnessConfig};
+use dise::ir::parse_program;
+use dise::solver::model::Value;
+
+#[test]
+fn wbs_v1_yields_the_pedal_boundary_witness() {
+    // v1 mutates `PedalPos <= 0` to `PedalPos < 0`: at PedalPos = 0 the
+    // pedal mapping falls through every case to the final else, so
+    // BrakeCmd jumps from 0 to 100.
+    let artifact = wbs::artifact();
+    let v1 = artifact.version("v1").unwrap();
+    let report = find_witnesses(
+        &artifact.base,
+        &v1.program,
+        artifact.proc_name,
+        &WitnessConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(report.solve_stats.unsolved, 0);
+    assert_eq!(report.witnesses.len(), report.affected_pcs);
+    let boundary = report
+        .diverging()
+        .find(|w| w.input.get("PedalPos") == Some(&Value::Int(0)))
+        .expect("PedalPos = 0 must appear among the diverging witnesses");
+    let Divergence::Effect(diffs) = &boundary.divergence else {
+        panic!("expected effect divergence, got {:?}", boundary.divergence);
+    };
+    let brake = diffs
+        .iter()
+        .find(|d| d.var == "BrakeCmd")
+        .expect("BrakeCmd diverges at the boundary");
+    // In the modified version PedalPos = 0 falls through to the final
+    // else: BrakeCmd = 100. The base value is 0, or 50 when the witness
+    // input also enables the autobrake interlock.
+    assert_eq!(brake.modified, Value::Int(100));
+    assert!(
+        brake.base == Value::Int(0) || brake.base == Value::Int(50),
+        "unexpected base BrakeCmd {:?}",
+        brake.base
+    );
+}
+
+#[test]
+fn wbs_v5_statement_removal_is_invisible_to_the_static_analysis() {
+    // v5 removes `AltPressure = 0` from the normal-mode routing — but
+    // AltPressure is never read afterwards, so the removed node influences
+    // no conditional and the affected sets stay empty: DiSE itself
+    // certifies the change as behaviourally irrelevant.
+    let artifact = wbs::artifact();
+    let v5 = artifact.version("v5").unwrap();
+    let result = run_dise(
+        &artifact.base,
+        &v5.program,
+        artifact.proc_name,
+        &DiseConfig::default(),
+    )
+    .unwrap();
+    assert!(result.changed_nodes > 0, "the removal is a change");
+    assert_eq!(result.affected_nodes, 0);
+    assert_eq!(result.summary.pc_count(), 0);
+}
+
+#[test]
+fn wbs_identity_rewrite_is_proven_preserving_by_the_solver() {
+    // `BrakeCmd + BrakeCmd - BrakeCmd` is semantically `BrakeCmd`, but the
+    // static analysis cannot know that: the write is flagged as changed
+    // and the downstream clamp conditional as affected. The solver-backed
+    // classification then discharges every affected path as
+    // effect-preserving — exactly the precision split §5 of the paper
+    // describes ("DiSE may generate some path conditions that represent
+    // unchanged paths").
+    let base = parse_program(wbs::BASE_SRC).unwrap();
+    let rewritten_src = wbs::BASE_SRC.replace(
+        "AntiSkidCmd = BrakeCmd;",
+        "AntiSkidCmd = BrakeCmd + BrakeCmd - BrakeCmd;",
+    );
+    let rewritten = parse_program(&rewritten_src).unwrap();
+
+    let result = run_dise(&base, &rewritten, "update", &DiseConfig::default()).unwrap();
+    assert!(
+        result.affected_nodes > 0,
+        "the conservative static analysis must flag the rewrite"
+    );
+    assert!(result.summary.pc_count() > 0);
+
+    let summary =
+        classify_changes(&base, &rewritten, "update", &DiffSumConfig::default()).unwrap();
+    assert_eq!(summary.paths.len(), result.summary.pc_count());
+    assert_eq!(
+        summary.diverging_count(),
+        0,
+        "identity rewrite must not diverge: {:?}",
+        summary
+            .paths
+            .iter()
+            .map(|p| (&p.pc, &p.class))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(summary.preserving_count(), summary.paths.len());
+}
+
+#[test]
+fn wbs_v2_constant_change_diverges_exactly_on_pedal_one() {
+    // v2 mutates `BrakeCmd = 25` to `BrakeCmd = 20`: only the
+    // PedalPos == 1 region can observe it.
+    let artifact = wbs::artifact();
+    let v2 = artifact.version("v2").unwrap();
+    let report = find_witnesses(
+        &artifact.base,
+        &v2.program,
+        artifact.proc_name,
+        &WitnessConfig::default(),
+    )
+    .unwrap();
+    for witness in report.diverging() {
+        assert_eq!(
+            witness.input.get("PedalPos"),
+            Some(&Value::Int(1)),
+            "divergence outside the PedalPos == 1 region: {witness:?}"
+        );
+    }
+    assert!(report.diverging_count() >= 1);
+}
+
+#[test]
+fn wbs_injected_fault_localizes_to_the_mutated_statement() {
+    // Break the anti-skid clamp: the valve command is no longer capped, so
+    // large commands overrun the 3000 psi assertion.
+    let base = parse_program(wbs::BASE_SRC).unwrap();
+    let faulty_src = wbs::BASE_SRC.replace(
+        "MeterValveCmd = 60;",
+        "MeterValveCmd = AntiSkidCmd + 45;",
+    );
+    let faulty = parse_program(&faulty_src).unwrap();
+
+    let outcome = localize_change(&base, &faulty, "update", &LocalizeConfig::default()).unwrap();
+    assert!(
+        outcome.report.failing > 0,
+        "the injected fault must produce failing tests"
+    );
+    assert!(outcome.report.passing > 0);
+    let exam = outcome.exam.expect("changed node is ranked");
+    assert!(
+        exam <= 0.35,
+        "changed node should rank near the top, EXAM = {exam:.2}, rank = {:?}",
+        outcome.best_changed_rank
+    );
+}
+
+#[test]
+fn composed_system_analyzes_only_the_impacted_chain() {
+    let base = parse_program(
+        "int pressure;
+         int command;
+         proc clamp(int v) { if (v > 60) { command = 60; } else { command = v; } }
+         proc route(int cmd) { clamp(cmd); pressure = command * 30; }
+         proc telemetry(int t) { if (t > 0) { t = t - 1; } }
+         proc tick(int pedal) { if (pedal > 0) { route(pedal * 25); } else { route(0); } }",
+    )
+    .unwrap();
+    let modified = parse_program(
+        "int pressure;
+         int command;
+         proc clamp(int v) { if (v >= 60) { command = 60; } else { command = v; } }
+         proc route(int cmd) { clamp(cmd); pressure = command * 30; }
+         proc telemetry(int t) { if (t > 0) { t = t - 1; } }
+         proc tick(int pedal) { if (pedal > 0) { route(pedal * 25); } else { route(0); } }",
+    )
+    .unwrap();
+
+    let result = run_dise_system(&base, &modified, &SystemConfig::default()).unwrap();
+    let analyzed: Vec<&str> = result.procedures.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(analyzed, vec!["clamp", "route", "tick"]);
+    assert_eq!(result.skipped, vec!["telemetry".to_string()]);
+    assert_eq!(
+        result.procedure("route").unwrap().reason,
+        ImpactReason::CallsImpacted("clamp".to_string())
+    );
+    assert!(result.failed.is_empty());
+
+    // The incremental win: full symbolic execution of every procedure
+    // explores strictly more states than the system DiSE run, which both
+    // skips `telemetry` and prunes within each impacted procedure.
+    let full_states: u64 = ["clamp", "route", "telemetry", "tick"]
+        .iter()
+        .map(|name| {
+            run_full_on(&modified, name, &DiseConfig::default())
+                .unwrap()
+                .stats()
+                .states_explored
+        })
+        .sum();
+    assert!(
+        result.total_states() < full_states,
+        "system DiSE ({}) must explore fewer states than re-running full \
+         symbolic execution everywhere ({full_states})",
+        result.total_states()
+    );
+}
+
+#[test]
+fn system_run_matches_single_procedure_dise_per_procedure() {
+    let base = parse_program(
+        "int g;
+         proc leaf(int v) { if (v > 0) { g = v; } else { g = 0 - v; } }
+         proc caller(int x) { leaf(x + 1); }",
+    )
+    .unwrap();
+    let modified = parse_program(
+        "int g;
+         proc leaf(int v) { if (v >= 0) { g = v; } else { g = 0 - v; } }
+         proc caller(int x) { leaf(x + 1); }",
+    )
+    .unwrap();
+    let system = run_dise_system(&base, &modified, &SystemConfig::default()).unwrap();
+    for proc_result in &system.procedures {
+        let standalone = run_dise(
+            &base,
+            &modified,
+            &proc_result.name,
+            &DiseConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            proc_result.result.summary.pc_count(),
+            standalone.summary.pc_count(),
+            "system-run result differs from standalone DiSE for {}",
+            proc_result.name
+        );
+    }
+}
+
+#[test]
+fn wbs_impact_report_renders_every_section() {
+    let artifact = wbs::artifact();
+    let v2 = artifact.version("v2").unwrap();
+    let text = impact_report(
+        &artifact.base,
+        &v2.program,
+        artifact.proc_name,
+        &ImpactConfig::default(),
+    )
+    .unwrap();
+    for expected in [
+        "# Change impact: `update`",
+        "## Changed statements",
+        "## Affected locations",
+        "## Affected path conditions",
+        "## Regression suite",
+        "BrakeCmd",
+    ] {
+        assert!(text.contains(expected), "missing {expected:?}");
+    }
+}
+
+#[test]
+fn wbs_v3_threshold_change_is_masked_by_the_discrete_command_lattice() {
+    // v3 raises the autobrake interlock threshold from `BrakeCmd < 50` to
+    // `BrakeCmd < 75`. BrakeCmd only ever holds {0, 25, 50, 75, 100}, and
+    // the only newly-captured value (50) is raised to... 50. The change
+    // is invisible at every reachable state — and the solver proves it
+    // path by path.
+    let artifact = wbs::artifact();
+    let v3 = artifact.version("v3").unwrap();
+    let summary = classify_changes(
+        &artifact.base,
+        &v3.program,
+        artifact.proc_name,
+        &DiffSumConfig::default(),
+    )
+    .unwrap();
+    assert!(summary.paths.len() > 10, "the static analysis flags plenty");
+    assert_eq!(summary.diverging_count(), 0);
+    assert_eq!(summary.undecided_count(), 0);
+    assert_eq!(summary.preserving_count(), summary.paths.len());
+}
+
+#[test]
+fn oae_localized_change_yields_few_fast_witnesses() {
+    // OAE is the path-explosive artifact; a leaf-write change (v2 in the
+    // paper's table: 2 PCs out of 130k) must stay cheap for witness
+    // generation too — the replays scale with the *affected* count.
+    let artifact = dise::artifacts::oae::artifact();
+    let v2 = artifact.version("v2").unwrap();
+    let report = find_witnesses(
+        &artifact.base,
+        &v2.program,
+        artifact.proc_name,
+        &WitnessConfig::default(),
+    )
+    .unwrap();
+    assert!(report.affected_pcs > 0);
+    assert!(
+        report.affected_pcs < 50,
+        "a localized OAE change must not touch the whole path space"
+    );
+    assert_eq!(report.witnesses.len(), report.affected_pcs);
+}
+
+#[test]
+fn asw_v13_diverges_on_most_affected_paths() {
+    // v13 composes two mutations whose combined effect reaches most of
+    // the affected region — the high end of the witness spectrum (the
+    // bench table reports 24 of 29 replays diverging).
+    let artifact = dise::artifacts::asw::artifact();
+    let v13 = artifact.version("v13").unwrap();
+    let report = find_witnesses(
+        &artifact.base,
+        &v13.program,
+        artifact.proc_name,
+        &WitnessConfig::default(),
+    )
+    .unwrap();
+    assert!(report.affected_pcs > 0);
+    assert!(
+        report.diverging_count() * 2 > report.witnesses.len(),
+        "expected a majority of diverging replays, got {}/{}",
+        report.diverging_count(),
+        report.witnesses.len()
+    );
+}
+
+#[test]
+fn loop_change_witnesses_under_a_depth_bound() {
+    // The changed loop body shifts the accumulator; witnesses exist for
+    // every completed unrolling within the bound, and each replay
+    // (unbounded, concrete) reproduces the divergence.
+    let base = parse_program(
+        "int total;
+         proc f(int n) {
+           int i = 0;
+           total = 0;
+           while (i < n) { total = total + 2; i = i + 1; }
+         }",
+    )
+    .unwrap();
+    let modified = parse_program(
+        "int total;
+         proc f(int n) {
+           int i = 0;
+           total = 0;
+           while (i < n) { total = total + 3; i = i + 1; }
+         }",
+    )
+    .unwrap();
+    let config = WitnessConfig {
+        dise: DiseConfig {
+            exec: dise::symexec::ExecConfig {
+                depth_bound: Some(40),
+                ..Default::default()
+            },
+            ..DiseConfig::default()
+        },
+        ..WitnessConfig::default()
+    };
+    let report = find_witnesses(&base, &modified, "f", &config).unwrap();
+    assert!(report.affected_pcs > 1, "several unrollings complete");
+    // Every completed unrolling with n >= 1 diverges (total: 2n vs 3n);
+    // only the zero-iteration path agrees.
+    assert_eq!(report.equivalent_count(), 1);
+    assert_eq!(report.diverging_count(), report.witnesses.len() - 1);
+    for witness in report.diverging() {
+        let Divergence::Effect(diffs) = &witness.divergence else {
+            panic!("expected effect divergence, got {:?}", witness.divergence);
+        };
+        let total = diffs.iter().find(|d| d.var == "total").unwrap();
+        let Value::Int(n) = witness.input["n"] else { panic!() };
+        assert_eq!(total.base, Value::Int(2 * n));
+        assert_eq!(total.modified, Value::Int(3 * n));
+    }
+}
+
+#[test]
+fn localization_without_failures_is_well_defined() {
+    // WBS v2 changes a constant but violates no assertion: the suite has
+    // no failing runs, every score is 0, and the API degrades gracefully
+    // instead of panicking or fabricating a ranking.
+    let artifact = wbs::artifact();
+    let v2 = artifact.version("v2").unwrap();
+    let outcome = localize_change(
+        &artifact.base,
+        &v2.program,
+        artifact.proc_name,
+        &LocalizeConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(outcome.report.failing, 0);
+    assert!(outcome.report.passing > 0);
+    assert!(outcome.report.ranking.iter().all(|r| r.score == 0.0));
+    // With all scores tied at zero the worst-case rank is the full list —
+    // "no signal", reported honestly.
+    assert_eq!(
+        outcome.best_changed_rank,
+        Some(outcome.report.ranking.len())
+    );
+}
+
+#[test]
+fn witness_counts_are_consistent_across_wbs_versions() {
+    let artifact = wbs::artifact();
+    for version in &artifact.versions {
+        let report = find_witnesses(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &WitnessConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            report.witnesses.len(),
+            report.affected_pcs - report.solve_stats.unsolved,
+            "witness bookkeeping broken for {}",
+            version.id
+        );
+        assert_eq!(
+            report.diverging_count() + report.equivalent_count(),
+            report.witnesses.len(),
+            "divergence partition broken for {}",
+            version.id
+        );
+    }
+}

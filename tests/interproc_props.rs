@@ -1,0 +1,183 @@
+//! Property-based tests for the system-level impact analysis: random call
+//! DAGs, random change sites, and the closure/minimality laws the
+//! propagation must satisfy.
+
+use std::collections::BTreeSet;
+
+use dise::core::interproc::{run_dise_system, system_impact, CallGraph, SystemConfig};
+use dise::ir::{check_program, parse_program, Program};
+use proptest::prelude::*;
+
+/// Builds a random call DAG: `n` procedures where `p_i` may call only
+/// higher-numbered procedures (no recursion by construction). Each
+/// procedure branches on its parameter and writes the shared global.
+fn dag_program(n: usize, edges: &[(usize, usize)], changed: Option<usize>) -> Program {
+    let mut src = String::from("int acc;\n");
+    for i in 0..n {
+        let delta = if changed == Some(i) { 7 } else { 1 };
+        let calls: String = edges
+            .iter()
+            .filter(|&&(from, _)| from == i)
+            .map(|&(_, to)| format!("p{to}(v - 1); "))
+            .collect();
+        src.push_str(&format!(
+            "proc p{i}(int v) {{ if (v > {i}) {{ acc = acc + {delta}; {calls}}} else {{ acc = acc - 1; }} }}\n"
+        ));
+    }
+    let program = parse_program(&src).expect("generated DAG parses");
+    check_program(&program).expect("generated DAG type-checks");
+    program
+}
+
+/// Random DAG edges over `n` nodes (from low to high index only): each
+/// candidate pair is included or not by a coin flip.
+fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let len = pairs.len();
+    prop::collection::vec(any::<bool>(), len).prop_map(move |mask| {
+        pairs
+            .iter()
+            .zip(mask)
+            .filter(|(_, keep)| *keep)
+            .map(|(&e, _)| e)
+            .collect()
+    })
+}
+
+/// Transitive callers of `target` (including itself) over the edge list.
+fn ancestors(edges: &[(usize, usize)], target: usize) -> BTreeSet<usize> {
+    let mut out = BTreeSet::from([target]);
+    loop {
+        let before = out.len();
+        for &(from, to) in edges {
+            if out.contains(&to) {
+                out.insert(from);
+            }
+        }
+        if out.len() == before {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The impacted set equals exactly the transitive callers of the
+    /// changed procedure — no more (minimality), no less (closure).
+    #[test]
+    fn impact_is_exactly_the_caller_closure(
+        n in 2usize..7,
+        edges in edges_strategy(6),
+        target_raw in 0usize..6,
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(from, to)| from < n && to < n)
+            .collect();
+        let target = target_raw % n;
+        let base = dag_program(n, &edges, None);
+        let modified = dag_program(n, &edges, Some(target));
+        let impact = system_impact(&base, &modified);
+
+        let expected = ancestors(&edges, target);
+        let impacted: BTreeSet<usize> = impact
+            .impacted
+            .keys()
+            .map(|name| name[1..].parse::<usize>().expect("p<index> name"))
+            .collect();
+        prop_assert_eq!(impacted, expected);
+    }
+
+    /// Identical systems have an empty impacted set and the system run
+    /// skips every procedure.
+    #[test]
+    fn identical_systems_have_empty_impact(
+        n in 1usize..6,
+        edges in edges_strategy(5),
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(from, to)| from < n && to < n)
+            .collect();
+        let program = dag_program(n, &edges, None);
+        let impact = system_impact(&program, &program);
+        prop_assert!(impact.impacted.is_empty());
+        prop_assert!(impact.removed.is_empty());
+        prop_assert!(impact.changed_globals.is_empty());
+
+        let result = run_dise_system(&program, &program, &SystemConfig::default()).unwrap();
+        prop_assert!(result.procedures.is_empty());
+        prop_assert_eq!(result.skipped.len(), n);
+    }
+
+    /// The call graph's `callers` relation is the exact transpose of
+    /// `callees`.
+    #[test]
+    fn call_graph_transpose_is_consistent(
+        n in 1usize..7,
+        edges in edges_strategy(6),
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(from, to)| from < n && to < n)
+            .collect();
+        let program = dag_program(n, &edges, None);
+        let graph = CallGraph::new(&program);
+        for caller in graph.procedures() {
+            for callee in graph.callees(caller) {
+                prop_assert!(
+                    graph.callers(callee).any(|c| c == caller),
+                    "missing transpose edge {caller} -> {callee}"
+                );
+            }
+        }
+        for callee in graph.procedures() {
+            for caller in graph.callers(callee) {
+                prop_assert!(
+                    graph.callees(caller).any(|c| c == callee),
+                    "spurious transpose edge {caller} -> {callee}"
+                );
+            }
+        }
+    }
+
+    /// Every analyzed procedure in a system run reports the same affected
+    /// path-condition count as a standalone intra-procedural DiSE run —
+    /// the system layer only selects, never alters.
+    #[test]
+    fn system_run_is_a_pure_selection(
+        n in 2usize..5,
+        edges in edges_strategy(4),
+        target_raw in 0usize..4,
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(from, to)| from < n && to < n)
+            .collect();
+        let target = target_raw % n;
+        let base = dag_program(n, &edges, None);
+        let modified = dag_program(n, &edges, Some(target));
+        let result = run_dise_system(&base, &modified, &SystemConfig::default()).unwrap();
+        for proc_result in &result.procedures {
+            let standalone = dise::core::dise::run_dise(
+                &base,
+                &modified,
+                &proc_result.name,
+                &dise::core::dise::DiseConfig::default(),
+            )
+            .unwrap();
+            prop_assert_eq!(
+                proc_result.result.summary.pc_count(),
+                standalone.summary.pc_count()
+            );
+            prop_assert_eq!(
+                proc_result.result.summary.stats().states_explored,
+                standalone.summary.stats().states_explored
+            );
+        }
+    }
+}
