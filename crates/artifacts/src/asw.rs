@@ -1,0 +1,149 @@
+//! The Altitude Switch artifact.
+//!
+//! A sensor-fusion lattice: altitude selects a mode, the altimeter
+//! quality selects a confidence, the climb rate selects a trend, and the
+//! inhibit switch selects how the device-of-interest status is formed
+//! from mode and confidence. Four independent three-way selections give
+//! **81** feasible paths.
+//!
+//! Versions (ids follow the paper's Table 2 sampling, which skips
+//! numbers):
+//!
+//! * `v1` — a comment-only revision: the diff sees no structural change
+//!   (the paper's "masked" row — DiSE certifies the new version without
+//!   exploring anything);
+//! * `v2` — low-altitude threshold raised from 500 to 800;
+//! * `v4` — mid-quality confidence recoded from 1 to 2;
+//! * `v6` — flat-rate trend recoded from 1 to 0;
+//! * `v8` — inhibited status formula now includes the confidence;
+//! * `v13` — composition of the `v2` threshold change with an alarm
+//!   offset: the offset reaches every path, so most affected paths
+//!   diverge behaviourally.
+
+use crate::{derive_version, parse_base, Artifact};
+
+/// The base ASW source.
+pub const BASE_SRC: &str = "int DOIStatus = 0;
+int AlarmOut = 0;
+
+proc asw(int Altitude, int AltQuality, int Rate, int Inhibit) {
+  int Mode = 0;
+  if (Altitude < 500) {
+    Mode = 2;
+  } else if (Altitude < 2000) {
+    Mode = 1;
+  } else {
+    Mode = 0;
+  }
+  int Conf = 0;
+  if (AltQuality < 1) {
+    Conf = 0;
+  } else if (AltQuality < 3) {
+    Conf = 1;
+  } else {
+    Conf = 2;
+  }
+  int Trend = 0;
+  if (Rate < 0) {
+    Trend = 2;
+  } else if (Rate < 10) {
+    Trend = 1;
+  } else {
+    Trend = 0;
+  }
+  if (Inhibit < 1) {
+    DOIStatus = Mode * 3 + Conf;
+  } else if (Inhibit < 2) {
+    DOIStatus = Mode;
+  } else {
+    DOIStatus = 0;
+  }
+  AlarmOut = DOIStatus + Trend;
+}
+";
+
+/// Builds the ASW artifact (base + versions `v1`, `v2`, `v4`, `v6`, `v8`,
+/// `v13`).
+pub fn artifact() -> Artifact {
+    let base = parse_base("ASW", BASE_SRC);
+    let versions = vec![
+        derive_version(
+            BASE_SRC,
+            "v1",
+            "comment-only revision: structurally identical to the base",
+            &[(
+                "proc asw(int Altitude, int AltQuality, int Rate, int Inhibit) {",
+                "// rev 2: documentation pass, no functional change\n\
+                 proc asw(int Altitude, int AltQuality, int Rate, int Inhibit) {",
+            )],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v2",
+            "low-altitude threshold raised: < 500 becomes < 800",
+            &[("Altitude < 500", "Altitude < 800")],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v4",
+            "mid-quality confidence recoded: Conf = 1 becomes Conf = 2",
+            &[("Conf = 1;", "Conf = 2;")],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v6",
+            "flat-rate trend recoded: Trend = 1 becomes Trend = 0",
+            &[("Trend = 1;", "Trend = 0;")],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v8",
+            "inhibited status now includes the confidence",
+            &[("DOIStatus = Mode;", "DOIStatus = Mode + Conf;")],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v13",
+            "composition: v2 threshold change plus a global alarm offset",
+            &[
+                ("Altitude < 500", "Altitude < 800"),
+                (
+                    "AlarmOut = DOIStatus + Trend;",
+                    "AlarmOut = DOIStatus + Trend + 1;",
+                ),
+            ],
+        ),
+    ];
+    Artifact {
+        name: "ASW",
+        proc_name: "asw",
+        base,
+        versions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_and_versions_build() {
+        let artifact = artifact();
+        assert_eq!(artifact.versions.len(), 6);
+        for id in ["v1", "v2", "v4", "v6", "v8", "v13"] {
+            assert!(artifact.version(id).is_some(), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn v1_is_structurally_identical() {
+        let artifact = artifact();
+        let v1 = artifact.version("v1").unwrap();
+        assert!(artifact.base.syn_eq(&v1.program));
+    }
+
+    #[test]
+    fn v13_composes_two_changes() {
+        assert_eq!(artifact().version("v13").unwrap().num_changes, 2);
+    }
+}

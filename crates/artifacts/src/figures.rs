@@ -1,0 +1,103 @@
+//! The paper's worked examples: Fig. 1 (`testX`) and the simplified WBS
+//! of Fig. 2, with the `n0..n14` node numbering used throughout §2–§3.
+
+use dise_cfg::{Cfg, NodeId};
+use dise_ir::Program;
+
+use crate::parse_base;
+
+/// Fig. 1's `testX`: one symbolic branch, two behaviours.
+pub const TEST_X_SRC: &str = "int y;
+proc testX(int x) {
+  if (x > 0) {
+    y = y + x;
+  } else {
+    y = y - x;
+  }
+}
+";
+
+/// The Fig. 1 program.
+pub fn test_x() -> Program {
+    parse_base("testX", TEST_X_SRC)
+}
+
+/// The simplified WBS of Fig. 2. Statement lines are chosen so the CFG
+/// node numbering matches the paper's `n0..n14` (see [`fig2_paper_node`]).
+pub const FIG2_BASE_SRC: &str = "int AltPress = 0;
+int Meter = 2;
+proc update(int PedalPos, int BSwitch, int PedalCmd) {
+  if (PedalPos == 0) {
+    PedalCmd = PedalCmd + 1;
+  } else if (PedalPos == 1) {
+    PedalCmd = PedalCmd + 2;
+  } else {
+    PedalCmd = PedalPos;
+  }
+  PedalCmd = PedalCmd + 1;
+  if (BSwitch == 0) {
+    Meter = 1;
+  } else if (BSwitch == 1) {
+    Meter = 2;
+  }
+  if (PedalCmd == 2) {
+    AltPress = 0;
+  } else if (PedalCmd == 3) {
+    AltPress = 25;
+  } else {
+    AltPress = 50;
+  }
+}
+";
+
+/// The Fig. 2 base version (`PedalPos == 0` on line 2 of the paper's
+/// listing).
+pub fn fig2_base() -> Program {
+    parse_base("fig2 base", FIG2_BASE_SRC)
+}
+
+/// The Fig. 2(a) evolved version: `PedalPos == 0` → `PedalPos <= 0`.
+pub fn fig2_modified() -> Program {
+    let src = FIG2_BASE_SRC.replace("PedalPos == 0", "PedalPos <= 0");
+    parse_base("fig2 modified", &src)
+}
+
+/// Maps the paper's node names (`n0`…`n14`) to CFG nodes via source
+/// lines. Works on the CFG of either Fig. 2 version (the change does not
+/// move statements).
+pub fn fig2_paper_node(cfg: &Cfg, paper_index: usize) -> NodeId {
+    // Paper node -> source line in FIG2_BASE_SRC (1-based).
+    const LINES: [u32; 15] = [4, 5, 6, 7, 9, 11, 12, 13, 14, 15, 17, 18, 19, 20, 22];
+    let line = LINES[paper_index];
+    cfg.node_ids()
+        .find(|&n| cfg.node(n).span.line == line)
+        .unwrap_or_else(|| panic!("no CFG node at source line {line}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_cfg::build_cfg;
+
+    #[test]
+    fn fig2_versions_parse_and_differ() {
+        let base = fig2_base();
+        let modified = fig2_modified();
+        assert!(!base.syn_eq(&modified));
+    }
+
+    #[test]
+    fn paper_nodes_resolve() {
+        let program = fig2_modified();
+        let cfg = build_cfg(program.proc("update").unwrap());
+        for i in 0..15 {
+            let _ = fig2_paper_node(&cfg, i);
+        }
+    }
+
+    #[test]
+    fn test_x_has_the_figure_shape() {
+        let program = test_x();
+        assert!(program.proc("testX").is_some());
+    }
+}

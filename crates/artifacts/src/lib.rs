@@ -1,0 +1,97 @@
+//! # dise-artifacts — the case-study corpus
+//!
+//! The paper evaluates DiSE on three Java artifacts: the Altitude Switch
+//! (ASW), the Wheel Brake System (WBS), and the Orion Abort Executive
+//! (OAE). This crate models all three in MJ, each as a base program plus a
+//! set of evolved versions, mirroring the shape (not the scale) of the
+//! paper's Table 2 study:
+//!
+//! * [`asw`] — a mode/confidence/trend lattice; **81** feasible paths;
+//! * [`wbs`] — the pedal-to-pressure pipeline of the running example;
+//!   **48** feasible paths;
+//! * [`oae`] — the phase-dispatched fault counter, the path-explosive
+//!   artifact of the set; **528** feasible paths.
+//!
+//! [`figures`] carries the worked examples of the paper itself (Fig. 1's
+//! `testX`, the simplified WBS of Fig. 2 with its `n0..n14` node
+//! numbering), and [`random`] generates seeded random programs and mutants
+//! for the property-based suites.
+
+use dise_ir::Program;
+
+pub mod asw;
+pub mod figures;
+pub mod oae;
+pub mod random;
+pub mod wbs;
+
+/// One evolved version of an artifact.
+#[derive(Debug, Clone)]
+pub struct Version {
+    /// Version identifier (`v1`, `v2`, …), following the paper's tables.
+    pub id: String,
+    /// What changed relative to the base program.
+    pub description: String,
+    /// Number of textual mutations applied to the base source.
+    pub num_changes: usize,
+    /// The evolved program.
+    pub program: Program,
+}
+
+/// A case-study artifact: a base program and its evolved versions.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Artifact name as the paper's tables write it (`ASW`, `WBS`, `OAE`).
+    pub name: &'static str,
+    /// The analyzed procedure.
+    pub proc_name: &'static str,
+    /// The base (old) program version.
+    pub base: Program,
+    /// The evolved versions, in id order.
+    pub versions: Vec<Version>,
+}
+
+impl Artifact {
+    /// Looks up a version by id.
+    pub fn version(&self, id: &str) -> Option<&Version> {
+        self.versions.iter().find(|v| v.id == id)
+    }
+}
+
+/// Builds a version by applying `replacements` (`from` → `to`) to the base
+/// source. Panics if a pattern is missing or the result does not parse —
+/// artifact sources are compile-time constants, so this is a programming
+/// error, not an input error.
+fn derive_version(
+    base_src: &str,
+    id: &str,
+    description: &str,
+    replacements: &[(&str, &str)],
+) -> Version {
+    let mut src = base_src.to_string();
+    for (from, to) in replacements {
+        assert!(
+            src.contains(from),
+            "artifact version {id}: pattern {from:?} not found"
+        );
+        src = src.replace(from, to);
+    }
+    let program = dise_ir::parse_program(&src)
+        .unwrap_or_else(|e| panic!("artifact version {id} does not parse: {e}"));
+    dise_ir::check_program(&program)
+        .unwrap_or_else(|e| panic!("artifact version {id} does not type-check: {e}"));
+    Version {
+        id: id.to_string(),
+        description: description.to_string(),
+        num_changes: replacements.len(),
+        program,
+    }
+}
+
+fn parse_base(name: &str, src: &str) -> Program {
+    let program =
+        dise_ir::parse_program(src).unwrap_or_else(|e| panic!("{name} base does not parse: {e}"));
+    dise_ir::check_program(&program)
+        .unwrap_or_else(|e| panic!("{name} base does not type-check: {e}"));
+    program
+}

@@ -1,0 +1,105 @@
+//! The Orion Abort Executive artifact.
+//!
+//! The path-explosive member of the corpus, shaped like the paper's OAE:
+//! a top-level flight-phase dispatch selects one of three monitoring
+//! suites, and each suite runs a sequence of independent sensor checks
+//! that accumulate a fault count. Independent checks multiply: the
+//! pre-launch and ascent suites contribute 2⁸ = 256 paths each, the
+//! orbit suite 2⁴ = 16, for **528** feasible paths in the base version —
+//! an order of magnitude beyond [`crate::asw`]/[`crate::wbs`], which is
+//! exactly what makes directed exploration pay off here.
+//!
+//! Versions:
+//!
+//! * `v1` — a pre-launch pressure threshold tightened (affects the whole
+//!   256-path pre-launch suite);
+//! * `v2` — a localized write in the orbit suite's fault estimator: only
+//!   the 16 orbit paths can be affected, the paper's "2 PCs out of
+//!   130,820" scenario in miniature;
+//! * `v4` — the orbit abort command recoded: a leaf write no conditional
+//!   ever reads, so DiSE certifies it with zero affected paths.
+
+use crate::{derive_version, parse_base, Artifact};
+
+/// The base OAE source.
+pub const BASE_SRC: &str = "int AbortCmd = 0;
+int FaultCount = 0;
+int VentValve = 0;
+
+proc exec(int Phase, int Press1, int Press2, int Press3, int Press4,
+          int Temp1, int Temp2, int Temp3, int Temp4) {
+  FaultCount = 0;
+  if (Phase <= 0) {
+    if (Press1 > 90) { FaultCount = FaultCount + 1; }
+    if (Press2 > 90) { FaultCount = FaultCount + 1; }
+    if (Press3 > 90) { FaultCount = FaultCount + 1; }
+    if (Press4 > 90) { FaultCount = FaultCount + 1; }
+    if (Temp1 > 400) { FaultCount = FaultCount + 2; }
+    if (Temp2 > 400) { FaultCount = FaultCount + 2; }
+    if (Temp3 > 400) { FaultCount = FaultCount + 2; }
+    if (Temp4 > 400) { FaultCount = FaultCount + 2; }
+    AbortCmd = 0;
+  } else if (Phase == 1) {
+    if (Press1 > 70) { FaultCount = FaultCount + 1; }
+    if (Press2 > 70) { FaultCount = FaultCount + 1; }
+    if (Press3 > 70) { FaultCount = FaultCount + 1; }
+    if (Press4 > 70) { FaultCount = FaultCount + 1; }
+    if (Temp1 > 350) { FaultCount = FaultCount + 2; }
+    if (Temp2 > 350) { FaultCount = FaultCount + 2; }
+    if (Temp3 > 350) { FaultCount = FaultCount + 2; }
+    if (Temp4 > 350) { FaultCount = FaultCount + 2; }
+    if (FaultCount > 2) { AbortCmd = 1; } else { AbortCmd = 0; }
+  } else {
+    FaultCount = Temp1 - Temp2;
+    if (FaultCount > 100) { FaultCount = 100; }
+    if (Press1 > 40) { VentValve = 1; } else { VentValve = 0; }
+    if (Press2 > 60) { AbortCmd = 2; } else { AbortCmd = 0; }
+    if (Temp3 > 500) { VentValve = VentValve + 1; }
+  }
+}
+";
+
+/// Builds the OAE artifact (base + versions `v1`, `v2`, `v4`).
+pub fn artifact() -> Artifact {
+    let base = parse_base("OAE", BASE_SRC);
+    let versions = vec![
+        derive_version(
+            BASE_SRC,
+            "v1",
+            "pre-launch pressure threshold tightened: > 90 becomes > 85",
+            &[("Press1 > 90", "Press1 > 85")],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v2",
+            "orbit fault estimate rewired: Temp1 - Temp2 becomes Temp1 - Temp3",
+            &[("FaultCount = Temp1 - Temp2;", "FaultCount = Temp1 - Temp3;")],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v4",
+            "orbit abort command recoded: AbortCmd = 2 becomes AbortCmd = 3",
+            &[("AbortCmd = 2;", "AbortCmd = 3;")],
+        ),
+    ];
+    Artifact {
+        name: "OAE",
+        proc_name: "exec",
+        base,
+        versions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_and_versions_build() {
+        let artifact = artifact();
+        assert_eq!(artifact.versions.len(), 3);
+        for id in ["v1", "v2", "v4"] {
+            assert!(artifact.version(id).is_some(), "missing {id}");
+        }
+    }
+}

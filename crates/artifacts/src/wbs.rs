@@ -1,0 +1,143 @@
+//! The Wheel Brake System artifact.
+//!
+//! A brake-by-wire pipeline modeled after the paper's running example:
+//! the pedal position is mapped to a brake command over a five-step
+//! lattice (`BrakeCmd ∈ {0, 25, 50, 75, 100}`), an autobrake interlock
+//! raises weak commands, the anti-skid stage derates the command by the
+//! measured skid level, a clamp bounds the metering valve, and the
+//! hydraulic routing sends the resulting pressure to the normal or
+//! alternate line depending on the brake-source switch. A final assertion
+//! bounds the normal-line pressure at 3000 psi.
+//!
+//! The `PedalPos == 2` arm computes its command symbolically
+//! (`PedalPos * 25`) and the anti-skid derate is the symbolic `SkidLevel`
+//! input, so the interlock and clamp conditionals stay *symbolic* choice
+//! points downstream of the data change sites — which is what lets the
+//! affected-location analysis steer exploration toward them. Full
+//! symbolic execution of the base version yields **48** path conditions.
+//!
+//! The versions follow the paper's change taxonomy:
+//!
+//! * `v1` — boundary relaxation: `PedalPos <= 0` → `PedalPos < 0`
+//!   (pedal 0 now falls through to full braking);
+//! * `v2` — constant change: `BrakeCmd = 25` → `BrakeCmd = 20`
+//!   (observable only in the `PedalPos == 1` region);
+//! * `v3` — interlock threshold raise, masked by the discrete command
+//!   lattice (semantics preserved);
+//! * `v4` — clamp threshold raise (behaviourally visible);
+//! * `v5` — removal of a dead store (`AltPressure = 0` on the normal
+//!   route), invisible to the affected-location analysis.
+
+use crate::{derive_version, parse_base, Artifact};
+
+/// The base WBS source.
+pub const BASE_SRC: &str = "int BrakeCmd = 0;
+int AntiSkidCmd = 0;
+int MeterValveCmd = 0;
+int NorPressure = 0;
+int AltPressure = 0;
+
+proc update(int PedalPos, bool AutoBrake, int SkidLevel, int BSwitch) {
+  if (PedalPos <= 0) {
+    BrakeCmd = 0;
+  } else if (PedalPos == 1) {
+    BrakeCmd = 25;
+  } else if (PedalPos == 2) {
+    BrakeCmd = PedalPos * 25;
+  } else if (PedalPos == 3) {
+    BrakeCmd = 75;
+  } else {
+    BrakeCmd = 100;
+  }
+  if (AutoBrake) {
+    if (BrakeCmd < 50) {
+      BrakeCmd = 50;
+    }
+  }
+  AntiSkidCmd = BrakeCmd;
+  if (SkidLevel > 0) {
+    AntiSkidCmd = AntiSkidCmd - SkidLevel;
+  }
+  if (AntiSkidCmd > 55) {
+    MeterValveCmd = 60;
+  } else {
+    MeterValveCmd = AntiSkidCmd;
+  }
+  if (BSwitch == 0) {
+    NorPressure = MeterValveCmd * 30;
+    AltPressure = 0;
+  } else {
+    AltPressure = MeterValveCmd * 30;
+    NorPressure = 0;
+  }
+  assert(NorPressure <= 3000);
+}
+";
+
+/// Builds the WBS artifact (base + versions `v1`…`v5`).
+pub fn artifact() -> Artifact {
+    let base = parse_base("WBS", BASE_SRC);
+    let versions = vec![
+        derive_version(
+            BASE_SRC,
+            "v1",
+            "pedal boundary relaxed: PedalPos <= 0 becomes PedalPos < 0",
+            &[("PedalPos <= 0", "PedalPos < 0")],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v2",
+            "pedal-1 command constant lowered: 25 becomes 20",
+            &[("BrakeCmd = 25;", "BrakeCmd = 20;")],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v3",
+            "autobrake interlock threshold raised: < 50 becomes < 75 \
+             (masked by the discrete command lattice)",
+            &[("BrakeCmd < 50", "BrakeCmd < 75")],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v4",
+            "anti-skid clamp threshold raised: > 55 becomes > 65",
+            &[("AntiSkidCmd > 55", "AntiSkidCmd > 65")],
+        ),
+        derive_version(
+            BASE_SRC,
+            "v5",
+            "dead store removed: AltPressure = 0 dropped from the normal route",
+            &[("    AltPressure = 0;\n", "")],
+        ),
+    ];
+    Artifact {
+        name: "WBS",
+        proc_name: "update",
+        base,
+        versions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_and_versions_build() {
+        let artifact = artifact();
+        assert_eq!(artifact.versions.len(), 5);
+        for id in ["v1", "v2", "v3", "v4", "v5"] {
+            assert!(artifact.version(id).is_some(), "missing {id}");
+        }
+        assert!(artifact.version("v9").is_none());
+    }
+
+    #[test]
+    fn v5_actually_removes_a_statement() {
+        let artifact = artifact();
+        let v5 = artifact.version("v5").unwrap();
+        let base_len = dise_ir::pretty::pretty_program(&artifact.base).len();
+        let v5_len = dise_ir::pretty::pretty_program(&v5.program).len();
+        assert!(v5_len < base_len);
+    }
+}

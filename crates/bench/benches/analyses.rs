@@ -79,9 +79,7 @@ fn diff_and_affected(c: &mut Criterion) {
             &(base.clone(), mutant.clone()),
             |b, (base, mutant)| {
                 b.iter(|| {
-                    black_box(
-                        dise_diff::stmt_diff::diff_programs(base, mutant, "f").unwrap(),
-                    )
+                    black_box(dise_diff::stmt_diff::diff_programs(base, mutant, "f").unwrap())
                 })
             },
         );
@@ -122,9 +120,7 @@ fn scaling_sweep(c: &mut Criterion) {
             ..DiseConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("full", n), &mutant, |b, m| {
-            b.iter(|| {
-                black_box(run_full_on(m, "f", &quiet).expect("full runs").pc_count())
-            })
+            b.iter(|| black_box(run_full_on(m, "f", &quiet).expect("full runs").pc_count()))
         });
         group.bench_with_input(
             BenchmarkId::new("dise", n),

@@ -50,10 +50,8 @@ fn benches(c: &mut Criterion) {
 
     // Localization on an injected assertion-violating fault.
     let base = parse_program(wbs::BASE_SRC).expect("WBS base parses");
-    let faulty_src = wbs::BASE_SRC.replace(
-        "MeterValveCmd = 60;",
-        "MeterValveCmd = AntiSkidCmd + 45;",
-    );
+    let faulty_src =
+        wbs::BASE_SRC.replace("MeterValveCmd = 60;", "MeterValveCmd = AntiSkidCmd + 45;");
     let faulty = parse_program(&faulty_src).expect("fault parses");
     group.bench_function("localize/uncapped_valve", |b| {
         b.iter(|| {

@@ -2,14 +2,24 @@
 //! performs once per branch (the paper's cost driver, §4.2.5 notes "the
 //! number and complexity of the constraints … contributes to the
 //! differences in execution time").
+//!
+//! Besides the criterion-style microbenches, this binary runs a
+//! monolithic-vs-incremental comparison on deep DFS prefix chains and
+//! records the numbers to `BENCH_solver_incremental.json` at the
+//! workspace root (the acceptance artifact for the incremental-solving
+//! work: incremental `check` must be ≥ 3× faster than re-submitting the
+//! full path condition per depth).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dise_solver::{Solver, SymExpr, SymTy, SymVar, VarPool};
+use criterion::{criterion_group, Criterion};
+use dise_solver::{IncrementalSolver, SatResult, Solver, SymExpr, SymTy, SymVar, VarPool};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn vars(n: usize) -> (VarPool, Vec<SymVar>) {
     let mut pool = VarPool::new();
-    let vars = (0..n).map(|i| pool.fresh(format!("v{i}"), SymTy::Int)).collect();
+    let vars = (0..n)
+        .map(|i| pool.fresh(format!("v{i}"), SymTy::Int))
+        .collect();
     (pool, vars)
 }
 
@@ -109,5 +119,129 @@ fn benches(c: &mut Criterion) {
     });
 }
 
-criterion_group!(solver, benches);
-criterion_main!(solver);
+/// Walks a DFS prefix chain the way the seed executor did: one persistent
+/// monolithic solver, re-submitting the whole growing path condition at
+/// every depth (every prefix is a distinct cache key, so every check runs
+/// the full pipeline).
+fn walk_monolithic(chain: &[SymExpr]) -> u64 {
+    let mut solver = Solver::new();
+    let mut sat = 0u64;
+    for depth in 1..=chain.len() {
+        if solver.check(&chain[..depth]).is_sat() {
+            sat += 1;
+        }
+    }
+    sat
+}
+
+/// Walks the same chain through the incremental push/check API.
+fn walk_incremental(solver: &mut IncrementalSolver, chain: &[SymExpr]) -> u64 {
+    let mut sat = 0u64;
+    for lit in chain {
+        solver.push(lit.clone());
+        if solver.check() == SatResult::Sat {
+            sat += 1;
+        }
+    }
+    solver.reset();
+    sat
+}
+
+fn incremental_comparison_benches(c: &mut Criterion) {
+    let (_, xs) = vars(4);
+    let chain = branch_chain(&xs, 32);
+
+    c.bench_function("solver/deep_prefix_monolithic_depth32", |b| {
+        b.iter(|| black_box(walk_monolithic(black_box(&chain))))
+    });
+
+    c.bench_function("solver/deep_prefix_incremental_depth32", |b| {
+        b.iter(|| {
+            let mut solver = IncrementalSolver::new();
+            black_box(walk_incremental(&mut solver, black_box(&chain)))
+        })
+    });
+
+    c.bench_function("solver/deep_prefix_incremental_warm_trie", |b| {
+        let mut solver = IncrementalSolver::new();
+        walk_incremental(&mut solver, &chain); // populate the trie
+        b.iter(|| black_box(walk_incremental(&mut solver, black_box(&chain))))
+    });
+}
+
+/// Times `runs` executions of `f` and returns mean nanoseconds per run.
+fn time_ns(runs: u32, mut f: impl FnMut()) -> u128 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    start.elapsed().as_nanos() / u128::from(runs)
+}
+
+/// The acceptance measurement: deep DFS chains, monolithic re-checking vs
+/// incremental push/check, recorded to `BENCH_solver_incremental.json`.
+fn record_incremental_comparison() {
+    const DEPTH: usize = 32;
+    const RUNS: u32 = 50;
+    let (_, xs) = vars(4);
+    let chain = branch_chain(&xs, DEPTH);
+
+    let monolithic_ns = time_ns(RUNS, || {
+        black_box(walk_monolithic(black_box(&chain)));
+    });
+    let incremental_ns = time_ns(RUNS, || {
+        let mut solver = IncrementalSolver::new();
+        black_box(walk_incremental(&mut solver, black_box(&chain)));
+    });
+    let mut warm = IncrementalSolver::new();
+    walk_incremental(&mut warm, &chain);
+    let warm_ns = time_ns(RUNS, || {
+        black_box(walk_incremental(&mut warm, black_box(&chain)));
+    });
+
+    // Stats evidence: one cold walk plus one warm replay.
+    let mut witness = IncrementalSolver::new();
+    walk_incremental(&mut witness, &chain);
+    walk_incremental(&mut witness, &chain);
+    let stats = witness.stats();
+
+    let speedup = monolithic_ns as f64 / incremental_ns.max(1) as f64;
+    let speedup_warm = monolithic_ns as f64 / warm_ns.max(1) as f64;
+    let json = format!(
+        "{{\n  \"benchmark\": \"solver_incremental_vs_monolithic\",\n  \
+         \"depth\": {DEPTH},\n  \"runs\": {RUNS},\n  \
+         \"monolithic_ns_per_walk\": {monolithic_ns},\n  \
+         \"incremental_cold_ns_per_walk\": {incremental_ns},\n  \
+         \"incremental_warm_ns_per_walk\": {warm_ns},\n  \
+         \"speedup_cold\": {speedup:.2},\n  \"speedup_warm\": {speedup_warm:.2},\n  \
+         \"witness_stats\": {{\n    \"checks\": {},\n    \
+         \"incremental_checks\": {},\n    \"model_reuse_hits\": {},\n    \
+         \"prefix_cache_hits\": {},\n    \"fallback_checks\": {}\n  }}\n}}\n",
+        stats.checks,
+        stats.incremental_checks,
+        stats.model_reuse_hits,
+        stats.prefix_cache_hits,
+        stats.fallback_checks,
+    );
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => format!("{dir}/../../BENCH_solver_incremental.json"),
+        Err(_) => "BENCH_solver_incremental.json".to_string(),
+    };
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    println!(
+        "deep-prefix depth {DEPTH}: monolithic {monolithic_ns} ns/walk, \
+         incremental {incremental_ns} ns/walk (cold, {speedup:.1}x), \
+         {warm_ns} ns/walk (warm trie, {speedup_warm:.1}x)"
+    );
+}
+
+criterion_group!(solver, benches, incremental_comparison_benches);
+
+fn main() {
+    solver();
+    record_incremental_comparison();
+}

@@ -63,8 +63,13 @@ pub fn filter_scope() {
             let Some(version) = artifact.version(id) else {
                 continue;
             };
-            let a = run_dise(&artifact.base, &version.program, artifact.proc_name, &choice)
-                .expect("artifact runs");
+            let a = run_dise(
+                &artifact.base,
+                &version.program,
+                artifact.proc_name,
+                &choice,
+            )
+            .expect("artifact runs");
             let b = run_dise(
                 &artifact.base,
                 &version.program,
@@ -104,8 +109,13 @@ fn measure(artifact: &Artifact) -> Vec<Vec<String>> {
         .map(|version| {
             let a = run_dise(&artifact.base, &version.program, artifact.proc_name, &paper)
                 .expect("artifact runs");
-            let b = run_dise(&artifact.base, &version.program, artifact.proc_name, &precise)
-                .expect("artifact runs");
+            let b = run_dise(
+                &artifact.base,
+                &version.program,
+                artifact.proc_name,
+                &precise,
+            )
+            .expect("artifact runs");
             vec![
                 version.id.clone(),
                 a.affected_nodes.to_string(),

@@ -195,8 +195,8 @@ pub fn impact() {
     for (width, depth) in [(2usize, 2usize), (4, 2), (4, 3), (8, 3)] {
         let base = chain_system(width, depth, false);
         let modified = chain_system(width, depth, true);
-        let result = run_dise_system(&base, &modified, &SystemConfig::default())
-            .expect("system runs");
+        let result =
+            run_dise_system(&base, &modified, &SystemConfig::default()).expect("system runs");
         let full_states: u64 = modified
             .procs
             .iter()

@@ -74,8 +74,7 @@ pub fn fig5b() {
         trace_affected: true,
         ..DiseConfig::default()
     };
-    let result =
-        run_dise(&fig2_base(), &fig2_modified(), "update", &config).expect("fig5b runs");
+    let result = run_dise(&fig2_base(), &fig2_modified(), "update", &config).expect("fig5b runs");
     let cfg = dise_cfg::build_cfg(fig2_modified().proc("update").unwrap());
     println!(
         "(node numbering: our CFGs reserve n0 for the virtual begin node, so our n_k is the paper's n_(k-1))\n"
@@ -101,8 +100,7 @@ pub fn table1() {
         trace_directed: true,
         ..DiseConfig::default()
     };
-    let result =
-        run_dise(&fig2_base(), &fig2_modified(), "update", &config).expect("table1 runs");
+    let result = run_dise(&fig2_base(), &fig2_modified(), "update", &config).expect("table1 runs");
     println!(
         "(node numbering: our CFGs reserve n0 for the virtual begin node, so our n_k is the paper's n_(k-1))\n"
     );
@@ -113,7 +111,5 @@ pub fn table1() {
             .as_deref()
             .expect("directed trace recorded")
     );
-    println!(
-        "\n(the state sequences include the virtual begin node; the paper's rows elide it)"
-    );
+    println!("\n(the state sequences include the virtual begin node; the paper's rows elide it)");
 }

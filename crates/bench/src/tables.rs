@@ -35,10 +35,15 @@ pub fn measure(artifact: &Artifact) -> Vec<Row> {
         .versions
         .iter()
         .map(|version| {
-            let dise = run_dise(&artifact.base, &version.program, artifact.proc_name, &config)
-                .expect("artifact runs");
-            let full = run_full_on(&version.program, artifact.proc_name, &config)
-                .expect("artifact runs");
+            let dise = run_dise(
+                &artifact.base,
+                &version.program,
+                artifact.proc_name,
+                &config,
+            )
+            .expect("artifact runs");
+            let full =
+                run_full_on(&version.program, artifact.proc_name, &config).expect("artifact runs");
             Row {
                 version: version.id.clone(),
                 changed: dise.changed_nodes,
@@ -95,8 +100,8 @@ pub fn table3(filter: &str) {
         ));
         let config = DiseConfig::default();
         // The existing suite: full symbolic execution of the base version.
-        let base_summary = run_full_on(&artifact.base, artifact.proc_name, &config)
-            .expect("base runs");
+        let base_summary =
+            run_full_on(&artifact.base, artifact.proc_name, &config).expect("base runs");
         let base_suite = generate_tests(&artifact.base, &base_summary);
         println!(
             "existing suite (full symbolic execution of v0): {} tests\n",
@@ -111,9 +116,13 @@ pub fn table3(filter: &str) {
             "Total Tests".into(),
         ]);
         for version in &artifact.versions {
-            let dise =
-                run_dise(&artifact.base, &version.program, artifact.proc_name, &config)
-                    .expect("artifact runs");
+            let dise = run_dise(
+                &artifact.base,
+                &version.program,
+                artifact.proc_name,
+                &config,
+            )
+            .expect("artifact runs");
             let dise_suite = generate_tests(&version.program, &dise.summary);
             let selection = select_and_augment(&base_suite, &dise_suite);
             table.row(vec![
@@ -175,12 +184,8 @@ pub fn summary() {
         ]);
     }
     print!("{}", table.render());
-    println!(
-        "\npaper's headline (§4.2.5): when changes affect only a subset of paths, DiSE takes"
-    );
-    println!(
-        "at most 20% of full symbolic execution; when everything is affected, DiSE pays a"
-    );
+    println!("\npaper's headline (§4.2.5): when changes affect only a subset of paths, DiSE takes");
+    println!("at most 20% of full symbolic execution; when everything is affected, DiSE pays a");
     println!("9–30% overhead for the static analysis. See EXPERIMENTS.md for the mapping.");
 }
 

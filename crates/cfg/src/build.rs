@@ -331,11 +331,9 @@ impl Builder {
                 frontier,
             ),
             StmtKind::Skip => self.simple(NodeKind::Nop, stmt.span, frontier),
-            StmtKind::Assume { cond } => self.simple(
-                NodeKind::Assume { cond: cond.clone() },
-                stmt.span,
-                frontier,
-            ),
+            StmtKind::Assume { cond } => {
+                self.simple(NodeKind::Assume { cond: cond.clone() }, stmt.span, frontier)
+            }
             StmtKind::Return => {
                 let node = self.graph.add_node(CfgNode {
                     kind: NodeKind::Nop,
@@ -360,8 +358,7 @@ impl Builder {
                 let mut out = self.block(then_branch, vec![(branch, EdgeLabel::True)]);
                 match else_branch {
                     Some(else_block) => {
-                        let else_out =
-                            self.block(else_block, vec![(branch, EdgeLabel::False)]);
+                        let else_out = self.block(else_block, vec![(branch, EdgeLabel::False)]);
                         out.extend(else_out);
                     }
                     None => out.push((branch, EdgeLabel::False)),
@@ -532,10 +529,10 @@ mod tests {
     fn return_jumps_to_end_and_prunes_dead_code() {
         let cfg = cfg_of("proc f(int x) { if (x > 0) { return; x = 1; } x = 2; }");
         // The dead `x = 1` is pruned.
-        assert!(!cfg
-            .node_ids()
-            .any(|id| matches!(&cfg.node(id).kind, NodeKind::Assign { value, .. }
-                if dise_ir::pretty::pretty_expr(value) == "1")));
+        assert!(!cfg.node_ids().any(
+            |id| matches!(&cfg.node(id).kind, NodeKind::Assign { value, .. }
+                if dise_ir::pretty::pretty_expr(value) == "1")
+        ));
         // All remaining nodes are reachable from begin and reach end.
         let reach = cfg.graph().reachable_from(cfg.begin());
         assert!(reach.iter().all(|&r| r));
@@ -545,9 +542,8 @@ mod tests {
 
     #[test]
     fn end_reachable_from_all_nodes_even_with_loops() {
-        let cfg = cfg_of(
-            "proc f(int x) { while (x > 0) { while (x > 1) { x = x - 1; } x = x - 1; } }",
-        );
+        let cfg =
+            cfg_of("proc f(int x) { while (x > 0) { while (x > 1) { x = x - 1; } x = x - 1; } }");
         let back = cfg.graph().reaches(cfg.end());
         assert!(back.iter().all(|&r| r));
     }
@@ -558,12 +554,18 @@ mod tests {
         let program = parse_program("proc f(int x) {\n  x = 1;\n  assert(x > 0);\n}").unwrap();
         let assign_span = program.procs[0].body.stmts[0].span;
         let assert_span = program.procs[0].body.stmts[1].span;
-        assert!(cfg.node_by_origin(assign_span, OriginRole::Primary).is_some());
-        assert!(cfg.node_by_origin(assert_span, OriginRole::Primary).is_some());
+        assert!(cfg
+            .node_by_origin(assign_span, OriginRole::Primary)
+            .is_some());
+        assert!(cfg
+            .node_by_origin(assert_span, OriginRole::Primary)
+            .is_some());
         assert!(cfg
             .node_by_origin(assert_span, OriginRole::AssertError)
             .is_some());
-        assert!(cfg.node_by_origin(assign_span, OriginRole::AssertError).is_none());
+        assert!(cfg
+            .node_by_origin(assign_span, OriginRole::AssertError)
+            .is_none());
     }
 
     #[test]

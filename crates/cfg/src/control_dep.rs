@@ -103,9 +103,9 @@ mod tests {
 
     /// Finds the unique node whose statement starts on `line`.
     fn at_line(cfg: &Cfg, line: u32) -> NodeId {
-        let mut matches = cfg
-            .node_ids()
-            .filter(|&n| cfg.node(n).span.line == line && cfg.node(n).role == crate::build::OriginRole::Primary);
+        let mut matches = cfg.node_ids().filter(|&n| {
+            cfg.node(n).span.line == line && cfg.node(n).role == crate::build::OriginRole::Primary
+        });
         let node = matches.next().expect("node at line");
         assert!(matches.next().is_none(), "ambiguous line {line}");
         node

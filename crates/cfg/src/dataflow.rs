@@ -285,10 +285,7 @@ mod tests {
     #[test]
     fn unrelated_variable_does_not_interfere() {
         let (cfg, du, rd) = setup("proc f(int x, int y) { x = 1; y = 2; assert(x > 0); }");
-        let x_def = cfg
-            .write_nodes()
-            .find(|&n| du.def(n) == Some("x"))
-            .unwrap();
+        let x_def = cfg.write_nodes().find(|&n| du.def(n) == Some("x")).unwrap();
         let cond = cfg.cond_nodes().next().unwrap();
         // y's definition does not kill x's.
         assert!(rd.reaches(x_def, cond));

@@ -227,7 +227,7 @@ mod tests {
         let t = cfg.true_succ(branch);
         let f = cfg.false_succ(branch);
         let join = cfg.succs(t)[0].0; // `x = 3`
-        // The join post-dominates the branch and both arms.
+                                      // The join post-dominates the branch and both arms.
         assert!(postdom.post_dominates(branch, join));
         assert!(postdom.post_dominates(t, join));
         assert!(postdom.post_dominates(f, join));
@@ -306,7 +306,10 @@ mod tests {
         );
         let postdom = PostDomTree::new(&cfg);
         for n in cfg.node_ids() {
-            assert!(postdom.post_dominates(n, cfg.end()), "{n} not postdominated by end");
+            assert!(
+                postdom.post_dominates(n, cfg.end()),
+                "{n} not postdominated by end"
+            );
             assert!(postdom.post_dominates(n, n), "postdom not reflexive at {n}");
         }
     }

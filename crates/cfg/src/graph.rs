@@ -197,7 +197,10 @@ mod tests {
     /// Builds the diamond `0 -> {1,2} -> 3`.
     fn diamond() -> (DiGraph<&'static str>, Vec<NodeId>) {
         let mut g = DiGraph::new();
-        let ids: Vec<_> = ["a", "b", "c", "d"].into_iter().map(|n| g.add_node(n)).collect();
+        let ids: Vec<_> = ["a", "b", "c", "d"]
+            .into_iter()
+            .map(|n| g.add_node(n))
+            .collect();
         g.add_edge(ids[0], ids[1], EdgeLabel::True);
         g.add_edge(ids[0], ids[2], EdgeLabel::False);
         g.add_edge(ids[1], ids[3], EdgeLabel::Seq);

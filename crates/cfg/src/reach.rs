@@ -121,9 +121,8 @@ mod tests {
 
     #[test]
     fn respects_branch_structure() {
-        let (cfg, reach) = setup(
-            "proc f(int x) {\n  if (x > 0) {\n    x = 1;\n  } else {\n    x = 2;\n  }\n}",
-        );
+        let (cfg, reach) =
+            setup("proc f(int x) {\n  if (x > 0) {\n    x = 1;\n  } else {\n    x = 2;\n  }\n}");
         let branch = cfg.cond_nodes().next().unwrap();
         let t = cfg.true_succ(branch);
         let f = cfg.false_succ(branch);

@@ -76,8 +76,7 @@ impl Sccs {
                         on_stack[succ.index()] = true;
                         call_stack.push((succ, 0));
                     } else if on_stack[succ.index()] {
-                        lowlink[node.index()] =
-                            lowlink[node.index()].min(index[succ.index()]);
+                        lowlink[node.index()] = lowlink[node.index()].min(index[succ.index()]);
                     }
                 } else {
                     // All successors processed: maybe pop an SCC, then
@@ -108,11 +107,8 @@ impl Sccs {
 
         let mut nontrivial = vec![false; members.len()];
         for (scc_id, scc) in members.iter().enumerate() {
-            nontrivial[scc_id] = scc.len() > 1
-                || cfg
-                    .succs(scc[0])
-                    .iter()
-                    .any(|&(succ, _)| succ == scc[0]);
+            nontrivial[scc_id] =
+                scc.len() > 1 || cfg.succs(scc[0]).iter().any(|&(succ, _)| succ == scc[0]);
         }
 
         let mut loop_entry = vec![false; len];
@@ -121,10 +117,7 @@ impl Sccs {
             if !nontrivial[scc_id] {
                 continue;
             }
-            loop_entry[n.index()] = cfg
-                .preds(n)
-                .iter()
-                .any(|&p| component[p.index()] != scc_id);
+            loop_entry[n.index()] = cfg.preds(n).iter().any(|&p| component[p.index()] != scc_id);
         }
 
         Sccs {

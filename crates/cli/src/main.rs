@@ -40,7 +40,7 @@
 use std::process::ExitCode;
 
 use dise_core::dise::{run_dise, run_full_on, DiseConfig};
-use dise_core::report::duration_mmss;
+use dise_core::report::{duration_mmss, solver_stats_line};
 use dise_core::DataflowPrecision;
 use dise_ir::Program;
 
@@ -89,10 +89,8 @@ const USAGE: &str = "usage:
   dise report <base.mj> <modified.mj> <proc>";
 
 fn load(path: &str) -> Result<Program, String> {
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let program =
-        dise_ir::parse_program(&source).map_err(|e| format!("{path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let program = dise_ir::parse_program(&source).map_err(|e| format!("{path}: {e}"))?;
     dise_ir::check_program(&program).map_err(|e| format!("{path}: {e}"))?;
     Ok(program)
 }
@@ -114,8 +112,7 @@ fn run_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
         ..DiseConfig::default()
     };
 
-    let result =
-        run_dise(&base, &modified, proc_name, &config).map_err(|e| e.to_string())?;
+    let result = run_dise(&base, &modified, proc_name, &config).map_err(|e| e.to_string())?;
     println!(
         "changed CFG nodes: {}   affected CFG nodes: {}",
         result.changed_nodes, result.affected_nodes
@@ -126,10 +123,12 @@ fn run_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
         result.summary.stats().states_explored,
         duration_mmss(result.total_time)
     );
+    println!(
+        "solver: {}",
+        solver_stats_line(&result.summary.stats().solver)
+    );
     if flags.contains(&"--simplify") {
-        for pc in dise_solver::simplify::simplify_pc_strings(
-            result.summary.path_conditions(),
-        ) {
+        for pc in dise_solver::simplify::simplify_pc_strings(result.summary.path_conditions()) {
             println!("  {pc}");
         }
     } else {
@@ -139,8 +138,8 @@ fn run_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
     }
     if flags.contains(&"--trace") {
         println!("\naffected-set fixpoint trace:");
-        let flat = dise_ir::inline::inline_program(&modified, proc_name)
-            .map_err(|e| e.to_string())?;
+        let flat =
+            dise_ir::inline::inline_program(&modified, proc_name).map_err(|e| e.to_string())?;
         let cfg = dise_cfg::build_cfg(flat.proc(proc_name).expect("inlined proc"));
         print!("{}", result.affected.render_trace(&cfg));
         if let Some(trace) = &result.directed_trace {
@@ -149,14 +148,14 @@ fn run_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
         }
     }
     if flags.contains(&"--full") {
-        let full =
-            run_full_on(&modified, proc_name, &config).map_err(|e| e.to_string())?;
+        let full = run_full_on(&modified, proc_name, &config).map_err(|e| e.to_string())?;
         println!(
             "\nfull symbolic execution: {} path conditions, {} states, {}",
             full.pc_count(),
             full.stats().states_explored,
             duration_mmss(full.stats().elapsed)
         );
+        println!("solver: {}", solver_stats_line(&full.stats().solver));
     }
     Ok(())
 }
@@ -169,19 +168,16 @@ fn tests_command(positional: &[&str]) -> Result<(), String> {
     let modified = load(mod_path)?;
     let config = DiseConfig::default();
 
-    let base_summary =
-        run_full_on(&base, proc_name, &config).map_err(|e| e.to_string())?;
+    let base_summary = run_full_on(&base, proc_name, &config).map_err(|e| e.to_string())?;
     // Test generation needs the flattened program (inputs of the analyzed
     // summary); mirror the driver's inlining.
-    let base_flat = dise_ir::inline::inline_program(&base, proc_name)
-        .map_err(|e| e.to_string())?;
+    let base_flat = dise_ir::inline::inline_program(&base, proc_name).map_err(|e| e.to_string())?;
     let base_suite = dise_regression::generate_tests(&base_flat, &base_summary);
     println!("existing suite ({} tests)", base_suite.len());
 
-    let result =
-        run_dise(&base, &modified, proc_name, &config).map_err(|e| e.to_string())?;
-    let mod_flat = dise_ir::inline::inline_program(&modified, proc_name)
-        .map_err(|e| e.to_string())?;
+    let result = run_dise(&base, &modified, proc_name, &config).map_err(|e| e.to_string())?;
+    let mod_flat =
+        dise_ir::inline::inline_program(&modified, proc_name).map_err(|e| e.to_string())?;
     let dise_suite = dise_regression::generate_tests(&mod_flat, &result.summary);
     let selection = dise_regression::select_and_augment(&base_suite, &dise_suite);
     println!(
@@ -203,8 +199,7 @@ fn inspect_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
         return Err(USAGE.to_string());
     };
     let program = load(path)?;
-    let flat = dise_ir::inline::inline_program(&program, proc_name)
-        .map_err(|e| e.to_string())?;
+    let flat = dise_ir::inline::inline_program(&program, proc_name).map_err(|e| e.to_string())?;
     let procedure = flat
         .proc(proc_name)
         .ok_or_else(|| format!("procedure `{proc_name}` not found"))?;
@@ -299,9 +294,8 @@ fn localize_command(positional: &[&str], args: &[String]) -> Result<(), String> 
         formula,
         ..Default::default()
     };
-    let outcome =
-        dise_evolution::localize::localize_change(&base, &modified, proc_name, &config)
-            .map_err(|e| e.to_string())?;
+    let outcome = dise_evolution::localize::localize_change(&base, &modified, proc_name, &config)
+        .map_err(|e| e.to_string())?;
     print!(
         "{}",
         dise_evolution::localize::render_ranking(&outcome.report, None, 10)
@@ -366,7 +360,10 @@ fn impact_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
         println!("skipped (unimpacted): {}", result.skipped.join(", "));
     }
     if !result.impact.removed.is_empty() {
-        println!("removed in modified version: {}", result.impact.removed.join(", "));
+        println!(
+            "removed in modified version: {}",
+            result.impact.removed.join(", ")
+        );
     }
     println!(
         "total: {} affected path conditions, {} states, {}",

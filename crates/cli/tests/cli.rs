@@ -170,7 +170,11 @@ fn localize_accepts_formula_flag() {
         "tarantula",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
-    assert!(stdout(&out).contains("formula tarantula"), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("formula tarantula"),
+        "{}",
+        stdout(&out)
+    );
 
     let bad = dise(&[
         "localize",
@@ -202,7 +206,11 @@ fn impact_lists_and_dots() {
         "--dot",
     ]);
     assert!(dot.status.success());
-    assert!(stdout(&dot).starts_with("digraph impact"), "{}", stdout(&dot));
+    assert!(
+        stdout(&dot).starts_with("digraph impact"),
+        "{}",
+        stdout(&dot)
+    );
 }
 
 #[test]

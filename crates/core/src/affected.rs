@@ -386,8 +386,10 @@ proc update(int PedalPos, int BSwitch, int PedalCmd) {
     #[test]
     fn fig5b_final_sets_match_paper() {
         let (cfg, sets) = affected_for_fig2(DataflowPrecision::CfgPath);
-        let expect_acn: BTreeSet<NodeId> =
-            [0, 2, 10, 12].iter().map(|&i| paper_node(&cfg, i)).collect();
+        let expect_acn: BTreeSet<NodeId> = [0, 2, 10, 12]
+            .iter()
+            .map(|&i| paper_node(&cfg, i))
+            .collect();
         let expect_awn: BTreeSet<NodeId> = [1, 3, 4, 5, 11, 13, 14]
             .iter()
             .map(|&i| paper_node(&cfg, i))
@@ -407,10 +409,7 @@ proc update(int PedalPos, int BSwitch, int PedalCmd) {
         assert!(trace[0].awn.is_empty());
         assert_eq!(trace[0].rule, None);
         // Exactly one Eq. (4) application: n5.
-        let eq4: Vec<_> = trace
-            .iter()
-            .filter(|r| r.rule == Some(Rule::Eq4))
-            .collect();
+        let eq4: Vec<_> = trace.iter().filter(|r| r.rule == Some(Rule::Eq4)).collect();
         assert_eq!(eq4.len(), 1);
         assert_eq!(eq4[0].ni, Some(paper_node(&cfg, 5)));
         // And it is the last row.
@@ -445,12 +444,8 @@ proc f(int x) {
         let modified = parse_program(&src_mod).unwrap();
         let (_, cfg_mod, diff) = CfgDiff::from_programs(&base, &modified, "f").unwrap();
         let seeds: Vec<NodeId> = diff.changed_or_added_mod().collect();
-        let conservative = AffectedSets::compute(
-            &cfg_mod,
-            seeds.clone(),
-            DataflowPrecision::CfgPath,
-            false,
-        );
+        let conservative =
+            AffectedSets::compute(&cfg_mod, seeds.clone(), DataflowPrecision::CfgPath, false);
         let precise =
             AffectedSets::compute(&cfg_mod, seeds, DataflowPrecision::ReachingDefs, false);
         // The paper's rule marks the branch affected (a CFG path exists);

@@ -224,8 +224,7 @@ mod tests {
             false,
         );
         let mut strategy = DirectedStrategy::new(&cfg_mod, &affected, true);
-        let mut executor =
-            Executor::new(&modified, "update", ExecConfig::default()).unwrap();
+        let mut executor = Executor::new(&modified, "update", ExecConfig::default()).unwrap();
         let summary = executor.explore(&mut strategy);
         (strategy, summary, cfg_mod)
     }
@@ -234,8 +233,7 @@ mod tests {
     fn fig2_dise_prunes_paths_versus_full() {
         let (_, dise_summary, _) = run_fig2();
         let modified = fig2_mod();
-        let mut executor =
-            Executor::new(&modified, "update", ExecConfig::default()).unwrap();
+        let mut executor = Executor::new(&modified, "update", ExecConfig::default()).unwrap();
         let full = executor.explore(&mut FullExploration);
         // §2.2: DiSE generates 7 path conditions versus 21 for full
         // symbolic execution. Our engine's exact counts are pinned by the
@@ -344,8 +342,7 @@ mod tests {
         let cfg = build_cfg(modified.proc("update").unwrap());
         let empty = AffectedSets::compute(&cfg, [], DataflowPrecision::CfgPath, false);
         let mut strategy = DirectedStrategy::new(&cfg, &empty, false);
-        let mut executor =
-            Executor::new(&modified, "update", ExecConfig::default()).unwrap();
+        let mut executor = Executor::new(&modified, "update", ExecConfig::default()).unwrap();
         let summary = executor.explore(&mut strategy);
         // Under the SPF-faithful ChoicePoints scope, the straight-line
         // prefix up to the first symbolic branch is executed (begin + n0),
@@ -386,13 +383,14 @@ mod tests {
             .collect();
         let affected = AffectedSets::compute(&cfg, all, DataflowPrecision::CfgPath, false);
         let mut strategy = DirectedStrategy::new(&cfg, &affected, false);
-        let mut executor =
-            Executor::new(&modified, "update", ExecConfig::default()).unwrap();
+        let mut executor = Executor::new(&modified, "update", ExecConfig::default()).unwrap();
         let dise = executor.explore(&mut strategy);
-        let mut executor =
-            Executor::new(&modified, "update", ExecConfig::default()).unwrap();
+        let mut executor = Executor::new(&modified, "update", ExecConfig::default()).unwrap();
         let full = executor.explore(&mut FullExploration);
-        assert!(dise.pc_count() > 8, "should widen beyond the normal DiSE run");
+        assert!(
+            dise.pc_count() > 8,
+            "should widen beyond the normal DiSE run"
+        );
         assert!(dise.pc_count() <= full.pc_count());
         assert_eq!(dise.pc_count(), 16); // golden for our engine
         assert_eq!(full.pc_count(), 24);
@@ -411,8 +409,7 @@ mod tests {
         let modified = dise_ir::parse_program(src).unwrap();
         let cfg = build_cfg(modified.proc("f").unwrap());
         let write = cfg.write_nodes().next().unwrap();
-        let affected =
-            AffectedSets::compute(&cfg, [write], DataflowPrecision::CfgPath, false);
+        let affected = AffectedSets::compute(&cfg, [write], DataflowPrecision::CfgPath, false);
         let mut strategy = DirectedStrategy::new(&cfg, &affected, false);
         let config = ExecConfig {
             depth_bound: Some(10),

@@ -293,9 +293,7 @@ impl SystemImpact {
             let attrs = match self.impacted.get(name) {
                 Some(ImpactReason::ChangedBody)
                 | Some(ImpactReason::Added)
-                | Some(ImpactReason::CalledRemoved(_)) => {
-                    " [style=filled, fillcolor=\"#f4cccc\"]"
-                }
+                | Some(ImpactReason::CalledRemoved(_)) => " [style=filled, fillcolor=\"#f4cccc\"]",
                 Some(_) => " [style=filled, fillcolor=\"#fce5cd\"]",
                 None => "",
             };
@@ -568,12 +566,12 @@ mod tests {
 
     #[test]
     fn leaf_change_impacts_whole_call_chain_only() {
-        let (base, modified) = programs(
-            CHAIN_BASE,
-            &CHAIN_BASE.replace("g = v;", "g = v + 1;"),
-        );
+        let (base, modified) = programs(CHAIN_BASE, &CHAIN_BASE.replace("g = v;", "g = v + 1;"));
         let impact = system_impact(&base, &modified);
-        assert_eq!(impact.impacted.get("leaf"), Some(&ImpactReason::ChangedBody));
+        assert_eq!(
+            impact.impacted.get("leaf"),
+            Some(&ImpactReason::ChangedBody)
+        );
         assert_eq!(
             impact.impacted.get("mid"),
             Some(&ImpactReason::CallsImpacted("leaf".to_string()))
@@ -625,10 +623,7 @@ mod tests {
 
     #[test]
     fn run_dise_system_analyzes_exactly_the_impacted_set() {
-        let (base, modified) = programs(
-            CHAIN_BASE,
-            &CHAIN_BASE.replace("g = v;", "g = v + 1;"),
-        );
+        let (base, modified) = programs(CHAIN_BASE, &CHAIN_BASE.replace("g = v;", "g = v + 1;"));
         let result = run_dise_system(&base, &modified, &SystemConfig::default()).unwrap();
         let analyzed: Vec<&str> = result.procedures.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(analyzed, vec!["leaf", "mid", "top"]);
@@ -647,10 +642,7 @@ mod tests {
 
     #[test]
     fn only_filter_restricts_the_run() {
-        let (base, modified) = programs(
-            CHAIN_BASE,
-            &CHAIN_BASE.replace("g = v;", "g = v + 1;"),
-        );
+        let (base, modified) = programs(CHAIN_BASE, &CHAIN_BASE.replace("g = v;", "g = v + 1;"));
         let config = SystemConfig {
             only: Some(vec!["mid".to_string()]),
             ..SystemConfig::default()
@@ -678,10 +670,7 @@ mod tests {
 
     #[test]
     fn impact_dot_colors_the_chain() {
-        let (base, modified) = programs(
-            CHAIN_BASE,
-            &CHAIN_BASE.replace("g = v;", "g = v + 1;"),
-        );
+        let (base, modified) = programs(CHAIN_BASE, &CHAIN_BASE.replace("g = v;", "g = v + 1;"));
         let impact = system_impact(&base, &modified);
         let dot = impact.to_dot();
         assert!(dot.starts_with("digraph impact {"));

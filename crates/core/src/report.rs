@@ -1,9 +1,11 @@
 //! Plain-text table rendering, shared by the trace renderers and the
-//! benchmark harness (which regenerates the paper's tables on stdout).
+//! benchmark harness (which regenerates the paper's tables on stdout),
+//! plus the solver-activity line for the CLI.
 
 use std::collections::BTreeSet;
 
 use dise_cfg::NodeId;
+use dise_solver::SolverStats;
 
 /// A simple fixed-width text table: header row, separator, data rows.
 #[derive(Debug, Clone)]
@@ -106,6 +108,28 @@ pub fn duration_mmss(d: std::time::Duration) -> String {
     format!("{minutes:02}:{seconds:02}.{millis:03}")
 }
 
+/// One-line summary of solver activity for the CLI: total checks, how many
+/// were answered incrementally vs. by monolithic fallback, and the
+/// combined cache/prefix hit rate.
+pub fn solver_stats_line(stats: &SolverStats) -> String {
+    let hit_rate = match stats.hit_rate() {
+        Some(rate) => format!("{:.0}%", rate * 100.0),
+        None => "n/a".to_string(),
+    };
+    format!(
+        "{} checks ({} incremental, {} fallback, {} model-reuse), \
+         {} cache hits, {} prefix-trie hits, {} unsat-prefix kills, hit rate {}",
+        stats.checks,
+        stats.incremental_checks,
+        stats.fallback_checks,
+        stats.model_reuse_hits,
+        stats.cache_hits,
+        stats.prefix_cache_hits,
+        stats.prefix_unsat_kills,
+        hit_rate,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,11 +165,37 @@ mod tests {
     }
 
     #[test]
+    fn solver_stats_line_summarizes_activity() {
+        let stats = SolverStats {
+            checks: 10,
+            incremental_checks: 6,
+            fallback_checks: 1,
+            model_reuse_hits: 4,
+            prefix_cache_hits: 2,
+            prefix_unsat_kills: 1,
+            ..SolverStats::default()
+        };
+        let line = solver_stats_line(&stats);
+        assert!(line.contains("10 checks"), "{line}");
+        assert!(line.contains("6 incremental"), "{line}");
+        assert!(line.contains("hit rate 30%"), "{line}");
+        assert!(line.contains("2 prefix-trie hits"), "{line}");
+        assert_eq!(
+            solver_stats_line(&SolverStats::default()),
+            "0 checks (0 incremental, 0 fallback, 0 model-reuse), \
+             0 cache hits, 0 prefix-trie hits, 0 unsat-prefix kills, hit rate n/a"
+        );
+    }
+
+    #[test]
     fn duration_formats() {
         assert_eq!(
             duration_mmss(std::time::Duration::from_millis(17 * 60_000 + 19_000)),
             "17:19.000"
         );
-        assert_eq!(duration_mmss(std::time::Duration::from_millis(215)), "00:00.215");
+        assert_eq!(
+            duration_mmss(std::time::Duration::from_millis(215)),
+            "00:00.215"
+        );
     }
 }

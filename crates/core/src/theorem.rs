@@ -61,19 +61,11 @@ pub fn affected_sequence(trace: &[NodeId], affected: &AffectedSets) -> Vec<NodeI
 }
 
 /// Sequences of terminated paths (completed or assertion-error).
-fn terminated_sequences(
-    summary: &SymbolicSummary,
-    affected: &AffectedSets,
-) -> Vec<Vec<NodeId>> {
+fn terminated_sequences(summary: &SymbolicSummary, affected: &AffectedSets) -> Vec<Vec<NodeId>> {
     summary
         .paths()
         .iter()
-        .filter(|p| {
-            matches!(
-                p.outcome,
-                PathOutcome::Completed | PathOutcome::Error(_)
-            )
-        })
+        .filter(|p| matches!(p.outcome, PathOutcome::Completed | PathOutcome::Error(_)))
         .map(|p| affected_sequence(&p.trace, affected))
         .collect()
 }
@@ -83,10 +75,7 @@ fn terminated_sequences(
 /// no unexplored affected node is reachable, without emitting a path
 /// condition; the paper's ASW versions with affected nodes but zero path
 /// conditions exhibit exactly this).
-fn explored_sequences(
-    summary: &SymbolicSummary,
-    affected: &AffectedSets,
-) -> Vec<Vec<NodeId>> {
+fn explored_sequences(summary: &SymbolicSummary, affected: &AffectedSets) -> Vec<Vec<NodeId>> {
     summary
         .paths()
         .iter()
@@ -162,8 +151,7 @@ mod tests {
     fn check(base_src: &str, mod_src: &str, proc: &str) -> Result<(), String> {
         let base = parse_program(base_src).unwrap();
         let modified = parse_program(mod_src).unwrap();
-        let (cfg_base, cfg_mod, diff) =
-            CfgDiff::from_programs(&base, &modified, proc).unwrap();
+        let (cfg_base, cfg_mod, diff) = CfgDiff::from_programs(&base, &modified, proc).unwrap();
         let affected = crate::removed::affected_locations(
             &cfg_base,
             &cfg_mod,

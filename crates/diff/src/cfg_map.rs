@@ -133,7 +133,10 @@ impl CfgDiff {
     /// Changed-or-added nodes in `CFG_mod` — the seeds of the affected-set
     /// analysis.
     pub fn changed_or_added_mod(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.changed_mod.iter().chain(self.added_mod.iter()).copied()
+        self.changed_mod
+            .iter()
+            .chain(self.added_mod.iter())
+            .copied()
     }
 
     /// Removed nodes in `CFG_base` — the seeds of the `removeNodes`
@@ -250,10 +253,7 @@ mod tests {
 
     #[test]
     fn begin_end_always_map() {
-        let (cfg_base, cfg_mod, d) = lift(
-            "proc f(int x) { x = 1; }",
-            "proc f(int x) { x = 2; }",
-        );
+        let (cfg_base, cfg_mod, d) = lift("proc f(int x) { x = 1; }", "proc f(int x) { x = 2; }");
         assert_eq!(d.map_node(cfg_base.begin()), Some(cfg_mod.begin()));
         assert_eq!(d.map_node(cfg_base.end()), Some(cfg_mod.end()));
     }

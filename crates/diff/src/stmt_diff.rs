@@ -431,12 +431,7 @@ mod tests {
             "proc f(int x) {\n  x = 0;\n  x = 1;\n  x = 2;\n}",
         );
         // base line 2 (`x = 1;`) maps to mod line 3.
-        let base_span = d
-            .base_marks
-            .keys()
-            .find(|s| s.line == 2)
-            .copied()
-            .unwrap();
+        let base_span = d.base_marks.keys().find(|s| s.line == 2).copied().unwrap();
         assert_eq!(d.map_span(base_span).unwrap().line, 3);
     }
 
@@ -447,11 +442,8 @@ mod tests {
             "proc f(int x) {\n  if (x < 0) {\n    x = 1;\n    x = 9;\n  }\n}",
         );
         // The if is changed; `x = 1` unchanged; `x = 2`→`x = 9` changed.
-        let mod_marks: BTreeMap<u32, ModMark> = d
-            .mod_marks
-            .iter()
-            .map(|(s, &m)| (s.line, m))
-            .collect();
+        let mod_marks: BTreeMap<u32, ModMark> =
+            d.mod_marks.iter().map(|(s, &m)| (s.line, m)).collect();
         assert_eq!(mod_marks[&2], ModMark::Changed);
         assert_eq!(mod_marks[&3], ModMark::Unchanged);
         assert_eq!(mod_marks[&4], ModMark::Changed);
@@ -529,9 +521,6 @@ mod tests {
         );
         assert!(!d.is_identical());
         // At least one statement stays matched.
-        assert!(d
-            .mod_marks
-            .values()
-            .any(|&m| m == ModMark::Unchanged));
+        assert!(d.mod_marks.values().any(|&m| m == ModMark::Unchanged));
     }
 }

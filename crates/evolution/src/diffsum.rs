@@ -460,11 +460,10 @@ mod tests {
             "proc f(int x) { assert(x < 100); }",
             "f",
         );
-        assert!(summary
-            .paths
-            .iter()
-            .any(|p| matches!(&p.class, PathClass::OutcomeDiverging { base, modified }
-                if base.is_completed() && modified.is_failure())));
+        assert!(summary.paths.iter().any(
+            |p| matches!(&p.class, PathClass::OutcomeDiverging { base, modified }
+                if base.is_completed() && modified.is_failure())
+        ));
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl Formula {
             Formula::Tarantula => {
                 let fail_rate = ef / (ef + nf);
                 let pass_total = ep + np;
-                let pass_rate = if pass_total == 0.0 { 0.0 } else { ep / pass_total };
+                let pass_rate = if pass_total == 0.0 {
+                    0.0
+                } else {
+                    ep / pass_total
+                };
                 fail_rate / (fail_rate + pass_rate)
             }
             Formula::Jaccard => ef / (ef + nf + ep),
@@ -432,8 +436,7 @@ mod tests {
     fn localize_change_end_to_end_ranks_changed_node_highly() {
         let base = parse_program(BASE).unwrap();
         let modified = parse_program(MODIFIED).unwrap();
-        let outcome =
-            localize_change(&base, &modified, "f", &LocalizeConfig::default()).unwrap();
+        let outcome = localize_change(&base, &modified, "f", &LocalizeConfig::default()).unwrap();
         assert!(outcome.report.failing > 0, "the change introduces failures");
         assert!(!outcome.changed_nodes.is_empty());
         let rank = outcome.best_changed_rank.expect("changed node is ranked");

@@ -84,11 +84,7 @@ pub fn impact_report(
             } else {
                 "changed"
             };
-            let _ = writeln!(
-                out,
-                "- line {}: `{}` ({mark})",
-                payload.span.line, payload
-            );
+            let _ = writeln!(out, "- line {}: `{}` ({mark})", payload.span.line, payload);
         }
         let removed: Vec<_> = diff.removed_base().collect();
         if !removed.is_empty() {
@@ -113,11 +109,19 @@ pub fn impact_report(
     );
     for &node in result.affected.acn() {
         let payload = cfg_mod.node(node);
-        let _ = writeln!(out, "- ACN {}: line {}, `{}`", node, payload.span.line, payload);
+        let _ = writeln!(
+            out,
+            "- ACN {}: line {}, `{}`",
+            node, payload.span.line, payload
+        );
     }
     for &node in result.affected.awn() {
         let payload = cfg_mod.node(node);
-        let _ = writeln!(out, "- AWN {}: line {}, `{}`", node, payload.span.line, payload);
+        let _ = writeln!(
+            out,
+            "- AWN {}: line {}, `{}`",
+            node, payload.span.line, payload
+        );
     }
     let _ = writeln!(out);
 
@@ -144,10 +148,7 @@ pub fn impact_report(
                 let _ = writeln!(out, "  - behaviour: identical on this input");
             }
             Divergence::Outcome { base, modified } => {
-                let _ = writeln!(
-                    out,
-                    "  - behaviour: base {base}, modified {modified} ⚠"
-                );
+                let _ = writeln!(out, "  - behaviour: base {base}, modified {modified} ⚠");
             }
             Divergence::Effect(diffs) => {
                 for d in diffs {

@@ -296,10 +296,10 @@ mod tests {
             "proc f(int x) { if (x > 50) { x = x + 100; } assert(x < 100); }",
             "f",
         );
-        assert!(report
-            .diverging()
-            .any(|w| matches!(&w.divergence, Divergence::Outcome { base, modified }
-                if base.is_completed() && modified.is_failure())));
+        assert!(report.diverging().any(
+            |w| matches!(&w.divergence, Divergence::Outcome { base, modified }
+                if base.is_completed() && modified.is_failure())
+        ));
     }
 
     #[test]
@@ -399,8 +399,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let report =
-            find_witnesses(&base, &modified, "f", &WitnessConfig::default()).unwrap();
+        let report = find_witnesses(&base, &modified, "f", &WitnessConfig::default()).unwrap();
         let suite = witness_tests(&modified, "f", &report);
         assert_eq!(suite.len(), report.diverging_count());
         assert!(suite.iter().all(|t| t.starts_with("f(")));

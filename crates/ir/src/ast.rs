@@ -189,10 +189,9 @@ impl Expr {
             (ExprKind::Int(a), ExprKind::Int(b)) => a == b,
             (ExprKind::Bool(a), ExprKind::Bool(b)) => a == b,
             (ExprKind::Var(a), ExprKind::Var(b)) => a == b,
-            (
-                ExprKind::Unary { op: oa, expr: ea },
-                ExprKind::Unary { op: ob, expr: eb },
-            ) => oa == ob && ea.syn_eq(eb),
+            (ExprKind::Unary { op: oa, expr: ea }, ExprKind::Unary { op: ob, expr: eb }) => {
+                oa == ob && ea.syn_eq(eb)
+            }
             (
                 ExprKind::Binary {
                     op: oa,
@@ -373,10 +372,9 @@ impl Stmt {
                         _ => false,
                     }
             }
-            (
-                StmtKind::While { cond: ca, body: ba },
-                StmtKind::While { cond: cb, body: bb },
-            ) => ca.syn_eq(cb) && ba.syn_eq(bb),
+            (StmtKind::While { cond: ca, body: ba }, StmtKind::While { cond: cb, body: bb }) => {
+                ca.syn_eq(cb) && ba.syn_eq(bb)
+            }
             (StmtKind::Assert { cond: a }, StmtKind::Assert { cond: b }) => a.syn_eq(b),
             (StmtKind::Assume { cond: a }, StmtKind::Assume { cond: b }) => a.syn_eq(b),
             (StmtKind::Skip, StmtKind::Skip) => true,
@@ -390,11 +388,7 @@ impl Stmt {
                     callee: cb,
                     args: ab,
                 },
-            ) => {
-                ca == cb
-                    && aa.len() == ab.len()
-                    && aa.iter().zip(ab).all(|(x, y)| x.syn_eq(y))
-            }
+            ) => ca == cb && aa.len() == ab.len() && aa.iter().zip(ab).all(|(x, y)| x.syn_eq(y)),
             _ => false,
         }
     }
@@ -406,9 +400,7 @@ impl Stmt {
     pub fn header_eq(&self, other: &Stmt) -> bool {
         match (&self.kind, &other.kind) {
             (StmtKind::If { cond: ca, .. }, StmtKind::If { cond: cb, .. }) => ca.syn_eq(cb),
-            (StmtKind::While { cond: ca, .. }, StmtKind::While { cond: cb, .. }) => {
-                ca.syn_eq(cb)
-            }
+            (StmtKind::While { cond: ca, .. }, StmtKind::While { cond: cb, .. }) => ca.syn_eq(cb),
             _ => self.syn_eq(other),
         }
     }

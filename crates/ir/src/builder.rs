@@ -263,7 +263,10 @@ mod tests {
                         vec![assign("g", var("t"))],
                         vec![assign("g", neg(var("t")))],
                     ),
-                    while_loop(gt(var("g"), int(0)), vec![assign("g", sub(var("g"), int(1)))]),
+                    while_loop(
+                        gt(var("g"), int(0)),
+                        vec![assign("g", sub(var("g"), int(1)))],
+                    ),
                     assert_stmt(le(var("g"), int(0))),
                 ],
             )
@@ -294,7 +297,10 @@ mod tests {
     fn helpers_build_expected_shapes() {
         assert!(matches!(skip().kind, StmtKind::Skip));
         assert!(matches!(ret().kind, StmtKind::Return));
-        assert!(matches!(assume_stmt(boolean(true)).kind, StmtKind::Assume { .. }));
+        assert!(matches!(
+            assume_stmt(boolean(true)).kind,
+            StmtKind::Assume { .. }
+        ));
         let s = if_then(boolean(true), vec![skip()]);
         let StmtKind::If { else_branch, .. } = &s.kind else {
             panic!("expected if");

@@ -147,10 +147,7 @@ pub fn contains_calls(program: &Program, proc_name: &str) -> bool {
                 then_branch,
                 else_branch,
                 ..
-            } => {
-                block_has_calls(then_branch)
-                    || else_branch.as_ref().is_some_and(block_has_calls)
-            }
+            } => block_has_calls(then_branch) || else_branch.as_ref().is_some_and(block_has_calls),
             StmtKind::While { body, .. } => block_has_calls(body),
             _ => false,
         })
@@ -210,12 +207,13 @@ impl Inliner<'_> {
         callee_name: &str,
         args: &[Expr],
     ) -> Result<Vec<Stmt>, InlineError> {
-        let callee = self.program.proc(callee_name).ok_or_else(|| {
-            InlineError::UnknownCallee {
+        let callee = self
+            .program
+            .proc(callee_name)
+            .ok_or_else(|| InlineError::UnknownCallee {
                 caller: caller.to_string(),
                 callee: callee_name.to_string(),
-            }
-        })?;
+            })?;
         if self.in_progress.iter().any(|name| name == callee_name) {
             return Err(InlineError::Recursive(callee_name.to_string()));
         }
@@ -341,9 +339,9 @@ fn rename_expr(expr: &Expr, renames: &HashMap<String, String>) -> Expr {
     let kind = match &expr.kind {
         ExprKind::Int(v) => ExprKind::Int(*v),
         ExprKind::Bool(b) => ExprKind::Bool(*b),
-        ExprKind::Var(name) => ExprKind::Var(
-            renames.get(name).cloned().unwrap_or_else(|| name.clone()),
-        ),
+        ExprKind::Var(name) => {
+            ExprKind::Var(renames.get(name).cloned().unwrap_or_else(|| name.clone()))
+        }
         ExprKind::Unary { op, expr: inner } => ExprKind::Unary {
             op: *op,
             expr: Box::new(rename_expr(inner, renames)),
@@ -441,10 +439,7 @@ mod tests {
 
     #[test]
     fn recursion_is_rejected() {
-        let program = parse_program(
-            "proc f(int x) { f(x); }",
-        )
-        .unwrap();
+        let program = parse_program("proc f(int x) { f(x); }").unwrap();
         assert_eq!(
             inline_program(&program, "f").unwrap_err(),
             InlineError::Recursive("f".into())
@@ -528,7 +523,12 @@ mod tests {
             let mut n = 0;
             fn walk(b: &Block, n: &mut usize) {
                 for s in &b.stmts {
-                    if let StmtKind::If { then_branch, else_branch, .. } = &s.kind {
+                    if let StmtKind::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } = &s.kind
+                    {
                         *n += 1;
                         walk(then_branch, n);
                         if let Some(e) = else_branch {

@@ -297,7 +297,11 @@ mod tests {
     fn keywords_are_not_identifiers() {
         assert_eq!(
             kinds("if iff"),
-            vec![TokenKind::KwIf, TokenKind::Ident("iff".into()), TokenKind::Eof]
+            vec![
+                TokenKind::KwIf,
+                TokenKind::Ident("iff".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -707,8 +707,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let StmtKind::Call { callee, args } = &p.proc("main").unwrap().body.stmts[0].kind
-        else {
+        let StmtKind::Call { callee, args } = &p.proc("main").unwrap().body.stmts[0].kind else {
             panic!("expected call");
         };
         assert_eq!(callee, "helper");

@@ -239,10 +239,7 @@ mod tests {
         let e = parse_expr(src).unwrap();
         let printed = pretty_expr(&e);
         let reparsed = parse_expr(&printed).unwrap();
-        assert!(
-            e.syn_eq(&reparsed),
-            "round trip failed: {src} -> {printed}"
-        );
+        assert!(e.syn_eq(&reparsed), "round trip failed: {src} -> {printed}");
     }
 
     #[test]

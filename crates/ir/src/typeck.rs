@@ -95,9 +95,8 @@ fn check_procedure_with(
 ) -> Result<(), TypeError> {
     let mut env = Env::new(globals.clone());
     for param in &procedure.params {
-        env.declare(&param.name, param.ty).map_err(|msg| {
-            TypeError::new(msg, param.span)
-        })?;
+        env.declare(&param.name, param.ty)
+            .map_err(|msg| TypeError::new(msg, param.span))?;
     }
     check_block(&mut env, signatures, &procedure.body)
 }
@@ -165,9 +164,9 @@ impl Env {
         match &expr.kind {
             ExprKind::Int(_) => Ok(Type::Int),
             ExprKind::Bool(_) => Ok(Type::Bool),
-            ExprKind::Var(name) => self.lookup(name).ok_or_else(|| {
-                TypeError::new(format!("undeclared variable `{name}`"), expr.span)
-            }),
+            ExprKind::Var(name) => self
+                .lookup(name)
+                .ok_or_else(|| TypeError::new(format!("undeclared variable `{name}`"), expr.span)),
             ExprKind::Unary { op, expr: inner } => {
                 let inner_ty = self.check_expr(inner)?;
                 let (want, result) = match op {
@@ -289,9 +288,7 @@ fn check_stmt(env: &mut Env, signatures: &Signatures, stmt: &Stmt) -> Result<(),
                 let found = env.check_expr(arg)?;
                 if found != *expected {
                     return Err(TypeError::new(
-                        format!(
-                            "argument to `{callee}` has type `{found}`, expected `{expected}`"
-                        ),
+                        format!("argument to `{callee}` has type `{found}`, expected `{expected}`"),
                         arg.span,
                     ));
                 }
@@ -435,12 +432,10 @@ mod tests {
         let err = check("proc main(int x) { nothere(x); }").unwrap_err();
         assert!(err.message().contains("undeclared procedure"));
         let err =
-            check("proc helper(int a) { skip; } proc main(int x) { helper(x, x); }")
-                .unwrap_err();
+            check("proc helper(int a) { skip; } proc main(int x) { helper(x, x); }").unwrap_err();
         assert!(err.message().contains("expects 1 argument"));
         let err =
-            check("proc helper(int a) { skip; } proc main(bool b) { helper(b); }")
-                .unwrap_err();
+            check("proc helper(int a) { skip; } proc main(bool b) { helper(b); }").unwrap_err();
         assert!(err.message().contains("has type `bool`"));
     }
 

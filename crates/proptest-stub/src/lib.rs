@@ -1,0 +1,340 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! a minimal, deterministic re-implementation of the proptest surface the
+//! test suites use: the [`proptest!`] macro, `any::<T>()`, integer-range
+//! strategies, [`Strategy::prop_map`], `prop::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertion macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * generation is a fixed splitmix64 stream seeded from the test name —
+//!   every run explores the same cases (reproducible CI);
+//! * there is no shrinking: a failing case panics with its message
+//!   directly;
+//! * rejected cases (`prop_assume!`) are retried up to a bounded factor of
+//!   the configured case count.
+
+pub mod strategy {
+    use super::test_runner::Rng;
+
+    /// A value generator. The associated function [`Strategy::generate`]
+    /// replaces proptest's tree-based `new_tree`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut Rng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Marker strategy returned by [`any`](super::arbitrary::any).
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    macro_rules! any_impl {
+        ($($ty:ty => $draw:expr),+ $(,)?) => {
+            $(impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut Rng) -> $ty {
+                    let draw: fn(&mut Rng) -> $ty = $draw;
+                    draw(rng)
+                }
+            })+
+        };
+    }
+
+    any_impl! {
+        u64 => |rng| rng.next(),
+        u32 => |rng| rng.next() as u32,
+        usize => |rng| rng.next() as usize,
+        i64 => |rng| rng.next() as i64,
+        i32 => |rng| rng.next() as i32,
+        bool => |rng| rng.next() & 1 == 1,
+    }
+
+    macro_rules! range_impl {
+        ($($ty:ty),+ $(,)?) => {
+            $(
+                impl Strategy for std::ops::Range<$ty> {
+                    type Value = $ty;
+                    fn generate(&self, rng: &mut Rng) -> $ty {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as i128) - (self.start as i128);
+                        let offset = (rng.next() as i128).rem_euclid(span);
+                        ((self.start as i128) + offset) as $ty
+                    }
+                }
+                impl Strategy for std::ops::RangeInclusive<$ty> {
+                    type Value = $ty;
+                    fn generate(&self, rng: &mut Rng) -> $ty {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "empty range strategy");
+                        let span = (end as i128) - (start as i128) + 1;
+                        let offset = (rng.next() as i128).rem_euclid(span);
+                        ((start as i128) + offset) as $ty
+                    }
+                }
+            )+
+        };
+    }
+
+    range_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Fixed-count vector strategy (see `prop::collection::vec`).
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) count: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            (0..self.count)
+                .map(|_| self.element.generate(rng))
+                .collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Any;
+
+    /// `any::<T>()` — the full-range strategy for `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// A vector of `count` draws from `element`.
+    pub fn vec<S: Strategy>(element: S, count: usize) -> VecStrategy<S> {
+        VecStrategy { element, count }
+    }
+}
+
+/// The `proptest::prop` facade module.
+pub mod prop {
+    pub use super::collection;
+}
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator.
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Seeds from an arbitrary string (the test name).
+        pub fn new(seed: &str) -> Rng {
+            let mut state = 0x9e37_79b9_7f4a_7c15u64;
+            for b in seed.bytes() {
+                state = state.wrapping_mul(31).wrapping_add(u64::from(b));
+            }
+            Rng { state }
+        }
+
+        /// Next raw 64-bit draw.
+        // Not an iterator: draws are infinite and the receiver is a plain
+        // generator, matching proptest's own `Rng` surface.
+        #[allow(clippy::should_implement_trait)]
+        pub fn next(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Why a test case did not pass.
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject,
+        /// `prop_assert!`-family failure; the test panics with the message.
+        Fail(String),
+    }
+
+    /// Runner configuration (`ProptestConfig`).
+    #[derive(Clone, Copy)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// The constructor the suites use.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::arbitrary::any;
+    pub use super::prop;
+    pub use super::strategy::Strategy;
+    pub use super::test_runner::Config as ProptestConfig;
+    // Macro re-exports: `#[macro_export]` puts them at the crate root;
+    // pulling them into the prelude mirrors real proptest.
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// The property-test declaration macro. Accepts the same shape as real
+/// proptest: an optional `#![proptest_config(...)]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::Rng::new(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(16);
+            while passed < config.cases && attempts < max_attempts {
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        panic!("property failed (case {attempts}): {message}");
+                    }
+                }
+            }
+            assert!(
+                passed > 0,
+                "every generated case was rejected by prop_assume!"
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

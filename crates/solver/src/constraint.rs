@@ -59,9 +59,7 @@ impl PathCondition {
 
     /// Returns `true` if some conjunct is the constant `false`.
     pub fn has_false(&self) -> bool {
-        self.conjuncts
-            .iter()
-            .any(|c| c.as_bool() == Some(false))
+        self.conjuncts.iter().any(|c| c.as_bool() == Some(false))
     }
 }
 

@@ -50,10 +50,7 @@ impl Substitution {
     /// for the eliminated ones (processed in reverse elimination order).
     /// Returns `None` if a defining expression overflows `i64` or mentions
     /// an unassigned variable.
-    pub fn back_solve(
-        &self,
-        assignment: &mut std::collections::BTreeMap<u32, i64>,
-    ) -> Option<()> {
+    pub fn back_solve(&self, assignment: &mut std::collections::BTreeMap<u32, i64>) -> Option<()> {
         for (var, expr) in self.eliminated.iter().rev() {
             let value = expr.eval(assignment)?;
             let value = i64::try_from(value).ok()?;
@@ -379,7 +376,9 @@ mod tests {
         // Engineer a system whose elimination explodes: n uppers and n
         // lowers on each of several variables, all coupled.
         let mut pool = VarPool::new();
-        let vars: Vec<_> = (0..8).map(|i| pool.fresh(format!("V{i}"), SymTy::Int)).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| pool.fresh(format!("V{i}"), SymTy::Int))
+            .collect();
         let mut atoms = Vec::new();
         for i in 0..vars.len() {
             for j in 0..vars.len() {

@@ -1,0 +1,225 @@
+//! Hash-consed term interning.
+//!
+//! A [`TermId`] is a stable, dense handle for a [`SymExpr`] tree: two
+//! structurally equal expressions intern to the *same* id, so equality and
+//! hashing become O(1) integer operations instead of deep-tree walks. The
+//! solver keys its result cache on interned constraint vectors, and the
+//! incremental solver keys its prefix trie on the id of each pushed branch
+//! literal.
+//!
+//! Interning flattens the [`SymExpr`] enum into [`Term`] nodes whose
+//! children are themselves [`TermId`]s; the [`Interner`] owns the node
+//! table and the reverse (hash-cons) map. Variable identity follows
+//! [`crate::SymVar`]: the numeric id and type, never the display name.
+
+use std::collections::HashMap;
+
+use crate::sym::{BinOp, SymExpr, SymTy, UnOp};
+
+/// A stable handle for an interned term. Equality, ordering, and hashing
+/// are O(1); ids are only meaningful relative to the [`Interner`] that
+/// produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The raw index (useful for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TermId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One hash-consed node. Children are [`TermId`]s, so structural equality
+/// of whole trees reduces to equality of a single node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Integer constant.
+    Int(i64),
+    /// Boolean constant.
+    Bool(bool),
+    /// Symbolic variable (identified by id + type, as [`crate::SymVar`]).
+    Var {
+        /// The variable's pool id.
+        id: u32,
+        /// The variable's type.
+        ty: SymTy,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The interned operand.
+        arg: TermId,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Interned left operand.
+        lhs: TermId,
+        /// Interned right operand.
+        rhs: TermId,
+    },
+}
+
+/// The hash-consing table: every distinct [`Term`] is stored once and
+/// addressed by its [`TermId`].
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    terms: Vec<Term>,
+    table: HashMap<Term, TermId>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `expr`, returning the id of its root. Structurally equal
+    /// expressions always return the same id.
+    pub fn intern(&mut self, expr: &SymExpr) -> TermId {
+        let term = match expr {
+            SymExpr::Int(v) => Term::Int(*v),
+            SymExpr::Bool(b) => Term::Bool(*b),
+            SymExpr::Var(v) => Term::Var {
+                id: v.id(),
+                ty: v.ty(),
+            },
+            SymExpr::Unary { op, arg } => Term::Unary {
+                op: *op,
+                arg: self.intern(arg),
+            },
+            SymExpr::Binary { op, lhs, rhs } => {
+                let lhs = self.intern(lhs);
+                let rhs = self.intern(rhs);
+                Term::Binary { op: *op, lhs, rhs }
+            }
+        };
+        self.intern_term(term)
+    }
+
+    fn intern_term(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.table.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("interner overflow"));
+        self.terms.push(term.clone());
+        self.table.insert(term, id);
+        id
+    }
+
+    /// The node behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different interner (out of range).
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::VarPool;
+
+    fn setup() -> (VarPool, crate::sym::SymVar, crate::sym::SymVar) {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("X", SymTy::Int);
+        let y = pool.fresh("Y", SymTy::Int);
+        (pool, x, y)
+    }
+
+    #[test]
+    fn equal_trees_share_one_id() {
+        let (_, x, _) = setup();
+        let mut interner = Interner::new();
+        let a = SymExpr::gt(SymExpr::var(&x), SymExpr::int(0));
+        let b = SymExpr::gt(SymExpr::var(&x), SymExpr::int(0));
+        assert_eq!(interner.intern(&a), interner.intern(&b));
+    }
+
+    #[test]
+    fn distinct_trees_get_distinct_ids() {
+        let (_, x, y) = setup();
+        let mut interner = Interner::new();
+        let a = interner.intern(&SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)));
+        let b = interner.intern(&SymExpr::gt(SymExpr::var(&y), SymExpr::int(0)));
+        let c = interner.intern(&SymExpr::gt(SymExpr::var(&x), SymExpr::int(1)));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn shared_subtrees_are_stored_once() {
+        let (_, x, y) = setup();
+        let mut interner = Interner::new();
+        // (x + y) > 0 and (x + y) < 5 share the sum node.
+        let sum = SymExpr::add(SymExpr::var(&x), SymExpr::var(&y));
+        interner.intern(&SymExpr::gt(sum.clone(), SymExpr::int(0)));
+        let before = interner.len();
+        interner.intern(&SymExpr::lt(sum, SymExpr::int(5)));
+        // Only the constant 5 and the new comparison are new nodes.
+        assert_eq!(interner.len(), before + 2);
+    }
+
+    #[test]
+    fn variable_identity_ignores_name() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("A", SymTy::Int);
+        let mut interner = Interner::new();
+        let id1 = interner.intern(&SymExpr::var(&a));
+        // Same pool id under a different display name would be the same
+        // variable; here we just assert the Term is id+ty based.
+        assert_eq!(
+            interner.term(id1),
+            &Term::Var {
+                id: a.id(),
+                ty: SymTy::Int
+            }
+        );
+    }
+
+    #[test]
+    fn term_structure_is_navigable() {
+        let (_, x, y) = setup();
+        let mut interner = Interner::new();
+        let id = interner.intern(&SymExpr::add(SymExpr::var(&x), SymExpr::var(&y)));
+        let Term::Binary { op, lhs, rhs } = *interner.term(id) else {
+            panic!("expected a binary node");
+        };
+        assert_eq!(op, BinOp::Add);
+        assert_eq!(
+            interner.term(lhs),
+            &Term::Var {
+                id: x.id(),
+                ty: SymTy::Int
+            }
+        );
+        assert_eq!(
+            interner.term(rhs),
+            &Term::Var {
+                id: y.id(),
+                ty: SymTy::Int
+            }
+        );
+    }
+}

@@ -124,10 +124,7 @@ const MAX_SWEEPS: usize = 64;
 
 /// Propagates `atoms` starting from `initial` bounds (variables absent from
 /// `initial` start unbounded).
-pub fn propagate(
-    atoms: &[LinAtom],
-    initial: &BTreeMap<u32, Interval>,
-) -> PropagationResult {
+pub fn propagate(atoms: &[LinAtom], initial: &BTreeMap<u32, Interval>) -> PropagationResult {
     let mut bounds: BTreeMap<u32, Interval> = initial.clone();
     for atom in atoms {
         for (id, _) in atom.expr.terms() {
@@ -263,7 +260,10 @@ mod tests {
             atom(BinOp::Gt, SymExpr::var(&x), SymExpr::int(5)),
             atom(BinOp::Lt, SymExpr::var(&x), SymExpr::int(5)),
         ];
-        assert_eq!(propagate(&atoms, &BTreeMap::new()), PropagationResult::Empty);
+        assert_eq!(
+            propagate(&atoms, &BTreeMap::new()),
+            PropagationResult::Empty
+        );
     }
 
     #[test]
@@ -355,6 +355,9 @@ mod tests {
     #[test]
     fn trivially_false_constant_atom() {
         let atoms = vec![LinAtom::le(LinExpr::constant_expr(3))];
-        assert_eq!(propagate(&atoms, &BTreeMap::new()), PropagationResult::Empty);
+        assert_eq!(
+            propagate(&atoms, &BTreeMap::new()),
+            PropagationResult::Empty
+        );
     }
 }

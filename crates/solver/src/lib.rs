@@ -1,10 +1,30 @@
-//! # dise-solver — symbolic expressions and constraint solving
+//! # dise-solver — symbolic expressions and two-tier constraint solving
 //!
 //! The paper's prototype delegates path-condition satisfiability to the
-//! Choco solver. This crate is the equivalent substrate, built from scratch:
+//! Choco solver. This crate is the equivalent substrate, built from
+//! scratch, organized as a **two-tier decision architecture**:
+//!
+//! * the **incremental tier** ([`incremental::IncrementalSolver`]) mirrors
+//!   the symbolic executor's DFS with `push`/`pop`/`check`. It retains
+//!   per-frame derived state (flattened atoms, interval fixed points,
+//!   boolean assignments, the last verified model) so each check processes
+//!   only the newly pushed branch literal; verdicts are memoized in a
+//!   prefix trie keyed by hash-consed [`intern::TermId`]s, so repeated
+//!   prefixes are answered without solving and an UNSAT prefix kills all
+//!   of its extensions;
+//! * the **monolithic tier** ([`solve::Solver`]) runs the full pipeline
+//!   over an arbitrary constraint vector, with a bounded (LRU-evicting)
+//!   result cache keyed by interned term ids. The incremental tier falls
+//!   back to it when a literal needs case splitting, and the non-executor
+//!   clients (witness replay, test generation, simplification) use it
+//!   directly.
+//!
+//! Module map:
 //!
 //! * [`sym`] — symbolic expressions ([`SymExpr`]) over typed symbolic
 //!   variables, with eagerly-folding smart constructors;
+//! * [`intern`] — hash-consing of [`SymExpr`] trees into [`intern::TermId`]s
+//!   with O(1) equality/hash (cache keys, prefix-trie edges);
 //! * [`constraint`] — path conditions (conjunctions of boolean symbolic
 //!   expressions) as accumulated during symbolic execution;
 //! * [`linear`] — extraction of linear atoms `Σ cᵢ·xᵢ + k ⋈ 0`;
@@ -14,19 +34,25 @@
 //!   integers; rational-SAT answers are confirmed by model search);
 //! * [`model`] — integer/boolean model construction by bounded backtracking
 //!   search over propagated intervals;
-//! * [`solve`] — the [`Solver`] facade: normalization, case splitting,
-//!   caching, statistics, and the SPF-compatible "unknown ⇒ unsat" policy
-//!   (§4.1 of the paper; configurable).
+//! * [`solve`] — the monolithic [`Solver`] facade: normalization, case
+//!   splitting, bounded caching, statistics, and the SPF-compatible
+//!   "unknown ⇒ unsat" policy (§4.1 of the paper; configurable);
+//! * [`incremental`] — the [`IncrementalSolver`] described above;
+//! * [`simplify`] — path-condition subsumption for display.
 //!
-//! Decision-procedure soundness contract:
+//! Decision-procedure soundness contract (both tiers):
 //!
 //! * [`SatResult::Unsat`] is only returned when the constraint system
 //!   provably has no integer/boolean solution;
-//! * [`SatResult::Sat`] is only returned together with a verified model;
+//! * [`SatResult::Sat`] is only returned together with a verified model
+//!   (the incremental tier exposes it via
+//!   [`incremental::IncrementalSolver::model`]);
 //! * everything else is [`SatResult::Unknown`], which the symbolic executor
 //!   maps according to its configured policy.
 //!
 //! # Examples
+//!
+//! Monolithic one-shot check:
 //!
 //! ```
 //! use dise_solver::{Solver, SymExpr, SymTy, VarPool};
@@ -40,9 +66,27 @@
 //! let model = outcome.model().unwrap();
 //! assert!(model.int_value(&x).unwrap() > 0);
 //! ```
+//!
+//! Incremental push/pop along a DFS path:
+//!
+//! ```
+//! use dise_solver::{IncrementalSolver, SatResult, SymExpr, SymTy, VarPool};
+//!
+//! let mut pool = VarPool::new();
+//! let x = pool.fresh("X", SymTy::Int);
+//! let mut solver = IncrementalSolver::new();
+//! solver.push(SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)));
+//! assert_eq!(solver.check(), SatResult::Sat);
+//! solver.push(SymExpr::lt(SymExpr::var(&x), SymExpr::int(0)));
+//! assert_eq!(solver.check(), SatResult::Unsat);
+//! solver.pop(); // back to the SAT prefix
+//! assert_eq!(solver.check(), SatResult::Sat);
+//! ```
 
 pub mod constraint;
 pub mod fm;
+pub mod incremental;
+pub mod intern;
 pub mod interval;
 pub mod linear;
 pub mod model;
@@ -51,6 +95,8 @@ pub mod solve;
 pub mod sym;
 
 pub use constraint::PathCondition;
+pub use incremental::IncrementalSolver;
+pub use intern::{Interner, TermId};
 pub use interval::Interval;
 pub use model::Model;
 pub use simplify::simplify_pc;

@@ -221,10 +221,7 @@ pub fn linearize(expr: &SymExpr) -> Option<LinExpr> {
         SymExpr::Int(v) => Some(LinExpr::constant_expr(*v as i128)),
         SymExpr::Var(v) if v.ty() == SymTy::Int => Some(LinExpr::variable(v.id())),
         SymExpr::Var(_) => None,
-        SymExpr::Unary {
-            op: UnOp::Neg,
-            arg,
-        } => linearize(arg)?.checked_scale(-1),
+        SymExpr::Unary { op: UnOp::Neg, arg } => linearize(arg)?.checked_scale(-1),
         SymExpr::Unary { .. } => None,
         SymExpr::Binary { op, lhs, rhs } => {
             let l = linearize(lhs);

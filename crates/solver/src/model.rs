@@ -256,7 +256,10 @@ fn specialize(atoms: &[LinAtom], model: &Model) -> Option<Vec<LinAtom>> {
         for (id, c) in atom.expr.terms() {
             if let Some(Value::Int(v)) = model.values.get(&id).copied() {
                 expr.remove_var(id);
-                match c.checked_mul(v as i128).and_then(|t| constant.checked_add(t)) {
+                match c
+                    .checked_mul(v as i128)
+                    .and_then(|t| constant.checked_add(t))
+                {
                     Some(next) => constant = next,
                     None => {
                         ok = false;
@@ -358,9 +361,7 @@ impl Searcher<'_> {
                     match propagate(&specialized, &pinned) {
                         PropagationResult::Empty => continue,
                         PropagationResult::Bounds(next_bounds) => {
-                            if let Some(found) =
-                                self.assign(&specialized, next_bounds, model)
-                            {
+                            if let Some(found) = self.assign(&specialized, next_bounds, model) {
                                 return Some(found);
                             }
                         }

@@ -155,9 +155,7 @@ fn k_div_ceil(a: i128, b: i128) -> i128 {
 }
 
 /// Convenience: simplified display strings for a set of path conditions.
-pub fn simplify_pc_strings<'a>(
-    pcs: impl IntoIterator<Item = &'a PathCondition>,
-) -> Vec<String> {
+pub fn simplify_pc_strings<'a>(pcs: impl IntoIterator<Item = &'a PathCondition>) -> Vec<String> {
     pcs.into_iter()
         .map(|pc| simplify_pc(pc).to_string())
         .collect()

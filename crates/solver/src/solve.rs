@@ -1,7 +1,24 @@
-//! The [`Solver`] facade.
+//! The monolithic [`Solver`] facade — the *fallback tier* of the two-tier
+//! solving architecture.
 //!
-//! Orchestrates the decision pipeline over a conjunction of boolean
-//! symbolic expressions (a path condition):
+//! The solver crate decides path conditions at two tiers:
+//!
+//! * **Incremental tier** ([`crate::incremental::IncrementalSolver`]) —
+//!   mirrors the executor's DFS with `push`/`pop`/`check`, retaining
+//!   per-frame derived state (flattened atoms, interval bounds, boolean
+//!   assignments, last verified model) so each check processes only the
+//!   newly pushed branch literal and propagates deltas. Verdicts live in a
+//!   prefix trie keyed by hash-consed [`crate::intern::TermId`]s, so a
+//!   repeated prefix is answered without re-solving and an UNSAT prefix
+//!   kills all of its extensions.
+//! * **Monolithic tier** (this module) — the full pipeline over an
+//!   arbitrary constraint vector. The incremental tier falls back to it
+//!   whenever a pushed literal needs case splitting (disjunctions, integer
+//!   disequalities); it also serves the non-executor clients (witness
+//!   replay, test generation, PC simplification).
+//!
+//! The monolithic pipeline over a conjunction of boolean symbolic
+//! expressions:
 //!
 //! 1. flatten conjunctions and push negations inward (NNF — the smart
 //!    constructors already keep comparisons in atom form);
@@ -13,14 +30,17 @@
 //! 4. verify any model against the original constraints before reporting
 //!    [`SatResult::Sat`].
 //!
-//! Results are cached per constraint vector — symbolic execution re-checks
-//! many identical prefixes, which is where the cache pays off (the
-//! statistics report hit rates).
+//! Results are cached per constraint vector, keyed by interned
+//! [`crate::intern::TermId`]s (O(1) hashing/equality instead of deep-tree
+//! hashing). The cache is bounded: when it reaches
+//! [`SolverConfig::cache_capacity`], the least-recently-used quarter is
+//! evicted, so long executions no longer grow memory without bound.
 
 use std::collections::{BTreeMap, HashMap};
 
-use crate::fm::{eliminate, substitute_equalities, FmResult};
-use crate::interval::{propagate, PropagationResult};
+use crate::fm::{eliminate, substitute_equalities, FmResult, Substitution};
+use crate::intern::{Interner, TermId};
+use crate::interval::{propagate, Interval, PropagationResult};
 use crate::linear::{atomize_cmp, LinAtom};
 use crate::model::{search_model, Model, SearchConfig, Value};
 use crate::sym::{BinOp, SymExpr, SymTy, SymVar, UnOp};
@@ -94,6 +114,13 @@ impl CheckOutcome {
 pub struct SolverConfig {
     /// Maximum number of DNF cases explored per query.
     pub case_budget: usize,
+    /// Maximum entries in the monolithic result cache; the least-recently
+    /// used quarter is evicted when full. `0` disables caching.
+    pub cache_capacity: usize,
+    /// Maximum nodes in the incremental solver's prefix trie; beyond this
+    /// the trie stops growing (checks still run, they just aren't
+    /// memoized on new prefixes).
+    pub prefix_trie_capacity: usize,
     /// Model-search configuration.
     pub search: SearchConfig,
 }
@@ -102,13 +129,17 @@ impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
             case_budget: 256,
+            cache_capacity: 4096,
+            prefix_trie_capacity: 1 << 16,
             search: SearchConfig::default(),
         }
     }
 }
 
 /// Counters describing solver activity (reported by the benchmark harness
-/// alongside the paper's time/state metrics).
+/// alongside the paper's time/state metrics). The incremental tier's
+/// counters are folded in by
+/// [`crate::incremental::IncrementalSolver::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Total `check` calls.
@@ -125,14 +156,90 @@ pub struct SolverStats {
     pub fm_runs: u64,
     /// Model searches attempted.
     pub model_searches: u64,
+    /// Checks decided by the incremental pipeline (no monolithic re-solve).
+    pub incremental_checks: u64,
+    /// Incremental checks that fell back to the monolithic pipeline
+    /// (a pushed literal required case splitting).
+    pub fallback_checks: u64,
+    /// Checks answered from the prefix trie (repeated-prefix re-checks).
+    pub prefix_cache_hits: u64,
+    /// Checks killed instantly because an ancestor frame was already UNSAT.
+    pub prefix_unsat_kills: u64,
+    /// SAT answers obtained by re-validating the parent frame's model
+    /// against the new literal (no search at all).
+    pub model_reuse_hits: u64,
+    /// Entries evicted from the bounded monolithic result cache.
+    pub cache_evictions: u64,
 }
 
-/// The constraint solver: a caching decision procedure for path
-/// conditions. See the [module documentation](self) for the pipeline.
+impl SolverStats {
+    /// Adds every counter of `other` into `self` (used to fold the
+    /// incremental tier's counters into the fallback solver's).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.checks += other.checks;
+        self.cache_hits += other.cache_hits;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.unknown += other.unknown;
+        self.fm_runs += other.fm_runs;
+        self.model_searches += other.model_searches;
+        self.incremental_checks += other.incremental_checks;
+        self.fallback_checks += other.fallback_checks;
+        self.prefix_cache_hits += other.prefix_cache_hits;
+        self.prefix_unsat_kills += other.prefix_unsat_kills;
+        self.model_reuse_hits += other.model_reuse_hits;
+        self.cache_evictions += other.cache_evictions;
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), for reporting
+    /// per-run activity of a solver that persists across runs.
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            checks: self.checks.saturating_sub(earlier.checks),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            sat: self.sat.saturating_sub(earlier.sat),
+            unsat: self.unsat.saturating_sub(earlier.unsat),
+            unknown: self.unknown.saturating_sub(earlier.unknown),
+            fm_runs: self.fm_runs.saturating_sub(earlier.fm_runs),
+            model_searches: self.model_searches.saturating_sub(earlier.model_searches),
+            incremental_checks: self
+                .incremental_checks
+                .saturating_sub(earlier.incremental_checks),
+            fallback_checks: self.fallback_checks.saturating_sub(earlier.fallback_checks),
+            prefix_cache_hits: self
+                .prefix_cache_hits
+                .saturating_sub(earlier.prefix_cache_hits),
+            prefix_unsat_kills: self
+                .prefix_unsat_kills
+                .saturating_sub(earlier.prefix_unsat_kills),
+            model_reuse_hits: self
+                .model_reuse_hits
+                .saturating_sub(earlier.model_reuse_hits),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+        }
+    }
+
+    /// Fraction of checks answered without running any decision pipeline
+    /// (result cache + prefix trie + prefix-unsat kills); `None` when no
+    /// checks ran.
+    pub fn hit_rate(&self) -> Option<f64> {
+        if self.checks == 0 {
+            return None;
+        }
+        let hits = self.cache_hits + self.prefix_cache_hits + self.prefix_unsat_kills;
+        Some(hits as f64 / self.checks as f64)
+    }
+}
+
+/// The monolithic constraint solver: a caching decision procedure for path
+/// conditions. See the [module documentation](self) for the pipeline and
+/// for its place in the two-tier architecture.
 #[derive(Debug, Clone, Default)]
 pub struct Solver {
     config: SolverConfig,
-    cache: HashMap<Vec<SymExpr>, CheckOutcome>,
+    pub(crate) interner: Interner,
+    cache: HashMap<Vec<TermId>, (CheckOutcome, u64)>,
+    tick: u64,
     stats: SolverStats,
 }
 
@@ -155,9 +262,19 @@ impl Solver {
         &self.stats
     }
 
+    /// The configuration in effect.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
     /// Clears the result cache (the statistics are kept).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// Number of cached results currently held.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Checks a path condition.
@@ -183,8 +300,14 @@ impl Solver {
     /// ```
     pub fn check(&mut self, constraints: &[SymExpr]) -> CheckOutcome {
         self.stats.checks += 1;
-        let key: Vec<SymExpr> = constraints.to_vec();
-        if let Some(cached) = self.cache.get(&key) {
+        let key: Vec<TermId> = constraints
+            .iter()
+            .map(|c| self.interner.intern(c))
+            .collect();
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((cached, stamp)) = self.cache.get_mut(&key) {
+            *stamp = tick;
             self.stats.cache_hits += 1;
             return cached.clone();
         }
@@ -194,8 +317,32 @@ impl Solver {
             SatResult::Unsat => self.stats.unsat += 1,
             SatResult::Unknown => self.stats.unknown += 1,
         }
-        self.cache.insert(key, outcome.clone());
+        self.cache_insert(key, outcome.clone());
         outcome
+    }
+
+    /// Inserts into the bounded result cache, evicting the least-recently
+    /// used quarter when full.
+    fn cache_insert(&mut self, key: Vec<TermId>, outcome: CheckOutcome) {
+        let capacity = self.config.cache_capacity;
+        if capacity == 0 {
+            return;
+        }
+        if self.cache.len() >= capacity {
+            let before = self.cache.len();
+            // Keep the most recent ~3/4, leaving room for the new entry.
+            let keep = capacity.saturating_sub(capacity / 4 + 1);
+            if keep == 0 {
+                self.cache.clear();
+            } else {
+                let mut stamps: Vec<u64> = self.cache.values().map(|(_, s)| *s).collect();
+                stamps.sort_unstable();
+                let threshold = stamps[stamps.len() - keep];
+                self.cache.retain(|_, (_, stamp)| *stamp >= threshold);
+            }
+            self.stats.cache_evictions += (before - self.cache.len()) as u64;
+        }
+        self.cache.insert(key, (outcome, self.tick));
     }
 
     fn check_uncached(&mut self, constraints: &[SymExpr]) -> CheckOutcome {
@@ -239,111 +386,141 @@ impl Solver {
             match classify(atom) {
                 Classified::True => {}
                 Classified::False => return CaseVerdict::Unsat,
-                Classified::BoolAssign(var, value) => {
-                    match fixed.value(&var) {
-                        Some(Value::Bool(existing)) if existing != value => {
-                            return CaseVerdict::Unsat;
-                        }
-                        _ => fixed.set(var.id(), Value::Bool(value)),
+                Classified::BoolAssign(var, value) => match fixed.value(&var) {
+                    Some(Value::Bool(existing)) if existing != value => {
+                        return CaseVerdict::Unsat;
                     }
-                }
+                    _ => fixed.set(var.id(), Value::Bool(value)),
+                },
                 Classified::Linear(atom) => lin.push(atom),
                 Classified::Residual(expr) => residuals.push(expr),
             }
         }
 
-        // Interval propagation: quick unsat + bounds for the search.
-        let bounds = match propagate(&lin, &BTreeMap::new()) {
-            PropagationResult::Empty => return CaseVerdict::Unsat,
-            PropagationResult::Bounds(bounds) => bounds,
-        };
-
-        // Sound UNSAT via equality substitution + Fourier–Motzkin. UNSAT
-        // from the linear part alone is sound even with residual atoms (a
-        // residual can only constrain further) — but SAT is not, hence the
-        // model search.
-        self.stats.fm_runs += 1;
-        let substitution = substitute_equalities(lin.clone());
-        if let Some(sub) = &substitution {
-            if eliminate(&sub.atoms) == FmResult::Unsat {
-                return CaseVerdict::Unsat;
-            }
-        }
-
-        // Model search. When there are no residual atoms we can search the
-        // *reduced* system (fewer variables — coupled equalities are solved
-        // exactly) and back-substitute; residuals mention eliminated
-        // variables, so in their presence we search the original system.
-        self.stats.model_searches += 1;
-        let found = match (&substitution, residuals.is_empty()) {
-            (Some(sub), true) if !sub.eliminated.is_empty() => {
-                let surviving: BTreeMap<u32, SymVar> = vars
-                    .iter()
-                    .filter(|(id, _)| !sub.eliminated.iter().any(|(e, _)| e == *id))
-                    .map(|(id, v)| (*id, v.clone()))
-                    .collect();
-                search_model(
-                    &sub.atoms,
-                    &[],
-                    &surviving,
-                    &BTreeMap::new(),
-                    &fixed,
-                    &self.config.search,
-                )
-                .and_then(|model| {
-                    let mut assignment: BTreeMap<u32, i64> = model
-                        .iter()
-                        .filter_map(|(id, v)| match v {
-                            Value::Int(i) => Some((id, i)),
-                            Value::Bool(_) => None,
-                        })
-                        .collect();
-                    sub.back_solve(&mut assignment)?;
-                    let mut full = model;
-                    for (id, value) in assignment {
-                        full.set(id, Value::Int(value));
-                    }
-                    Some(full)
-                })
-            }
-            _ => search_model(
-                &lin,
-                &residuals,
-                &vars,
-                &bounds,
-                &fixed,
-                &self.config.search,
-            ),
-        };
-        match found {
-            Some(mut model) => {
-                // Default-fill variables that appear in the originals but
-                // not in this case (dropped `true` conjuncts, other
-                // disjuncts), then verify everything.
-                let mut all_vars = BTreeMap::new();
-                for c in originals {
-                    c.collect_vars(&mut all_vars);
-                }
-                for (id, var) in &all_vars {
-                    if model.value(var).is_none() {
-                        match var.ty() {
-                            SymTy::Int => model.set(*id, Value::Int(0)),
-                            SymTy::Bool => model.set(*id, Value::Bool(false)),
-                        }
-                    }
-                }
-                if originals.iter().all(|c| model.satisfies(c)) {
-                    CaseVerdict::Sat(model)
-                } else {
-                    CaseVerdict::Unknown
-                }
-            }
-            None => CaseVerdict::Unknown,
-        }
+        decide_conjunction(
+            &lin,
+            &residuals,
+            &vars,
+            &fixed,
+            &BTreeMap::new(),
+            originals,
+            &self.config,
+            &mut self.stats,
+        )
+        .0
     }
 }
 
-enum CaseVerdict {
+/// Decides one conjunction-only case: interval propagation, equality
+/// substitution + Fourier–Motzkin (sound UNSAT), then model search with
+/// verification against `originals` (sound SAT). This is the shared core
+/// of the monolithic per-case decision and of the incremental solver's
+/// per-frame check.
+///
+/// `initial_bounds` seeds propagation (the incremental tier passes the
+/// parent frame's fixed point — sound, because the parent's bounds
+/// over-approximate the prefix's solutions and the current system only
+/// adds constraints). Returns the verdict together with the propagated
+/// bounds for non-UNSAT outcomes (reused as the next frame's seed).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decide_conjunction(
+    lin: &[LinAtom],
+    residuals: &[SymExpr],
+    vars: &BTreeMap<u32, SymVar>,
+    fixed: &Model,
+    initial_bounds: &BTreeMap<u32, Interval>,
+    originals: &[SymExpr],
+    config: &SolverConfig,
+    stats: &mut SolverStats,
+) -> (CaseVerdict, Option<BTreeMap<u32, Interval>>) {
+    // Interval propagation: quick unsat + bounds for the search.
+    let bounds = match propagate(lin, initial_bounds) {
+        PropagationResult::Empty => return (CaseVerdict::Unsat, None),
+        PropagationResult::Bounds(bounds) => bounds,
+    };
+
+    // Sound UNSAT via equality substitution + Fourier–Motzkin. UNSAT
+    // from the linear part alone is sound even with residual atoms (a
+    // residual can only constrain further) — but SAT is not, hence the
+    // model search.
+    stats.fm_runs += 1;
+    let substitution = substitute_equalities(lin.to_vec());
+    if let Some(sub) = &substitution {
+        if eliminate(&sub.atoms) == FmResult::Unsat {
+            return (CaseVerdict::Unsat, None);
+        }
+    }
+
+    // Model search. When there are no residual atoms we can search the
+    // *reduced* system (fewer variables — coupled equalities are solved
+    // exactly) and back-substitute; residuals mention eliminated
+    // variables, so in their presence we search the original system.
+    stats.model_searches += 1;
+    let found = match (&substitution, residuals.is_empty()) {
+        (Some(sub), true) if !sub.eliminated.is_empty() => {
+            search_reduced_system(sub, vars, fixed, &config.search)
+        }
+        _ => search_model(lin, residuals, vars, &bounds, fixed, &config.search),
+    };
+    let verdict = match found {
+        Some(mut model) => {
+            // Default-fill variables that appear in the originals but
+            // not in this case (dropped `true` conjuncts, other
+            // disjuncts), then verify everything.
+            let mut all_vars = BTreeMap::new();
+            for c in originals {
+                c.collect_vars(&mut all_vars);
+            }
+            for (id, var) in &all_vars {
+                if model.value(var).is_none() {
+                    match var.ty() {
+                        SymTy::Int => model.set(*id, Value::Int(0)),
+                        SymTy::Bool => model.set(*id, Value::Bool(false)),
+                    }
+                }
+            }
+            if originals.iter().all(|c| model.satisfies(c)) {
+                CaseVerdict::Sat(model)
+            } else {
+                CaseVerdict::Unknown
+            }
+        }
+        None => CaseVerdict::Unknown,
+    };
+    (verdict, Some(bounds))
+}
+
+/// Searches the equality-reduced system and back-substitutes the
+/// eliminated variables.
+fn search_reduced_system(
+    sub: &Substitution,
+    vars: &BTreeMap<u32, SymVar>,
+    fixed: &Model,
+    search: &SearchConfig,
+) -> Option<Model> {
+    let surviving: BTreeMap<u32, SymVar> = vars
+        .iter()
+        .filter(|(id, _)| !sub.eliminated.iter().any(|(e, _)| e == *id))
+        .map(|(id, v)| (*id, v.clone()))
+        .collect();
+    search_model(&sub.atoms, &[], &surviving, &BTreeMap::new(), fixed, search).and_then(|model| {
+        let mut assignment: BTreeMap<u32, i64> = model
+            .iter()
+            .filter_map(|(id, v)| match v {
+                Value::Int(i) => Some((id, i)),
+                Value::Bool(_) => None,
+            })
+            .collect();
+        sub.back_solve(&mut assignment)?;
+        let mut full = model;
+        for (id, value) in assignment {
+            full.set(id, Value::Int(value));
+        }
+        Some(full)
+    })
+}
+
+pub(crate) enum CaseVerdict {
     Sat(Model),
     Unsat,
     Unknown,
@@ -351,12 +528,9 @@ enum CaseVerdict {
 
 /// Negation normal form: pushes `!` inward through `&&`/`||` (De Morgan)
 /// and flips comparisons. `positive == false` means "return NNF of !e".
-fn nnf(expr: &SymExpr, positive: bool) -> SymExpr {
+pub(crate) fn nnf(expr: &SymExpr, positive: bool) -> SymExpr {
     match expr {
-        SymExpr::Unary {
-            op: UnOp::Not,
-            arg,
-        } => nnf(arg, !positive),
+        SymExpr::Unary { op: UnOp::Not, arg } => nnf(arg, !positive),
         SymExpr::Binary { op, lhs, rhs } if *op == BinOp::And || *op == BinOp::Or => {
             let flipped = match (op, positive) {
                 (BinOp::And, true) | (BinOp::Or, false) => BinOp::And,
@@ -375,7 +549,7 @@ fn nnf(expr: &SymExpr, positive: bool) -> SymExpr {
 }
 
 /// Flattens nested `&&` into `out`. Returns `false` on a literal `false`.
-fn flatten_conjunct(expr: &SymExpr, out: &mut Vec<SymExpr>) -> bool {
+pub(crate) fn flatten_conjunct(expr: &SymExpr, out: &mut Vec<SymExpr>) -> bool {
     match expr {
         SymExpr::Bool(true) => true,
         SymExpr::Bool(false) => false,
@@ -426,7 +600,7 @@ fn expand_cases(conjuncts: &[SymExpr], budget: usize) -> Option<Vec<Vec<SymExpr>
 /// The alternative branches contributed by one conjunct: a disjunction
 /// splits, an integer `≠` becomes `<` or `>`, everything else is a single
 /// alternative.
-fn split_alternatives(expr: &SymExpr) -> Vec<Vec<SymExpr>> {
+pub(crate) fn split_alternatives(expr: &SymExpr) -> Vec<Vec<SymExpr>> {
     match expr {
         SymExpr::Binary {
             op: BinOp::Or,
@@ -453,7 +627,7 @@ fn split_alternatives(expr: &SymExpr) -> Vec<Vec<SymExpr>> {
     }
 }
 
-enum Classified {
+pub(crate) enum Classified {
     True,
     False,
     BoolAssign(SymVar, bool),
@@ -461,18 +635,13 @@ enum Classified {
     Residual(SymExpr),
 }
 
-fn classify(atom: &SymExpr) -> Classified {
+pub(crate) fn classify(atom: &SymExpr) -> Classified {
     match atom {
         SymExpr::Bool(true) => Classified::True,
         SymExpr::Bool(false) => Classified::False,
         SymExpr::Var(v) if v.ty() == SymTy::Bool => Classified::BoolAssign(v.clone(), true),
-        SymExpr::Unary {
-            op: UnOp::Not,
-            arg,
-        } => match &**arg {
-            SymExpr::Var(v) if v.ty() == SymTy::Bool => {
-                Classified::BoolAssign(v.clone(), false)
-            }
+        SymExpr::Unary { op: UnOp::Not, arg } => match &**arg {
+            SymExpr::Var(v) if v.ty() == SymTy::Bool => Classified::BoolAssign(v.clone(), false),
             _ => Classified::Residual(atom.clone()),
         },
         SymExpr::Binary { op, lhs, rhs }
@@ -672,10 +841,7 @@ mod tests {
         ]);
         assert!(outcome.is_sat());
         let m = outcome.model().unwrap();
-        assert_eq!(
-            m.int_value(&x).unwrap() * m.int_value(&y).unwrap(),
-            6
-        );
+        assert_eq!(m.int_value(&x).unwrap() * m.int_value(&y).unwrap(), 6);
     }
 
     #[test]
@@ -690,6 +856,40 @@ mod tests {
         solver.clear_cache();
         solver.check(&constraints);
         assert_eq!(solver.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_is_bounded_with_lru_eviction() {
+        let (_, x, _, _) = setup();
+        let config = SolverConfig {
+            cache_capacity: 8,
+            ..SolverConfig::default()
+        };
+        let mut solver = Solver::with_config(config);
+        for i in 0..50 {
+            solver.check(&[SymExpr::gt(SymExpr::var(&x), SymExpr::int(i))]);
+        }
+        assert!(solver.cache_len() <= 8, "len = {}", solver.cache_len());
+        assert!(solver.stats().cache_evictions > 0);
+        // The most recent query is still resident.
+        let hits = solver.stats().cache_hits;
+        solver.check(&[SymExpr::gt(SymExpr::var(&x), SymExpr::int(49))]);
+        assert_eq!(solver.stats().cache_hits, hits + 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let (_, x, _, _) = setup();
+        let config = SolverConfig {
+            cache_capacity: 0,
+            ..SolverConfig::default()
+        };
+        let mut solver = Solver::with_config(config);
+        let constraints = [SymExpr::gt(SymExpr::var(&x), SymExpr::int(0))];
+        solver.check(&constraints);
+        solver.check(&constraints);
+        assert_eq!(solver.stats().cache_hits, 0);
+        assert_eq!(solver.cache_len(), 0);
     }
 
     #[test]

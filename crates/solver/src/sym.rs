@@ -499,13 +499,22 @@ mod tests {
 
     #[test]
     fn constants_fold() {
-        assert_eq!(SymExpr::add(SymExpr::int(2), SymExpr::int(3)), SymExpr::Int(5));
-        assert_eq!(SymExpr::lt(SymExpr::int(2), SymExpr::int(3)), SymExpr::Bool(true));
+        assert_eq!(
+            SymExpr::add(SymExpr::int(2), SymExpr::int(3)),
+            SymExpr::Int(5)
+        );
+        assert_eq!(
+            SymExpr::lt(SymExpr::int(2), SymExpr::int(3)),
+            SymExpr::Bool(true)
+        );
         assert_eq!(
             SymExpr::div(SymExpr::int(1), SymExpr::int(4)),
             SymExpr::Int(0) // truncating, like Java
         );
-        assert_eq!(SymExpr::rem(SymExpr::int(7), SymExpr::int(3)), SymExpr::Int(1));
+        assert_eq!(
+            SymExpr::rem(SymExpr::int(7), SymExpr::int(3)),
+            SymExpr::Int(1)
+        );
     }
 
     #[test]
@@ -528,11 +537,17 @@ mod tests {
         assert_eq!(SymExpr::mul(xv.clone(), SymExpr::int(1)), xv);
         assert_eq!(SymExpr::mul(xv.clone(), SymExpr::int(0)), SymExpr::Int(0));
         assert_eq!(
-            SymExpr::and(SymExpr::boolean(true), SymExpr::gt(xv.clone(), SymExpr::int(0))),
+            SymExpr::and(
+                SymExpr::boolean(true),
+                SymExpr::gt(xv.clone(), SymExpr::int(0))
+            ),
             SymExpr::gt(xv.clone(), SymExpr::int(0))
         );
         assert_eq!(
-            SymExpr::or(SymExpr::boolean(true), SymExpr::gt(xv.clone(), SymExpr::int(0))),
+            SymExpr::or(
+                SymExpr::boolean(true),
+                SymExpr::gt(xv.clone(), SymExpr::int(0))
+            ),
             SymExpr::Bool(true)
         );
     }
@@ -552,10 +567,7 @@ mod tests {
         let (_, x, _) = pool2();
         let cond = SymExpr::gt(SymExpr::var(&x), SymExpr::int(0));
         let negated = SymExpr::not(cond);
-        assert_eq!(
-            negated,
-            SymExpr::le(SymExpr::var(&x), SymExpr::int(0))
-        );
+        assert_eq!(negated, SymExpr::le(SymExpr::var(&x), SymExpr::int(0)));
     }
 
     #[test]
@@ -606,7 +618,10 @@ mod tests {
     fn ty_of_expressions() {
         let (_, x, _) = pool2();
         assert_eq!(SymExpr::var(&x).ty(), SymTy::Int);
-        assert_eq!(SymExpr::lt(SymExpr::var(&x), SymExpr::int(3)).ty(), SymTy::Bool);
+        assert_eq!(
+            SymExpr::lt(SymExpr::var(&x), SymExpr::int(3)).ty(),
+            SymTy::Bool
+        );
         assert_eq!(SymExpr::neg(SymExpr::var(&x)).ty(), SymTy::Int);
     }
 

@@ -1,0 +1,227 @@
+//! Differential property tests: the incremental solver's push/pop/check
+//! must agree with the monolithic `Solver::check` on randomized path
+//! conditions, including pop-then-push divergent branches.
+//!
+//! "Agree" means the sound core: the two tiers may disagree only when one
+//! of them answers `Unknown` (both are allowed to give up on different
+//! budgets); a `Sat` vs `Unsat` split is a soundness bug. In addition,
+//! every incremental `Sat` must come with a model that satisfies every
+//! pushed literal.
+
+use dise_solver::sym::BinOp;
+use dise_solver::{IncrementalSolver, SatResult, Solver, SymExpr, SymTy, SymVar, VarPool};
+use proptest::prelude::*;
+
+/// Deterministic splitmix64 stream for literal construction (the proptest
+/// stub hands us one seed per case).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn small_const(&mut self) -> i64 {
+        self.below(21) as i64 - 10
+    }
+}
+
+struct Fixture {
+    ints: Vec<SymVar>,
+    bools: Vec<SymVar>,
+}
+
+fn fixture() -> (VarPool, Fixture) {
+    let mut pool = VarPool::new();
+    let ints = (0..3)
+        .map(|i| pool.fresh(format!("X{i}"), SymTy::Int))
+        .collect();
+    let bools = (0..2)
+        .map(|i| pool.fresh(format!("B{i}"), SymTy::Bool))
+        .collect();
+    (pool, Fixture { ints, bools })
+}
+
+/// A linear integer operand: variable, constant, or var ± const / var + var.
+fn int_operand(g: &mut Gen, f: &Fixture) -> SymExpr {
+    let x = &f.ints[g.below(f.ints.len() as u64) as usize];
+    match g.below(4) {
+        0 => SymExpr::var(x),
+        1 => SymExpr::int(g.small_const()),
+        2 => SymExpr::add(SymExpr::var(x), SymExpr::int(g.small_const())),
+        _ => {
+            let y = &f.ints[g.below(f.ints.len() as u64) as usize];
+            SymExpr::add(SymExpr::var(x), SymExpr::var(y))
+        }
+    }
+}
+
+fn comparison(g: &mut Gen, f: &Fixture) -> SymExpr {
+    let lhs = int_operand(g, f);
+    let rhs = int_operand(g, f);
+    let op = match g.below(5) {
+        0 => BinOp::Lt,
+        1 => BinOp::Le,
+        2 => BinOp::Gt,
+        3 => BinOp::Ge,
+        _ => BinOp::Eq,
+    };
+    SymExpr::binary(op, lhs, rhs)
+}
+
+/// One branch literal, occasionally disjunctive/disequal (which forces the
+/// incremental tier through its monolithic fallback path) or negated.
+fn literal(g: &mut Gen, f: &Fixture) -> SymExpr {
+    match g.below(10) {
+        0 => {
+            let b = &f.bools[g.below(f.bools.len() as u64) as usize];
+            SymExpr::var(b)
+        }
+        1 => {
+            let b = &f.bools[g.below(f.bools.len() as u64) as usize];
+            SymExpr::not(SymExpr::var(b))
+        }
+        2 => SymExpr::or(comparison(g, f), comparison(g, f)),
+        3 => SymExpr::Binary {
+            op: BinOp::Ne,
+            lhs: int_operand(g, f).into(),
+            rhs: int_operand(g, f).into(),
+        },
+        4 => SymExpr::not(comparison(g, f)),
+        _ => comparison(g, f),
+    }
+}
+
+/// A non-constant literal (constants fold away before reaching the solver:
+/// the executor never pushes them).
+fn symbolic_literal(g: &mut Gen, f: &Fixture) -> SymExpr {
+    loop {
+        let lit = literal(g, f);
+        if lit.as_bool().is_none() {
+            return lit;
+        }
+    }
+}
+
+fn sound_agreement(incremental: SatResult, monolithic: SatResult) -> bool {
+    !matches!(
+        (incremental, monolithic),
+        (SatResult::Sat, SatResult::Unsat) | (SatResult::Unsat, SatResult::Sat)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_agrees_with_monolithic_along_random_paths(seed in any::<u64>()) {
+        let (_pool, f) = fixture();
+        let mut g = Gen(seed | 1);
+        let depth = 2 + g.below(9) as usize;
+        let lits: Vec<SymExpr> = (0..depth).map(|_| symbolic_literal(&mut g, &f)).collect();
+
+        let mut incremental = IncrementalSolver::new();
+        for d in 0..lits.len() {
+            incremental.push(lits[d].clone());
+            let iv = incremental.check();
+            // A fresh monolithic solver per prefix: no cache assistance.
+            let mv = Solver::new().check(&lits[..=d]).result();
+            prop_assert!(
+                sound_agreement(iv, mv),
+                "prefix {:?}: incremental {iv:?} vs monolithic {mv:?}",
+                &lits[..=d].iter().map(|l| l.to_string()).collect::<Vec<_>>()
+            );
+            if iv == SatResult::Sat {
+                let model = incremental.model().expect("SAT carries a model");
+                prop_assert!(
+                    lits[..=d].iter().all(|l| model.satisfies(l)),
+                    "model does not satisfy the pushed path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pop_then_push_divergent_branches_agree(seed in any::<u64>()) {
+        let (_pool, f) = fixture();
+        let mut g = Gen(seed | 1);
+        let depth = 3 + g.below(6) as usize;
+        let lits: Vec<SymExpr> = (0..depth).map(|_| symbolic_literal(&mut g, &f)).collect();
+
+        let mut incremental = IncrementalSolver::new();
+        for lit in &lits {
+            incremental.push(lit.clone());
+            incremental.check();
+        }
+        // Backtrack a random amount (at least one frame) and explore a
+        // divergent branch, exactly like the executor's DFS.
+        let keep = g.below(depth as u64) as usize;
+        while incremental.depth() > keep {
+            incremental.pop();
+        }
+        let branch_depth = 1 + g.below(4) as usize;
+        let mut path: Vec<SymExpr> = lits[..keep].to_vec();
+        for _ in 0..branch_depth {
+            // Half the time, negate a previously seen literal (the classic
+            // divergent DFS sibling); otherwise a fresh literal.
+            let lit = if g.below(2) == 0 {
+                SymExpr::not(lits[g.below(depth as u64) as usize].clone())
+            } else {
+                symbolic_literal(&mut g, &f)
+            };
+            path.push(lit.clone());
+            incremental.push(lit);
+            let iv = incremental.check();
+            let mv = Solver::new().check(&path).result();
+            prop_assert!(
+                sound_agreement(iv, mv),
+                "divergent path {:?}: incremental {iv:?} vs monolithic {mv:?}",
+                path.iter().map(|l| l.to_string()).collect::<Vec<_>>()
+            );
+            if iv == SatResult::Sat {
+                let model = incremental.model().expect("SAT carries a model");
+                prop_assert!(path.iter().all(|l| model.satisfies(l)));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_paths_hit_the_prefix_trie(seed in any::<u64>()) {
+        let (_pool, f) = fixture();
+        let mut g = Gen(seed | 1);
+        let depth = 2 + g.below(5) as usize;
+        let lits: Vec<SymExpr> = (0..depth).map(|_| symbolic_literal(&mut g, &f)).collect();
+
+        let mut incremental = IncrementalSolver::new();
+        let mut first = Vec::new();
+        for lit in &lits {
+            incremental.push(lit.clone());
+            first.push(incremental.check());
+        }
+        incremental.reset();
+        let busy_before = {
+            let s = incremental.stats();
+            s.model_searches + s.fm_runs
+        };
+        // Replaying the same path must answer every check from memoized
+        // state (trie or unsat-prefix kill), never re-solving.
+        for (i, lit) in lits.iter().enumerate() {
+            incremental.push(lit.clone());
+            let verdict = incremental.check();
+            prop_assert_eq!(verdict, first[i], "replay diverged at depth {}", i);
+        }
+        let busy_after = {
+            let s = incremental.stats();
+            s.model_searches + s.fm_runs
+        };
+        prop_assert_eq!(busy_before, busy_after, "replay re-ran the pipeline");
+    }
+}

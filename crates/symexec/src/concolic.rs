@@ -49,8 +49,7 @@ use dise_ir::ast::Program;
 use dise_solver::{PathCondition, SymExpr, SymVar};
 
 use crate::concrete::{
-    eval_concrete, ConcreteConfig, ConcreteEvalError, ConcreteExecutor, ConcreteOutcome,
-    ValueEnv,
+    eval_concrete, ConcreteConfig, ConcreteEvalError, ConcreteExecutor, ConcreteOutcome, ValueEnv,
 };
 use crate::env::Env;
 use crate::eval::eval_symbolic;

@@ -10,7 +10,8 @@ use std::time::{Duration, Instant};
 use dise_cfg::{build_cfg, Cfg, NodeKind};
 use dise_ir::ast::Program;
 use dise_solver::{
-    PathCondition, SatResult, Solver, SolverConfig, SolverStats, SymExpr, SymTy, SymVar, VarPool,
+    IncrementalSolver, PathCondition, SatResult, SolverConfig, SolverStats, SymExpr, SymTy, SymVar,
+    VarPool,
 };
 
 use crate::env::Env;
@@ -233,12 +234,7 @@ impl SymbolicSummary {
     pub fn path_conditions(&self) -> impl Iterator<Item = &PathCondition> {
         self.paths
             .iter()
-            .filter(|p| {
-                !matches!(
-                    p.outcome,
-                    PathOutcome::DepthBounded | PathOutcome::Pruned
-                )
-            })
+            .filter(|p| !matches!(p.outcome, PathOutcome::DepthBounded | PathOutcome::Pruned))
             .map(|p| &p.pc)
     }
 
@@ -260,6 +256,13 @@ impl SymbolicSummary {
 }
 
 /// The symbolic executor for one procedure of one program.
+///
+/// The executor owns an [`IncrementalSolver`] whose push/pop stack mirrors
+/// the DFS: each branch literal is pushed exactly once per tree edge and
+/// popped on backtrack, so feasibility checks reuse the prefix's solver
+/// state instead of re-submitting the whole path condition. The solver
+/// (and its prefix trie) persists across [`Executor::explore`] calls, so
+/// repeated explorations answer repeated prefixes from the trie.
 #[derive(Debug, Clone)]
 pub struct Executor {
     proc_name: String,
@@ -268,6 +271,7 @@ pub struct Executor {
     inputs: Vec<(String, SymVar)>,
     pool: VarPool,
     config: ExecConfig,
+    solver: IncrementalSolver,
 }
 
 impl Executor {
@@ -322,6 +326,7 @@ impl Executor {
             }
         }
 
+        let solver = IncrementalSolver::with_config(config.solver);
         Ok(Executor {
             proc_name: proc_name.to_string(),
             cfg,
@@ -329,6 +334,7 @@ impl Executor {
             inputs,
             pool,
             config,
+            solver,
         })
     }
 
@@ -359,13 +365,17 @@ impl Executor {
     }
 
     /// Runs the exploration with the given strategy.
+    ///
+    /// The reported [`ExecStats::solver`] counters cover this run only,
+    /// even though the solver itself (with its prefix trie and caches)
+    /// persists across runs of the same executor.
     pub fn explore(&mut self, strategy: &mut dyn Strategy) -> SymbolicSummary {
         let start = Instant::now();
-        let mut solver = Solver::with_config(self.config.solver);
+        let solver_before = self.solver.stats();
         let mut run = Run {
             cfg: &self.cfg,
             config: &self.config,
-            solver: &mut solver,
+            solver: &mut self.solver,
             strategy,
             paths: Vec::new(),
             stats: ExecStats::default(),
@@ -381,8 +391,10 @@ impl Executor {
         let mut stats = run.stats;
         let paths = run.paths;
         let tree = run.tree;
+        // Unwind anything a truncated run left on the solver stack.
+        self.solver.reset();
         stats.elapsed = start.elapsed();
-        stats.solver = *solver.stats();
+        stats.solver = self.solver.stats().delta_since(&solver_before);
         SymbolicSummary {
             proc_name: self.proc_name.clone(),
             inputs: self.inputs.clone(),
@@ -403,31 +415,36 @@ fn symbolic_name(program_name: &str) -> String {
     }
 }
 
-/// A successor candidate: the state, whether its extended path condition
-/// still needs a satisfiability check, and whether it came from a symbolic
-/// fork (a choice point).
-#[derive(Clone)]
+/// A successor candidate: the state, the branch literal it adds to the
+/// path condition (pushed onto the incremental solver before the
+/// feasibility check), and whether it came from a symbolic fork (a choice
+/// point).
 struct Succ {
     state: SymState,
-    needs_check: bool,
+    new_lit: Option<SymExpr>,
     forked: bool,
 }
 
 struct Frame {
     node: NodeId,
+    /// Remaining successors, in *reverse* exploration order — the next
+    /// candidate is `successors.pop()`, which hands out ownership without
+    /// cloning the state.
     successors: Vec<Succ>,
-    next: usize,
     tree_index: Option<usize>,
     /// Whether [`Strategy::on_enter`] ran for this state (Fig. 6 line 5
     /// returns *before* `UpdateExploredSet` for depth-bounded and error
     /// states, so those never notify the strategy).
     notified: bool,
+    /// Whether this state's branch literal is on the solver stack (popped
+    /// when the frame completes).
+    pushed: bool,
 }
 
 struct Run<'a> {
     cfg: &'a Cfg,
     config: &'a ExecConfig,
-    solver: &'a mut Solver,
+    solver: &'a mut IncrementalSolver,
     strategy: &'a mut dyn Strategy,
     paths: Vec<PathSummary>,
     stats: ExecStats,
@@ -444,10 +461,14 @@ impl Run<'_> {
             if self.stats.truncated {
                 break;
             }
-            if top.next >= top.successors.len() {
+            let Some(succ) = top.successors.pop() else {
                 let node = top.node;
                 let notified = top.notified;
+                let pushed = top.pushed;
                 stack.pop();
+                if pushed {
+                    self.solver.pop();
+                }
                 if notified {
                     self.strategy.on_leave(node);
                 }
@@ -455,17 +476,23 @@ impl Run<'_> {
                     self.trace.pop();
                 }
                 continue;
-            }
+            };
+            let parent_tree = top.tree_index;
             let Succ {
                 state: succ,
-                needs_check,
+                new_lit,
                 forked,
-            } = top.successors[top.next].clone();
-            top.next += 1;
-            let parent_tree = top.tree_index;
-            if needs_check && !self.feasible(&succ.pc) {
-                self.stats.infeasible += 1;
-                continue;
+            } = succ;
+            // Push the branch literal and check the extended prefix; the
+            // solver only processes the delta.
+            let pushed = new_lit.is_some();
+            if let Some(lit) = new_lit {
+                self.solver.push(lit);
+                if !self.feasible() {
+                    self.stats.infeasible += 1;
+                    self.solver.pop();
+                    continue;
+                }
             }
             let filtered = match self.config.filter_scope {
                 FilterScope::AllStates => true,
@@ -477,23 +504,28 @@ impl Run<'_> {
                     let mut trace = self.trace.clone();
                     trace.push(succ.node);
                     self.paths.push(PathSummary {
-                        pc: succ.pc.clone(),
+                        pc: succ.pc,
                         outcome: PathOutcome::Pruned,
-                        final_env: succ.env.clone(),
+                        final_env: succ.env,
                         trace,
                     });
                 }
+                if pushed {
+                    self.solver.pop();
+                }
                 continue;
             }
-            let frame = self.enter(succ, parent_tree);
+            let mut frame = self.enter(succ, parent_tree);
+            frame.pushed = pushed;
             stack.push(frame);
         }
-        // Unwind any remaining trace entries (possible after truncation).
+        // Unwind any remaining trace entries (possible after truncation;
+        // the caller resets the solver stack).
         self.trace.clear();
     }
 
-    fn feasible(&mut self, pc: &PathCondition) -> bool {
-        match self.solver.check_pc(pc).result() {
+    fn feasible(&mut self) -> bool {
+        match self.solver.check() {
             SatResult::Sat => true,
             SatResult::Unsat => false,
             SatResult::Unknown => self.config.unknown_is_sat,
@@ -527,9 +559,9 @@ impl Run<'_> {
             return Frame {
                 node: state.node,
                 successors: Vec::new(),
-                next: 0,
                 tree_index,
                 notified: false,
+                pushed: false,
             };
         }
         if let Some(bound) = self.config.depth_bound {
@@ -539,9 +571,9 @@ impl Run<'_> {
                 return Frame {
                     node: state.node,
                     successors: Vec::new(),
-                    next: 0,
                     tree_index,
                     notified: false,
+                    pushed: false,
                 };
             }
         }
@@ -553,18 +585,22 @@ impl Run<'_> {
             return Frame {
                 node: state.node,
                 successors: Vec::new(),
-                next: 0,
                 tree_index,
                 notified: true,
+                pushed: false,
             };
         }
 
+        // Successors are stored reversed so the DFS can take ownership of
+        // the next candidate with a pop() instead of a clone.
+        let mut successors = self.successors(&state);
+        successors.reverse();
         Frame {
             node: state.node,
-            successors: self.successors(&state),
-            next: 0,
+            successors,
             tree_index,
             notified: true,
+            pushed: false,
         }
     }
 
@@ -586,7 +622,7 @@ impl Run<'_> {
     fn successors(&mut self, state: &SymState) -> Vec<Succ> {
         let plain = |state: SymState| Succ {
             state,
-            needs_check: false,
+            new_lit: None,
             forked: false,
         };
         let node = self.cfg.node(state.node);
@@ -620,10 +656,10 @@ impl Run<'_> {
                     None => {
                         let succ = self.cfg.succs(state.node)[0].0;
                         let mut next = state.step_to(succ);
-                        next.pc = state.pc.and(cond);
+                        next.pc = state.pc.and(cond.clone());
                         vec![Succ {
                             state: next,
-                            needs_check: true,
+                            new_lit: Some(cond),
                             forked: false,
                         }]
                     }
@@ -640,19 +676,20 @@ impl Run<'_> {
                     Some(true) => vec![plain(state.step_to(true_succ))],
                     Some(false) => vec![plain(state.step_to(false_succ))],
                     None => {
+                        let negated = SymExpr::not(cond.clone());
                         let mut taken = state.step_to(true_succ);
                         taken.pc = state.pc.and(cond.clone());
                         let mut not_taken = state.step_to(false_succ);
-                        not_taken.pc = state.pc.and(SymExpr::not(cond));
+                        not_taken.pc = state.pc.and(negated.clone());
                         vec![
                             Succ {
                                 state: taken,
-                                needs_check: true,
+                                new_lit: Some(cond),
                                 forked: true,
                             },
                             Succ {
                                 state: not_taken,
-                                needs_check: true,
+                                new_lit: Some(negated),
                                 forked: true,
                             },
                         ]
@@ -853,10 +890,7 @@ mod tests {
 
     #[test]
     fn max_states_truncates() {
-        let program = parse_program(
-            "proc f(int x) { while (x > 0) { x = x - 1; } }",
-        )
-        .unwrap();
+        let program = parse_program("proc f(int x) { while (x > 0) { x = x - 1; } }").unwrap();
         let config = ExecConfig {
             depth_bound: Some(1000),
             max_states: Some(20),
@@ -888,10 +922,9 @@ mod tests {
             assert!(!trace.is_empty());
             // Each consecutive pair is a CFG edge.
             for pair in trace.windows(2) {
-                let program = parse_program(
-                    "proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }",
-                )
-                .unwrap();
+                let program =
+                    parse_program("proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }")
+                        .unwrap();
                 let cfg = build_cfg(program.proc("f").unwrap());
                 assert!(
                     cfg.succs(pair[0]).iter().any(|&(s, _)| s == pair[1]),
@@ -911,10 +944,8 @@ mod tests {
                 false
             }
         }
-        let program = parse_program(
-            "proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }",
-        )
-        .unwrap();
+        let program =
+            parse_program("proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }").unwrap();
         let mut executor = Executor::new(&program, "f", ExecConfig::default()).unwrap();
         let summary = executor.explore(&mut PruneEverything);
         // Under the default ChoicePoints scope the straight-line prefix
@@ -936,6 +967,48 @@ mod tests {
     }
 
     #[test]
+    fn solver_stats_expose_incremental_activity() {
+        let summary = run_full(
+            "proc f(int x, int y) {
+               if (x > 0) { skip; }
+               if (y > 0) { skip; }
+             }",
+            "f",
+        );
+        let solver = &summary.stats().solver;
+        // Every feasibility check went through the incremental tier; there
+        // is nothing disjunctive here, so no monolithic fallback.
+        assert_eq!(solver.checks, solver.incremental_checks);
+        assert_eq!(solver.fallback_checks, 0);
+        // Extending a SAT prefix with an independent branch literal is the
+        // model-reuse case.
+        assert!(solver.model_reuse_hits > 0, "{solver:?}");
+    }
+
+    #[test]
+    fn repeated_exploration_answers_from_the_prefix_trie() {
+        let program = parse_program(
+            "proc f(int x, int y) {
+               if (x > 0) { skip; }
+               if (y > x) { skip; }
+             }",
+        )
+        .unwrap();
+        let mut executor = Executor::new(&program, "f", ExecConfig::default()).unwrap();
+        let first = executor.explore(&mut FullExploration);
+        let second = executor.explore(&mut FullExploration);
+        assert_eq!(second.pc_count(), first.pc_count());
+        let solver = &second.stats().solver;
+        // The solver (and its prefix trie) persists across runs: every
+        // re-checked prefix is answered from the trie, with no pipeline
+        // activity at all.
+        assert_eq!(solver.checks, first.stats().solver.checks);
+        assert!(solver.prefix_cache_hits > 0, "{solver:?}");
+        assert_eq!(solver.model_searches, 0, "{solver:?}");
+        assert_eq!(solver.fm_runs, 0, "{solver:?}");
+    }
+
+    #[test]
     fn strategy_hooks_fire_in_dfs_order() {
         #[derive(Default)]
         struct Recorder {
@@ -946,10 +1019,8 @@ mod tests {
                 self.entered.push(node);
             }
         }
-        let program = parse_program(
-            "proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }",
-        )
-        .unwrap();
+        let program =
+            parse_program("proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }").unwrap();
         let mut executor = Executor::new(&program, "f", ExecConfig::default()).unwrap();
         let cfg_len = executor.cfg().len();
         let mut recorder = Recorder::default();

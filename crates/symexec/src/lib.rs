@@ -59,9 +59,7 @@ pub mod state;
 pub mod tree;
 
 pub use concolic::{ConcolicExecutor, ConcolicRun};
-pub use concrete::{
-    ConcreteConfig, ConcreteExecutor, ConcreteOutcome, ConcreteRun, ValueEnv,
-};
+pub use concrete::{ConcreteConfig, ConcreteExecutor, ConcreteOutcome, ConcreteRun, ValueEnv};
 pub use env::Env;
 pub use executor::{
     ExecConfig, ExecError, ExecStats, Executor, FilterScope, FullExploration, PathOutcome,

@@ -78,7 +78,9 @@ mod tests {
         let mut env = Env::new();
         env.bind("x", SymExpr::var(&x));
         let mut state = SymState::initial(NodeId(1), env);
-        state.pc.push(SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)));
+        state
+            .pc
+            .push(SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)));
         assert_eq!(state.to_string(), "Loc: n1, x: X, PC: X > 0");
     }
 }

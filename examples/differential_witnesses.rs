@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.equivalent_count()
     );
     for witness in report.diverging().take(3) {
-        println!("\n  input: {}", dise::evolution::inputs::render_env(&witness.input));
+        println!(
+            "\n  input: {}",
+            dise::evolution::inputs::render_env(&witness.input)
+        );
         println!("  path:  {}", witness.pc);
         match &witness.divergence {
             Divergence::Effect(diffs) => {

@@ -19,10 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The bad edit: the 60-unit valve clamp becomes a pass-through with an
     // offset, so commands above ~55 produce NorPressure > 3000.
-    let faulty_source = wbs::BASE_SRC.replace(
-        "MeterValveCmd = 60;",
-        "MeterValveCmd = AntiSkidCmd + 45;",
-    );
+    let faulty_source =
+        wbs::BASE_SRC.replace("MeterValveCmd = 60;", "MeterValveCmd = AntiSkidCmd + 45;");
     let faulty = parse_program(&faulty_source)?;
 
     let outcome = localize_change(&base, &faulty, "update", &LocalizeConfig::default())?;

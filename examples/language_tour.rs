@@ -24,14 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          }",
     )?;
     dise::ir::check_program(&program)?;
-    println!("parsed and checked:\n{}", dise::ir::pretty::pretty_program(&program));
+    println!(
+        "parsed and checked:\n{}",
+        dise::ir::pretty::pretty_program(&program)
+    );
 
     // 2. The CFG and its analyses.
     let cfg = build_cfg(program.proc("testX").unwrap());
-    println!("CFG: {} nodes ({} conditionals, {} writes)",
+    println!(
+        "CFG: {} nodes ({} conditionals, {} writes)",
         cfg.len(),
         cfg.cond_nodes().count(),
-        cfg.write_nodes().count());
+        cfg.write_nodes().count()
+    );
     let postdom = PostDomTree::new(&cfg);
     let control = ControlDeps::new(&cfg, &postdom);
     let defuse = DefUse::new(&cfg);
@@ -72,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SymExpr::lt(SymExpr::var(&y), SymExpr::int(3)),
     ];
     let outcome = solver.check(&constraints);
-    println!("\nsolver: X > 0 && X + Y == 10 && Y < 3 is {:?}", outcome.result());
+    println!(
+        "\nsolver: X > 0 && X + Y == 10 && Y < 3 is {:?}",
+        outcome.result()
+    );
     if let Some(model) = outcome.model() {
         println!(
             "  model: X = {}, Y = {}",

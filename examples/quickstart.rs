@@ -41,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // The evolved version relaxes the first comparison.
-    let modified_source = dise::ir::pretty::pretty_program(&base)
-        .replace("PedalPos == 0", "PedalPos <= 0");
+    let modified_source =
+        dise::ir::pretty::pretty_program(&base).replace("PedalPos == 0", "PedalPos <= 0");
     let modified = parse_program(&modified_source)?;
 
     // Run DiSE: diff the versions, compute affected locations, direct

@@ -12,7 +12,7 @@
 use dise::core::dise::{run_dise, run_full_on, DiseConfig};
 use dise::evolution::diffsum::{classify_changes, DiffSumConfig, PathClass};
 use dise::ir::parse_program;
-use dise::solver::model::SearchConfig;
+
 use dise::solver::{SatResult, Solver, SolverConfig, SymExpr, SymTy, VarPool};
 use dise::symexec::ExecConfig;
 
@@ -20,7 +20,7 @@ use dise::symexec::ExecConfig;
 fn starved() -> SolverConfig {
     SolverConfig {
         case_budget: 0,
-        search: SearchConfig::default(),
+        ..SolverConfig::default()
     }
 }
 
@@ -149,7 +149,7 @@ fn tiny_but_nonzero_budget_still_decides_trivial_queries() {
     // disjunctive splits — the degradation is gradual, not all-or-nothing.
     let config = SolverConfig {
         case_budget: 1,
-        search: SearchConfig::default(),
+        ..SolverConfig::default()
     };
     let mut solver = Solver::with_config(config);
     let mut pool = VarPool::new();
