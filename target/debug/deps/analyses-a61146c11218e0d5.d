@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyses-a61146c11218e0d5.d: crates/bench/benches/analyses.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyses-a61146c11218e0d5.rmeta: crates/bench/benches/analyses.rs Cargo.toml
+
+crates/bench/benches/analyses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-e6d4c1de821f68cd.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-e6d4c1de821f68cd: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_dise=/root/repo/target/debug/dise

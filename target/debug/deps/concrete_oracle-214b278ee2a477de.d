@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concrete_oracle-214b278ee2a477de.d: tests/concrete_oracle.rs
+
+/root/repo/target/debug/deps/concrete_oracle-214b278ee2a477de: tests/concrete_oracle.rs
+
+tests/concrete_oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concrete_oracle-532236ede7811525.d: tests/concrete_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcrete_oracle-532236ede7811525.rmeta: tests/concrete_oracle.rs Cargo.toml
+
+tests/concrete_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

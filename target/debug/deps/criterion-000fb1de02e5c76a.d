@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-000fb1de02e5c76a.d: crates/criterion-stub/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-000fb1de02e5c76a.rmeta: crates/criterion-stub/src/lib.rs Cargo.toml
+
+crates/criterion-stub/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

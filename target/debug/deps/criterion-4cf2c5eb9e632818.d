@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-4cf2c5eb9e632818.d: crates/criterion-stub/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-4cf2c5eb9e632818.rlib: crates/criterion-stub/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-4cf2c5eb9e632818.rmeta: crates/criterion-stub/src/lib.rs
+
+crates/criterion-stub/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-59f2496a683da4f0.d: crates/criterion-stub/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-59f2496a683da4f0: crates/criterion-stub/src/lib.rs
+
+crates/criterion-stub/src/lib.rs:

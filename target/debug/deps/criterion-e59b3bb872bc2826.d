@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-e59b3bb872bc2826.d: crates/criterion-stub/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-e59b3bb872bc2826.rmeta: crates/criterion-stub/src/lib.rs Cargo.toml
+
+crates/criterion-stub/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

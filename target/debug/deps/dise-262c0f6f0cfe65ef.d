@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dise-262c0f6f0cfe65ef.d: src/lib.rs
+
+/root/repo/target/debug/deps/dise-262c0f6f0cfe65ef: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dise-2ea3e9e3d036d4e1.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dise-2ea3e9e3d036d4e1: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

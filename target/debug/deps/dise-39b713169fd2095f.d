@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dise-39b713169fd2095f.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise-39b713169fd2095f.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dise-7302c75aa3b84443.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdise-7302c75aa3b84443.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdise-7302c75aa3b84443.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dise-e0f4c786a3f84d55.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise-e0f4c786a3f84d55.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

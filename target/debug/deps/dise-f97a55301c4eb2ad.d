@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dise-f97a55301c4eb2ad.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dise-f97a55301c4eb2ad: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

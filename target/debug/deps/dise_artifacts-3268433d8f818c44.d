@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dise_artifacts-3268433d8f818c44.d: crates/artifacts/src/lib.rs crates/artifacts/src/asw.rs crates/artifacts/src/figures.rs crates/artifacts/src/oae.rs crates/artifacts/src/random.rs crates/artifacts/src/wbs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_artifacts-3268433d8f818c44.rmeta: crates/artifacts/src/lib.rs crates/artifacts/src/asw.rs crates/artifacts/src/figures.rs crates/artifacts/src/oae.rs crates/artifacts/src/random.rs crates/artifacts/src/wbs.rs Cargo.toml
+
+crates/artifacts/src/lib.rs:
+crates/artifacts/src/asw.rs:
+crates/artifacts/src/figures.rs:
+crates/artifacts/src/oae.rs:
+crates/artifacts/src/random.rs:
+crates/artifacts/src/wbs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

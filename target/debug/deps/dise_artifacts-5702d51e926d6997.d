@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dise_artifacts-5702d51e926d6997.d: crates/artifacts/src/lib.rs crates/artifacts/src/asw.rs crates/artifacts/src/figures.rs crates/artifacts/src/oae.rs crates/artifacts/src/random.rs crates/artifacts/src/wbs.rs
+
+/root/repo/target/debug/deps/dise_artifacts-5702d51e926d6997: crates/artifacts/src/lib.rs crates/artifacts/src/asw.rs crates/artifacts/src/figures.rs crates/artifacts/src/oae.rs crates/artifacts/src/random.rs crates/artifacts/src/wbs.rs
+
+crates/artifacts/src/lib.rs:
+crates/artifacts/src/asw.rs:
+crates/artifacts/src/figures.rs:
+crates/artifacts/src/oae.rs:
+crates/artifacts/src/random.rs:
+crates/artifacts/src/wbs.rs:

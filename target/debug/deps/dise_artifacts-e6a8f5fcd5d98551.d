@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dise_artifacts-e6a8f5fcd5d98551.d: crates/artifacts/src/lib.rs crates/artifacts/src/asw.rs crates/artifacts/src/figures.rs crates/artifacts/src/oae.rs crates/artifacts/src/random.rs crates/artifacts/src/wbs.rs
+
+/root/repo/target/debug/deps/libdise_artifacts-e6a8f5fcd5d98551.rlib: crates/artifacts/src/lib.rs crates/artifacts/src/asw.rs crates/artifacts/src/figures.rs crates/artifacts/src/oae.rs crates/artifacts/src/random.rs crates/artifacts/src/wbs.rs
+
+/root/repo/target/debug/deps/libdise_artifacts-e6a8f5fcd5d98551.rmeta: crates/artifacts/src/lib.rs crates/artifacts/src/asw.rs crates/artifacts/src/figures.rs crates/artifacts/src/oae.rs crates/artifacts/src/random.rs crates/artifacts/src/wbs.rs
+
+crates/artifacts/src/lib.rs:
+crates/artifacts/src/asw.rs:
+crates/artifacts/src/figures.rs:
+crates/artifacts/src/oae.rs:
+crates/artifacts/src/random.rs:
+crates/artifacts/src/wbs.rs:

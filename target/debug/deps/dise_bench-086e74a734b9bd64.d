@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dise_bench-086e74a734b9bd64.d: crates/bench/src/main.rs crates/bench/src/ablation.rs crates/bench/src/evolution.rs crates/bench/src/figures.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_bench-086e74a734b9bd64.rmeta: crates/bench/src/main.rs crates/bench/src/ablation.rs crates/bench/src/evolution.rs crates/bench/src/figures.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/main.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/evolution.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dise_bench-2aa200e32dcd091f.d: crates/bench/src/main.rs crates/bench/src/ablation.rs crates/bench/src/evolution.rs crates/bench/src/figures.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/dise_bench-2aa200e32dcd091f: crates/bench/src/main.rs crates/bench/src/ablation.rs crates/bench/src/evolution.rs crates/bench/src/figures.rs crates/bench/src/tables.rs
+
+crates/bench/src/main.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/evolution.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/tables.rs:

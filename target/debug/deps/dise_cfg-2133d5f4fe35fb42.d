@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dise_cfg-2133d5f4fe35fb42.d: crates/cfg/src/lib.rs crates/cfg/src/build.rs crates/cfg/src/control_dep.rs crates/cfg/src/dataflow.rs crates/cfg/src/defuse.rs crates/cfg/src/dominator.rs crates/cfg/src/dot.rs crates/cfg/src/graph.rs crates/cfg/src/reach.rs crates/cfg/src/scc.rs
+
+/root/repo/target/debug/deps/dise_cfg-2133d5f4fe35fb42: crates/cfg/src/lib.rs crates/cfg/src/build.rs crates/cfg/src/control_dep.rs crates/cfg/src/dataflow.rs crates/cfg/src/defuse.rs crates/cfg/src/dominator.rs crates/cfg/src/dot.rs crates/cfg/src/graph.rs crates/cfg/src/reach.rs crates/cfg/src/scc.rs
+
+crates/cfg/src/lib.rs:
+crates/cfg/src/build.rs:
+crates/cfg/src/control_dep.rs:
+crates/cfg/src/dataflow.rs:
+crates/cfg/src/defuse.rs:
+crates/cfg/src/dominator.rs:
+crates/cfg/src/dot.rs:
+crates/cfg/src/graph.rs:
+crates/cfg/src/reach.rs:
+crates/cfg/src/scc.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dise_cfg-a8ce4e23e14269c5.d: crates/cfg/src/lib.rs crates/cfg/src/build.rs crates/cfg/src/control_dep.rs crates/cfg/src/dataflow.rs crates/cfg/src/defuse.rs crates/cfg/src/dominator.rs crates/cfg/src/dot.rs crates/cfg/src/graph.rs crates/cfg/src/reach.rs crates/cfg/src/scc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_cfg-a8ce4e23e14269c5.rmeta: crates/cfg/src/lib.rs crates/cfg/src/build.rs crates/cfg/src/control_dep.rs crates/cfg/src/dataflow.rs crates/cfg/src/defuse.rs crates/cfg/src/dominator.rs crates/cfg/src/dot.rs crates/cfg/src/graph.rs crates/cfg/src/reach.rs crates/cfg/src/scc.rs Cargo.toml
+
+crates/cfg/src/lib.rs:
+crates/cfg/src/build.rs:
+crates/cfg/src/control_dep.rs:
+crates/cfg/src/dataflow.rs:
+crates/cfg/src/defuse.rs:
+crates/cfg/src/dominator.rs:
+crates/cfg/src/dot.rs:
+crates/cfg/src/graph.rs:
+crates/cfg/src/reach.rs:
+crates/cfg/src/scc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

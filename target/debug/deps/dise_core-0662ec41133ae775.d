@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dise_core-0662ec41133ae775.d: crates/core/src/lib.rs crates/core/src/affected.rs crates/core/src/directed.rs crates/core/src/dise.rs crates/core/src/interproc.rs crates/core/src/removed.rs crates/core/src/report.rs crates/core/src/theorem.rs
+
+/root/repo/target/debug/deps/dise_core-0662ec41133ae775: crates/core/src/lib.rs crates/core/src/affected.rs crates/core/src/directed.rs crates/core/src/dise.rs crates/core/src/interproc.rs crates/core/src/removed.rs crates/core/src/report.rs crates/core/src/theorem.rs
+
+crates/core/src/lib.rs:
+crates/core/src/affected.rs:
+crates/core/src/directed.rs:
+crates/core/src/dise.rs:
+crates/core/src/interproc.rs:
+crates/core/src/removed.rs:
+crates/core/src/report.rs:
+crates/core/src/theorem.rs:

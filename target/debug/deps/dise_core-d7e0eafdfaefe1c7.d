@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dise_core-d7e0eafdfaefe1c7.d: crates/core/src/lib.rs crates/core/src/affected.rs crates/core/src/directed.rs crates/core/src/dise.rs crates/core/src/interproc.rs crates/core/src/removed.rs crates/core/src/report.rs crates/core/src/theorem.rs
+
+/root/repo/target/debug/deps/libdise_core-d7e0eafdfaefe1c7.rlib: crates/core/src/lib.rs crates/core/src/affected.rs crates/core/src/directed.rs crates/core/src/dise.rs crates/core/src/interproc.rs crates/core/src/removed.rs crates/core/src/report.rs crates/core/src/theorem.rs
+
+/root/repo/target/debug/deps/libdise_core-d7e0eafdfaefe1c7.rmeta: crates/core/src/lib.rs crates/core/src/affected.rs crates/core/src/directed.rs crates/core/src/dise.rs crates/core/src/interproc.rs crates/core/src/removed.rs crates/core/src/report.rs crates/core/src/theorem.rs
+
+crates/core/src/lib.rs:
+crates/core/src/affected.rs:
+crates/core/src/directed.rs:
+crates/core/src/dise.rs:
+crates/core/src/interproc.rs:
+crates/core/src/removed.rs:
+crates/core/src/report.rs:
+crates/core/src/theorem.rs:

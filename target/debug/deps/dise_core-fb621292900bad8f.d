@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dise_core-fb621292900bad8f.d: crates/core/src/lib.rs crates/core/src/affected.rs crates/core/src/directed.rs crates/core/src/dise.rs crates/core/src/interproc.rs crates/core/src/removed.rs crates/core/src/report.rs crates/core/src/theorem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_core-fb621292900bad8f.rmeta: crates/core/src/lib.rs crates/core/src/affected.rs crates/core/src/directed.rs crates/core/src/dise.rs crates/core/src/interproc.rs crates/core/src/removed.rs crates/core/src/report.rs crates/core/src/theorem.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/affected.rs:
+crates/core/src/directed.rs:
+crates/core/src/dise.rs:
+crates/core/src/interproc.rs:
+crates/core/src/removed.rs:
+crates/core/src/report.rs:
+crates/core/src/theorem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

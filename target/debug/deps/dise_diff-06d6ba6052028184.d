@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dise_diff-06d6ba6052028184.d: crates/diff/src/lib.rs crates/diff/src/cfg_map.rs crates/diff/src/line_diff.rs crates/diff/src/stmt_diff.rs
+
+/root/repo/target/debug/deps/libdise_diff-06d6ba6052028184.rlib: crates/diff/src/lib.rs crates/diff/src/cfg_map.rs crates/diff/src/line_diff.rs crates/diff/src/stmt_diff.rs
+
+/root/repo/target/debug/deps/libdise_diff-06d6ba6052028184.rmeta: crates/diff/src/lib.rs crates/diff/src/cfg_map.rs crates/diff/src/line_diff.rs crates/diff/src/stmt_diff.rs
+
+crates/diff/src/lib.rs:
+crates/diff/src/cfg_map.rs:
+crates/diff/src/line_diff.rs:
+crates/diff/src/stmt_diff.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dise_diff-c2f6714afdf94aff.d: crates/diff/src/lib.rs crates/diff/src/cfg_map.rs crates/diff/src/line_diff.rs crates/diff/src/stmt_diff.rs
+
+/root/repo/target/debug/deps/dise_diff-c2f6714afdf94aff: crates/diff/src/lib.rs crates/diff/src/cfg_map.rs crates/diff/src/line_diff.rs crates/diff/src/stmt_diff.rs
+
+crates/diff/src/lib.rs:
+crates/diff/src/cfg_map.rs:
+crates/diff/src/line_diff.rs:
+crates/diff/src/stmt_diff.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dise_diff-d84e267dff0498a3.d: crates/diff/src/lib.rs crates/diff/src/cfg_map.rs crates/diff/src/line_diff.rs crates/diff/src/stmt_diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_diff-d84e267dff0498a3.rmeta: crates/diff/src/lib.rs crates/diff/src/cfg_map.rs crates/diff/src/line_diff.rs crates/diff/src/stmt_diff.rs Cargo.toml
+
+crates/diff/src/lib.rs:
+crates/diff/src/cfg_map.rs:
+crates/diff/src/line_diff.rs:
+crates/diff/src/stmt_diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dise_evolution-2fc35d65d390ce63.d: crates/evolution/src/lib.rs crates/evolution/src/diffsum.rs crates/evolution/src/inputs.rs crates/evolution/src/localize.rs crates/evolution/src/report.rs crates/evolution/src/witness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_evolution-2fc35d65d390ce63.rmeta: crates/evolution/src/lib.rs crates/evolution/src/diffsum.rs crates/evolution/src/inputs.rs crates/evolution/src/localize.rs crates/evolution/src/report.rs crates/evolution/src/witness.rs Cargo.toml
+
+crates/evolution/src/lib.rs:
+crates/evolution/src/diffsum.rs:
+crates/evolution/src/inputs.rs:
+crates/evolution/src/localize.rs:
+crates/evolution/src/report.rs:
+crates/evolution/src/witness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dise_evolution-86a5baf80eb62d8d.d: crates/evolution/src/lib.rs crates/evolution/src/diffsum.rs crates/evolution/src/inputs.rs crates/evolution/src/localize.rs crates/evolution/src/report.rs crates/evolution/src/witness.rs
+
+/root/repo/target/debug/deps/dise_evolution-86a5baf80eb62d8d: crates/evolution/src/lib.rs crates/evolution/src/diffsum.rs crates/evolution/src/inputs.rs crates/evolution/src/localize.rs crates/evolution/src/report.rs crates/evolution/src/witness.rs
+
+crates/evolution/src/lib.rs:
+crates/evolution/src/diffsum.rs:
+crates/evolution/src/inputs.rs:
+crates/evolution/src/localize.rs:
+crates/evolution/src/report.rs:
+crates/evolution/src/witness.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dise_evolution-ec778933d7be8fb4.d: crates/evolution/src/lib.rs crates/evolution/src/diffsum.rs crates/evolution/src/inputs.rs crates/evolution/src/localize.rs crates/evolution/src/report.rs crates/evolution/src/witness.rs
+
+/root/repo/target/debug/deps/libdise_evolution-ec778933d7be8fb4.rlib: crates/evolution/src/lib.rs crates/evolution/src/diffsum.rs crates/evolution/src/inputs.rs crates/evolution/src/localize.rs crates/evolution/src/report.rs crates/evolution/src/witness.rs
+
+/root/repo/target/debug/deps/libdise_evolution-ec778933d7be8fb4.rmeta: crates/evolution/src/lib.rs crates/evolution/src/diffsum.rs crates/evolution/src/inputs.rs crates/evolution/src/localize.rs crates/evolution/src/report.rs crates/evolution/src/witness.rs
+
+crates/evolution/src/lib.rs:
+crates/evolution/src/diffsum.rs:
+crates/evolution/src/inputs.rs:
+crates/evolution/src/localize.rs:
+crates/evolution/src/report.rs:
+crates/evolution/src/witness.rs:

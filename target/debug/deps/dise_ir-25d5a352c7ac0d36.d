@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dise_ir-25d5a352c7ac0d36.d: crates/ir/src/lib.rs crates/ir/src/ast.rs crates/ir/src/builder.rs crates/ir/src/error.rs crates/ir/src/inline.rs crates/ir/src/lexer.rs crates/ir/src/parser.rs crates/ir/src/pretty.rs crates/ir/src/span.rs crates/ir/src/token.rs crates/ir/src/typeck.rs
+
+/root/repo/target/debug/deps/dise_ir-25d5a352c7ac0d36: crates/ir/src/lib.rs crates/ir/src/ast.rs crates/ir/src/builder.rs crates/ir/src/error.rs crates/ir/src/inline.rs crates/ir/src/lexer.rs crates/ir/src/parser.rs crates/ir/src/pretty.rs crates/ir/src/span.rs crates/ir/src/token.rs crates/ir/src/typeck.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/ast.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/error.rs:
+crates/ir/src/inline.rs:
+crates/ir/src/lexer.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/span.rs:
+crates/ir/src/token.rs:
+crates/ir/src/typeck.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dise_ir-6387380c6a6cd70a.d: crates/ir/src/lib.rs crates/ir/src/ast.rs crates/ir/src/builder.rs crates/ir/src/error.rs crates/ir/src/inline.rs crates/ir/src/lexer.rs crates/ir/src/parser.rs crates/ir/src/pretty.rs crates/ir/src/span.rs crates/ir/src/token.rs crates/ir/src/typeck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_ir-6387380c6a6cd70a.rmeta: crates/ir/src/lib.rs crates/ir/src/ast.rs crates/ir/src/builder.rs crates/ir/src/error.rs crates/ir/src/inline.rs crates/ir/src/lexer.rs crates/ir/src/parser.rs crates/ir/src/pretty.rs crates/ir/src/span.rs crates/ir/src/token.rs crates/ir/src/typeck.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/ast.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/error.rs:
+crates/ir/src/inline.rs:
+crates/ir/src/lexer.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/span.rs:
+crates/ir/src/token.rs:
+crates/ir/src/typeck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dise_regression-28f6ccaadc821013.d: crates/regression/src/lib.rs crates/regression/src/select.rs crates/regression/src/suite.rs crates/regression/src/testgen.rs
+
+/root/repo/target/debug/deps/libdise_regression-28f6ccaadc821013.rlib: crates/regression/src/lib.rs crates/regression/src/select.rs crates/regression/src/suite.rs crates/regression/src/testgen.rs
+
+/root/repo/target/debug/deps/libdise_regression-28f6ccaadc821013.rmeta: crates/regression/src/lib.rs crates/regression/src/select.rs crates/regression/src/suite.rs crates/regression/src/testgen.rs
+
+crates/regression/src/lib.rs:
+crates/regression/src/select.rs:
+crates/regression/src/suite.rs:
+crates/regression/src/testgen.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dise_regression-a41012cd1cf663f5.d: crates/regression/src/lib.rs crates/regression/src/select.rs crates/regression/src/suite.rs crates/regression/src/testgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_regression-a41012cd1cf663f5.rmeta: crates/regression/src/lib.rs crates/regression/src/select.rs crates/regression/src/suite.rs crates/regression/src/testgen.rs Cargo.toml
+
+crates/regression/src/lib.rs:
+crates/regression/src/select.rs:
+crates/regression/src/suite.rs:
+crates/regression/src/testgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

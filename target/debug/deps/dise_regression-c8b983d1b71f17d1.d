@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dise_regression-c8b983d1b71f17d1.d: crates/regression/src/lib.rs crates/regression/src/select.rs crates/regression/src/suite.rs crates/regression/src/testgen.rs
+
+/root/repo/target/debug/deps/dise_regression-c8b983d1b71f17d1: crates/regression/src/lib.rs crates/regression/src/select.rs crates/regression/src/suite.rs crates/regression/src/testgen.rs
+
+crates/regression/src/lib.rs:
+crates/regression/src/select.rs:
+crates/regression/src/suite.rs:
+crates/regression/src/testgen.rs:

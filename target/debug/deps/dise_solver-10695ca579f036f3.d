@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dise_solver-10695ca579f036f3.d: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs
+
+/root/repo/target/debug/deps/dise_solver-10695ca579f036f3: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/constraint.rs:
+crates/solver/src/fm.rs:
+crates/solver/src/incremental.rs:
+crates/solver/src/intern.rs:
+crates/solver/src/interval.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/model.rs:
+crates/solver/src/simplify.rs:
+crates/solver/src/solve.rs:
+crates/solver/src/sym.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dise_solver-4125f33e990cd3a6.d: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs
+
+/root/repo/target/debug/deps/libdise_solver-4125f33e990cd3a6.rlib: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs
+
+/root/repo/target/debug/deps/libdise_solver-4125f33e990cd3a6.rmeta: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/constraint.rs:
+crates/solver/src/fm.rs:
+crates/solver/src/incremental.rs:
+crates/solver/src/intern.rs:
+crates/solver/src/interval.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/model.rs:
+crates/solver/src/simplify.rs:
+crates/solver/src/solve.rs:
+crates/solver/src/sym.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dise_solver-6091f828ab4b3867.d: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_solver-6091f828ab4b3867.rmeta: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs Cargo.toml
+
+crates/solver/src/lib.rs:
+crates/solver/src/constraint.rs:
+crates/solver/src/fm.rs:
+crates/solver/src/incremental.rs:
+crates/solver/src/intern.rs:
+crates/solver/src/interval.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/model.rs:
+crates/solver/src/simplify.rs:
+crates/solver/src/solve.rs:
+crates/solver/src/sym.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dise_solver-cfbf69ad5431b156.d: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_solver-cfbf69ad5431b156.rmeta: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs Cargo.toml
+
+crates/solver/src/lib.rs:
+crates/solver/src/constraint.rs:
+crates/solver/src/fm.rs:
+crates/solver/src/incremental.rs:
+crates/solver/src/intern.rs:
+crates/solver/src/interval.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/model.rs:
+crates/solver/src/simplify.rs:
+crates/solver/src/solve.rs:
+crates/solver/src/sym.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dise_symexec-0530a71ce228ae4f.d: crates/symexec/src/lib.rs crates/symexec/src/concolic.rs crates/symexec/src/concrete.rs crates/symexec/src/env.rs crates/symexec/src/eval.rs crates/symexec/src/executor.rs crates/symexec/src/state.rs crates/symexec/src/tree.rs
+
+/root/repo/target/debug/deps/dise_symexec-0530a71ce228ae4f: crates/symexec/src/lib.rs crates/symexec/src/concolic.rs crates/symexec/src/concrete.rs crates/symexec/src/env.rs crates/symexec/src/eval.rs crates/symexec/src/executor.rs crates/symexec/src/state.rs crates/symexec/src/tree.rs
+
+crates/symexec/src/lib.rs:
+crates/symexec/src/concolic.rs:
+crates/symexec/src/concrete.rs:
+crates/symexec/src/env.rs:
+crates/symexec/src/eval.rs:
+crates/symexec/src/executor.rs:
+crates/symexec/src/state.rs:
+crates/symexec/src/tree.rs:

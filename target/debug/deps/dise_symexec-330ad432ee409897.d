@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dise_symexec-330ad432ee409897.d: crates/symexec/src/lib.rs crates/symexec/src/concolic.rs crates/symexec/src/concrete.rs crates/symexec/src/env.rs crates/symexec/src/eval.rs crates/symexec/src/executor.rs crates/symexec/src/state.rs crates/symexec/src/tree.rs
+
+/root/repo/target/debug/deps/libdise_symexec-330ad432ee409897.rlib: crates/symexec/src/lib.rs crates/symexec/src/concolic.rs crates/symexec/src/concrete.rs crates/symexec/src/env.rs crates/symexec/src/eval.rs crates/symexec/src/executor.rs crates/symexec/src/state.rs crates/symexec/src/tree.rs
+
+/root/repo/target/debug/deps/libdise_symexec-330ad432ee409897.rmeta: crates/symexec/src/lib.rs crates/symexec/src/concolic.rs crates/symexec/src/concrete.rs crates/symexec/src/env.rs crates/symexec/src/eval.rs crates/symexec/src/executor.rs crates/symexec/src/state.rs crates/symexec/src/tree.rs
+
+crates/symexec/src/lib.rs:
+crates/symexec/src/concolic.rs:
+crates/symexec/src/concrete.rs:
+crates/symexec/src/env.rs:
+crates/symexec/src/eval.rs:
+crates/symexec/src/executor.rs:
+crates/symexec/src/state.rs:
+crates/symexec/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dise_symexec-d64963aca4f104af.d: crates/symexec/src/lib.rs crates/symexec/src/concolic.rs crates/symexec/src/concrete.rs crates/symexec/src/env.rs crates/symexec/src/eval.rs crates/symexec/src/executor.rs crates/symexec/src/state.rs crates/symexec/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_symexec-d64963aca4f104af.rmeta: crates/symexec/src/lib.rs crates/symexec/src/concolic.rs crates/symexec/src/concrete.rs crates/symexec/src/env.rs crates/symexec/src/eval.rs crates/symexec/src/executor.rs crates/symexec/src/state.rs crates/symexec/src/tree.rs Cargo.toml
+
+crates/symexec/src/lib.rs:
+crates/symexec/src/concolic.rs:
+crates/symexec/src/concrete.rs:
+crates/symexec/src/env.rs:
+crates/symexec/src/eval.rs:
+crates/symexec/src/executor.rs:
+crates/symexec/src/state.rs:
+crates/symexec/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

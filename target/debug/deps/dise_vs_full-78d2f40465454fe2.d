@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dise_vs_full-78d2f40465454fe2.d: crates/bench/benches/dise_vs_full.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdise_vs_full-78d2f40465454fe2.rmeta: crates/bench/benches/dise_vs_full.rs Cargo.toml
+
+crates/bench/benches/dise_vs_full.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

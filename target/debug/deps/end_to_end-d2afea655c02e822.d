@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d2afea655c02e822.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d2afea655c02e822: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evolution-0ece1e645ebd5223.d: tests/evolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevolution-0ece1e645ebd5223.rmeta: tests/evolution.rs Cargo.toml
+
+tests/evolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evolution-80c4d1a105a607c7.d: crates/bench/benches/evolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevolution-80c4d1a105a607c7.rmeta: crates/bench/benches/evolution.rs Cargo.toml
+
+crates/bench/benches/evolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evolution-a36314b92a136faa.d: tests/evolution.rs
+
+/root/repo/target/debug/deps/evolution-a36314b92a136faa: tests/evolution.rs
+
+tests/evolution.rs:

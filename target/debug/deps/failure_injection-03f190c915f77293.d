@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-03f190c915f77293.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-03f190c915f77293: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_paper-9e670165ef5c0dcd.d: tests/golden_paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_paper-9e670165ef5c0dcd.rmeta: tests/golden_paper.rs Cargo.toml
+
+tests/golden_paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

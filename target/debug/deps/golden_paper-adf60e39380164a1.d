@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_paper-adf60e39380164a1.d: tests/golden_paper.rs
+
+/root/repo/target/debug/deps/golden_paper-adf60e39380164a1: tests/golden_paper.rs
+
+tests/golden_paper.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental_prop-4caef4461eb37ec4.d: crates/solver/tests/incremental_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental_prop-4caef4461eb37ec4.rmeta: crates/solver/tests/incremental_prop.rs Cargo.toml
+
+crates/solver/tests/incremental_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

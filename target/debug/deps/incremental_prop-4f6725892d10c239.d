@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_prop-4f6725892d10c239.d: crates/solver/tests/incremental_prop.rs
+
+/root/repo/target/debug/deps/incremental_prop-4f6725892d10c239: crates/solver/tests/incremental_prop.rs
+
+crates/solver/tests/incremental_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interproc-5dcf1d938de2f61d.d: crates/bench/benches/interproc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterproc-5dcf1d938de2f61d.rmeta: crates/bench/benches/interproc.rs Cargo.toml
+
+crates/bench/benches/interproc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interproc_props-0e2ada1b5f6e2614.d: tests/interproc_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterproc_props-0e2ada1b5f6e2614.rmeta: tests/interproc_props.rs Cargo.toml
+
+tests/interproc_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interproc_props-e6b3c2b30885f0b9.d: tests/interproc_props.rs
+
+/root/repo/target/debug/deps/interproc_props-e6b3c2b30885f0b9: tests/interproc_props.rs
+
+tests/interproc_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loops_and_calls-0331448c0ccf1e20.d: tests/loops_and_calls.rs
+
+/root/repo/target/debug/deps/loops_and_calls-0331448c0ccf1e20: tests/loops_and_calls.rs
+
+tests/loops_and_calls.rs:

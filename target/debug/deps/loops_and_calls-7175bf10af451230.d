@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loops_and_calls-7175bf10af451230.d: tests/loops_and_calls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloops_and_calls-7175bf10af451230.rmeta: tests/loops_and_calls.rs Cargo.toml
+
+tests/loops_and_calls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3d27f4f5e0564d11.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3d27f4f5e0564d11: tests/properties.rs
+
+tests/properties.rs:

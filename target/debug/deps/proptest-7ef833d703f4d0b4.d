@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7ef833d703f4d0b4.d: crates/proptest-stub/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-7ef833d703f4d0b4: crates/proptest-stub/src/lib.rs
+
+crates/proptest-stub/src/lib.rs:

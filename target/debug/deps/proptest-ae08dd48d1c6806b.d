@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ae08dd48d1c6806b.d: crates/proptest-stub/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ae08dd48d1c6806b.rlib: crates/proptest-stub/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ae08dd48d1c6806b.rmeta: crates/proptest-stub/src/lib.rs
+
+crates/proptest-stub/src/lib.rs:

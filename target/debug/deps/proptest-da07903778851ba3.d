@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-da07903778851ba3.d: crates/proptest-stub/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-da07903778851ba3.rmeta: crates/proptest-stub/src/lib.rs Cargo.toml
+
+crates/proptest-stub/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-f47e7936c2ca4086.d: crates/proptest-stub/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-f47e7936c2ca4086.rmeta: crates/proptest-stub/src/lib.rs Cargo.toml
+
+crates/proptest-stub/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/abort_executive-d8608c416529abd4.d: examples/abort_executive.rs
+
+/root/repo/target/debug/examples/abort_executive-d8608c416529abd4: examples/abort_executive.rs
+
+examples/abort_executive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/abort_executive-ee9c09e8724e299f.d: examples/abort_executive.rs Cargo.toml
+
+/root/repo/target/debug/examples/libabort_executive-ee9c09e8724e299f.rmeta: examples/abort_executive.rs Cargo.toml
+
+examples/abort_executive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg-c77fdab8ad95074c.d: crates/artifacts/examples/dbg.rs
+
+/root/repo/target/debug/examples/dbg-c77fdab8ad95074c: crates/artifacts/examples/dbg.rs
+
+crates/artifacts/examples/dbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_tmp-9dcb3d97f17fb8a0.d: examples/dbg_tmp.rs
+
+/root/repo/target/debug/examples/dbg_tmp-9dcb3d97f17fb8a0: examples/dbg_tmp.rs
+
+examples/dbg_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/differential_witnesses-a2740aaed394498f.d: examples/differential_witnesses.rs
+
+/root/repo/target/debug/examples/differential_witnesses-a2740aaed394498f: examples/differential_witnesses.rs
+
+examples/differential_witnesses.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/differential_witnesses-fa743ca553869c1f.d: examples/differential_witnesses.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdifferential_witnesses-fa743ca553869c1f.rmeta: examples/differential_witnesses.rs Cargo.toml
+
+examples/differential_witnesses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

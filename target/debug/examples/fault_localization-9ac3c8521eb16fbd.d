@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_localization-9ac3c8521eb16fbd.d: examples/fault_localization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_localization-9ac3c8521eb16fbd.rmeta: examples/fault_localization.rs Cargo.toml
+
+examples/fault_localization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

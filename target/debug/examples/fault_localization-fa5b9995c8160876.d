@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_localization-fa5b9995c8160876.d: examples/fault_localization.rs
+
+/root/repo/target/debug/examples/fault_localization-fa5b9995c8160876: examples/fault_localization.rs
+
+examples/fault_localization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interprocedural-51a4b49ac84ff0e8.d: examples/interprocedural.rs
+
+/root/repo/target/debug/examples/interprocedural-51a4b49ac84ff0e8: examples/interprocedural.rs
+
+examples/interprocedural.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interprocedural-936668db1d72f720.d: examples/interprocedural.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterprocedural-936668db1d72f720.rmeta: examples/interprocedural.rs Cargo.toml
+
+examples/interprocedural.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

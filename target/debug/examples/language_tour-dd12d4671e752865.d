@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/language_tour-dd12d4671e752865.d: examples/language_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblanguage_tour-dd12d4671e752865.rmeta: examples/language_tour.rs Cargo.toml
+
+examples/language_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/language_tour-ed9fe99ce4e9d821.d: examples/language_tour.rs
+
+/root/repo/target/debug/examples/language_tour-ed9fe99ce4e9d821: examples/language_tour.rs
+
+examples/language_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-37a33e7ff8c6250d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-37a33e7ff8c6250d: examples/quickstart.rs
+
+examples/quickstart.rs:

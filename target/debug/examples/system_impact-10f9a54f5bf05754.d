@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/system_impact-10f9a54f5bf05754.d: examples/system_impact.rs
+
+/root/repo/target/debug/examples/system_impact-10f9a54f5bf05754: examples/system_impact.rs
+
+examples/system_impact.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/system_impact-a2a14a8aa8d9466f.d: examples/system_impact.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsystem_impact-a2a14a8aa8d9466f.rmeta: examples/system_impact.rs Cargo.toml
+
+examples/system_impact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wheel_brake_regression-5ed7f0a16164bafa.d: examples/wheel_brake_regression.rs
+
+/root/repo/target/debug/examples/wheel_brake_regression-5ed7f0a16164bafa: examples/wheel_brake_regression.rs
+
+examples/wheel_brake_regression.rs:

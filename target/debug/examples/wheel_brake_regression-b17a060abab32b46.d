@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wheel_brake_regression-b17a060abab32b46.d: examples/wheel_brake_regression.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwheel_brake_regression-b17a060abab32b46.rmeta: examples/wheel_brake_regression.rs Cargo.toml
+
+examples/wheel_brake_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-946fdbab49740608.d: crates/criterion-stub/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-946fdbab49740608.rlib: crates/criterion-stub/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-946fdbab49740608.rmeta: crates/criterion-stub/src/lib.rs
+
+crates/criterion-stub/src/lib.rs:

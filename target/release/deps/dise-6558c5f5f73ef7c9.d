@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dise-6558c5f5f73ef7c9.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/dise-6558c5f5f73ef7c9: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

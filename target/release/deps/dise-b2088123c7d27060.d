@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dise-b2088123c7d27060.d: src/lib.rs
+
+/root/repo/target/release/deps/libdise-b2088123c7d27060.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdise-b2088123c7d27060.rmeta: src/lib.rs
+
+src/lib.rs:

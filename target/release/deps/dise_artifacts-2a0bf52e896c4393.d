@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dise_artifacts-2a0bf52e896c4393.d: crates/artifacts/src/lib.rs crates/artifacts/src/asw.rs crates/artifacts/src/figures.rs crates/artifacts/src/oae.rs crates/artifacts/src/random.rs crates/artifacts/src/wbs.rs
+
+/root/repo/target/release/deps/libdise_artifacts-2a0bf52e896c4393.rlib: crates/artifacts/src/lib.rs crates/artifacts/src/asw.rs crates/artifacts/src/figures.rs crates/artifacts/src/oae.rs crates/artifacts/src/random.rs crates/artifacts/src/wbs.rs
+
+/root/repo/target/release/deps/libdise_artifacts-2a0bf52e896c4393.rmeta: crates/artifacts/src/lib.rs crates/artifacts/src/asw.rs crates/artifacts/src/figures.rs crates/artifacts/src/oae.rs crates/artifacts/src/random.rs crates/artifacts/src/wbs.rs
+
+crates/artifacts/src/lib.rs:
+crates/artifacts/src/asw.rs:
+crates/artifacts/src/figures.rs:
+crates/artifacts/src/oae.rs:
+crates/artifacts/src/random.rs:
+crates/artifacts/src/wbs.rs:

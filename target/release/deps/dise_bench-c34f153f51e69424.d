@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dise_bench-c34f153f51e69424.d: crates/bench/src/main.rs crates/bench/src/ablation.rs crates/bench/src/evolution.rs crates/bench/src/figures.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/dise_bench-c34f153f51e69424: crates/bench/src/main.rs crates/bench/src/ablation.rs crates/bench/src/evolution.rs crates/bench/src/figures.rs crates/bench/src/tables.rs
+
+crates/bench/src/main.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/evolution.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dise_cfg-0b33acfd77f31bb0.d: crates/cfg/src/lib.rs crates/cfg/src/build.rs crates/cfg/src/control_dep.rs crates/cfg/src/dataflow.rs crates/cfg/src/defuse.rs crates/cfg/src/dominator.rs crates/cfg/src/dot.rs crates/cfg/src/graph.rs crates/cfg/src/reach.rs crates/cfg/src/scc.rs
+
+/root/repo/target/release/deps/libdise_cfg-0b33acfd77f31bb0.rlib: crates/cfg/src/lib.rs crates/cfg/src/build.rs crates/cfg/src/control_dep.rs crates/cfg/src/dataflow.rs crates/cfg/src/defuse.rs crates/cfg/src/dominator.rs crates/cfg/src/dot.rs crates/cfg/src/graph.rs crates/cfg/src/reach.rs crates/cfg/src/scc.rs
+
+/root/repo/target/release/deps/libdise_cfg-0b33acfd77f31bb0.rmeta: crates/cfg/src/lib.rs crates/cfg/src/build.rs crates/cfg/src/control_dep.rs crates/cfg/src/dataflow.rs crates/cfg/src/defuse.rs crates/cfg/src/dominator.rs crates/cfg/src/dot.rs crates/cfg/src/graph.rs crates/cfg/src/reach.rs crates/cfg/src/scc.rs
+
+crates/cfg/src/lib.rs:
+crates/cfg/src/build.rs:
+crates/cfg/src/control_dep.rs:
+crates/cfg/src/dataflow.rs:
+crates/cfg/src/defuse.rs:
+crates/cfg/src/dominator.rs:
+crates/cfg/src/dot.rs:
+crates/cfg/src/graph.rs:
+crates/cfg/src/reach.rs:
+crates/cfg/src/scc.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dise_core-b822b7c887187b4a.d: crates/core/src/lib.rs crates/core/src/affected.rs crates/core/src/directed.rs crates/core/src/dise.rs crates/core/src/interproc.rs crates/core/src/removed.rs crates/core/src/report.rs crates/core/src/theorem.rs
+
+/root/repo/target/release/deps/libdise_core-b822b7c887187b4a.rlib: crates/core/src/lib.rs crates/core/src/affected.rs crates/core/src/directed.rs crates/core/src/dise.rs crates/core/src/interproc.rs crates/core/src/removed.rs crates/core/src/report.rs crates/core/src/theorem.rs
+
+/root/repo/target/release/deps/libdise_core-b822b7c887187b4a.rmeta: crates/core/src/lib.rs crates/core/src/affected.rs crates/core/src/directed.rs crates/core/src/dise.rs crates/core/src/interproc.rs crates/core/src/removed.rs crates/core/src/report.rs crates/core/src/theorem.rs
+
+crates/core/src/lib.rs:
+crates/core/src/affected.rs:
+crates/core/src/directed.rs:
+crates/core/src/dise.rs:
+crates/core/src/interproc.rs:
+crates/core/src/removed.rs:
+crates/core/src/report.rs:
+crates/core/src/theorem.rs:

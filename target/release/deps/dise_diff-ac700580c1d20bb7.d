@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dise_diff-ac700580c1d20bb7.d: crates/diff/src/lib.rs crates/diff/src/cfg_map.rs crates/diff/src/line_diff.rs crates/diff/src/stmt_diff.rs
+
+/root/repo/target/release/deps/libdise_diff-ac700580c1d20bb7.rlib: crates/diff/src/lib.rs crates/diff/src/cfg_map.rs crates/diff/src/line_diff.rs crates/diff/src/stmt_diff.rs
+
+/root/repo/target/release/deps/libdise_diff-ac700580c1d20bb7.rmeta: crates/diff/src/lib.rs crates/diff/src/cfg_map.rs crates/diff/src/line_diff.rs crates/diff/src/stmt_diff.rs
+
+crates/diff/src/lib.rs:
+crates/diff/src/cfg_map.rs:
+crates/diff/src/line_diff.rs:
+crates/diff/src/stmt_diff.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dise_evolution-13869cc7abda2d6b.d: crates/evolution/src/lib.rs crates/evolution/src/diffsum.rs crates/evolution/src/inputs.rs crates/evolution/src/localize.rs crates/evolution/src/report.rs crates/evolution/src/witness.rs
+
+/root/repo/target/release/deps/libdise_evolution-13869cc7abda2d6b.rlib: crates/evolution/src/lib.rs crates/evolution/src/diffsum.rs crates/evolution/src/inputs.rs crates/evolution/src/localize.rs crates/evolution/src/report.rs crates/evolution/src/witness.rs
+
+/root/repo/target/release/deps/libdise_evolution-13869cc7abda2d6b.rmeta: crates/evolution/src/lib.rs crates/evolution/src/diffsum.rs crates/evolution/src/inputs.rs crates/evolution/src/localize.rs crates/evolution/src/report.rs crates/evolution/src/witness.rs
+
+crates/evolution/src/lib.rs:
+crates/evolution/src/diffsum.rs:
+crates/evolution/src/inputs.rs:
+crates/evolution/src/localize.rs:
+crates/evolution/src/report.rs:
+crates/evolution/src/witness.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dise_ir-5189e1025068411b.d: crates/ir/src/lib.rs crates/ir/src/ast.rs crates/ir/src/builder.rs crates/ir/src/error.rs crates/ir/src/inline.rs crates/ir/src/lexer.rs crates/ir/src/parser.rs crates/ir/src/pretty.rs crates/ir/src/span.rs crates/ir/src/token.rs crates/ir/src/typeck.rs
+
+/root/repo/target/release/deps/libdise_ir-5189e1025068411b.rlib: crates/ir/src/lib.rs crates/ir/src/ast.rs crates/ir/src/builder.rs crates/ir/src/error.rs crates/ir/src/inline.rs crates/ir/src/lexer.rs crates/ir/src/parser.rs crates/ir/src/pretty.rs crates/ir/src/span.rs crates/ir/src/token.rs crates/ir/src/typeck.rs
+
+/root/repo/target/release/deps/libdise_ir-5189e1025068411b.rmeta: crates/ir/src/lib.rs crates/ir/src/ast.rs crates/ir/src/builder.rs crates/ir/src/error.rs crates/ir/src/inline.rs crates/ir/src/lexer.rs crates/ir/src/parser.rs crates/ir/src/pretty.rs crates/ir/src/span.rs crates/ir/src/token.rs crates/ir/src/typeck.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/ast.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/error.rs:
+crates/ir/src/inline.rs:
+crates/ir/src/lexer.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/span.rs:
+crates/ir/src/token.rs:
+crates/ir/src/typeck.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dise_regression-d2462b3162fbb207.d: crates/regression/src/lib.rs crates/regression/src/select.rs crates/regression/src/suite.rs crates/regression/src/testgen.rs
+
+/root/repo/target/release/deps/libdise_regression-d2462b3162fbb207.rlib: crates/regression/src/lib.rs crates/regression/src/select.rs crates/regression/src/suite.rs crates/regression/src/testgen.rs
+
+/root/repo/target/release/deps/libdise_regression-d2462b3162fbb207.rmeta: crates/regression/src/lib.rs crates/regression/src/select.rs crates/regression/src/suite.rs crates/regression/src/testgen.rs
+
+crates/regression/src/lib.rs:
+crates/regression/src/select.rs:
+crates/regression/src/suite.rs:
+crates/regression/src/testgen.rs:

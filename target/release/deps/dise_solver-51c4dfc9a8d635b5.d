@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dise_solver-51c4dfc9a8d635b5.d: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs
+
+/root/repo/target/release/deps/libdise_solver-51c4dfc9a8d635b5.rlib: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs
+
+/root/repo/target/release/deps/libdise_solver-51c4dfc9a8d635b5.rmeta: crates/solver/src/lib.rs crates/solver/src/constraint.rs crates/solver/src/fm.rs crates/solver/src/incremental.rs crates/solver/src/intern.rs crates/solver/src/interval.rs crates/solver/src/linear.rs crates/solver/src/model.rs crates/solver/src/simplify.rs crates/solver/src/solve.rs crates/solver/src/sym.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/constraint.rs:
+crates/solver/src/fm.rs:
+crates/solver/src/incremental.rs:
+crates/solver/src/intern.rs:
+crates/solver/src/interval.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/model.rs:
+crates/solver/src/simplify.rs:
+crates/solver/src/solve.rs:
+crates/solver/src/sym.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dise_symexec-6cdfb3b99b99c8ad.d: crates/symexec/src/lib.rs crates/symexec/src/concolic.rs crates/symexec/src/concrete.rs crates/symexec/src/env.rs crates/symexec/src/eval.rs crates/symexec/src/executor.rs crates/symexec/src/state.rs crates/symexec/src/tree.rs
+
+/root/repo/target/release/deps/libdise_symexec-6cdfb3b99b99c8ad.rlib: crates/symexec/src/lib.rs crates/symexec/src/concolic.rs crates/symexec/src/concrete.rs crates/symexec/src/env.rs crates/symexec/src/eval.rs crates/symexec/src/executor.rs crates/symexec/src/state.rs crates/symexec/src/tree.rs
+
+/root/repo/target/release/deps/libdise_symexec-6cdfb3b99b99c8ad.rmeta: crates/symexec/src/lib.rs crates/symexec/src/concolic.rs crates/symexec/src/concrete.rs crates/symexec/src/env.rs crates/symexec/src/eval.rs crates/symexec/src/executor.rs crates/symexec/src/state.rs crates/symexec/src/tree.rs
+
+crates/symexec/src/lib.rs:
+crates/symexec/src/concolic.rs:
+crates/symexec/src/concrete.rs:
+crates/symexec/src/env.rs:
+crates/symexec/src/eval.rs:
+crates/symexec/src/executor.rs:
+crates/symexec/src/state.rs:
+crates/symexec/src/tree.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d8e87a88398d8747.d: crates/proptest-stub/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d8e87a88398d8747.rlib: crates/proptest-stub/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d8e87a88398d8747.rmeta: crates/proptest-stub/src/lib.rs
+
+crates/proptest-stub/src/lib.rs:

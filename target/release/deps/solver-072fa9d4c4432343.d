@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver-072fa9d4c4432343.d: crates/bench/benches/solver.rs
+
+/root/repo/target/release/deps/solver-072fa9d4c4432343: crates/bench/benches/solver.rs
+
+crates/bench/benches/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/review_probe-5fbed6136865edcf.d: examples/review_probe.rs
+
+/root/repo/target/release/examples/review_probe-5fbed6136865edcf: examples/review_probe.rs
+
+examples/review_probe.rs:
