@@ -1,0 +1,147 @@
+//! Parallel-frontier benchmarks: serial vs work-stealing exploration on a
+//! deep-prefix workload (a chain of coupled symbolic branches, the same
+//! shape as the PR 1 solver bench but driven through the full executor).
+//!
+//! Besides the criterion-style timings, this binary records the
+//! acceptance measurement to `BENCH_parallel_frontier.json` at the
+//! workspace root: wall-clock serial vs `jobs = 4`, the determinism
+//! check (parallel paths byte-identical to serial), scheduler counters,
+//! and the host parallelism the numbers were taken under — wall-clock
+//! speedup is bounded by the cores actually available, so the JSON pins
+//! `available_parallelism` next to the ratio it explains.
+
+use criterion::{criterion_group, Criterion};
+use dise_ir::parse_program;
+use dise_symexec::{ExecConfig, Executor, FullExploration, SymbolicSummary};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A deep chain of `depth` coupled symbolic branches over four inputs:
+/// every branch is a choice point (2^depth leaves) and every path
+/// condition couples several variables, so feasibility checks exercise
+/// propagation + elimination + model search rather than single-variable
+/// interval lookups.
+fn deep_prefix_source(depth: usize) -> String {
+    let mut body = String::new();
+    for i in 0..depth {
+        let cond = match i % 4 {
+            0 => format!("a + b + c > {i}"),
+            1 => format!("b - c + d <= {}", 100 + i),
+            2 => format!("c + d - a > {}", i / 2),
+            _ => format!("d - a + b <= {}", 50 + i),
+        };
+        body.push_str(&format!("  if ({cond}) {{ g = g + {i}; }}\n"));
+    }
+    format!("int g;\nproc deep(int a, int b, int c, int d) {{\n{body}}}\n")
+}
+
+fn explore(src: &str, jobs: usize) -> SymbolicSummary {
+    let program = parse_program(src).expect("generated source parses");
+    let config = ExecConfig {
+        record_traces: false,
+        jobs,
+        ..ExecConfig::default()
+    };
+    let mut executor = Executor::new(&program, "deep", config).expect("executor builds");
+    executor.explore(&mut FullExploration)
+}
+
+fn benches(c: &mut Criterion) {
+    let src = deep_prefix_source(8);
+    c.bench_function("frontier/deep_prefix_serial_depth8", |b| {
+        b.iter(|| black_box(explore(black_box(&src), 1).pc_count()))
+    });
+    c.bench_function("frontier/deep_prefix_jobs4_depth8", |b| {
+        b.iter(|| black_box(explore(black_box(&src), 4).pc_count()))
+    });
+}
+
+/// Times `runs` executions of `f`, returning mean milliseconds per run.
+fn time_ms(runs: u32, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / f64::from(runs)
+}
+
+fn paths_key(summary: &SymbolicSummary) -> Vec<(String, String)> {
+    summary
+        .paths()
+        .iter()
+        .map(|p| (p.pc.to_string(), format!("{:?}", p.outcome)))
+        .collect()
+}
+
+fn record_frontier_comparison() {
+    const DEPTH: usize = 11;
+    const RUNS: u32 = 5;
+    let src = deep_prefix_source(DEPTH);
+
+    let serial = explore(&src, 1);
+    let parallel = explore(&src, 4);
+    let deterministic = paths_key(&serial) == paths_key(&parallel)
+        && serial.stats().states_explored == parallel.stats().states_explored;
+
+    let serial_ms = time_ms(RUNS, || {
+        black_box(explore(black_box(&src), 1).pc_count());
+    });
+    let jobs2_ms = time_ms(RUNS, || {
+        black_box(explore(black_box(&src), 2).pc_count());
+    });
+    let jobs4_ms = time_ms(RUNS, || {
+        black_box(explore(black_box(&src), 4).pc_count());
+    });
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let frontier = &parallel.stats().frontier;
+    let json = format!(
+        "{{\n  \"benchmark\": \"parallel_frontier_vs_serial\",\n  \
+         \"workload\": \"deep_prefix_chain\",\n  \"depth\": {DEPTH},\n  \
+         \"paths\": {},\n  \"runs\": {RUNS},\n  \
+         \"serial_ms_per_run\": {serial_ms:.2},\n  \
+         \"jobs2_ms_per_run\": {jobs2_ms:.2},\n  \
+         \"jobs4_ms_per_run\": {jobs4_ms:.2},\n  \
+         \"speedup_jobs4\": {:.2},\n  \
+         \"available_parallelism\": {host},\n  \
+         \"deterministic\": {deterministic},\n  \
+         \"frontier_stats\": {{\n    \"workers\": {},\n    \
+         \"tasks\": {},\n    \"steals\": {},\n    \
+         \"replayed_literals\": {},\n    \"shared_trie_entries\": {}\n  }},\n  \
+         \"note\": \"wall-clock speedup is bounded by available_parallelism; \
+         on a single-core host the scheduler overhead is the figure of merit \
+         and the >=2x target requires >=4 cores\"\n}}\n",
+        serial.pc_count(),
+        serial_ms / jobs4_ms.max(0.001),
+        frontier.workers,
+        frontier.tasks,
+        frontier.steals,
+        frontier.replayed_literals,
+        frontier.shared_trie_entries,
+    );
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => format!("{dir}/../../BENCH_parallel_frontier.json"),
+        Err(_) => "BENCH_parallel_frontier.json".to_string(),
+    };
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    println!(
+        "deep-prefix depth {DEPTH} ({} paths): serial {serial_ms:.1} ms, \
+         jobs=2 {jobs2_ms:.1} ms, jobs=4 {jobs4_ms:.1} ms \
+         ({:.2}x, host parallelism {host}, deterministic: {deterministic})",
+        serial.pc_count(),
+        serial_ms / jobs4_ms.max(0.001),
+    );
+}
+
+criterion_group!(frontier, benches);
+
+fn main() {
+    frontier();
+    record_frontier_comparison();
+}

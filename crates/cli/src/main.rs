@@ -1,12 +1,15 @@
 //! `dise` — the command-line front end.
 //!
 //! ```text
-//! dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs]
+//! dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N]
 //!     Diff two program versions and report the affected path conditions.
 //!     --full           also run full symbolic execution for comparison
 //!     --trace          print the Fig. 5(b) and Table 1 style traces
 //!     --simplify       subsume redundant bounds in printed path conditions
 //!     --reaching-defs  use the precise data-flow premise (ablation mode)
+//!     --jobs N         explore with N parallel frontier workers (default 1,
+//!                      or the DISE_JOBS environment variable); paths and
+//!                      path conditions are identical to the serial run
 //!
 //! dise tests <base.mj> <modified.mj> <proc>
 //!     Regression-testing mode (§5.2): generate the old suite, select and
@@ -65,7 +68,7 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
         }
     }
     match positional.first().copied() {
-        Some("run") => run_command(&positional[1..], &flags),
+        Some("run") => run_command(&positional[1..], &flags, &args),
         Some("tests") => tests_command(&positional[1..]),
         Some("inspect") => inspect_command(&positional[1..], &flags),
         Some("witness") => witness_command(&positional[1..]),
@@ -79,7 +82,7 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage:
-  dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs]
+  dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N]
   dise tests <base.mj> <modified.mj> <proc>
   dise inspect <file.mj> <proc> [--dot]
   dise witness <base.mj> <modified.mj> <proc>
@@ -95,13 +98,31 @@ fn load(path: &str) -> Result<Program, String> {
     Ok(program)
 }
 
-fn run_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
-    let [base_path, mod_path, proc_name] = positional else {
+/// Parses `--jobs N` from the raw argument list (the value is a bare
+/// token, so it also lands in the positional list; callers must ignore
+/// positionals beyond their own).
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    match args.iter().position(|a| a == "--jobs") {
+        None => Ok(dise_symexec::ExecConfig::default().jobs),
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n >= 1 => Ok(n),
+            _ => Err("--jobs expects a worker count of at least 1".to_string()),
+        },
+    }
+}
+
+fn run_command(positional: &[&str], flags: &[&str], args: &[String]) -> Result<(), String> {
+    let [base_path, mod_path, proc_name, ..] = positional else {
         return Err(USAGE.to_string());
     };
     let base = load(base_path)?;
     let modified = load(mod_path)?;
+    let jobs = parse_jobs(args)?;
     let config = DiseConfig {
+        exec: dise_symexec::ExecConfig {
+            jobs,
+            ..Default::default()
+        },
         precision: if flags.contains(&"--reaching-defs") {
             DataflowPrecision::ReachingDefs
         } else {
@@ -109,7 +130,6 @@ fn run_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
         },
         trace_affected: flags.contains(&"--trace"),
         trace_directed: flags.contains(&"--trace"),
-        ..DiseConfig::default()
     };
 
     let result = run_dise(&base, &modified, proc_name, &config).map_err(|e| e.to_string())?;

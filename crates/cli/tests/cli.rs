@@ -102,6 +102,44 @@ fn run_reports_affected_path_conditions() {
 }
 
 #[test]
+fn run_with_jobs_matches_serial_output() {
+    let fx = fixture();
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+    let serial = dise(&["run", base, modified, "f", "--full", "--jobs", "1"]);
+    let parallel = dise(&["run", base, modified, "f", "--full", "--jobs", "4"]);
+    assert!(serial.status.success(), "{}", stderr(&serial));
+    assert!(parallel.status.success(), "{}", stderr(&parallel));
+    // Timing and solver counters legitimately differ; the reported path
+    // conditions (the indented lines) must be identical and non-empty.
+    let pcs = |out: &Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| l.starts_with("  "))
+            .map(str::to_owned)
+            .collect()
+    };
+    let serial_pcs = pcs(&serial);
+    assert!(!serial_pcs.is_empty());
+    assert_eq!(serial_pcs, pcs(&parallel));
+}
+
+#[test]
+fn run_rejects_a_bad_jobs_value() {
+    let fx = fixture();
+    let out = dise(&[
+        "run",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--jobs",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--jobs"), "{}", stderr(&out));
+}
+
+#[test]
 fn tests_selects_and_augments() {
     let fx = fixture();
     let out = dise(&[

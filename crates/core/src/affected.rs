@@ -49,12 +49,13 @@ pub enum Rule {
     Eq3,
     /// Eq. (4): write whose definition reaches an affected node.
     Eq4,
-    /// Chain rule (reaching-defs mode only): write using a variable
-    /// defined at an affected write. The paper's `IsCFGPath` premise is
-    /// coarse enough to subsume such chains (any later conditional is
-    /// "reachable" from the first write); once rules (3)/(4) use precise
-    /// reaching definitions, the chain must be closed explicitly or
-    /// affected flows through intermediate writes would be lost.
+    /// Chain rule: write using a variable defined at an affected write.
+    /// Rules (3)/(4) require the same variable at both ends of a flow, so
+    /// without this closure a change propagating through a copy chain
+    /// (`A = changed; B = A; if (B > 0) …`) never reaches the downstream
+    /// conditional and the affected region is cut short (historically:
+    /// zero affected path conditions on the WBS/OAE artifacts). Runs in
+    /// both precision modes, under the mode's data-flow premise.
     Chain,
 }
 
@@ -190,19 +191,6 @@ impl AffectedSets {
                         }
                     }
                 }
-                // Chain rule (reaching-defs mode only): close affected
-                // flows through intermediate writes, which the paper's
-                // coarse `IsCFGPath` premise subsumes implicitly.
-                if precision == DataflowPrecision::ReachingDefs {
-                    for ni in result.awn.clone() {
-                        for nj in cfg.write_nodes() {
-                            if flows(ni, nj) && result.awn.insert(nj) {
-                                changed = true;
-                                result.record(record_trace, ni, nj, Rule::Chain);
-                            }
-                        }
-                    }
-                }
                 if !changed {
                     break;
                 }
@@ -239,6 +227,37 @@ impl AffectedSets {
                                 nj,
                                 rule: Some(Rule::Eq4),
                             });
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+                global_change = true;
+            }
+
+            // Chain rule, after the Fig. 4 pass: close affected flows
+            // through intermediate writes. Rules (3)/(4) require the
+            // *same* variable at both ends of a flow, so a change
+            // propagating through a copy chain (`A = changed; B = A;
+            // if (B > 0)`) is invisible to them — the copy defines a
+            // variable no affected node mentions, and the downstream
+            // conditional reads the copy, not the changed definition.
+            // Without this closure the affected region stops at the first
+            // copy and the directed search prunes every path at the next
+            // choice point past it: zero path conditions on the WBS/OAE
+            // artifacts, whose command values flow through
+            // `AntiSkidCmd = BrakeCmd`-style staging writes. Running it
+            // after Eq. (4) keeps the Fig. 5(b) trace order on programs
+            // whose flows the paper's rules already cover; `flows` applies
+            // the active precision mode's data-flow premise.
+            loop {
+                let mut changed = false;
+                for ni in result.awn.clone() {
+                    for nj in cfg.write_nodes() {
+                        if flows(ni, nj) && result.awn.insert(nj) {
+                            changed = true;
+                            result.record(record_trace, ni, nj, Rule::Chain);
                         }
                     }
                 }

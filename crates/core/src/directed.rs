@@ -56,6 +56,10 @@ pub struct DirectedStrategy {
     ex_write: BTreeSet<NodeId>,
     unex_cond: BTreeSet<NodeId>,
     unex_write: BTreeSet<NodeId>,
+    /// The initial affected union `ACN ∪ AWN`. Membership is invariant —
+    /// nodes only move between the explored/unexplored partitions — so
+    /// this drives the static [`Strategy::speculation_hint`].
+    affected_union: Vec<NodeId>,
     current_path: Vec<NodeId>,
     trace: Option<Vec<DirectedTraceRow>>,
 }
@@ -79,6 +83,12 @@ impl DirectedStrategy {
             ex_write: BTreeSet::new(),
             unex_cond: affected.acn().clone(),
             unex_write: affected.awn().clone(),
+            affected_union: affected
+                .acn()
+                .iter()
+                .chain(affected.awn())
+                .copied()
+                .collect(),
             current_path: Vec::new(),
             trace: record_trace.then(Vec::new),
         }
@@ -199,6 +209,22 @@ impl Strategy for DirectedStrategy {
             }
         }
         is_reachable
+    }
+
+    /// Static over-approximation of `AffectedLocIsReachable` for the
+    /// parallel frontier's speculative sweep: the dynamic filter can only
+    /// accept a successor when *some* affected node — unexplored at that
+    /// moment, hence a member of the invariant initial union — is
+    /// CFG-reachable from it, or when the successor is terminal. The
+    /// strategy itself is deliberately *not* forkable: the explored-set
+    /// resets depend on which sibling subtree ran first, so forked copies
+    /// would diverge from the serial result.
+    fn speculation_hint(&self, node: NodeId) -> bool {
+        self.terminal[node.index()]
+            || self
+                .affected_union
+                .iter()
+                .any(|&affected| self.reach.is_cfg_path(node, affected))
     }
 }
 

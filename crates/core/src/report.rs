@@ -118,13 +118,15 @@ pub fn solver_stats_line(stats: &SolverStats) -> String {
     };
     format!(
         "{} checks ({} incremental, {} fallback, {} model-reuse), \
-         {} cache hits, {} prefix-trie hits, {} unsat-prefix kills, hit rate {}",
+         {} cache hits, {} prefix-trie hits, {} shared-trie hits, \
+         {} unsat-prefix kills, hit rate {}",
         stats.checks,
         stats.incremental_checks,
         stats.fallback_checks,
         stats.model_reuse_hits,
         stats.cache_hits,
         stats.prefix_cache_hits,
+        stats.shared_trie_hits,
         stats.prefix_unsat_kills,
         hit_rate,
     )
@@ -183,7 +185,8 @@ mod tests {
         assert_eq!(
             solver_stats_line(&SolverStats::default()),
             "0 checks (0 incremental, 0 fallback, 0 model-reuse), \
-             0 cache hits, 0 prefix-trie hits, 0 unsat-prefix kills, hit rate n/a"
+             0 cache hits, 0 prefix-trie hits, 0 shared-trie hits, \
+             0 unsat-prefix kills, hit rate n/a"
         );
     }
 

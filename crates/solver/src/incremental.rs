@@ -29,10 +29,12 @@
 //! starvation semantics apply: any non-empty query returns `Unknown`.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use crate::intern::TermId;
 use crate::linear::LinAtom;
 use crate::model::{Model, Value};
+use crate::shared_trie::SharedTrie;
 use crate::solve::{
     classify, decide_conjunction, flatten_conjunct, nnf, split_alternatives, CaseVerdict,
     Classified, SatResult, Solver, SolverConfig, SolverStats,
@@ -46,6 +48,7 @@ struct TrieNode {
     children: HashMap<TermId, usize>,
     verdict: Option<SatResult>,
     model: Option<Model>,
+    bounds: Option<BTreeMap<u32, Interval>>,
 }
 
 /// One frame of the solver stack: the pushed literal plus the undo
@@ -54,6 +57,9 @@ struct TrieNode {
 struct Frame {
     /// Trie node for this prefix (`None` once the trie hit capacity).
     trie_node: Option<usize>,
+    /// Node id of this prefix in the attached [`SharedTrie`] (`None` when
+    /// no trie is attached, or it is at capacity, or an ancestor fell off).
+    shared_node: Option<u64>,
     /// Length of the shared `lin` vector before this frame's additions.
     lin_len: usize,
     /// Length of the shared `residuals` vector before this frame.
@@ -92,6 +98,8 @@ pub struct IncrementalSolver {
     bools: BTreeMap<u32, bool>,
     vars: BTreeMap<u32, SymVar>,
     trie: Vec<TrieNode>,
+    /// Cross-worker verdict cache (parallel frontier), when attached.
+    shared: Option<Arc<SharedTrie>>,
     /// Number of frames currently in fallback (case-splitting) mode.
     complex_frames: usize,
     /// Shallowest frame known to be UNSAT (contradiction or verdict).
@@ -124,6 +132,7 @@ impl IncrementalSolver {
             bools: BTreeMap::new(),
             vars: BTreeMap::new(),
             trie: vec![TrieNode::default()],
+            shared: None,
             complex_frames: 0,
             unsat_depth: None,
             local: SolverStats::default(),
@@ -157,6 +166,25 @@ impl IncrementalSolver {
         }
     }
 
+    /// Attaches a cross-worker verdict cache. Only frames pushed *after*
+    /// the attach participate; attach on an empty stack. The caller must
+    /// respect the determinism contract documented on [`SharedTrie`]:
+    /// checks are performed root-contiguously, so published entries are
+    /// exactly what a fresh serial computation of the same path yields.
+    pub fn attach_shared_trie(&mut self, trie: Arc<SharedTrie>) {
+        self.shared = Some(trie);
+    }
+
+    /// Detaches the cross-worker cache (no-op when none is attached).
+    pub fn detach_shared_trie(&mut self) {
+        self.shared = None;
+    }
+
+    /// The attached cross-worker cache, if any.
+    pub fn shared_trie(&self) -> Option<&Arc<SharedTrie>> {
+        self.shared.as_ref()
+    }
+
     /// Pops every frame (the stack returns to the empty path condition
     /// `true`). The prefix trie and caches are retained.
     pub fn reset(&mut self) {
@@ -169,8 +197,19 @@ impl IncrementalSolver {
     pub fn push(&mut self, lit: SymExpr) {
         let term = self.inner.interner.intern(&lit);
         let trie_node = self.trie_child(term);
+        let shared_node = match &self.shared {
+            Some(shared) => {
+                let parent = match self.frames.last() {
+                    Some(frame) => frame.shared_node,
+                    None => Some(SharedTrie::ROOT),
+                };
+                parent.and_then(|p| shared.child(p, &lit))
+            }
+            None => None,
+        };
         let mut frame = Frame {
             trie_node,
+            shared_node,
             lin_len: self.lin.len(),
             residual_len: self.residuals.len(),
             new_vars: Vec::new(),
@@ -298,11 +337,46 @@ impl IncrementalSolver {
             if let Some(verdict) = self.trie[node].verdict {
                 self.local.prefix_cache_hits += 1;
                 let model = self.trie[node].model.clone();
+                let bounds = self.trie[node].bounds.clone();
                 self.frames[top].verdict = Some(verdict);
                 self.frames[top].model = model;
+                self.frames[top].bounds = bounds;
                 self.note_unsat(top, verdict);
                 self.tally(verdict);
                 return verdict;
+            }
+        }
+
+        // Cross-worker shared trie: another worker already decided this
+        // exact prefix. The restored model and bounds are what this solver
+        // would have computed itself (see the determinism contract on
+        // [`SharedTrie`]), so downstream frames behave identically either
+        // way.
+        if self.frames[top].shared_node.is_some() {
+            let parent = match top {
+                0 => SharedTrie::ROOT,
+                _ => self.frames[top - 1]
+                    .shared_node
+                    .expect("a shared child implies a shared parent"),
+            };
+            let hit = self
+                .shared
+                .as_ref()
+                .and_then(|shared| shared.verdict(parent, &self.lits[top]));
+            if let Some(hit) = hit {
+                self.local.shared_trie_hits += 1;
+                self.frames[top].verdict = Some(hit.verdict);
+                self.frames[top].model = hit.model.clone();
+                self.frames[top].bounds = hit.bounds.clone();
+                // Memoize locally so later re-checks stay lock-free.
+                if let Some(node) = self.frames[top].trie_node {
+                    self.trie[node].verdict = Some(hit.verdict);
+                    self.trie[node].model = hit.model;
+                    self.trie[node].bounds = hit.bounds;
+                }
+                self.note_unsat(top, hit.verdict);
+                self.tally(hit.verdict);
+                return hit.verdict;
             }
         }
 
@@ -316,7 +390,7 @@ impl IncrementalSolver {
             self.frames[top].verdict = Some(verdict);
             self.frames[top].model = model.clone();
             self.note_unsat(top, verdict);
-            self.store_trie(top, verdict, model);
+            self.store_trie(top, verdict, model, None);
             return verdict;
         }
 
@@ -396,8 +470,8 @@ impl IncrementalSolver {
         self.note_unsat(top, verdict);
         self.frames[top].verdict = Some(verdict);
         self.frames[top].model = model.clone();
-        self.frames[top].bounds = bounds;
-        self.store_trie(top, verdict, model);
+        self.frames[top].bounds = bounds.clone();
+        self.store_trie(top, verdict, model, bounds);
         self.tally(verdict);
         verdict
     }
@@ -421,10 +495,28 @@ impl IncrementalSolver {
         }
     }
 
-    fn store_trie(&mut self, top: usize, verdict: SatResult, model: Option<Model>) {
+    fn store_trie(
+        &mut self,
+        top: usize,
+        verdict: SatResult,
+        model: Option<Model>,
+        bounds: Option<BTreeMap<u32, Interval>>,
+    ) {
         if let Some(node) = self.frames[top].trie_node {
             self.trie[node].verdict = Some(verdict);
-            self.trie[node].model = model;
+            self.trie[node].model = model.clone();
+            self.trie[node].bounds = bounds.clone();
+        }
+        if self.frames[top].shared_node.is_some() {
+            if let Some(shared) = &self.shared {
+                let parent = match top {
+                    0 => SharedTrie::ROOT,
+                    _ => self.frames[top - 1]
+                        .shared_node
+                        .expect("a shared child implies a shared parent"),
+                };
+                shared.publish(parent, &self.lits[top], verdict, model, bounds);
+            }
         }
     }
 
@@ -792,6 +884,84 @@ mod tests {
         // was recorded as a trie node; only its verdict may be absent.
         let after = solver.stats();
         assert!(after.checks == before.checks + 1);
+    }
+
+    #[test]
+    fn shared_trie_answers_across_solvers() {
+        let (_, x, y, _) = setup();
+        let shared = Arc::new(SharedTrie::new(1 << 12));
+        let chain = [
+            SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)),
+            SymExpr::lt(SymExpr::var(&y), SymExpr::var(&x)),
+        ];
+
+        let mut producer = IncrementalSolver::new();
+        producer.attach_shared_trie(Arc::clone(&shared));
+        for lit in &chain {
+            producer.push(lit.clone());
+            assert_eq!(producer.check(), SatResult::Sat);
+        }
+        let producer_model = producer.model().cloned().unwrap();
+        assert!(shared.publishes() >= 2);
+
+        // A second solver replaying the same chain answers every depth
+        // from the shared trie — and restores the *same* model, so any
+        // deeper exploration behaves identically to the producer's.
+        let mut consumer = IncrementalSolver::new();
+        consumer.attach_shared_trie(Arc::clone(&shared));
+        for lit in &chain {
+            consumer.push(lit.clone());
+            assert_eq!(consumer.check(), SatResult::Sat);
+        }
+        let stats = consumer.stats();
+        assert_eq!(stats.shared_trie_hits, 2, "{stats:?}");
+        assert_eq!(stats.model_searches, 0);
+        assert_eq!(stats.fm_runs, 0);
+        assert_eq!(consumer.model().cloned().unwrap(), producer_model);
+    }
+
+    #[test]
+    fn shared_trie_unsat_restores_the_prefix_kill() {
+        let (_, x, y, _) = setup();
+        let shared = Arc::new(SharedTrie::new(1 << 12));
+        let conflict = [
+            SymExpr::gt(SymExpr::var(&x), SymExpr::int(5)),
+            SymExpr::lt(SymExpr::var(&x), SymExpr::int(5)),
+        ];
+        let mut producer = IncrementalSolver::new();
+        producer.attach_shared_trie(Arc::clone(&shared));
+        for lit in &conflict {
+            producer.push(lit.clone());
+        }
+        assert_eq!(producer.check(), SatResult::Unsat);
+
+        let mut consumer = IncrementalSolver::new();
+        consumer.attach_shared_trie(Arc::clone(&shared));
+        for lit in &conflict {
+            consumer.push(lit.clone());
+        }
+        assert_eq!(consumer.check(), SatResult::Unsat);
+        // The restored UNSAT must kill extensions exactly like a computed
+        // one.
+        consumer.push(SymExpr::gt(SymExpr::var(&y), SymExpr::int(0)));
+        let before = consumer.stats();
+        assert_eq!(consumer.check(), SatResult::Unsat);
+        let after = consumer.stats();
+        assert_eq!(after.prefix_unsat_kills, before.prefix_unsat_kills + 1);
+    }
+
+    #[test]
+    fn detached_solver_ignores_the_shared_trie() {
+        let (_, x, _, _) = setup();
+        let shared = Arc::new(SharedTrie::new(1 << 12));
+        let lit = SymExpr::gt(SymExpr::var(&x), SymExpr::int(0));
+        let mut solver = IncrementalSolver::new();
+        solver.attach_shared_trie(Arc::clone(&shared));
+        solver.detach_shared_trie();
+        solver.push(lit);
+        assert_eq!(solver.check(), SatResult::Sat);
+        assert_eq!(shared.len(), 0);
+        assert_eq!(solver.stats().shared_trie_hits, 0);
     }
 
     #[test]

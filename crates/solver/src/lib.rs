@@ -90,6 +90,7 @@ pub mod intern;
 pub mod interval;
 pub mod linear;
 pub mod model;
+pub mod shared_trie;
 pub mod simplify;
 pub mod solve;
 pub mod sym;
@@ -99,6 +100,7 @@ pub use incremental::IncrementalSolver;
 pub use intern::{Interner, TermId};
 pub use interval::Interval;
 pub use model::Model;
+pub use shared_trie::{SharedTrie, SharedVerdict};
 pub use simplify::simplify_pc;
 pub use solve::{CheckOutcome, SatResult, Solver, SolverConfig, SolverStats};
 pub use sym::{SymExpr, SymTy, SymVar, VarPool};

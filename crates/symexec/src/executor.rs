@@ -44,13 +44,42 @@ pub trait Strategy {
     fn on_leave(&mut self, node: NodeId) {
         let _ = node;
     }
+
+    /// Clones this strategy for a parallel frontier worker, or `None` when
+    /// the strategy cannot be forked.
+    ///
+    /// Forking is only sound for strategies whose `should_explore`
+    /// decisions are independent of global exploration order (stateless
+    /// filters, static node predicates). Strategies with order-dependent
+    /// global state — like the paper's directed strategy, whose
+    /// explored-set resets depend on which sibling subtree ran first —
+    /// must return `None`; the frontier then runs a speculative parallel
+    /// solver sweep and replays the strategy serially (see
+    /// [`crate::frontier`]), which preserves byte-identical summaries.
+    fn fork(&self) -> Option<Box<dyn Strategy + Send>> {
+        None
+    }
+
+    /// A *static over-approximation* of [`Strategy::should_explore`]: may
+    /// return `true` for nodes the dynamic filter would reject, but must
+    /// never return `false` for a node it could accept at any point of any
+    /// serial run. Used to bound the speculative sweep of non-forkable
+    /// strategies; the default (everything reachable) is always sound.
+    fn speculation_hint(&self, node: NodeId) -> bool {
+        let _ = node;
+        true
+    }
 }
 
 /// Standard full symbolic execution: explore every feasible successor.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FullExploration;
 
-impl Strategy for FullExploration {}
+impl Strategy for FullExploration {
+    fn fork(&self) -> Option<Box<dyn Strategy + Send>> {
+        Some(Box::new(FullExploration))
+    }
+}
 
 /// Which successors are submitted to [`Strategy::should_explore`].
 ///
@@ -95,8 +124,27 @@ pub struct ExecConfig {
     pub record_tree: bool,
     /// Which successors the strategy filter applies to.
     pub filter_scope: FilterScope,
+    /// Worker threads for frontier exploration. `1` (the default) is the
+    /// serial DFS; `N > 1` enables the work-stealing parallel frontier
+    /// (see [`crate::frontier`]), which produces byte-identical paths,
+    /// path conditions, and outcomes for non-truncated runs. The default
+    /// honors the `DISE_JOBS` environment variable (the CI race matrix).
+    /// [`ExecConfig::record_tree`] forces serial execution.
+    pub jobs: usize,
     /// Constraint-solver tuning.
     pub solver: SolverConfig,
+}
+
+/// The `DISE_JOBS` default, read once per process.
+fn default_jobs() -> usize {
+    static JOBS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *JOBS.get_or_init(|| {
+        std::env::var("DISE_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
 }
 
 impl Default for ExecConfig {
@@ -109,6 +157,7 @@ impl Default for ExecConfig {
             record_pruned: false,
             record_tree: false,
             filter_scope: FilterScope::default(),
+            jobs: default_jobs(),
             solver: SolverConfig::default(),
         }
     }
@@ -198,17 +247,19 @@ pub struct ExecStats {
     pub elapsed: Duration,
     /// Solver activity during the run.
     pub solver: SolverStats,
+    /// Parallel-frontier activity (all zero on serial runs).
+    pub frontier: crate::frontier::FrontierStats,
 }
 
 /// The result of a run: "a symbolic summary … made up of path conditions
 /// that represent the feasible execution paths" (§2.1).
 #[derive(Debug, Clone)]
 pub struct SymbolicSummary {
-    proc_name: String,
-    inputs: Vec<(String, SymVar)>,
-    paths: Vec<PathSummary>,
-    stats: ExecStats,
-    tree: Option<ExecTree>,
+    pub(crate) proc_name: String,
+    pub(crate) inputs: Vec<(String, SymVar)>,
+    pub(crate) paths: Vec<PathSummary>,
+    pub(crate) stats: ExecStats,
+    pub(crate) tree: Option<ExecTree>,
 }
 
 impl SymbolicSummary {
@@ -265,13 +316,13 @@ impl SymbolicSummary {
 /// repeated explorations answer repeated prefixes from the trie.
 #[derive(Debug, Clone)]
 pub struct Executor {
-    proc_name: String,
-    cfg: Cfg,
-    init_env: Env,
-    inputs: Vec<(String, SymVar)>,
+    pub(crate) proc_name: String,
+    pub(crate) cfg: Cfg,
+    pub(crate) init_env: Env,
+    pub(crate) inputs: Vec<(String, SymVar)>,
     pool: VarPool,
-    config: ExecConfig,
-    solver: IncrementalSolver,
+    pub(crate) config: ExecConfig,
+    pub(crate) solver: IncrementalSolver,
 }
 
 impl Executor {
@@ -366,10 +417,26 @@ impl Executor {
 
     /// Runs the exploration with the given strategy.
     ///
+    /// With [`ExecConfig::jobs`] > 1 the work-stealing parallel frontier
+    /// takes over (unless [`ExecConfig::record_tree`] is set, which only
+    /// the serial engine supports); the resulting paths, path conditions,
+    /// and outcomes are byte-identical to the serial run's for
+    /// non-truncated explorations — only timing- and cache-dependent
+    /// counters differ. See [`crate::frontier`].
+    ///
     /// The reported [`ExecStats::solver`] counters cover this run only,
     /// even though the solver itself (with its prefix trie and caches)
     /// persists across runs of the same executor.
     pub fn explore(&mut self, strategy: &mut dyn Strategy) -> SymbolicSummary {
+        if self.config.jobs > 1 && !self.config.record_tree {
+            return crate::frontier::explore_parallel(self, strategy);
+        }
+        self.explore_serial(strategy)
+    }
+
+    /// The serial depth-first engine (also the authoritative replay pass
+    /// of the parallel frontier's speculative mode).
+    pub(crate) fn explore_serial(&mut self, strategy: &mut dyn Strategy) -> SymbolicSummary {
         let start = Instant::now();
         let solver_before = self.solver.stats();
         let mut run = Run {
@@ -419,10 +486,94 @@ fn symbolic_name(program_name: &str) -> String {
 /// path condition (pushed onto the incremental solver before the
 /// feasibility check), and whether it came from a symbolic fork (a choice
 /// point).
-struct Succ {
-    state: SymState,
-    new_lit: Option<SymExpr>,
-    forked: bool,
+pub(crate) struct Succ {
+    pub(crate) state: SymState,
+    pub(crate) new_lit: Option<SymExpr>,
+    pub(crate) forked: bool,
+}
+
+/// The feasible-successor candidates of `state`, in the order Fig. 6
+/// explores them (true branch before false branch). Shared by the serial
+/// DFS and the parallel frontier workers so both step states identically.
+/// `infeasible` is bumped when a concretely false `assume` kills the path.
+pub(crate) fn successor_candidates(cfg: &Cfg, state: &SymState, infeasible: &mut u64) -> Vec<Succ> {
+    let plain = |state: SymState| Succ {
+        state,
+        new_lit: None,
+        forked: false,
+    };
+    let node = cfg.node(state.node);
+    match &node.kind {
+        NodeKind::Begin | NodeKind::Nop => cfg
+            .succs(state.node)
+            .iter()
+            .map(|&(succ, _)| plain(state.step_to(succ)))
+            .collect(),
+        NodeKind::Assign { var, value } => {
+            let value = eval_symbolic(value, &state.env)
+                .expect("type-checked program has no unbound variables");
+            let succ = cfg.succs(state.node)[0].0;
+            let mut next = state.step_to(succ);
+            next.env = state.env.with(var.clone(), value);
+            vec![plain(next)]
+        }
+        NodeKind::Assume { cond } => {
+            let cond = eval_symbolic(cond, &state.env)
+                .expect("type-checked program has no unbound variables");
+            match cond.as_bool() {
+                Some(true) => {
+                    let succ = cfg.succs(state.node)[0].0;
+                    vec![plain(state.step_to(succ))]
+                }
+                Some(false) => {
+                    *infeasible += 1;
+                    Vec::new()
+                }
+                None => {
+                    let succ = cfg.succs(state.node)[0].0;
+                    let mut next = state.step_to(succ);
+                    next.pc = state.pc.and(cond.clone());
+                    vec![Succ {
+                        state: next,
+                        new_lit: Some(cond),
+                        forked: false,
+                    }]
+                }
+            }
+        }
+        NodeKind::Branch { cond } => {
+            let cond = eval_symbolic(cond, &state.env)
+                .expect("type-checked program has no unbound variables");
+            let true_succ = cfg.true_succ(state.node);
+            let false_succ = cfg.false_succ(state.node);
+            match cond.as_bool() {
+                // A concrete condition is not a choice point: SPF
+                // would simply continue executing.
+                Some(true) => vec![plain(state.step_to(true_succ))],
+                Some(false) => vec![plain(state.step_to(false_succ))],
+                None => {
+                    let negated = SymExpr::not(cond.clone());
+                    let mut taken = state.step_to(true_succ);
+                    taken.pc = state.pc.and(cond.clone());
+                    let mut not_taken = state.step_to(false_succ);
+                    not_taken.pc = state.pc.and(negated.clone());
+                    vec![
+                        Succ {
+                            state: taken,
+                            new_lit: Some(cond),
+                            forked: true,
+                        },
+                        Succ {
+                            state: not_taken,
+                            new_lit: Some(negated),
+                            forked: true,
+                        },
+                    ]
+                }
+            }
+        }
+        NodeKind::End | NodeKind::Error { .. } => Vec::new(),
+    }
 }
 
 struct Frame {
@@ -620,84 +771,7 @@ impl Run<'_> {
     /// The feasible-successor candidates of a state, in the order Fig. 6
     /// explores them (true branch before false branch).
     fn successors(&mut self, state: &SymState) -> Vec<Succ> {
-        let plain = |state: SymState| Succ {
-            state,
-            new_lit: None,
-            forked: false,
-        };
-        let node = self.cfg.node(state.node);
-        match &node.kind {
-            NodeKind::Begin | NodeKind::Nop => self
-                .cfg
-                .succs(state.node)
-                .iter()
-                .map(|&(succ, _)| plain(state.step_to(succ)))
-                .collect(),
-            NodeKind::Assign { var, value } => {
-                let value = eval_symbolic(value, &state.env)
-                    .expect("type-checked program has no unbound variables");
-                let succ = self.cfg.succs(state.node)[0].0;
-                let mut next = state.step_to(succ);
-                next.env = state.env.with(var.clone(), value);
-                vec![plain(next)]
-            }
-            NodeKind::Assume { cond } => {
-                let cond = eval_symbolic(cond, &state.env)
-                    .expect("type-checked program has no unbound variables");
-                match cond.as_bool() {
-                    Some(true) => {
-                        let succ = self.cfg.succs(state.node)[0].0;
-                        vec![plain(state.step_to(succ))]
-                    }
-                    Some(false) => {
-                        self.stats.infeasible += 1;
-                        Vec::new()
-                    }
-                    None => {
-                        let succ = self.cfg.succs(state.node)[0].0;
-                        let mut next = state.step_to(succ);
-                        next.pc = state.pc.and(cond.clone());
-                        vec![Succ {
-                            state: next,
-                            new_lit: Some(cond),
-                            forked: false,
-                        }]
-                    }
-                }
-            }
-            NodeKind::Branch { cond } => {
-                let cond = eval_symbolic(cond, &state.env)
-                    .expect("type-checked program has no unbound variables");
-                let true_succ = self.cfg.true_succ(state.node);
-                let false_succ = self.cfg.false_succ(state.node);
-                match cond.as_bool() {
-                    // A concrete condition is not a choice point: SPF
-                    // would simply continue executing.
-                    Some(true) => vec![plain(state.step_to(true_succ))],
-                    Some(false) => vec![plain(state.step_to(false_succ))],
-                    None => {
-                        let negated = SymExpr::not(cond.clone());
-                        let mut taken = state.step_to(true_succ);
-                        taken.pc = state.pc.and(cond.clone());
-                        let mut not_taken = state.step_to(false_succ);
-                        not_taken.pc = state.pc.and(negated.clone());
-                        vec![
-                            Succ {
-                                state: taken,
-                                new_lit: Some(cond),
-                                forked: true,
-                            },
-                            Succ {
-                                state: not_taken,
-                                new_lit: Some(negated),
-                                forked: true,
-                            },
-                        ]
-                    }
-                }
-            }
-            NodeKind::End | NodeKind::Error { .. } => Vec::new(),
-        }
+        successor_candidates(self.cfg, state, &mut self.stats.infeasible)
     }
 }
 
@@ -968,13 +1042,22 @@ mod tests {
 
     #[test]
     fn solver_stats_expose_incremental_activity() {
-        let summary = run_full(
+        // Pinned to the serial engine: these counters describe the serial
+        // check sequence (parallel workers add replay checks).
+        let program = parse_program(
             "proc f(int x, int y) {
                if (x > 0) { skip; }
                if (y > 0) { skip; }
              }",
-            "f",
-        );
+        )
+        .unwrap();
+        dise_ir::check_program(&program).unwrap();
+        let config = ExecConfig {
+            jobs: 1,
+            ..ExecConfig::default()
+        };
+        let mut executor = Executor::new(&program, "f", config).unwrap();
+        let summary = executor.explore(&mut FullExploration);
         let solver = &summary.stats().solver;
         // Every feasibility check went through the incremental tier; there
         // is nothing disjunctive here, so no monolithic fallback.
@@ -994,7 +1077,13 @@ mod tests {
              }",
         )
         .unwrap();
-        let mut executor = Executor::new(&program, "f", ExecConfig::default()).unwrap();
+        // Pinned to the serial engine: the cross-run trie arithmetic below
+        // describes the serial check sequence.
+        let config = ExecConfig {
+            jobs: 1,
+            ..ExecConfig::default()
+        };
+        let mut executor = Executor::new(&program, "f", config).unwrap();
         let first = executor.explore(&mut FullExploration);
         let second = executor.explore(&mut FullExploration);
         assert_eq!(second.pc_count(), first.pc_count());

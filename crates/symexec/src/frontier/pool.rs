@@ -1,0 +1,232 @@
+//! The work-stealing scheduler substrate: per-worker deques of pending
+//! branch arms, a global outstanding-task count for termination, and the
+//! shared state budget that implements [`ExecConfig::max_states`] across
+//! workers.
+//!
+//! Each worker owns one deque. It pushes newly discovered branch arms to
+//! the *back* and pops its own work from the back (LIFO — depth-first, so
+//! the owner keeps long common solver prefixes with its next task). Idle
+//! workers steal from the *front* of a victim's deque (FIFO — the
+//! shallowest pending arm, which roots the largest unexplored subtree and
+//! amortizes the thief's prefix replay).
+//!
+//! [`ExecConfig::max_states`]: crate::ExecConfig::max_states
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use dise_cfg::NodeId;
+use dise_solver::SymExpr;
+
+use crate::state::SymState;
+
+/// One pending branch arm: everything a (possibly different) worker needs
+/// to continue the exploration from this point.
+pub(crate) struct Task {
+    /// Successor-index path from the exploration root to this arm; sorting
+    /// recorded paths by this key reconstructs the serial emission order.
+    pub pos: Vec<u32>,
+    /// The successor state to enter (environment and path condition
+    /// already extended).
+    pub state: SymState,
+    /// The branch literal this arm adds (pushed and checked before entry).
+    pub new_lit: Option<SymExpr>,
+    /// Whether the arm came from a symbolic two-way fork (a choice point);
+    /// drives [`FilterScope::ChoicePoints`](crate::FilterScope).
+    pub forked: bool,
+    /// The literals on the path *above* this arm, root-first. A thief
+    /// replays them (push + check, mostly trie hits) to rebuild its solver
+    /// stack.
+    pub prefix: Vec<SymExpr>,
+    /// Node trace up to but excluding `state` (empty when tracing is off).
+    pub trace: Vec<NodeId>,
+    /// True only for the initial task: the root state is entered
+    /// unconditionally, exactly like the serial engine's.
+    pub root: bool,
+}
+
+/// The shared scheduler state. See the [module docs](self).
+pub(crate) struct Pool {
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks enqueued or executing, not yet finished; zero ⇒ done.
+    outstanding: AtomicUsize,
+    /// Set when the global state budget is exhausted: workers drain out.
+    truncated: AtomicBool,
+    /// States entered across all workers.
+    states: AtomicU64,
+    max_states: Option<u64>,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    tasks_created: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl Pool {
+    pub fn new(workers: usize, max_states: Option<u64>) -> Pool {
+        Pool {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            outstanding: AtomicUsize::new(0),
+            truncated: AtomicBool::new(false),
+            states: AtomicU64::new(0),
+            max_states,
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            tasks_created: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues `task` on `owner`'s deque.
+    pub fn spawn(&self, owner: usize, task: Task) {
+        self.tasks_created.fetch_add(1, Ordering::Relaxed);
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.queues[owner]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+        self.wake.notify_one();
+    }
+
+    /// Marks one task finished (its spine completed or was aborted).
+    pub fn finish(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.wake.notify_all();
+        }
+    }
+
+    /// The next task for worker `me`: own deque first (LIFO), then a
+    /// round-robin steal (FIFO). Returns `None` when the exploration is
+    /// complete or aborted.
+    pub fn next(&self, me: usize) -> Option<Task> {
+        loop {
+            if self.truncated.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(task) = self.queues[me]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+            {
+                return Some(task);
+            }
+            let n = self.queues.len();
+            for offset in 1..n {
+                let victim = (me + offset) % n;
+                if let Some(task) = self.queues[victim]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_front()
+                {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(task);
+                }
+            }
+            if self.outstanding.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            // Bounded wait instead of a bare condvar wait: no missed-wakeup
+            // hazard, and the timeout doubles as the poll interval for
+            // work that appears between the scan and the sleep.
+            let guard = self.sleep.lock().unwrap_or_else(|e| e.into_inner());
+            match self.wake.wait_timeout(guard, Duration::from_micros(200)) {
+                Ok((guard, _)) => drop(guard),
+                Err(poisoned) => drop(poisoned.into_inner()),
+            }
+        }
+    }
+
+    /// Acquires one unit of the global state budget. Mirrors the serial
+    /// semantics: the state that *reaches* the cap is still entered (and
+    /// flags truncation); states beyond it are refused.
+    pub fn try_enter_state(&self) -> bool {
+        let entered = self.states.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(max) = self.max_states {
+            if entered >= max {
+                self.truncated.store(true, Ordering::Relaxed);
+                self.wake.notify_all();
+            }
+            if entered > max {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the state budget aborted the exploration.
+    pub fn truncated(&self) -> bool {
+        self.truncated.load(Ordering::Relaxed)
+    }
+
+    pub fn tasks_created(&self) -> u64 {
+        self.tasks_created.load(Ordering::Relaxed)
+    }
+
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Env;
+
+    fn dummy_task(pos: Vec<u32>) -> Task {
+        Task {
+            pos,
+            state: SymState::initial(NodeId(0), Env::new()),
+            new_lit: None,
+            forked: false,
+            prefix: Vec::new(),
+            trace: Vec::new(),
+            root: false,
+        }
+    }
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let pool = Pool::new(2, None);
+        pool.spawn(0, dummy_task(vec![1]));
+        pool.spawn(0, dummy_task(vec![2]));
+        pool.spawn(0, dummy_task(vec![3]));
+        // Owner takes the most recent (deepest) arm.
+        assert_eq!(pool.next(0).unwrap().pos, vec![3]);
+        // A thief takes the oldest (shallowest) arm.
+        assert_eq!(pool.next(1).unwrap().pos, vec![1]);
+        assert_eq!(pool.steals(), 1);
+        assert_eq!(pool.next(0).unwrap().pos, vec![2]);
+        // All three still outstanding until finished.
+        pool.finish();
+        pool.finish();
+        pool.finish();
+        assert!(pool.next(0).is_none());
+        assert!(pool.next(1).is_none());
+    }
+
+    #[test]
+    fn state_budget_mirrors_serial_truncation() {
+        let pool = Pool::new(1, Some(3));
+        assert!(pool.try_enter_state());
+        assert!(pool.try_enter_state());
+        assert!(!pool.truncated());
+        // The third state reaches the cap: entered, but truncation flags.
+        assert!(pool.try_enter_state());
+        assert!(pool.truncated());
+        // Beyond the cap: refused.
+        assert!(!pool.try_enter_state());
+        // A truncated pool hands out no more work.
+        pool.spawn(0, dummy_task(vec![0]));
+        assert!(pool.next(0).is_none());
+    }
+
+    #[test]
+    fn unbounded_budget_never_truncates() {
+        let pool = Pool::new(1, None);
+        for _ in 0..100 {
+            assert!(pool.try_enter_state());
+        }
+        assert!(!pool.truncated());
+    }
+}

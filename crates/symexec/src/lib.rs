@@ -55,6 +55,7 @@ pub mod concrete;
 pub mod env;
 pub mod eval;
 pub mod executor;
+pub mod frontier;
 pub mod state;
 pub mod tree;
 
@@ -65,5 +66,6 @@ pub use executor::{
     ExecConfig, ExecError, ExecStats, Executor, FilterScope, FullExploration, PathOutcome,
     PathSummary, Strategy, SymbolicSummary,
 };
+pub use frontier::FrontierStats;
 pub use state::SymState;
 pub use tree::ExecTree;
