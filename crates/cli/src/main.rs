@@ -68,7 +68,7 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
         }
     }
     match positional.first().copied() {
-        Some("run") => run_command(&positional[1..], &flags, &args),
+        Some("run") => run_command(&args),
         Some("tests") => tests_command(&positional[1..]),
         Some("inspect") => inspect_command(&positional[1..], &flags),
         Some("witness") => witness_command(&positional[1..]),
@@ -98,26 +98,49 @@ fn load(path: &str) -> Result<Program, String> {
     Ok(program)
 }
 
-/// Parses `--jobs N` from the raw argument list (the value is a bare
-/// token, so it also lands in the positional list; callers must ignore
-/// positionals beyond their own).
-fn parse_jobs(args: &[String]) -> Result<usize, String> {
-    match args.iter().position(|a| a == "--jobs") {
-        None => Ok(dise_symexec::ExecConfig::default().jobs),
-        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
-            Some(Ok(n)) if n >= 1 => Ok(n),
-            _ => Err("--jobs expects a worker count of at least 1".to_string()),
-        },
+fn parse_jobs_value(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err("--jobs expects a worker count of at least 1".to_string()),
     }
 }
 
-fn run_command(positional: &[&str], flags: &[&str], args: &[String]) -> Result<(), String> {
-    let [base_path, mod_path, proc_name, ..] = positional else {
+/// `run` parses its own arguments: `--jobs` takes a value (`--jobs N` or
+/// `--jobs=N`), so the generic flag/positional split of [`dispatch`]
+/// would misfile the value as a positional; unknown flags and stray
+/// positionals are rejected instead of silently ignored.
+fn run_command(args: &[String]) -> Result<(), String> {
+    const KNOWN_FLAGS: [&str; 4] = ["--full", "--trace", "--simplify", "--reaching-defs"];
+    let mut jobs = dise_symexec::ExecConfig::default().jobs;
+    let mut flags: Vec<&str> = Vec::new();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut seen_command = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix("--jobs=") {
+            jobs = parse_jobs_value(value)?;
+        } else if arg == "--jobs" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--jobs expects a worker count of at least 1".to_string())?;
+            jobs = parse_jobs_value(value)?;
+        } else if arg.starts_with("--") {
+            if !KNOWN_FLAGS.contains(&arg.as_str()) {
+                return Err(format!("unknown flag `{arg}` for `run`\n{USAGE}"));
+            }
+            flags.push(arg.as_str());
+        } else if !seen_command && arg == "run" {
+            seen_command = true;
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    let flags = &flags;
+    let [base_path, mod_path, proc_name] = positional[..] else {
         return Err(USAGE.to_string());
     };
     let base = load(base_path)?;
     let modified = load(mod_path)?;
-    let jobs = parse_jobs(args)?;
     let config = DiseConfig {
         exec: dise_symexec::ExecConfig {
             jobs,

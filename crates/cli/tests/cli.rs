@@ -125,18 +125,48 @@ fn run_with_jobs_matches_serial_output() {
 }
 
 #[test]
-fn run_rejects_a_bad_jobs_value() {
+fn run_accepts_the_equals_form_of_jobs() {
     let fx = fixture();
     let out = dise(&[
         "run",
         fx.base.to_str().unwrap(),
         fx.modified.to_str().unwrap(),
         "f",
-        "--jobs",
-        "0",
+        "--jobs=4",
     ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("affected path conditions"));
+}
+
+#[test]
+fn run_rejects_a_bad_jobs_value() {
+    let fx = fixture();
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+    for bad in [
+        &["run", base, modified, "f", "--jobs", "0"][..],
+        &["run", base, modified, "f", "--jobs"][..],
+        &["run", base, modified, "f", "--jobs=zero"][..],
+    ] {
+        let out = dise(bad);
+        assert!(!out.status.success(), "{bad:?}");
+        assert!(stderr(&out).contains("--jobs"), "{}", stderr(&out));
+    }
+}
+
+#[test]
+fn run_rejects_unknown_flags_and_stray_positionals() {
+    let fx = fixture();
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+    // A typo'd flag must not be silently ignored.
+    let out = dise(&["run", base, modified, "f", "--job", "4"]);
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("--jobs"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("unknown flag"), "{}", stderr(&out));
+    // A stray positional must trigger the usage error.
+    let out = dise(&["run", base, modified, "f", "extra"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
 }
 
 #[test]

@@ -492,6 +492,40 @@ pub(crate) struct Succ {
     pub(crate) forked: bool,
 }
 
+/// How a just-entered state is classified, in the order Fig. 6 fixes:
+/// error and depth-bound terminate *before* the strategy is notified
+/// (line 5), the exit node notifies and completes, everything else is an
+/// interior state with successors. Shared by the serial DFS and the
+/// parallel frontier workers so the two engines classify states
+/// identically by construction.
+pub(crate) enum EntryKind {
+    /// A failed assertion: terminate, never notify the strategy.
+    Error(String),
+    /// The depth bound cut the path off: terminate, never notify.
+    DepthBounded,
+    /// The procedure exit: notify, then complete the path.
+    Completed,
+    /// An interior state: notify, then generate successors.
+    Interior,
+}
+
+/// Classifies a just-entered state. See [`EntryKind`].
+pub(crate) fn classify_entry(cfg: &Cfg, config: &ExecConfig, state: &SymState) -> EntryKind {
+    let node = cfg.node(state.node);
+    if let NodeKind::Error { message } = &node.kind {
+        return EntryKind::Error(message.clone());
+    }
+    if let Some(bound) = config.depth_bound {
+        if state.depth >= bound && !matches!(node.kind, NodeKind::End) {
+            return EntryKind::DepthBounded;
+        }
+    }
+    if matches!(node.kind, NodeKind::End) {
+        return EntryKind::Completed;
+    }
+    EntryKind::Interior
+}
+
 /// The feasible-successor candidates of `state`, in the order Fig. 6
 /// explores them (true branch before false branch). Shared by the serial
 /// DFS and the parallel frontier workers so both step states identically.
@@ -700,23 +734,21 @@ impl Run<'_> {
             .as_mut()
             .map(|tree| tree.record(parent_tree, &state, self.cfg));
 
-        let node = self.cfg.node(state.node);
-
         // Fig. 6 line 5: depth-bounded and error states return *before*
         // `UpdateExploredSet` runs — they never notify the strategy.
-        if let NodeKind::Error { message } = &node.kind {
-            self.stats.paths_error += 1;
-            self.record_path(&state, PathOutcome::Error(message.clone()));
-            return Frame {
-                node: state.node,
-                successors: Vec::new(),
-                tree_index,
-                notified: false,
-                pushed: false,
-            };
-        }
-        if let Some(bound) = self.config.depth_bound {
-            if state.depth >= bound && !matches!(node.kind, NodeKind::End) {
+        match classify_entry(self.cfg, self.config, &state) {
+            EntryKind::Error(message) => {
+                self.stats.paths_error += 1;
+                self.record_path(&state, PathOutcome::Error(message));
+                return Frame {
+                    node: state.node,
+                    successors: Vec::new(),
+                    tree_index,
+                    notified: false,
+                    pushed: false,
+                };
+            }
+            EntryKind::DepthBounded => {
                 self.stats.paths_depth_bounded += 1;
                 self.record_path(&state, PathOutcome::DepthBounded);
                 return Frame {
@@ -727,20 +759,21 @@ impl Run<'_> {
                     pushed: false,
                 };
             }
+            EntryKind::Completed => {
+                self.strategy.on_enter(state.node);
+                self.stats.paths_completed += 1;
+                self.record_path(&state, PathOutcome::Completed);
+                return Frame {
+                    node: state.node,
+                    successors: Vec::new(),
+                    tree_index,
+                    notified: true,
+                    pushed: false,
+                };
+            }
+            EntryKind::Interior => {}
         }
-
         self.strategy.on_enter(state.node);
-        if matches!(node.kind, NodeKind::End) {
-            self.stats.paths_completed += 1;
-            self.record_path(&state, PathOutcome::Completed);
-            return Frame {
-                node: state.node,
-                successors: Vec::new(),
-                tree_index,
-                notified: true,
-                pushed: false,
-            };
-        }
 
         // Successors are stored reversed so the DFS can take ownership of
         // the next candidate with a pop() instead of a clone.

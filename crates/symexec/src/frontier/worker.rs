@@ -11,12 +11,12 @@
 //! as stealable tasks, so a task's own walk is a single spine producing at
 //! most one recorded path.
 
-use dise_cfg::{Cfg, NodeKind};
+use dise_cfg::Cfg;
 use dise_solver::{IncrementalSolver, SatResult, SolverStats, SymExpr};
 
 use crate::executor::{
-    successor_candidates, ExecConfig, ExecStats, FilterScope, PathOutcome, PathSummary, Strategy,
-    Succ,
+    classify_entry, successor_candidates, EntryKind, ExecConfig, ExecStats, FilterScope,
+    PathOutcome, PathSummary, Strategy, Succ,
 };
 use crate::frontier::pool::{Pool, Task};
 use crate::state::SymState;
@@ -172,26 +172,30 @@ impl Worker<'_> {
             if self.recording() && self.config.record_traces {
                 trace.push(state.node);
             }
-            let node = self.cfg.node(state.node);
-            if let NodeKind::Error { message } = &node.kind {
-                self.stats.paths_error += 1;
-                self.record(&pos, &state, PathOutcome::Error(message.clone()), &trace);
-                break;
-            }
-            if let Some(bound) = self.config.depth_bound {
-                if state.depth >= bound && !matches!(node.kind, NodeKind::End) {
+            // Terminal classification shared with the serial engine
+            // (error/depth-bound never notify the strategy; End does).
+            match classify_entry(self.cfg, self.config, &state) {
+                EntryKind::Error(message) => {
+                    self.stats.paths_error += 1;
+                    self.record(&pos, &state, PathOutcome::Error(message), &trace);
+                    break;
+                }
+                EntryKind::DepthBounded => {
                     self.stats.paths_depth_bounded += 1;
                     self.record(&pos, &state, PathOutcome::DepthBounded, &trace);
                     break;
                 }
+                EntryKind::Completed => {
+                    self.strategy.on_enter(state.node);
+                    entered.push(state.node);
+                    self.stats.paths_completed += 1;
+                    self.record(&pos, &state, PathOutcome::Completed, &trace);
+                    break;
+                }
+                EntryKind::Interior => {}
             }
             self.strategy.on_enter(state.node);
             entered.push(state.node);
-            if matches!(node.kind, NodeKind::End) {
-                self.stats.paths_completed += 1;
-                self.record(&pos, &state, PathOutcome::Completed, &trace);
-                break;
-            }
 
             let mut succs = successor_candidates(self.cfg, &state, &mut self.stats.infeasible);
             if succs.is_empty() {
