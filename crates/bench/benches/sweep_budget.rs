@@ -1,0 +1,227 @@
+//! Speculative-sweep budgeting benchmarks: unbudgeted vs cost-model
+//! (`auto`) sweeps for parallel directed runs on the WBS / OAE / ASW
+//! corpus.
+//!
+//! Besides criterion-style timings, this binary records the acceptance
+//! measurement to `BENCH_sweep_budget.json` at the workspace root. For
+//! every case it runs the directed pipeline serially (`jobs = 1`), in
+//! parallel with an unlimited sweep (`jobs = 4 --sweep-budget unlimited`,
+//! the PR 2 behaviour), and in parallel with the default cost-model
+//! budget (`--sweep-budget auto`), then records:
+//!
+//! * `speculative_solves` / `speculative_states` for both sweeps — the
+//!   budgeted sweep must never solve more than the unbudgeted one, and on
+//!   the heavily-pruned OAE leaf-write cases it must solve at least 2×
+//!   less;
+//! * `trie_answers_consumed` — how much of each sweep the authoritative
+//!   pass actually used;
+//! * a determinism check: paths, outcomes, and structural counters of
+//!   both parallel runs must be byte-identical to the serial run.
+
+use criterion::{criterion_group, Criterion};
+use dise_artifacts::{asw, oae, wbs, Artifact};
+use dise_core::dise::{run_dise, DiseConfig, DiseResult};
+use dise_ir::Program;
+use dise_symexec::{ExecConfig, SweepBudget, SymbolicSummary};
+use std::hint::black_box;
+
+fn config(jobs: usize, sweep_budget: SweepBudget) -> DiseConfig {
+    DiseConfig {
+        exec: ExecConfig {
+            jobs,
+            sweep_budget,
+            ..ExecConfig::default()
+        },
+        ..DiseConfig::default()
+    }
+}
+
+fn run(base: &Program, modified: &Program, proc_name: &str, cfg: &DiseConfig) -> DiseResult {
+    run_dise(base, modified, proc_name, cfg).expect("artifact pipeline runs")
+}
+
+/// Path-level identity (the determinism contract; counters may differ).
+fn identical(a: &SymbolicSummary, b: &SymbolicSummary) -> bool {
+    a.paths().len() == b.paths().len()
+        && a.paths().iter().zip(b.paths()).all(|(x, y)| {
+            x.pc == y.pc
+                && x.outcome == y.outcome
+                && x.final_env == y.final_env
+                && x.trace == y.trace
+        })
+        && a.stats().states_explored == b.stats().states_explored
+        && a.stats().pruned == b.stats().pruned
+        && a.stats().infeasible == b.stats().infeasible
+}
+
+struct Case {
+    artifact: Artifact,
+    version: &'static str,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            artifact: wbs::artifact(),
+            version: "v2",
+        },
+        Case {
+            artifact: wbs::artifact(),
+            version: "v4",
+        },
+        Case {
+            artifact: oae::artifact(),
+            version: "v2",
+        },
+        Case {
+            artifact: oae::artifact(),
+            version: "v4",
+        },
+        Case {
+            artifact: asw::artifact(),
+            version: "v2",
+        },
+        Case {
+            artifact: asw::artifact(),
+            version: "v8",
+        },
+    ]
+}
+
+fn benches(c: &mut Criterion) {
+    let artifact = oae::artifact();
+    let version = artifact.version("v4").expect("OAE v4 exists").clone();
+    c.bench_function("sweep_budget/oae_v4_unlimited_jobs4", |b| {
+        b.iter(|| {
+            let cfg = config(4, SweepBudget::Unlimited);
+            black_box(
+                run(&artifact.base, &version.program, artifact.proc_name, &cfg)
+                    .summary
+                    .pc_count(),
+            )
+        })
+    });
+    c.bench_function("sweep_budget/oae_v4_auto_jobs4", |b| {
+        b.iter(|| {
+            let cfg = config(4, SweepBudget::Auto);
+            black_box(
+                run(&artifact.base, &version.program, artifact.proc_name, &cfg)
+                    .summary
+                    .pc_count(),
+            )
+        })
+    });
+}
+
+fn record_budget_comparison() {
+    let mut rows = Vec::new();
+    let mut all_deterministic = true;
+    let mut all_bounded = true;
+    let mut oae_reductions = Vec::new();
+
+    for case in cases() {
+        let Case { artifact, version } = &case;
+        let version = artifact
+            .version(version)
+            .unwrap_or_else(|| panic!("{} {version} exists", artifact.name));
+        let serial = run(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &config(1, SweepBudget::Auto),
+        );
+        let unbudgeted = run(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &config(4, SweepBudget::Unlimited),
+        );
+        let budgeted = run(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &config(4, SweepBudget::Auto),
+        );
+
+        let deterministic = identical(&serial.summary, &unbudgeted.summary)
+            && identical(&serial.summary, &budgeted.summary);
+        all_deterministic &= deterministic;
+        let un = unbudgeted.summary.stats().frontier;
+        let bu = budgeted.summary.stats().frontier;
+        all_bounded &= bu.speculative_solves <= un.speculative_solves;
+        let reduction = un.speculative_solves as f64 / (bu.speculative_solves.max(1)) as f64;
+        if artifact.name == "OAE" {
+            oae_reductions.push(reduction);
+        }
+
+        println!(
+            "{} {}: affected {}, solves {} -> {} ({reduction:.2}x), states {} -> {}, \
+             consumed {} -> {}, budget {} (deterministic: {deterministic})",
+            artifact.name,
+            version.id,
+            serial.affected_nodes,
+            un.speculative_solves,
+            bu.speculative_solves,
+            un.speculative_states,
+            bu.speculative_states,
+            un.trie_answers_consumed,
+            bu.trie_answers_consumed,
+            bu.sweep_budget,
+        );
+        rows.push(format!(
+            "    {{\n      \"artifact\": \"{}\",\n      \"version\": \"{}\",\n      \
+             \"affected_nodes\": {},\n      \"affected_pcs\": {},\n      \
+             \"unbudgeted\": {{\"speculative_solves\": {}, \"speculative_states\": {}, \
+             \"trie_answers_consumed\": {}}},\n      \
+             \"budgeted\": {{\"speculative_solves\": {}, \"speculative_states\": {}, \
+             \"trie_answers_consumed\": {}, \"sweep_budget\": {}, \"sweep_exhausted\": {}}},\n      \
+             \"solve_reduction\": {reduction:.2},\n      \"deterministic\": {deterministic}\n    }}",
+            artifact.name,
+            version.id,
+            serial.affected_nodes,
+            serial.summary.pc_count(),
+            un.speculative_solves,
+            un.speculative_states,
+            un.trie_answers_consumed,
+            bu.speculative_solves,
+            bu.speculative_states,
+            bu.trie_answers_consumed,
+            bu.sweep_budget,
+            bu.sweep_exhausted,
+        ));
+    }
+
+    let oae_min_reduction = oae_reductions.iter().cloned().fold(f64::INFINITY, f64::min);
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweep_budget_vs_unbudgeted\",\n  \
+         \"jobs\": 4,\n  \"default_budget\": \"auto\",\n  \
+         \"cases\": [\n{}\n  ],\n  \
+         \"budgeted_never_solves_more\": {all_bounded},\n  \
+         \"oae_min_solve_reduction\": {oae_min_reduction:.2},\n  \
+         \"all_deterministic\": {all_deterministic},\n  \
+         \"note\": \"speculative_solves = sweep checks that ran a decision pipeline; \
+         the auto budget grants tokens proportional to the affected-node count, so \
+         heavily-pruned changes (OAE leaf writes) stop sweeping subtrees the \
+         authoritative directed pass never consults\"\n}}\n",
+        rows.join(",\n"),
+    );
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => format!("{dir}/../../BENCH_sweep_budget.json"),
+        Err(_) => "BENCH_sweep_budget.json".to_string(),
+    };
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    println!(
+        "sweep budgeting: budgeted <= unbudgeted solves everywhere: {all_bounded}; \
+         OAE min reduction {oae_min_reduction:.2}x; deterministic: {all_deterministic}"
+    );
+}
+
+criterion_group!(sweep_budget, benches);
+
+fn main() {
+    sweep_budget();
+    record_budget_comparison();
+}

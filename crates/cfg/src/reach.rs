@@ -10,6 +10,12 @@
 //!
 //! The closure is stored as one bitset row per node, so queries are O(1)
 //! and construction is O(V·E/64) — negligible for procedure-sized CFGs.
+//!
+//! [`DistanceTo`] is the quantitative companion used by the speculative
+//! sweep's cost model: instead of the boolean "can `n` reach a target?" it
+//! precomputes *how far* the nearest target is (a multi-source backward
+//! BFS over CFG edges), so the frontier scheduler can prefer branch arms
+//! close to the affected region when its token budget is limited.
 
 use crate::build::Cfg;
 use crate::graph::NodeId;
@@ -99,6 +105,73 @@ impl Reachability {
     }
 }
 
+/// Minimal CFG-edge distance from every node to the nearest node of a
+/// target set (a multi-source backward BFS over predecessor edges).
+///
+/// A target's own distance is `0` (matching the reflexivity of
+/// [`Reachability`]); nodes from which no target is reachable report
+/// [`DistanceTo::UNREACHABLE`]. The directed-mode speculative sweep uses
+/// this as its arm-ordering key: low distance ⇒ the arm's feasibility
+/// checks are the ones the authoritative pass is most likely to consume.
+#[derive(Debug, Clone)]
+pub struct DistanceTo {
+    dist: Vec<u32>,
+}
+
+impl DistanceTo {
+    /// Distance reported for nodes that cannot reach any target.
+    pub const UNREACHABLE: u32 = u32::MAX;
+
+    /// Computes distances to the nearest node of `targets` on `cfg`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dise_cfg::{build_cfg, DistanceTo};
+    /// use dise_ir::parse_program;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = parse_program("proc f(int x) { x = 1; x = 2; }")?;
+    /// let cfg = build_cfg(&p.procs[0]);
+    /// let dist = DistanceTo::new(&cfg, [cfg.end()]);
+    /// assert_eq!(dist.get(cfg.end()), 0);
+    /// assert!(dist.get(cfg.begin()) > 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(cfg: &Cfg, targets: impl IntoIterator<Item = NodeId>) -> DistanceTo {
+        let mut dist = vec![Self::UNREACHABLE; cfg.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for target in targets {
+            if dist[target.index()] != 0 {
+                dist[target.index()] = 0;
+                queue.push_back(target);
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            let next = dist[node.index()] + 1;
+            for &pred in cfg.graph().preds(node) {
+                if next < dist[pred.index()] {
+                    dist[pred.index()] = next;
+                    queue.push_back(pred);
+                }
+            }
+        }
+        DistanceTo { dist }
+    }
+
+    /// The distance from `n` to its nearest target
+    /// ([`DistanceTo::UNREACHABLE`] when no target is reachable).
+    pub fn get(&self, n: NodeId) -> u32 {
+        self.dist[n.index()]
+    }
+
+    /// The raw distance vector, indexed by [`NodeId::index`].
+    pub fn into_vec(self) -> Vec<u32> {
+        self.dist
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +249,60 @@ mod tests {
         assert_eq!(from_begin.len(), cfg.len());
         let from_end: Vec<_> = reach.reachable_from(cfg.end()).collect();
         assert_eq!(from_end, vec![cfg.end()]);
+    }
+
+    #[test]
+    fn distance_matches_branch_structure() {
+        let (cfg, reach) =
+            setup("proc f(int x) {\n  if (x > 0) {\n    x = 1;\n  } else {\n    x = 2;\n  }\n}");
+        let branch = cfg.cond_nodes().next().unwrap();
+        let t = cfg.true_succ(branch);
+        let dist = DistanceTo::new(&cfg, [t]);
+        assert_eq!(dist.get(t), 0);
+        assert_eq!(dist.get(branch), 1);
+        // The false arm cannot reach the true arm.
+        assert_eq!(dist.get(cfg.false_succ(branch)), DistanceTo::UNREACHABLE);
+        // Finite distance agrees with boolean reachability on every node.
+        for n in cfg.node_ids() {
+            assert_eq!(
+                dist.get(n) != DistanceTo::UNREACHABLE,
+                reach.is_cfg_path(n, t),
+                "distance/reachability mismatch at {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_takes_the_nearest_of_several_targets() {
+        let (cfg, _) = setup("proc f(int x) { x = 1; x = 2; x = 3; }");
+        let writes: Vec<_> = cfg.write_nodes().collect();
+        let dist = DistanceTo::new(&cfg, [writes[0], writes[2]]);
+        assert_eq!(dist.get(writes[0]), 0);
+        assert_eq!(dist.get(writes[2]), 0);
+        // The middle write's nearest target is the one just below it.
+        assert_eq!(dist.get(writes[1]), 1);
+    }
+
+    #[test]
+    fn distance_through_loop_back_edges() {
+        let (cfg, _) = setup("proc f(int x) { while (x > 0) { x = x - 1; } x = 9; }");
+        let branch = cfg.cond_nodes().next().unwrap();
+        let body = cfg.true_succ(branch);
+        let dist = DistanceTo::new(&cfg, [body]);
+        // The body reaches itself around the loop; the exit write cannot.
+        assert_eq!(dist.get(branch), 1);
+        let after = cfg.false_succ(branch);
+        assert_eq!(dist.get(after), DistanceTo::UNREACHABLE);
+    }
+
+    #[test]
+    fn empty_target_set_is_everywhere_unreachable() {
+        let (cfg, _) = setup("proc f(int x) { x = 1; }");
+        let dist = DistanceTo::new(&cfg, []);
+        for n in cfg.node_ids() {
+            assert_eq!(dist.get(n), DistanceTo::UNREACHABLE);
+        }
+        assert!(DistanceTo::new(&cfg, [cfg.begin()]).into_vec().contains(&0));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `dise` — the command-line front end.
 //!
 //! ```text
-//! dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N]
+//! dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs]
+//!          [--jobs N] [--sweep-budget auto|unlimited|N]
 //!     Diff two program versions and report the affected path conditions.
 //!     --full           also run full symbolic execution for comparison
 //!     --trace          print the Fig. 5(b) and Table 1 style traces
@@ -10,6 +11,12 @@
 //!     --jobs N         explore with N parallel frontier workers (default 1,
 //!                      or the DISE_JOBS environment variable); paths and
 //!                      path conditions are identical to the serial run
+//!     --sweep-budget   token budget for the speculative sweep of parallel
+//!                      directed runs (default `auto`, or the
+//!                      DISE_SWEEP_BUDGET environment variable): `auto`
+//!                      sizes the sweep from the affected cone, `unlimited`
+//!                      sweeps the whole static cone, a count N admits N
+//!                      speculative states, and 0 disables the sweep
 //!
 //! dise tests <base.mj> <modified.mj> <proc>
 //!     Regression-testing mode (§5.2): generate the old suite, select and
@@ -43,7 +50,7 @@
 use std::process::ExitCode;
 
 use dise_core::dise::{run_dise, run_full_on, DiseConfig};
-use dise_core::report::{duration_mmss, solver_stats_line};
+use dise_core::report::{duration_mmss, solver_stats_line, sweep_stats_line};
 use dise_core::DataflowPrecision;
 use dise_ir::Program;
 
@@ -82,7 +89,7 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage:
-  dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N]
+  dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N]
   dise tests <base.mj> <modified.mj> <proc>
   dise inspect <file.mj> <proc> [--dot]
   dise witness <base.mj> <modified.mj> <proc>
@@ -105,13 +112,19 @@ fn parse_jobs_value(value: &str) -> Result<usize, String> {
     }
 }
 
-/// `run` parses its own arguments: `--jobs` takes a value (`--jobs N` or
-/// `--jobs=N`), so the generic flag/positional split of [`dispatch`]
-/// would misfile the value as a positional; unknown flags and stray
-/// positionals are rejected instead of silently ignored.
+fn parse_sweep_budget_value(value: &str) -> Result<dise_symexec::SweepBudget, String> {
+    dise_symexec::SweepBudget::parse(value)
+        .ok_or_else(|| "--sweep-budget expects `auto`, `unlimited`, or a token count".to_string())
+}
+
+/// `run` parses its own arguments: `--jobs` and `--sweep-budget` take a
+/// value (`--jobs N` or `--jobs=N`), so the generic flag/positional split
+/// of [`dispatch`] would misfile the value as a positional; unknown flags
+/// and stray positionals are rejected instead of silently ignored.
 fn run_command(args: &[String]) -> Result<(), String> {
     const KNOWN_FLAGS: [&str; 4] = ["--full", "--trace", "--simplify", "--reaching-defs"];
     let mut jobs = dise_symexec::ExecConfig::default().jobs;
+    let mut sweep_budget = dise_symexec::ExecConfig::default().sweep_budget;
     let mut flags: Vec<&str> = Vec::new();
     let mut positional: Vec<&str> = Vec::new();
     let mut seen_command = false;
@@ -124,6 +137,13 @@ fn run_command(args: &[String]) -> Result<(), String> {
                 .next()
                 .ok_or_else(|| "--jobs expects a worker count of at least 1".to_string())?;
             jobs = parse_jobs_value(value)?;
+        } else if let Some(value) = arg.strip_prefix("--sweep-budget=") {
+            sweep_budget = parse_sweep_budget_value(value)?;
+        } else if arg == "--sweep-budget" {
+            let value = iter.next().ok_or_else(|| {
+                "--sweep-budget expects `auto`, `unlimited`, or a token count".to_string()
+            })?;
+            sweep_budget = parse_sweep_budget_value(value)?;
         } else if arg.starts_with("--") {
             if !KNOWN_FLAGS.contains(&arg.as_str()) {
                 return Err(format!("unknown flag `{arg}` for `run`\n{USAGE}"));
@@ -144,6 +164,7 @@ fn run_command(args: &[String]) -> Result<(), String> {
     let config = DiseConfig {
         exec: dise_symexec::ExecConfig {
             jobs,
+            sweep_budget,
             ..Default::default()
         },
         precision: if flags.contains(&"--reaching-defs") {
@@ -170,6 +191,9 @@ fn run_command(args: &[String]) -> Result<(), String> {
         "solver: {}",
         solver_stats_line(&result.summary.stats().solver)
     );
+    if let Some(line) = sweep_stats_line(&result.summary.stats().frontier) {
+        println!("sweep: {line}");
+    }
     if flags.contains(&"--simplify") {
         for pc in dise_solver::simplify::simplify_pc_strings(result.summary.path_conditions()) {
             println!("  {pc}");

@@ -19,8 +19,8 @@
 
 use std::collections::BTreeSet;
 
-use dise_cfg::{Cfg, NodeId, Reachability, Sccs};
-use dise_symexec::Strategy;
+use dise_cfg::{Cfg, DistanceTo, NodeId, Reachability, Sccs};
+use dise_symexec::{Strategy, SweepCostModel};
 
 use crate::affected::AffectedSets;
 
@@ -60,6 +60,11 @@ pub struct DirectedStrategy {
     /// nodes only move between the explored/unexplored partitions — so
     /// this drives the static [`Strategy::speculation_hint`].
     affected_union: Vec<NodeId>,
+    /// Cost-model inputs for the budgeted speculative sweep
+    /// ([`Strategy::speculation_cost`]): per-node affected-cone sizes
+    /// (the [`AffectedSets::cone_sizes`] pass) and BFS distances to the
+    /// nearest affected node ([`DistanceTo`]).
+    sweep_cost: SweepCostModel,
     current_path: Vec<NodeId>,
     trace: Option<Vec<DirectedTraceRow>>,
 }
@@ -75,20 +80,28 @@ impl DirectedStrategy {
             terminal[n.index()] =
                 matches!(cfg.node(n).kind, NodeKind::End | NodeKind::Error { .. });
         }
+        let reach = Reachability::new(cfg);
+        let affected_union: Vec<NodeId> = affected
+            .acn()
+            .iter()
+            .chain(affected.awn())
+            .copied()
+            .collect();
+        let sweep_cost = SweepCostModel {
+            cone_count: affected.cone_sizes(cfg, &reach),
+            distance: DistanceTo::new(cfg, affected_union.iter().copied()).into_vec(),
+            affected_total: affected_union.len() as u32,
+        };
         DirectedStrategy {
-            reach: Reachability::new(cfg),
+            reach,
             sccs: Sccs::new(cfg),
             terminal,
             ex_cond: BTreeSet::new(),
             ex_write: BTreeSet::new(),
             unex_cond: affected.acn().clone(),
             unex_write: affected.awn().clone(),
-            affected_union: affected
-                .acn()
-                .iter()
-                .chain(affected.awn())
-                .copied()
-                .collect(),
+            affected_union,
+            sweep_cost,
             current_path: Vec::new(),
             trace: record_trace.then(Vec::new),
         }
@@ -225,6 +238,13 @@ impl Strategy for DirectedStrategy {
                 .affected_union
                 .iter()
                 .any(|&affected| self.reach.is_cfg_path(node, affected))
+    }
+
+    /// The cost model that prices the sweep: affected-cone sizes and
+    /// distances precomputed in [`DirectedStrategy::new`], plus the
+    /// affected total that sizes the automatic token grant.
+    fn speculation_cost(&self) -> Option<SweepCostModel> {
+        Some(self.sweep_cost.clone())
     }
 }
 
@@ -446,6 +466,43 @@ mod tests {
         // Multiple unrollings are explored, not just the first.
         assert!(summary.stats().states_explored > 5);
         assert!(summary.pc_count() >= 2);
+    }
+
+    #[test]
+    fn speculation_cost_agrees_with_the_hint() {
+        let base = crate::affected::tests::fig2_base();
+        let modified = fig2_mod();
+        let (cfg_base, cfg_mod, diff) =
+            dise_diff::CfgDiff::from_programs(&base, &modified, "update").unwrap();
+        let affected = crate::removed::affected_locations(
+            &cfg_base,
+            &cfg_mod,
+            &diff,
+            DataflowPrecision::CfgPath,
+            false,
+        );
+        let strategy = DirectedStrategy::new(&cfg_mod, &affected, false);
+        let cost = strategy.speculation_cost().expect("directed has a model");
+        assert_eq!(cost.affected_total as usize, affected.len());
+        assert_eq!(cost.cone_count.len(), cfg_mod.len());
+        assert_eq!(cost.distance.len(), cfg_mod.len());
+        for n in cfg_mod.node_ids() {
+            let reaches_affected = cost.cone_count[n.index()] > 0;
+            // A node has a finite distance exactly when its cone is
+            // non-empty, and the static hint admits exactly those nodes
+            // plus terminals.
+            assert_eq!(
+                cost.distance[n.index()] != dise_symexec::SweepCostModel::UNREACHABLE,
+                reaches_affected,
+                "distance/cone mismatch at {n}"
+            );
+            if !reaches_affected {
+                use dise_cfg::NodeKind;
+                let terminal =
+                    matches!(cfg_mod.node(n).kind, NodeKind::End | NodeKind::Error { .. });
+                assert_eq!(strategy.speculation_hint(n), terminal);
+            }
+        }
     }
 
     #[test]

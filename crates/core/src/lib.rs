@@ -5,14 +5,17 @@
 //! * [`affected`] — the affected-location analysis: the `ACN`/`AWN`
 //!   fixpoint over the rules Eq. (1)–(3) of Fig. 3 and the
 //!   reaching-definition rule Eq. (4) of Fig. 4, with an optional
-//!   trace capture reproducing Fig. 5(b);
+//!   trace capture reproducing Fig. 5(b), plus the cone-sizing pass
+//!   ([`AffectedSets::cone_sizes`]) that prices branch arms for the
+//!   parallel frontier's speculative-sweep budget;
 //! * [`removed`] — the `removeNodes` algorithm of Fig. 5(a): the effects
 //!   of statements deleted from the base version, mapped into the modified
 //!   version through the `diffMap`;
 //! * [`directed`] — the directed symbolic execution strategy of Fig. 6
 //!   (explored/unexplored sets, `AffectedLocIsReachable`, `CheckLoops`),
 //!   plugged into the [`dise_symexec`] engine, with an optional trace
-//!   capture reproducing Table 1;
+//!   capture reproducing Table 1; also supplies the speculation hint and
+//!   sweep cost model the parallel frontier uses for directed runs;
 //! * [`dise`] — the driver: diff two program versions, compute affected
 //!   locations, run directed symbolic execution, and report the affected
 //!   path conditions plus all the §4.2.2 metrics;

@@ -6,6 +6,7 @@ use std::collections::BTreeSet;
 
 use dise_cfg::NodeId;
 use dise_solver::SolverStats;
+use dise_symexec::FrontierStats;
 
 /// A simple fixed-width text table: header row, separator, data rows.
 #[derive(Debug, Clone)]
@@ -132,6 +133,33 @@ pub fn solver_stats_line(stats: &SolverStats) -> String {
     )
 }
 
+/// One-line summary of speculative-sweep activity for the CLI: states and
+/// solves the sweep spent, the budget they were admitted under, and how
+/// many trie answers the authoritative pass actually consumed — sweep
+/// efficiency at a glance, without running the benchmark. Returns `None`
+/// when no speculative sweep ran (serial runs, fork-mode strategies, or a
+/// zero budget).
+pub fn sweep_stats_line(frontier: &FrontierStats) -> Option<String> {
+    if frontier.speculative_states == 0 && frontier.sweep_budget == 0 {
+        return None;
+    }
+    let budget = if frontier.sweep_budget == u64::MAX {
+        "unlimited".to_string()
+    } else {
+        frontier.sweep_budget.to_string()
+    };
+    let exhausted = if frontier.sweep_exhausted {
+        ", exhausted"
+    } else {
+        ""
+    };
+    Some(format!(
+        "{} speculative states, {} solves (budget {budget}{exhausted}); \
+         {} trie answers consumed by the directed pass",
+        frontier.speculative_states, frontier.speculative_solves, frontier.trie_answers_consumed,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +216,33 @@ mod tests {
              0 cache hits, 0 prefix-trie hits, 0 shared-trie hits, \
              0 unsat-prefix kills, hit rate n/a"
         );
+    }
+
+    #[test]
+    fn sweep_stats_line_reports_budget_and_consumption() {
+        // Serial / fork-mode runs have nothing to report.
+        assert_eq!(sweep_stats_line(&FrontierStats::default()), None);
+        let stats = FrontierStats {
+            speculative_states: 40,
+            speculative_solves: 12,
+            trie_answers_consumed: 9,
+            sweep_budget: 88,
+            sweep_exhausted: true,
+            ..FrontierStats::default()
+        };
+        let line = sweep_stats_line(&stats).unwrap();
+        assert!(line.contains("40 speculative states"), "{line}");
+        assert!(line.contains("12 solves"), "{line}");
+        assert!(line.contains("budget 88, exhausted"), "{line}");
+        assert!(line.contains("9 trie answers consumed"), "{line}");
+        let unlimited = FrontierStats {
+            speculative_states: 5,
+            sweep_budget: u64::MAX,
+            ..FrontierStats::default()
+        };
+        let line = sweep_stats_line(&unlimited).unwrap();
+        assert!(line.contains("budget unlimited"), "{line}");
+        assert!(!line.contains("exhausted"), "{line}");
     }
 
     #[test]

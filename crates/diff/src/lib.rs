@@ -15,6 +15,10 @@
 //!   `CFG_base` nodes to their `CFG_mod` counterparts (removed nodes map
 //!   to nothing).
 //!
+//! The marked `CFG_mod` nodes seed the affected-location fixpoint in
+//! `dise-core` — see the workspace `ARCHITECTURE.md` for where this
+//! crate sits in the pipeline.
+//!
 //! # Examples
 //!
 //! ```

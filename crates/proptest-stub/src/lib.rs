@@ -3,8 +3,9 @@
 //! The build environment cannot reach crates.io, so this workspace vendors
 //! a minimal, deterministic re-implementation of the proptest surface the
 //! test suites use: the [`proptest!`] macro, `any::<T>()`, integer-range
-//! strategies, [`Strategy::prop_map`], `prop::collection::vec`, and the
-//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertion macros.
+//! strategies, [`strategy::Strategy::prop_map`], `prop::collection::vec`,
+//! and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertion
+//! macros.
 //!
 //! Differences from real proptest, by design:
 //!

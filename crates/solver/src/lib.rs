@@ -38,6 +38,9 @@
 //!   splitting, bounded caching, statistics, and the SPF-compatible
 //!   "unknown ⇒ unsat" policy (§4.1 of the paper; configurable);
 //! * [`incremental`] — the [`IncrementalSolver`] described above;
+//! * [`shared_trie`] — the lock-sharded cross-worker verdict cache of the
+//!   parallel frontier ([`SharedTrie`]), with producer/consumer hit
+//!   counters feeding the speculative-sweep budget controller;
 //! * [`simplify`] — path-condition subsumption for display.
 //!
 //! Decision-procedure soundness contract (both tiers):

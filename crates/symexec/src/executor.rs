@@ -69,6 +69,17 @@ pub trait Strategy {
         let _ = node;
         true
     }
+
+    /// Cost-model inputs for budgeting the speculative sweep (see
+    /// [`crate::frontier::budget`]): per-node affected-cone sizes and
+    /// distances, plus the total affected-node count that sizes the
+    /// [`SweepBudget::Auto`](crate::SweepBudget::Auto) token grant. The
+    /// default (`None`) leaves the sweep unbudgeted under `Auto`;
+    /// strategies that know their target set — the directed strategy in
+    /// `dise-core` — should return one.
+    fn speculation_cost(&self) -> Option<crate::frontier::SweepCostModel> {
+        None
+    }
 }
 
 /// Standard full symbolic execution: explore every feasible successor.
@@ -131,6 +142,14 @@ pub struct ExecConfig {
     /// honors the `DISE_JOBS` environment variable (the CI race matrix).
     /// [`ExecConfig::record_tree`] forces serial execution.
     pub jobs: usize,
+    /// Token budget for the speculative sweep of non-forkable strategies
+    /// (directed runs with `jobs > 1`; see [`crate::frontier::budget`]).
+    /// One token admits one speculative state. The default honors the
+    /// `DISE_SWEEP_BUDGET` environment variable (`auto`, `unlimited`, or
+    /// a count), falling back to
+    /// [`SweepBudget::Auto`](crate::SweepBudget::Auto). Has no effect on
+    /// serial runs or forkable (full-exploration) strategies.
+    pub sweep_budget: crate::frontier::SweepBudget,
     /// Constraint-solver tuning.
     pub solver: SolverConfig,
 }
@@ -147,6 +166,17 @@ fn default_jobs() -> usize {
     })
 }
 
+/// The `DISE_SWEEP_BUDGET` default, read once per process.
+fn default_sweep_budget() -> crate::frontier::SweepBudget {
+    static BUDGET: std::sync::OnceLock<crate::frontier::SweepBudget> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("DISE_SWEEP_BUDGET")
+            .ok()
+            .and_then(|v| crate::frontier::SweepBudget::parse(&v))
+            .unwrap_or_default()
+    })
+}
+
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
@@ -158,6 +188,7 @@ impl Default for ExecConfig {
             record_tree: false,
             filter_scope: FilterScope::default(),
             jobs: default_jobs(),
+            sweep_budget: default_sweep_budget(),
             solver: SolverConfig::default(),
         }
     }
@@ -323,6 +354,10 @@ pub struct Executor {
     pool: VarPool,
     pub(crate) config: ExecConfig,
     pub(crate) solver: IncrementalSolver,
+    /// Measured trie-consumption ratio (answers consumed per speculative
+    /// state) of this executor's most recent speculative sweep; scales the
+    /// next sweep's [`SweepBudget::Auto`](crate::SweepBudget) grant.
+    pub(crate) sweep_feedback: Option<f64>,
 }
 
 impl Executor {
@@ -386,6 +421,7 @@ impl Executor {
             pool,
             config,
             solver,
+            sweep_feedback: None,
         })
     }
 

@@ -1,0 +1,348 @@
+//! Cost-model-driven admission control for the speculative sweep.
+//!
+//! The speculative mode of the parallel frontier (see [`crate::frontier`])
+//! runs a parallel sweep whose only product is a warm shared verdict trie
+//! for the serial authoritative pass. PR 2 bounded that sweep only by the
+//! strategy's *static* cone ([`Strategy::speculation_hint`]), so on
+//! heavily-pruned changes — e.g. a leaf write the directed pass certifies
+//! after a handful of paths — the sweep burned workers on subtrees whose
+//! verdicts the authoritative pass never consults. This module turns the
+//! all-or-nothing sweep into an admission-controlled one:
+//!
+//! * a [`SweepCostModel`] built by the strategy (for the directed strategy:
+//!   the affected-cone sizing pass in `dise-core` plus the
+//!   `dise_cfg::DistanceTo` precompute) prices every branch arm by the
+//!   number of affected nodes under it and its CFG distance to the nearest
+//!   affected node;
+//! * a global token budget ([`SweepBudget`], default
+//!   [`SweepBudget::Auto`] — proportional to the affected-node count,
+//!   scaled by the *measured* trie-consumption ratio of earlier runs of
+//!   the same executor) is charged one token per speculative state; when
+//!   it runs out the sweep drains and the serial pass proceeds with
+//!   whatever the trie holds;
+//! * while the budget has headroom, workers spend it on low-distance arms
+//!   first (`BudgetController::order_arms`), because those arms' prefix
+//!   verdicts are the ones the authoritative pass is most likely to
+//!   consume.
+//!
+//! Budgeting never changes results: the sweep's only observable effect is
+//! the shared trie, and a colder trie just means the serial pass solves
+//! more itself. `tests/sweep_budget.rs` pins byte-identical summaries at
+//! every budget, including `0` (sweep disabled entirely).
+//!
+//! [`Strategy::speculation_hint`]: crate::Strategy::speculation_hint
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::executor::Succ;
+
+/// Tokens granted per affected node by [`SweepBudget::Auto`]. One token
+/// admits one speculative state, so the default sweep is a small constant
+/// factor of the affected-set size — not of the (potentially exponential)
+/// static cone.
+pub const TOKENS_PER_AFFECTED_NODE: u64 = 8;
+
+/// How the speculative sweep of directed (non-forkable) strategies is
+/// budgeted. Configured via [`ExecConfig::sweep_budget`], CLI
+/// `--sweep-budget`, or the `DISE_SWEEP_BUDGET` environment variable.
+///
+/// [`ExecConfig::sweep_budget`]: crate::ExecConfig::sweep_budget
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepBudget {
+    /// Cost-model default: [`TOKENS_PER_AFFECTED_NODE`] tokens per
+    /// affected node, scaled down when earlier runs of the same executor
+    /// measured a low trie-consumption ratio. Falls back to
+    /// [`SweepBudget::Unlimited`] for strategies without a cost model.
+    #[default]
+    Auto,
+    /// No admission control: the sweep explores the whole static cone.
+    Unlimited,
+    /// An explicit token count (speculative states); `0` disables the
+    /// sweep entirely — the authoritative pass runs alone.
+    Tokens(u64),
+}
+
+impl SweepBudget {
+    /// Parses a budget spec: `auto`, `unlimited`, or a token count.
+    pub fn parse(spec: &str) -> Option<SweepBudget> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("auto") {
+            Some(SweepBudget::Auto)
+        } else if spec.eq_ignore_ascii_case("unlimited") {
+            Some(SweepBudget::Unlimited)
+        } else {
+            spec.parse::<u64>().ok().map(SweepBudget::Tokens)
+        }
+    }
+}
+
+impl std::fmt::Display for SweepBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepBudget::Auto => f.write_str("auto"),
+            SweepBudget::Unlimited => f.write_str("unlimited"),
+            SweepBudget::Tokens(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Per-node cost-model inputs for the sweep, produced by
+/// [`Strategy::speculation_cost`]. Both vectors are indexed by
+/// [`dise_cfg::NodeId::index`].
+///
+/// [`Strategy::speculation_cost`]: crate::Strategy::speculation_cost
+#[derive(Debug, Clone)]
+pub struct SweepCostModel {
+    /// Number of affected nodes reachable from each CFG node (the
+    /// affected-node count *under* an arm rooted there). Zero means the
+    /// static hint will prune the arm on entry.
+    pub cone_count: Vec<u32>,
+    /// CFG-edge distance to the nearest affected node
+    /// ([`SweepCostModel::UNREACHABLE`] when none is reachable).
+    pub distance: Vec<u32>,
+    /// Total affected nodes (`|ACN ∪ AWN|`) — the [`SweepBudget::Auto`]
+    /// sizing basis.
+    pub affected_total: u32,
+}
+
+impl SweepCostModel {
+    /// Distance reported for nodes that reach no affected node — the
+    /// same sentinel the distances are produced with, so the two can
+    /// never silently drift apart.
+    pub const UNREACHABLE: u32 = dise_cfg::DistanceTo::UNREACHABLE;
+}
+
+/// The shared admission controller for one speculative sweep: the granted
+/// token pool plus the cost model used for arm ordering.
+#[derive(Debug)]
+pub(crate) struct BudgetController {
+    granted: u64,
+    remaining: AtomicU64,
+    exhausted: AtomicBool,
+    cost: Option<SweepCostModel>,
+}
+
+impl BudgetController {
+    /// Resolves `budget` against the strategy's cost model and the
+    /// measured consumption ratio of earlier runs (`feedback`, in
+    /// `[0, 1]`: trie answers consumed per speculative state).
+    pub fn new(
+        budget: SweepBudget,
+        cost: Option<SweepCostModel>,
+        feedback: Option<f64>,
+    ) -> BudgetController {
+        let granted = match (budget, &cost) {
+            (SweepBudget::Unlimited, _) => u64::MAX,
+            (SweepBudget::Tokens(n), _) => n,
+            // Auto without a cost model cannot size anything: behave like
+            // the unbudgeted PR 2 sweep.
+            (SweepBudget::Auto, None) => u64::MAX,
+            (SweepBudget::Auto, Some(cost)) => auto_tokens(cost.affected_total, feedback),
+        };
+        BudgetController {
+            granted,
+            remaining: AtomicU64::new(granted),
+            exhausted: AtomicBool::new(false),
+            cost,
+        }
+    }
+
+    /// The token pool granted to this sweep (`u64::MAX` = unlimited).
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Whether the sweep should run at all (a zero grant disables it).
+    pub fn sweep_enabled(&self) -> bool {
+        self.granted > 0
+    }
+
+    /// Charges one token for a speculative state. Returns `false` — and
+    /// latches [`BudgetController::exhausted`] — once the pool is dry.
+    pub fn try_charge(&self) -> bool {
+        if self.granted == u64::MAX {
+            return true;
+        }
+        let mut current = self.remaining.load(Ordering::Relaxed);
+        loop {
+            if current == 0 {
+                self.exhausted.store(true, Ordering::Relaxed);
+                return false;
+            }
+            match self.remaining.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Whether the token pool ran dry at any point.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Orders sibling branch arms so budget is spent where the
+    /// authoritative pass will look first: the cheapest arm (ascending
+    /// distance to the nearest affected node, then descending
+    /// affected-cone size) comes first — the worker continues with it —
+    /// and the remaining arms are left worst-to-best, because the worker
+    /// enqueues them in order and pops its own deque LIFO. Only called on
+    /// the sweep (nothing is recorded there, so candidate order is free to
+    /// change); a no-op without a cost model.
+    pub fn order_arms(&self, succs: &mut [Succ]) {
+        let Some(cost) = &self.cost else {
+            return;
+        };
+        succs.sort_by_key(|succ| {
+            let i = succ.state.node.index();
+            let distance = cost
+                .distance
+                .get(i)
+                .copied()
+                .unwrap_or(SweepCostModel::UNREACHABLE);
+            let cone = cost.cone_count.get(i).copied().unwrap_or(0);
+            (distance, std::cmp::Reverse(cone))
+        });
+        if succs.len() > 2 {
+            succs[1..].reverse();
+        }
+    }
+}
+
+/// The [`SweepBudget::Auto`] sizing rule: a per-affected-node grant,
+/// scaled by measured consumption. A ratio of ≥ 0.5 consumed answers per
+/// speculative state keeps the full grant; lower ratios shrink it
+/// linearly, floored at a quarter — the sweep stays warm enough to
+/// re-measure, but stops flooding a trie nobody reads.
+fn auto_tokens(affected_total: u32, feedback: Option<f64>) -> u64 {
+    let base = u64::from(affected_total) * TOKENS_PER_AFFECTED_NODE;
+    match feedback {
+        None => base,
+        Some(ratio) => {
+            let scale = (2.0 * ratio).clamp(0.25, 1.0);
+            let scaled = (base as f64 * scale).round() as u64;
+            scaled.max(TOKENS_PER_AFFECTED_NODE.min(base))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SymState;
+    use crate::Env;
+    use dise_cfg::NodeId;
+
+    #[test]
+    fn parse_accepts_the_three_forms() {
+        assert_eq!(SweepBudget::parse("auto"), Some(SweepBudget::Auto));
+        assert_eq!(SweepBudget::parse("AUTO"), Some(SweepBudget::Auto));
+        assert_eq!(
+            SweepBudget::parse("unlimited"),
+            Some(SweepBudget::Unlimited)
+        );
+        assert_eq!(SweepBudget::parse("0"), Some(SweepBudget::Tokens(0)));
+        assert_eq!(SweepBudget::parse(" 42 "), Some(SweepBudget::Tokens(42)));
+        assert_eq!(SweepBudget::parse("-3"), None);
+        assert_eq!(SweepBudget::parse("lots"), None);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for budget in [
+            SweepBudget::Auto,
+            SweepBudget::Unlimited,
+            SweepBudget::Tokens(17),
+        ] {
+            assert_eq!(SweepBudget::parse(&budget.to_string()), Some(budget));
+        }
+    }
+
+    fn model(affected_total: u32) -> SweepCostModel {
+        SweepCostModel {
+            cone_count: vec![2, 1, 0],
+            distance: vec![1, 0, SweepCostModel::UNREACHABLE],
+            affected_total,
+        }
+    }
+
+    #[test]
+    fn tokens_charge_down_to_exhaustion() {
+        let controller = BudgetController::new(SweepBudget::Tokens(2), None, None);
+        assert!(controller.sweep_enabled());
+        assert!(controller.try_charge());
+        assert!(controller.try_charge());
+        assert!(!controller.exhausted());
+        assert!(!controller.try_charge());
+        assert!(controller.exhausted());
+        assert_eq!(controller.granted(), 2);
+    }
+
+    #[test]
+    fn zero_tokens_disable_the_sweep() {
+        let controller = BudgetController::new(SweepBudget::Tokens(0), None, None);
+        assert!(!controller.sweep_enabled());
+    }
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let controller = BudgetController::new(SweepBudget::Unlimited, Some(model(1)), None);
+        for _ in 0..10_000 {
+            assert!(controller.try_charge());
+        }
+        assert!(!controller.exhausted());
+    }
+
+    #[test]
+    fn auto_is_proportional_to_the_affected_count() {
+        let controller = BudgetController::new(SweepBudget::Auto, Some(model(5)), None);
+        assert_eq!(controller.granted(), 5 * TOKENS_PER_AFFECTED_NODE);
+        // An empty affected set grants nothing: the sweep is skipped.
+        let empty = BudgetController::new(SweepBudget::Auto, Some(model(0)), None);
+        assert!(!empty.sweep_enabled());
+        // Without a cost model, Auto cannot size and stays unbudgeted.
+        let unsized_ = BudgetController::new(SweepBudget::Auto, None, None);
+        assert_eq!(unsized_.granted(), u64::MAX);
+    }
+
+    #[test]
+    fn feedback_scales_the_auto_grant() {
+        let full = BudgetController::new(SweepBudget::Auto, Some(model(10)), Some(0.9));
+        assert_eq!(full.granted(), 10 * TOKENS_PER_AFFECTED_NODE);
+        let quarter = BudgetController::new(SweepBudget::Auto, Some(model(10)), Some(0.0));
+        assert_eq!(quarter.granted(), 10 * TOKENS_PER_AFFECTED_NODE / 4);
+        let half = BudgetController::new(SweepBudget::Auto, Some(model(10)), Some(0.25));
+        assert_eq!(half.granted(), 10 * TOKENS_PER_AFFECTED_NODE / 2);
+    }
+
+    fn succ_at(node: u32) -> Succ {
+        Succ {
+            state: SymState::initial(NodeId(node), Env::new()),
+            new_lit: None,
+            forked: false,
+        }
+    }
+
+    #[test]
+    fn arms_order_by_distance_then_cone() {
+        let controller = BudgetController::new(SweepBudget::Auto, Some(model(3)), None);
+        let mut succs = vec![succ_at(2), succ_at(0), succ_at(1)];
+        controller.order_arms(&mut succs);
+        let order: Vec<u32> = succs.iter().map(|s| s.state.node.0).collect();
+        // Nearest arm (node 1, distance 0) is continued directly; the
+        // remaining arms sit worst-first so the owner's LIFO pop takes
+        // node 0 (distance 1) before node 2 (unreachable).
+        assert_eq!(order, vec![1, 2, 0]);
+        // Without a cost model the order is untouched.
+        let plain = BudgetController::new(SweepBudget::Unlimited, None, None);
+        let mut succs = vec![succ_at(2), succ_at(0)];
+        plain.order_arms(&mut succs);
+        let order: Vec<u32> = succs.iter().map(|s| s.state.node.0).collect();
+        assert_eq!(order, vec![2, 0]);
+    }
+}

@@ -19,7 +19,7 @@
 //!   node with several successor candidates it continues with the first
 //!   and enqueues the rest on its own deque;
 //! * **idle workers steal** the shallowest pending arm from a victim's
-//!   deque ([`pool`]) and rebuild their solver stack by replaying the
+//!   deque (the `pool` scheduler) and rebuild their solver stack by replaying the
 //!   arm's literal prefix — push + check per literal, almost always
 //!   answered by a trie;
 //! * verdicts flow into a **shared concurrent prefix trie**
@@ -49,10 +49,17 @@
 //!    whose solver answers from the shared trie. Identical algorithm ⇒
 //!    identical summary; the solver work was done in parallel.
 //!
-//! Speculation is wasted when the strategy prunes much harder than its
-//! static hint (the sweep explores the hint's cone); it pays off when the
-//! affected region covers a large fraction of the tree, which is exactly
-//! the expensive case.
+//! The sweep is **admission-controlled** by a cost model ([`budget`]):
+//! a global token budget — by default proportional to the affected-node
+//! count ([`SweepBudget::Auto`]), overridable via
+//! [`ExecConfig::sweep_budget`] / `--sweep-budget` /
+//! `DISE_SWEEP_BUDGET` — is charged one token per speculative state,
+//! and workers spend it on branch arms closest to the affected region
+//! first. The serial pass records which trie answers it actually
+//! consumed ([`dise_solver::SharedTrie::consumed`]); that measured
+//! ratio scales the next run's automatic grant. Budgeting changes only
+//! how warm the trie is, never the summary — a drained budget means the
+//! serial pass solves more itself.
 //!
 //! ## What parallel mode does *not* change
 //!
@@ -67,11 +74,13 @@
 //!
 //! [`IncrementalSolver`]: dise_solver::IncrementalSolver
 //! [`ExecConfig::jobs`]: crate::ExecConfig::jobs
+//! [`ExecConfig::sweep_budget`]: crate::ExecConfig::sweep_budget
 //! [`ExecConfig::record_tree`]: crate::ExecConfig::record_tree
 //! [`ExecStats::frontier`]: crate::ExecStats
 //! [`Strategy::fork`]: crate::Strategy::fork
 //! [`Strategy::speculation_hint`]: crate::Strategy::speculation_hint
 
+pub mod budget;
 pub(crate) mod pool;
 pub(crate) mod worker;
 
@@ -83,6 +92,8 @@ use dise_solver::SharedTrie;
 
 use crate::executor::{ExecStats, Executor, PathSummary, Strategy, SymbolicSummary};
 use crate::state::SymState;
+use budget::BudgetController;
+pub use budget::{SweepBudget, SweepCostModel};
 use pool::{Pool, Task};
 use worker::{Worker, WorkerOutcome};
 
@@ -99,6 +110,18 @@ pub struct FrontierStats {
     pub replayed_literals: u64,
     /// States entered by the speculative sweep (speculative mode only).
     pub speculative_states: u64,
+    /// Feasibility checks the sweep decided by actually running a solver
+    /// pipeline (incremental or fallback; cache/trie hits excluded) — the
+    /// "speculative subtree solves" the budget exists to bound.
+    pub speculative_solves: u64,
+    /// Shared-trie answers consumed by the authoritative serial pass (how
+    /// much of the speculative work the real run used).
+    pub trie_answers_consumed: u64,
+    /// Token budget granted to the sweep (`u64::MAX` = unlimited; `0` on
+    /// serial, fork-mode, and sweep-disabled runs).
+    pub sweep_budget: u64,
+    /// Whether the sweep ran out of budget before draining its cone.
+    pub sweep_exhausted: bool,
     /// Edges in the shared prefix trie at the end of the run.
     pub shared_trie_entries: u64,
 }
@@ -117,7 +140,7 @@ pub(crate) fn explore_parallel(
         let forks: Vec<Box<dyn Strategy + Send>> = (0..jobs)
             .map(|_| strategy.fork().expect("fork() must be stable"))
             .collect();
-        let run = run_pool(exec, forks, &shared, true);
+        let run = run_pool(exec, forks, &shared, true, None);
         let mut stats = run.stats;
         stats.elapsed = start.elapsed();
         stats.frontier.shared_trie_entries = shared.len() as u64;
@@ -129,25 +152,51 @@ pub(crate) fn explore_parallel(
             tree: None,
         }
     } else {
-        // Speculative mode: parallel solver sweep, serial authoritative
-        // replay.
+        // Speculative mode: parallel solver sweep under an admission
+        // budget, then the serial authoritative replay.
+        let controller = BudgetController::new(
+            exec.config.sweep_budget,
+            strategy.speculation_cost(),
+            exec.sweep_feedback,
+        );
+        if !controller.sweep_enabled() {
+            // A zero grant (explicit `--sweep-budget 0`, or Auto with an
+            // empty affected cone) skips the sweep entirely: the serial
+            // pass runs alone, byte-identical by construction.
+            let mut summary = exec.explore_serial(strategy);
+            summary.stats.elapsed = start.elapsed();
+            return summary;
+        }
         let hint = SpeculationFilter::from_strategy(exec, strategy);
         let forks: Vec<Box<dyn Strategy + Send>> = (0..jobs)
             .map(|_| hint.fork().expect("the filter forks"))
             .collect();
-        let sweep = run_pool(exec, forks, &shared, false);
+        let sweep = run_pool(exec, forks, &shared, false, Some(&controller));
 
+        // From here on, trie hits are the authoritative pass consuming
+        // the sweep's work — the measured signal behind Auto's sizing.
+        shared.begin_consume_phase();
         exec.solver.attach_shared_trie(Arc::clone(&shared));
         let mut summary = exec.explore_serial(strategy);
         exec.solver.detach_shared_trie();
 
         summary.stats.elapsed = start.elapsed();
+        let speculative_solves =
+            sweep.stats.solver.incremental_checks + sweep.stats.solver.fallback_checks;
         // Aggregate: the authoritative pass's solver delta plus every
         // sweep worker's.
         summary.stats.solver.merge(&sweep.stats.solver);
         summary.stats.frontier = sweep.stats.frontier;
         summary.stats.frontier.speculative_states = sweep.stats.states_explored;
+        summary.stats.frontier.speculative_solves = speculative_solves;
+        summary.stats.frontier.trie_answers_consumed = shared.consumed();
+        summary.stats.frontier.sweep_budget = controller.granted();
+        summary.stats.frontier.sweep_exhausted = controller.exhausted();
         summary.stats.frontier.shared_trie_entries = shared.len() as u64;
+        if sweep.stats.states_explored > 0 {
+            exec.sweep_feedback =
+                Some(shared.consumed() as f64 / sweep.stats.states_explored as f64);
+        }
         summary
     }
 }
@@ -189,12 +238,15 @@ struct PoolRun {
 
 /// Runs the work-stealing pool to completion: seeds the root task, spawns
 /// one thread per forked strategy, merges worker outcomes, and (in
-/// collect mode) assembles paths in serial order.
+/// collect mode) assembles paths in serial order. `budget` is the sweep's
+/// admission controller (`None` in fork mode — real exploration is never
+/// budgeted).
 fn run_pool(
     exec: &Executor,
     forks: Vec<Box<dyn Strategy + Send>>,
     shared: &Arc<SharedTrie>,
     collect: bool,
+    budget: Option<&BudgetController>,
 ) -> PoolRun {
     let jobs = forks.len();
     let pool = Pool::new(jobs, exec.config.max_states);
@@ -233,6 +285,7 @@ fn run_pool(
                         strategy,
                         pool,
                         results: collect.then_some(results),
+                        budget,
                         stats: ExecStats::default(),
                         replayed: 0,
                     }
@@ -419,6 +472,56 @@ proc f(int a, int b, int c, int d) {
         // The authoritative pass answers its checks from the sweep's
         // shared trie.
         assert!(parallel.stats().solver.shared_trie_hits > 0);
+    }
+
+    #[test]
+    fn sweep_feedback_shrinks_the_next_auto_grant() {
+        // An order-dependent strategy with a cost model whose speculative
+        // work is almost entirely unconsumed (it prunes every choice
+        // point): the measured consumption ratio of the first run must
+        // shrink the second run's automatic token grant.
+        #[derive(Clone)]
+        struct PrunesEverythingWithModel;
+        impl Strategy for PrunesEverythingWithModel {
+            fn should_explore(&mut self, _node: dise_cfg::NodeId) -> bool {
+                false
+            }
+            fn speculation_cost(&self) -> Option<crate::frontier::SweepCostModel> {
+                Some(crate::frontier::SweepCostModel {
+                    cone_count: Vec::new(),
+                    distance: Vec::new(),
+                    affected_total: 4,
+                })
+            }
+        }
+        let program = parse_program(WIDE).unwrap();
+        let mut exec = Executor::new(
+            &program,
+            "f",
+            ExecConfig {
+                jobs: 4,
+                sweep_budget: crate::frontier::SweepBudget::Auto,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        let first = exec.explore(&mut PrunesEverythingWithModel);
+        let first_grant = first.stats().frontier.sweep_budget;
+        assert_eq!(
+            first_grant,
+            4 * crate::frontier::budget::TOKENS_PER_AFFECTED_NODE,
+            "first grant is the unscaled proportional default"
+        );
+        assert!(first.stats().frontier.speculative_states > 0);
+        let second = exec.explore(&mut PrunesEverythingWithModel);
+        let second_grant = second.stats().frontier.sweep_budget;
+        assert!(
+            second_grant < first_grant,
+            "low measured consumption ({} of {} states) must shrink the \
+             grant, got {second_grant} after {first_grant}",
+            first.stats().frontier.trie_answers_consumed,
+            first.stats().frontier.speculative_states,
+        );
     }
 
     #[test]

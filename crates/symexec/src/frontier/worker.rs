@@ -18,6 +18,7 @@ use crate::executor::{
     classify_entry, successor_candidates, EntryKind, ExecConfig, ExecStats, FilterScope,
     PathOutcome, PathSummary, Strategy, Succ,
 };
+use crate::frontier::budget::BudgetController;
 use crate::frontier::pool::{Pool, Task};
 use crate::state::SymState;
 
@@ -46,6 +47,8 @@ pub(crate) struct Worker<'a> {
     pub pool: &'a Pool,
     /// `None` in the speculative sweep: paths are not materialized at all.
     pub results: Option<&'a Mutex<Vec<PositionedPath>>>,
+    /// The sweep's admission controller (`None` in fork mode).
+    pub budget: Option<&'a BudgetController>,
     pub stats: ExecStats,
     pub replayed: u64,
 }
@@ -54,7 +57,11 @@ impl Worker<'_> {
     /// Drains the pool. Called once per worker thread.
     pub fn run(mut self, solver_before: &SolverStats) -> WorkerOutcome {
         while let Some(task) = self.pool.next(self.me) {
-            self.run_task(task);
+            // An exhausted sweep budget drains remaining tasks unrun (the
+            // outstanding count still has to reach zero for termination).
+            if self.budget.is_none_or(|b| !b.exhausted()) {
+                self.run_task(task);
+            }
             self.pool.finish();
         }
         let solver = self.solver.stats().delta_since(solver_before);
@@ -164,7 +171,14 @@ impl Worker<'_> {
                 break;
             }
 
-            // Entry (the serial engine's `enter`).
+            // Entry (the serial engine's `enter`). Speculative states
+            // additionally charge the sweep's token budget; a dry pool
+            // ends the spine (and `run` drains the rest of the deques).
+            if let Some(budget) = self.budget {
+                if !budget.try_charge() {
+                    break;
+                }
+            }
             if !self.pool.try_enter_state() {
                 break;
             }
@@ -200,6 +214,13 @@ impl Worker<'_> {
             let mut succs = successor_candidates(self.cfg, &state, &mut self.stats.infeasible);
             if succs.is_empty() {
                 break;
+            }
+            // On the sweep nothing is recorded, so candidate order is free:
+            // spend budget on arms near the affected region first.
+            if !self.recording() {
+                if let Some(budget) = self.budget {
+                    budget.order_arms(&mut succs);
+                }
             }
             // Offload every candidate but the first; the prefix snapshot
             // is the current solver stack (root-contiguous by

@@ -21,6 +21,13 @@
 //! paper's pseudocode (a successor's filter runs only after the previous
 //! successor's entire subtree finished).
 //!
+//! With [`ExecConfig::jobs`] > 1 the [`frontier`] module takes over:
+//! forkable strategies are explored by a work-stealing pool with a merged,
+//! byte-identical summary; order-dependent strategies (the directed
+//! search) get a budgeted speculative solver sweep
+//! ([`frontier::budget`], [`SweepBudget`]) followed by the unchanged
+//! serial authoritative pass.
+//!
 //! Two companion engines share the CFG and the evaluation semantics:
 //!
 //! * [`concrete`] — runs a procedure on actual values (test replay,
@@ -66,6 +73,6 @@ pub use executor::{
     ExecConfig, ExecError, ExecStats, Executor, FilterScope, FullExploration, PathOutcome,
     PathSummary, Strategy, SymbolicSummary,
 };
-pub use frontier::FrontierStats;
+pub use frontier::{FrontierStats, SweepBudget, SweepCostModel};
 pub use state::SymState;
 pub use tree::ExecTree;

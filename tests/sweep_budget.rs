@@ -1,0 +1,216 @@
+//! Speculative-sweep budget edge cases (the cost-model admission control
+//! of directed parallel runs):
+//!
+//! * budget `0` — the sweep is disabled outright and the serial
+//!   authoritative replay is still byte-identical;
+//! * budget ≥ the sweep's own cone — indistinguishable from the
+//!   unbudgeted (PR 2) sweep;
+//! * the pinned OAE leaf-write case — the `auto` budget provably skips
+//!   speculative subtrees the authoritative pass never consults, cutting
+//!   speculative solves at least 2×, without changing a byte of output.
+
+use dise::artifacts::{oae, wbs};
+use dise::core::dise::{run_dise, DiseConfig, DiseResult};
+use dise::ir::Program;
+use dise::symexec::{ExecConfig, SweepBudget, SymbolicSummary};
+
+fn config(jobs: usize, sweep_budget: SweepBudget) -> DiseConfig {
+    DiseConfig {
+        exec: ExecConfig {
+            jobs,
+            sweep_budget,
+            ..ExecConfig::default()
+        },
+        ..DiseConfig::default()
+    }
+}
+
+fn run(base: &Program, modified: &Program, proc_name: &str, cfg: &DiseConfig) -> DiseResult {
+    run_dise(base, modified, proc_name, cfg).expect("pipeline runs")
+}
+
+fn assert_identical(context: &str, serial: &SymbolicSummary, parallel: &SymbolicSummary) {
+    assert_eq!(
+        serial.paths().len(),
+        parallel.paths().len(),
+        "{context}: path count"
+    );
+    for (i, (a, b)) in serial.paths().iter().zip(parallel.paths()).enumerate() {
+        assert_eq!(a.pc, b.pc, "{context}: path {i} pc");
+        assert_eq!(a.outcome, b.outcome, "{context}: path {i} outcome");
+        assert_eq!(a.final_env, b.final_env, "{context}: path {i} env");
+        assert_eq!(a.trace, b.trace, "{context}: path {i} trace");
+    }
+    let (s, p) = (serial.stats(), parallel.stats());
+    assert_eq!(s.states_explored, p.states_explored, "{context}: states");
+    assert_eq!(s.pruned, p.pruned, "{context}: pruned");
+    assert_eq!(s.infeasible, p.infeasible, "{context}: infeasible");
+    assert_eq!(s.truncated, p.truncated, "{context}: truncated");
+}
+
+#[test]
+fn budget_zero_disables_the_sweep_and_stays_byte_identical() {
+    for (artifact, version) in [(oae::artifact(), "v4"), (wbs::artifact(), "v2")] {
+        let version = artifact.version(version).unwrap();
+        let serial = run(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &config(1, SweepBudget::Auto),
+        );
+        let disabled = run(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &config(4, SweepBudget::Tokens(0)),
+        );
+        let context = format!("{} {} budget 0", artifact.name, version.id);
+        assert_identical(&context, &serial.summary, &disabled.summary);
+        let frontier = disabled.summary.stats().frontier;
+        assert_eq!(frontier.speculative_states, 0, "{context}: no sweep");
+        assert_eq!(frontier.speculative_solves, 0, "{context}: no solves");
+        assert_eq!(frontier.trie_answers_consumed, 0, "{context}: no trie");
+        assert_eq!(frontier.sweep_budget, 0, "{context}: zero grant");
+        // With no sweep there is no shared trie to consume from either.
+        assert_eq!(
+            disabled.summary.stats().solver.shared_trie_hits,
+            0,
+            "{context}: solver untouched by the shared trie"
+        );
+    }
+}
+
+#[test]
+fn budget_at_least_the_cone_matches_the_unbudgeted_sweep() {
+    let artifact = oae::artifact();
+    let version = artifact.version("v2").unwrap();
+    let unbudgeted = run(
+        &artifact.base,
+        &version.program,
+        artifact.proc_name,
+        &config(4, SweepBudget::Unlimited),
+    );
+    let cone = unbudgeted.summary.stats().frontier.speculative_states;
+    assert!(cone > 0, "the sweep must actually run");
+    // Grant at least the sweep's own cone: admission never bites, so the
+    // sweep does exactly the unbudgeted amount of work.
+    let roomy = run(
+        &artifact.base,
+        &version.program,
+        artifact.proc_name,
+        &config(4, SweepBudget::Tokens(cone * 2)),
+    );
+    let (un, ro) = (
+        unbudgeted.summary.stats().frontier,
+        roomy.summary.stats().frontier,
+    );
+    // States are deterministic (the whole cone is entered either way);
+    // solve counts are not compared exactly — on a multi-core host two
+    // workers can race to decide the same prefix edge before either
+    // publishes, so duplicated solves jitter run to run.
+    assert_eq!(un.speculative_states, ro.speculative_states);
+    assert!(!ro.sweep_exhausted, "a roomy budget never exhausts");
+    assert_identical(
+        "OAE v2 roomy vs unbudgeted",
+        &unbudgeted.summary,
+        &roomy.summary,
+    );
+}
+
+#[test]
+fn oae_leaf_write_budget_skips_never_consumed_subtrees() {
+    // OAE v4: a leaf write in the orbit suite that no conditional reads.
+    // The static cone still covers the whole orbit prefix, so the
+    // unbudgeted sweep speculates well past what the directed pass (which
+    // certifies the change after a handful of paths) ever consults. The
+    // auto budget (tokens ∝ the one-node affected set) provably skips
+    // those subtrees: at least 2x fewer speculative solves, strictly
+    // fewer speculative states than the unbudgeted cone, and not a byte
+    // of output changes.
+    let artifact = oae::artifact();
+    let version = artifact.version("v4").unwrap();
+    let serial = run(
+        &artifact.base,
+        &version.program,
+        artifact.proc_name,
+        &config(1, SweepBudget::Auto),
+    );
+    let unbudgeted = run(
+        &artifact.base,
+        &version.program,
+        artifact.proc_name,
+        &config(4, SweepBudget::Unlimited),
+    );
+    let budgeted = run(
+        &artifact.base,
+        &version.program,
+        artifact.proc_name,
+        &config(4, SweepBudget::Auto),
+    );
+    assert_identical("OAE v4 unbudgeted", &serial.summary, &unbudgeted.summary);
+    assert_identical("OAE v4 budgeted", &serial.summary, &budgeted.summary);
+
+    let (un, bu) = (
+        unbudgeted.summary.stats().frontier,
+        budgeted.summary.stats().frontier,
+    );
+    assert!(un.speculative_states > 0 && bu.speculative_states > 0);
+    // The admission cap held: never more states than tokens granted.
+    assert!(bu.sweep_budget > 0 && bu.sweep_budget < u64::MAX);
+    assert!(
+        bu.speculative_states <= bu.sweep_budget,
+        "states {} must respect the {} token grant",
+        bu.speculative_states,
+        bu.sweep_budget
+    );
+    // Subtrees were genuinely skipped, and at least half the speculative
+    // solving disappeared.
+    assert!(
+        bu.speculative_states < un.speculative_states,
+        "budgeted sweep must explore less than the full cone"
+    );
+    assert!(
+        2 * bu.speculative_solves <= un.speculative_solves,
+        "budgeted solves {} vs unbudgeted {}",
+        bu.speculative_solves,
+        un.speculative_solves
+    );
+    assert!(bu.sweep_exhausted, "the tight grant must have run dry");
+}
+
+#[test]
+fn budgeted_sweeps_never_solve_more_across_the_corpus() {
+    for (artifact, version) in [
+        (wbs::artifact(), "v4"),
+        (oae::artifact(), "v2"),
+        (dise::artifacts::asw::artifact(), "v2"),
+    ] {
+        let version = artifact.version(version).unwrap();
+        let serial = run(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &config(1, SweepBudget::Auto),
+        );
+        let unbudgeted = run(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &config(4, SweepBudget::Unlimited),
+        );
+        let budgeted = run(
+            &artifact.base,
+            &version.program,
+            artifact.proc_name,
+            &config(4, SweepBudget::Auto),
+        );
+        let context = format!("{} {}", artifact.name, version.id);
+        assert_identical(&context, &serial.summary, &unbudgeted.summary);
+        assert_identical(&context, &serial.summary, &budgeted.summary);
+        assert!(
+            budgeted.summary.stats().frontier.speculative_solves
+                <= unbudgeted.summary.stats().frontier.speculative_solves,
+            "{context}: budget must never add speculative work"
+        );
+    }
+}
