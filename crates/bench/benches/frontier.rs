@@ -100,6 +100,7 @@ fn record_frontier_comparison() {
     let frontier = &parallel.stats().frontier;
     let json = format!(
         "{{\n  \"benchmark\": \"parallel_frontier_vs_serial\",\n  \
+         {host_meta},\n  \
          \"workload\": \"deep_prefix_chain\",\n  \"depth\": {DEPTH},\n  \
          \"paths\": {},\n  \"runs\": {RUNS},\n  \
          \"serial_ms_per_run\": {serial_ms:.2},\n  \
@@ -121,6 +122,7 @@ fn record_frontier_comparison() {
         frontier.steals,
         frontier.replayed_literals,
         frontier.shared_trie_entries,
+        host_meta = dise_bench::host_metadata_json(),
     );
     let path = match std::env::var("CARGO_MANIFEST_DIR") {
         Ok(dir) => format!("{dir}/../../BENCH_parallel_frontier.json"),

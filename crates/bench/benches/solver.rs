@@ -210,6 +210,7 @@ fn record_incremental_comparison() {
     let speedup_warm = monolithic_ns as f64 / warm_ns.max(1) as f64;
     let json = format!(
         "{{\n  \"benchmark\": \"solver_incremental_vs_monolithic\",\n  \
+         {host},\n  \
          \"depth\": {DEPTH},\n  \"runs\": {RUNS},\n  \
          \"monolithic_ns_per_walk\": {monolithic_ns},\n  \
          \"incremental_cold_ns_per_walk\": {incremental_ns},\n  \
@@ -223,6 +224,7 @@ fn record_incremental_comparison() {
         stats.model_reuse_hits,
         stats.prefix_cache_hits,
         stats.fallback_checks,
+        host = dise_bench::host_metadata_json(),
     );
     let path = match std::env::var("CARGO_MANIFEST_DIR") {
         Ok(dir) => format!("{dir}/../../BENCH_solver_incremental.json"),

@@ -194,6 +194,7 @@ fn record_budget_comparison() {
     let oae_min_reduction = oae_reductions.iter().cloned().fold(f64::INFINITY, f64::min);
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_budget_vs_unbudgeted\",\n  \
+         {host},\n  \
          \"jobs\": 4,\n  \"default_budget\": \"auto\",\n  \
          \"cases\": [\n{}\n  ],\n  \
          \"budgeted_never_solves_more\": {all_bounded},\n  \
@@ -204,6 +205,7 @@ fn record_budget_comparison() {
          heavily-pruned changes (OAE leaf writes) stop sweeping subtrees the \
          authoritative directed pass never consults\"\n}}\n",
         rows.join(",\n"),
+        host = dise_bench::host_metadata_json(),
     );
     let path = match std::env::var("CARGO_MANIFEST_DIR") {
         Ok(dir) => format!("{dir}/../../BENCH_sweep_budget.json"),

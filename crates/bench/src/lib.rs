@@ -1,0 +1,53 @@
+//! Shared helpers for the `dise-bench` binaries and bench targets.
+//!
+//! Today this is the host-metadata fragment every `BENCH_*.json` emitter
+//! embeds: benchmark numbers recorded on a single-core container and on
+//! a 16-core workstation are not comparable, and the difference used to
+//! live in prose notes only. Machine-readable metadata lets downstream
+//! tooling (and the ROADMAP's multicore item) filter by environment
+//! instead of relying on tribal knowledge.
+
+/// Version of the `host` metadata block's own schema (bump when fields
+/// change meaning, independently of each benchmark's payload).
+pub const BENCH_METADATA_VERSION: u32 = 1;
+
+/// The `"host": {...}` JSON fragment recorded by every `BENCH_*.json`
+/// emitter: logical core count, the `DISE_JOBS` environment setting the
+/// run saw (`"unset"` when absent), and the metadata schema version.
+///
+/// # Examples
+///
+/// ```
+/// let host = dise_bench::host_metadata_json();
+/// assert!(host.starts_with("\"host\": {\"logical_cores\":"));
+/// assert!(host.contains("\"bench_metadata_version\": 1"));
+/// ```
+pub fn host_metadata_json() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs = std::env::var("DISE_JOBS").unwrap_or_else(|_| "unset".to_string());
+    format!(
+        "\"host\": {{\"logical_cores\": {cores}, \"dise_jobs\": \"{jobs}\", \
+         \"bench_metadata_version\": {BENCH_METADATA_VERSION}}}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_reports_at_least_one_core() {
+        let fragment = host_metadata_json();
+        assert!(fragment.contains("\"logical_cores\": "));
+        assert!(fragment.contains("\"dise_jobs\": \""));
+        let cores: usize = fragment
+            .split("\"logical_cores\": ")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.trim().parse().ok())
+            .expect("parsable core count");
+        assert!(cores >= 1);
+    }
+}

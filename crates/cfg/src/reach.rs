@@ -306,6 +306,79 @@ mod tests {
     }
 
     #[test]
+    fn distance_multi_source_ties_take_the_minimum() {
+        // A diamond: the branch is exactly one edge from both arm heads.
+        // With both arms as targets, the tie must resolve to distance 1
+        // regardless of which target the BFS dequeues first.
+        let (cfg, _) =
+            setup("proc f(int x) {\n  if (x > 0) {\n    x = 1;\n  } else {\n    x = 2;\n  }\n}");
+        let branch = cfg.cond_nodes().next().unwrap();
+        let t = cfg.true_succ(branch);
+        let f = cfg.false_succ(branch);
+        let forward = DistanceTo::new(&cfg, [t, f]);
+        let backward = DistanceTo::new(&cfg, [f, t]);
+        assert_eq!(forward.get(branch), 1);
+        // Target order is irrelevant: every node agrees.
+        for n in cfg.node_ids() {
+            assert_eq!(forward.get(n), backward.get(n), "order dependence at {n}");
+        }
+    }
+
+    #[test]
+    fn distance_duplicate_targets_are_harmless() {
+        let (cfg, _) = setup("proc f(int x) { x = 1; x = 2; }");
+        let end = cfg.end();
+        let once = DistanceTo::new(&cfg, [end]);
+        let thrice = DistanceTo::new(&cfg, [end, end, end]);
+        for n in cfg.node_ids() {
+            assert_eq!(once.get(n), thrice.get(n));
+        }
+    }
+
+    #[test]
+    fn distance_unreachable_nodes_keep_the_sentinel_everywhere() {
+        // Target the true arm of a branch: the false arm and everything
+        // only it reaches must answer UNREACHABLE, and the sentinel must
+        // survive into the raw vector the budget controller indexes.
+        let (cfg, reach) = setup(
+            "proc f(int x) {\n  if (x > 0) {\n    x = 1;\n  } else {\n    x = 2;\n    x = 3;\n  }\n}",
+        );
+        let branch = cfg.cond_nodes().next().unwrap();
+        let t = cfg.true_succ(branch);
+        let dist = DistanceTo::new(&cfg, [t]);
+        let vec = dist.clone().into_vec();
+        assert_eq!(vec.len(), cfg.len());
+        for n in cfg.node_ids() {
+            assert_eq!(dist.get(n), vec[n.index()], "vector/get disagree at {n}");
+            if !reach.is_cfg_path(n, t) {
+                assert_eq!(
+                    dist.get(n),
+                    DistanceTo::UNREACHABLE,
+                    "{n} reaches no target"
+                );
+            } else {
+                assert!(dist.get(n) < cfg.len() as u32, "{n} has a real distance");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_empty_source_set_matches_boolean_reachability() {
+        // The budget controller consumes DistanceTo built from an empty
+        // affected set when a change deletes every affected node — every
+        // query must answer the sentinel (and the sweep is skipped).
+        let (cfg, _) = setup("proc f(int x) { while (x > 0) { x = x - 1; } }");
+        let dist = DistanceTo::new(&cfg, std::iter::empty());
+        for n in cfg.node_ids() {
+            assert_eq!(dist.get(n), DistanceTo::UNREACHABLE);
+        }
+        assert!(dist
+            .into_vec()
+            .iter()
+            .all(|&d| d == DistanceTo::UNREACHABLE));
+    }
+
+    #[test]
     fn large_cfg_crosses_word_boundary() {
         // More than 64 nodes to exercise multi-word rows.
         let mut body = String::new();

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs]
-//!          [--jobs N] [--sweep-budget auto|unlimited|N]
+//!          [--jobs N] [--sweep-budget auto|unlimited|N] [--store DIR]
 //!     Diff two program versions and report the affected path conditions.
 //!     --full           also run full symbolic execution for comparison
 //!     --trace          print the Fig. 5(b) and Table 1 style traces
@@ -17,6 +17,18 @@
 //!                      sizes the sweep from the affected cone, `unlimited`
 //!                      sweeps the whole static cone, a count N admits N
 //!                      speculative states, and 0 disables the sweep
+//!     --store DIR      persistent analysis store (default: the DISE_STORE
+//!                      environment variable; unset = no persistence):
+//!                      warm-starts the solver from the previous run of
+//!                      this procedure — same version or an earlier one —
+//!                      and records this run's state back. Output is
+//!                      byte-identical to a cold run; a damaged store
+//!                      degrades to cold with a one-line warning
+//!
+//! dise store stat [DIR]
+//! dise store clear [DIR]
+//!     Inspect or empty a persistent analysis store (DIR defaults to the
+//!     DISE_STORE environment variable).
 //!
 //! dise tests <base.mj> <modified.mj> <proc>
 //!     Regression-testing mode (§5.2): generate the old suite, select and
@@ -50,7 +62,7 @@
 use std::process::ExitCode;
 
 use dise_core::dise::{run_dise, run_full_on, DiseConfig};
-use dise_core::report::{duration_mmss, solver_stats_line, sweep_stats_line};
+use dise_core::report::{duration_mmss, solver_stats_line, store_stats_line, sweep_stats_line};
 use dise_core::DataflowPrecision;
 use dise_ir::Program;
 
@@ -76,6 +88,7 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
     }
     match positional.first().copied() {
         Some("run") => run_command(&args),
+        Some("store") => store_command(&positional[1..]),
         Some("tests") => tests_command(&positional[1..]),
         Some("inspect") => inspect_command(&positional[1..], &flags),
         Some("witness") => witness_command(&positional[1..]),
@@ -89,7 +102,8 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage:
-  dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N]
+  dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N] [--store DIR]
+  dise store stat|clear [DIR]
   dise tests <base.mj> <modified.mj> <proc>
   dise inspect <file.mj> <proc> [--dot]
   dise witness <base.mj> <modified.mj> <proc>
@@ -125,6 +139,9 @@ fn run_command(args: &[String]) -> Result<(), String> {
     const KNOWN_FLAGS: [&str; 4] = ["--full", "--trace", "--simplify", "--reaching-defs"];
     let mut jobs = dise_symexec::ExecConfig::default().jobs;
     let mut sweep_budget = dise_symexec::ExecConfig::default().sweep_budget;
+    let mut store: Option<std::path::PathBuf> = std::env::var_os("DISE_STORE")
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from);
     let mut flags: Vec<&str> = Vec::new();
     let mut positional: Vec<&str> = Vec::new();
     let mut seen_command = false;
@@ -144,6 +161,13 @@ fn run_command(args: &[String]) -> Result<(), String> {
                 "--sweep-budget expects `auto`, `unlimited`, or a token count".to_string()
             })?;
             sweep_budget = parse_sweep_budget_value(value)?;
+        } else if let Some(value) = arg.strip_prefix("--store=") {
+            store = Some(std::path::PathBuf::from(value));
+        } else if arg == "--store" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--store expects a directory path".to_string())?;
+            store = Some(std::path::PathBuf::from(value));
         } else if arg.starts_with("--") {
             if !KNOWN_FLAGS.contains(&arg.as_str()) {
                 return Err(format!("unknown flag `{arg}` for `run`\n{USAGE}"));
@@ -174,9 +198,13 @@ fn run_command(args: &[String]) -> Result<(), String> {
         },
         trace_affected: flags.contains(&"--trace"),
         trace_directed: flags.contains(&"--trace"),
+        store,
     };
 
     let result = run_dise(&base, &modified, proc_name, &config).map_err(|e| e.to_string())?;
+    if let Some(warning) = result.store.as_ref().and_then(|s| s.warning.as_ref()) {
+        eprintln!("warning: {warning}");
+    }
     println!(
         "changed CFG nodes: {}   affected CFG nodes: {}",
         result.changed_nodes, result.affected_nodes
@@ -193,6 +221,9 @@ fn run_command(args: &[String]) -> Result<(), String> {
     );
     if let Some(line) = sweep_stats_line(&result.summary.stats().frontier) {
         println!("sweep: {line}");
+    }
+    if let Some(status) = &result.store {
+        println!("store: {}", store_stats_line(status));
     }
     if flags.contains(&"--simplify") {
         for pc in dise_solver::simplify::simplify_pc_strings(result.summary.path_conditions()) {
@@ -225,6 +256,80 @@ fn run_command(args: &[String]) -> Result<(), String> {
         println!("solver: {}", solver_stats_line(&full.stats().solver));
     }
     Ok(())
+}
+
+/// `dise store stat|clear [DIR]` — inspect or empty a persistent
+/// analysis store. `DIR` falls back to the `DISE_STORE` environment
+/// variable.
+fn store_command(positional: &[&str]) -> Result<(), String> {
+    let (action, dir) = match positional {
+        [action] => (*action, None),
+        [action, dir] => (*action, Some(*dir)),
+        _ => return Err(USAGE.to_string()),
+    };
+    let dir = match dir.map(std::path::PathBuf::from).or_else(|| {
+        std::env::var_os("DISE_STORE")
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from)
+    }) {
+        Some(dir) => dir,
+        None => {
+            return Err("no store directory: pass one or set DISE_STORE".to_string());
+        }
+    };
+    let store = dise_store::Store::open(&dir);
+    match action {
+        "stat" => {
+            let entries = store.entries().map_err(|e| e.to_string())?;
+            println!(
+                "store {}: {} entr{}",
+                dir.display(),
+                entries.len(),
+                if entries.len() == 1 { "y" } else { "ies" }
+            );
+            for (file, outcome) in entries {
+                match outcome {
+                    Ok(entry) => {
+                        let sets = match &entry.affected {
+                            Some(affected) => format!(
+                                "{} changed / {} affected node(s)",
+                                affected.changed_nodes,
+                                affected.acn.len() + affected.awn.len()
+                            ),
+                            None => "no affected sets".to_string(),
+                        };
+                        println!(
+                            "  {}: {} run(s), {} affected pc(s), {sets}, {} decided prefix(es), \
+                             sweep feedback {}, versions {:08x}->{:08x}, summary {:016x}",
+                            entry.proc_name,
+                            entry.runs,
+                            entry.pc_count,
+                            entry.trie.decided(),
+                            entry
+                                .sweep_feedback
+                                .map(|f| format!("{f:.2}"))
+                                .unwrap_or_else(|| "n/a".to_string()),
+                            entry.base_fingerprint as u32,
+                            entry.mod_fingerprint as u32,
+                            entry.summary_digest,
+                        )
+                    }
+                    Err(e) => println!("  {file}: unreadable ({e})"),
+                }
+            }
+            Ok(())
+        }
+        "clear" => {
+            let removed = store.clear().map_err(|e| e.to_string())?;
+            println!(
+                "removed {removed} entr{} from {}",
+                if removed == 1 { "y" } else { "ies" },
+                dir.display()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown store action `{other}`\n{USAGE}")),
+    }
 }
 
 fn tests_command(positional: &[&str]) -> Result<(), String> {

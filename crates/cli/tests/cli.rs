@@ -374,3 +374,134 @@ fn parse_error_points_at_the_file() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("bad.mj"), "{}", stderr(&out));
 }
+
+#[test]
+fn run_with_store_warm_starts_and_matches_cold_output() {
+    let fx = fixture();
+    let store_dir = tempdir::TempDir::new("dise-cli-store").expect("temp dir");
+    let store = store_dir.path().to_str().unwrap();
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+
+    let pcs = |out: &Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| l.starts_with("  "))
+            .map(str::to_owned)
+            .collect()
+    };
+
+    let cold = dise(&["run", base, modified, "f", "--store", store]);
+    assert!(cold.status.success(), "{}", stderr(&cold));
+    let cold_text = stdout(&cold);
+    assert!(cold_text.contains("store: cold start"), "{cold_text}");
+    assert!(cold_text.contains("saved"), "{cold_text}");
+
+    let warm = dise(&["run", base, modified, "f", &format!("--store={store}")]);
+    assert!(warm.status.success(), "{}", stderr(&warm));
+    let warm_text = stdout(&warm);
+    assert!(warm_text.contains("store: warm start"), "{warm_text}");
+    assert!(warm_text.contains("affected sets reused"), "{warm_text}");
+    assert_eq!(pcs(&cold), pcs(&warm), "summaries must be byte-identical");
+
+    // `store stat` sees the recorded entry; `store clear` empties it.
+    let stat = dise(&["store", "stat", store]);
+    assert!(stat.status.success(), "{}", stderr(&stat));
+    let stat_text = stdout(&stat);
+    assert!(stat_text.contains("1 entry"), "{stat_text}");
+    assert!(stat_text.contains("f: 2 run(s)"), "{stat_text}");
+
+    let clear = dise(&["store", "clear", store]);
+    assert!(clear.status.success(), "{}", stderr(&clear));
+    assert!(
+        stdout(&clear).contains("removed 1 entry"),
+        "{}",
+        stdout(&clear)
+    );
+    let stat = dise(&["store", "stat", store]);
+    assert!(stdout(&stat).contains("0 entries"), "{}", stdout(&stat));
+}
+
+#[test]
+fn corrupt_store_entries_warn_and_fall_back_cold() {
+    let fx = fixture();
+    let store_dir = tempdir::TempDir::new("dise-cli-store-corrupt").expect("temp dir");
+    let store = store_dir.path().to_str().unwrap();
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+
+    let cold = dise(&["run", base, modified, "f", "--store", store]);
+    assert!(cold.status.success(), "{}", stderr(&cold));
+    // Truncate the single entry file.
+    let entry = std::fs::read_dir(store_dir.path())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().and_then(|e| e.to_str()) == Some("dise"))
+        .expect("entry file exists");
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+
+    let damaged = dise(&["run", base, modified, "f", "--store", store]);
+    assert!(damaged.status.success(), "{}", stderr(&damaged));
+    assert!(
+        stderr(&damaged).contains("warning: analysis store:"),
+        "{}",
+        stderr(&damaged)
+    );
+    let text = stdout(&damaged);
+    assert!(text.contains("store: cold start"), "{text}");
+    // Same path conditions as the healthy cold run.
+    let pcs = |out: &Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| l.starts_with("  "))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(pcs(&cold), pcs(&damaged));
+}
+
+#[test]
+fn store_command_requires_a_directory() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dise"))
+        .args(["store", "stat"])
+        .env_remove("DISE_STORE")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("DISE_STORE"), "{}", stderr(&out));
+}
+
+#[test]
+fn dise_store_env_var_enables_persistence() {
+    let fx = fixture();
+    let store_dir = tempdir::TempDir::new("dise-cli-store-env").expect("temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_dise"))
+        .args([
+            "run",
+            fx.base.to_str().unwrap(),
+            fx.modified.to_str().unwrap(),
+            "f",
+        ])
+        .env("DISE_STORE", store_dir.path())
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("store: cold start"),
+        "{}",
+        stdout(&out)
+    );
+    let entries = std::fs::read_dir(store_dir.path())
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .and_then(|x| x.to_str())
+                == Some("dise")
+        })
+        .count();
+    assert_eq!(entries, 1);
+}

@@ -274,6 +274,19 @@ impl AffectedSets {
         result
     }
 
+    /// Rebuilds an `AffectedSets` from raw node sets — the persistent
+    /// store's path back into the pipeline when the `(base, modified)`
+    /// fingerprint pair matches a recorded run. The fixpoint is
+    /// deterministic, so restoring its result is equivalent to recomputing
+    /// it; restored sets carry no trace.
+    pub fn from_parts(acn: BTreeSet<NodeId>, awn: BTreeSet<NodeId>) -> AffectedSets {
+        AffectedSets {
+            acn,
+            awn,
+            trace: Vec::new(),
+        }
+    }
+
     fn record(&mut self, enabled: bool, ni: NodeId, nj: NodeId, rule: Rule) {
         if enabled {
             self.trace.push(TraceRow {

@@ -7,13 +7,26 @@
 //! static analysis and the symbolic execution, matching the paper's
 //! "time spent computing the affected program locations and the time
 //! spent performing symbolic execution" (§4.2.2).
+//!
+//! With [`DiseConfig::store`] set, the run participates in the persistent
+//! cross-version analysis store (`dise-store`): it warm-starts the
+//! incremental solver from the procedure's recorded prefix-trie verdicts,
+//! reuses the recorded affected sets when the `(base, modified)`
+//! fingerprint pair is unchanged, primes the speculative sweep's `Auto`
+//! budget with the previously *measured* consumption ratio, and records
+//! everything back on completion. Store damage of any kind downgrades to
+//! a cold run ([`StoreStatus::warning`]) — warm starts change wall-clock
+//! and solver-call counts, never summaries.
 
 use std::borrow::Cow;
+use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
-use dise_diff::{CfgDiff, DiffError};
+use dise_cfg::NodeId;
+use dise_diff::{proc_fingerprint, CfgDiff, DiffError};
 use dise_ir::ast::Program;
 use dise_ir::inline::{contains_calls, inline_program, InlineError};
+use dise_store::{ProcEntry, Store, StoredAffected};
 use dise_symexec::{ExecConfig, ExecError, Executor, FullExploration, SymbolicSummary};
 
 use crate::affected::{AffectedSets, DataflowPrecision};
@@ -32,6 +45,29 @@ pub struct DiseConfig {
     pub trace_affected: bool,
     /// Capture the Table 1 directed-search trace.
     pub trace_directed: bool,
+    /// Persistent analysis store directory (CLI `--store` / `DISE_STORE`).
+    /// `None` (the default) runs cold with no persistence.
+    pub store: Option<std::path::PathBuf>,
+}
+
+/// What the persistent store contributed to (and learned from) one run.
+/// `None` on [`DiseResult::store`] means no store was configured.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStatus {
+    /// Decided path-condition prefixes restored into the solver's trie.
+    pub warm_trie_entries: u64,
+    /// The affected-location fixpoint was skipped in favor of the
+    /// recorded sets (same `(base, modified)` fingerprint pair).
+    pub affected_reused: bool,
+    /// The `Auto` sweep budget was primed with a previously measured
+    /// consumption ratio instead of the proportional default.
+    pub feedback_reused: bool,
+    /// The run's warm state was recorded back successfully.
+    pub saved: bool,
+    /// One-line description of why warm state was (partially) unusable —
+    /// truncation, version skew, checksum mismatch, I/O. The run it
+    /// annotates fell back to cold behavior for the affected part.
+    pub warning: Option<String>,
 }
 
 /// Errors from the DiSE pipeline.
@@ -106,6 +142,8 @@ pub struct DiseResult {
     pub total_time: Duration,
     /// The Table 1 trace, when requested.
     pub directed_trace: Option<String>,
+    /// Persistent-store activity (`None` when no store was configured).
+    pub store: Option<StoreStatus>,
 }
 
 impl DiseResult {
@@ -154,19 +192,64 @@ pub fn run_dise(
     let modified = flatten(modified, proc_name)?;
     let (base, modified) = (base.as_ref(), modified.as_ref());
 
-    // Phase 1: differencing + affected locations (§3.2).
+    // Persistent store: load prior warm state. Every load failure
+    // downgrades to a cold run — a damaged store must never change (or
+    // block) results.
+    let store = config.store.as_deref().map(Store::open);
+    let mut status = store.as_ref().map(|_| StoreStatus::default());
+    let mut prior: Option<ProcEntry> = None;
+    let mut fingerprints = (0u64, 0u64);
+    if let Some(store) = &store {
+        match store.load(proc_name) {
+            Ok(entry) => prior = entry,
+            Err(e) => {
+                let status = status.as_mut().expect("status exists with a store");
+                status.warning = Some(format!("analysis store: {e}; running cold"));
+            }
+        }
+        // The programs are flattened already, so fingerprinting cannot
+        // hit a fresh inline failure.
+        fingerprints = (
+            proc_fingerprint(base, proc_name).map_err(DiseError::Inline)?,
+            proc_fingerprint(modified, proc_name).map_err(DiseError::Inline)?,
+        );
+    }
+
+    // Phase 1: differencing + affected locations (§3.2). When the store
+    // recorded this exact (base, modified) fingerprint pair, the
+    // deterministic fixpoint is skipped in favor of its recorded result.
     let (cfg_base, cfg_mod, diff) = CfgDiff::from_programs(base, modified, proc_name)?;
-    let affected = affected_locations(
-        &cfg_base,
-        &cfg_mod,
-        &diff,
-        config.precision,
-        config.trace_affected,
-    );
+    let affected = match reusable_affected(prior.as_ref(), fingerprints, config, cfg_mod.len()) {
+        Some(sets) => {
+            status
+                .as_mut()
+                .expect("reuse implies a store")
+                .affected_reused = true;
+            sets
+        }
+        None => affected_locations(
+            &cfg_base,
+            &cfg_mod,
+            &diff,
+            config.precision,
+            config.trace_affected,
+        ),
+    };
     let analysis_time = start.elapsed();
 
-    // Phase 2: directed symbolic execution (§3.3).
+    // Phase 2: directed symbolic execution (§3.3), warm-started from the
+    // stored trie when the solver configurations agree (budget knobs flip
+    // `Unknown` verdicts, so memoized answers are only portable between
+    // identically configured solvers).
+    let solver_key = config.exec.solver.cache_key();
     let mut executor = Executor::new(modified, proc_name, config.exec.clone())?;
+    if let Some(entry) = &prior {
+        if entry.solver_key == solver_key {
+            let status = status.as_mut().expect("prior entry implies a store");
+            status.warm_trie_entries = executor.warm_start(&entry.trie, entry.sweep_feedback);
+            status.feedback_reused = entry.sweep_feedback.is_some();
+        }
+    }
     debug_assert_eq!(
         executor.cfg().len(),
         cfg_mod.len(),
@@ -174,6 +257,40 @@ pub fn run_dise(
     );
     let mut strategy = DirectedStrategy::new(&cfg_mod, &affected, config.trace_directed);
     let summary = executor.explore(&mut strategy);
+
+    // Record the run back: the merged trie (prior entries plus everything
+    // this run decided), the measured sweep ratio, and the pair's
+    // affected sets under their fingerprints.
+    if let Some(store) = &store {
+        let entry = ProcEntry {
+            proc_name: proc_name.to_string(),
+            solver_key,
+            base_fingerprint: fingerprints.0,
+            mod_fingerprint: fingerprints.1,
+            runs: prior.as_ref().map_or(0, |e| e.runs) + 1,
+            pc_count: summary.pc_count() as u64,
+            summary_digest: summary_digest(&summary),
+            sweep_feedback: executor.sweep_feedback(),
+            affected: Some(StoredAffected {
+                precision: precision_tag(config.precision),
+                changed_nodes: diff.changed_node_count() as u64,
+                acn: affected.acn().iter().map(|n| n.index() as u32).collect(),
+                awn: affected.awn().iter().map(|n| n.index() as u32).collect(),
+            }),
+            trie: executor.trie_snapshot(),
+        };
+        let status = status.as_mut().expect("status exists with a store");
+        match store.save(&entry) {
+            Ok(()) => status.saved = true,
+            Err(e) => {
+                let note = format!("analysis store: save failed ({e})");
+                status.warning = Some(match status.warning.take() {
+                    Some(prev) => format!("{prev}; {note}"),
+                    None => note,
+                });
+            }
+        }
+    }
 
     Ok(DiseResult {
         changed_nodes: diff.changed_node_count(),
@@ -183,7 +300,73 @@ pub fn run_dise(
         affected,
         analysis_time,
         total_time: start.elapsed(),
+        store: status,
     })
+}
+
+/// The on-disk tag of a [`DataflowPrecision`] mode. Part of the store's
+/// reuse key: the `--reaching-defs` ablation computes strictly smaller
+/// affected sets than the paper's `CfgPath` premise, so entries recorded
+/// under one mode must never serve runs under the other.
+fn precision_tag(precision: DataflowPrecision) -> u8 {
+    match precision {
+        DataflowPrecision::CfgPath => 0,
+        DataflowPrecision::ReachingDefs => 1,
+    }
+}
+
+/// The stored affected sets, when they can stand in for the fixpoint:
+/// same `(base, modified)` fingerprint pair, same data-flow precision
+/// mode, no trace requested (restored sets carry none), and every
+/// recorded node id within the current CFG (a guard against fingerprint
+/// collisions — reuse is an optimization, never a risk).
+fn reusable_affected(
+    prior: Option<&ProcEntry>,
+    fingerprints: (u64, u64),
+    config: &DiseConfig,
+    cfg_len: usize,
+) -> Option<AffectedSets> {
+    let entry = prior?;
+    if config.trace_affected
+        || entry.base_fingerprint != fingerprints.0
+        || entry.mod_fingerprint != fingerprints.1
+    {
+        return None;
+    }
+    let stored = entry.affected.as_ref()?;
+    if stored.precision != precision_tag(config.precision) {
+        return None;
+    }
+    let in_range = |nodes: &[u32]| nodes.iter().all(|&n| (n as usize) < cfg_len);
+    if !in_range(&stored.acn) || !in_range(&stored.awn) {
+        return None;
+    }
+    let to_set = |nodes: &[u32]| -> BTreeSet<NodeId> { nodes.iter().map(|&n| NodeId(n)).collect() };
+    Some(AffectedSets::from_parts(
+        to_set(&stored.acn),
+        to_set(&stored.awn),
+    ))
+}
+
+/// A stable digest of the summary's observable output (path conditions,
+/// outcomes, and final environments) — what the CI warm-start job diffs
+/// byte-for-byte, recorded per entry for `dise store stat`.
+fn summary_digest(summary: &SymbolicSummary) -> u64 {
+    let mut text = String::new();
+    for path in summary.paths() {
+        text.push_str(&path.pc.to_string());
+        text.push('\x1f');
+        text.push_str(&format!("{:?}", path.outcome));
+        text.push('\x1f');
+        for (var, value) in path.final_env.iter() {
+            text.push_str(var);
+            text.push('=');
+            text.push_str(&value.to_string());
+            text.push(';');
+        }
+        text.push('\n');
+    }
+    dise_store::format::fnv1a(text.as_bytes())
 }
 
 /// Runs *full* symbolic execution on `program` with the same executor
@@ -268,6 +451,182 @@ mod tests {
         let (base, modified) = fig2_pair();
         let err = run_dise(&base, &modified, "nope", &DiseConfig::default()).unwrap_err();
         assert!(matches!(err, DiseError::Diff(_)));
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "dise-core-store-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn assert_same_summary(a: &SymbolicSummary, b: &SymbolicSummary) {
+        assert_eq!(a.paths().len(), b.paths().len());
+        for (x, y) in a.paths().iter().zip(b.paths()) {
+            assert_eq!(x.pc, y.pc);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.final_env, y.final_env);
+            assert_eq!(x.trace, y.trace);
+        }
+    }
+
+    #[test]
+    fn store_warm_run_is_byte_identical_and_skips_solving() {
+        let (base, modified) = fig2_pair();
+        let dir = temp_store_dir("warm");
+        let config = DiseConfig {
+            store: Some(dir.clone()),
+            ..DiseConfig::default()
+        };
+        let cold = run_dise(&base, &modified, "update", &config).unwrap();
+        let cold_status = cold.store.as_ref().expect("store configured");
+        assert_eq!(cold_status.warm_trie_entries, 0);
+        assert!(!cold_status.affected_reused);
+        assert!(cold_status.saved);
+        assert!(cold_status.warning.is_none());
+
+        let warm = run_dise(&base, &modified, "update", &config).unwrap();
+        let warm_status = warm.store.as_ref().expect("store configured");
+        assert!(warm_status.warm_trie_entries > 0);
+        assert!(warm_status.affected_reused);
+        assert!(warm_status.saved);
+        assert_eq!(warm.affected_nodes, cold.affected_nodes);
+        assert_eq!(warm.changed_nodes, cold.changed_nodes);
+        assert_same_summary(&cold.summary, &warm.summary);
+        assert_eq!(warm.affected.acn(), cold.affected.acn());
+        assert_eq!(warm.affected.awn(), cold.affected.awn());
+        // The warm run answered every serial check without a pipeline run.
+        let cold_solves =
+            cold.summary.stats().solver.model_searches + cold.summary.stats().solver.fm_runs;
+        let warm_solves =
+            warm.summary.stats().solver.model_searches + warm.summary.stats().solver.fm_runs;
+        assert!(
+            warm_solves < cold_solves,
+            "warm {warm_solves} must beat cold {cold_solves}"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn store_outlives_version_changes() {
+        // Warm-start version N from version N-1's store entry: the trie
+        // transfers (structural keys), the affected sets do not (the
+        // fingerprint pair changed).
+        let (base, modified) = fig2_pair();
+        let dir = temp_store_dir("evolve");
+        let config = DiseConfig {
+            store: Some(dir.clone()),
+            ..DiseConfig::default()
+        };
+        run_dise(&base, &base, "update", &config).unwrap();
+        let next = run_dise(&base, &modified, "update", &config).unwrap();
+        let status = next.store.as_ref().unwrap();
+        assert!(!status.affected_reused, "pair fingerprints changed");
+        let reference = run_dise(&base, &modified, "update", &DiseConfig::default()).unwrap();
+        assert_same_summary(&reference.summary, &next.summary);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_store_degrades_to_cold_with_a_warning() {
+        let (base, modified) = fig2_pair();
+        let dir = temp_store_dir("corrupt");
+        let config = DiseConfig {
+            store: Some(dir.clone()),
+            ..DiseConfig::default()
+        };
+        run_dise(&base, &modified, "update", &config).unwrap();
+        // Truncate the entry file in place.
+        let store = dise_store::Store::open(&dir);
+        let path = store.entry_path("update");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+
+        let damaged = run_dise(&base, &modified, "update", &config).unwrap();
+        let status = damaged.store.as_ref().unwrap();
+        assert_eq!(status.warm_trie_entries, 0);
+        assert!(!status.affected_reused);
+        assert!(status.warning.is_some(), "damage must surface a warning");
+        assert!(status.saved, "the damaged entry is rewritten");
+        let reference = run_dise(&base, &modified, "update", &DiseConfig::default()).unwrap();
+        assert_same_summary(&reference.summary, &damaged.summary);
+        // The rewrite healed the store: the next run warm-starts again.
+        let healed = run_dise(&base, &modified, "update", &config).unwrap();
+        assert!(healed.store.as_ref().unwrap().warm_trie_entries > 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn precision_skew_blocks_affected_reuse() {
+        // A changed definition that is killed before its only use: the
+        // CfgPath premise flags the downstream conditional as affected,
+        // ReachingDefs does not. An entry recorded under one mode must
+        // never serve the other — reusing CfgPath sets would inflate a
+        // --reaching-defs run's results.
+        let base =
+            parse_program("int b;\nproc f() {\n  int a = 1;\n  a = b;\n  if (a > 0) { b = 1; }\n}")
+                .unwrap();
+        let modified =
+            parse_program("int b;\nproc f() {\n  int a = 7;\n  a = b;\n  if (a > 0) { b = 1; }\n}")
+                .unwrap();
+        let dir = temp_store_dir("precision");
+        let record = DiseConfig {
+            store: Some(dir.clone()),
+            ..DiseConfig::default()
+        };
+        run_dise(&base, &modified, "f", &record).unwrap();
+
+        let precise = DiseConfig {
+            precision: DataflowPrecision::ReachingDefs,
+            ..record.clone()
+        };
+        let warm = run_dise(&base, &modified, "f", &precise).unwrap();
+        assert!(
+            !warm.store.as_ref().unwrap().affected_reused,
+            "CfgPath sets must not serve a ReachingDefs run"
+        );
+        let cold = run_dise(
+            &base,
+            &modified,
+            "f",
+            &DiseConfig {
+                precision: DataflowPrecision::ReachingDefs,
+                ..DiseConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(warm.affected_nodes, cold.affected_nodes);
+        assert_eq!(warm.affected.acn(), cold.affected.acn());
+        assert_eq!(warm.affected.awn(), cold.affected.awn());
+        assert_same_summary(&cold.summary, &warm.summary);
+        // Sanity: the two modes genuinely disagree on this program, so
+        // the gate is doing real work.
+        let coarse = run_dise(&base, &modified, "f", &DiseConfig::default()).unwrap();
+        assert_ne!(coarse.affected_nodes, cold.affected_nodes);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn solver_config_skew_blocks_trie_reuse() {
+        let (base, modified) = fig2_pair();
+        let dir = temp_store_dir("skew");
+        let config = DiseConfig {
+            store: Some(dir.clone()),
+            ..DiseConfig::default()
+        };
+        run_dise(&base, &modified, "update", &config).unwrap();
+        let mut skewed = config.clone();
+        skewed.exec.solver.case_budget = 7;
+        let run = run_dise(&base, &modified, "update", &skewed).unwrap();
+        let status = run.store.as_ref().unwrap();
+        assert_eq!(
+            status.warm_trie_entries, 0,
+            "differently budgeted solvers must not share verdicts"
+        );
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

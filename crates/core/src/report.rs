@@ -160,6 +160,33 @@ pub fn sweep_stats_line(frontier: &FrontierStats) -> Option<String> {
     ))
 }
 
+/// One-line summary of persistent-store activity for the CLI: what was
+/// restored, what was reused, whether the run was recorded back, and any
+/// degradation warning (shown separately on stderr by the CLI).
+pub fn store_stats_line(status: &crate::dise::StoreStatus) -> String {
+    let mut parts = Vec::new();
+    if status.warm_trie_entries > 0 {
+        parts.push(format!(
+            "warm start ({} trie prefixes restored)",
+            status.warm_trie_entries
+        ));
+    } else {
+        parts.push("cold start".to_string());
+    }
+    if status.affected_reused {
+        parts.push("affected sets reused".to_string());
+    }
+    if status.feedback_reused {
+        parts.push("sweep feedback reused".to_string());
+    }
+    parts.push(if status.saved {
+        "saved".to_string()
+    } else {
+        "not saved".to_string()
+    });
+    parts.join(", ")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +270,28 @@ mod tests {
         let line = sweep_stats_line(&unlimited).unwrap();
         assert!(line.contains("budget unlimited"), "{line}");
         assert!(!line.contains("exhausted"), "{line}");
+    }
+
+    #[test]
+    fn store_stats_line_covers_the_states() {
+        use crate::dise::StoreStatus;
+        let cold = StoreStatus::default();
+        assert_eq!(store_stats_line(&cold), "cold start, not saved");
+        let warm = StoreStatus {
+            warm_trie_entries: 17,
+            affected_reused: true,
+            feedback_reused: true,
+            saved: true,
+            warning: None,
+        };
+        let line = store_stats_line(&warm);
+        assert!(
+            line.contains("warm start (17 trie prefixes restored)"),
+            "{line}"
+        );
+        assert!(line.contains("affected sets reused"), "{line}");
+        assert!(line.contains("sweep feedback reused"), "{line}");
+        assert!(line.ends_with("saved"), "{line}");
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * [`cfg_map`] — the pre-processing step of §3.1 that transfers
 //!   statement marks onto CFG nodes and builds the `diffMap` relating
 //!   `CFG_base` nodes to their `CFG_mod` counterparts (removed nodes map
-//!   to nothing).
+//!   to nothing);
+//! * [`fingerprint`] — stable per-procedure content fingerprints over the
+//!   canonical IR and CFG, the invalidation keys of the persistent
+//!   analysis store (`dise-store`).
 //!
 //! The marked `CFG_mod` nodes seed the affected-location fixpoint in
 //! `dise-core` — see the workspace `ARCHITECTURE.md` for where this
@@ -36,9 +39,11 @@
 //! ```
 
 pub mod cfg_map;
+pub mod fingerprint;
 pub mod line_diff;
 pub mod stmt_diff;
 
 pub use cfg_map::CfgDiff;
+pub use fingerprint::proc_fingerprint;
 pub use line_diff::{line_diff, LineEdit};
 pub use stmt_diff::{diff_procedures, diff_programs, BaseMark, DiffError, ModMark, ProcDiff};

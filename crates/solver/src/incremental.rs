@@ -35,6 +35,7 @@ use crate::intern::TermId;
 use crate::linear::LinAtom;
 use crate::model::{Model, Value};
 use crate::shared_trie::SharedTrie;
+use crate::snapshot::{TrieEntry, TrieSnapshot};
 use crate::solve::{
     classify, decide_conjunction, flatten_conjunct, nnf, split_alternatives, CaseVerdict,
     Classified, SatResult, Solver, SolverConfig, SolverStats,
@@ -528,6 +529,12 @@ impl IncrementalSolver {
             Some(frame) => frame.trie_node?,
             None => 0,
         };
+        self.trie_child_of(parent, term)
+    }
+
+    /// The trie node for the prefix at `parent` extended by `term`,
+    /// creating it if capacity allows.
+    fn trie_child_of(&mut self, parent: usize, term: TermId) -> Option<usize> {
         if let Some(&child) = self.trie[parent].children.get(&term) {
             return Some(child);
         }
@@ -538,6 +545,118 @@ impl IncrementalSolver {
         self.trie.push(TrieNode::default());
         self.trie[parent].children.insert(term, child);
         Some(child)
+    }
+
+    /// Exports the interner and prefix trie as a portable
+    /// [`TrieSnapshot`] — the persisted warm state of `dise store`
+    /// directories. Undecided subtrees (no verdict anywhere below) are
+    /// pruned; edge order is deterministic (ascending creation order,
+    /// children keys visited in [`TermId`] order).
+    pub fn export_trie(&self) -> TrieSnapshot {
+        // Children are always created after their parent, so a single
+        // reverse index sweep computes "subtree holds a verdict".
+        let mut parent_of: Vec<Option<(usize, TermId)>> = vec![None; self.trie.len()];
+        for (i, node) in self.trie.iter().enumerate() {
+            for (&term, &child) in &node.children {
+                parent_of[child] = Some((i, term));
+            }
+        }
+        let mut keep: Vec<bool> = self
+            .trie
+            .iter()
+            .map(|node| node.verdict.is_some())
+            .collect();
+        for i in (1..self.trie.len()).rev() {
+            if keep[i] {
+                if let Some((parent, _)) = parent_of[i] {
+                    keep[parent] = true;
+                }
+            }
+        }
+
+        let mut entries = Vec::new();
+        // Snapshot index of each kept trie node (root maps to 0; entry k
+        // maps to k + 1).
+        let mut mapped: Vec<Option<u32>> = vec![None; self.trie.len()];
+        mapped[0] = Some(0);
+        for i in 1..self.trie.len() {
+            if !keep[i] {
+                continue;
+            }
+            let (parent, term) = parent_of[i].expect("non-root trie nodes have parents");
+            let Some(parent_idx) = mapped[parent] else {
+                continue; // parent was dropped (capacity races cannot occur here)
+            };
+            let node = &self.trie[i];
+            entries.push(TrieEntry {
+                parent: parent_idx,
+                term: term.index() as u32,
+                verdict: node.verdict,
+                model: node.model.clone(),
+                bounds: node.bounds.clone(),
+            });
+            mapped[i] = Some(entries.len() as u32);
+        }
+        TrieSnapshot {
+            terms: self.inner.interner.terms().to_vec(),
+            entries,
+        }
+    }
+
+    /// Seeds the interner and prefix trie from a snapshot produced by
+    /// [`IncrementalSolver::export_trie`] (possibly in another process —
+    /// every term is re-interned, so snapshot ids and live ids need not
+    /// coincide). Returns the number of decided prefixes restored.
+    ///
+    /// Only legal on an empty stack; a non-empty stack, an invalid
+    /// snapshot ([`TrieSnapshot::validate`]), or a full trie restore
+    /// nothing (`0`) — a warm start must never poison a solver. Existing
+    /// verdicts are never overwritten.
+    ///
+    /// Soundness matches [`SharedTrie`] reuse: verdict, model, and bounds
+    /// are deterministic functions of the literal path, so a restored
+    /// entry is exactly what this solver would have computed — *provided
+    /// the solver configuration matches* (case budgets flip `Unknown`s);
+    /// gate reuse on [`crate::SolverConfig::cache_key`].
+    pub fn import_trie(&mut self, snapshot: &TrieSnapshot) -> usize {
+        if !self.frames.is_empty() || !snapshot.validate() {
+            return 0;
+        }
+        let mut ids: Vec<TermId> = Vec::with_capacity(snapshot.terms.len());
+        for term in &snapshot.terms {
+            let mapped = match term {
+                crate::intern::Term::Unary { op, arg } => crate::intern::Term::Unary {
+                    op: *op,
+                    arg: ids[arg.index()],
+                },
+                crate::intern::Term::Binary { op, lhs, rhs } => crate::intern::Term::Binary {
+                    op: *op,
+                    lhs: ids[lhs.index()],
+                    rhs: ids[rhs.index()],
+                },
+                other => other.clone(),
+            };
+            ids.push(self.inner.interner.intern_term(mapped));
+        }
+        let mut imported = 0;
+        // Local node behind each snapshot index (0 = root).
+        let mut nodes: Vec<Option<usize>> = vec![Some(0)];
+        for entry in &snapshot.entries {
+            let child = nodes[entry.parent as usize]
+                .and_then(|parent| self.trie_child_of(parent, ids[entry.term as usize]));
+            if let Some(node) = child {
+                if self.trie[node].verdict.is_none() {
+                    if let Some(verdict) = entry.verdict {
+                        self.trie[node].verdict = Some(verdict);
+                        self.trie[node].model = entry.model.clone();
+                        self.trie[node].bounds = entry.bounds.clone();
+                        imported += 1;
+                    }
+                }
+            }
+            nodes.push(child);
+        }
+        imported
     }
 
     /// Builds the reuse candidate: the parent frame's verified model,
@@ -962,6 +1081,126 @@ mod tests {
         assert_eq!(solver.check(), SatResult::Sat);
         assert_eq!(shared.len(), 0);
         assert_eq!(solver.stats().shared_trie_hits, 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_answers_without_solving() {
+        let (_, x, y, _) = setup();
+        let chain = [
+            SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)),
+            SymExpr::lt(SymExpr::var(&y), SymExpr::var(&x)),
+        ];
+        let mut producer = IncrementalSolver::new();
+        for lit in &chain {
+            producer.push(lit.clone());
+            assert_eq!(producer.check(), SatResult::Sat);
+        }
+        let producer_model = producer.model().cloned().unwrap();
+        producer.reset();
+        let snapshot = producer.export_trie();
+        assert!(snapshot.validate());
+        assert_eq!(snapshot.decided(), 2);
+
+        // A *fresh* solver (fresh interner, fresh everything) warm-started
+        // from the snapshot answers the same chain from its trie — and
+        // restores the identical model, so deeper exploration behaves
+        // exactly like the producer's.
+        let mut consumer = IncrementalSolver::new();
+        assert_eq!(consumer.import_trie(&snapshot), 2);
+        for lit in &chain {
+            consumer.push(lit.clone());
+            assert_eq!(consumer.check(), SatResult::Sat);
+        }
+        let stats = consumer.stats();
+        assert_eq!(stats.prefix_cache_hits, 2, "{stats:?}");
+        assert_eq!(stats.model_searches, 0);
+        assert_eq!(stats.fm_runs, 0);
+        assert_eq!(consumer.model().cloned().unwrap(), producer_model);
+    }
+
+    #[test]
+    fn snapshot_restores_unsat_prefix_kills() {
+        let (_, x, y, _) = setup();
+        let conflict = [
+            SymExpr::gt(SymExpr::var(&x), SymExpr::int(5)),
+            SymExpr::lt(SymExpr::var(&x), SymExpr::int(5)),
+        ];
+        let mut producer = IncrementalSolver::new();
+        for lit in &conflict {
+            producer.push(lit.clone());
+        }
+        assert_eq!(producer.check(), SatResult::Unsat);
+        producer.reset();
+        let snapshot = producer.export_trie();
+
+        let mut consumer = IncrementalSolver::new();
+        assert!(consumer.import_trie(&snapshot) >= 1);
+        for lit in &conflict {
+            consumer.push(lit.clone());
+        }
+        assert_eq!(consumer.check(), SatResult::Unsat);
+        consumer.push(SymExpr::gt(SymExpr::var(&y), SymExpr::int(0)));
+        let before = consumer.stats();
+        assert_eq!(consumer.check(), SatResult::Unsat);
+        let after = consumer.stats();
+        assert_eq!(after.prefix_unsat_kills, before.prefix_unsat_kills + 1);
+        assert_eq!(after.model_searches, before.model_searches);
+    }
+
+    #[test]
+    fn export_prunes_undecided_subtrees() {
+        let (_, x, _, _) = setup();
+        let mut solver = IncrementalSolver::new();
+        // Pushed but never checked: the prefix has a trie node with no
+        // verdict anywhere below, so the snapshot drops it.
+        solver.push(SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)));
+        solver.reset();
+        let snapshot = solver.export_trie();
+        assert!(snapshot.is_empty());
+        // Decided prefixes survive.
+        solver.push(SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)));
+        solver.check();
+        solver.reset();
+        let snapshot = solver.export_trie();
+        assert_eq!(snapshot.entries.len(), 1);
+        assert_eq!(snapshot.decided(), 1);
+    }
+
+    #[test]
+    fn import_refuses_nonempty_stacks_and_invalid_snapshots() {
+        let (_, x, _, _) = setup();
+        let mut producer = IncrementalSolver::new();
+        producer.push(SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)));
+        producer.check();
+        producer.reset();
+        let snapshot = producer.export_trie();
+
+        let mut busy = IncrementalSolver::new();
+        busy.push(SymExpr::gt(SymExpr::var(&x), SymExpr::int(1)));
+        assert_eq!(busy.import_trie(&snapshot), 0);
+
+        let mut corrupt = snapshot.clone();
+        corrupt.entries[0].term = 999;
+        let mut fresh = IncrementalSolver::new();
+        assert_eq!(fresh.import_trie(&corrupt), 0);
+    }
+
+    #[test]
+    fn import_is_idempotent_and_respects_existing_verdicts() {
+        let (_, x, _, _) = setup();
+        let lit = SymExpr::gt(SymExpr::var(&x), SymExpr::int(0));
+        let mut producer = IncrementalSolver::new();
+        producer.push(lit.clone());
+        producer.check();
+        producer.reset();
+        let snapshot = producer.export_trie();
+
+        let mut consumer = IncrementalSolver::new();
+        assert_eq!(consumer.import_trie(&snapshot), 1);
+        // A second import finds every verdict already present.
+        assert_eq!(consumer.import_trie(&snapshot), 0);
+        consumer.push(lit);
+        assert_eq!(consumer.check(), SatResult::Sat);
     }
 
     #[test]

@@ -27,6 +27,14 @@ impl TermId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a [`TermId`] from a raw index — only meaningful for
+    /// indices into a snapshot's own term table (see
+    /// [`crate::snapshot::TrieSnapshot`]), where ids are positions, not
+    /// live interner handles.
+    pub fn from_index(index: usize) -> TermId {
+        TermId(u32::try_from(index).expect("term index overflow"))
+    }
 }
 
 impl std::fmt::Display for TermId {
@@ -105,7 +113,7 @@ impl Interner {
         self.intern_term(term)
     }
 
-    fn intern_term(&mut self, term: Term) -> TermId {
+    pub(crate) fn intern_term(&mut self, term: Term) -> TermId {
         if let Some(&id) = self.table.get(&term) {
             return id;
         }
@@ -122,6 +130,13 @@ impl Interner {
     /// Panics if `id` came from a different interner (out of range).
     pub fn term(&self, id: TermId) -> &Term {
         &self.terms[id.index()]
+    }
+
+    /// The full term table in insertion order (children precede parents
+    /// by construction) — the canonical form persisted by
+    /// [`crate::snapshot::TrieSnapshot`].
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
     }
 
     /// Number of distinct terms interned so far.

@@ -95,6 +95,7 @@ pub mod linear;
 pub mod model;
 pub mod shared_trie;
 pub mod simplify;
+pub mod snapshot;
 pub mod solve;
 pub mod sym;
 
@@ -103,7 +104,8 @@ pub use incremental::IncrementalSolver;
 pub use intern::{Interner, TermId};
 pub use interval::Interval;
 pub use model::Model;
-pub use shared_trie::{SharedTrie, SharedVerdict};
+pub use shared_trie::{Bounds, SharedTrie, SharedVerdict};
 pub use simplify::simplify_pc;
+pub use snapshot::{TrieEntry, TrieSnapshot};
 pub use solve::{CheckOutcome, SatResult, Solver, SolverConfig, SolverStats};
 pub use sym::{SymExpr, SymTy, SymVar, VarPool};

@@ -1,0 +1,153 @@
+//! Portable snapshots of the incremental solver's warm state.
+//!
+//! A [`TrieSnapshot`] is the serializable image of an
+//! [`crate::IncrementalSolver`]'s hash-consed interner and prefix-trie
+//! verdict cache: the full term table (children before parents, exactly
+//! the interner's insertion order) plus one [`TrieEntry`] per trie edge
+//! that leads to a decided prefix. Edges are keyed by *canonical term
+//! indices into the snapshot's own table*, never by live
+//! [`TermId`](crate::intern::TermId)s — importing re-interns every term,
+//! so a snapshot taken by one process warm-starts a solver in another
+//! process (or a later run over a different program version) with the
+//! same ids only where the structures actually coincide.
+//!
+//! Restoring a snapshot is sound for the same reason cross-worker
+//! [`crate::SharedTrie`] reuse is: a verdict (and its verified model and
+//! interval fixed point) is a deterministic function of the literal
+//! sequence alone — the decision pipeline never consults anything else —
+//! so a restored entry is byte-for-byte what the fresh run would have
+//! computed for that prefix. The only reuse gate is the solver
+//! *configuration* (case budgets change `Unknown` verdicts), which
+//! callers compare via [`crate::SolverConfig::cache_key`].
+//!
+//! `dise-store` serializes snapshots to disk with an integrity header;
+//! this module stays I/O-free.
+
+use crate::intern::Term;
+use crate::model::Model;
+use crate::shared_trie::Bounds;
+use crate::solve::SatResult;
+
+/// One trie edge of a [`TrieSnapshot`]: the parent node, the literal term
+/// labelling the edge, and the decision memoized at the child (if any —
+/// interior edges on the way to a decided descendant carry `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrieEntry {
+    /// Parent node: `0` is the root (empty path); `k > 0` refers to
+    /// `entries[k - 1]` of the same snapshot.
+    pub parent: u32,
+    /// Index into [`TrieSnapshot::terms`] of the edge's literal.
+    pub term: u32,
+    /// The memoized verdict at this prefix, if one was computed.
+    pub verdict: Option<SatResult>,
+    /// The verified model (present when the verdict is SAT).
+    pub model: Option<Model>,
+    /// The interval fixed point at this depth, if any.
+    pub bounds: Option<Bounds>,
+}
+
+/// A portable image of an incremental solver's interner and prefix trie.
+/// Produced by [`crate::IncrementalSolver::export_trie`], consumed by
+/// [`crate::IncrementalSolver::import_trie`]. See the [module
+/// docs](self).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrieSnapshot {
+    /// The hash-consed term table, in interner insertion order (every
+    /// term's children precede it).
+    pub terms: Vec<Term>,
+    /// The trie edges, parents before children.
+    pub entries: Vec<TrieEntry>,
+}
+
+impl TrieSnapshot {
+    /// Number of decided prefixes in the snapshot (entries carrying a
+    /// verdict; interior edges are not counted).
+    pub fn decided(&self) -> usize {
+        self.entries.iter().filter(|e| e.verdict.is_some()).count()
+    }
+
+    /// Returns `true` when the snapshot holds no trie edges at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Structural well-formedness: every term references only earlier
+    /// terms, every entry references an in-range term and an
+    /// earlier-or-root parent. Import refuses snapshots that fail this
+    /// (a checksum-valid but logically corrupt file must never poison a
+    /// solver).
+    pub fn validate(&self) -> bool {
+        for (i, term) in self.terms.iter().enumerate() {
+            let ok = match term {
+                Term::Int(_) | Term::Bool(_) | Term::Var { .. } => true,
+                Term::Unary { arg, .. } => arg.index() < i,
+                Term::Binary { lhs, rhs, .. } => lhs.index() < i && rhs.index() < i,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for (i, entry) in self.entries.iter().enumerate() {
+            if entry.parent as usize > i || entry.term as usize >= self.terms.len() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::TermId;
+    use crate::sym::UnOp;
+
+    fn entry(parent: u32, term: u32) -> TrieEntry {
+        TrieEntry {
+            parent,
+            term,
+            verdict: Some(SatResult::Sat),
+            model: None,
+            bounds: None,
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let snapshot = TrieSnapshot::default();
+        assert!(snapshot.validate());
+        assert!(snapshot.is_empty());
+        assert_eq!(snapshot.decided(), 0);
+    }
+
+    #[test]
+    fn forward_term_references_are_rejected() {
+        let snapshot = TrieSnapshot {
+            terms: vec![Term::Unary {
+                op: UnOp::Not,
+                arg: TermId::from_index(5),
+            }],
+            entries: Vec::new(),
+        };
+        assert!(!snapshot.validate());
+    }
+
+    #[test]
+    fn out_of_range_entries_are_rejected() {
+        let base = TrieSnapshot {
+            terms: vec![Term::Bool(true)],
+            entries: vec![entry(0, 0)],
+        };
+        assert!(base.validate());
+        let bad_term = TrieSnapshot {
+            entries: vec![entry(0, 3)],
+            ..base.clone()
+        };
+        assert!(!bad_term.validate());
+        let forward_parent = TrieSnapshot {
+            entries: vec![entry(2, 0)],
+            ..base
+        };
+        assert!(!forward_parent.validate());
+    }
+}

@@ -136,6 +136,33 @@ impl Default for SolverConfig {
     }
 }
 
+impl SolverConfig {
+    /// A stable fingerprint of every verdict-relevant knob (budgets and
+    /// search parameters; cache sizing is excluded — it changes *when*
+    /// answers are memoized, never what they are). Persistent-store
+    /// consumers compare this before reusing another run's memoized
+    /// verdicts: budgets flip `Unknown` results, so trie entries are only
+    /// portable between identically-budgeted solvers. FNV-1a over the
+    /// field values, stable across processes and platforms.
+    pub fn cache_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.case_budget as u64);
+        eat(self.search.node_budget as u64);
+        eat(self.search.default_bound as u64);
+        eat(self.search.enumerate_width);
+        eat(self.search.seed);
+        hash
+    }
+}
+
 /// Counters describing solver activity (reported by the benchmark harness
 /// alongside the paper's time/state metrics). The incremental tier's
 /// counters are folded in by

@@ -1,0 +1,56 @@
+//! Store error taxonomy.
+//!
+//! Every variant except [`StoreError::Io`] describes a *rejected file*:
+//! the caller falls back to a cold run (and typically rewrites the entry
+//! after it), so a damaged store can degrade performance but never
+//! results.
+
+use std::fmt;
+
+/// Why a store operation failed. `load` failures are recoverable by
+/// design — the driver treats any of them as "no warm state".
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem-level failure (permissions, disk full, …).
+    Io(std::io::Error),
+    /// The file does not start with the `DISESTOR` magic.
+    BadMagic,
+    /// The file's format version is not one this build reads.
+    UnsupportedVersion(u32),
+    /// The file ends before its declared payload does.
+    Truncated,
+    /// The payload bytes do not match the header's checksum.
+    ChecksumMismatch,
+    /// The payload decoded but violates a structural invariant.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => f.write_str("not a dise store file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store format version {v}")
+            }
+            StoreError::Truncated => f.write_str("truncated store file"),
+            StoreError::ChecksumMismatch => f.write_str("store checksum mismatch"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store entry ({what})"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

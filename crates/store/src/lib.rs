@@ -1,0 +1,677 @@
+//! # dise-store — the persistent cross-version analysis store
+//!
+//! DiSE's promise is that analyzing program version *N* costs only what
+//! changed since *N−1* — but every piece of incrementality built so far
+//! (the hash-consed interner, the prefix-trie verdict cache, the measured
+//! sweep-consumption ratio) lived in process memory and died with the
+//! run. This crate persists that warm state on disk, one file per
+//! analyzed procedure, so a later `dise run` — same version re-analyzed,
+//! or the *next* version of the program — starts with every previously
+//! decided path-condition prefix already memoized.
+//!
+//! A store directory holds one [`ProcEntry`] per procedure:
+//!
+//! * the solver's [`TrieSnapshot`] — interner terms plus per-prefix
+//!   verdict/model/bounds, keyed by canonical term indices so they
+//!   survive re-interning in another process (see
+//!   [`dise_solver::snapshot`]);
+//! * the content fingerprints of the analyzed `(base, modified)` program
+//!   pair plus the raw affected node sets, so a re-run of the *same* pair
+//!   can skip the affected-location fixpoint entirely;
+//! * the measured sweep-consumption ratio, so one-shot runs get the
+//!   feedback-scaled `Auto` sweep budget previously reserved for reused
+//!   executors;
+//! * bookkeeping (run count, path-condition count, summary digest) for
+//!   `dise store stat`.
+//!
+//! ## Integrity and determinism contract
+//!
+//! Files are framed with a magic, format version, payload length, and an
+//! FNV-1a checksum ([`format`](mod@format)); loads verify all four
+//! before decoding,
+//! and decoded snapshots are structurally validated again at import time.
+//! Any failure is reported as a typed [`StoreError`] and treated by
+//! callers as "no warm state": a damaged store degrades speed, never
+//! results. Warm-started runs are byte-identical to cold runs because
+//! every restored verdict is a deterministic function of its literal
+//! path (the [`dise_solver::SharedTrie`] argument), gated on the solver
+//! configuration via [`dise_solver::SolverConfig::cache_key`].
+
+pub mod error;
+pub mod format;
+
+use std::path::{Path, PathBuf};
+
+use dise_solver::model::{Model, Value};
+use dise_solver::snapshot::{TrieEntry, TrieSnapshot};
+use dise_solver::sym::{BinOp, SymTy, UnOp};
+use dise_solver::{Bounds, Interval, SatResult, TermId};
+
+pub use error::StoreError;
+pub use format::FORMAT_VERSION;
+
+use dise_solver::intern::Term;
+use format::{Reader, Writer};
+
+/// The persisted affected-location result for one `(base, modified)`
+/// fingerprint pair: raw CFG node indices, reconstructed into
+/// `AffectedSets` by `dise-core` when the fingerprints still match.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoredAffected {
+    /// Opaque tag of the data-flow precision mode the sets were computed
+    /// under (`dise-core`'s `DataflowPrecision`); reuse requires an exact
+    /// match — the `--reaching-defs` ablation produces strictly smaller
+    /// sets than the paper's `CfgPath` premise.
+    pub precision: u8,
+    /// Changed CFG nodes of the diff (Table 2's "Changed" column).
+    pub changed_nodes: u64,
+    /// Affected conditional nodes (`ACN`), as CFG node indices.
+    pub acn: Vec<u32>,
+    /// Affected write nodes (`AWN`), as CFG node indices.
+    pub awn: Vec<u32>,
+}
+
+/// Everything the store knows about one analyzed procedure.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcEntry {
+    /// The analyzed procedure's name (also the file key).
+    pub proc_name: String,
+    /// [`dise_solver::SolverConfig::cache_key`] of the producing run;
+    /// trie reuse requires an exact match (budgets flip `Unknown`s).
+    pub solver_key: u64,
+    /// Content fingerprint of the base program version.
+    pub base_fingerprint: u64,
+    /// Content fingerprint of the modified program version.
+    pub mod_fingerprint: u64,
+    /// Completed runs recorded into this entry.
+    pub runs: u64,
+    /// Path conditions of the last recorded run.
+    pub pc_count: u64,
+    /// Digest of the last run's summary (CI byte-identity checks).
+    pub summary_digest: u64,
+    /// Measured trie-consumption ratio of the last speculative sweep.
+    pub sweep_feedback: Option<f64>,
+    /// Affected sets of the `(base, modified)` fingerprint pair.
+    pub affected: Option<StoredAffected>,
+    /// The solver's warm state.
+    pub trie: TrieSnapshot,
+}
+
+/// One store directory. Opening never touches the filesystem; the
+/// directory is created on the first [`Store::save`].
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// A handle on `dir` (which need not exist yet).
+    pub fn open(dir: impl Into<PathBuf>) -> Store {
+        Store { dir: dir.into() }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path for `proc_name`'s entry.
+    pub fn entry_path(&self, proc_name: &str) -> PathBuf {
+        let sanitized: String = proc_name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.join(format!(
+            "{sanitized}-{:016x}.dise",
+            format::fnv1a(proc_name.as_bytes())
+        ))
+    }
+
+    /// Loads the entry for `proc_name`. `Ok(None)` when no entry exists;
+    /// every integrity failure is a typed error the caller downgrades to
+    /// a cold run.
+    pub fn load(&self, proc_name: &str) -> Result<Option<ProcEntry>, StoreError> {
+        let path = self.entry_path(proc_name);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let entry = decode_entry(format::unframe(&bytes)?)?;
+        if entry.proc_name != proc_name {
+            return Err(StoreError::Corrupt("entry names a different procedure"));
+        }
+        Ok(Some(entry))
+    }
+
+    /// Persists `entry`, creating the directory if needed. Writes go
+    /// through a process-unique temporary file and a rename, so a crash
+    /// mid-save — or a concurrent saver of the same procedure — leaves
+    /// a complete entry in place, never a torn file.
+    pub fn save(&self, entry: &ProcEntry) -> Result<(), StoreError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SAVES: AtomicU64 = AtomicU64::new(0);
+        std::fs::create_dir_all(&self.dir)?;
+        let bytes = format::frame(&encode_entry(entry));
+        let path = self.entry_path(&entry.proc_name);
+        let tmp = path.with_extension(format!(
+            "tmp-{}-{}",
+            std::process::id(),
+            SAVES.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Every entry in the directory, with per-file decode outcomes so
+    /// `dise store stat` can flag damage without hiding healthy entries.
+    /// An absent directory is an empty store.
+    #[allow(clippy::type_complexity)]
+    pub fn entries(&self) -> Result<Vec<(String, Result<ProcEntry, StoreError>)>, StoreError> {
+        let mut out = Vec::new();
+        let dir = match std::fs::read_dir(&self.dir) {
+            Ok(dir) => dir,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        for item in dir {
+            let path = item?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("dise") {
+                continue;
+            }
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("<non-utf8>")
+                .to_string();
+            let outcome = std::fs::read(&path)
+                .map_err(StoreError::Io)
+                .and_then(|bytes| format::unframe(&bytes).and_then(decode_entry));
+            out.push((name, outcome));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Deletes every entry file; returns how many were removed. An
+    /// absent directory counts as already clear.
+    pub fn clear(&self) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        let dir = match std::fs::read_dir(&self.dir) {
+            Ok(dir) => dir,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        for item in dir {
+            let path = item?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("dise") {
+                std::fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+fn encode_entry(entry: &ProcEntry) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.str(&entry.proc_name);
+    w.u64(entry.solver_key);
+    w.u64(entry.base_fingerprint);
+    w.u64(entry.mod_fingerprint);
+    w.u64(entry.runs);
+    w.u64(entry.pc_count);
+    w.u64(entry.summary_digest);
+    w.opt_f64(entry.sweep_feedback);
+    match &entry.affected {
+        None => w.u8(0),
+        Some(affected) => {
+            w.u8(1);
+            w.u8(affected.precision);
+            w.u64(affected.changed_nodes);
+            w.u32(affected.acn.len() as u32);
+            for &node in &affected.acn {
+                w.u32(node);
+            }
+            w.u32(affected.awn.len() as u32);
+            for &node in &affected.awn {
+                w.u32(node);
+            }
+        }
+    }
+    w.u32(entry.trie.terms.len() as u32);
+    for term in &entry.trie.terms {
+        encode_term(&mut w, term);
+    }
+    w.u32(entry.trie.entries.len() as u32);
+    for edge in &entry.trie.entries {
+        encode_edge(&mut w, edge);
+    }
+    w.finish()
+}
+
+fn decode_entry(payload: &[u8]) -> Result<ProcEntry, StoreError> {
+    let mut r = Reader::new(payload);
+    let proc_name = r.str()?;
+    let solver_key = r.u64()?;
+    let base_fingerprint = r.u64()?;
+    let mod_fingerprint = r.u64()?;
+    let runs = r.u64()?;
+    let pc_count = r.u64()?;
+    let summary_digest = r.u64()?;
+    let sweep_feedback = r.opt_f64()?;
+    let affected = match r.u8()? {
+        0 => None,
+        1 => {
+            let precision = r.u8()?;
+            let changed_nodes = r.u64()?;
+            let acn_len = r.u32()?;
+            let mut acn = Vec::new();
+            for _ in 0..acn_len {
+                acn.push(r.u32()?);
+            }
+            let awn_len = r.u32()?;
+            let mut awn = Vec::new();
+            for _ in 0..awn_len {
+                awn.push(r.u32()?);
+            }
+            Some(StoredAffected {
+                precision,
+                changed_nodes,
+                acn,
+                awn,
+            })
+        }
+        _ => return Err(StoreError::Corrupt("affected tag")),
+    };
+    let term_count = r.u32()?;
+    let mut terms = Vec::new();
+    for _ in 0..term_count {
+        terms.push(decode_term(&mut r)?);
+    }
+    let edge_count = r.u32()?;
+    let mut entries = Vec::new();
+    for _ in 0..edge_count {
+        entries.push(decode_edge(&mut r)?);
+    }
+    if !r.is_at_end() {
+        return Err(StoreError::Corrupt("trailing payload bytes"));
+    }
+    let trie = TrieSnapshot { terms, entries };
+    if !trie.validate() {
+        return Err(StoreError::Corrupt("trie snapshot fails validation"));
+    }
+    Ok(ProcEntry {
+        proc_name,
+        solver_key,
+        base_fingerprint,
+        mod_fingerprint,
+        runs,
+        pc_count,
+        summary_digest,
+        sweep_feedback,
+        affected,
+        trie,
+    })
+}
+
+fn encode_term(w: &mut Writer, term: &Term) {
+    match term {
+        Term::Int(v) => {
+            w.u8(0);
+            w.i64(*v);
+        }
+        Term::Bool(b) => {
+            w.u8(1);
+            w.bool(*b);
+        }
+        Term::Var { id, ty } => {
+            w.u8(2);
+            w.u32(*id);
+            w.u8(encode_ty(*ty));
+        }
+        Term::Unary { op, arg } => {
+            w.u8(3);
+            w.u8(encode_unop(*op));
+            w.u32(arg.index() as u32);
+        }
+        Term::Binary { op, lhs, rhs } => {
+            w.u8(4);
+            w.u8(encode_binop(*op));
+            w.u32(lhs.index() as u32);
+            w.u32(rhs.index() as u32);
+        }
+    }
+}
+
+fn decode_term(r: &mut Reader) -> Result<Term, StoreError> {
+    Ok(match r.u8()? {
+        0 => Term::Int(r.i64()?),
+        1 => Term::Bool(r.bool()?),
+        2 => Term::Var {
+            id: r.u32()?,
+            ty: decode_ty(r.u8()?)?,
+        },
+        3 => Term::Unary {
+            op: decode_unop(r.u8()?)?,
+            arg: TermId::from_index(r.u32()? as usize),
+        },
+        4 => Term::Binary {
+            op: decode_binop(r.u8()?)?,
+            lhs: TermId::from_index(r.u32()? as usize),
+            rhs: TermId::from_index(r.u32()? as usize),
+        },
+        _ => return Err(StoreError::Corrupt("term tag")),
+    })
+}
+
+fn encode_edge(w: &mut Writer, edge: &TrieEntry) {
+    w.u32(edge.parent);
+    w.u32(edge.term);
+    w.u8(match edge.verdict {
+        None => 0,
+        Some(SatResult::Sat) => 1,
+        Some(SatResult::Unsat) => 2,
+        Some(SatResult::Unknown) => 3,
+    });
+    match &edge.model {
+        None => w.u8(0),
+        Some(model) => {
+            w.u8(1);
+            w.u32(model.len() as u32);
+            for (id, value) in model.iter() {
+                w.u32(id);
+                match value {
+                    Value::Int(v) => {
+                        w.u8(0);
+                        w.i64(v);
+                    }
+                    Value::Bool(b) => {
+                        w.u8(1);
+                        w.bool(b);
+                    }
+                }
+            }
+        }
+    }
+    match &edge.bounds {
+        None => w.u8(0),
+        Some(bounds) => {
+            w.u8(1);
+            w.u32(bounds.len() as u32);
+            for (&id, interval) in bounds {
+                w.u32(id);
+                w.opt_i64(interval.lo);
+                w.opt_i64(interval.hi);
+            }
+        }
+    }
+}
+
+fn decode_edge(r: &mut Reader) -> Result<TrieEntry, StoreError> {
+    let parent = r.u32()?;
+    let term = r.u32()?;
+    let verdict = match r.u8()? {
+        0 => None,
+        1 => Some(SatResult::Sat),
+        2 => Some(SatResult::Unsat),
+        3 => Some(SatResult::Unknown),
+        _ => return Err(StoreError::Corrupt("verdict tag")),
+    };
+    let model = match r.u8()? {
+        0 => None,
+        1 => {
+            let len = r.u32()?;
+            let mut model = Model::new();
+            for _ in 0..len {
+                let id = r.u32()?;
+                let value = match r.u8()? {
+                    0 => Value::Int(r.i64()?),
+                    1 => Value::Bool(r.bool()?),
+                    _ => return Err(StoreError::Corrupt("value tag")),
+                };
+                model.set(id, value);
+            }
+            Some(model)
+        }
+        _ => return Err(StoreError::Corrupt("model tag")),
+    };
+    let bounds = match r.u8()? {
+        0 => None,
+        1 => {
+            let len = r.u32()?;
+            let mut bounds = Bounds::new();
+            for _ in 0..len {
+                let id = r.u32()?;
+                let lo = r.opt_i64()?;
+                let hi = r.opt_i64()?;
+                bounds.insert(id, Interval { lo, hi });
+            }
+            Some(bounds)
+        }
+        _ => return Err(StoreError::Corrupt("bounds tag")),
+    };
+    Ok(TrieEntry {
+        parent,
+        term,
+        verdict,
+        model,
+        bounds,
+    })
+}
+
+fn encode_ty(ty: SymTy) -> u8 {
+    match ty {
+        SymTy::Int => 0,
+        SymTy::Bool => 1,
+    }
+}
+
+fn decode_ty(tag: u8) -> Result<SymTy, StoreError> {
+    match tag {
+        0 => Ok(SymTy::Int),
+        1 => Ok(SymTy::Bool),
+        _ => Err(StoreError::Corrupt("type tag")),
+    }
+}
+
+fn encode_unop(op: UnOp) -> u8 {
+    match op {
+        UnOp::Neg => 0,
+        UnOp::Not => 1,
+    }
+}
+
+fn decode_unop(tag: u8) -> Result<UnOp, StoreError> {
+    match tag {
+        0 => Ok(UnOp::Neg),
+        1 => Ok(UnOp::Not),
+        _ => Err(StoreError::Corrupt("unary operator tag")),
+    }
+}
+
+fn encode_binop(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Gt => 9,
+        BinOp::Ge => 10,
+        BinOp::And => 11,
+        BinOp::Or => 12,
+    }
+}
+
+fn decode_binop(tag: u8) -> Result<BinOp, StoreError> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Rem,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        10 => BinOp::Ge,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        _ => return Err(StoreError::Corrupt("binary operator tag")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_solver::{IncrementalSolver, SymExpr, VarPool};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_store() -> (Store, PathBuf) {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dise-store-test-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        (Store::open(&dir), dir)
+    }
+
+    fn sample_entry() -> ProcEntry {
+        let mut pool = VarPool::new();
+        let x = pool.fresh("X", SymTy::Int);
+        let y = pool.fresh("Y", SymTy::Int);
+        let mut solver = IncrementalSolver::new();
+        solver.push(SymExpr::gt(SymExpr::var(&x), SymExpr::int(0)));
+        solver.check();
+        solver.push(SymExpr::lt(SymExpr::var(&y), SymExpr::var(&x)));
+        solver.check();
+        solver.pop();
+        solver.push(SymExpr::not(SymExpr::gt(SymExpr::var(&x), SymExpr::int(3))));
+        solver.check();
+        solver.reset();
+        ProcEntry {
+            proc_name: "update".into(),
+            solver_key: 0x1234,
+            base_fingerprint: 11,
+            mod_fingerprint: 22,
+            runs: 3,
+            pc_count: 7,
+            summary_digest: 0xfeed,
+            sweep_feedback: Some(0.625),
+            affected: Some(StoredAffected {
+                precision: 1,
+                changed_nodes: 1,
+                acn: vec![2, 5],
+                awn: vec![3],
+            }),
+            trie: solver.export_trie(),
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrips() {
+        let (store, dir) = temp_store();
+        let entry = sample_entry();
+        assert!(store.load("update").unwrap().is_none());
+        store.save(&entry).unwrap();
+        let loaded = store.load("update").unwrap().expect("entry exists");
+        assert_eq!(loaded, entry);
+        // The snapshot actually warm-starts a solver.
+        let mut solver = IncrementalSolver::new();
+        assert!(solver.import_trie(&loaded.trie) >= 3);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn truncated_files_are_rejected() {
+        let (store, dir) = temp_store();
+        let entry = sample_entry();
+        store.save(&entry).unwrap();
+        let path = store.entry_path("update");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            store.load("update"),
+            Err(StoreError::Truncated) | Err(StoreError::ChecksumMismatch)
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let (store, dir) = temp_store();
+        store.save(&sample_entry()).unwrap();
+        let path = store.entry_path("update");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load("update"),
+            Err(StoreError::UnsupportedVersion(_))
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let (store, dir) = temp_store();
+        store.save(&sample_entry()).unwrap();
+        let path = store.entry_path("update");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = format::HEADER_LEN + (bytes.len() - format::HEADER_LEN) / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load("update"),
+            Err(StoreError::ChecksumMismatch)
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn entries_and_clear_cover_the_directory() {
+        let (store, dir) = temp_store();
+        assert!(store.entries().unwrap().is_empty());
+        assert_eq!(store.clear().unwrap(), 0);
+        let mut entry = sample_entry();
+        store.save(&entry).unwrap();
+        entry.proc_name = "other".into();
+        store.save(&entry).unwrap();
+        let listed = store.entries().unwrap();
+        assert_eq!(listed.len(), 2);
+        assert!(listed.iter().all(|(_, outcome)| outcome.is_ok()));
+        assert_eq!(store.clear().unwrap(), 2);
+        assert!(store.entries().unwrap().is_empty());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn entry_name_mismatch_is_corruption() {
+        let (store, dir) = temp_store();
+        let entry = sample_entry();
+        store.save(&entry).unwrap();
+        // Copy `update`'s file onto the slot another procedure would use.
+        let source = store.entry_path("update");
+        let target = store.entry_path("elsewhere");
+        std::fs::copy(&source, &target).unwrap();
+        assert!(matches!(
+            store.load("elsewhere"),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -11,7 +11,7 @@ use dise_cfg::{build_cfg, Cfg, NodeKind};
 use dise_ir::ast::Program;
 use dise_solver::{
     IncrementalSolver, PathCondition, SatResult, SolverConfig, SolverStats, SymExpr, SymTy, SymVar,
-    VarPool,
+    TrieSnapshot, VarPool,
 };
 
 use crate::env::Env;
@@ -358,6 +358,9 @@ pub struct Executor {
     /// state) of this executor's most recent speculative sweep; scales the
     /// next sweep's [`SweepBudget::Auto`](crate::SweepBudget) grant.
     pub(crate) sweep_feedback: Option<f64>,
+    /// Decided prefixes restored by [`Executor::warm_start`] (reported as
+    /// [`crate::FrontierStats::warm_trie_entries`]).
+    warm_trie_entries: u64,
 }
 
 impl Executor {
@@ -422,7 +425,46 @@ impl Executor {
             config,
             solver,
             sweep_feedback: None,
+            warm_trie_entries: 0,
         })
+    }
+
+    /// Warm-starts this executor from persisted state: seeds the
+    /// incremental solver's interner and prefix trie from `snapshot`
+    /// (terms are re-interned, so snapshots survive process boundaries)
+    /// and primes the sweep-feedback ratio that scales the speculative
+    /// sweep's [`SweepBudget::Auto`](crate::SweepBudget) grant. Returns
+    /// the number of decided prefixes restored.
+    ///
+    /// Restored verdicts are byte-for-byte what this executor would have
+    /// computed itself (the [`dise_solver::SharedTrie`] determinism
+    /// argument), **provided the snapshot was produced under the same
+    /// solver configuration** — callers gate on
+    /// [`SolverConfig::cache_key`]. Call before the first
+    /// [`Executor::explore`]; an invalid snapshot restores nothing.
+    pub fn warm_start(&mut self, snapshot: &TrieSnapshot, sweep_feedback: Option<f64>) -> u64 {
+        let imported = self.solver.import_trie(snapshot) as u64;
+        self.warm_trie_entries += imported;
+        if sweep_feedback.is_some() {
+            self.sweep_feedback = sweep_feedback;
+        }
+        imported
+    }
+
+    /// Exports the solver's warm state (interner + decided prefix-trie
+    /// entries) for persistence — the payload of a `dise --store`
+    /// directory entry.
+    pub fn trie_snapshot(&self) -> TrieSnapshot {
+        self.solver.export_trie()
+    }
+
+    /// The measured trie-consumption ratio of the most recent speculative
+    /// sweep (answers the authoritative pass consumed per speculative
+    /// state), if one ran — persisted so later one-shot runs size their
+    /// automatic sweep budget from measurement instead of the
+    /// proportional default.
+    pub fn sweep_feedback(&self) -> Option<f64> {
+        self.sweep_feedback
     }
 
     /// The CFG being executed (shared with the static analyses in
@@ -464,10 +506,13 @@ impl Executor {
     /// even though the solver itself (with its prefix trie and caches)
     /// persists across runs of the same executor.
     pub fn explore(&mut self, strategy: &mut dyn Strategy) -> SymbolicSummary {
-        if self.config.jobs > 1 && !self.config.record_tree {
-            return crate::frontier::explore_parallel(self, strategy);
-        }
-        self.explore_serial(strategy)
+        let mut summary = if self.config.jobs > 1 && !self.config.record_tree {
+            crate::frontier::explore_parallel(self, strategy)
+        } else {
+            self.explore_serial(strategy)
+        };
+        summary.stats.frontier.warm_trie_entries = self.warm_trie_entries;
+        summary
     }
 
     /// The serial depth-first engine (also the authoritative replay pass

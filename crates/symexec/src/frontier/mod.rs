@@ -124,6 +124,9 @@ pub struct FrontierStats {
     pub sweep_exhausted: bool,
     /// Edges in the shared prefix trie at the end of the run.
     pub shared_trie_entries: u64,
+    /// Decided prefixes seeded from a persistent store before the run
+    /// ([`crate::Executor::warm_start`]; zero on cold runs).
+    pub warm_trie_entries: u64,
 }
 
 /// Entry point from [`Executor::explore`] when `jobs > 1`.

@@ -15,6 +15,7 @@
 //! | [`cfg`](mod@cfg) | `dise-cfg` | CFGs, dominators, control dependence, def/use, reachability, SCCs |
 //! | [`diff`] | `dise-diff` | source-line and structural AST differencing, CFG change maps |
 //! | [`solver`] | `dise-solver` | symbolic expressions, path conditions, the constraint solver |
+//! | [`store`] | `dise-store` | the persistent cross-version analysis store (warm starts) |
 //! | [`symexec`] | `dise-symexec` | the symbolic execution engine with pluggable strategies |
 //! | [`core`] | `dise-core` | **the paper's contribution**: affected locations + directed search |
 //! | [`artifacts`] | `dise-artifacts` | the WBS / OAE / ASW case studies and their mutants |
@@ -89,4 +90,5 @@ pub use dise_evolution as evolution;
 pub use dise_ir as ir;
 pub use dise_regression as regression;
 pub use dise_solver as solver;
+pub use dise_store as store;
 pub use dise_symexec as symexec;
