@@ -9,7 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dise_artifacts::{asw, oae, wbs, Artifact};
-use dise_core::dise::{run_dise, run_full_on, DiseConfig};
+use dise_core::dise::{run_full_on, DiseConfig};
+use dise_core::session::AnalysisSession;
 
 fn quiet_config() -> DiseConfig {
     DiseConfig {
@@ -21,6 +22,11 @@ fn quiet_config() -> DiseConfig {
     }
 }
 
+/// Both techniques run through the same staged session setup — the
+/// directed side drives a full `AnalysisSession`, the control side uses
+/// the session's full-exploration stage (what `run_full_on` wraps) — so
+/// the comparison can never drift in flattening or executor
+/// construction.
 fn bench_artifact(c: &mut Criterion, artifact: &Artifact, versions: &[&str]) {
     let mut group = c.benchmark_group(format!("table2/{}", artifact.name));
     group.sample_size(10);
@@ -28,12 +34,14 @@ fn bench_artifact(c: &mut Criterion, artifact: &Artifact, versions: &[&str]) {
         let version = artifact.version(id).expect("version exists");
         group.bench_with_input(BenchmarkId::new("dise", id), version, |b, version| {
             b.iter(|| {
-                run_dise(
+                AnalysisSession::open(
                     &artifact.base,
                     &version.program,
                     artifact.proc_name,
-                    &quiet_config(),
+                    quiet_config(),
                 )
+                .expect("session opens")
+                .result()
                 .expect("dise runs")
                 .summary
                 .pc_count()

@@ -1,9 +1,14 @@
 //! `dise` — the command-line front end.
 //!
 //! ```text
-//! dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs]
-//!          [--jobs N] [--sweep-budget auto|unlimited|N] [--store DIR]
-//!     Diff two program versions and report the affected path conditions.
+//! dise run <v1.mj> <v2.mj> [<v3.mj> …] <proc> [--full] [--trace] [--simplify]
+//!          [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N] [--store DIR]
+//!     Diff consecutive program versions and report the affected path
+//!     conditions of each hop. With two files this is the classic single
+//!     run; with more, the hops chain through one analysis session per
+//!     pair and the solver's warm trie plus the measured sweep ratio
+//!     transfer hop-to-hop in process (results are byte-identical to
+//!     independent runs — chaining only moves solver work).
 //!     --full           also run full symbolic execution for comparison
 //!     --trace          print the Fig. 5(b) and Table 1 style traces
 //!     --simplify       subsume redundant bounds in printed path conditions
@@ -24,6 +29,13 @@
 //!                      and records this run's state back. Output is
 //!                      byte-identical to a cold run; a damaged store
 //!                      degrades to cold with a one-line warning
+//!
+//! dise evolve <base.mj> <modified.mj> <proc>
+//!     All four evolution applications — witness generation, differential
+//!     summarization, fault localization, and the impact report — off ONE
+//!     shared analysis session: a single flatten/diff/fixpoint/exploration
+//!     serves every application, with output byte-identical to running
+//!     the four standalone subcommands.
 //!
 //! dise store stat [DIR]
 //! dise store clear [DIR]
@@ -61,8 +73,11 @@
 
 use std::process::ExitCode;
 
-use dise_core::dise::{run_dise, run_full_on, DiseConfig};
-use dise_core::report::{duration_mmss, solver_stats_line, store_stats_line, sweep_stats_line};
+use dise_core::dise::DiseConfig;
+use dise_core::report::{
+    duration_mmss, solver_stats_line, stage_stats_line, store_stats_line, sweep_stats_line,
+};
+use dise_core::session::AnalysisSession;
 use dise_core::DataflowPrecision;
 use dise_ir::Program;
 
@@ -88,6 +103,7 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
     }
     match positional.first().copied() {
         Some("run") => run_command(&args),
+        Some("evolve") => evolve_command(&positional[1..], &flags),
         Some("store") => store_command(&positional[1..]),
         Some("tests") => tests_command(&positional[1..]),
         Some("inspect") => inspect_command(&positional[1..], &flags),
@@ -102,7 +118,8 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage:
-  dise run <base.mj> <modified.mj> <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N] [--store DIR]
+  dise run <v1.mj> <v2.mj> [<v3.mj> ...] <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N] [--store DIR]
+  dise evolve <base.mj> <modified.mj> <proc>
   dise store stat|clear [DIR]
   dise tests <base.mj> <modified.mj> <proc>
   dise inspect <file.mj> <proc> [--dot]
@@ -180,11 +197,17 @@ fn run_command(args: &[String]) -> Result<(), String> {
         }
     }
     let flags = &flags;
-    let [base_path, mod_path, proc_name] = positional[..] else {
+    // `run v1 v2 [v3 …] proc`: at least two version files, last
+    // positional is the procedure.
+    if positional.len() < 3 {
         return Err(USAGE.to_string());
-    };
-    let base = load(base_path)?;
-    let modified = load(mod_path)?;
+    }
+    let proc_name = positional[positional.len() - 1];
+    let version_paths = &positional[..positional.len() - 1];
+    let versions: Vec<Program> = version_paths
+        .iter()
+        .map(|path| load(path))
+        .collect::<Result<_, _>>()?;
     let config = DiseConfig {
         exec: dise_symexec::ExecConfig {
             jobs,
@@ -201,8 +224,39 @@ fn run_command(args: &[String]) -> Result<(), String> {
         store,
     };
 
-    let result = run_dise(&base, &modified, proc_name, &config).map_err(|e| e.to_string())?;
-    if let Some(warning) = result.store.as_ref().and_then(|s| s.warning.as_ref()) {
+    // One session per hop; hop N+1 inherits hop N's warm solver state in
+    // process via AnalysisSession::advance.
+    let mut session = AnalysisSession::open(&versions[0], &versions[1], proc_name, config)
+        .map_err(|e| e.to_string())?;
+    let hops = versions.len() - 1;
+    for hop in 0..hops {
+        if hops > 1 {
+            if hop > 0 {
+                println!();
+            }
+            println!(
+                "=== {} -> {} ===",
+                version_paths[hop],
+                version_paths[hop + 1]
+            );
+        }
+        print_hop(&mut session, flags)?;
+        if hop + 2 <= hops {
+            session = session
+                .advance(&versions[hop + 2])
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs one session hop to completion and prints the standard `run`
+/// report — the single invocation/report path every `run`-shaped command
+/// shares.
+fn print_hop(session: &mut AnalysisSession, flags: &[&str]) -> Result<(), String> {
+    let result = session.result().map_err(|e| e.to_string())?;
+    let status = session.finalize().cloned();
+    if let Some(warning) = status.as_ref().and_then(|s| s.warning.as_ref()) {
         eprintln!("warning: {warning}");
     }
     println!(
@@ -219,10 +273,11 @@ fn run_command(args: &[String]) -> Result<(), String> {
         "solver: {}",
         solver_stats_line(&result.summary.stats().solver)
     );
+    println!("stages: {}", stage_stats_line(&result.stages));
     if let Some(line) = sweep_stats_line(&result.summary.stats().frontier) {
         println!("sweep: {line}");
     }
-    if let Some(status) = &result.store {
+    if let Some(status) = &status {
         println!("store: {}", store_stats_line(status));
     }
     if flags.contains(&"--simplify") {
@@ -236,17 +291,15 @@ fn run_command(args: &[String]) -> Result<(), String> {
     }
     if flags.contains(&"--trace") {
         println!("\naffected-set fixpoint trace:");
-        let flat =
-            dise_ir::inline::inline_program(&modified, proc_name).map_err(|e| e.to_string())?;
-        let cfg = dise_cfg::build_cfg(flat.proc(proc_name).expect("inlined proc"));
-        print!("{}", result.affected.render_trace(&cfg));
+        let cfg_mod = &session.diffed().map_err(|e| e.to_string())?.cfg_mod;
+        print!("{}", result.affected.render_trace(cfg_mod));
         if let Some(trace) = &result.directed_trace {
             println!("\ndirected-search trace:");
             print!("{trace}");
         }
     }
     if flags.contains(&"--full") {
-        let full = run_full_on(&modified, proc_name, &config).map_err(|e| e.to_string())?;
+        let full = session.modified_full().map_err(|e| e.to_string())?;
         println!(
             "\nfull symbolic execution: {} path conditions, {} states, {}",
             full.pc_count(),
@@ -255,6 +308,58 @@ fn run_command(args: &[String]) -> Result<(), String> {
         );
         println!("solver: {}", solver_stats_line(&full.stats().solver));
     }
+    Ok(())
+}
+
+/// `dise evolve` — all four evolution applications off one shared
+/// analysis session. The printers are the ones the standalone
+/// subcommands use, so the concatenated output is byte-identical to
+/// running `witness`, `classify`, `localize`, `report` back to back
+/// (CI pins this).
+fn evolve_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
+    // The standalone subcommands evolve mirrors take no flags either;
+    // silently ignoring one (say, a misplaced --store) would diverge the
+    // two paths CI pins as byte-identical.
+    if let Some(flag) = flags.first() {
+        return Err(format!("unknown flag `{flag}` for `evolve`\n{USAGE}"));
+    }
+    let [base_path, mod_path, proc_name] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let base = load(base_path)?;
+    let modified = load(mod_path)?;
+    let mut session = AnalysisSession::open(&base, &modified, proc_name, DiseConfig::default())
+        .map_err(|e| e.to_string())?;
+
+    let witnesses = dise_evolution::witness::find_witnesses_with(
+        &mut session,
+        &dise_evolution::witness::WitnessConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    print_witness_report(&witnesses);
+
+    let summary = dise_evolution::diffsum::classify_changes_with(
+        &mut session,
+        &dise_evolution::diffsum::DiffSumConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    print!("{}", summary.render());
+
+    let localization = dise_evolution::localize::localize_change_with(
+        &mut session,
+        &dise_evolution::localize::LocalizeConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    print_localization(&localization);
+
+    let report = dise_evolution::report::impact_report_with(
+        &mut session,
+        &dise_evolution::report::ImpactConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    print!("{report}");
+
+    session.finalize();
     Ok(())
 }
 
@@ -338,29 +443,27 @@ fn tests_command(positional: &[&str]) -> Result<(), String> {
     };
     let base = load(base_path)?;
     let modified = load(mod_path)?;
-    let config = DiseConfig::default();
-
-    let base_summary = run_full_on(&base, proc_name, &config).map_err(|e| e.to_string())?;
-    // Test generation needs the flattened program (inputs of the analyzed
-    // summary); mirror the driver's inlining.
-    let base_flat = dise_ir::inline::inline_program(&base, proc_name).map_err(|e| e.to_string())?;
-    let base_suite = dise_regression::generate_tests(&base_flat, &base_summary);
-    println!("existing suite ({} tests)", base_suite.len());
-
-    let result = run_dise(&base, &modified, proc_name, &config).map_err(|e| e.to_string())?;
-    let mod_flat =
-        dise_ir::inline::inline_program(&modified, proc_name).map_err(|e| e.to_string())?;
-    let dise_suite = dise_regression::generate_tests(&mod_flat, &result.summary);
-    let selection = dise_regression::select_and_augment(&base_suite, &dise_suite);
+    // The regression application rides the same staged session as every
+    // other consumer: base full run, directed run, and both flattened
+    // programs come from one pipeline.
+    let mut session = AnalysisSession::open(&base, &modified, proc_name, DiseConfig::default())
+        .map_err(|e| e.to_string())?;
+    let plan = {
+        let (base_flat, base_full, mod_flat, dise_summary) =
+            session.regression_inputs().map_err(|e| e.to_string())?;
+        dise_regression::regression_plan(base_flat, base_full, mod_flat, dise_summary)
+    };
+    session.finalize();
+    println!("existing suite ({} tests)", plan.existing.len());
     println!(
         "selected {} existing test(s); {} new test(s) required",
-        selection.selected.len(),
-        selection.added.len()
+        plan.selection.selected.len(),
+        plan.selection.added.len()
     );
-    for test in &selection.selected {
+    for test in &plan.selection.selected {
         println!("  selected: {test}");
     }
-    for test in &selection.added {
+    for test in &plan.selection.added {
         println!("  new:      {test}");
     }
     Ok(())
@@ -415,6 +518,12 @@ fn witness_command(positional: &[&str]) -> Result<(), String> {
         &dise_evolution::witness::WitnessConfig::default(),
     )
     .map_err(|e| e.to_string())?;
+    print_witness_report(&report);
+    Ok(())
+}
+
+/// The `witness` report rendering, shared verbatim with `evolve`.
+fn print_witness_report(report: &dise_evolution::witness::WitnessReport) {
     println!(
         "{} affected path condition(s): {} diverge, {} agree",
         report.affected_pcs,
@@ -439,7 +548,6 @@ fn witness_command(positional: &[&str]) -> Result<(), String> {
             verdict
         );
     }
-    Ok(())
 }
 
 fn localize_command(positional: &[&str], args: &[String]) -> Result<(), String> {
@@ -468,6 +576,12 @@ fn localize_command(positional: &[&str], args: &[String]) -> Result<(), String> 
     };
     let outcome = dise_evolution::localize::localize_change(&base, &modified, proc_name, &config)
         .map_err(|e| e.to_string())?;
+    print_localization(&outcome);
+    Ok(())
+}
+
+/// The `localize` ranking rendering, shared verbatim with `evolve`.
+fn print_localization(outcome: &dise_evolution::localize::ChangeLocalization) {
     print!(
         "{}",
         dise_evolution::localize::render_ranking(&outcome.report, None, 10)
@@ -479,7 +593,6 @@ fn localize_command(positional: &[&str], args: &[String]) -> Result<(), String> 
         ),
         _ => println!("no changed statement to rank (identical versions?)"),
     }
-    Ok(())
 }
 
 fn classify_command(positional: &[&str]) -> Result<(), String> {

@@ -211,7 +211,7 @@ fn run_rejects_a_bad_sweep_budget_value() {
 }
 
 #[test]
-fn run_rejects_unknown_flags_and_stray_positionals() {
+fn run_rejects_unknown_flags_and_bad_positionals() {
     let fx = fixture();
     let base = fx.base.to_str().unwrap();
     let modified = fx.modified.to_str().unwrap();
@@ -219,10 +219,91 @@ fn run_rejects_unknown_flags_and_stray_positionals() {
     let out = dise(&["run", base, modified, "f", "--job", "4"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unknown flag"), "{}", stderr(&out));
-    // A stray positional must trigger the usage error.
-    let out = dise(&["run", base, modified, "f", "extra"]);
+    // Too few positionals trigger the usage error.
+    let out = dise(&["run", base, "f"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
+    // In the multi-version grammar everything before the procedure is a
+    // version file; a stray word makes `f` a (missing) file.
+    let out = dise(&["run", base, modified, "f", "extra"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read `f`"), "{}", stderr(&out));
+}
+
+#[test]
+fn run_chains_multiple_versions_with_identical_per_hop_output() {
+    let fx = fixture();
+    let dir = tempdir::TempDir::new("dise-cli-chain").expect("temp dir");
+    // A third version: flip the boundary back but change the else value.
+    let v3 = write_fixture(
+        dir.path(),
+        "v3.mj",
+        "int out;\nproc f(int x) { if (x >= 0) { out = 1; } else { out = 3; } }\n",
+    );
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+    let v3 = v3.to_str().unwrap();
+
+    let chained = dise(&["run", base, modified, v3, "f"]);
+    assert!(chained.status.success(), "{}", stderr(&chained));
+    let text = stdout(&chained);
+    assert!(
+        text.contains(&format!("=== {base} -> {modified} ===")),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("=== {modified} -> {v3} ===")),
+        "{text}"
+    );
+
+    // Per-hop path conditions equal the independent pairwise runs'.
+    let pcs = |out: &Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| l.starts_with("  "))
+            .map(str::to_owned)
+            .collect()
+    };
+    let hop1 = dise(&["run", base, modified, "f"]);
+    let hop2 = dise(&["run", modified, v3, "f"]);
+    let mut expected = pcs(&hop1);
+    expected.extend(pcs(&hop2));
+    assert_eq!(pcs(&chained), expected, "chaining must not change results");
+}
+
+#[test]
+fn evolve_rejects_flags() {
+    let fx = fixture();
+    let out = dise(&[
+        "evolve",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--store=/tmp/nope",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown flag"), "{}", stderr(&out));
+}
+
+#[test]
+fn evolve_output_matches_the_four_standalone_subcommands() {
+    let fx = fixture();
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+    let evolve = dise(&["evolve", base, modified, "f"]);
+    assert!(evolve.status.success(), "{}", stderr(&evolve));
+
+    let mut standalone = String::new();
+    for cmd in ["witness", "classify", "localize", "report"] {
+        let out = dise(&[cmd, base, modified, "f"]);
+        assert!(out.status.success(), "{cmd}: {}", stderr(&out));
+        standalone.push_str(&stdout(&out));
+    }
+    assert_eq!(
+        stdout(&evolve),
+        standalone,
+        "evolve must be byte-identical to the standalone subcommands"
+    );
 }
 
 #[test]

@@ -1,12 +1,20 @@
-//! The end-to-end DiSE driver.
+//! The end-to-end DiSE driver — thin wrappers over the staged
+//! [`AnalysisSession`].
 //!
-//! Ties the pipeline together exactly as §3.1 describes: diff the two
-//! program versions, lift the diff onto the CFGs, compute affected
-//! locations (including removed-node effects), then run directed symbolic
-//! execution on the modified version. The reported time covers both the
-//! static analysis and the symbolic execution, matching the paper's
-//! "time spent computing the affected program locations and the time
-//! spent performing symbolic execution" (§4.2.2).
+//! [`run_dise`] ties the pipeline together exactly as §3.1 describes:
+//! diff the two program versions, lift the diff onto the CFGs, compute
+//! affected locations (including removed-node effects), then run directed
+//! symbolic execution on the modified version. The reported time covers
+//! both the static analysis and the symbolic execution, matching the
+//! paper's "time spent computing the affected program locations and the
+//! time spent performing symbolic execution" (§4.2.2).
+//!
+//! Since PR 5 the pipeline itself lives in
+//! [`crate::session`]: `run_dise` opens a session, drives every stage,
+//! finalizes the store, and returns — one call, one exploration, same
+//! results as always. Consumers that need *several* artifacts of the same
+//! version pair (the evolution applications, multi-version chains) should
+//! hold the session instead and share its stages.
 //!
 //! With [`DiseConfig::store`] set, the run participates in the persistent
 //! cross-version analysis store (`dise-store`): it warm-starts the
@@ -18,20 +26,15 @@
 //! a cold run ([`StoreStatus::warning`]) — warm starts change wall-clock
 //! and solver-call counts, never summaries.
 
-use std::borrow::Cow;
-use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use dise_cfg::NodeId;
-use dise_diff::{proc_fingerprint, CfgDiff, DiffError};
+use dise_diff::DiffError;
 use dise_ir::ast::Program;
-use dise_ir::inline::{contains_calls, inline_program, InlineError};
-use dise_store::{ProcEntry, Store, StoredAffected};
-use dise_symexec::{ExecConfig, ExecError, Executor, FullExploration, SymbolicSummary};
+use dise_ir::inline::InlineError;
+use dise_symexec::{ExecConfig, ExecError, SymbolicSummary};
 
 use crate::affected::{AffectedSets, DataflowPrecision};
-use crate::directed::DirectedStrategy;
-use crate::removed::affected_locations;
+use crate::session::{AnalysisSession, StageTimings};
 
 /// Configuration of a DiSE run.
 #[derive(Debug, Clone, Default)]
@@ -54,7 +57,9 @@ pub struct DiseConfig {
 /// `None` on [`DiseResult::store`] means no store was configured.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StoreStatus {
-    /// Decided path-condition prefixes restored into the solver's trie.
+    /// Decided path-condition prefixes restored into the solver's trie —
+    /// from the store, or from the previous hop of an in-process session
+    /// chain.
     pub warm_trie_entries: u64,
     /// The affected-location fixpoint was skipped in favor of the
     /// recorded sets (same `(base, modified)` fingerprint pair).
@@ -111,18 +116,6 @@ impl From<InlineError> for DiseError {
     }
 }
 
-/// Flattens multi-procedure programs before analysis; call-free programs
-/// pass through untouched. DiSE is intra-procedural (§3.2), so calls are
-/// expanded by bounded inlining — the pragmatic realization of the paper's
-/// inter-procedural future work (§7).
-fn flatten<'p>(program: &'p Program, proc_name: &str) -> Result<Cow<'p, Program>, InlineError> {
-    if contains_calls(program, proc_name) {
-        Ok(Cow::Owned(inline_program(program, proc_name)?))
-    } else {
-        Ok(Cow::Borrowed(program))
-    }
-}
-
 /// The result of a DiSE run.
 #[derive(Debug, Clone)]
 pub struct DiseResult {
@@ -136,12 +129,17 @@ pub struct DiseResult {
     pub changed_nodes: usize,
     /// Number of affected CFG nodes — Table 2's "Affected" column.
     pub affected_nodes: usize,
-    /// Time spent in differencing + static analysis.
+    /// Time spent in differencing + static analysis
+    /// ([`StageTimings::analysis`]).
     pub analysis_time: Duration,
-    /// Total wall-clock time (static analysis + directed execution).
+    /// Total pipeline time (static analysis + directed execution;
+    /// [`StageTimings::total`]).
     pub total_time: Duration,
     /// The Table 1 trace, when requested.
     pub directed_trace: Option<String>,
+    /// Per-stage wall-clock breakdown (flatten / diff / affected /
+    /// explore) — the CLI's `stages:` line.
+    pub stages: StageTimings,
     /// Persistent-store activity (`None` when no store was configured).
     pub store: Option<StoreStatus>,
 }
@@ -158,6 +156,10 @@ impl DiseResult {
 }
 
 /// Runs DiSE on the procedure `proc_name` of `base` → `modified`.
+///
+/// Equivalent to opening an [`AnalysisSession`], taking its
+/// [`result`](AnalysisSession::result), and
+/// [`finalizing`](AnalysisSession::finalize) it.
 ///
 /// # Errors
 ///
@@ -185,192 +187,13 @@ pub fn run_dise(
     proc_name: &str,
     config: &DiseConfig,
 ) -> Result<DiseResult, DiseError> {
-    let start = Instant::now();
-
-    // Phase 0: flatten multi-procedure versions by inlining.
-    let base = flatten(base, proc_name)?;
-    let modified = flatten(modified, proc_name)?;
-    let (base, modified) = (base.as_ref(), modified.as_ref());
-
-    // Persistent store: load prior warm state. Every load failure
-    // downgrades to a cold run — a damaged store must never change (or
-    // block) results.
-    let store = config.store.as_deref().map(Store::open);
-    let mut status = store.as_ref().map(|_| StoreStatus::default());
-    let mut prior: Option<ProcEntry> = None;
-    let mut fingerprints = (0u64, 0u64);
-    if let Some(store) = &store {
-        match store.load(proc_name) {
-            Ok(entry) => prior = entry,
-            Err(e) => {
-                let status = status.as_mut().expect("status exists with a store");
-                status.warning = Some(format!("analysis store: {e}; running cold"));
-            }
-        }
-        // The programs are flattened already, so fingerprinting cannot
-        // hit a fresh inline failure.
-        fingerprints = (
-            proc_fingerprint(base, proc_name).map_err(DiseError::Inline)?,
-            proc_fingerprint(modified, proc_name).map_err(DiseError::Inline)?,
-        );
-    }
-
-    // Phase 1: differencing + affected locations (§3.2). When the store
-    // recorded this exact (base, modified) fingerprint pair, the
-    // deterministic fixpoint is skipped in favor of its recorded result.
-    let (cfg_base, cfg_mod, diff) = CfgDiff::from_programs(base, modified, proc_name)?;
-    let affected = match reusable_affected(prior.as_ref(), fingerprints, config, cfg_mod.len()) {
-        Some(sets) => {
-            status
-                .as_mut()
-                .expect("reuse implies a store")
-                .affected_reused = true;
-            sets
-        }
-        None => affected_locations(
-            &cfg_base,
-            &cfg_mod,
-            &diff,
-            config.precision,
-            config.trace_affected,
-        ),
-    };
-    let analysis_time = start.elapsed();
-
-    // Phase 2: directed symbolic execution (§3.3), warm-started from the
-    // stored trie when the solver configurations agree (budget knobs flip
-    // `Unknown` verdicts, so memoized answers are only portable between
-    // identically configured solvers).
-    let solver_key = config.exec.solver.cache_key();
-    let mut executor = Executor::new(modified, proc_name, config.exec.clone())?;
-    if let Some(entry) = &prior {
-        if entry.solver_key == solver_key {
-            let status = status.as_mut().expect("prior entry implies a store");
-            status.warm_trie_entries = executor.warm_start(&entry.trie, entry.sweep_feedback);
-            status.feedback_reused = entry.sweep_feedback.is_some();
-        }
-    }
-    debug_assert_eq!(
-        executor.cfg().len(),
-        cfg_mod.len(),
-        "CFG construction must be deterministic"
-    );
-    let mut strategy = DirectedStrategy::new(&cfg_mod, &affected, config.trace_directed);
-    let summary = executor.explore(&mut strategy);
-
-    // Record the run back: the merged trie (prior entries plus everything
-    // this run decided), the measured sweep ratio, and the pair's
-    // affected sets under their fingerprints.
-    if let Some(store) = &store {
-        let entry = ProcEntry {
-            proc_name: proc_name.to_string(),
-            solver_key,
-            base_fingerprint: fingerprints.0,
-            mod_fingerprint: fingerprints.1,
-            runs: prior.as_ref().map_or(0, |e| e.runs) + 1,
-            pc_count: summary.pc_count() as u64,
-            summary_digest: summary_digest(&summary),
-            sweep_feedback: executor.sweep_feedback(),
-            affected: Some(StoredAffected {
-                precision: precision_tag(config.precision),
-                changed_nodes: diff.changed_node_count() as u64,
-                acn: affected.acn().iter().map(|n| n.index() as u32).collect(),
-                awn: affected.awn().iter().map(|n| n.index() as u32).collect(),
-            }),
-            trie: executor.trie_snapshot(),
-        };
-        let status = status.as_mut().expect("status exists with a store");
-        match store.save(&entry) {
-            Ok(()) => status.saved = true,
-            Err(e) => {
-                let note = format!("analysis store: save failed ({e})");
-                status.warning = Some(match status.warning.take() {
-                    Some(prev) => format!("{prev}; {note}"),
-                    None => note,
-                });
-            }
-        }
-    }
-
-    Ok(DiseResult {
-        changed_nodes: diff.changed_node_count(),
-        affected_nodes: affected.len(),
-        directed_trace: config.trace_directed.then(|| strategy.render_trace()),
-        summary,
-        affected,
-        analysis_time,
-        total_time: start.elapsed(),
-        store: status,
-    })
-}
-
-/// The on-disk tag of a [`DataflowPrecision`] mode. Part of the store's
-/// reuse key: the `--reaching-defs` ablation computes strictly smaller
-/// affected sets than the paper's `CfgPath` premise, so entries recorded
-/// under one mode must never serve runs under the other.
-fn precision_tag(precision: DataflowPrecision) -> u8 {
-    match precision {
-        DataflowPrecision::CfgPath => 0,
-        DataflowPrecision::ReachingDefs => 1,
-    }
-}
-
-/// The stored affected sets, when they can stand in for the fixpoint:
-/// same `(base, modified)` fingerprint pair, same data-flow precision
-/// mode, no trace requested (restored sets carry none), and every
-/// recorded node id within the current CFG (a guard against fingerprint
-/// collisions — reuse is an optimization, never a risk).
-fn reusable_affected(
-    prior: Option<&ProcEntry>,
-    fingerprints: (u64, u64),
-    config: &DiseConfig,
-    cfg_len: usize,
-) -> Option<AffectedSets> {
-    let entry = prior?;
-    if config.trace_affected
-        || entry.base_fingerprint != fingerprints.0
-        || entry.mod_fingerprint != fingerprints.1
-    {
-        return None;
-    }
-    let stored = entry.affected.as_ref()?;
-    if stored.precision != precision_tag(config.precision) {
-        return None;
-    }
-    let in_range = |nodes: &[u32]| nodes.iter().all(|&n| (n as usize) < cfg_len);
-    if !in_range(&stored.acn) || !in_range(&stored.awn) {
-        return None;
-    }
-    let to_set = |nodes: &[u32]| -> BTreeSet<NodeId> { nodes.iter().map(|&n| NodeId(n)).collect() };
-    Some(AffectedSets::from_parts(
-        to_set(&stored.acn),
-        to_set(&stored.awn),
-    ))
-}
-
-/// A stable digest of the summary's observable output (path conditions,
-/// outcomes, and final environments) — what the CI warm-start job diffs
-/// byte-for-byte, recorded per entry for `dise store stat`.
-fn summary_digest(summary: &SymbolicSummary) -> u64 {
-    let mut text = String::new();
-    for path in summary.paths() {
-        text.push_str(&path.pc.to_string());
-        text.push('\x1f');
-        text.push_str(&format!("{:?}", path.outcome));
-        text.push('\x1f');
-        for (var, value) in path.final_env.iter() {
-            text.push_str(var);
-            text.push('=');
-            text.push_str(&value.to_string());
-            text.push(';');
-        }
-        text.push('\n');
-    }
-    dise_store::format::fnv1a(text.as_bytes())
+    AnalysisSession::open(base, modified, proc_name, config.clone())?.into_result()
 }
 
 /// Runs *full* symbolic execution on `program` with the same executor
-/// settings — the paper's control technique.
+/// settings — the paper's control technique. Routed through the session's
+/// Flattened stage and executor-construction path, so full and directed
+/// runs cannot drift in setup.
 ///
 /// # Errors
 ///
@@ -380,9 +203,7 @@ pub fn run_full_on(
     proc_name: &str,
     config: &DiseConfig,
 ) -> Result<SymbolicSummary, DiseError> {
-    let program = flatten(program, proc_name)?;
-    let mut executor = Executor::new(program.as_ref(), proc_name, config.exec.clone())?;
-    Ok(executor.explore(&mut FullExploration))
+    crate::session::full_exploration(program, proc_name, config)
 }
 
 #[cfg(test)]

@@ -16,9 +16,14 @@
 //!   plugged into the [`dise_symexec`] engine, with an optional trace
 //!   capture reproducing Table 1; also supplies the speculation hint and
 //!   sweep cost model the parallel frontier uses for directed runs;
+//! * [`session`] — the staged pipeline: an [`AnalysisSession`] computes
+//!   explicit `Flattened → Diffed → Affected → Explored` artifacts
+//!   lazily, caches them, and shares them across any number of
+//!   consumers, applications, and version hops;
 //! * [`dise`] — the driver: diff two program versions, compute affected
 //!   locations, run directed symbolic execution, and report the affected
-//!   path conditions plus all the §4.2.2 metrics;
+//!   path conditions plus all the §4.2.2 metrics (a thin wrapper over
+//!   one session);
 //! * [`theorem`] — an executable check of Theorem 3.10 used by the test
 //!   suites;
 //! * [`report`] — plain-text table rendering shared with the benchmark
@@ -50,6 +55,7 @@ pub mod dise;
 pub mod interproc;
 pub mod removed;
 pub mod report;
+pub mod session;
 pub mod theorem;
 
 pub use affected::{AffectedSets, DataflowPrecision, Rule};
@@ -59,4 +65,5 @@ pub use interproc::{
     run_dise_system, system_impact, CallGraph, ImpactReason, SystemConfig, SystemDiseResult,
     SystemImpact,
 };
+pub use session::{AnalysisSession, StageTimings};
 pub use theorem::check_theorem_3_10;

@@ -160,6 +160,21 @@ pub fn sweep_stats_line(frontier: &FrontierStats) -> Option<String> {
     ))
 }
 
+/// One-line per-stage timing breakdown for the CLI's `stages:` line —
+/// flatten / diff / affected / explore in milliseconds, so stage reuse
+/// (a ~0 ms entry on the second consumer of a session) is visible
+/// without running the benchmark.
+pub fn stage_stats_line(stages: &crate::session::StageTimings) -> String {
+    let ms = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1000.0);
+    format!(
+        "flatten {} ms, diff {} ms, affected {} ms, explore {} ms",
+        ms(stages.flatten),
+        ms(stages.diff),
+        ms(stages.affected),
+        ms(stages.explore),
+    )
+}
+
 /// One-line summary of persistent-store activity for the CLI: what was
 /// restored, what was reused, whether the run was recorded back, and any
 /// degradation warning (shown separately on stderr by the CLI).
@@ -270,6 +285,25 @@ mod tests {
         let line = sweep_stats_line(&unlimited).unwrap();
         assert!(line.contains("budget unlimited"), "{line}");
         assert!(!line.contains("exhausted"), "{line}");
+    }
+
+    #[test]
+    fn stage_stats_line_prints_milliseconds() {
+        use crate::session::StageTimings;
+        use std::time::Duration;
+        let stages = StageTimings {
+            flatten: Duration::from_micros(150),
+            diff: Duration::from_millis(2),
+            affected: Duration::from_micros(4500),
+            explore: Duration::from_millis(120),
+        };
+        let line = stage_stats_line(&stages);
+        assert_eq!(
+            line,
+            "flatten 0.1 ms, diff 2.0 ms, affected 4.5 ms, explore 120.0 ms"
+        );
+        assert_eq!(stages.analysis(), Duration::from_micros(6650));
+        assert_eq!(stages.total(), Duration::from_micros(126_650));
     }
 
     #[test]

@@ -1,0 +1,861 @@
+//! The staged analysis session — §3.1's pipeline as reusable artifacts.
+//!
+//! [`run_dise`](crate::dise::run_dise) packages the paper's pipeline as
+//! one opaque call: flatten → diff → affected fixpoint → directed
+//! exploration. That is the right shape for a single answer, but every
+//! downstream consumer — the four evolution applications, the regression
+//! selector, the CLI's report paths — needs *several* answers about the
+//! *same* version pair, and with only the monolith available each one
+//! re-ran the whole pipeline from scratch.
+//!
+//! [`AnalysisSession`] splits the monolith into explicit stage artifacts:
+//!
+//! ```text
+//! open ──► Flattened ──► Diffed ──► Affected ──► Explored
+//!            (programs)   (CFGs+diff)  (ACN/AWN)    (summary)
+//! ```
+//!
+//! Each stage is computed lazily on first request, cached on the session,
+//! and borrowable by any number of consumers; the full-exploration
+//! summaries of either version (the regression baseline) are additional
+//! cached artifacts. Running all four evolution applications against one
+//! session therefore performs exactly one flatten, one diff, one affected
+//! fixpoint, and one directed exploration.
+//!
+//! The persistent analysis store participates at the session boundary:
+//! [`AnalysisSession::open`] loads the prior entry (warm trie, recorded
+//! affected sets, measured sweep ratio) and
+//! [`AnalysisSession::finalize`] records the run back. Version *chains*
+//! reuse state without the disk round-trip:
+//! [`AnalysisSession::advance`] hands the executor's warm trie and the
+//! measured sweep-consumption ratio to the next hop's session via
+//! [`dise_symexec::WarmHandoff`].
+//!
+//! Stage reuse moves solver work around; it never changes results. Every
+//! artifact a session hands out is byte-identical to what an independent
+//! `run_dise`/`run_full_on` call would compute (pinned by
+//! `tests/session_reuse.rs`).
+
+use std::borrow::Cow;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use dise_cfg::{Cfg, NodeId};
+use dise_diff::{proc_fingerprint, CfgDiff};
+use dise_ir::ast::Program;
+use dise_ir::inline::{contains_calls, inline_program, InlineError};
+use dise_store::{ProcEntry, Store, StoredAffected};
+use dise_symexec::{ExecConfig, Executor, FullExploration, SymbolicSummary, WarmHandoff};
+
+use crate::affected::{AffectedSets, DataflowPrecision};
+use crate::directed::DirectedStrategy;
+use crate::dise::{DiseConfig, DiseError, DiseResult, StoreStatus};
+use crate::removed::affected_locations;
+
+/// Wall-clock cost of each pipeline stage, measured when the stage first
+/// runs (a reused stage costs nothing and keeps its original timing).
+/// Reported on [`DiseResult::stages`] and the CLI's `stages:` line so
+/// reuse is visible without running the benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Inlining both versions into call-free procedures (phase 0).
+    pub flatten: Duration,
+    /// CFG construction + structural differencing (§3.2 setup).
+    pub diff: Duration,
+    /// The affected-location fixpoint (§3.2), or ~0 when restored from
+    /// the store.
+    pub affected: Duration,
+    /// Directed symbolic execution (§3.3).
+    pub explore: Duration,
+}
+
+impl StageTimings {
+    /// The static-analysis share: everything before symbolic execution
+    /// (the paper's "time spent computing the affected program
+    /// locations").
+    pub fn analysis(&self) -> Duration {
+        self.flatten + self.diff + self.affected
+    }
+
+    /// Total across all stages (the paper's §4.2.2 reported time).
+    pub fn total(&self) -> Duration {
+        self.analysis() + self.explore
+    }
+}
+
+/// The diff stage's artifacts: both CFGs plus the lifted change map.
+#[derive(Debug, Clone)]
+pub struct Diffed {
+    /// The base version's CFG.
+    pub cfg_base: Cfg,
+    /// The modified version's CFG (the one the exploration runs on).
+    pub cfg_mod: Cfg,
+    /// The structural diff lifted onto the CFGs.
+    pub diff: CfgDiff,
+}
+
+/// The exploration stage's artifacts.
+#[derive(Debug, Clone)]
+pub struct Explored {
+    /// The directed run's symbolic summary (affected path conditions).
+    pub summary: SymbolicSummary,
+    /// The Table 1 trace, when [`DiseConfig::trace_directed`] was set.
+    pub directed_trace: Option<String>,
+}
+
+/// Shared borrows of every artifact up to the exploration stage, obtained
+/// in one call so consumers can hold them together. See
+/// [`AnalysisSession::explored_bundle`].
+#[derive(Debug)]
+pub struct ExploredBundle<'s> {
+    /// The flattened base version.
+    pub base: &'s Program,
+    /// The flattened modified version.
+    pub modified: &'s Program,
+    /// The diff stage.
+    pub diffed: &'s Diffed,
+    /// The affected stage.
+    pub affected: &'s AffectedSets,
+    /// The directed exploration's summary.
+    pub summary: &'s SymbolicSummary,
+}
+
+/// A staged DiSE pipeline over one `(base, modified, procedure)` triple.
+///
+/// See the [module docs](self) for the stage graph. The session owns the
+/// flattened programs, the store connection, and every computed artifact;
+/// stage accessors take `&mut self` (they may compute) and the artifacts
+/// they return borrow from the session.
+///
+/// # Examples
+///
+/// ```
+/// use dise_core::session::AnalysisSession;
+/// use dise_core::dise::DiseConfig;
+/// use dise_ir::parse_program;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base = parse_program("proc f(int x) { if (x == 0) { x = 1; } }")?;
+/// let new = parse_program("proc f(int x) { if (x <= 0) { x = 1; } }")?;
+/// let mut session = AnalysisSession::open(&base, &new, "f", DiseConfig::default())?;
+/// // Any number of consumers share one exploration:
+/// let pcs = session.explored()?.summary.pc_count();
+/// let result = session.result()?; // same artifacts, no recompute
+/// assert_eq!(result.summary.pc_count(), pcs);
+/// session.finalize();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AnalysisSession {
+    proc_name: String,
+    config: DiseConfig,
+    /// Flattened (call-free) versions — the Flattened stage, computed at
+    /// open so every later stage shares it.
+    base: Program,
+    modified: Program,
+    timings: StageTimings,
+
+    // Persistent-store state, loaded at open, recorded at finalize.
+    store: Option<Store>,
+    status: Option<StoreStatus>,
+    prior: Option<ProcEntry>,
+    fingerprints: (u64, u64),
+    saved: bool,
+
+    /// In-process warm state handed over from the previous version hop
+    /// ([`AnalysisSession::advance`]); supersedes the store's trie (it is
+    /// a superset: the previous hop loaded the store before exploring).
+    handoff: Option<WarmHandoff>,
+
+    // Lazily computed stages.
+    diffed: Option<Diffed>,
+    affected: Option<AffectedSets>,
+    explored: Option<Explored>,
+    executor: Option<Executor>,
+    base_full: Option<SymbolicSummary>,
+    modified_full: Option<SymbolicSummary>,
+}
+
+impl AnalysisSession {
+    /// Opens a session on the procedure `proc_name` of `base` →
+    /// `modified`: flattens both versions (the Flattened stage) and, when
+    /// [`DiseConfig::store`] is set, connects the store, loads the prior
+    /// entry, and fingerprints the pair. No diffing or execution happens
+    /// yet.
+    ///
+    /// # Errors
+    ///
+    /// [`DiseError::Inline`] when a version cannot be flattened (the
+    /// procedure is missing or inlining exceeds its bound).
+    pub fn open(
+        base: &Program,
+        modified: &Program,
+        proc_name: &str,
+        config: DiseConfig,
+    ) -> Result<AnalysisSession, DiseError> {
+        let start = Instant::now();
+        let base = flatten(base, proc_name)?.into_owned();
+        let modified = flatten(modified, proc_name)?.into_owned();
+        let flatten_time = start.elapsed();
+        Self::open_flat(base, modified, proc_name, config, flatten_time)
+    }
+
+    /// [`AnalysisSession::open`] for already-flattened programs (chain
+    /// hops reuse the previous hop's flattened modified version as the
+    /// next base without re-inlining).
+    fn open_flat(
+        base: Program,
+        modified: Program,
+        proc_name: &str,
+        config: DiseConfig,
+        flatten_time: Duration,
+    ) -> Result<AnalysisSession, DiseError> {
+        let store = config.store.as_deref().map(Store::open);
+        let status = store.as_ref().map(|_| StoreStatus::default());
+        let mut session = AnalysisSession {
+            proc_name: proc_name.to_string(),
+            config,
+            base,
+            modified,
+            timings: StageTimings {
+                flatten: flatten_time,
+                ..StageTimings::default()
+            },
+            store,
+            status,
+            prior: None,
+            fingerprints: (0, 0),
+            saved: false,
+            handoff: None,
+            diffed: None,
+            affected: None,
+            explored: None,
+            executor: None,
+            base_full: None,
+            modified_full: None,
+        };
+        if let Some(store) = &session.store {
+            let (prior, warning) = store.load_warm(&session.proc_name);
+            session.prior = prior;
+            if let Some(warning) = warning {
+                session
+                    .status
+                    .as_mut()
+                    .expect("status exists with a store")
+                    .warning = Some(warning);
+            }
+            // The programs are flattened already, so fingerprinting cannot
+            // hit a fresh inline failure.
+            session.fingerprints = (
+                proc_fingerprint(&session.base, &session.proc_name).map_err(DiseError::Inline)?,
+                proc_fingerprint(&session.modified, &session.proc_name)
+                    .map_err(DiseError::Inline)?,
+            );
+        }
+        Ok(session)
+    }
+
+    /// Finalizes this session and opens the next hop of a version chain:
+    /// `modified` becomes the next base, `next` the next modified, and
+    /// the executor's warm trie plus the measured sweep-consumption ratio
+    /// transfer in process — the next hop's shared prefixes answer from
+    /// memory even with no store configured.
+    ///
+    /// Advancing consumes this session's [`StoreStatus`] along with it;
+    /// callers that need the hop's store outcome (the save flag, a
+    /// save-failure warning) should call [`AnalysisSession::finalize`]
+    /// and inspect its status *before* advancing — finalize is
+    /// idempotent, so the internal call here stays a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`DiseError::Inline`] when `next` cannot be flattened.
+    pub fn advance(mut self, next: &Program) -> Result<AnalysisSession, DiseError> {
+        self.finalize();
+        let handoff = self.executor.as_ref().map(Executor::warm_handoff);
+        let start = Instant::now();
+        let next_flat = flatten(next, &self.proc_name)?.into_owned();
+        let flatten_time = start.elapsed();
+        let mut session = Self::open_flat(
+            self.modified,
+            next_flat,
+            &self.proc_name,
+            self.config,
+            flatten_time,
+        )?;
+        session.handoff = handoff;
+        Ok(session)
+    }
+
+    /// The analyzed procedure's name.
+    pub fn proc_name(&self) -> &str {
+        &self.proc_name
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &DiseConfig {
+        &self.config
+    }
+
+    /// The flattened base version (the Flattened stage).
+    pub fn base_flat(&self) -> &Program {
+        &self.base
+    }
+
+    /// The flattened modified version (the Flattened stage).
+    pub fn mod_flat(&self) -> &Program {
+        &self.modified
+    }
+
+    /// Per-stage wall-clock timings of everything computed so far.
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    /// What the store contributed so far (`None` when no store is
+    /// configured). [`StoreStatus::saved`] flips on
+    /// [`AnalysisSession::finalize`].
+    pub fn store_status(&self) -> Option<&StoreStatus> {
+        self.status.as_ref()
+    }
+
+    /// The Diffed stage: both CFGs plus the lifted change map, computed
+    /// on first call.
+    ///
+    /// # Errors
+    ///
+    /// [`DiseError::Diff`] when the differencing fails.
+    pub fn diffed(&mut self) -> Result<&Diffed, DiseError> {
+        if self.diffed.is_none() {
+            let start = Instant::now();
+            let (cfg_base, cfg_mod, diff) =
+                CfgDiff::from_programs(&self.base, &self.modified, &self.proc_name)?;
+            self.timings.diff = start.elapsed();
+            self.diffed = Some(Diffed {
+                cfg_base,
+                cfg_mod,
+                diff,
+            });
+        }
+        Ok(self.diffed.as_ref().expect("just computed"))
+    }
+
+    /// The Affected stage: the `ACN`/`AWN` fixpoint over the diff
+    /// (§3.2), computed on first call — or restored from the store when
+    /// the recorded `(base, modified)` fingerprint pair matches.
+    ///
+    /// # Errors
+    ///
+    /// [`DiseError::Diff`] when the prerequisite diff stage fails.
+    pub fn affected(&mut self) -> Result<&AffectedSets, DiseError> {
+        if self.affected.is_none() {
+            self.diffed()?;
+            let diffed = self.diffed.as_ref().expect("diff stage ensured");
+            let start = Instant::now();
+            let sets = match reusable_affected(
+                self.prior.as_ref(),
+                self.fingerprints,
+                &self.config,
+                diffed.cfg_mod.len(),
+            ) {
+                Some(sets) => {
+                    self.status
+                        .as_mut()
+                        .expect("reuse implies a store")
+                        .affected_reused = true;
+                    sets
+                }
+                None => affected_locations(
+                    &diffed.cfg_base,
+                    &diffed.cfg_mod,
+                    &diffed.diff,
+                    self.config.precision,
+                    self.config.trace_affected,
+                ),
+            };
+            self.timings.affected = start.elapsed();
+            self.affected = Some(sets);
+        }
+        Ok(self.affected.as_ref().expect("just computed"))
+    }
+
+    /// The Explored stage: directed symbolic execution of the modified
+    /// version (§3.3), computed on first call. The executor warm-starts
+    /// from the previous hop's [`WarmHandoff`] when one was chained in,
+    /// else from the store's trie — both gated on the solver cache key,
+    /// and neither ever changes the summary.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DiseError`]: prerequisite stages may diff-fail, executor
+    /// construction may exec-fail.
+    pub fn explored(&mut self) -> Result<&Explored, DiseError> {
+        if self.explored.is_none() {
+            self.affected()?;
+            let start = Instant::now();
+            let solver_key = self.config.exec.solver.cache_key();
+            let mut executor =
+                Executor::new(&self.modified, &self.proc_name, self.config.exec.clone())?;
+            let mut restored = None;
+            let mut feedback = false;
+            if let Some(handoff) = &self.handoff {
+                if let Some(imported) = executor.warm_start_from(handoff) {
+                    restored = Some(imported);
+                    feedback = handoff.sweep_feedback().is_some();
+                }
+            }
+            if restored.is_none() {
+                if let Some(entry) = &self.prior {
+                    if entry.solver_key == solver_key {
+                        restored = Some(executor.warm_start(&entry.trie, entry.sweep_feedback));
+                        feedback = entry.sweep_feedback.is_some();
+                    }
+                }
+            }
+            if let Some(status) = self.status.as_mut() {
+                status.warm_trie_entries = restored.unwrap_or(0);
+                status.feedback_reused = feedback;
+            }
+            let diffed = self.diffed.as_ref().expect("diff stage ensured");
+            let affected = self.affected.as_ref().expect("affected stage ensured");
+            debug_assert_eq!(
+                executor.cfg().len(),
+                diffed.cfg_mod.len(),
+                "CFG construction must be deterministic"
+            );
+            let mut strategy =
+                DirectedStrategy::new(&diffed.cfg_mod, affected, self.config.trace_directed);
+            let summary = executor.explore(&mut strategy);
+            let directed_trace = self.config.trace_directed.then(|| strategy.render_trace());
+            self.timings.explore = start.elapsed();
+            self.executor = Some(executor);
+            self.explored = Some(Explored {
+                summary,
+                directed_trace,
+            });
+        }
+        Ok(self.explored.as_ref().expect("just computed"))
+    }
+
+    /// Every artifact through the Explored stage as one set of shared
+    /// borrows (for the base version's full-exploration baseline, see
+    /// [`AnalysisSession::base_full`] and
+    /// [`AnalysisSession::regression_inputs`]).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the prerequisite stages raise.
+    pub fn explored_bundle(&mut self) -> Result<ExploredBundle<'_>, DiseError> {
+        self.explored()?;
+        Ok(ExploredBundle {
+            base: &self.base,
+            modified: &self.modified,
+            diffed: self.diffed.as_ref().expect("diff stage ensured"),
+            affected: self.affected.as_ref().expect("affected stage ensured"),
+            summary: &self
+                .explored
+                .as_ref()
+                .expect("explored stage ensured")
+                .summary,
+        })
+    }
+
+    /// Full (undirected) symbolic execution of the *base* version — the
+    /// "existing suite" baseline of §5.2, cached like every other stage.
+    /// Shares the session's Flattened stage and executor construction
+    /// path with the directed run, so full and directed setups cannot
+    /// drift.
+    ///
+    /// # Errors
+    ///
+    /// [`DiseError::Exec`] when the procedure cannot be executed.
+    pub fn base_full(&mut self) -> Result<&SymbolicSummary, DiseError> {
+        if self.base_full.is_none() {
+            self.base_full = Some(full_exploration_flat(
+                &self.base,
+                &self.proc_name,
+                &self.config.exec,
+            )?);
+        }
+        Ok(self.base_full.as_ref().expect("just computed"))
+    }
+
+    /// Full (undirected) symbolic execution of the *modified* version —
+    /// the paper's control technique — cached on the session.
+    ///
+    /// # Errors
+    ///
+    /// [`DiseError::Exec`] when the procedure cannot be executed.
+    pub fn modified_full(&mut self) -> Result<&SymbolicSummary, DiseError> {
+        if self.modified_full.is_none() {
+            self.modified_full = Some(full_exploration_flat(
+                &self.modified,
+                &self.proc_name,
+                &self.config.exec,
+            )?);
+        }
+        Ok(self.modified_full.as_ref().expect("just computed"))
+    }
+
+    /// Assembles a [`DiseResult`] from the session's artifacts, computing
+    /// any stage that has not run yet. Repeated calls reuse everything —
+    /// the returned summaries are clones of one cached exploration.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the prerequisite stages raise.
+    pub fn result(&mut self) -> Result<DiseResult, DiseError> {
+        self.explored()?;
+        let diffed = self.diffed.as_ref().expect("diff stage ensured");
+        let affected = self.affected.as_ref().expect("affected stage ensured");
+        let explored = self.explored.as_ref().expect("explored stage ensured");
+        Ok(DiseResult {
+            summary: explored.summary.clone(),
+            affected: affected.clone(),
+            changed_nodes: diffed.diff.changed_node_count(),
+            affected_nodes: affected.len(),
+            analysis_time: self.timings.analysis(),
+            total_time: self.timings.total(),
+            directed_trace: explored.directed_trace.clone(),
+            stages: self.timings,
+            store: self.status.clone(),
+        })
+    }
+
+    /// [`AnalysisSession::result`] for a session that is done: finalizes
+    /// the store and *moves* the cached artifacts out instead of cloning
+    /// them — the one-shot [`run_dise`](crate::dise::run_dise) path.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the prerequisite stages raise.
+    pub fn into_result(mut self) -> Result<DiseResult, DiseError> {
+        self.explored()?;
+        let status = self.finalize().cloned();
+        let diffed = self.diffed.take().expect("diff stage ensured");
+        let affected = self.affected.take().expect("affected stage ensured");
+        let explored = self.explored.take().expect("explored stage ensured");
+        Ok(DiseResult {
+            summary: explored.summary,
+            changed_nodes: diffed.diff.changed_node_count(),
+            affected_nodes: affected.len(),
+            affected,
+            analysis_time: self.timings.analysis(),
+            total_time: self.timings.total(),
+            directed_trace: explored.directed_trace,
+            stages: self.timings,
+            store: status,
+        })
+    }
+
+    /// The four artifacts the §5.2 regression application consumes, all
+    /// ensured: `(base_flat, base_full_summary, mod_flat,
+    /// directed_summary)` — the inputs of
+    /// `dise_regression::regression_plan`, borrowed together in one
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the prerequisite stages raise.
+    #[allow(clippy::type_complexity)]
+    pub fn regression_inputs(
+        &mut self,
+    ) -> Result<(&Program, &SymbolicSummary, &Program, &SymbolicSummary), DiseError> {
+        self.base_full()?;
+        self.explored()?;
+        Ok((
+            &self.base,
+            self.base_full.as_ref().expect("base_full ensured"),
+            &self.modified,
+            &self.explored.as_ref().expect("explored ensured").summary,
+        ))
+    }
+
+    /// Records the session's warm state back to the store (trie snapshot,
+    /// measured sweep ratio, affected sets under their fingerprints) and
+    /// returns the final store status. A no-op (returning the current
+    /// status) when no store is configured, when the exploration never
+    /// ran (there is nothing new to record), or when already finalized —
+    /// calling it more than once is safe.
+    pub fn finalize(&mut self) -> Option<&StoreStatus> {
+        if self.saved {
+            return self.status.as_ref();
+        }
+        let (Some(store), Some(explored), Some(executor)) =
+            (&self.store, &self.explored, &self.executor)
+        else {
+            return self.status.as_ref();
+        };
+        let diffed = self.diffed.as_ref().expect("explored implies diffed");
+        let affected = self.affected.as_ref().expect("explored implies affected");
+        let entry = ProcEntry {
+            proc_name: self.proc_name.clone(),
+            solver_key: self.config.exec.solver.cache_key(),
+            base_fingerprint: self.fingerprints.0,
+            mod_fingerprint: self.fingerprints.1,
+            runs: self.prior.as_ref().map_or(0, |e| e.runs) + 1,
+            pc_count: explored.summary.pc_count() as u64,
+            summary_digest: summary_digest(&explored.summary),
+            sweep_feedback: executor.sweep_feedback(),
+            affected: Some(StoredAffected {
+                precision: precision_tag(self.config.precision),
+                changed_nodes: diffed.diff.changed_node_count() as u64,
+                acn: affected.acn().iter().map(|n| n.index() as u32).collect(),
+                awn: affected.awn().iter().map(|n| n.index() as u32).collect(),
+            }),
+            trie: executor.trie_snapshot(),
+        };
+        let status = self.status.as_mut().expect("status exists with a store");
+        match store.save(&entry) {
+            Ok(()) => status.saved = true,
+            Err(e) => {
+                let note = format!("analysis store: save failed ({e})");
+                status.warning = Some(match status.warning.take() {
+                    Some(prev) => format!("{prev}; {note}"),
+                    None => note,
+                });
+            }
+        }
+        self.saved = true;
+        self.status.as_ref()
+    }
+}
+
+/// Flattens multi-procedure programs before analysis; call-free programs
+/// pass through untouched. DiSE is intra-procedural (§3.2), so calls are
+/// expanded by bounded inlining — the pragmatic realization of the paper's
+/// inter-procedural future work (§7).
+pub(crate) fn flatten<'p>(
+    program: &'p Program,
+    proc_name: &str,
+) -> Result<Cow<'p, Program>, InlineError> {
+    if contains_calls(program, proc_name) {
+        Ok(Cow::Owned(inline_program(program, proc_name)?))
+    } else {
+        Ok(Cow::Borrowed(program))
+    }
+}
+
+/// Full symbolic execution of an already-flattened program — the one
+/// executor-construction path shared by the session's full stages and
+/// [`run_full_on`](crate::dise::run_full_on).
+fn full_exploration_flat(
+    program: &Program,
+    proc_name: &str,
+    exec: &ExecConfig,
+) -> Result<SymbolicSummary, DiseError> {
+    let mut executor = Executor::new(program, proc_name, exec.clone())?;
+    Ok(executor.explore(&mut FullExploration))
+}
+
+/// Full symbolic execution of `program` through the session's Flattened
+/// stage — the implementation behind
+/// [`run_full_on`](crate::dise::run_full_on).
+pub(crate) fn full_exploration(
+    program: &Program,
+    proc_name: &str,
+    config: &DiseConfig,
+) -> Result<SymbolicSummary, DiseError> {
+    let program = flatten(program, proc_name)?;
+    full_exploration_flat(program.as_ref(), proc_name, &config.exec)
+}
+
+/// The on-disk tag of a [`DataflowPrecision`] mode. Part of the store's
+/// reuse key: the `--reaching-defs` ablation computes strictly smaller
+/// affected sets than the paper's `CfgPath` premise, so entries recorded
+/// under one mode must never serve runs under the other.
+fn precision_tag(precision: DataflowPrecision) -> u8 {
+    match precision {
+        DataflowPrecision::CfgPath => 0,
+        DataflowPrecision::ReachingDefs => 1,
+    }
+}
+
+/// The stored affected sets, when they can stand in for the fixpoint:
+/// same `(base, modified)` fingerprint pair, same data-flow precision
+/// mode, no trace requested (restored sets carry none), and every
+/// recorded node id within the current CFG (a guard against fingerprint
+/// collisions — reuse is an optimization, never a risk).
+fn reusable_affected(
+    prior: Option<&ProcEntry>,
+    fingerprints: (u64, u64),
+    config: &DiseConfig,
+    cfg_len: usize,
+) -> Option<AffectedSets> {
+    let entry = prior?;
+    if config.trace_affected
+        || entry.base_fingerprint != fingerprints.0
+        || entry.mod_fingerprint != fingerprints.1
+    {
+        return None;
+    }
+    let stored = entry.affected.as_ref()?;
+    if stored.precision != precision_tag(config.precision) {
+        return None;
+    }
+    let in_range = |nodes: &[u32]| nodes.iter().all(|&n| (n as usize) < cfg_len);
+    if !in_range(&stored.acn) || !in_range(&stored.awn) {
+        return None;
+    }
+    let to_set = |nodes: &[u32]| -> BTreeSet<NodeId> { nodes.iter().map(|&n| NodeId(n)).collect() };
+    Some(AffectedSets::from_parts(
+        to_set(&stored.acn),
+        to_set(&stored.awn),
+    ))
+}
+
+/// A stable digest of the summary's observable output (path conditions,
+/// outcomes, and final environments) — what the CI warm-start job diffs
+/// byte-for-byte, recorded per entry for `dise store stat`.
+fn summary_digest(summary: &SymbolicSummary) -> u64 {
+    let mut text = String::new();
+    for path in summary.paths() {
+        text.push_str(&path.pc.to_string());
+        text.push('\x1f');
+        text.push_str(&format!("{:?}", path.outcome));
+        text.push('\x1f');
+        for (var, value) in path.final_env.iter() {
+            text.push_str(var);
+            text.push('=');
+            text.push_str(&value.to_string());
+            text.push(';');
+        }
+        text.push('\n');
+    }
+    dise_store::format::fnv1a(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affected::tests::FIG2_BASE_SRC;
+    use crate::dise::run_dise;
+    use dise_ir::parse_program;
+
+    fn fig2_pair() -> (Program, Program) {
+        let base = parse_program(FIG2_BASE_SRC).unwrap();
+        let modified =
+            parse_program(&FIG2_BASE_SRC.replace("PedalPos == 0", "PedalPos <= 0")).unwrap();
+        (base, modified)
+    }
+
+    #[test]
+    fn stages_compute_lazily_and_cache() {
+        let (base, modified) = fig2_pair();
+        let mut session =
+            AnalysisSession::open(&base, &modified, "update", DiseConfig::default()).unwrap();
+        assert!(session.diffed.is_none() && session.affected.is_none());
+        let affected_len = session.affected().unwrap().len();
+        assert!(session.explored.is_none(), "affected must not explore");
+        let first = session.result().unwrap();
+        let second = session.result().unwrap();
+        assert_eq!(first.affected_nodes, affected_len);
+        // Cached: the second result is a clone of the same exploration,
+        // down to the measured wall-clock.
+        assert_eq!(
+            first.summary.stats().elapsed,
+            second.summary.stats().elapsed
+        );
+        assert_eq!(first.summary.paths().len(), second.summary.paths().len());
+    }
+
+    #[test]
+    fn session_result_matches_run_dise() {
+        let (base, modified) = fig2_pair();
+        let reference = run_dise(&base, &modified, "update", &DiseConfig::default()).unwrap();
+        let mut session =
+            AnalysisSession::open(&base, &modified, "update", DiseConfig::default()).unwrap();
+        let result = session.result().unwrap();
+        assert_eq!(result.changed_nodes, reference.changed_nodes);
+        assert_eq!(result.affected_nodes, reference.affected_nodes);
+        assert_eq!(
+            result.affected_pc_strings(),
+            reference.affected_pc_strings()
+        );
+    }
+
+    #[test]
+    fn stage_timings_are_reported() {
+        let (base, modified) = fig2_pair();
+        let mut session =
+            AnalysisSession::open(&base, &modified, "update", DiseConfig::default()).unwrap();
+        let result = session.result().unwrap();
+        assert!(result.stages.explore > Duration::ZERO);
+        assert_eq!(result.analysis_time, result.stages.analysis());
+        assert_eq!(result.total_time, result.stages.total());
+        assert!(result.total_time >= result.analysis_time);
+    }
+
+    #[test]
+    fn advance_chains_warm_state_in_process() {
+        // base -> modified -> base again: hop 2 must warm-start from hop
+        // 1's executor without any store, and its summary must equal an
+        // independent run's.
+        let (base, modified) = fig2_pair();
+        let session =
+            AnalysisSession::open(&base, &modified, "update", DiseConfig::default()).unwrap();
+        let mut session = session; // explore hop 1
+        session.explored().unwrap();
+        let mut hop2 = session.advance(&base).unwrap();
+        assert!(hop2.handoff.is_some(), "executor state must transfer");
+        let chained = hop2.result().unwrap();
+        let independent = run_dise(&modified, &base, "update", &DiseConfig::default()).unwrap();
+        assert_eq!(
+            chained.affected_pc_strings(),
+            independent.affected_pc_strings()
+        );
+        // The handoff's decided prefixes were restored into hop 2's
+        // solver (whether they answer checks depends on prefix overlap —
+        // the solver-call reduction on genuinely overlapping hops is
+        // pinned by tests/session_reuse.rs on the WBS chain).
+        assert!(
+            chained.summary.stats().frontier.warm_trie_entries > 0,
+            "hop 2 must start with hop 1's trie"
+        );
+    }
+
+    #[test]
+    fn advance_without_exploration_is_a_cold_open() {
+        let (base, modified) = fig2_pair();
+        let session =
+            AnalysisSession::open(&base, &modified, "update", DiseConfig::default()).unwrap();
+        // No stage ran; advancing still works and carries nothing.
+        let mut hop2 = session.advance(&base).unwrap();
+        assert!(hop2.handoff.is_none());
+        let chained = hop2.result().unwrap();
+        let independent = run_dise(&modified, &base, "update", &DiseConfig::default()).unwrap();
+        assert_eq!(
+            chained.affected_pc_strings(),
+            independent.affected_pc_strings()
+        );
+    }
+
+    #[test]
+    fn finalize_is_idempotent_and_saves_once() {
+        let (base, modified) = fig2_pair();
+        let dir =
+            std::env::temp_dir().join(format!("dise-session-finalize-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = DiseConfig {
+            store: Some(dir.clone()),
+            ..DiseConfig::default()
+        };
+        let mut session = AnalysisSession::open(&base, &modified, "update", config).unwrap();
+        session.result().unwrap();
+        let status = session.finalize().expect("store configured").clone();
+        assert!(status.saved);
+        let runs_after_first = Store::open(&dir)
+            .load("update")
+            .unwrap()
+            .expect("entry recorded")
+            .runs;
+        session.finalize();
+        assert_eq!(
+            Store::open(&dir).load("update").unwrap().unwrap().runs,
+            runs_after_first,
+            "double finalize must not double-record"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -28,7 +28,8 @@
 
 use std::collections::BTreeMap;
 
-use dise_core::dise::{run_dise, DiseConfig};
+use dise_core::dise::DiseConfig;
+use dise_core::session::AnalysisSession;
 use dise_ir::ast::Program;
 use dise_solver::{SatResult, Solver, SymExpr, SymVar, VarPool};
 use dise_symexec::concolic::ConcolicExecutor;
@@ -172,6 +173,10 @@ impl DiffSummary {
 /// Runs DiSE on `base` → `modified` and classifies every affected path as
 /// effect-preserving or diverging.
 ///
+/// Opens a fresh [`AnalysisSession`] for the pair; use
+/// [`classify_changes_with`] to share one session's exploration with
+/// other applications.
+///
 /// # Errors
 ///
 /// [`EvolutionError::Dise`] if the DiSE pipeline fails,
@@ -182,16 +187,37 @@ pub fn classify_changes(
     proc_name: &str,
     config: &DiffSumConfig,
 ) -> Result<DiffSummary, EvolutionError> {
-    let result = run_dise(base, modified, proc_name, &config.dise)?;
+    let mut session = AnalysisSession::open(base, modified, proc_name, config.dise.clone())?;
+    let summary = classify_changes_with(&mut session, config)?;
+    session.finalize();
+    Ok(summary)
+}
 
-    let flat_base = crate::flatten(base, proc_name)?;
-    let flat_mod = crate::flatten(modified, proc_name)?;
-    let base_exec = ConcolicExecutor::new(flat_base.as_ref(), proc_name, config.concrete)?;
-    let mod_exec = ConcolicExecutor::new(flat_mod.as_ref(), proc_name, config.concrete)?;
-    let shared = shared_globals(flat_base.as_ref(), flat_mod.as_ref());
+/// [`classify_changes`] over a shared [`AnalysisSession`]: borrows the
+/// session's flattened programs and directed exploration instead of
+/// recomputing them. The session's [`DiseConfig`] governs the pipeline —
+/// [`DiffSumConfig::dise`] is not consulted.
+///
+/// # Errors
+///
+/// [`EvolutionError::Dise`] if a pipeline stage fails,
+/// [`EvolutionError::Exec`] if either version cannot be executed.
+pub fn classify_changes_with(
+    session: &mut AnalysisSession,
+    config: &DiffSumConfig,
+) -> Result<DiffSummary, EvolutionError> {
+    let (solved, solve_stats) = {
+        let summary = &session.explored()?.summary;
+        solve_inputs(summary)
+    };
+    let flat_base = session.base_flat();
+    let flat_mod = session.mod_flat();
+    let proc_name = session.proc_name();
+    let base_exec = ConcolicExecutor::new(flat_base, proc_name, config.concrete)?;
+    let mod_exec = ConcolicExecutor::new(flat_mod, proc_name, config.concrete)?;
+    let shared = shared_globals(flat_base, flat_mod);
     let alignment = Alignment::new(base_exec.inputs(), mod_exec.inputs());
 
-    let (solved, solve_stats) = solve_inputs(&result.summary);
     let limit = config.max_paths.unwrap_or(usize::MAX);
     let mut solver = Solver::with_config(config.solver);
     let mut paths = Vec::new();

@@ -30,9 +30,14 @@
 //!   affected path conditions with witness inputs, and a regression-suite
 //!   summary).
 //!
-//! All four consume only the two program versions plus DiSE's output —
-//! no analysis state carried forward between versions, preserving the
-//! paper's key design property.
+//! All four consume only the two program versions plus DiSE's output.
+//! Each application has two entry points: a standalone function taking
+//! the two versions (it opens its own pipeline), and a `*_with` variant
+//! taking a `&mut` [`dise_core::session::AnalysisSession`] so several
+//! applications share one flatten/diff/fixpoint/exploration of the same
+//! version pair — the CLI's `dise evolve` runs all four off a single
+//! exploration this way, with byte-identical output to the standalone
+//! runs.
 //!
 //! # Examples
 //!
@@ -62,11 +67,12 @@ pub mod localize;
 pub mod report;
 pub mod witness;
 
-pub use diffsum::{classify_changes, DiffSummary, PathClass};
-pub use localize::{localize, localize_change, Formula, LocalizeReport};
-pub use report::{impact_report, ImpactConfig};
+pub use diffsum::{classify_changes, classify_changes_with, DiffSummary, PathClass};
+pub use localize::{localize, localize_change, localize_change_with, Formula, LocalizeReport};
+pub use report::{impact_report, impact_report_with, ImpactConfig};
 pub use witness::{
-    find_witnesses, witness_tests, Divergence, Witness, WitnessConfig, WitnessReport,
+    find_witnesses, find_witnesses_with, witness_tests, Divergence, Witness, WitnessConfig,
+    WitnessReport,
 };
 
 use dise_core::dise::DiseError;

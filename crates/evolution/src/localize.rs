@@ -24,8 +24,8 @@
 use std::collections::BTreeSet;
 
 use dise_cfg::{Cfg, NodeId};
-use dise_core::dise::{run_dise, run_full_on, DiseConfig};
-use dise_diff::CfgDiff;
+use dise_core::dise::DiseConfig;
+use dise_core::session::AnalysisSession;
 use dise_ir::ast::Program;
 use dise_ir::Span;
 use dise_symexec::concrete::{ConcreteConfig, ConcreteExecutor, ConcreteOutcome};
@@ -269,6 +269,10 @@ pub struct ChangeLocalization {
 /// summary inputs + DiSE affected inputs), replays it on the modified
 /// version, and reports where the changed nodes rank.
 ///
+/// Opens a fresh [`AnalysisSession`] for the pair; use
+/// [`localize_change_with`] to share one session's exploration (and its
+/// base full-run baseline) with other applications.
+///
 /// # Errors
 ///
 /// [`EvolutionError::Dise`] if the DiSE pipeline fails,
@@ -279,12 +283,36 @@ pub fn localize_change(
     proc_name: &str,
     config: &LocalizeConfig,
 ) -> Result<ChangeLocalization, EvolutionError> {
+    let mut session = AnalysisSession::open(base, modified, proc_name, config.dise.clone())?;
+    let outcome = localize_change_with(&mut session, config)?;
+    session.finalize();
+    Ok(outcome)
+}
+
+/// [`localize_change`] over a shared [`AnalysisSession`]: borrows the
+/// session's flattened programs, diff, base full-exploration summary, and
+/// directed exploration instead of recomputing them. The session's
+/// [`DiseConfig`] governs the pipeline — [`LocalizeConfig::dise`] is not
+/// consulted.
+///
+/// # Errors
+///
+/// [`EvolutionError::Dise`] if a pipeline stage fails,
+/// [`EvolutionError::Exec`] if the modified version cannot be executed.
+pub fn localize_change_with(
+    session: &mut AnalysisSession,
+    config: &LocalizeConfig,
+) -> Result<ChangeLocalization, EvolutionError> {
     // Existing suite: full symbolic execution of the base version.
-    let base_summary = run_full_on(base, proc_name, &config.dise)?;
-    let (base_inputs, _) = solve_inputs(&base_summary);
+    let (base_inputs, _) = {
+        let base_summary = session.base_full()?;
+        solve_inputs(base_summary)
+    };
     // Augmentation: DiSE's affected path conditions on the change.
-    let result = run_dise(base, modified, proc_name, &config.dise)?;
-    let (affected_inputs, _) = solve_inputs(&result.summary);
+    let (affected_inputs, _) = {
+        let summary = &session.explored()?.summary;
+        solve_inputs(summary)
+    };
 
     let mut tests: Vec<ValueEnv> = Vec::new();
     let mut seen = BTreeSet::new();
@@ -294,15 +322,19 @@ pub fn localize_change(
         }
     }
 
-    let report = localize(modified, proc_name, &tests, config.formula, config.concrete)?;
-
     // Ground truth: the changed/added nodes of the modified CFG.
-    let flat_base = crate::flatten(base, proc_name)?;
-    let flat_mod = crate::flatten(modified, proc_name)?;
-    let (_, _, diff) = CfgDiff::from_programs(flat_base.as_ref(), flat_mod.as_ref(), proc_name)
-        .map_err(dise_core::dise::DiseError::from)
-        .map_err(EvolutionError::from)?;
-    let changed_nodes: Vec<NodeId> = diff.changed_or_added_mod().collect();
+    let changed_nodes: Vec<NodeId> = {
+        let diffed = session.diffed()?;
+        diffed.diff.changed_or_added_mod().collect()
+    };
+
+    let report = localize(
+        session.mod_flat(),
+        session.proc_name(),
+        &tests,
+        config.formula,
+        config.concrete,
+    )?;
     let best_changed_rank = changed_nodes
         .iter()
         .filter_map(|&n| report.rank_of(n))

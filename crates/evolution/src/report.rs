@@ -14,14 +14,14 @@
 
 use std::fmt::Write as _;
 
-use dise_core::dise::{run_dise, run_full_on, DiseConfig};
-use dise_diff::CfgDiff;
+use dise_core::dise::DiseConfig;
+use dise_core::session::AnalysisSession;
 use dise_ir::ast::Program;
-use dise_regression::{generate_tests, select_and_augment};
+use dise_regression::regression_plan;
 use dise_symexec::concrete::ConcreteConfig;
 
 use crate::inputs::render_env;
-use crate::witness::{find_witnesses, Divergence, WitnessConfig};
+use crate::witness::{find_witnesses_with, Divergence, WitnessConfig};
 use crate::EvolutionError;
 
 /// Configuration of an impact report.
@@ -51,6 +51,10 @@ impl Default for ImpactConfig {
 /// Renders the Markdown change-impact report for `proc_name` of
 /// `base` → `modified`.
 ///
+/// Opens a fresh [`AnalysisSession`] for the pair; use
+/// [`impact_report_with`] to share one session's exploration with other
+/// applications.
+///
 /// # Errors
 ///
 /// [`EvolutionError::Dise`] if the DiSE pipeline fails,
@@ -61,77 +65,102 @@ pub fn impact_report(
     proc_name: &str,
     config: &ImpactConfig,
 ) -> Result<String, EvolutionError> {
-    let result = run_dise(base, modified, proc_name, &config.dise)?;
+    let mut session = AnalysisSession::open(base, modified, proc_name, config.dise.clone())?;
+    let text = impact_report_with(&mut session, config)?;
+    session.finalize();
+    Ok(text)
+}
 
-    let flat_base = crate::flatten(base, proc_name)?;
-    let flat_mod = crate::flatten(modified, proc_name)?;
-    let (_, cfg_mod, diff) =
-        CfgDiff::from_programs(flat_base.as_ref(), flat_mod.as_ref(), proc_name)
-            .map_err(dise_core::dise::DiseError::from)?;
+/// [`impact_report`] over a shared [`AnalysisSession`]: every section —
+/// the diff, the affected sets, the witness replays, the regression plan
+/// — reads the session's cached stages, so the report costs one
+/// exploration even though it spans four applications. The session's
+/// [`DiseConfig`] governs the pipeline — [`ImpactConfig::dise`] is not
+/// consulted.
+///
+/// # Errors
+///
+/// [`EvolutionError::Dise`] if a pipeline stage fails,
+/// [`EvolutionError::Exec`] if either version cannot be executed.
+pub fn impact_report_with(
+    session: &mut AnalysisSession,
+    config: &ImpactConfig,
+) -> Result<String, EvolutionError> {
+    let proc_name = session.proc_name().to_string();
 
     let mut out = String::new();
     let _ = writeln!(out, "# Change impact: `{proc_name}`\n");
 
-    // §1 — the change.
-    let _ = writeln!(out, "## Changed statements\n");
-    if diff.is_identical() {
-        let _ = writeln!(out, "No statement-level differences detected.\n");
-    } else {
-        for node in diff.changed_or_added_mod() {
-            let payload = cfg_mod.node(node);
-            let mark = if diff.added_mod().any(|n| n == node) {
-                "added"
-            } else {
-                "changed"
-            };
-            let _ = writeln!(out, "- line {}: `{}` ({mark})", payload.span.line, payload);
+    {
+        // Borrow the stage artifacts directly — the report only reads
+        // counts and node sets, so cloning the whole exploration
+        // (session.result()) would be pure waste.
+        let bundle = session.explored_bundle()?;
+        let (cfg_mod, diff) = (&bundle.diffed.cfg_mod, &bundle.diffed.diff);
+        let affected = bundle.affected;
+
+        // §1 — the change.
+        let _ = writeln!(out, "## Changed statements\n");
+        if diff.is_identical() {
+            let _ = writeln!(out, "No statement-level differences detected.\n");
+        } else {
+            for node in diff.changed_or_added_mod() {
+                let payload = cfg_mod.node(node);
+                let mark = if diff.added_mod().any(|n| n == node) {
+                    "added"
+                } else {
+                    "changed"
+                };
+                let _ = writeln!(out, "- line {}: `{}` ({mark})", payload.span.line, payload);
+            }
+            let removed: Vec<_> = diff.removed_base().collect();
+            if !removed.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "- {} statement(s) removed from the base version",
+                    removed.len()
+                );
+            }
+            let _ = writeln!(out);
         }
-        let removed: Vec<_> = diff.removed_base().collect();
-        if !removed.is_empty() {
+
+        // §2 — affected locations.
+        let _ = writeln!(out, "## Affected locations\n");
+        let _ = writeln!(
+            out,
+            "{} changed node(s) → {} affected node(s): {} affected conditional(s) (ACN), {} affected write(s) (AWN).\n",
+            diff.changed_node_count(),
+            affected.len(),
+            affected.acn().len(),
+            affected.awn().len(),
+        );
+        for &node in affected.acn() {
+            let payload = cfg_mod.node(node);
             let _ = writeln!(
                 out,
-                "- {} statement(s) removed from the base version",
-                removed.len()
+                "- ACN {}: line {}, `{}`",
+                node, payload.span.line, payload
+            );
+        }
+        for &node in affected.awn() {
+            let payload = cfg_mod.node(node);
+            let _ = writeln!(
+                out,
+                "- AWN {}: line {}, `{}`",
+                node, payload.span.line, payload
             );
         }
         let _ = writeln!(out);
     }
 
-    // §2 — affected locations.
-    let _ = writeln!(out, "## Affected locations\n");
-    let _ = writeln!(
-        out,
-        "{} changed node(s) → {} affected node(s): {} affected conditional(s) (ACN), {} affected write(s) (AWN).\n",
-        result.changed_nodes,
-        result.affected_nodes,
-        result.affected.acn().len(),
-        result.affected.awn().len(),
-    );
-    for &node in result.affected.acn() {
-        let payload = cfg_mod.node(node);
-        let _ = writeln!(
-            out,
-            "- ACN {}: line {}, `{}`",
-            node, payload.span.line, payload
-        );
-    }
-    for &node in result.affected.awn() {
-        let payload = cfg_mod.node(node);
-        let _ = writeln!(
-            out,
-            "- AWN {}: line {}, `{}`",
-            node, payload.span.line, payload
-        );
-    }
-    let _ = writeln!(out);
-
-    // §3 — affected behaviours, with witnesses.
+    // §3 — affected behaviours, with witnesses (shares the session's
+    // exploration).
     let witness_config = WitnessConfig {
-        dise: config.dise.clone(),
+        dise: session.config().clone(),
         concrete: config.concrete,
         max_paths: None,
     };
-    let witnesses = find_witnesses(base, modified, proc_name, &witness_config)?;
+    let witnesses = find_witnesses_with(session, &witness_config)?;
     let _ = writeln!(out, "## Affected path conditions\n");
     let _ = writeln!(
         out,
@@ -171,19 +200,19 @@ pub fn impact_report(
     let _ = writeln!(out);
 
     // §4 — regression-suite impact (§5.2 of the paper).
-    let base_summary = run_full_on(base, proc_name, &config.dise)?;
-    let existing = generate_tests(flat_base.as_ref(), &base_summary);
-    let dise_tests = generate_tests(flat_mod.as_ref(), &result.summary);
-    let selection = select_and_augment(&existing, &dise_tests);
+    let plan = {
+        let (base_flat, base_full, mod_flat, dise_summary) = session.regression_inputs()?;
+        regression_plan(base_flat, base_full, mod_flat, dise_summary)
+    };
     let _ = writeln!(out, "## Regression suite\n");
     let _ = writeln!(
         out,
         "Existing suite: {} test(s). Selected for re-run: {}. New tests to add: {}. Total to execute: {} ({} would be run by re-test-all).\n",
-        existing.len(),
-        selection.selected.len(),
-        selection.added.len(),
-        selection.total(),
-        existing.len(),
+        plan.existing.len(),
+        plan.selection.selected.len(),
+        plan.selection.added.len(),
+        plan.selection.total(),
+        plan.existing.len(),
     );
 
     Ok(out)

@@ -16,7 +16,8 @@
 //! unchanged paths"). The solver-backed [`crate::diffsum`] classification
 //! strengthens the per-input check to a per-region one.
 
-use dise_core::dise::{run_dise, DiseConfig};
+use dise_core::dise::DiseConfig;
+use dise_core::session::AnalysisSession;
 use dise_ir::ast::Program;
 use dise_solver::model::Value;
 use dise_symexec::concrete::{ConcreteConfig, ConcreteExecutor, ConcreteOutcome};
@@ -123,6 +124,10 @@ impl WitnessReport {
 /// by the change has no base-side counterpart to compare against); the
 /// run outcome is always compared.
 ///
+/// Opens a fresh [`AnalysisSession`] for the pair; use
+/// [`find_witnesses_with`] to share one session's exploration with other
+/// applications.
+///
 /// # Errors
 ///
 /// [`EvolutionError::Dise`] if the DiSE pipeline fails,
@@ -133,15 +138,37 @@ pub fn find_witnesses(
     proc_name: &str,
     config: &WitnessConfig,
 ) -> Result<WitnessReport, EvolutionError> {
-    let result = run_dise(base, modified, proc_name, &config.dise)?;
+    let mut session = AnalysisSession::open(base, modified, proc_name, config.dise.clone())?;
+    let report = find_witnesses_with(&mut session, config)?;
+    session.finalize();
+    Ok(report)
+}
 
-    let flat_base = crate::flatten(base, proc_name)?;
-    let flat_mod = crate::flatten(modified, proc_name)?;
-    let base_exec = ConcreteExecutor::new(flat_base.as_ref(), proc_name, config.concrete)?;
-    let mod_exec = ConcreteExecutor::new(flat_mod.as_ref(), proc_name, config.concrete)?;
-    let shared = shared_globals(flat_base.as_ref(), flat_mod.as_ref());
+/// [`find_witnesses`] over a shared [`AnalysisSession`]: borrows the
+/// session's flattened programs and directed exploration instead of
+/// recomputing them. The session's [`DiseConfig`] governs the pipeline —
+/// [`WitnessConfig::dise`] is not consulted.
+///
+/// # Errors
+///
+/// [`EvolutionError::Dise`] if a pipeline stage fails,
+/// [`EvolutionError::Exec`] if either version cannot be executed.
+pub fn find_witnesses_with(
+    session: &mut AnalysisSession,
+    config: &WitnessConfig,
+) -> Result<WitnessReport, EvolutionError> {
+    let (solved, solve_stats, affected_pcs) = {
+        let summary = &session.explored()?.summary;
+        let (solved, stats) = solve_inputs(summary);
+        (solved, stats, summary.pc_count())
+    };
+    let flat_base = session.base_flat();
+    let flat_mod = session.mod_flat();
+    let proc_name = session.proc_name();
+    let base_exec = ConcreteExecutor::new(flat_base, proc_name, config.concrete)?;
+    let mod_exec = ConcreteExecutor::new(flat_mod, proc_name, config.concrete)?;
+    let shared = shared_globals(flat_base, flat_mod);
 
-    let (solved, solve_stats) = solve_inputs(&result.summary);
     let limit = config.max_paths.unwrap_or(usize::MAX);
     let mut witnesses = Vec::new();
     for item in solved.into_iter().take(limit) {
@@ -165,7 +192,7 @@ pub fn find_witnesses(
         proc_name: proc_name.to_string(),
         witnesses,
         solve_stats,
-        affected_pcs: result.summary.pc_count(),
+        affected_pcs,
     })
 }
 

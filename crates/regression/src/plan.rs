@@ -1,0 +1,83 @@
+//! The complete §5.2 regression application as one step over analysis
+//! artifacts.
+//!
+//! Both the CLI's `dise tests` path and the impact report's regression
+//! section used to hand-roll the same three-call dance — generate the
+//! existing suite from the base version's full summary, generate the
+//! DiSE suite from the affected summary, select and augment. This module
+//! packages that dance so every consumer of an `AnalysisSession` (or of
+//! raw summaries) produces the suites the same way.
+
+use dise_ir::ast::Program;
+use dise_symexec::SymbolicSummary;
+
+use crate::select::{select_and_augment, SelectionResult};
+use crate::suite::TestSuite;
+use crate::testgen::generate_tests;
+
+/// The regression application's full output for one version pair.
+#[derive(Debug, Clone)]
+pub struct RegressionPlan {
+    /// The existing suite: tests generated from the base version's full
+    /// symbolic summary (§5.2's "existing test suite").
+    pub existing: TestSuite,
+    /// Tests generated from the affected path conditions of the directed
+    /// run on the modified version.
+    pub dise: TestSuite,
+    /// The selection/augmentation verdict between the two.
+    pub selection: SelectionResult,
+}
+
+/// Builds the §5.2 plan: the existing suite from `(base_flat,
+/// base_summary)`, the DiSE suite from `(mod_flat, dise_summary)`, and
+/// the selection between them. Both programs must be the *flattened*
+/// versions the summaries were computed on (test generation renders
+/// calls to the analyzed procedure's parameters).
+pub fn regression_plan(
+    base_flat: &Program,
+    base_summary: &SymbolicSummary,
+    mod_flat: &Program,
+    dise_summary: &SymbolicSummary,
+) -> RegressionPlan {
+    let existing = generate_tests(base_flat, base_summary);
+    let dise = generate_tests(mod_flat, dise_summary);
+    let selection = select_and_augment(&existing, &dise);
+    RegressionPlan {
+        existing,
+        dise,
+        selection,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dise_symexec::{ExecConfig, Executor, FullExploration};
+
+    #[test]
+    fn plan_matches_the_hand_rolled_dance() {
+        let base = dise_ir::parse_program(
+            "int out;
+             proc f(int x) { if (x > 0) { out = 1; } else { out = 2; } }",
+        )
+        .unwrap();
+        let modified = dise_ir::parse_program(
+            "int out;
+             proc f(int x) { if (x >= 0) { out = 1; } else { out = 2; } }",
+        )
+        .unwrap();
+        let summarize = |p: &dise_ir::Program| {
+            Executor::new(p, "f", ExecConfig::default())
+                .unwrap()
+                .explore(&mut FullExploration)
+        };
+        let (base_sum, mod_sum) = (summarize(&base), summarize(&modified));
+        let plan = regression_plan(&base, &base_sum, &modified, &mod_sum);
+        assert_eq!(plan.existing, generate_tests(&base, &base_sum));
+        assert_eq!(plan.dise, generate_tests(&modified, &mod_sum));
+        assert_eq!(
+            plan.selection.total(),
+            plan.selection.selected.len() + plan.selection.added.len()
+        );
+    }
+}

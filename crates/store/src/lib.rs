@@ -133,6 +133,18 @@ impl Store {
         ))
     }
 
+    /// Loads an entry with the pipeline's degradation contract applied:
+    /// every [`Store::load`] failure becomes `(None, Some(one-line
+    /// warning))` instead of an error, because a damaged store must never
+    /// change — or block — analysis results. The caller runs cold and
+    /// reports the warning.
+    pub fn load_warm(&self, proc_name: &str) -> (Option<ProcEntry>, Option<String>) {
+        match self.load(proc_name) {
+            Ok(entry) => (entry, None),
+            Err(e) => (None, Some(format!("analysis store: {e}; running cold"))),
+        }
+    }
+
     /// Loads the entry for `proc_name`. `Ok(None)` when no entry exists;
     /// every integrity failure is a typed error the caller downgrades to
     /// a cold run.

@@ -82,6 +82,30 @@ pub trait Strategy {
     }
 }
 
+/// An executor's transferable warm state: the decided prefix trie plus
+/// the measured sweep-consumption ratio, tagged with the producing
+/// solver's [`SolverConfig::cache_key`]. Produced by
+/// [`Executor::warm_handoff`], consumed by [`Executor::warm_start_from`].
+#[derive(Debug, Clone)]
+pub struct WarmHandoff {
+    trie: TrieSnapshot,
+    sweep_feedback: Option<f64>,
+    solver_key: u64,
+}
+
+impl WarmHandoff {
+    /// The measured sweep-consumption ratio carried by this handoff, if
+    /// the producing run's speculative sweep measured one.
+    pub fn sweep_feedback(&self) -> Option<f64> {
+        self.sweep_feedback
+    }
+
+    /// Number of decided path-condition prefixes the handoff carries.
+    pub fn decided(&self) -> usize {
+        self.trie.decided()
+    }
+}
+
 /// Standard full symbolic execution: explore every feasible successor.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FullExploration;
@@ -456,6 +480,32 @@ impl Executor {
     /// directory entry.
     pub fn trie_snapshot(&self) -> TrieSnapshot {
         self.solver.export_trie()
+    }
+
+    /// Packages this executor's warm state for an in-process handoff to
+    /// the executor of a *later pipeline stage or version hop*: the trie
+    /// snapshot, the measured sweep-consumption ratio, and the solver
+    /// cache key the state was produced under. The in-memory analogue of
+    /// a store round-trip, used by `dise-core`'s `AnalysisSession` to
+    /// chain multi-version runs without touching disk.
+    pub fn warm_handoff(&self) -> WarmHandoff {
+        WarmHandoff {
+            trie: self.trie_snapshot(),
+            sweep_feedback: self.sweep_feedback,
+            solver_key: self.config.solver.cache_key(),
+        }
+    }
+
+    /// Warm-starts this executor from a [`WarmHandoff`]. Returns the
+    /// number of decided prefixes restored, or `None` (restoring nothing)
+    /// when the handoff was produced under a different solver
+    /// configuration — differently budgeted solvers must not share
+    /// verdicts.
+    pub fn warm_start_from(&mut self, handoff: &WarmHandoff) -> Option<u64> {
+        if handoff.solver_key != self.config.solver.cache_key() {
+            return None;
+        }
+        Some(self.warm_start(&handoff.trie, handoff.sweep_feedback))
     }
 
     /// The measured trie-consumption ratio of the most recent speculative

@@ -71,7 +71,7 @@ pub use concrete::{ConcreteConfig, ConcreteExecutor, ConcreteOutcome, ConcreteRu
 pub use env::Env;
 pub use executor::{
     ExecConfig, ExecError, ExecStats, Executor, FilterScope, FullExploration, PathOutcome,
-    PathSummary, Strategy, SymbolicSummary,
+    PathSummary, Strategy, SymbolicSummary, WarmHandoff,
 };
 pub use frontier::{FrontierStats, SweepBudget, SweepCostModel};
 pub use state::SymState;
