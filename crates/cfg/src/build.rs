@@ -59,6 +59,16 @@ pub enum NodeKind {
         /// Human-readable description of the violated assertion.
         message: String,
     },
+    /// A procedure call, kept as a single opaque node. The paper's
+    /// intra-procedural analyses never see these (they run over flattened
+    /// programs); the compositional executor dispatches them to a
+    /// procedure summary instead of descending into the callee.
+    Call {
+        /// The callee's name.
+        callee: String,
+        /// Actual arguments in declaration order.
+        args: Vec<Expr>,
+    },
     /// A no-op (`skip;` or the marker node of a `return;`).
     Nop,
 }
@@ -77,6 +87,11 @@ impl NodeKind {
     /// Is this an error (assertion-failure) node?
     pub fn is_error(&self) -> bool {
         matches!(self, NodeKind::Error { .. })
+    }
+
+    /// Is this a procedure-call node (summary-mode CFGs only)?
+    pub fn is_call(&self) -> bool {
+        matches!(self, NodeKind::Call { .. })
     }
 }
 
@@ -123,6 +138,10 @@ impl fmt::Display for CfgNode {
             NodeKind::Branch { cond } => write!(f, "{}", pretty_expr(cond)),
             NodeKind::Assume { cond } => write!(f, "assume {}", pretty_expr(cond)),
             NodeKind::Error { message } => write!(f, "error: {message}"),
+            NodeKind::Call { callee, args } => {
+                let rendered: Vec<String> = args.iter().map(pretty_expr).collect();
+                write!(f, "call {callee}({})", rendered.join(", "))
+            }
             NodeKind::Nop => f.write_str("nop"),
         }
     }
@@ -273,9 +292,24 @@ impl Cfg {
 /// # }
 /// ```
 pub fn build_cfg(procedure: &Procedure) -> Cfg {
+    build(procedure, false)
+}
+
+/// Like [`build_cfg`], but lowers `StmtKind::Call` to an opaque
+/// [`NodeKind::Call`] node with a single sequential out-edge instead of
+/// panicking. Used by the compositional executor, which dispatches call
+/// nodes to procedure summaries; the paper's intra-procedural analyses
+/// keep using [`build_cfg`] over flattened programs and never see call
+/// nodes.
+pub fn build_cfg_with_calls(procedure: &Procedure) -> Cfg {
+    build(procedure, true)
+}
+
+fn build(procedure: &Procedure, allow_calls: bool) -> Cfg {
     let mut builder = Builder {
         graph: DiGraph::new(),
         exit_pending: Vec::new(),
+        allow_calls,
     };
     let begin = builder.graph.add_node(CfgNode::synthetic(NodeKind::Begin));
     let frontier = builder.block(&procedure.body, vec![(begin, EdgeLabel::Seq)]);
@@ -293,6 +327,8 @@ struct Builder {
     graph: DiGraph<CfgNode>,
     /// Edges that must go directly to the exit node (returns, error nodes).
     exit_pending: Vec<(NodeId, EdgeLabel)>,
+    /// Lower calls to [`NodeKind::Call`] instead of panicking.
+    allow_calls: bool,
 }
 
 /// A set of dangling out-edges waiting for their target node.
@@ -376,20 +412,33 @@ impl Builder {
                 self.connect(body_out, branch); // back edge
                 vec![(branch, EdgeLabel::False)]
             }
-            StmtKind::Call { callee, .. } => panic!(
-                "build_cfg: procedure contains a call to `{callee}`; DiSE's analyses are \
-                 intra-procedural — inline calls first (dise_ir::inline::inline_program)"
-            ),
-            StmtKind::Assert { cond } => {
+            StmtKind::Call { callee, args } => {
+                if !self.allow_calls {
+                    panic!(
+                        "build_cfg: procedure contains a call to `{callee}`; DiSE's analyses are \
+                         intra-procedural — inline calls first (dise_ir::inline::inline_program)"
+                    );
+                }
+                self.simple(
+                    NodeKind::Call {
+                        callee: callee.clone(),
+                        args: args.clone(),
+                    },
+                    stmt.span,
+                    frontier,
+                )
+            }
+            StmtKind::Assert { cond, label } => {
                 let branch = self.graph.add_node(CfgNode {
                     kind: NodeKind::Branch { cond: cond.clone() },
                     span: stmt.span,
                     role: OriginRole::Primary,
                 });
                 self.connect(frontier, branch);
+                let text = label.clone().unwrap_or_else(|| pretty_expr(cond));
                 let error = self.graph.add_node(CfgNode {
                     kind: NodeKind::Error {
-                        message: format!("assertion failed: {}", pretty_expr(cond)),
+                        message: format!("assertion failed: {text}"),
                     },
                     span: stmt.span,
                     role: OriginRole::AssertError,

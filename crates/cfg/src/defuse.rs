@@ -57,6 +57,17 @@ impl DefUse {
                         uses[id.index()].insert(v);
                     }
                 }
+                // A call node reads its arguments. No defs are modelled:
+                // the affected analyses only ever run over flattened
+                // (call-free) CFGs, so this arm exists for completeness.
+                NodeKind::Call { args, .. } => {
+                    for arg in args {
+                        for v in arg.vars() {
+                            vars.insert(v.clone());
+                            uses[id.index()].insert(v);
+                        }
+                    }
+                }
                 NodeKind::Begin | NodeKind::End | NodeKind::Error { .. } | NodeKind::Nop => {}
             }
         }

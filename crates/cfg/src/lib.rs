@@ -48,7 +48,7 @@ pub mod graph;
 pub mod reach;
 pub mod scc;
 
-pub use build::{build_cfg, Cfg, CfgNode, NodeKind, OriginRole};
+pub use build::{build_cfg, build_cfg_with_calls, Cfg, CfgNode, NodeKind, OriginRole};
 pub use control_dep::ControlDeps;
 pub use defuse::DefUse;
 pub use dominator::PostDomTree;

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dise run <v1.mj> <v2.mj> [<v3.mj> …] <proc> [--full] [--trace] [--simplify]
-//!          [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N] [--store DIR]
+//!          [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N]
+//!          [--summaries on|off|auto] [--store DIR]
 //!     Diff consecutive program versions and report the affected path
 //!     conditions of each hop. With two files this is the classic single
 //!     run; with more, the hops chain through one analysis session per
@@ -22,6 +23,15 @@
 //!                      sizes the sweep from the affected cone, `unlimited`
 //!                      sweeps the whole static cone, a count N admits N
 //!                      speculative states, and 0 disables the sweep
+//!     --summaries      procedure-summary mode for the --full run (default
+//!                      `auto`, or the DISE_SUMMARIES environment variable):
+//!                      `auto`/`on` explore each callee once and instantiate
+//!                      the interned summary at every call site, `off`
+//!                      always inlines. Path conditions are byte-identical
+//!                      across modes; summaries only remove solver work.
+//!                      Directed (DiSE) runs always inline — their
+//!                      affected-location analysis is defined over the
+//!                      flattened CFG
 //!     --store DIR      persistent analysis store (default: the DISE_STORE
 //!                      environment variable; unset = no persistence):
 //!                      warm-starts the solver from the previous run of
@@ -75,7 +85,8 @@ use std::process::ExitCode;
 
 use dise_core::dise::DiseConfig;
 use dise_core::report::{
-    duration_mmss, solver_stats_line, stage_stats_line, store_stats_line, sweep_stats_line,
+    duration_mmss, solver_stats_line, stage_stats_line, store_stats_line, summary_stats_line,
+    sweep_stats_line,
 };
 use dise_core::session::AnalysisSession;
 use dise_core::DataflowPrecision;
@@ -118,7 +129,7 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage:
-  dise run <v1.mj> <v2.mj> [<v3.mj> ...] <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N] [--store DIR]
+  dise run <v1.mj> <v2.mj> [<v3.mj> ...] <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N] [--summaries on|off|auto] [--store DIR]
   dise evolve <base.mj> <modified.mj> <proc>
   dise store stat|clear [DIR]
   dise tests <base.mj> <modified.mj> <proc>
@@ -148,6 +159,11 @@ fn parse_sweep_budget_value(value: &str) -> Result<dise_symexec::SweepBudget, St
         .ok_or_else(|| "--sweep-budget expects `auto`, `unlimited`, or a token count".to_string())
 }
 
+fn parse_summaries_value(value: &str) -> Result<dise_symexec::SummaryMode, String> {
+    dise_symexec::SummaryMode::parse(value)
+        .ok_or_else(|| "--summaries expects `on`, `off`, or `auto`".to_string())
+}
+
 /// `run` parses its own arguments: `--jobs` and `--sweep-budget` take a
 /// value (`--jobs N` or `--jobs=N`), so the generic flag/positional split
 /// of [`dispatch`] would misfile the value as a positional; unknown flags
@@ -156,6 +172,7 @@ fn run_command(args: &[String]) -> Result<(), String> {
     const KNOWN_FLAGS: [&str; 4] = ["--full", "--trace", "--simplify", "--reaching-defs"];
     let mut jobs = dise_symexec::ExecConfig::default().jobs;
     let mut sweep_budget = dise_symexec::ExecConfig::default().sweep_budget;
+    let mut summaries = dise_symexec::ExecConfig::default().summaries;
     let mut store: Option<std::path::PathBuf> = std::env::var_os("DISE_STORE")
         .filter(|v| !v.is_empty())
         .map(std::path::PathBuf::from);
@@ -178,6 +195,13 @@ fn run_command(args: &[String]) -> Result<(), String> {
                 "--sweep-budget expects `auto`, `unlimited`, or a token count".to_string()
             })?;
             sweep_budget = parse_sweep_budget_value(value)?;
+        } else if let Some(value) = arg.strip_prefix("--summaries=") {
+            summaries = parse_summaries_value(value)?;
+        } else if arg == "--summaries" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--summaries expects `on`, `off`, or `auto`".to_string())?;
+            summaries = parse_summaries_value(value)?;
         } else if let Some(value) = arg.strip_prefix("--store=") {
             store = Some(std::path::PathBuf::from(value));
         } else if arg == "--store" {
@@ -212,6 +236,7 @@ fn run_command(args: &[String]) -> Result<(), String> {
         exec: dise_symexec::ExecConfig {
             jobs,
             sweep_budget,
+            summaries,
             ..Default::default()
         },
         precision: if flags.contains(&"--reaching-defs") {
@@ -255,6 +280,11 @@ fn run_command(args: &[String]) -> Result<(), String> {
 /// shares.
 fn print_hop(session: &mut AnalysisSession, flags: &[&str]) -> Result<(), String> {
     let result = session.result().map_err(|e| e.to_string())?;
+    if flags.contains(&"--full") {
+        // Run (and cache) the full exploration before finalizing so the
+        // summaries it built reach the store entry; printed further down.
+        session.modified_full().map_err(|e| e.to_string())?;
+    }
     let status = session.finalize().cloned();
     if let Some(warning) = status.as_ref().and_then(|s| s.warning.as_ref()) {
         eprintln!("warning: {warning}");
@@ -300,13 +330,25 @@ fn print_hop(session: &mut AnalysisSession, flags: &[&str]) -> Result<(), String
     }
     if flags.contains(&"--full") {
         let full = session.modified_full().map_err(|e| e.to_string())?;
+        // Path conditions are the mode-independent verdict (CI diffs them
+        // byte-for-byte across --summaries on/off); states and solver
+        // work legitimately differ by mode and go on filterable lines.
         println!(
-            "\nfull symbolic execution: {} path conditions, {} states, {}",
-            full.pc_count(),
+            "\nfull symbolic execution: {} path conditions",
+            full.pc_count()
+        );
+        println!(
+            "full stats: {} states, {}",
             full.stats().states_explored,
             duration_mmss(full.stats().elapsed)
         );
         println!("solver: {}", solver_stats_line(&full.stats().solver));
+        if let Some(line) = summary_stats_line(full.stats()) {
+            println!("summaries: {line}");
+        }
+        for pc in full.path_conditions() {
+            println!("  {pc}");
+        }
     }
     Ok(())
 }
@@ -403,9 +445,13 @@ fn store_command(positional: &[&str]) -> Result<(), String> {
                             ),
                             None => "no affected sets".to_string(),
                         };
+                        let bytes = std::fs::metadata(dir.join(&file))
+                            .map(|m| m.len())
+                            .unwrap_or(0);
                         println!(
                             "  {}: {} run(s), {} affected pc(s), {sets}, {} decided prefix(es), \
-                             sweep feedback {}, versions {:08x}->{:08x}, summary {:016x}",
+                             sweep feedback {}, versions {:08x}->{:08x}, summary {:016x}, \
+                             kinds {}, {} bytes",
                             entry.proc_name,
                             entry.runs,
                             entry.pc_count,
@@ -417,6 +463,8 @@ fn store_command(positional: &[&str]) -> Result<(), String> {
                             entry.base_fingerprint as u32,
                             entry.mod_fingerprint as u32,
                             entry.summary_digest,
+                            entry.kinds(),
+                            bytes,
                         )
                     }
                     Err(e) => println!("  {file}: unreadable ({e})"),

@@ -67,6 +67,10 @@ pub struct StoreStatus {
     /// The `Auto` sweep budget was primed with a previously measured
     /// consumption ratio instead of the proportional default.
     pub feedback_reused: bool,
+    /// Procedure summaries the full exploration reused instead of
+    /// rebuilding — revived from store snapshots or carried over from
+    /// the previous hop of a session chain (unchanged callees only).
+    pub summaries_reused: u64,
     /// The run's warm state was recorded back successfully.
     pub saved: bool,
     /// One-line description of why warm state was (partially) unusable —
@@ -448,6 +452,64 @@ mod tests {
             "differently budgeted solvers must not share verdicts"
         );
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn solver_config_skew_warns_instead_of_dropping_silently() {
+        // The cache-key gate is correct but used to be silent: a skewed
+        // run looked like a plain cold start. It must now carry the same
+        // style of degradation warning the corruption path produces.
+        let (base, modified) = fig2_pair();
+        let dir = temp_store_dir("skew-warn");
+        let config = DiseConfig {
+            store: Some(dir.clone()),
+            ..DiseConfig::default()
+        };
+        run_dise(&base, &modified, "update", &config).unwrap();
+        let mut skewed = config.clone();
+        skewed.exec.solver.case_budget = 7;
+        let run = run_dise(&base, &modified, "update", &skewed).unwrap();
+        let status = run.store.as_ref().unwrap();
+        let warning = status
+            .warning
+            .as_ref()
+            .expect("dropped trie reuse must surface a warning");
+        assert!(warning.starts_with("analysis store:"), "{warning}");
+        assert!(warning.contains("solver configuration"), "{warning}");
+        assert!(warning.contains("running cold"), "{warning}");
+        // An un-skewed run against the (rewritten) entry stays quiet.
+        let clean = run_dise(&base, &modified, "update", &skewed).unwrap();
+        assert!(clean.store.as_ref().unwrap().warning.is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn summarized_full_run_matches_inlined_verdicts() {
+        use dise_symexec::SummaryMode;
+        let program = parse_program(
+            "int Pressure = 0;
+             proc clamp(int cmd) {
+               if (cmd > 100) { Pressure = 3000; } else { Pressure = cmd * 30; }
+             }
+             proc main(int a, int b) { clamp(a); clamp(b); }",
+        )
+        .unwrap();
+        let mut on = DiseConfig::default();
+        on.exec.summaries = SummaryMode::On;
+        let mut off = DiseConfig::default();
+        off.exec.summaries = SummaryMode::Off;
+        let summarized = run_full_on(&program, "main", &on).unwrap();
+        let inlined = run_full_on(&program, "main", &off).unwrap();
+        assert!(
+            summarized.stats().summary.call_sites > 0,
+            "the summarized run must actually dispatch through summaries"
+        );
+        assert_eq!(inlined.stats().summary.call_sites, 0);
+        assert_eq!(summarized.paths().len(), inlined.paths().len());
+        for (s, i) in summarized.paths().iter().zip(inlined.paths()) {
+            assert_eq!(s.pc.to_string(), i.pc.to_string());
+            assert_eq!(s.outcome, i.outcome);
+        }
     }
 
     #[test]

@@ -186,7 +186,7 @@ fn collect_reads(block: &Block, out: &mut BTreeSet<String>) {
                 push_expr(cond, out);
                 collect_reads(body, out);
             }
-            StmtKind::Assert { cond } | StmtKind::Assume { cond } => push_expr(cond, out),
+            StmtKind::Assert { cond, .. } | StmtKind::Assume { cond } => push_expr(cond, out),
             StmtKind::Call { args, .. } => {
                 for arg in args {
                     push_expr(arg, out);

@@ -24,6 +24,11 @@
 //!   locations, run directed symbolic execution, and report the affected
 //!   path conditions plus all the §4.2.2 metrics (a thin wrapper over
 //!   one session);
+//! * `summaries` (internal) — the procedure-summary policy: full
+//!   explorations of call-bearing programs route calls through interned
+//!   callee summaries instead of inlining when the `--summaries` gates
+//!   guarantee byte-identical verdicts, reusing summaries across version
+//!   hops and store round-trips;
 //! * [`theorem`] — an executable check of Theorem 3.10 used by the test
 //!   suites;
 //! * [`report`] — plain-text table rendering shared with the benchmark
@@ -56,6 +61,7 @@ pub mod interproc;
 pub mod removed;
 pub mod report;
 pub mod session;
+mod summaries;
 pub mod theorem;
 
 pub use affected::{AffectedSets, DataflowPrecision, Rule};

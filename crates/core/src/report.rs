@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 
 use dise_cfg::NodeId;
 use dise_solver::SolverStats;
-use dise_symexec::FrontierStats;
+use dise_symexec::{ExecStats, FrontierStats};
 
 /// A simple fixed-width text table: header row, separator, data rows.
 #[derive(Debug, Clone)]
@@ -160,6 +160,28 @@ pub fn sweep_stats_line(frontier: &FrontierStats) -> Option<String> {
     ))
 }
 
+/// One-line summary of procedure-summary activity for the CLI's
+/// `summaries:` line: call-site dispatches, summary paths instantiated,
+/// how many successors the witness fast path admitted without running a
+/// decision pipeline (and the solver's matching `assumed-sat` count),
+/// and the pipeline checks the fallbacks cost. Returns `None` when the
+/// run used no summaries (inlined mode, or a call-free procedure).
+pub fn summary_stats_line(stats: &ExecStats) -> Option<String> {
+    let s = &stats.summary;
+    if s.call_sites == 0 {
+        return None;
+    }
+    Some(format!(
+        "{} call sites, {} paths instantiated, {} witness-verified \
+         ({} assumed sat), {} fallback pipeline checks",
+        s.call_sites,
+        s.paths_instantiated,
+        s.hint_verified,
+        stats.solver.assumed_sat,
+        s.fallback_checks,
+    ))
+}
+
 /// One-line per-stage timing breakdown for the CLI's `stages:` line —
 /// flatten / diff / affected / explore in milliseconds, so stage reuse
 /// (a ~0 ms entry on the second consumer of a session) is visible
@@ -193,6 +215,17 @@ pub fn store_stats_line(status: &crate::dise::StoreStatus) -> String {
     }
     if status.feedback_reused {
         parts.push("sweep feedback reused".to_string());
+    }
+    if status.summaries_reused > 0 {
+        parts.push(format!(
+            "{} procedure summar{} reused",
+            status.summaries_reused,
+            if status.summaries_reused == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        ));
     }
     parts.push(if status.saved {
         "saved".to_string()
@@ -315,6 +348,7 @@ mod tests {
             warm_trie_entries: 17,
             affected_reused: true,
             feedback_reused: true,
+            summaries_reused: 2,
             saved: true,
             warning: None,
         };
@@ -325,7 +359,28 @@ mod tests {
         );
         assert!(line.contains("affected sets reused"), "{line}");
         assert!(line.contains("sweep feedback reused"), "{line}");
+        assert!(line.contains("2 procedure summaries reused"), "{line}");
         assert!(line.ends_with("saved"), "{line}");
+    }
+
+    #[test]
+    fn summary_stats_line_is_silent_without_summaries() {
+        use dise_symexec::ExecStats;
+        assert_eq!(summary_stats_line(&ExecStats::default()), None);
+        let mut stats = ExecStats::default();
+        stats.summary.call_sites = 3;
+        stats.summary.paths_instantiated = 6;
+        stats.summary.hint_verified = 6;
+        stats.summary.fallback_checks = 0;
+        stats.solver.assumed_sat = 6;
+        let line = summary_stats_line(&stats).unwrap();
+        assert!(line.contains("3 call sites"), "{line}");
+        assert!(line.contains("6 paths instantiated"), "{line}");
+        assert!(
+            line.contains("6 witness-verified (6 assumed sat)"),
+            "{line}"
+        );
+        assert!(line.contains("0 fallback pipeline checks"), "{line}");
     }
 
     #[test]

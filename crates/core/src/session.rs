@@ -38,6 +38,7 @@
 
 use std::borrow::Cow;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dise_cfg::{Cfg, NodeId};
@@ -45,7 +46,9 @@ use dise_diff::{proc_fingerprint, CfgDiff};
 use dise_ir::ast::Program;
 use dise_ir::inline::{contains_calls, inline_program, InlineError};
 use dise_store::{ProcEntry, Store, StoredAffected};
-use dise_symexec::{ExecConfig, Executor, FullExploration, SymbolicSummary, WarmHandoff};
+use dise_symexec::{
+    ExecConfig, Executor, FullExploration, SummaryTable, SymbolicSummary, WarmHandoff,
+};
 
 use crate::affected::{AffectedSets, DataflowPrecision};
 use crate::directed::DirectedStrategy;
@@ -154,6 +157,10 @@ pub struct AnalysisSession {
     /// open so every later stage shares it.
     base: Program,
     modified: Program,
+    /// The modified version as handed in, calls intact — the program the
+    /// summary-mode full exploration runs on (the directed pipeline only
+    /// ever sees the flattened versions above).
+    raw_modified: Program,
     timings: StageTimings,
 
     // Persistent-store state, loaded at open, recorded at finalize.
@@ -168,6 +175,11 @@ pub struct AnalysisSession {
     /// a superset: the previous hop loaded the store before exploring).
     handoff: Option<WarmHandoff>,
 
+    /// Procedure summaries carried over from the previous hop
+    /// ([`AnalysisSession::advance`]); invalidated per callee against the
+    /// new version's fingerprints before reuse.
+    carried_summaries: Option<Arc<SummaryTable>>,
+
     // Lazily computed stages.
     diffed: Option<Diffed>,
     affected: Option<AffectedSets>,
@@ -175,6 +187,9 @@ pub struct AnalysisSession {
     executor: Option<Executor>,
     base_full: Option<SymbolicSummary>,
     modified_full: Option<SymbolicSummary>,
+    /// The Summarized stage: the summary table the full exploration of
+    /// the modified version used, when it routed through summaries.
+    summaries: Option<crate::summaries::PreparedSummaries>,
 }
 
 impl AnalysisSession {
@@ -195,18 +210,29 @@ impl AnalysisSession {
         config: DiseConfig,
     ) -> Result<AnalysisSession, DiseError> {
         let start = Instant::now();
+        let raw_modified = modified.clone();
         let base = flatten(base, proc_name)?.into_owned();
         let modified = flatten(modified, proc_name)?.into_owned();
         let flatten_time = start.elapsed();
-        Self::open_flat(base, modified, proc_name, config, flatten_time)
+        Self::open_flat(
+            base,
+            modified,
+            raw_modified,
+            proc_name,
+            config,
+            flatten_time,
+        )
     }
 
     /// [`AnalysisSession::open`] for already-flattened programs (chain
     /// hops reuse the previous hop's flattened modified version as the
-    /// next base without re-inlining).
+    /// next base without re-inlining). `raw_modified` is the modified
+    /// version with calls intact, kept for the summary-mode full
+    /// exploration.
     fn open_flat(
         base: Program,
         modified: Program,
+        raw_modified: Program,
         proc_name: &str,
         config: DiseConfig,
         flatten_time: Duration,
@@ -218,6 +244,7 @@ impl AnalysisSession {
             config,
             base,
             modified,
+            raw_modified,
             timings: StageTimings {
                 flatten: flatten_time,
                 ..StageTimings::default()
@@ -228,12 +255,14 @@ impl AnalysisSession {
             fingerprints: (0, 0),
             saved: false,
             handoff: None,
+            carried_summaries: None,
             diffed: None,
             affected: None,
             explored: None,
             executor: None,
             base_full: None,
             modified_full: None,
+            summaries: None,
         };
         if let Some(store) = &session.store {
             let (prior, warning) = store.load_warm(&session.proc_name);
@@ -274,17 +303,26 @@ impl AnalysisSession {
     pub fn advance(mut self, next: &Program) -> Result<AnalysisSession, DiseError> {
         self.finalize();
         let handoff = self.executor.as_ref().map(Executor::warm_handoff);
+        // Procedure summaries survive the hop in process; the next hop
+        // invalidates them per callee against the new fingerprints.
+        let summaries = self
+            .summaries
+            .take()
+            .map(|p| p.table)
+            .or(self.carried_summaries.take());
         let start = Instant::now();
         let next_flat = flatten(next, &self.proc_name)?.into_owned();
         let flatten_time = start.elapsed();
         let mut session = Self::open_flat(
             self.modified,
             next_flat,
+            next.clone(),
             &self.proc_name,
             self.config,
             flatten_time,
         )?;
         session.handoff = handoff;
+        session.carried_summaries = summaries;
         Ok(session)
     }
 
@@ -318,6 +356,22 @@ impl AnalysisSession {
     /// [`AnalysisSession::finalize`].
     pub fn store_status(&self) -> Option<&StoreStatus> {
         self.status.as_ref()
+    }
+
+    /// Records a degradation warning: appended to the store status (the
+    /// CLI prints those on stderr) when one exists, else printed to
+    /// stderr directly — a chained hop without a store still surfaces
+    /// why it ran cold.
+    fn warn(&mut self, message: &str) {
+        match self.status.as_mut() {
+            Some(status) => {
+                status.warning = Some(match status.warning.take() {
+                    Some(prev) => format!("{prev}; {message}"),
+                    None => message.to_string(),
+                });
+            }
+            None => eprintln!("warning: {message}"),
+        }
     }
 
     /// The Diffed stage: both CFGs plus the lifted change map, computed
@@ -399,10 +453,20 @@ impl AnalysisSession {
                 Executor::new(&self.modified, &self.proc_name, self.config.exec.clone())?;
             let mut restored = None;
             let mut feedback = false;
+            let mut dropped: Option<&str> = None;
             if let Some(handoff) = &self.handoff {
-                if let Some(imported) = executor.warm_start_from(handoff) {
-                    restored = Some(imported);
-                    feedback = handoff.sweep_feedback().is_some();
+                match executor.warm_start_from(handoff) {
+                    Some(imported) => {
+                        restored = Some(imported);
+                        feedback = handoff.sweep_feedback().is_some();
+                    }
+                    // A handoff produced under a different solver
+                    // configuration is discarded — loudly, like every
+                    // other degraded-to-cold path.
+                    None => {
+                        dropped =
+                            Some("in-process warm handoff discarded (solver configuration changed)")
+                    }
                 }
             }
             if restored.is_none() {
@@ -410,8 +474,16 @@ impl AnalysisSession {
                     if entry.solver_key == solver_key {
                         restored = Some(executor.warm_start(&entry.trie, entry.sweep_feedback));
                         feedback = entry.sweep_feedback.is_some();
+                    } else if dropped.is_none() {
+                        dropped = Some(
+                            "stored trie discarded (solver configuration changed since it was \
+                             recorded)",
+                        );
                     }
                 }
+            }
+            if let Some(what) = dropped {
+                self.warn(&format!("analysis store: {what}; running cold"));
             }
             if let Some(status) = self.status.as_mut() {
                 status.warm_trie_entries = restored.unwrap_or(0);
@@ -484,18 +556,70 @@ impl AnalysisSession {
     /// Full (undirected) symbolic execution of the *modified* version —
     /// the paper's control technique — cached on the session.
     ///
+    /// When the [`SummaryMode`](dise_symexec::SummaryMode) gates allow it
+    /// (see `--summaries`), this run routes procedure calls through
+    /// interned callee summaries instead of the flattened program:
+    /// verdicts (path conditions and outcomes) are byte-identical, the
+    /// per-call-site exploration work is not re-paid. Any summarization
+    /// failure falls back to the inlining pipeline silently.
+    ///
     /// # Errors
     ///
     /// [`DiseError::Exec`] when the procedure cannot be executed.
     pub fn modified_full(&mut self) -> Result<&SymbolicSummary, DiseError> {
         if self.modified_full.is_none() {
-            self.modified_full = Some(full_exploration_flat(
-                &self.modified,
-                &self.proc_name,
-                &self.config.exec,
-            )?);
+            let summary = match self.summarized_full() {
+                Some(summary) => summary,
+                None => full_exploration_flat(&self.modified, &self.proc_name, &self.config.exec)?,
+            };
+            self.modified_full = Some(summary);
         }
         Ok(self.modified_full.as_ref().expect("just computed"))
+    }
+
+    /// The Summarized stage: full exploration of the raw modified version
+    /// with calls dispatched through procedure summaries. `None` — the
+    /// caller inlines instead — when the gates refuse or any callee
+    /// cannot be summarized.
+    fn summarized_full(&mut self) -> Option<SymbolicSummary> {
+        if !crate::summaries::applicable(&self.raw_modified, &self.proc_name, &self.config.exec) {
+            return None;
+        }
+        let stored = self
+            .prior
+            .as_ref()
+            .map_or(&[][..], |e| e.summaries.as_slice());
+        let prepared = crate::summaries::prepare(
+            &self.raw_modified,
+            &self.proc_name,
+            &self.config.exec,
+            stored,
+            self.carried_summaries.as_deref(),
+        )?;
+        let summary = crate::summaries::full_with_summaries(
+            &self.raw_modified,
+            &self.proc_name,
+            &self.config.exec,
+            Arc::clone(&prepared.table),
+        )?;
+        debug_assert_eq!(
+            prepared.built + prepared.reused(),
+            prepared.table.len(),
+            "every callee is either reused or freshly built"
+        );
+        if let Some(status) = self.status.as_mut() {
+            status.summaries_reused = prepared.reused() as u64;
+        }
+        self.summaries = Some(prepared);
+        Some(summary)
+    }
+
+    /// The summary table the modified version's full exploration used,
+    /// when it routed through procedure summaries — `None` before
+    /// [`AnalysisSession::modified_full`] runs or when that run inlined.
+    /// Exposed for the benchmark's build-cost accounting.
+    pub fn summary_table(&self) -> Option<&Arc<SummaryTable>> {
+        self.summaries.as_ref().map(|p| &p.table)
     }
 
     /// Assembles a [`DiseResult`] from the session's artifacts, computing
@@ -605,6 +729,17 @@ impl AnalysisSession {
                 awn: affected.awn().iter().map(|n| n.index() as u32).collect(),
             }),
             trie: executor.trie_snapshot(),
+            // The summaries this session's full exploration used; a run
+            // that never summarized keeps the prior snapshots (stale ones
+            // are fingerprint-gated away on load, never misused).
+            summaries: match &self.summaries {
+                Some(prepared) => prepared.table.iter().map(|s| s.snap.clone()).collect(),
+                None => self
+                    .prior
+                    .as_ref()
+                    .map(|e| e.summaries.clone())
+                    .unwrap_or_default(),
+            },
         };
         let status = self.status.as_mut().expect("status exists with a store");
         match store.save(&entry) {
@@ -651,12 +786,30 @@ fn full_exploration_flat(
 
 /// Full symbolic execution of `program` through the session's Flattened
 /// stage — the implementation behind
-/// [`run_full_on`](crate::dise::run_full_on).
+/// [`run_full_on`](crate::dise::run_full_on). When the summary gates
+/// allow it, calls are dispatched through freshly built procedure
+/// summaries instead of the flattened program (byte-identical verdicts;
+/// see [`crate::summaries`]); any summarization failure falls back to
+/// inlining.
 pub(crate) fn full_exploration(
     program: &Program,
     proc_name: &str,
     config: &DiseConfig,
 ) -> Result<SymbolicSummary, DiseError> {
+    if crate::summaries::applicable(program, proc_name, &config.exec) {
+        if let Some(summary) = crate::summaries::prepare(
+            program,
+            proc_name,
+            &config.exec,
+            &[],
+            None,
+        )
+        .and_then(|prepared| {
+            crate::summaries::full_with_summaries(program, proc_name, &config.exec, prepared.table)
+        }) {
+            return Ok(summary);
+        }
+    }
     let program = flatten(program, proc_name)?;
     full_exploration_flat(program.as_ref(), proc_name, &config.exec)
 }
@@ -828,6 +981,93 @@ mod tests {
         assert_eq!(
             chained.affected_pc_strings(),
             independent.affected_pc_strings()
+        );
+    }
+
+    const MULTI_SRC: &str = "int Pressure = 0;
+        proc clamp(int cmd) {
+          if (cmd > 100) { Pressure = 3000; } else { Pressure = cmd * 30; }
+        }
+        proc main(int a, int b) { clamp(a); clamp(b); }";
+
+    fn summary_config(store: Option<std::path::PathBuf>) -> DiseConfig {
+        let mut config = DiseConfig {
+            store,
+            ..DiseConfig::default()
+        };
+        config.exec.summaries = dise_symexec::SummaryMode::On;
+        config
+    }
+
+    #[test]
+    fn summaries_round_trip_through_the_store() {
+        let program = parse_program(MULTI_SRC).unwrap();
+        let reordered =
+            parse_program(&MULTI_SRC.replace("clamp(a); clamp(b);", "clamp(b); clamp(a);"))
+                .unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("dise-session-summaries-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = summary_config(Some(dir.clone()));
+
+        // Hop 1 builds the callee summary and records it at finalize.
+        let mut first = AnalysisSession::open(&program, &program, "main", config.clone()).unwrap();
+        first.result().unwrap();
+        let built = first.modified_full().unwrap();
+        assert!(built.stats().summary.call_sites > 0);
+        first.finalize();
+
+        // A later process changes `main` but not `clamp`: the snapshot
+        // revives and every call site answers off the stored witnesses.
+        let mut second = AnalysisSession::open(&program, &reordered, "main", config).unwrap();
+        let warm = second.modified_full().unwrap();
+        assert_eq!(
+            warm.stats().summary.fallback_checks,
+            0,
+            "an unchanged callee must cost zero solver calls at its call sites"
+        );
+        assert_eq!(
+            warm.stats().summary.hint_verified,
+            warm.stats().summary.paths_instantiated
+        );
+        let warm_pcs: Vec<String> = warm.paths().iter().map(|p| p.pc.to_string()).collect();
+        assert_eq!(second.store_status().unwrap().summaries_reused, 1);
+
+        // Verdicts stay byte-identical with plain inlining.
+        let mut off = DiseConfig::default();
+        off.exec.summaries = dise_symexec::SummaryMode::Off;
+        let inlined = crate::dise::run_full_on(&reordered, "main", &off).unwrap();
+        let inlined_pcs: Vec<String> = inlined.paths().iter().map(|p| p.pc.to_string()).collect();
+        assert_eq!(warm_pcs, inlined_pcs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn advance_carries_summaries_without_a_store() {
+        let program = parse_program(MULTI_SRC).unwrap();
+        let reordered =
+            parse_program(&MULTI_SRC.replace("clamp(a); clamp(b);", "clamp(b); clamp(a);"))
+                .unwrap();
+        let mut session =
+            AnalysisSession::open(&program, &program, "main", summary_config(None)).unwrap();
+        session.modified_full().unwrap();
+        let built = Arc::clone(
+            session
+                .summary_table()
+                .expect("hop 1 ran summarized")
+                .get("clamp")
+                .expect("callee summarized"),
+        );
+        let mut hop2 = session.advance(&reordered).unwrap();
+        hop2.modified_full().unwrap();
+        let carried = hop2
+            .summary_table()
+            .expect("hop 2 ran summarized")
+            .get("clamp")
+            .expect("callee summarized");
+        assert!(
+            Arc::ptr_eq(&built, carried),
+            "an unchanged callee's summary must survive the hop by identity"
         );
     }
 

@@ -19,7 +19,7 @@
 use dise_cfg::{build_cfg, NodeKind};
 use dise_ir::ast::Program;
 use dise_ir::inline::{contains_calls, inline_program, InlineError};
-use dise_ir::pretty::{pretty_expr, pretty_program};
+use dise_ir::pretty::{pretty_expr, pretty_proc};
 
 /// FNV-1a 64 (local copy; the diff layer stays dependency-free).
 fn fnv1a(hash: &mut u64, bytes: &[u8]) {
@@ -30,8 +30,10 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
 }
 
 /// The content fingerprint of `proc_name` within `program`: canonical IR
-/// of the (inlined) program plus CFG structure. Two programs with equal
-/// fingerprints are analyzed identically by the DiSE pipeline.
+/// of the globals and the (inlined) procedure, plus its CFG structure.
+/// Two programs with equal fingerprints are analyzed identically by the
+/// DiSE pipeline; sibling procedures the target never calls do not
+/// participate, so editing one leaves the others' fingerprints intact.
 ///
 /// # Errors
 ///
@@ -65,7 +67,20 @@ pub fn proc_fingerprint(program: &Program, proc_name: &str) -> Result<u64, Inlin
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     fnv1a(&mut hash, proc_name.as_bytes());
     fnv1a(&mut hash, &[0]);
-    fnv1a(&mut hash, pretty_program(program).as_bytes());
+    // Only the analyzed procedure and the globals participate — a sibling
+    // procedure's edit must not invalidate this one's fingerprint (the
+    // summary broker keys cross-version callee reuse on exactly that).
+    for global in &program.globals {
+        fnv1a(&mut hash, global.ty.to_string().as_bytes());
+        fnv1a(&mut hash, global.name.as_bytes());
+        if let Some(init) = &global.init {
+            fnv1a(&mut hash, pretty_expr(init).as_bytes());
+        }
+        fnv1a(&mut hash, &[0]);
+    }
+    if let Some(procedure) = program.proc(proc_name) {
+        fnv1a(&mut hash, pretty_proc(procedure).as_bytes());
+    }
     if let Some(procedure) = program.proc(proc_name) {
         let cfg = build_cfg(procedure);
         for id in cfg.node_ids() {
@@ -81,6 +96,13 @@ pub fn proc_fingerprint(program: &Program, proc_name: &str) -> Result<u64, Inlin
                 NodeKind::Assume { cond } => format!("assume {}", pretty_expr(cond)),
                 NodeKind::Branch { cond } => format!("branch {}", pretty_expr(cond)),
                 NodeKind::Error { message } => format!("error {message}"),
+                // Never reached here (the CFG above is built from the
+                // flattened program), but kept total so summary-mode CFGs
+                // could be fingerprinted directly.
+                NodeKind::Call { callee, args } => {
+                    let rendered: Vec<String> = args.iter().map(pretty_expr).collect();
+                    format!("call {callee}({})", rendered.join(", "))
+                }
             };
             fnv1a(&mut hash, kind.as_bytes());
             fnv1a(&mut hash, &[0]);
@@ -140,6 +162,27 @@ mod tests {
         assert_ne!(
             proc_fingerprint(&a, "f").unwrap(),
             proc_fingerprint(&b, "f").unwrap()
+        );
+    }
+
+    #[test]
+    fn sibling_procedures_do_not_participate() {
+        // Cross-version summary reuse depends on this: editing a caller
+        // must leave its unchanged callees' fingerprints intact.
+        let a =
+            parse_program("int g;\nproc callee(int y) { g = y; }\nproc main(int x) { callee(x); }")
+                .unwrap();
+        let b = parse_program(
+            "int g;\nproc callee(int y) { g = y; }\nproc main(int x) { callee(x); callee(g); }",
+        )
+        .unwrap();
+        assert_eq!(
+            proc_fingerprint(&a, "callee").unwrap(),
+            proc_fingerprint(&b, "callee").unwrap()
+        );
+        assert_ne!(
+            proc_fingerprint(&a, "main").unwrap(),
+            proc_fingerprint(&b, "main").unwrap()
         );
     }
 

@@ -288,6 +288,13 @@ pub enum StmtKind {
     Assert {
         /// Asserted condition.
         cond: Expr,
+        /// The condition's *source-level* rendering, set by the inliner
+        /// before α-renaming the condition. Error messages prefer this so
+        /// a flattened program reports the assertion the programmer wrote,
+        /// not the `__callee_n_`-mangled copy — which also keeps error
+        /// verdicts byte-identical between inlined and summary-instantiated
+        /// exploration. `None` for asserts that were never rewritten.
+        label: Option<String>,
     },
     /// `assume(cond);` — prunes paths where the condition is false.
     Assume {
@@ -375,7 +382,7 @@ impl Stmt {
             (StmtKind::While { cond: ca, body: ba }, StmtKind::While { cond: cb, body: bb }) => {
                 ca.syn_eq(cb) && ba.syn_eq(bb)
             }
-            (StmtKind::Assert { cond: a }, StmtKind::Assert { cond: b }) => a.syn_eq(b),
+            (StmtKind::Assert { cond: a, .. }, StmtKind::Assert { cond: b, .. }) => a.syn_eq(b),
             (StmtKind::Assume { cond: a }, StmtKind::Assume { cond: b }) => a.syn_eq(b),
             (StmtKind::Skip, StmtKind::Skip) => true,
             (StmtKind::Return, StmtKind::Return) => true,

@@ -159,7 +159,7 @@ pub fn while_loop(cond: Expr, body: Vec<Stmt>) -> Stmt {
 
 /// Builds `assert(cond);`.
 pub fn assert_stmt(cond: Expr) -> Stmt {
-    Stmt::new(StmtKind::Assert { cond })
+    Stmt::new(StmtKind::Assert { cond, label: None })
 }
 
 /// Builds `assume(cond);`.

@@ -133,9 +133,49 @@ pub fn inline_program(program: &Program, proc_name: &str) -> Result<Program, Inl
             span: procedure.span,
         }],
     };
-    // Re-parse to regenerate unique statement spans for the diff.
+    // Re-parse to regenerate unique statement spans for the diff. The
+    // pretty-printer has no surface syntax for assert labels, so they are
+    // grafted back onto the structurally identical re-parse.
     let source = pretty_program(&flattened);
-    Ok(parse_program(&source).expect("pretty-printed inlined program re-parses"))
+    let mut reparsed = parse_program(&source).expect("pretty-printed inlined program re-parses");
+    for (from, to) in flattened.procs.iter().zip(&mut reparsed.procs) {
+        copy_assert_labels(&from.body, &mut to.body);
+    }
+    Ok(reparsed)
+}
+
+/// Copies [`StmtKind::Assert`] labels from `from` onto the structurally
+/// identical `to` (a pretty-print/re-parse round trip preserves statement
+/// structure but has no syntax for labels).
+fn copy_assert_labels(from: &Block, to: &mut Block) {
+    for (f, t) in from.stmts.iter().zip(&mut to.stmts) {
+        match (&f.kind, &mut t.kind) {
+            (StmtKind::Assert { label: f_label, .. }, StmtKind::Assert { label: t_label, .. }) => {
+                t_label.clone_from(f_label);
+            }
+            (
+                StmtKind::If {
+                    then_branch: f_then,
+                    else_branch: f_else,
+                    ..
+                },
+                StmtKind::If {
+                    then_branch: t_then,
+                    else_branch: t_else,
+                    ..
+                },
+            ) => {
+                copy_assert_labels(f_then, t_then);
+                if let (Some(f_else), Some(t_else)) = (f_else, t_else) {
+                    copy_assert_labels(f_else, t_else);
+                }
+            }
+            (StmtKind::While { body: f_body, .. }, StmtKind::While { body: t_body, .. }) => {
+                copy_assert_labels(f_body, t_body);
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Does the program's `proc_name` procedure (transitively) contain calls?
@@ -316,7 +356,10 @@ fn rename_block(block: &Block, prefix: &str, renames: &mut HashMap<String, Strin
                     cond: rename_expr(cond, renames),
                     body: rename_block(body, prefix, renames),
                 },
-                StmtKind::Assert { cond } => StmtKind::Assert {
+                StmtKind::Assert { cond, label } => StmtKind::Assert {
+                    label: label
+                        .clone()
+                        .or_else(|| Some(crate::pretty::pretty_expr(cond))),
                     cond: rename_expr(cond, renames),
                 },
                 StmtKind::Assume { cond } => StmtKind::Assume {

@@ -410,7 +410,7 @@ impl Parser {
         let kind = if is_assume {
             StmtKind::Assume { cond }
         } else {
-            StmtKind::Assert { cond }
+            StmtKind::Assert { cond, label: None }
         };
         Ok(Stmt::with_span(kind, kw.span.merge(end.span)))
     }

@@ -133,7 +133,7 @@ fn pretty_stmt_into(stmt: &Stmt, indent: usize, out: &mut String) {
             push_indent(indent, out);
             out.push_str("}\n");
         }
-        StmtKind::Assert { cond } => {
+        StmtKind::Assert { cond, .. } => {
             let _ = writeln!(out, "assert({});", pretty_expr(cond));
         }
         StmtKind::Assume { cond } => {

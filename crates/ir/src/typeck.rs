@@ -265,7 +265,7 @@ fn check_stmt(env: &mut Env, signatures: &Signatures, stmt: &Stmt) -> Result<(),
             expect_bool(env, cond)?;
             check_block(env, signatures, body)
         }
-        StmtKind::Assert { cond } | StmtKind::Assume { cond } => expect_bool(env, cond),
+        StmtKind::Assert { cond, .. } | StmtKind::Assume { cond } => expect_bool(env, cond),
         StmtKind::Skip | StmtKind::Return => Ok(()),
         StmtKind::Call { callee, args } => {
             let Some(params) = signatures.get(callee) else {

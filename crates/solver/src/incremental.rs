@@ -306,6 +306,35 @@ impl IncrementalSolver {
         }
     }
 
+    /// Pushes `lit` and, when `model` satisfies *every* literal on the
+    /// extended stack by direct evaluation, records a verified SAT verdict
+    /// at the new depth without running any decision pipeline — the trie
+    /// still learns the verdict, so later re-checks of this prefix are
+    /// ordinary prefix hits.
+    ///
+    /// This is the summary-instantiation fast path: a procedure summary
+    /// carries a witness model for each of its paths, and substituting the
+    /// caller's actuals usually keeps the witness valid, turning a call
+    /// site's guard pushes into pure evaluations.
+    ///
+    /// Returns `false` (leaving the literal pushed but undecided, exactly
+    /// as a plain [`push`](Self::push) would) when the model does not
+    /// verify or the stack is already contradictory; the caller should run
+    /// [`check`](Self::check) as usual.
+    pub fn push_verified(&mut self, lit: SymExpr, model: &Model) -> bool {
+        self.push(lit);
+        let top = self.frames.len() - 1;
+        if self.frames[top].contradiction
+            || self.unsat_depth.is_some()
+            || !self.lits.iter().all(|l| model.satisfies(l))
+        {
+            return false;
+        }
+        self.local.assumed_sat += 1;
+        self.conclude(top, SatResult::Sat, Some(model.clone()), None);
+        true
+    }
+
     /// Decides the conjunction of all pushed literals.
     pub fn check(&mut self) -> SatResult {
         self.local.checks += 1;

@@ -97,6 +97,7 @@ pub mod shared_trie;
 pub mod simplify;
 pub mod snapshot;
 pub mod solve;
+pub mod subst;
 pub mod sym;
 
 pub use constraint::PathCondition;
@@ -106,6 +107,7 @@ pub use interval::Interval;
 pub use model::Model;
 pub use shared_trie::{Bounds, SharedTrie, SharedVerdict};
 pub use simplify::simplify_pc;
-pub use snapshot::{TrieEntry, TrieSnapshot};
+pub use snapshot::{SummaryPathSnapshot, SummarySnapshot, TrieEntry, TrieSnapshot};
 pub use solve::{CheckOutcome, SatResult, Solver, SolverConfig, SolverStats};
+pub use subst::substitute;
 pub use sym::{SymExpr, SymTy, SymVar, VarPool};

@@ -27,6 +27,7 @@ use crate::intern::Term;
 use crate::model::Model;
 use crate::shared_trie::Bounds;
 use crate::solve::SatResult;
+use crate::sym::{SymExpr, SymTy, SymVar};
 
 /// One trie edge of a [`TrieSnapshot`]: the parent node, the literal term
 /// labelling the edge, and the decision memoized at the child (if any —
@@ -93,6 +94,85 @@ impl TrieSnapshot {
             }
         }
         true
+    }
+}
+
+/// One explored path of a summarized procedure: the branch guards taken
+/// (over the formal/global entry variables of [`SummarySnapshot`]), the
+/// terminal outcome, the procedure's effect on every global, and a witness
+/// model satisfying the guards (used by the instantiation fast path to
+/// re-validate feasibility at a call site without solving).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryPathSnapshot {
+    /// Branch literals in DFS push order, exactly as the serial inlined
+    /// exploration would have pushed them inside the callee.
+    pub guards: Vec<SymExpr>,
+    /// `Some(message)` when the path ends in an `error` statement;
+    /// `None` for a completed path.
+    pub error: Option<String>,
+    /// Final symbolic value of every global, over the same entry
+    /// variables as the guards. Identity entries (global unchanged) are
+    /// included — they substitute to a no-op.
+    pub effects: Vec<(String, SymExpr)>,
+    /// A model of the guard conjunction, when one was found.
+    pub witness: Option<Model>,
+}
+
+/// A portable procedure summary: every feasible path of one callee,
+/// explored once over fresh entry variables, ready to be instantiated at
+/// any call site by substituting actuals for formals and the caller's
+/// global values for the globals' entry variables.
+///
+/// Reuse gates mirror [`TrieSnapshot`]'s: the summary is a deterministic
+/// function of the callee's flattened body (`fingerprint`, computed over
+/// the callee with its own callees inlined) and the solver configuration
+/// (`solver_key`); either changing invalidates the entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummarySnapshot {
+    /// The summarized procedure's name.
+    pub proc_name: String,
+    /// Fingerprint of the callee's *flattened* body (its transitive
+    /// callees inlined), so a change anywhere beneath the callee
+    /// invalidates the summary.
+    pub fingerprint: u64,
+    /// [`crate::SolverConfig::cache_key`] of the solver that explored the
+    /// callee (case budgets change `Unknown` verdicts, hence path sets).
+    pub solver_key: u64,
+    /// Formal parameters in declaration order, with the entry variable
+    /// each one was bound to during summarization.
+    pub formals: Vec<(String, SymVar)>,
+    /// Globals with their entry variables (the callee sees every global
+    /// symbolically; unread globals simply don't occur in any guard or
+    /// effect).
+    pub globals: Vec<(String, SymVar)>,
+    /// Explored paths in serial DFS emission order — instantiation
+    /// preserves this order so caller path emission matches the inlined
+    /// run's.
+    pub paths: Vec<SummaryPathSnapshot>,
+}
+
+impl SummarySnapshot {
+    /// Structural well-formedness: guard expressions must be boolean and
+    /// every variable mentioned anywhere must be one of the declared
+    /// entry variables. Import refuses summaries that fail this.
+    pub fn validate(&self) -> bool {
+        let declared: std::collections::BTreeSet<u32> = self
+            .formals
+            .iter()
+            .chain(self.globals.iter())
+            .map(|(_, v)| v.id())
+            .collect();
+        let vars_ok = |expr: &SymExpr| {
+            let mut vars = std::collections::BTreeMap::new();
+            expr.collect_vars(&mut vars);
+            vars.keys().all(|id| declared.contains(id))
+        };
+        self.paths.iter().all(|path| {
+            path.guards
+                .iter()
+                .all(|g| g.ty() == SymTy::Bool && vars_ok(g))
+                && path.effects.iter().all(|(_, e)| vars_ok(e))
+        })
     }
 }
 

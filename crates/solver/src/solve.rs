@@ -200,6 +200,11 @@ pub struct SolverStats {
     pub shared_trie_hits: u64,
     /// Entries evicted from the bounded monolithic result cache.
     pub cache_evictions: u64,
+    /// SAT verdicts recorded through
+    /// [`crate::IncrementalSolver::push_verified`]: the caller supplied a
+    /// model that was re-validated against the whole stack by direct
+    /// evaluation, so no decision pipeline ran at all.
+    pub assumed_sat: u64,
 }
 
 impl SolverStats {
@@ -220,6 +225,7 @@ impl SolverStats {
         self.model_reuse_hits += other.model_reuse_hits;
         self.shared_trie_hits += other.shared_trie_hits;
         self.cache_evictions += other.cache_evictions;
+        self.assumed_sat += other.assumed_sat;
     }
 
     /// Counter-wise difference `self - earlier` (saturating), for reporting
@@ -250,6 +256,7 @@ impl SolverStats {
                 .shared_trie_hits
                 .saturating_sub(earlier.shared_trie_hits),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            assumed_sat: self.assumed_sat.saturating_sub(earlier.assumed_sat),
         }
     }
 

@@ -58,6 +58,20 @@ impl SymVar {
     pub fn ty(&self) -> SymTy {
         self.ty
     }
+
+    /// Reconstructs a variable from its raw parts. This exists for
+    /// snapshot import paths that round-trip variables through
+    /// serialization ([`crate::SummarySnapshot`]); the caller is
+    /// responsible for keeping ids consistent within the expression space
+    /// the variable participates in — two distinct variables sharing an id
+    /// would compare equal.
+    pub fn from_raw(id: u32, name: impl Into<Arc<str>>, ty: SymTy) -> SymVar {
+        SymVar {
+            id,
+            name: name.into(),
+            ty,
+        }
+    }
 }
 
 impl PartialEq for SymVar {

@@ -43,8 +43,8 @@ pub mod format;
 use std::path::{Path, PathBuf};
 
 use dise_solver::model::{Model, Value};
-use dise_solver::snapshot::{TrieEntry, TrieSnapshot};
-use dise_solver::sym::{BinOp, SymTy, UnOp};
+use dise_solver::snapshot::{SummaryPathSnapshot, SummarySnapshot, TrieEntry, TrieSnapshot};
+use dise_solver::sym::{BinOp, SymExpr, SymTy, SymVar, UnOp};
 use dise_solver::{Bounds, Interval, SatResult, TermId};
 
 pub use error::StoreError;
@@ -95,6 +95,38 @@ pub struct ProcEntry {
     pub affected: Option<StoredAffected>,
     /// The solver's warm state.
     pub trie: TrieSnapshot,
+    /// Procedure summaries built while analyzing this procedure, one per
+    /// summarized callee, each keyed by the callee's flattened-body
+    /// fingerprint (`SummarySnapshot::fingerprint`). A loaded summary is
+    /// reused only when that fingerprint — and the summary's
+    /// `solver_key` — still match the current run.
+    pub summaries: Vec<SummarySnapshot>,
+}
+
+impl ProcEntry {
+    /// The kinds of warm state this entry carries, as a `+`-joined list
+    /// (`trie`, `summary`, `feedback`, `affected`), or `empty`. Printed
+    /// by `dise store stat`.
+    pub fn kinds(&self) -> String {
+        let mut kinds = Vec::new();
+        if !self.trie.entries.is_empty() {
+            kinds.push("trie");
+        }
+        if !self.summaries.is_empty() {
+            kinds.push("summary");
+        }
+        if self.sweep_feedback.is_some() {
+            kinds.push("feedback");
+        }
+        if self.affected.is_some() {
+            kinds.push("affected");
+        }
+        if kinds.is_empty() {
+            "empty".to_string()
+        } else {
+            kinds.join("+")
+        }
+    }
 }
 
 /// One store directory. Opening never touches the filesystem; the
@@ -266,6 +298,10 @@ fn encode_entry(entry: &ProcEntry) -> Vec<u8> {
     for edge in &entry.trie.entries {
         encode_edge(&mut w, edge);
     }
+    w.u32(entry.summaries.len() as u32);
+    for summary in &entry.summaries {
+        encode_summary(&mut w, summary);
+    }
     w.finish()
 }
 
@@ -313,6 +349,15 @@ fn decode_entry(payload: &[u8]) -> Result<ProcEntry, StoreError> {
     for _ in 0..edge_count {
         entries.push(decode_edge(&mut r)?);
     }
+    let summary_count = r.u32()?;
+    let mut summaries = Vec::new();
+    for _ in 0..summary_count {
+        let summary = decode_summary(&mut r)?;
+        if !summary.validate() {
+            return Err(StoreError::Corrupt("summary snapshot fails validation"));
+        }
+        summaries.push(summary);
+    }
     if !r.is_at_end() {
         return Err(StoreError::Corrupt("trailing payload bytes"));
     }
@@ -331,6 +376,210 @@ fn decode_entry(payload: &[u8]) -> Result<ProcEntry, StoreError> {
         sweep_feedback,
         affected,
         trie,
+        summaries,
+    })
+}
+
+fn encode_vars(w: &mut Writer, vars: &[(String, SymVar)]) {
+    w.u32(vars.len() as u32);
+    for (name, var) in vars {
+        w.str(name);
+        w.u32(var.id());
+        w.str(var.name());
+        w.u8(encode_ty(var.ty()));
+    }
+}
+
+fn decode_vars(r: &mut Reader) -> Result<Vec<(String, SymVar)>, StoreError> {
+    let len = r.u32()?;
+    let mut out = Vec::new();
+    for _ in 0..len {
+        let name = r.str()?;
+        let id = r.u32()?;
+        let var_name = r.str()?;
+        let ty = decode_ty(r.u8()?)?;
+        out.push((name, SymVar::from_raw(id, var_name, ty)));
+    }
+    Ok(out)
+}
+
+fn encode_model(w: &mut Writer, model: &Model) {
+    w.u32(model.len() as u32);
+    for (id, value) in model.iter() {
+        w.u32(id);
+        match value {
+            Value::Int(v) => {
+                w.u8(0);
+                w.i64(v);
+            }
+            Value::Bool(b) => {
+                w.u8(1);
+                w.bool(b);
+            }
+        }
+    }
+}
+
+fn decode_model(r: &mut Reader) -> Result<Model, StoreError> {
+    let len = r.u32()?;
+    let mut model = Model::new();
+    for _ in 0..len {
+        let id = r.u32()?;
+        let value = match r.u8()? {
+            0 => Value::Int(r.i64()?),
+            1 => Value::Bool(r.bool()?),
+            _ => return Err(StoreError::Corrupt("value tag")),
+        };
+        model.set(id, value);
+    }
+    Ok(model)
+}
+
+/// Recursive structural expression encoding — summary guards and effects
+/// are free-standing [`SymExpr`] trees, unlike the trie's interned terms.
+fn encode_expr(w: &mut Writer, expr: &SymExpr) {
+    match expr {
+        SymExpr::Int(v) => {
+            w.u8(0);
+            w.i64(*v);
+        }
+        SymExpr::Bool(b) => {
+            w.u8(1);
+            w.bool(*b);
+        }
+        SymExpr::Var(var) => {
+            w.u8(2);
+            w.u32(var.id());
+            w.str(var.name());
+            w.u8(encode_ty(var.ty()));
+        }
+        SymExpr::Unary { op, arg } => {
+            w.u8(3);
+            w.u8(encode_unop(*op));
+            encode_expr(w, arg.as_ref());
+        }
+        SymExpr::Binary { op, lhs, rhs } => {
+            w.u8(4);
+            w.u8(encode_binop(*op));
+            encode_expr(w, lhs.as_ref());
+            encode_expr(w, rhs.as_ref());
+        }
+    }
+}
+
+fn decode_expr(r: &mut Reader, depth: u32) -> Result<SymExpr, StoreError> {
+    if depth > 10_000 {
+        return Err(StoreError::Corrupt("expression nests too deep"));
+    }
+    Ok(match r.u8()? {
+        0 => SymExpr::Int(r.i64()?),
+        1 => SymExpr::Bool(r.bool()?),
+        2 => {
+            let id = r.u32()?;
+            let name = r.str()?;
+            let ty = decode_ty(r.u8()?)?;
+            SymExpr::Var(SymVar::from_raw(id, name, ty))
+        }
+        3 => {
+            let op = decode_unop(r.u8()?)?;
+            let arg = decode_expr(r, depth + 1)?;
+            SymExpr::Unary {
+                op,
+                arg: std::sync::Arc::new(arg),
+            }
+        }
+        4 => {
+            let op = decode_binop(r.u8()?)?;
+            let lhs = decode_expr(r, depth + 1)?;
+            let rhs = decode_expr(r, depth + 1)?;
+            SymExpr::Binary {
+                op,
+                lhs: std::sync::Arc::new(lhs),
+                rhs: std::sync::Arc::new(rhs),
+            }
+        }
+        _ => return Err(StoreError::Corrupt("expression tag")),
+    })
+}
+
+fn encode_summary(w: &mut Writer, summary: &SummarySnapshot) {
+    w.str(&summary.proc_name);
+    w.u64(summary.fingerprint);
+    w.u64(summary.solver_key);
+    encode_vars(w, &summary.formals);
+    encode_vars(w, &summary.globals);
+    w.u32(summary.paths.len() as u32);
+    for path in &summary.paths {
+        w.u32(path.guards.len() as u32);
+        for guard in &path.guards {
+            encode_expr(w, guard);
+        }
+        match &path.error {
+            None => w.u8(0),
+            Some(message) => {
+                w.u8(1);
+                w.str(message);
+            }
+        }
+        w.u32(path.effects.len() as u32);
+        for (name, effect) in &path.effects {
+            w.str(name);
+            encode_expr(w, effect);
+        }
+        match &path.witness {
+            None => w.u8(0),
+            Some(model) => {
+                w.u8(1);
+                encode_model(w, model);
+            }
+        }
+    }
+}
+
+fn decode_summary(r: &mut Reader) -> Result<SummarySnapshot, StoreError> {
+    let proc_name = r.str()?;
+    let fingerprint = r.u64()?;
+    let solver_key = r.u64()?;
+    let formals = decode_vars(r)?;
+    let globals = decode_vars(r)?;
+    let path_count = r.u32()?;
+    let mut paths = Vec::new();
+    for _ in 0..path_count {
+        let guard_count = r.u32()?;
+        let mut guards = Vec::new();
+        for _ in 0..guard_count {
+            guards.push(decode_expr(r, 0)?);
+        }
+        let error = match r.u8()? {
+            0 => None,
+            1 => Some(r.str()?),
+            _ => return Err(StoreError::Corrupt("summary error tag")),
+        };
+        let effect_count = r.u32()?;
+        let mut effects = Vec::new();
+        for _ in 0..effect_count {
+            let name = r.str()?;
+            effects.push((name, decode_expr(r, 0)?));
+        }
+        let witness = match r.u8()? {
+            0 => None,
+            1 => Some(decode_model(r)?),
+            _ => return Err(StoreError::Corrupt("summary witness tag")),
+        };
+        paths.push(SummaryPathSnapshot {
+            guards,
+            error,
+            effects,
+            witness,
+        });
+    }
+    Ok(SummarySnapshot {
+        proc_name,
+        fingerprint,
+        solver_key,
+        formals,
+        globals,
+        paths,
     })
 }
 
@@ -591,6 +840,7 @@ mod tests {
                 awn: vec![3],
             }),
             trie: solver.export_trie(),
+            summaries: Vec::new(),
         }
     }
 
@@ -605,6 +855,66 @@ mod tests {
         // The snapshot actually warm-starts a solver.
         let mut solver = IncrementalSolver::new();
         assert!(solver.import_trie(&loaded.trie) >= 3);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    fn sample_summary() -> SummarySnapshot {
+        let mut pool = VarPool::new();
+        let amount = pool.fresh("Amount", SymTy::Int);
+        let total = pool.fresh("Total", SymTy::Int);
+        let guard = SymExpr::gt(SymExpr::var(&amount), SymExpr::int(10));
+        let mut witness = Model::new();
+        witness.set(amount.id(), Value::Int(11));
+        SummarySnapshot {
+            proc_name: "clamp".into(),
+            fingerprint: 0xabcd,
+            solver_key: 0x1234,
+            formals: vec![("amount".into(), amount)],
+            globals: vec![("total".into(), total.clone())],
+            paths: vec![SummaryPathSnapshot {
+                guards: vec![guard],
+                error: Some("assertion failed: amount >= 0".into()),
+                effects: vec![(
+                    "total".into(),
+                    SymExpr::add(SymExpr::var(&total), SymExpr::int(10)),
+                )],
+                witness: Some(witness),
+            }],
+        }
+    }
+
+    #[test]
+    fn summaries_roundtrip_with_the_entry() {
+        let (store, dir) = temp_store();
+        let mut entry = sample_entry();
+        entry.summaries = vec![sample_summary()];
+        store.save(&entry).unwrap();
+        let loaded = store.load("update").unwrap().expect("entry exists");
+        assert_eq!(loaded, entry);
+        assert_eq!(loaded.summaries[0].paths[0].guards.len(), 1);
+        assert_eq!(
+            loaded.kinds(),
+            "trie+summary+feedback+affected",
+            "stat kinds reflect the stored payloads"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn invalid_summary_snapshots_are_corruption() {
+        let (store, dir) = temp_store();
+        let mut entry = sample_entry();
+        let mut summary = sample_summary();
+        // A guard over a variable that is neither a formal nor a global
+        // fails SummarySnapshot::validate on load.
+        let mut pool = VarPool::new();
+        let _ = pool.fresh("Amount", SymTy::Int);
+        let _ = pool.fresh("Total", SymTy::Int);
+        let stray = pool.fresh("Stray", SymTy::Bool);
+        summary.paths[0].guards.push(SymExpr::var(&stray));
+        entry.summaries = vec![summary];
+        store.save(&entry).unwrap();
+        assert!(matches!(store.load("update"), Err(StoreError::Corrupt(_))));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -205,6 +205,10 @@ impl ConcolicExecutor {
                     }
                     node = cfg.succs(node)[0].0;
                 }
+                NodeKind::Call { callee, .. } => panic!(
+                    "concolic execution reached a call node for `{callee}`; \
+                     replay runs over flattened (call-free) CFGs"
+                ),
             }
         };
         ConcolicRun {

@@ -7,18 +7,20 @@
 
 use std::time::{Duration, Instant};
 
-use dise_cfg::{build_cfg, Cfg, NodeKind};
+use dise_cfg::{build_cfg, build_cfg_with_calls, Cfg, NodeKind};
 use dise_ir::ast::Program;
 use dise_solver::{
-    IncrementalSolver, PathCondition, SatResult, SolverConfig, SolverStats, SymExpr, SymTy, SymVar,
-    TrieSnapshot, VarPool,
+    IncrementalSolver, Model, PathCondition, SatResult, SolverConfig, SolverStats, SymExpr, SymTy,
+    SymVar, TrieSnapshot, VarPool,
 };
 
 use crate::env::Env;
 use crate::eval::{eval_symbolic, EvalError};
 use crate::state::SymState;
+use crate::summary::{SummaryMode, SummaryStats, SummaryTable};
 use crate::tree::ExecTree;
 use dise_cfg::NodeId;
+use std::sync::Arc;
 
 /// Exploration hooks. The trivial implementation ([`FullExploration`])
 /// yields standard full symbolic execution; `dise-core` provides the
@@ -174,6 +176,15 @@ pub struct ExecConfig {
     /// [`SweepBudget::Auto`](crate::SweepBudget::Auto). Has no effect on
     /// serial runs or forkable (full-exploration) strategies.
     pub sweep_budget: crate::frontier::SweepBudget,
+    /// Whether full explorations of call-bearing programs route calls
+    /// through procedure summaries instead of inlining (see
+    /// [`crate::summary`]). The executor itself only honors an attached
+    /// [`SummaryTable`] ([`Executor::with_summaries`]); this knob is the
+    /// *policy* consulted by `dise-core` when deciding whether to attach
+    /// one. The default honors the `DISE_SUMMARIES` environment variable
+    /// (`on`, `off`, or `auto`), falling back to
+    /// [`SummaryMode::Auto`].
+    pub summaries: SummaryMode,
     /// Constraint-solver tuning.
     pub solver: SolverConfig,
 }
@@ -201,6 +212,17 @@ fn default_sweep_budget() -> crate::frontier::SweepBudget {
     })
 }
 
+/// The `DISE_SUMMARIES` default, read once per process.
+fn default_summaries() -> SummaryMode {
+    static MODE: std::sync::OnceLock<SummaryMode> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("DISE_SUMMARIES")
+            .ok()
+            .and_then(|v| SummaryMode::parse(&v))
+            .unwrap_or_default()
+    })
+}
+
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
@@ -213,6 +235,7 @@ impl Default for ExecConfig {
             filter_scope: FilterScope::default(),
             jobs: default_jobs(),
             sweep_budget: default_sweep_budget(),
+            summaries: default_summaries(),
             solver: SolverConfig::default(),
         }
     }
@@ -226,6 +249,9 @@ pub enum ExecError {
     /// The procedure contains procedure calls; inline them first
     /// ([`dise_ir::inline::inline_program`]).
     ContainsCalls(String),
+    /// Summary-mode construction found a call to a procedure the supplied
+    /// [`SummaryTable`] has no entry for.
+    MissingSummary(String),
     /// Evaluating a global initializer failed (unchecked program).
     Eval(EvalError),
 }
@@ -240,6 +266,9 @@ impl std::fmt::Display for ExecError {
                 f,
                 "procedure `{name}` contains calls; inline first (dise_ir::inline)"
             ),
+            ExecError::MissingSummary(name) => {
+                write!(f, "no summary for callee `{name}` in the supplied table")
+            }
             ExecError::Eval(e) => write!(f, "evaluation error: {e}"),
         }
     }
@@ -304,6 +333,8 @@ pub struct ExecStats {
     pub solver: SolverStats,
     /// Parallel-frontier activity (all zero on serial runs).
     pub frontier: crate::frontier::FrontierStats,
+    /// Summary-instantiation activity (all zero on inlined runs).
+    pub summary: SummaryStats,
 }
 
 /// The result of a run: "a symbolic summary … made up of path conditions
@@ -385,6 +416,10 @@ pub struct Executor {
     /// Decided prefixes restored by [`Executor::warm_start`] (reported as
     /// [`crate::FrontierStats::warm_trie_entries`]).
     warm_trie_entries: u64,
+    /// Procedure summaries for call-node dispatch. `None` for inlined
+    /// (call-free) executors; `Some` only via
+    /// [`Executor::with_summaries`].
+    pub(crate) summaries: Option<Arc<SummaryTable>>,
 }
 
 impl Executor {
@@ -408,49 +443,78 @@ impl Executor {
             return Err(ExecError::ContainsCalls(proc_name.to_string()));
         }
         let cfg = build_cfg(procedure);
+        let (env, inputs, pool) = toplevel_env(program, procedure)?;
+        Ok(Executor::from_parts(
+            proc_name.to_string(),
+            cfg,
+            env,
+            inputs,
+            pool,
+            config,
+        ))
+    }
 
-        let mut pool = VarPool::new();
-        let mut env = Env::new();
-        let mut inputs = Vec::new();
-        for param in &procedure.params {
-            let ty = match param.ty {
-                dise_ir::Type::Int => SymTy::Int,
-                dise_ir::Type::Bool => SymTy::Bool,
-            };
-            let var = pool.fresh(symbolic_name(&param.name), ty);
-            env.bind(&param.name, SymExpr::var(&var));
-            inputs.push((param.name.clone(), var));
-        }
-        for global in &program.globals {
-            match &global.init {
-                Some(init) => {
-                    let value = eval_symbolic(init, &Env::new())?;
-                    env.bind(&global.name, value);
-                }
-                None => {
-                    let ty = match global.ty {
-                        dise_ir::Type::Int => SymTy::Int,
-                        dise_ir::Type::Bool => SymTy::Bool,
-                    };
-                    let var = pool.fresh(symbolic_name(&global.name), ty);
-                    env.bind(&global.name, SymExpr::var(&var));
-                    inputs.push((global.name.clone(), var));
+    /// Prepares *compositional* symbolic execution of `proc_name`: calls
+    /// are kept as opaque CFG nodes and dispatched to the supplied
+    /// [`SummaryTable`] during exploration instead of being inlined. The
+    /// initial environment is built exactly as [`Executor::new`] builds it
+    /// for the flattened program, so the two modes explore from identical
+    /// starting states.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Executor::new`] reports, plus
+    /// [`ExecError::MissingSummary`] when the body calls a procedure the
+    /// table has no entry for (recursion, failed builds — the caller
+    /// should fall back to the inlining pipeline).
+    pub fn with_summaries(
+        program: &Program,
+        proc_name: &str,
+        config: ExecConfig,
+        summaries: Arc<SummaryTable>,
+    ) -> Result<Executor, ExecError> {
+        let procedure = program
+            .proc(proc_name)
+            .ok_or_else(|| ExecError::MissingProcedure(proc_name.to_string()))?;
+        let cfg = build_cfg_with_calls(procedure);
+        for id in cfg.node_ids() {
+            if let NodeKind::Call { callee, .. } = &cfg.node(id).kind {
+                if summaries.get(callee).is_none() {
+                    return Err(ExecError::MissingSummary(callee.clone()));
                 }
             }
         }
+        let (env, inputs, pool) = toplevel_env(program, procedure)?;
+        let mut executor =
+            Executor::from_parts(proc_name.to_string(), cfg, env, inputs, pool, config);
+        executor.summaries = Some(summaries);
+        Ok(executor)
+    }
 
+    /// Assembles an executor from pre-built parts (summary builds use a
+    /// custom all-symbolic entry environment that [`Executor::new`] does
+    /// not produce).
+    pub(crate) fn from_parts(
+        proc_name: String,
+        cfg: Cfg,
+        init_env: Env,
+        inputs: Vec<(String, SymVar)>,
+        pool: VarPool,
+        config: ExecConfig,
+    ) -> Executor {
         let solver = IncrementalSolver::with_config(config.solver);
-        Ok(Executor {
-            proc_name: proc_name.to_string(),
+        Executor {
+            proc_name,
             cfg,
-            init_env: env,
+            init_env,
             inputs,
             pool,
             config,
             solver,
             sweep_feedback: None,
             warm_trie_entries: 0,
-        })
+            summaries: None,
+        }
     }
 
     /// Warm-starts this executor from persisted state: seeds the
@@ -583,6 +647,7 @@ impl Executor {
                 None
             },
             trace: Vec::new(),
+            summaries: self.summaries.as_deref(),
         };
         let initial = SymState::initial(self.cfg.begin(), self.init_env.clone());
         run.dfs(initial);
@@ -603,9 +668,49 @@ impl Executor {
     }
 }
 
+/// The entry environment, the named symbolic inputs, and the pool that
+/// minted them.
+type EntryEnv = (Env, Vec<(String, SymVar)>, VarPool);
+
+/// Builds the top-level entry environment shared by [`Executor::new`] and
+/// [`Executor::with_summaries`]: parameters and uninitialized globals get
+/// fresh symbolic variables, initialized globals their concrete values.
+fn toplevel_env(program: &Program, procedure: &dise_ir::Procedure) -> Result<EntryEnv, ExecError> {
+    let mut pool = VarPool::new();
+    let mut env = Env::new();
+    let mut inputs = Vec::new();
+    for param in &procedure.params {
+        let ty = match param.ty {
+            dise_ir::Type::Int => SymTy::Int,
+            dise_ir::Type::Bool => SymTy::Bool,
+        };
+        let var = pool.fresh(symbolic_name(&param.name), ty);
+        env.bind(&param.name, SymExpr::var(&var));
+        inputs.push((param.name.clone(), var));
+    }
+    for global in &program.globals {
+        match &global.init {
+            Some(init) => {
+                let value = eval_symbolic(init, &Env::new())?;
+                env.bind(&global.name, value);
+            }
+            None => {
+                let ty = match global.ty {
+                    dise_ir::Type::Int => SymTy::Int,
+                    dise_ir::Type::Bool => SymTy::Bool,
+                };
+                let var = pool.fresh(symbolic_name(&global.name), ty);
+                env.bind(&global.name, SymExpr::var(&var));
+                inputs.push((global.name.clone(), var));
+            }
+        }
+    }
+    Ok((env, inputs, pool))
+}
+
 /// The symbolic-input naming convention: the paper writes the symbolic
 /// value of variable `x` as `X`.
-fn symbolic_name(program_name: &str) -> String {
+pub(crate) fn symbolic_name(program_name: &str) -> String {
     let mut chars = program_name.chars();
     match chars.next() {
         Some(first) => first.to_uppercase().chain(chars).collect(),
@@ -613,14 +718,127 @@ fn symbolic_name(program_name: &str) -> String {
     }
 }
 
-/// A successor candidate: the state, the branch literal it adds to the
+/// A successor candidate: the state, the branch literals it adds to the
 /// path condition (pushed onto the incremental solver before the
-/// feasibility check), and whether it came from a symbolic fork (a choice
-/// point).
+/// feasibility check — branches and symbolic assumes contribute exactly
+/// one, instantiated summary paths zero or more), and whether it came
+/// from a symbolic fork (a choice point).
 pub(crate) struct Succ {
     pub(crate) state: SymState,
-    pub(crate) new_lit: Option<SymExpr>,
+    pub(crate) lits: Vec<SymExpr>,
+    /// A witness model for `lits` recorded when the summary was built,
+    /// translated to caller variables. When it checks out against the
+    /// whole solver stack by evaluation, the feasibility checks are
+    /// answered without any solver pipeline work.
+    pub(crate) hint: Option<Model>,
     pub(crate) forked: bool,
+    /// Whether this candidate came from a summary instantiation (for
+    /// [`SummaryStats`] attribution).
+    pub(crate) from_call: bool,
+}
+
+impl Succ {
+    fn plain(state: SymState) -> Succ {
+        Succ {
+            state,
+            lits: Vec::new(),
+            hint: None,
+            forked: false,
+            from_call: false,
+        }
+    }
+
+    fn with_lit(state: SymState, lit: SymExpr, forked: bool) -> Succ {
+        Succ {
+            state,
+            lits: vec![lit],
+            hint: None,
+            forked,
+            from_call: false,
+        }
+    }
+}
+
+/// Outcome of pushing a successor's literals onto the solver.
+pub(crate) struct PushResult {
+    /// How many literals are now on the stack (all of them when feasible;
+    /// the prefix up to and including the failing one when not — the
+    /// caller pops exactly this many).
+    pub(crate) pushed: usize,
+    pub(crate) feasible: bool,
+    /// Whether every literal was discharged through the witness-hint fast
+    /// path (no solver pipeline work at all).
+    pub(crate) hint_verified: bool,
+    /// Solver pipeline checks (incremental + fallback) spent on these
+    /// literals.
+    pub(crate) checks: u64,
+}
+
+/// Pushes a successor's literals, answering feasibility via the witness
+/// hint when possible. The hint candidate is the solver's current model
+/// overlaid with the hint's assignments (hint wins); if it satisfies every
+/// literal already on the stack plus all new ones by direct evaluation,
+/// each literal is recorded as SAT with that model (and learned by the
+/// prefix trie) without touching the solver pipeline. Any miss falls back
+/// to the ordinary push + check sequence for the remaining literals.
+pub(crate) fn push_succ_lits(
+    solver: &mut IncrementalSolver,
+    lits: Vec<SymExpr>,
+    hint: Option<&Model>,
+    unknown_is_sat: bool,
+) -> PushResult {
+    if lits.is_empty() {
+        return PushResult {
+            pushed: 0,
+            feasible: true,
+            hint_verified: false,
+            checks: 0,
+        };
+    }
+    let candidate = hint.map(|hint| {
+        let mut model = solver.model().cloned().unwrap_or_default();
+        for (id, value) in hint.iter() {
+            model.set(id, value);
+        }
+        model
+    });
+    let before = solver.stats();
+    let mut pushed = 0;
+    let mut hint_verified = candidate.is_some();
+    for lit in lits {
+        let verified = match &candidate {
+            Some(model) if hint_verified => solver.push_verified(lit, model),
+            _ => {
+                solver.push(lit);
+                false
+            }
+        };
+        pushed += 1;
+        if !verified {
+            hint_verified = false;
+            let feasible = match solver.check() {
+                SatResult::Sat => true,
+                SatResult::Unsat => false,
+                SatResult::Unknown => unknown_is_sat,
+            };
+            if !feasible {
+                let delta = solver.stats().delta_since(&before);
+                return PushResult {
+                    pushed,
+                    feasible: false,
+                    hint_verified: false,
+                    checks: delta.incremental_checks + delta.fallback_checks,
+                };
+            }
+        }
+    }
+    let delta = solver.stats().delta_since(&before);
+    PushResult {
+        pushed,
+        feasible: true,
+        hint_verified,
+        checks: delta.incremental_checks + delta.fallback_checks,
+    }
 }
 
 /// How a just-entered state is classified, in the order Fig. 6 fixes:
@@ -642,6 +860,12 @@ pub(crate) enum EntryKind {
 
 /// Classifies a just-entered state. See [`EntryKind`].
 pub(crate) fn classify_entry(cfg: &Cfg, config: &ExecConfig, state: &SymState) -> EntryKind {
+    // An error inherited from an instantiated summary path terminates the
+    // state exactly as the callee's own error node would have under
+    // inlining.
+    if let Some(message) = &state.pending_error {
+        return EntryKind::Error(message.clone());
+    }
     let node = cfg.node(state.node);
     if let NodeKind::Error { message } = &node.kind {
         return EntryKind::Error(message.clone());
@@ -661,12 +885,14 @@ pub(crate) fn classify_entry(cfg: &Cfg, config: &ExecConfig, state: &SymState) -
 /// explores them (true branch before false branch). Shared by the serial
 /// DFS and the parallel frontier workers so both step states identically.
 /// `infeasible` is bumped when a concretely false `assume` kills the path.
-pub(crate) fn successor_candidates(cfg: &Cfg, state: &SymState, infeasible: &mut u64) -> Vec<Succ> {
-    let plain = |state: SymState| Succ {
-        state,
-        new_lit: None,
-        forked: false,
-    };
+pub(crate) fn successor_candidates(
+    cfg: &Cfg,
+    state: &SymState,
+    infeasible: &mut u64,
+    summaries: Option<&SummaryTable>,
+    sstats: &mut SummaryStats,
+) -> Vec<Succ> {
+    let plain = Succ::plain;
     let node = cfg.node(state.node);
     match &node.kind {
         NodeKind::Begin | NodeKind::Nop => cfg
@@ -698,11 +924,7 @@ pub(crate) fn successor_candidates(cfg: &Cfg, state: &SymState, infeasible: &mut
                     let succ = cfg.succs(state.node)[0].0;
                     let mut next = state.step_to(succ);
                     next.pc = state.pc.and(cond.clone());
-                    vec![Succ {
-                        state: next,
-                        new_lit: Some(cond),
-                        forked: false,
-                    }]
+                    vec![Succ::with_lit(next, cond, false)]
                 }
             }
         }
@@ -723,19 +945,44 @@ pub(crate) fn successor_candidates(cfg: &Cfg, state: &SymState, infeasible: &mut
                     let mut not_taken = state.step_to(false_succ);
                     not_taken.pc = state.pc.and(negated.clone());
                     vec![
-                        Succ {
-                            state: taken,
-                            new_lit: Some(cond),
-                            forked: true,
-                        },
-                        Succ {
-                            state: not_taken,
-                            new_lit: Some(negated),
-                            forked: true,
-                        },
+                        Succ::with_lit(taken, cond, true),
+                        Succ::with_lit(not_taken, negated, true),
                     ]
                 }
             }
+        }
+        NodeKind::Call { callee, args } => {
+            let summary = summaries
+                .and_then(|table| table.get(callee))
+                .expect("call node reached without a summary: with_summaries validates the table");
+            sstats.call_sites += 1;
+            let succ_node = cfg.succs(state.node)[0].0;
+            let paths = crate::summary::instantiate(summary, args, &state.env);
+            let mut out = Vec::new();
+            for path in paths {
+                sstats.paths_instantiated += 1;
+                let mut next = state.step_to(succ_node);
+                next.env = path.env;
+                for lit in &path.lits {
+                    next.pc = next.pc.and(lit.clone());
+                }
+                next.pending_error = path.error;
+                out.push(Succ {
+                    state: next,
+                    lits: path.lits,
+                    hint: path.hint,
+                    forked: false,
+                    from_call: true,
+                });
+            }
+            // Multiple feasible summary paths are a choice point exactly
+            // like a symbolic branch inside the inlined callee.
+            if out.len() > 1 {
+                for succ in &mut out {
+                    succ.forked = true;
+                }
+            }
+            out
         }
         NodeKind::End | NodeKind::Error { .. } => Vec::new(),
     }
@@ -752,9 +999,10 @@ struct Frame {
     /// returns *before* `UpdateExploredSet` for depth-bounded and error
     /// states, so those never notify the strategy).
     notified: bool,
-    /// Whether this state's branch literal is on the solver stack (popped
-    /// when the frame completes).
-    pushed: bool,
+    /// How many of this state's branch literals are on the solver stack
+    /// (popped when the frame completes). Branches push one; instantiated
+    /// summary paths can push several.
+    pushed: usize,
 }
 
 struct Run<'a> {
@@ -766,6 +1014,7 @@ struct Run<'a> {
     stats: ExecStats,
     tree: Option<ExecTree>,
     trace: Vec<NodeId>,
+    summaries: Option<&'a SummaryTable>,
 }
 
 impl Run<'_> {
@@ -782,7 +1031,7 @@ impl Run<'_> {
                 let notified = top.notified;
                 let pushed = top.pushed;
                 stack.pop();
-                if pushed {
+                for _ in 0..pushed {
                     self.solver.pop();
                 }
                 if notified {
@@ -796,19 +1045,30 @@ impl Run<'_> {
             let parent_tree = top.tree_index;
             let Succ {
                 state: succ,
-                new_lit,
+                lits,
+                hint,
                 forked,
+                from_call,
             } = succ;
-            // Push the branch literal and check the extended prefix; the
-            // solver only processes the delta.
-            let pushed = new_lit.is_some();
-            if let Some(lit) = new_lit {
-                self.solver.push(lit);
-                if !self.feasible() {
-                    self.stats.infeasible += 1;
-                    self.solver.pop();
-                    continue;
+            // Push the branch literals and check the extended prefix; the
+            // solver only processes the delta. Summary-path literals carry
+            // a witness hint that usually answers the checks by evaluation.
+            let had_lits = !lits.is_empty();
+            let result =
+                push_succ_lits(self.solver, lits, hint.as_ref(), self.config.unknown_is_sat);
+            if from_call && had_lits {
+                if result.hint_verified {
+                    self.stats.summary.hint_verified += 1;
                 }
+                self.stats.summary.fallback_checks += result.checks;
+            }
+            let pushed = result.pushed;
+            if !result.feasible {
+                self.stats.infeasible += 1;
+                for _ in 0..pushed {
+                    self.solver.pop();
+                }
+                continue;
             }
             let filtered = match self.config.filter_scope {
                 FilterScope::AllStates => true,
@@ -826,7 +1086,7 @@ impl Run<'_> {
                         trace,
                     });
                 }
-                if pushed {
+                for _ in 0..pushed {
                     self.solver.pop();
                 }
                 continue;
@@ -838,14 +1098,6 @@ impl Run<'_> {
         // Unwind any remaining trace entries (possible after truncation;
         // the caller resets the solver stack).
         self.trace.clear();
-    }
-
-    fn feasible(&mut self) -> bool {
-        match self.solver.check() {
-            SatResult::Sat => true,
-            SatResult::Unsat => false,
-            SatResult::Unknown => self.config.unknown_is_sat,
-        }
     }
 
     /// State entry: counting, hooks, terminal detection, successor
@@ -876,7 +1128,7 @@ impl Run<'_> {
                     successors: Vec::new(),
                     tree_index,
                     notified: false,
-                    pushed: false,
+                    pushed: 0,
                 };
             }
             EntryKind::DepthBounded => {
@@ -887,7 +1139,7 @@ impl Run<'_> {
                     successors: Vec::new(),
                     tree_index,
                     notified: false,
-                    pushed: false,
+                    pushed: 0,
                 };
             }
             EntryKind::Completed => {
@@ -899,7 +1151,7 @@ impl Run<'_> {
                     successors: Vec::new(),
                     tree_index,
                     notified: true,
-                    pushed: false,
+                    pushed: 0,
                 };
             }
             EntryKind::Interior => {}
@@ -915,7 +1167,7 @@ impl Run<'_> {
             successors,
             tree_index,
             notified: true,
-            pushed: false,
+            pushed: 0,
         }
     }
 
@@ -935,7 +1187,13 @@ impl Run<'_> {
     /// The feasible-successor candidates of a state, in the order Fig. 6
     /// explores them (true branch before false branch).
     fn successors(&mut self, state: &SymState) -> Vec<Succ> {
-        successor_candidates(self.cfg, state, &mut self.stats.infeasible)
+        successor_candidates(
+            self.cfg,
+            state,
+            &mut self.stats.infeasible,
+            self.summaries,
+            &mut self.stats.summary,
+        )
     }
 }
 

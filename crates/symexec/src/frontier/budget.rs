@@ -323,8 +323,10 @@ mod tests {
     fn succ_at(node: u32) -> Succ {
         Succ {
             state: SymState::initial(NodeId(node), Env::new()),
-            new_lit: None,
+            lits: Vec::new(),
+            hint: None,
             forked: false,
+            from_call: false,
         }
     }
 

@@ -258,8 +258,10 @@ fn run_pool(
         Task {
             pos: Vec::new(),
             state: SymState::initial(exec.cfg.begin(), exec.init_env.clone()),
-            new_lit: None,
+            lits: Vec::new(),
+            hint: None,
             forked: false,
+            from_call: false,
             prefix: Vec::new(),
             trace: Vec::new(),
             root: true,
@@ -279,6 +281,7 @@ fn run_pool(
                 let results = &results;
                 let cfg = &exec.cfg;
                 let config = &exec.config;
+                let summaries = exec.summaries.as_deref();
                 scope.spawn(move || {
                     Worker {
                         me,
@@ -289,6 +292,7 @@ fn run_pool(
                         pool,
                         results: collect.then_some(results),
                         budget,
+                        summaries,
                         stats: ExecStats::default(),
                         replayed: 0,
                     }
@@ -311,6 +315,7 @@ fn run_pool(
         stats.infeasible += outcome.stats.infeasible;
         stats.pruned += outcome.stats.pruned;
         stats.solver.merge(&outcome.solver);
+        stats.summary.merge(&outcome.stats.summary);
         stats.frontier.replayed_literals += outcome.replayed;
     }
     stats.truncated = pool.truncated();

@@ -18,7 +18,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 use dise_cfg::NodeId;
-use dise_solver::SymExpr;
+use dise_solver::{Model, SymExpr};
 
 use crate::state::SymState;
 
@@ -31,11 +31,19 @@ pub(crate) struct Task {
     /// The successor state to enter (environment and path condition
     /// already extended).
     pub state: SymState,
-    /// The branch literal this arm adds (pushed and checked before entry).
-    pub new_lit: Option<SymExpr>,
+    /// The branch literals this arm adds (pushed and checked before entry;
+    /// one for branches and symbolic assumes, possibly several for an
+    /// instantiated summary path).
+    pub lits: Vec<SymExpr>,
+    /// Witness hint for `lits` (summary arms only); see
+    /// [`crate::executor::push_succ_lits`].
+    pub hint: Option<Model>,
     /// Whether the arm came from a symbolic two-way fork (a choice point);
     /// drives [`FilterScope::ChoicePoints`](crate::FilterScope).
     pub forked: bool,
+    /// Whether the arm is an instantiated summary path (stats
+    /// attribution).
+    pub from_call: bool,
     /// The literals on the path *above* this arm, root-first. A thief
     /// replays them (push + check, mostly trie hits) to rebuild its solver
     /// stack.
@@ -177,8 +185,10 @@ mod tests {
         Task {
             pos,
             state: SymState::initial(NodeId(0), Env::new()),
-            new_lit: None,
+            lits: Vec::new(),
+            hint: None,
             forked: false,
+            from_call: false,
             prefix: Vec::new(),
             trace: Vec::new(),
             root: false,

@@ -12,15 +12,16 @@
 //! most one recorded path.
 
 use dise_cfg::Cfg;
-use dise_solver::{IncrementalSolver, SatResult, SolverStats, SymExpr};
+use dise_solver::{IncrementalSolver, SolverStats, SymExpr};
 
 use crate::executor::{
-    classify_entry, successor_candidates, EntryKind, ExecConfig, ExecStats, FilterScope,
-    PathOutcome, PathSummary, Strategy, Succ,
+    classify_entry, push_succ_lits, successor_candidates, EntryKind, ExecConfig, ExecStats,
+    FilterScope, PathOutcome, PathSummary, Strategy, Succ,
 };
 use crate::frontier::budget::BudgetController;
 use crate::frontier::pool::{Pool, Task};
 use crate::state::SymState;
+use crate::summary::SummaryTable;
 
 use std::sync::Mutex;
 
@@ -49,6 +50,9 @@ pub(crate) struct Worker<'a> {
     pub results: Option<&'a Mutex<Vec<PositionedPath>>>,
     /// The sweep's admission controller (`None` in fork mode).
     pub budget: Option<&'a BudgetController>,
+    /// Procedure summaries for call-node dispatch (`None` on inlined
+    /// CFGs).
+    pub summaries: Option<&'a SummaryTable>,
     pub stats: ExecStats,
     pub replayed: u64,
 }
@@ -69,14 +73,6 @@ impl Worker<'_> {
             stats: self.stats,
             solver,
             replayed: self.replayed,
-        }
-    }
-
-    fn feasible(&mut self) -> bool {
-        match self.solver.check() {
-            SatResult::Sat => true,
-            SatResult::Unsat => false,
-            SatResult::Unknown => self.config.unknown_is_sat,
         }
     }
 
@@ -143,18 +139,35 @@ impl Worker<'_> {
         let mut trace = task.trace;
         let mut entered: Vec<dise_cfg::NodeId> = Vec::new();
         let mut root = task.root;
-        let mut next = Some((task.state, task.new_lit, task.forked));
+        let mut next = Some((
+            task.state,
+            task.lits,
+            task.hint,
+            task.forked,
+            task.from_call,
+        ));
 
-        while let Some((state, new_lit, forked)) = next.take() {
+        while let Some((state, lits, hint, forked, from_call)) = next.take() {
             if self.pool.truncated() {
                 break;
             }
-            if let Some(lit) = new_lit {
-                self.solver.push(lit);
-                if !self.feasible() {
-                    self.stats.infeasible += 1;
-                    break;
+            let had_lits = !lits.is_empty();
+            let result = push_succ_lits(
+                &mut self.solver,
+                lits,
+                hint.as_ref(),
+                self.config.unknown_is_sat,
+            );
+            if from_call && had_lits {
+                if result.hint_verified {
+                    self.stats.summary.hint_verified += 1;
                 }
+                self.stats.summary.fallback_checks += result.checks;
+            }
+            if !result.feasible {
+                self.stats.infeasible += 1;
+                // No pop: the next task's sync_solver rebuilds the stack.
+                break;
             }
             let filtered = match self.config.filter_scope {
                 FilterScope::AllStates => !root,
@@ -211,7 +224,13 @@ impl Worker<'_> {
             self.strategy.on_enter(state.node);
             entered.push(state.node);
 
-            let mut succs = successor_candidates(self.cfg, &state, &mut self.stats.infeasible);
+            let mut succs = successor_candidates(
+                self.cfg,
+                &state,
+                &mut self.stats.infeasible,
+                self.summaries,
+                &mut self.stats.summary,
+            );
             if succs.is_empty() {
                 break;
             }
@@ -236,8 +255,10 @@ impl Worker<'_> {
                         Task {
                             pos: child_pos,
                             state: sibling.state,
-                            new_lit: sibling.new_lit,
+                            lits: sibling.lits,
+                            hint: sibling.hint,
                             forked: sibling.forked,
+                            from_call: sibling.from_call,
                             prefix: prefix.clone(),
                             trace: trace.clone(),
                             root: false,
@@ -247,7 +268,13 @@ impl Worker<'_> {
             }
             let first = succs.pop().expect("at least one candidate");
             pos.push(0);
-            next = Some((first.state, first.new_lit, first.forked));
+            next = Some((
+                first.state,
+                first.lits,
+                first.hint,
+                first.forked,
+                first.from_call,
+            ));
         }
 
         // Unwind the strategy hooks for this spine (serial order within

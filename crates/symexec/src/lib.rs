@@ -64,6 +64,7 @@ pub mod eval;
 pub mod executor;
 pub mod frontier;
 pub mod state;
+pub mod summary;
 pub mod tree;
 
 pub use concolic::{ConcolicExecutor, ConcolicRun};
@@ -75,4 +76,7 @@ pub use executor::{
 };
 pub use frontier::{FrontierStats, SweepBudget, SweepCostModel};
 pub use state::SymState;
+pub use summary::{
+    build_summary, ProcSummary, SummaryBuildError, SummaryMode, SummaryStats, SummaryTable,
+};
 pub use tree::ExecTree;

@@ -20,6 +20,12 @@ pub struct SymState {
     pub pc: PathCondition,
     /// Number of transitions taken from the initial state.
     pub depth: u32,
+    /// An assertion failure inherited from an instantiated procedure
+    /// summary whose path ended at the callee's error node: the state
+    /// terminates as that error on entry, exactly where the inlined
+    /// exploration would have died inside the callee. `None` everywhere
+    /// else.
+    pub pending_error: Option<String>,
 }
 
 impl SymState {
@@ -30,6 +36,7 @@ impl SymState {
             env,
             pc: PathCondition::new(),
             depth: 0,
+            pending_error: None,
         }
     }
 
@@ -40,6 +47,7 @@ impl SymState {
             env: self.env.clone(),
             pc: self.pc.clone(),
             depth: self.depth + 1,
+            pending_error: None,
         }
     }
 }

@@ -186,11 +186,15 @@ fn composed_system_analyzes_only_the_impacted_chain() {
 
     // The incremental win: full symbolic execution of every procedure
     // explores strictly more states than the system DiSE run, which both
-    // skips `telemetry` and prunes within each impacted procedure.
+    // skips `telemetry` and prunes within each impacted procedure. The
+    // baseline is the classic *inlined* full run — procedure summaries
+    // are a separate optimization with their own accounting.
+    let mut inlined = DiseConfig::default();
+    inlined.exec.summaries = dise::symexec::SummaryMode::Off;
     let full_states: u64 = ["clamp", "route", "telemetry", "tick"]
         .iter()
         .map(|name| {
-            run_full_on(&modified, name, &DiseConfig::default())
+            run_full_on(&modified, name, &inlined)
                 .unwrap()
                 .stats()
                 .states_explored
