@@ -124,14 +124,7 @@ fn record_frontier_comparison() {
         frontier.shared_trie_entries,
         host_meta = dise_bench::host_metadata_json(),
     );
-    let path = match std::env::var("CARGO_MANIFEST_DIR") {
-        Ok(dir) => format!("{dir}/../../BENCH_parallel_frontier.json"),
-        Err(_) => "BENCH_parallel_frontier.json".to_string(),
-    };
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    dise_bench::write_bench_json("BENCH_parallel_frontier.json", &json);
     println!(
         "deep-prefix depth {DEPTH} ({} paths): serial {serial_ms:.1} ms, \
          jobs=2 {jobs2_ms:.1} ms, jobs=4 {jobs4_ms:.1} ms \

@@ -272,14 +272,7 @@ fn record_session_reuse() {
         rows = rows.join(",\n"),
         host = dise_bench::host_metadata_json(),
     );
-    let path = match std::env::var("CARGO_MANIFEST_DIR") {
-        Ok(dir) => format!("{dir}/../../BENCH_session_reuse.json"),
-        Err(_) => "BENCH_session_reuse.json".to_string(),
-    };
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    dise_bench::write_bench_json("BENCH_session_reuse.json", &json);
     println!(
         "session reuse: check reductions {min_reduction:.1}x..{max_reduction:.1}x \
          (>=3x everywhere: {all_meet_3x}); outputs identical: {all_identical}; \

@@ -226,14 +226,7 @@ fn record_incremental_comparison() {
         stats.fallback_checks,
         host = dise_bench::host_metadata_json(),
     );
-    let path = match std::env::var("CARGO_MANIFEST_DIR") {
-        Ok(dir) => format!("{dir}/../../BENCH_solver_incremental.json"),
-        Err(_) => "BENCH_solver_incremental.json".to_string(),
-    };
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    dise_bench::write_bench_json("BENCH_solver_incremental.json", &json);
     println!(
         "deep-prefix depth {DEPTH}: monolithic {monolithic_ns} ns/walk, \
          incremental {incremental_ns} ns/walk (cold, {speedup:.1}x), \

@@ -218,14 +218,7 @@ fn record_store_warm_comparison() {
         rows = rows.join(",\n"),
         host = dise_bench::host_metadata_json(),
     );
-    let path = match std::env::var("CARGO_MANIFEST_DIR") {
-        Ok(dir) => format!("{dir}/../../BENCH_store_warm.json"),
-        Err(_) => "BENCH_store_warm.json".to_string(),
-    };
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    dise_bench::write_bench_json("BENCH_store_warm.json", &json);
     println!(
         "store warm-start: strictly fewer solver calls everywhere: {all_strictly_fewer}; \
          reductions {min_reduction:.1}x..{max_reduction:.1}x; deterministic: {all_deterministic}"

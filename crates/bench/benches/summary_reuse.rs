@@ -247,14 +247,7 @@ fn record_summary_reuse() {
          translated witnesses — zero pipeline checks\"\n}}\n",
         host = dise_bench::host_metadata_json(),
     );
-    let path = match std::env::var("CARGO_MANIFEST_DIR") {
-        Ok(dir) => format!("{dir}/../../BENCH_summary_reuse.json"),
-        Err(_) => "BENCH_summary_reuse.json".to_string(),
-    };
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    dise_bench::write_bench_json("BENCH_summary_reuse.json", &json);
     assert!(
         meets_bar,
         "summary reuse must beat inlined exploration >= 3x on pipeline solver checks \

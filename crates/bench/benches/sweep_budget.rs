@@ -207,14 +207,7 @@ fn record_budget_comparison() {
         rows.join(",\n"),
         host = dise_bench::host_metadata_json(),
     );
-    let path = match std::env::var("CARGO_MANIFEST_DIR") {
-        Ok(dir) => format!("{dir}/../../BENCH_sweep_budget.json"),
-        Err(_) => "BENCH_sweep_budget.json".to_string(),
-    };
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    dise_bench::write_bench_json("BENCH_sweep_budget.json", &json);
     println!(
         "sweep budgeting: budgeted <= unbudgeted solves everywhere: {all_bounded}; \
          OAE min reduction {oae_min_reduction:.2}x; deterministic: {all_deterministic}"

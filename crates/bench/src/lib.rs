@@ -1,26 +1,35 @@
 //! Shared helpers for the `dise-bench` binaries and bench targets.
 //!
-//! Today this is the host-metadata fragment every `BENCH_*.json` emitter
-//! embeds: benchmark numbers recorded on a single-core container and on
-//! a 16-core workstation are not comparable, and the difference used to
-//! live in prose notes only. Machine-readable metadata lets downstream
-//! tooling (and the ROADMAP's multicore item) filter by environment
-//! instead of relying on tribal knowledge.
+//! Two pieces every `BENCH_*.json` emitter used to duplicate:
+//!
+//! * the host-metadata fragment — benchmark numbers recorded on a
+//!   single-core container and on a 16-core workstation are not
+//!   comparable, and the difference used to live in prose notes only;
+//!   machine-readable metadata lets downstream tooling (and the
+//!   ROADMAP's multicore item) filter by environment instead of relying
+//!   on tribal knowledge;
+//! * the emission path itself ([`write_bench_json`]) — resolve the
+//!   workspace root from `CARGO_MANIFEST_DIR`, write the file, report
+//!   the outcome.
 
 /// Version of the `host` metadata block's own schema (bump when fields
 /// change meaning, independently of each benchmark's payload).
-pub const BENCH_METADATA_VERSION: u32 = 1;
+/// Version 2 added `trace_schema_version`.
+pub const BENCH_METADATA_VERSION: u32 = 2;
 
 /// The `"host": {...}` JSON fragment recorded by every `BENCH_*.json`
 /// emitter: logical core count, the `DISE_JOBS` environment setting the
-/// run saw (`"unset"` when absent), and the metadata schema version.
+/// run saw (`"unset"` when absent), the metadata schema version, and the
+/// trace-event schema version the toolchain speaks (so a bench payload
+/// can be correlated with `--trace-json` logs from the same checkout).
 ///
 /// # Examples
 ///
 /// ```
 /// let host = dise_bench::host_metadata_json();
 /// assert!(host.starts_with("\"host\": {\"logical_cores\":"));
-/// assert!(host.contains("\"bench_metadata_version\": 1"));
+/// assert!(host.contains("\"bench_metadata_version\": 2"));
+/// assert!(host.contains("\"trace_schema_version\": 1"));
 /// ```
 pub fn host_metadata_json() -> String {
     let cores = std::thread::available_parallelism()
@@ -29,8 +38,25 @@ pub fn host_metadata_json() -> String {
     let jobs = std::env::var("DISE_JOBS").unwrap_or_else(|_| "unset".to_string());
     format!(
         "\"host\": {{\"logical_cores\": {cores}, \"dise_jobs\": \"{jobs}\", \
-         \"bench_metadata_version\": {BENCH_METADATA_VERSION}}}"
+         \"bench_metadata_version\": {BENCH_METADATA_VERSION}, \
+         \"trace_schema_version\": {}}}",
+        dise_trace::TRACE_SCHEMA_VERSION
     )
+}
+
+/// Writes a benchmark's JSON payload to `file_name` at the workspace
+/// root (falling back to the current directory outside cargo) and
+/// reports the outcome on stdout/stderr — the shared tail of every
+/// `BENCH_*.json` emitter.
+pub fn write_bench_json(file_name: &str, json: &str) {
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => format!("{dir}/../../{file_name}"),
+        Err(_) => file_name.to_string(),
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -49,5 +75,21 @@ mod tests {
             .and_then(|n| n.trim().parse().ok())
             .expect("parsable core count");
         assert!(cores >= 1);
+    }
+
+    #[test]
+    fn metadata_fragment_is_valid_json() {
+        // The fragment is an object member; wrap it to parse it.
+        let doc = format!("{{{}}}", host_metadata_json());
+        let parsed = dise_trace::json::parse(&doc).expect("host fragment parses");
+        let host = parsed.get("host").expect("host key");
+        assert_eq!(
+            host.get("trace_schema_version").and_then(|v| v.as_u64()),
+            Some(u64::from(dise_trace::TRACE_SCHEMA_VERSION))
+        );
+        assert_eq!(
+            host.get("bench_metadata_version").and_then(|v| v.as_u64()),
+            Some(u64::from(BENCH_METADATA_VERSION))
+        );
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! dise run <v1.mj> <v2.mj> [<v3.mj> …] <proc> [--full] [--trace] [--simplify]
 //!          [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N]
-//!          [--summaries on|off|auto] [--store DIR]
+//!          [--summaries on|off|auto] [--store DIR] [--stats json|text]
+//!          [--trace-json FILE] [--trace-chrome FILE]
 //!     Diff consecutive program versions and report the affected path
 //!     conditions of each hop. With two files this is the classic single
 //!     run; with more, the hops chain through one analysis session per
@@ -39,6 +40,30 @@
 //!                      and records this run's state back. Output is
 //!                      byte-identical to a cold run; a damaged store
 //!                      degrades to cold with a one-line warning
+//!     --stats json|text stats output format (default `text`): `text`
+//!                      prints the classic `solver:`/`stages:`/`sweep:`/
+//!                      `store:` lines, `json` replaces every stats line
+//!                      with machine-readable metrics-registry dumps (one
+//!                      JSON object per line — strip with `grep -v '^{'`
+//!                      to byte-diff the analysis verdict). Both formats
+//!                      read the same registry
+//!     --trace-json FILE  write the run's structured trace — spans,
+//!                      warnings, and registry dumps, one versioned JSON
+//!                      object per line — to FILE (validate with
+//!                      `dise trace validate FILE`)
+//!     --trace-chrome FILE  write the run's spans as a Chrome
+//!                      `trace_event` document loadable in
+//!                      `chrome://tracing` or Perfetto
+//!
+//! dise profile <base.mj> <modified.mj> <proc> [--full]
+//!     Run the pipeline with tracing enabled and print the hierarchical
+//!     span tree — per-stage wall clock with solver-call and cache-hit
+//!     attribution — plus how many pipeline solver checks the named
+//!     stages account for. --full also profiles the full exploration
+//!     (summary builds included).
+//!
+//! dise trace validate <FILE>
+//!     Check a `--trace-json` log against the trace-event schema.
 //!
 //! dise evolve <base.mj> <modified.mj> <proc>
 //!     All four evolution applications — witness generation, differential
@@ -82,8 +107,10 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use dise_core::dise::DiseConfig;
+use dise_core::metrics::{exec_registry, result_registry};
 use dise_core::report::{
     duration_mmss, solver_stats_line, stage_stats_line, store_stats_line, summary_stats_line,
     sweep_stats_line,
@@ -91,6 +118,13 @@ use dise_core::report::{
 use dise_core::session::AnalysisSession;
 use dise_core::DataflowPrecision;
 use dise_ir::Program;
+use dise_trace::{stats_record, MetricsRegistry, Stability, TraceHandle, Tracer};
+
+/// The one warning channel: every CLI warning goes to stderr with the
+/// same prefix, so stdout stays byte-diffable.
+fn warn(message: &str) {
+    eprintln!("warning: {message}");
+}
 
 fn main() -> ExitCode {
     match dispatch(std::env::args().skip(1).collect()) {
@@ -114,6 +148,8 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
     }
     match positional.first().copied() {
         Some("run") => run_command(&args),
+        Some("profile") => profile_command(&positional[1..], &flags),
+        Some("trace") => trace_command(&positional[1..]),
         Some("evolve") => evolve_command(&positional[1..], &flags),
         Some("store") => store_command(&positional[1..]),
         Some("tests") => tests_command(&positional[1..]),
@@ -129,7 +165,9 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage:
-  dise run <v1.mj> <v2.mj> [<v3.mj> ...] <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N] [--summaries on|off|auto] [--store DIR]
+  dise run <v1.mj> <v2.mj> [<v3.mj> ...] <proc> [--full] [--trace] [--simplify] [--reaching-defs] [--jobs N] [--sweep-budget auto|unlimited|N] [--summaries on|off|auto] [--store DIR] [--stats json|text] [--trace-json FILE] [--trace-chrome FILE]
+  dise profile <base.mj> <modified.mj> <proc> [--full]
+  dise trace validate <FILE>
   dise evolve <base.mj> <modified.mj> <proc>
   dise store stat|clear [DIR]
   dise tests <base.mj> <modified.mj> <proc>
@@ -164,6 +202,15 @@ fn parse_summaries_value(value: &str) -> Result<dise_symexec::SummaryMode, Strin
         .ok_or_else(|| "--summaries expects `on`, `off`, or `auto`".to_string())
 }
 
+/// `--stats json|text` → whether stats go out as registry dumps.
+fn parse_stats_value(value: &str) -> Result<bool, String> {
+    match value {
+        "json" => Ok(true),
+        "text" => Ok(false),
+        _ => Err("--stats expects `json` or `text`".to_string()),
+    }
+}
+
 /// `run` parses its own arguments: `--jobs` and `--sweep-budget` take a
 /// value (`--jobs N` or `--jobs=N`), so the generic flag/positional split
 /// of [`dispatch`] would misfile the value as a positional; unknown flags
@@ -176,6 +223,9 @@ fn run_command(args: &[String]) -> Result<(), String> {
     let mut store: Option<std::path::PathBuf> = std::env::var_os("DISE_STORE")
         .filter(|v| !v.is_empty())
         .map(std::path::PathBuf::from);
+    let mut stats_json = false;
+    let mut trace_json: Option<std::path::PathBuf> = None;
+    let mut trace_chrome: Option<std::path::PathBuf> = None;
     let mut flags: Vec<&str> = Vec::new();
     let mut positional: Vec<&str> = Vec::new();
     let mut seen_command = false;
@@ -209,6 +259,27 @@ fn run_command(args: &[String]) -> Result<(), String> {
                 .next()
                 .ok_or_else(|| "--store expects a directory path".to_string())?;
             store = Some(std::path::PathBuf::from(value));
+        } else if let Some(value) = arg.strip_prefix("--stats=") {
+            stats_json = parse_stats_value(value)?;
+        } else if arg == "--stats" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--stats expects `json` or `text`".to_string())?;
+            stats_json = parse_stats_value(value)?;
+        } else if let Some(value) = arg.strip_prefix("--trace-json=") {
+            trace_json = Some(std::path::PathBuf::from(value));
+        } else if arg == "--trace-json" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--trace-json expects an output file path".to_string())?;
+            trace_json = Some(std::path::PathBuf::from(value));
+        } else if let Some(value) = arg.strip_prefix("--trace-chrome=") {
+            trace_chrome = Some(std::path::PathBuf::from(value));
+        } else if arg == "--trace-chrome" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--trace-chrome expects an output file path".to_string())?;
+            trace_chrome = Some(std::path::PathBuf::from(value));
         } else if arg.starts_with("--") {
             if !KNOWN_FLAGS.contains(&arg.as_str()) {
                 return Err(format!("unknown flag `{arg}` for `run`\n{USAGE}"));
@@ -232,11 +303,17 @@ fn run_command(args: &[String]) -> Result<(), String> {
         .iter()
         .map(|path| load(path))
         .collect::<Result<_, _>>()?;
+    let tracer = if trace_json.is_some() || trace_chrome.is_some() {
+        Some(Arc::new(Tracer::new()))
+    } else {
+        None
+    };
     let config = DiseConfig {
         exec: dise_symexec::ExecConfig {
             jobs,
             sweep_budget,
             summaries,
+            tracer: tracer.as_ref().map(|t| TraceHandle::new(t.clone())),
             ..Default::default()
         },
         precision: if flags.contains(&"--reaching-defs") {
@@ -254,6 +331,7 @@ fn run_command(args: &[String]) -> Result<(), String> {
     let mut session = AnalysisSession::open(&versions[0], &versions[1], proc_name, config)
         .map_err(|e| e.to_string())?;
     let hops = versions.len() - 1;
+    let mut scopes: Vec<(String, MetricsRegistry)> = Vec::new();
     for hop in 0..hops {
         if hops > 1 {
             if hop > 0 {
@@ -265,11 +343,28 @@ fn run_command(args: &[String]) -> Result<(), String> {
                 version_paths[hop + 1]
             );
         }
-        print_hop(&mut session, flags)?;
+        let scope_prefix = if hops > 1 {
+            format!("hop{}.", hop + 1)
+        } else {
+            String::new()
+        };
+        print_hop(&mut session, flags, stats_json, &scope_prefix, &mut scopes)?;
         if hop + 2 <= hops {
             session = session
                 .advance(&versions[hop + 2])
                 .map_err(|e| e.to_string())?;
+        }
+    }
+    if let Some(tracer) = &tracer {
+        let events = tracer.events();
+        if let Some(path) = &trace_json {
+            let log = dise_trace::event_log(&events, &scopes, &format!("dise run {proc_name}"));
+            std::fs::write(path, log)
+                .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        }
+        if let Some(path) = &trace_chrome {
+            std::fs::write(path, dise_trace::chrome_trace(&events))
+                .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
         }
     }
     Ok(())
@@ -277,9 +372,18 @@ fn run_command(args: &[String]) -> Result<(), String> {
 
 /// Runs one session hop to completion and prints the standard `run`
 /// report — the single invocation/report path every `run`-shaped command
-/// shares.
-fn print_hop(session: &mut AnalysisSession, flags: &[&str]) -> Result<(), String> {
-    let result = session.result().map_err(|e| e.to_string())?;
+/// shares. Every stats line is derived from the hop's metrics registry;
+/// `stats_json` swaps the human-readable lines for the registry dump
+/// itself (one JSON object per line). The registries are appended to
+/// `scopes` for the trace exporters.
+fn print_hop(
+    session: &mut AnalysisSession,
+    flags: &[&str],
+    stats_json: bool,
+    scope_prefix: &str,
+    scopes: &mut Vec<(String, MetricsRegistry)>,
+) -> Result<(), String> {
+    let mut result = session.result().map_err(|e| e.to_string())?;
     if flags.contains(&"--full") {
         // Run (and cache) the full exploration before finalizing so the
         // summaries it built reach the store entry; printed further down.
@@ -287,29 +391,43 @@ fn print_hop(session: &mut AnalysisSession, flags: &[&str]) -> Result<(), String
     }
     let status = session.finalize().cloned();
     if let Some(warning) = status.as_ref().and_then(|s| s.warning.as_ref()) {
-        eprintln!("warning: {warning}");
+        warn(warning);
     }
-    println!(
-        "changed CFG nodes: {}   affected CFG nodes: {}",
-        result.changed_nodes, result.affected_nodes
-    );
-    println!(
-        "DiSE: {} affected path conditions, {} states, {}",
-        result.summary.pc_count(),
-        result.summary.stats().states_explored,
-        duration_mmss(result.total_time)
-    );
-    println!(
-        "solver: {}",
-        solver_stats_line(&result.summary.stats().solver)
-    );
-    println!("stages: {}", stage_stats_line(&result.stages));
-    if let Some(line) = sweep_stats_line(&result.summary.stats().frontier) {
-        println!("sweep: {line}");
+    // The result was computed before finalize ran; fold the final store
+    // status (save outcome included) into it so the registry sees it.
+    result.store = status;
+    let registry = result_registry(&result);
+    let dise_scope = format!("{scope_prefix}dise");
+    if stats_json {
+        println!(
+            "{}",
+            stats_record(&dise_scope, Stability::Stable, &registry)
+        );
+        println!(
+            "{}",
+            stats_record(&dise_scope, Stability::Volatile, &registry)
+        );
+    } else {
+        println!(
+            "changed CFG nodes: {}   affected CFG nodes: {}",
+            result.changed_nodes, result.affected_nodes
+        );
+        println!(
+            "DiSE: {} affected path conditions, {} states, {}",
+            result.summary.pc_count(),
+            result.summary.stats().states_explored,
+            duration_mmss(result.total_time)
+        );
+        println!("solver: {}", solver_stats_line(&registry));
+        println!("stages: {}", stage_stats_line(&registry));
+        if let Some(line) = sweep_stats_line(&registry) {
+            println!("sweep: {line}");
+        }
+        if let Some(line) = store_stats_line(&registry) {
+            println!("store: {line}");
+        }
     }
-    if let Some(status) = &status {
-        println!("store: {}", store_stats_line(status));
-    }
+    scopes.push((dise_scope, registry));
     if flags.contains(&"--simplify") {
         for pc in dise_solver::simplify::simplify_pc_strings(result.summary.path_conditions()) {
             println!("  {pc}");
@@ -330,6 +448,12 @@ fn print_hop(session: &mut AnalysisSession, flags: &[&str]) -> Result<(), String
     }
     if flags.contains(&"--full") {
         let full = session.modified_full().map_err(|e| e.to_string())?;
+        let mut full_registry = exec_registry(full.stats());
+        full_registry.set_counter(
+            "pipeline.pc_count",
+            full.pc_count() as u64,
+            Stability::Stable,
+        );
         // Path conditions are the mode-independent verdict (CI diffs them
         // byte-for-byte across --summaries on/off); states and solver
         // work legitimately differ by mode and go on filterable lines.
@@ -337,19 +461,110 @@ fn print_hop(session: &mut AnalysisSession, flags: &[&str]) -> Result<(), String
             "\nfull symbolic execution: {} path conditions",
             full.pc_count()
         );
-        println!(
-            "full stats: {} states, {}",
-            full.stats().states_explored,
-            duration_mmss(full.stats().elapsed)
-        );
-        println!("solver: {}", solver_stats_line(&full.stats().solver));
-        if let Some(line) = summary_stats_line(full.stats()) {
-            println!("summaries: {line}");
+        let full_scope = format!("{scope_prefix}full");
+        if stats_json {
+            println!(
+                "{}",
+                stats_record(&full_scope, Stability::Stable, &full_registry)
+            );
+            println!(
+                "{}",
+                stats_record(&full_scope, Stability::Volatile, &full_registry)
+            );
+        } else {
+            println!(
+                "full stats: {} states, {}",
+                full.stats().states_explored,
+                duration_mmss(full.stats().elapsed)
+            );
+            println!("solver: {}", solver_stats_line(&full_registry));
+            if let Some(line) = summary_stats_line(&full_registry) {
+                println!("summaries: {line}");
+            }
         }
         for pc in full.path_conditions() {
             println!("  {pc}");
         }
+        scopes.push((full_scope, full_registry));
     }
+    Ok(())
+}
+
+/// `dise profile` — run the pipeline with tracing on and print the
+/// hierarchical span tree, then account for how many pipeline solver
+/// checks (incremental + monolithic fallback decisions) landed inside a
+/// named stage span.
+fn profile_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
+    for flag in flags {
+        if *flag != "--full" {
+            return Err(format!("unknown flag `{flag}` for `profile`\n{USAGE}"));
+        }
+    }
+    let [base_path, mod_path, proc_name] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let base = load(base_path)?;
+    let modified = load(mod_path)?;
+    let tracer = Arc::new(Tracer::new());
+    let mut config = DiseConfig::default();
+    config.exec.tracer = Some(TraceHandle::new(tracer.clone()));
+    let mut session =
+        AnalysisSession::open(&base, &modified, proc_name, config).map_err(|e| e.to_string())?;
+    let result = session.result().map_err(|e| e.to_string())?;
+    let mut total = result.summary.stats().solver.pipeline_checks();
+    if flags.contains(&"--full") {
+        let full = session.modified_full().map_err(|e| e.to_string())?;
+        total += full.stats().solver.pipeline_checks();
+    }
+    session.finalize();
+    let events = tracer.events();
+    print!("{}", dise_trace::render_profile(&events));
+    // Stage spans carry their exploration's pipeline-check counter;
+    // summary builds are excluded here because their solver work is not
+    // part of the pipeline totals above.
+    let attributed: u64 = events
+        .iter()
+        .filter_map(|event| match event {
+            dise_trace::TraceEvent::Span(span)
+                if matches!(
+                    span.name.as_str(),
+                    "stage.explore" | "stage.full_base" | "stage.full_modified"
+                ) =>
+            {
+                Some(span)
+            }
+            _ => None,
+        })
+        .flat_map(|span| &span.counters)
+        .filter(|(name, _)| name == "solver.pipeline_checks")
+        .map(|(_, value)| value)
+        .sum();
+    let share = if total == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", attributed as f64 / total as f64 * 100.0)
+    };
+    println!(
+        "attribution: {attributed} of {total} pipeline solver checks attributed to stage spans ({share})"
+    );
+    Ok(())
+}
+
+/// `dise trace validate FILE` — check a `--trace-json` log against the
+/// trace-event schema.
+fn trace_command(positional: &[&str]) -> Result<(), String> {
+    let ["validate", path] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let summary = dise_trace::validate_log(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid trace log (schema {}, {} span(s), {} warning(s), {} stats record(s))",
+        dise_trace::TRACE_SCHEMA_VERSION,
+        summary.spans,
+        summary.warnings,
+        summary.stats_records
+    );
     Ok(())
 }
 
@@ -467,7 +682,10 @@ fn store_command(positional: &[&str]) -> Result<(), String> {
                             bytes,
                         )
                     }
-                    Err(e) => println!("  {file}: unreadable ({e})"),
+                    // A damaged entry is a warning about the store, not
+                    // part of its listing — stderr, like every other
+                    // degradation warning.
+                    Err(e) => warn(&format!("{file}: unreadable ({e})")),
                 }
             }
             Ok(())

@@ -586,3 +586,188 @@ fn dise_store_env_var_enables_persistence() {
         .count();
     assert_eq!(entries, 1);
 }
+
+#[test]
+fn run_stats_json_replaces_stats_lines_with_registry_dumps() {
+    let fx = fixture();
+    let out = dise(&[
+        "run",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--full",
+        "--stats",
+        "json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // No prose stats lines in json mode — only registry dumps plus the
+    // verdict lines (path conditions, section headers).
+    for prose in ["DiSE:", "solver:", "stages:", "full stats:"] {
+        assert!(!text.contains(prose), "{text}");
+    }
+    let dumps: Vec<&str> = text.lines().filter(|l| l.starts_with('{')).collect();
+    // dise stable + volatile, full stable + volatile.
+    assert_eq!(dumps.len(), 4, "{text}");
+    for dump in &dumps {
+        assert!(dump.contains(r#""type":"stats""#), "{dump}");
+        assert!(dump.contains(r#""schema":1"#), "{dump}");
+    }
+    assert!(dumps[0].contains(r#""scope":"dise""#), "{}", dumps[0]);
+    assert!(dumps[0].contains(r#""kind":"stable""#), "{}", dumps[0]);
+    assert!(dumps[2].contains(r#""scope":"full""#), "{}", dumps[2]);
+    // Path conditions still print for byte-diffing.
+    assert!(text.contains("X >= 0"), "{text}");
+    // The stable dump is byte-identical across jobs settings — the CI
+    // byte-diff leg's contract.
+    let stable = |out: &Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| l.contains(r#""kind":"stable""#))
+            .map(str::to_owned)
+            .collect()
+    };
+    let parallel = dise(&[
+        "run",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--full",
+        "--stats=json",
+        "--jobs=4",
+    ]);
+    assert!(parallel.status.success(), "{}", stderr(&parallel));
+    assert_eq!(stable(&out), stable(&parallel));
+}
+
+#[test]
+fn run_rejects_a_bad_stats_value() {
+    let fx = fixture();
+    let out = dise(&[
+        "run",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--stats",
+        "yaml",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--stats"), "{}", stderr(&out));
+}
+
+#[test]
+fn trace_json_export_validates_and_chrome_export_is_json() {
+    let fx = fixture();
+    let dir = tempdir::TempDir::new("dise-cli-trace").expect("temp dir");
+    let trace_path = dir.path().join("trace.jsonl");
+    let chrome_path = dir.path().join("chrome.json");
+    let out = dise(&[
+        "run",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--trace-json",
+        trace_path.to_str().unwrap(),
+        "--trace-chrome",
+        chrome_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let log = std::fs::read_to_string(&trace_path).expect("trace log written");
+    assert!(log.lines().next().unwrap().contains(r#""type":"meta""#));
+    assert!(log.contains(r#""name":"stage.explore""#), "{log}");
+    // Every line is one JSON object; `dise trace validate` agrees.
+    let validated = dise(&["trace", "validate", trace_path.to_str().unwrap()]);
+    assert!(validated.status.success(), "{}", stderr(&validated));
+    assert!(
+        stdout(&validated).contains("valid trace log"),
+        "{}",
+        stdout(&validated)
+    );
+
+    let chrome = std::fs::read_to_string(&chrome_path).expect("chrome trace written");
+    assert!(chrome.trim_start().starts_with('['), "{chrome}");
+    assert!(chrome.contains(r#""ph":"X""#), "{chrome}");
+}
+
+#[test]
+fn trace_validate_rejects_damaged_logs() {
+    let dir = tempdir::TempDir::new("dise-cli-trace-bad").expect("temp dir");
+    let path = dir.path().join("bad.jsonl");
+    std::fs::write(&path, "{\"type\":\"span\"}\n").unwrap();
+    let out = dise(&["trace", "validate", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad.jsonl"), "{}", stderr(&out));
+}
+
+#[test]
+fn profile_prints_the_span_tree_and_full_attribution() {
+    let fx = fixture();
+    let out = dise(&[
+        "profile",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("session"), "{text}");
+    for stage in [
+        "stage.flatten",
+        "stage.diff",
+        "stage.affected",
+        "stage.explore",
+    ] {
+        assert!(text.contains(&format!("  {stage}")), "{text}");
+    }
+    // Our instrumentation attributes every pipeline check to a stage.
+    assert!(text.contains("(100.0%)"), "{text}");
+
+    // --full adds the full-exploration span to the tree.
+    let full = dise(&[
+        "profile",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--full",
+    ]);
+    assert!(full.status.success(), "{}", stderr(&full));
+    let text = stdout(&full);
+    assert!(text.contains("stage.full_modified"), "{text}");
+    assert!(text.contains("(100.0%)"), "{text}");
+}
+
+#[test]
+fn store_stat_reports_unreadable_entries_on_stderr() {
+    let fx = fixture();
+    let store_dir = tempdir::TempDir::new("dise-cli-store-stat-warn").expect("temp dir");
+    let store = store_dir.path().to_str().unwrap();
+    let seeded = dise(&[
+        "run",
+        fx.base.to_str().unwrap(),
+        fx.modified.to_str().unwrap(),
+        "f",
+        "--store",
+        store,
+    ]);
+    assert!(seeded.status.success(), "{}", stderr(&seeded));
+    // Truncate the entry so `store stat` cannot read it.
+    let entry = std::fs::read_dir(store_dir.path())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().and_then(|e| e.to_str()) == Some("dise"))
+        .expect("entry file exists");
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+
+    let stat = dise(&["store", "stat", store]);
+    assert!(stat.status.success(), "{}", stderr(&stat));
+    // The listing itself stays on stdout; the damage report is a warning
+    // on stderr, keeping stdout machine-readable.
+    assert!(!stdout(&stat).contains("unreadable"), "{}", stdout(&stat));
+    assert!(
+        stderr(&stat).contains("warning:") && stderr(&stat).contains("unreadable"),
+        "{}",
+        stderr(&stat)
+    );
+}

@@ -31,8 +31,11 @@
 //!   hops and store round-trips;
 //! * [`theorem`] — an executable check of Theorem 3.10 used by the test
 //!   suites;
+//! * [`metrics`] — registry builders projecting every stats struct onto
+//!   the typed `dise-trace` metrics registry (one source of truth for
+//!   the CLI lines, `--stats json`, and the exporters);
 //! * [`report`] — plain-text table rendering shared with the benchmark
-//!   harness.
+//!   harness, plus the registry-derived one-line stats renderers.
 //!
 //! # Examples
 //!
@@ -58,6 +61,7 @@ pub mod affected;
 pub mod directed;
 pub mod dise;
 pub mod interproc;
+pub mod metrics;
 pub mod removed;
 pub mod report;
 pub mod session;

@@ -5,8 +5,7 @@
 use std::collections::BTreeSet;
 
 use dise_cfg::NodeId;
-use dise_solver::SolverStats;
-use dise_symexec::{ExecStats, FrontierStats};
+use dise_trace::MetricsRegistry;
 
 /// A simple fixed-width text table: header row, separator, data rows.
 #[derive(Debug, Clone)]
@@ -111,24 +110,30 @@ pub fn duration_mmss(d: std::time::Duration) -> String {
 
 /// One-line summary of solver activity for the CLI: total checks, how many
 /// were answered incrementally vs. by monolithic fallback, and the
-/// combined cache/prefix hit rate.
-pub fn solver_stats_line(stats: &SolverStats) -> String {
-    let hit_rate = match stats.hit_rate() {
-        Some(rate) => format!("{:.0}%", rate * 100.0),
-        None => "n/a".to_string(),
+/// combined cache/prefix hit rate. Reads the `solver.*` metrics of a
+/// registry built by [`crate::metrics::exec_registry`].
+pub fn solver_stats_line(reg: &MetricsRegistry) -> String {
+    let checks = reg.counter("solver.checks");
+    let hits = reg.counter("solver.cache_hits")
+        + reg.counter("solver.prefix_cache_hits")
+        + reg.counter("solver.prefix_unsat_kills");
+    let hit_rate = if checks == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.0}%", hits as f64 / checks as f64 * 100.0)
     };
     format!(
         "{} checks ({} incremental, {} fallback, {} model-reuse), \
          {} cache hits, {} prefix-trie hits, {} shared-trie hits, \
          {} unsat-prefix kills, hit rate {}",
-        stats.checks,
-        stats.incremental_checks,
-        stats.fallback_checks,
-        stats.model_reuse_hits,
-        stats.cache_hits,
-        stats.prefix_cache_hits,
-        stats.shared_trie_hits,
-        stats.prefix_unsat_kills,
+        checks,
+        reg.counter("solver.incremental_checks"),
+        reg.counter("solver.fallback_checks"),
+        reg.counter("solver.model_reuse_hits"),
+        reg.counter("solver.cache_hits"),
+        reg.counter("solver.prefix_cache_hits"),
+        reg.counter("solver.shared_trie_hits"),
+        reg.counter("solver.prefix_unsat_kills"),
         hit_rate,
     )
 }
@@ -138,17 +143,20 @@ pub fn solver_stats_line(stats: &SolverStats) -> String {
 /// many trie answers the authoritative pass actually consumed — sweep
 /// efficiency at a glance, without running the benchmark. Returns `None`
 /// when no speculative sweep ran (serial runs, fork-mode strategies, or a
-/// zero budget).
-pub fn sweep_stats_line(frontier: &FrontierStats) -> Option<String> {
-    if frontier.speculative_states == 0 && frontier.sweep_budget == 0 {
+/// zero budget). Reads the `frontier.*` metrics of a registry built by
+/// [`crate::metrics::exec_registry`].
+pub fn sweep_stats_line(reg: &MetricsRegistry) -> Option<String> {
+    let speculative_states = reg.counter("frontier.speculative_states");
+    let sweep_budget = reg.counter("frontier.sweep_budget");
+    if speculative_states == 0 && sweep_budget == 0 {
         return None;
     }
-    let budget = if frontier.sweep_budget == u64::MAX {
+    let budget = if sweep_budget == u64::MAX {
         "unlimited".to_string()
     } else {
-        frontier.sweep_budget.to_string()
+        sweep_budget.to_string()
     };
-    let exhausted = if frontier.sweep_exhausted {
+    let exhausted = if reg.flag("frontier.sweep_exhausted") {
         ", exhausted"
     } else {
         ""
@@ -156,7 +164,9 @@ pub fn sweep_stats_line(frontier: &FrontierStats) -> Option<String> {
     Some(format!(
         "{} speculative states, {} solves (budget {budget}{exhausted}); \
          {} trie answers consumed by the directed pass",
-        frontier.speculative_states, frontier.speculative_solves, frontier.trie_answers_consumed,
+        speculative_states,
+        reg.counter("frontier.speculative_solves"),
+        reg.counter("frontier.trie_answers_consumed"),
     ))
 }
 
@@ -166,73 +176,79 @@ pub fn sweep_stats_line(frontier: &FrontierStats) -> Option<String> {
 /// decision pipeline (and the solver's matching `assumed-sat` count),
 /// and the pipeline checks the fallbacks cost. Returns `None` when the
 /// run used no summaries (inlined mode, or a call-free procedure).
-pub fn summary_stats_line(stats: &ExecStats) -> Option<String> {
-    let s = &stats.summary;
-    if s.call_sites == 0 {
+/// Reads the `summary.*` and `solver.*` metrics of a registry built by
+/// [`crate::metrics::exec_registry`].
+pub fn summary_stats_line(reg: &MetricsRegistry) -> Option<String> {
+    let call_sites = reg.counter("summary.call_sites");
+    if call_sites == 0 {
         return None;
     }
     Some(format!(
         "{} call sites, {} paths instantiated, {} witness-verified \
          ({} assumed sat), {} fallback pipeline checks",
-        s.call_sites,
-        s.paths_instantiated,
-        s.hint_verified,
-        stats.solver.assumed_sat,
-        s.fallback_checks,
+        call_sites,
+        reg.counter("summary.paths_instantiated"),
+        reg.counter("summary.hint_verified"),
+        reg.counter("solver.assumed_sat"),
+        reg.counter("summary.fallback_checks"),
     ))
 }
 
 /// One-line per-stage timing breakdown for the CLI's `stages:` line —
 /// flatten / diff / affected / explore in milliseconds, so stage reuse
 /// (a ~0 ms entry on the second consumer of a session) is visible
-/// without running the benchmark.
-pub fn stage_stats_line(stages: &crate::session::StageTimings) -> String {
-    let ms = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1000.0);
+/// without running the benchmark. Reads the `stage.*_ns` metrics of a
+/// registry built by [`crate::metrics::stage_registry`].
+pub fn stage_stats_line(reg: &MetricsRegistry) -> String {
+    let ms = |name: &str| format!("{:.1}", reg.counter(name) as f64 / 1e6);
     format!(
         "flatten {} ms, diff {} ms, affected {} ms, explore {} ms",
-        ms(stages.flatten),
-        ms(stages.diff),
-        ms(stages.affected),
-        ms(stages.explore),
+        ms("stage.flatten_ns"),
+        ms("stage.diff_ns"),
+        ms("stage.affected_ns"),
+        ms("stage.explore_ns"),
     )
 }
 
 /// One-line summary of persistent-store activity for the CLI: what was
 /// restored, what was reused, whether the run was recorded back, and any
-/// degradation warning (shown separately on stderr by the CLI).
-pub fn store_stats_line(status: &crate::dise::StoreStatus) -> String {
+/// degradation warning (shown separately on stderr by the CLI). Reads
+/// the `store.*` metrics of a registry built by
+/// [`crate::metrics::store_registry`]; returns `None` when the registry
+/// carries no store activity (no store was configured).
+pub fn store_stats_line(reg: &MetricsRegistry) -> Option<String> {
+    if !reg.flag("store.configured") {
+        return None;
+    }
     let mut parts = Vec::new();
-    if status.warm_trie_entries > 0 {
+    let warm_trie_entries = reg.counter("store.warm_trie_entries");
+    if warm_trie_entries > 0 {
         parts.push(format!(
-            "warm start ({} trie prefixes restored)",
-            status.warm_trie_entries
+            "warm start ({warm_trie_entries} trie prefixes restored)"
         ));
     } else {
         parts.push("cold start".to_string());
     }
-    if status.affected_reused {
+    if reg.flag("store.affected_reused") {
         parts.push("affected sets reused".to_string());
     }
-    if status.feedback_reused {
+    if reg.flag("store.feedback_reused") {
         parts.push("sweep feedback reused".to_string());
     }
-    if status.summaries_reused > 0 {
+    let summaries_reused = reg.counter("store.summaries_reused");
+    if summaries_reused > 0 {
         parts.push(format!(
             "{} procedure summar{} reused",
-            status.summaries_reused,
-            if status.summaries_reused == 1 {
-                "y"
-            } else {
-                "ies"
-            }
+            summaries_reused,
+            if summaries_reused == 1 { "y" } else { "ies" }
         ));
     }
-    parts.push(if status.saved {
+    parts.push(if reg.flag("store.saved") {
         "saved".to_string()
     } else {
         "not saved".to_string()
     });
-    parts.join(", ")
+    Some(parts.join(", "))
 }
 
 #[cfg(test)]
@@ -271,57 +287,64 @@ mod tests {
 
     #[test]
     fn solver_stats_line_summarizes_activity() {
-        let stats = SolverStats {
-            checks: 10,
-            incremental_checks: 6,
-            fallback_checks: 1,
-            model_reuse_hits: 4,
-            prefix_cache_hits: 2,
-            prefix_unsat_kills: 1,
-            ..SolverStats::default()
-        };
-        let line = solver_stats_line(&stats);
+        use crate::metrics::exec_registry;
+        use dise_symexec::ExecStats;
+        let mut stats = ExecStats::default();
+        stats.solver.checks = 10;
+        stats.solver.incremental_checks = 6;
+        stats.solver.fallback_checks = 1;
+        stats.solver.model_reuse_hits = 4;
+        stats.solver.prefix_cache_hits = 2;
+        stats.solver.prefix_unsat_kills = 1;
+        let line = solver_stats_line(&exec_registry(&stats));
         assert!(line.contains("10 checks"), "{line}");
         assert!(line.contains("6 incremental"), "{line}");
         assert!(line.contains("hit rate 30%"), "{line}");
         assert!(line.contains("2 prefix-trie hits"), "{line}");
         assert_eq!(
-            solver_stats_line(&SolverStats::default()),
+            solver_stats_line(&exec_registry(&ExecStats::default())),
             "0 checks (0 incremental, 0 fallback, 0 model-reuse), \
              0 cache hits, 0 prefix-trie hits, 0 shared-trie hits, \
              0 unsat-prefix kills, hit rate n/a"
+        );
+        // An empty registry renders the same quiescent line.
+        assert_eq!(
+            solver_stats_line(&MetricsRegistry::new()),
+            solver_stats_line(&exec_registry(&ExecStats::default())),
         );
     }
 
     #[test]
     fn sweep_stats_line_reports_budget_and_consumption() {
+        use crate::metrics::exec_registry;
+        use dise_symexec::ExecStats;
         // Serial / fork-mode runs have nothing to report.
-        assert_eq!(sweep_stats_line(&FrontierStats::default()), None);
-        let stats = FrontierStats {
-            speculative_states: 40,
-            speculative_solves: 12,
-            trie_answers_consumed: 9,
-            sweep_budget: 88,
-            sweep_exhausted: true,
-            ..FrontierStats::default()
-        };
-        let line = sweep_stats_line(&stats).unwrap();
+        assert_eq!(
+            sweep_stats_line(&exec_registry(&ExecStats::default())),
+            None
+        );
+        let mut stats = ExecStats::default();
+        stats.frontier.speculative_states = 40;
+        stats.frontier.speculative_solves = 12;
+        stats.frontier.trie_answers_consumed = 9;
+        stats.frontier.sweep_budget = 88;
+        stats.frontier.sweep_exhausted = true;
+        let line = sweep_stats_line(&exec_registry(&stats)).unwrap();
         assert!(line.contains("40 speculative states"), "{line}");
         assert!(line.contains("12 solves"), "{line}");
         assert!(line.contains("budget 88, exhausted"), "{line}");
         assert!(line.contains("9 trie answers consumed"), "{line}");
-        let unlimited = FrontierStats {
-            speculative_states: 5,
-            sweep_budget: u64::MAX,
-            ..FrontierStats::default()
-        };
-        let line = sweep_stats_line(&unlimited).unwrap();
+        let mut unlimited = ExecStats::default();
+        unlimited.frontier.speculative_states = 5;
+        unlimited.frontier.sweep_budget = u64::MAX;
+        let line = sweep_stats_line(&exec_registry(&unlimited)).unwrap();
         assert!(line.contains("budget unlimited"), "{line}");
         assert!(!line.contains("exhausted"), "{line}");
     }
 
     #[test]
     fn stage_stats_line_prints_milliseconds() {
+        use crate::metrics::stage_registry;
         use crate::session::StageTimings;
         use std::time::Duration;
         let stages = StageTimings {
@@ -330,7 +353,7 @@ mod tests {
             affected: Duration::from_micros(4500),
             explore: Duration::from_millis(120),
         };
-        let line = stage_stats_line(&stages);
+        let line = stage_stats_line(&stage_registry(&stages));
         assert_eq!(
             line,
             "flatten 0.1 ms, diff 2.0 ms, affected 4.5 ms, explore 120.0 ms"
@@ -342,8 +365,14 @@ mod tests {
     #[test]
     fn store_stats_line_covers_the_states() {
         use crate::dise::StoreStatus;
+        use crate::metrics::store_registry;
+        // No store activity in the registry → no line at all.
+        assert_eq!(store_stats_line(&MetricsRegistry::new()), None);
         let cold = StoreStatus::default();
-        assert_eq!(store_stats_line(&cold), "cold start, not saved");
+        assert_eq!(
+            store_stats_line(&store_registry(&cold)).unwrap(),
+            "cold start, not saved"
+        );
         let warm = StoreStatus {
             warm_trie_entries: 17,
             affected_reused: true,
@@ -352,7 +381,7 @@ mod tests {
             saved: true,
             warning: None,
         };
-        let line = store_stats_line(&warm);
+        let line = store_stats_line(&store_registry(&warm)).unwrap();
         assert!(
             line.contains("warm start (17 trie prefixes restored)"),
             "{line}"
@@ -365,15 +394,19 @@ mod tests {
 
     #[test]
     fn summary_stats_line_is_silent_without_summaries() {
+        use crate::metrics::exec_registry;
         use dise_symexec::ExecStats;
-        assert_eq!(summary_stats_line(&ExecStats::default()), None);
+        assert_eq!(
+            summary_stats_line(&exec_registry(&ExecStats::default())),
+            None
+        );
         let mut stats = ExecStats::default();
         stats.summary.call_sites = 3;
         stats.summary.paths_instantiated = 6;
         stats.summary.hint_verified = 6;
         stats.summary.fallback_checks = 0;
         stats.solver.assumed_sat = 6;
-        let line = summary_stats_line(&stats).unwrap();
+        let line = summary_stats_line(&exec_registry(&stats)).unwrap();
         assert!(line.contains("3 call sites"), "{line}");
         assert!(line.contains("6 paths instantiated"), "{line}");
         assert!(

@@ -190,6 +190,11 @@ pub struct AnalysisSession {
     /// The Summarized stage: the summary table the full exploration of
     /// the modified version used, when it routed through summaries.
     summaries: Option<crate::summaries::PreparedSummaries>,
+
+    /// The session's root trace span — open from `open` until the first
+    /// [`AnalysisSession::finalize`] after exploration. `None` when no
+    /// tracer is attached (`ExecConfig::tracer`).
+    root_span: Option<dise_trace::OpenSpan>,
 }
 
 impl AnalysisSession {
@@ -209,11 +214,20 @@ impl AnalysisSession {
         proc_name: &str,
         config: DiseConfig,
     ) -> Result<AnalysisSession, DiseError> {
+        let tracer = config.exec.tracer.clone();
+        let root = tracer.as_ref().map(|h| h.begin("session"));
+        let flatten_span = match (&tracer, &root) {
+            (Some(h), Some(root)) => Some(h.child(root.id()).begin("stage.flatten")),
+            _ => None,
+        };
         let start = Instant::now();
         let raw_modified = modified.clone();
         let base = flatten(base, proc_name)?.into_owned();
         let modified = flatten(modified, proc_name)?.into_owned();
         let flatten_time = start.elapsed();
+        if let (Some(h), Some(span)) = (&tracer, flatten_span) {
+            h.end(span);
+        }
         Self::open_flat(
             base,
             modified,
@@ -221,6 +235,7 @@ impl AnalysisSession {
             proc_name,
             config,
             flatten_time,
+            root,
         )
     }
 
@@ -236,6 +251,7 @@ impl AnalysisSession {
         proc_name: &str,
         config: DiseConfig,
         flatten_time: Duration,
+        root_span: Option<dise_trace::OpenSpan>,
     ) -> Result<AnalysisSession, DiseError> {
         let store = config.store.as_deref().map(Store::open);
         let status = store.as_ref().map(|_| StoreStatus::default());
@@ -263,16 +279,25 @@ impl AnalysisSession {
             base_full: None,
             modified_full: None,
             summaries: None,
+            root_span,
         };
         if let Some(store) = &session.store {
+            let span = session.begin_span("store.load");
             let (prior, warning) = store.load_warm(&session.proc_name);
+            let (prefixes, summaries) = prior
+                .as_ref()
+                .map(|e| (e.trie.decided() as u64, e.summaries.len() as u64))
+                .unwrap_or((0, 0));
+            session.end_span(
+                span,
+                vec![
+                    ("trie.prefixes".to_string(), prefixes),
+                    ("summaries".to_string(), summaries),
+                ],
+            );
             session.prior = prior;
             if let Some(warning) = warning {
-                session
-                    .status
-                    .as_mut()
-                    .expect("status exists with a store")
-                    .warning = Some(warning);
+                session.warn(&warning);
             }
             // The programs are flattened already, so fingerprinting cannot
             // hit a fresh inline failure.
@@ -310,9 +335,18 @@ impl AnalysisSession {
             .take()
             .map(|p| p.table)
             .or(self.carried_summaries.take());
+        let tracer = self.config.exec.tracer.clone();
+        let root = tracer.as_ref().map(|h| h.begin("session"));
+        let flatten_span = match (&tracer, &root) {
+            (Some(h), Some(root)) => Some(h.child(root.id()).begin("stage.flatten")),
+            _ => None,
+        };
         let start = Instant::now();
         let next_flat = flatten(next, &self.proc_name)?.into_owned();
         let flatten_time = start.elapsed();
+        if let (Some(h), Some(span)) = (&tracer, flatten_span) {
+            h.end(span);
+        }
         let mut session = Self::open_flat(
             self.modified,
             next_flat,
@@ -320,6 +354,7 @@ impl AnalysisSession {
             &self.proc_name,
             self.config,
             flatten_time,
+            root,
         )?;
         session.handoff = handoff;
         session.carried_summaries = summaries;
@@ -363,6 +398,9 @@ impl AnalysisSession {
     /// stderr directly — a chained hop without a store still surfaces
     /// why it ran cold.
     fn warn(&mut self, message: &str) {
+        if let Some(h) = &self.config.exec.tracer {
+            h.warning(message);
+        }
         match self.status.as_mut() {
             Some(status) => {
                 status.warning = Some(match status.warning.take() {
@@ -374,6 +412,23 @@ impl AnalysisSession {
         }
     }
 
+    /// Opens a trace span nested under the session's root span; `None`
+    /// without a tracer.
+    fn begin_span(&self, name: &str) -> Option<dise_trace::OpenSpan> {
+        let h = self.config.exec.tracer.as_ref()?;
+        Some(match &self.root_span {
+            Some(root) => h.child(root.id()).begin(name),
+            None => h.begin(name),
+        })
+    }
+
+    /// Closes a span opened by [`AnalysisSession::begin_span`].
+    fn end_span(&self, span: Option<dise_trace::OpenSpan>, counters: Vec<(String, u64)>) {
+        if let (Some(h), Some(span)) = (&self.config.exec.tracer, span) {
+            h.end_with(span, counters);
+        }
+    }
+
     /// The Diffed stage: both CFGs plus the lifted change map, computed
     /// on first call.
     ///
@@ -382,10 +437,18 @@ impl AnalysisSession {
     /// [`DiseError::Diff`] when the differencing fails.
     pub fn diffed(&mut self) -> Result<&Diffed, DiseError> {
         if self.diffed.is_none() {
+            let span = self.begin_span("stage.diff");
             let start = Instant::now();
             let (cfg_base, cfg_mod, diff) =
                 CfgDiff::from_programs(&self.base, &self.modified, &self.proc_name)?;
             self.timings.diff = start.elapsed();
+            self.end_span(
+                span,
+                vec![(
+                    "changed_nodes".to_string(),
+                    diff.changed_node_count() as u64,
+                )],
+            );
             self.diffed = Some(Diffed {
                 cfg_base,
                 cfg_mod,
@@ -405,8 +468,10 @@ impl AnalysisSession {
     pub fn affected(&mut self) -> Result<&AffectedSets, DiseError> {
         if self.affected.is_none() {
             self.diffed()?;
+            let span = self.begin_span("stage.affected");
             let diffed = self.diffed.as_ref().expect("diff stage ensured");
             let start = Instant::now();
+            let mut reused = 0u64;
             let sets = match reusable_affected(
                 self.prior.as_ref(),
                 self.fingerprints,
@@ -418,6 +483,7 @@ impl AnalysisSession {
                         .as_mut()
                         .expect("reuse implies a store")
                         .affected_reused = true;
+                    reused = 1;
                     sets
                 }
                 None => affected_locations(
@@ -429,6 +495,13 @@ impl AnalysisSession {
                 ),
             };
             self.timings.affected = start.elapsed();
+            self.end_span(
+                span,
+                vec![
+                    ("affected_nodes".to_string(), sets.len() as u64),
+                    ("reused_from_store".to_string(), reused),
+                ],
+            );
             self.affected = Some(sets);
         }
         Ok(self.affected.as_ref().expect("just computed"))
@@ -447,10 +520,14 @@ impl AnalysisSession {
     pub fn explored(&mut self) -> Result<&Explored, DiseError> {
         if self.explored.is_none() {
             self.affected()?;
+            let span = self.begin_span("stage.explore");
             let start = Instant::now();
             let solver_key = self.config.exec.solver.cache_key();
-            let mut executor =
-                Executor::new(&self.modified, &self.proc_name, self.config.exec.clone())?;
+            let mut executor = Executor::new(
+                &self.modified,
+                &self.proc_name,
+                reparented(&self.config.exec, &span),
+            )?;
             let mut restored = None;
             let mut feedback = false;
             let mut dropped: Option<&str> = None;
@@ -501,6 +578,25 @@ impl AnalysisSession {
             let summary = executor.explore(&mut strategy);
             let directed_trace = self.config.trace_directed.then(|| strategy.render_trace());
             self.timings.explore = start.elapsed();
+            let s = summary.stats();
+            self.end_span(
+                span,
+                vec![
+                    ("states".to_string(), s.states_explored),
+                    ("pc_count".to_string(), summary.pc_count() as u64),
+                    ("solver.checks".to_string(), s.solver.checks),
+                    (
+                        "solver.pipeline_checks".to_string(),
+                        s.solver.pipeline_checks(),
+                    ),
+                    (
+                        "solver.cache_hits".to_string(),
+                        s.solver.cache_hits
+                            + s.solver.prefix_cache_hits
+                            + s.solver.shared_trie_hits,
+                    ),
+                ],
+            );
             self.executor = Some(executor);
             self.explored = Some(Explored {
                 summary,
@@ -544,11 +640,14 @@ impl AnalysisSession {
     /// [`DiseError::Exec`] when the procedure cannot be executed.
     pub fn base_full(&mut self) -> Result<&SymbolicSummary, DiseError> {
         if self.base_full.is_none() {
-            self.base_full = Some(full_exploration_flat(
+            let span = self.begin_span("stage.full_base");
+            let summary = full_exploration_flat(
                 &self.base,
                 &self.proc_name,
-                &self.config.exec,
-            )?);
+                &reparented(&self.config.exec, &span),
+            )?;
+            self.end_span(span, full_counters(&summary));
+            self.base_full = Some(summary);
         }
         Ok(self.base_full.as_ref().expect("just computed"))
     }
@@ -568,10 +667,13 @@ impl AnalysisSession {
     /// [`DiseError::Exec`] when the procedure cannot be executed.
     pub fn modified_full(&mut self) -> Result<&SymbolicSummary, DiseError> {
         if self.modified_full.is_none() {
-            let summary = match self.summarized_full() {
+            let span = self.begin_span("stage.full_modified");
+            let exec = reparented(&self.config.exec, &span);
+            let summary = match self.summarized_full(&exec) {
                 Some(summary) => summary,
-                None => full_exploration_flat(&self.modified, &self.proc_name, &self.config.exec)?,
+                None => full_exploration_flat(&self.modified, &self.proc_name, &exec)?,
             };
+            self.end_span(span, full_counters(&summary));
             self.modified_full = Some(summary);
         }
         Ok(self.modified_full.as_ref().expect("just computed"))
@@ -581,25 +683,41 @@ impl AnalysisSession {
     /// with calls dispatched through procedure summaries. `None` — the
     /// caller inlines instead — when the gates refuse or any callee
     /// cannot be summarized.
-    fn summarized_full(&mut self) -> Option<SymbolicSummary> {
-        if !crate::summaries::applicable(&self.raw_modified, &self.proc_name, &self.config.exec) {
+    fn summarized_full(&mut self, exec: &ExecConfig) -> Option<SymbolicSummary> {
+        if !crate::summaries::applicable(&self.raw_modified, &self.proc_name, exec) {
             return None;
         }
         let stored = self
             .prior
             .as_ref()
             .map_or(&[][..], |e| e.summaries.as_slice());
+        let prepare_span = exec.tracer.as_ref().map(|h| h.begin("summary.prepare"));
         let prepared = crate::summaries::prepare(
             &self.raw_modified,
             &self.proc_name,
-            &self.config.exec,
+            &reparented(exec, &prepare_span),
             stored,
             self.carried_summaries.as_deref(),
-        )?;
+        );
+        if let (Some(h), Some(span)) = (&exec.tracer, prepare_span) {
+            let counters = match &prepared {
+                Some(p) => vec![
+                    ("built".to_string(), p.built as u64),
+                    (
+                        "revived_from_store".to_string(),
+                        p.revived_from_store as u64,
+                    ),
+                    ("reused_in_memory".to_string(), p.reused_in_memory as u64),
+                ],
+                None => Vec::new(),
+            };
+            h.end_with(span, counters);
+        }
+        let prepared = prepared?;
         let summary = crate::summaries::full_with_summaries(
             &self.raw_modified,
             &self.proc_name,
-            &self.config.exec,
+            exec,
             Arc::clone(&prepared.table),
         )?;
         debug_assert_eq!(
@@ -706,6 +824,15 @@ impl AnalysisSession {
         if self.saved {
             return self.status.as_ref();
         }
+        // The root span closes on the first finalize after exploration —
+        // including storeless sessions, which return early below.
+        if self.explored.is_some() {
+            if let Some(root) = self.root_span.take() {
+                if let Some(h) = &self.config.exec.tracer {
+                    h.end(root);
+                }
+            }
+        }
         let (Some(store), Some(explored), Some(executor)) =
             (&self.store, &self.explored, &self.executor)
         else {
@@ -741,8 +868,15 @@ impl AnalysisSession {
                     .unwrap_or_default(),
             },
         };
+        let save_span = self.begin_span("store.save");
+        let save_counters = vec![
+            ("trie.prefixes".to_string(), entry.trie.decided() as u64),
+            ("summaries".to_string(), entry.summaries.len() as u64),
+        ];
+        let save_result = store.save(&entry);
+        self.end_span(save_span, save_counters);
         let status = self.status.as_mut().expect("status exists with a store");
-        match store.save(&entry) {
+        match save_result {
             Ok(()) => status.saved = true,
             Err(e) => {
                 let note = format!("analysis store: save failed ({e})");
@@ -770,6 +904,33 @@ pub(crate) fn flatten<'p>(
     } else {
         Ok(Cow::Borrowed(program))
     }
+}
+
+/// Re-parents the exec config's trace handle under `span`, so spans the
+/// layer below records (frontier workers, summary builds) nest there.
+/// With no tracer or no open span this is a plain clone.
+fn reparented(exec: &ExecConfig, span: &Option<dise_trace::OpenSpan>) -> ExecConfig {
+    let mut exec = exec.clone();
+    if let Some(span) = span {
+        if let Some(h) = exec.tracer.take() {
+            exec.tracer = Some(h.child(span.id()));
+        }
+    }
+    exec
+}
+
+/// The counters a full-exploration stage span carries.
+fn full_counters(summary: &SymbolicSummary) -> Vec<(String, u64)> {
+    let s = summary.stats();
+    vec![
+        ("states".to_string(), s.states_explored),
+        ("pc_count".to_string(), summary.pc_count() as u64),
+        ("solver.checks".to_string(), s.solver.checks),
+        (
+            "solver.pipeline_checks".to_string(),
+            s.solver.pipeline_checks(),
+        ),
+    ]
 }
 
 /// Full symbolic execution of an already-flattened program — the one

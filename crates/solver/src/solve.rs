@@ -260,6 +260,13 @@ impl SolverStats {
         }
     }
 
+    /// Checks that ran an actual decision pipeline (incremental or
+    /// monolithic fallback) — the cost metric the benches and the
+    /// profile exporter attribute to stages; cache/trie answers are free.
+    pub fn pipeline_checks(&self) -> u64 {
+        self.incremental_checks + self.fallback_checks
+    }
+
     /// Fraction of checks answered without running any decision pipeline
     /// (result cache + prefix trie + prefix-unsat kills); `None` when no
     /// checks ran.

@@ -187,6 +187,12 @@ pub struct ExecConfig {
     pub summaries: SummaryMode,
     /// Constraint-solver tuning.
     pub solver: SolverConfig,
+    /// Observability hook: when set, pipeline stages, frontier workers,
+    /// and summary builds record hierarchical spans through this handle
+    /// (see `dise-trace`). Layers re-parent the handle before passing the
+    /// config down, which is how worker spans nest under their stage.
+    /// `None` (the default) records nothing and costs nothing.
+    pub tracer: Option<dise_trace::TraceHandle>,
 }
 
 /// The `DISE_JOBS` default, read once per process.
@@ -237,6 +243,7 @@ impl Default for ExecConfig {
             sweep_budget: default_sweep_budget(),
             summaries: default_summaries(),
             solver: SolverConfig::default(),
+            tracer: None,
         }
     }
 }
@@ -827,7 +834,7 @@ pub(crate) fn push_succ_lits(
                     pushed,
                     feasible: false,
                     hint_verified: false,
-                    checks: delta.incremental_checks + delta.fallback_checks,
+                    checks: delta.pipeline_checks(),
                 };
             }
         }
@@ -837,7 +844,7 @@ pub(crate) fn push_succ_lits(
         pushed,
         feasible: true,
         hint_verified,
-        checks: delta.incremental_checks + delta.fallback_checks,
+        checks: delta.pipeline_checks(),
     }
 }
 

@@ -174,18 +174,45 @@ pub(crate) fn explore_parallel(
         let forks: Vec<Box<dyn Strategy + Send>> = (0..jobs)
             .map(|_| hint.fork().expect("the filter forks"))
             .collect();
+        let tracer = exec.config.tracer.clone();
+        let sweep_span = tracer.as_ref().map(|h| h.begin("frontier.sweep"));
         let sweep = run_pool(exec, forks, &shared, false, Some(&controller));
+        let speculative_solves = sweep.stats.solver.pipeline_checks();
+        if let (Some(h), Some(span)) = (&tracer, sweep_span) {
+            h.end_with(
+                span,
+                vec![
+                    (
+                        "speculative_states".to_string(),
+                        sweep.stats.states_explored,
+                    ),
+                    ("speculative_solves".to_string(), speculative_solves),
+                ],
+            );
+        }
 
         // From here on, trie hits are the authoritative pass consuming
         // the sweep's work — the measured signal behind Auto's sizing.
         shared.begin_consume_phase();
         exec.solver.attach_shared_trie(Arc::clone(&shared));
+        let auth_span = tracer.as_ref().map(|h| h.begin("frontier.authoritative"));
         let mut summary = exec.explore_serial(strategy);
         exec.solver.detach_shared_trie();
+        if let (Some(h), Some(span)) = (&tracer, auth_span) {
+            h.end_with(
+                span,
+                vec![
+                    ("solver.checks".to_string(), summary.stats.solver.checks),
+                    (
+                        "solver.pipeline_checks".to_string(),
+                        summary.stats.solver.pipeline_checks(),
+                    ),
+                    ("trie_answers_consumed".to_string(), shared.consumed()),
+                ],
+            );
+        }
 
         summary.stats.elapsed = start.elapsed();
-        let speculative_solves =
-            sweep.stats.solver.incremental_checks + sweep.stats.solver.fallback_checks;
         // Aggregate: the authoritative pass's solver delta plus every
         // sweep worker's.
         summary.stats.solver.merge(&sweep.stats.solver);
@@ -282,8 +309,12 @@ fn run_pool(
                 let cfg = &exec.cfg;
                 let config = &exec.config;
                 let summaries = exec.summaries.as_deref();
+                let tracer = exec.config.tracer.clone();
                 scope.spawn(move || {
-                    Worker {
+                    let span = tracer
+                        .as_ref()
+                        .map(|h| h.begin_on(&format!("worker.{me}"), (me + 1) as u32));
+                    let outcome = Worker {
                         me,
                         cfg,
                         config,
@@ -296,7 +327,22 @@ fn run_pool(
                         stats: ExecStats::default(),
                         replayed: 0,
                     }
-                    .run(&solver_before)
+                    .run(&solver_before);
+                    if let (Some(h), Some(span)) = (&tracer, span) {
+                        h.end_with(
+                            span,
+                            vec![
+                                ("states".to_string(), outcome.stats.states_explored),
+                                ("solver.checks".to_string(), outcome.solver.checks),
+                                (
+                                    "solver.pipeline_checks".to_string(),
+                                    outcome.solver.pipeline_checks(),
+                                ),
+                                ("replayed_literals".to_string(), outcome.replayed),
+                            ],
+                        );
+                    }
+                    outcome
                 })
             })
             .collect();

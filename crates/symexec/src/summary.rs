@@ -328,7 +328,24 @@ pub fn build_summary(
         pool,
         callee_config,
     );
+    let span = config
+        .tracer
+        .as_ref()
+        .map(|h| h.begin(&format!("summary.build.{callee}")));
     let explored = executor.explore(&mut FullExploration);
+    if let (Some(h), Some(span)) = (&config.tracer, span) {
+        h.end_with(
+            span,
+            vec![
+                ("paths".to_string(), explored.paths().len() as u64),
+                ("solver.checks".to_string(), explored.stats().solver.checks),
+                (
+                    "solver.pipeline_checks".to_string(),
+                    explored.stats().solver.pipeline_checks(),
+                ),
+            ],
+        );
+    }
     if explored.stats().truncated {
         return Err(SummaryBuildError::Truncated);
     }

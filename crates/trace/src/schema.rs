@@ -1,0 +1,206 @@
+//! Validation of the `--trace-json` event-log schema (version
+//! [`crate::TRACE_SCHEMA_VERSION`]). Used by `dise trace validate` and
+//! the round-trip tests: every line the exporter emits must come back
+//! clean through [`validate_log`].
+
+use crate::json::{parse, JsonValue};
+use crate::TRACE_SCHEMA_VERSION;
+
+/// What a validated log contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogSummary {
+    pub spans: usize,
+    pub warnings: usize,
+    pub stats_records: usize,
+}
+
+fn require_u64(value: &JsonValue, field: &str) -> Result<u64, String> {
+    value
+        .get(field)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {field:?}"))
+}
+
+fn require_str<'a>(value: &'a JsonValue, field: &str) -> Result<&'a str, String> {
+    value
+        .get(field)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing or non-string field {field:?}"))
+}
+
+/// Validates a single event-log line; returns the record type
+/// (`"meta"`, `"span"`, `"warning"`, or `"stats"`).
+pub fn validate_line(line: &str) -> Result<&'static str, String> {
+    let value = parse(line)?;
+    if value.as_object().is_none() {
+        return Err("record is not a JSON object".to_string());
+    }
+    let schema = require_u64(&value, "schema")?;
+    if schema != u64::from(TRACE_SCHEMA_VERSION) {
+        return Err(format!(
+            "schema version {schema}, expected {TRACE_SCHEMA_VERSION}"
+        ));
+    }
+    match require_str(&value, "type")? {
+        "meta" => {
+            require_str(&value, "label")?;
+            require_u64(&value, "spans")?;
+            require_u64(&value, "warnings")?;
+            Ok("meta")
+        }
+        "span" => {
+            if require_u64(&value, "id")? == 0 {
+                return Err("span id must be non-zero".to_string());
+            }
+            match value.get("parent") {
+                Some(JsonValue::Null) => {}
+                Some(p) if p.as_u64().is_some() => {}
+                _ => return Err("missing or malformed field \"parent\"".to_string()),
+            }
+            if require_str(&value, "name")?.is_empty() {
+                return Err("span name must be non-empty".to_string());
+            }
+            require_u64(&value, "tid")?;
+            require_u64(&value, "start_ns")?;
+            require_u64(&value, "dur_ns")?;
+            let counters = value
+                .get("counters")
+                .and_then(JsonValue::as_object)
+                .ok_or_else(|| "missing or non-object field \"counters\"".to_string())?;
+            for (name, counter) in counters {
+                if counter.as_u64().is_none() {
+                    return Err(format!("counter {name:?} is not an unsigned integer"));
+                }
+            }
+            Ok("span")
+        }
+        "warning" => {
+            require_str(&value, "message")?;
+            require_u64(&value, "at_ns")?;
+            Ok("warning")
+        }
+        "stats" => {
+            require_str(&value, "scope")?;
+            match require_str(&value, "kind")? {
+                "stable" | "volatile" => {}
+                kind => return Err(format!("unknown stats kind {kind:?}")),
+            }
+            let metrics = value
+                .get("metrics")
+                .and_then(JsonValue::as_object)
+                .ok_or_else(|| "missing or non-object field \"metrics\"".to_string())?;
+            for (name, metric) in metrics {
+                if !metric.is_number() && metric.as_bool().is_none() {
+                    return Err(format!("metric {name:?} is not a number or boolean"));
+                }
+            }
+            Ok("stats")
+        }
+        other => Err(format!("unknown record type {other:?}")),
+    }
+}
+
+/// Validates a whole event log: every line well-formed, the first line a
+/// `meta` record whose span/warning counts match the body.
+pub fn validate_log(text: &str) -> Result<LogSummary, String> {
+    let mut summary = LogSummary {
+        spans: 0,
+        warnings: 0,
+        stats_records: 0,
+    };
+    let mut meta: Option<(u64, u64)> = None;
+    for (i, line) in text.lines().enumerate() {
+        let kind = validate_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        match kind {
+            "meta" => {
+                if i != 0 {
+                    return Err(format!("line {}: meta record not first", i + 1));
+                }
+                let value = parse(line).expect("validated");
+                meta = Some((
+                    require_u64(&value, "spans").expect("validated"),
+                    require_u64(&value, "warnings").expect("validated"),
+                ));
+            }
+            "span" => summary.spans += 1,
+            "warning" => summary.warnings += 1,
+            "stats" => summary.stats_records += 1,
+            _ => unreachable!(),
+        }
+    }
+    let Some((spans, warnings)) = meta else {
+        return Err("log is empty or does not start with a meta record".to_string());
+    };
+    if spans != summary.spans as u64 || warnings != summary.warnings as u64 {
+        return Err(format!(
+            "meta counts ({spans} spans, {warnings} warnings) disagree with body ({} spans, {} warnings)",
+            summary.spans, summary.warnings
+        ));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::event_log;
+    use crate::metrics::{MetricsRegistry, Stability};
+    use crate::span::Tracer;
+
+    #[test]
+    fn exporter_output_round_trips_through_the_validator() {
+        let tracer = Tracer::new();
+        let root = tracer.begin("session", None);
+        let explore = tracer.begin("stage.explore", Some(root.id()));
+        tracer.end_with(
+            explore,
+            vec![("solver.checks".into(), 12), ("states".into(), 40)],
+        );
+        tracer.warning("analysis store: running cold");
+        tracer.end(root);
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("exec.states_explored", 40, Stability::Stable);
+        reg.set_counter("solver.checks", 12, Stability::Volatile);
+        reg.set_gauge("sweep.feedback_ratio", 0.25, Stability::Volatile);
+        reg.set_flag("store.saved", false, Stability::Stable);
+        let log = event_log(&tracer.events(), &[("dise".to_string(), reg)], "round trip");
+        let summary = validate_log(&log).unwrap();
+        assert_eq!(
+            summary,
+            LogSummary {
+                spans: 2,
+                warnings: 1,
+                stats_records: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_schema_skew_and_malformed_records() {
+        assert!(validate_line(
+            r#"{"type":"meta","schema":999,"label":"x","spans":0,"warnings":0}"#
+        )
+        .unwrap_err()
+        .contains("schema version"));
+        assert!(validate_line(r#"{"type":"mystery","schema":1}"#).is_err());
+        assert!(validate_line(
+            r#"{"type":"span","schema":1,"id":0,"parent":null,"name":"x","tid":0,"start_ns":0,"dur_ns":0,"counters":{}}"#
+        )
+        .is_err());
+        assert!(validate_line("not json").is_err());
+    }
+
+    #[test]
+    fn log_must_lead_with_a_consistent_meta_record() {
+        assert!(validate_log("").is_err());
+        let no_meta = r#"{"type":"warning","schema":1,"message":"x","at_ns":0}"#;
+        assert!(validate_log(no_meta).is_err());
+        let lying_meta = concat!(
+            r#"{"type":"meta","schema":1,"label":"x","spans":5,"warnings":0}"#,
+            "\n",
+            r#"{"type":"warning","schema":1,"message":"x","at_ns":0}"#,
+            "\n"
+        );
+        assert!(validate_log(lying_meta).unwrap_err().contains("disagree"));
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`diff`] | `dise-diff` | source-line and structural AST differencing, CFG change maps |
 //! | [`solver`] | `dise-solver` | symbolic expressions, path conditions, the constraint solver |
 //! | [`store`] | `dise-store` | the persistent cross-version analysis store (warm starts) |
+//! | [`trace`] | `dise-trace` | observability: spans, the metrics registry, trace exporters |
 //! | [`symexec`] | `dise-symexec` | the symbolic execution engine with pluggable strategies |
 //! | [`core`] | `dise-core` | **the paper's contribution**: affected locations + directed search |
 //! | [`artifacts`] | `dise-artifacts` | the WBS / OAE / ASW case studies and their mutants |
@@ -92,3 +93,4 @@ pub use dise_regression as regression;
 pub use dise_solver as solver;
 pub use dise_store as store;
 pub use dise_symexec as symexec;
+pub use dise_trace as trace;
