@@ -32,14 +32,34 @@ pub const BENCH_METADATA_VERSION: u32 = 2;
 /// assert!(host.contains("\"trace_schema_version\": 1"));
 /// ```
 pub fn host_metadata_json() -> String {
+    host_metadata_json_with("")
+}
+
+/// [`host_metadata_json`] with extra comma-separated JSON members spliced
+/// into the `host` object — benchmarks whose workload is *generated*
+/// record the generator seed and size parameters here, so a recorded
+/// number can be traced back to the exact program it measured.
+///
+/// # Examples
+///
+/// ```
+/// let host = dise_bench::host_metadata_json_with("\"generator_seed\": 7");
+/// assert!(host.contains("\"generator_seed\": 7}"));
+/// ```
+pub fn host_metadata_json_with(extra: &str) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let jobs = std::env::var("DISE_JOBS").unwrap_or_else(|_| "unset".to_string());
+    let extra = if extra.is_empty() {
+        String::new()
+    } else {
+        format!(", {extra}")
+    };
     format!(
         "\"host\": {{\"logical_cores\": {cores}, \"dise_jobs\": \"{jobs}\", \
          \"bench_metadata_version\": {BENCH_METADATA_VERSION}, \
-         \"trace_schema_version\": {}}}",
+         \"trace_schema_version\": {}{extra}}}",
         dise_trace::TRACE_SCHEMA_VERSION
     )
 }

@@ -72,6 +72,19 @@
 //!     serves every application, with output byte-identical to running
 //!     the four standalone subcommands.
 //!
+//! dise gen [--seed N] [--pairs N] [--edits N] [--arms N] [--guard-depth N]
+//!          [--helpers N] [--call-depth N] [--globals N] [--out DIR] [--verify]
+//!     Generate deterministic (base, modified) scenario pairs with
+//!     marker-tracked ground truth (see `dise-gen`). Pair k uses seed
+//!     `--seed + k`; equal arguments produce byte-identical programs.
+//!     --out DIR   write pairNNNN_base.mj / pairNNNN_mod.mj plus a
+//!                 manifest.json recording params, edits, and ground-truth
+//!                 markers
+//!     --verify    run the four-check differential harness on every pair
+//!                 (ground-truth coverage, jobs {1,4} determinism,
+//!                 summaries on/off equivalence, warm ≡ cold) and fail on
+//!                 the first violation
+//!
 //! dise store stat [DIR]
 //! dise store clear [DIR]
 //!     Inspect or empty a persistent analysis store (DIR defaults to the
@@ -151,6 +164,7 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
         Some("profile") => profile_command(&positional[1..], &flags),
         Some("trace") => trace_command(&positional[1..]),
         Some("evolve") => evolve_command(&positional[1..], &flags),
+        Some("gen") => gen_command(&args),
         Some("store") => store_command(&positional[1..]),
         Some("tests") => tests_command(&positional[1..]),
         Some("inspect") => inspect_command(&positional[1..], &flags),
@@ -169,6 +183,7 @@ const USAGE: &str = "usage:
   dise profile <base.mj> <modified.mj> <proc> [--full]
   dise trace validate <FILE>
   dise evolve <base.mj> <modified.mj> <proc>
+  dise gen [--seed N] [--pairs N] [--edits N] [--arms N] [--guard-depth N] [--helpers N] [--call-depth N] [--globals N] [--out DIR] [--verify]
   dise store stat|clear [DIR]
   dise tests <base.mj> <modified.mj> <proc>
   dise inspect <file.mj> <proc> [--dot]
@@ -182,6 +197,11 @@ fn load(path: &str) -> Result<Program, String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let program = dise_ir::parse_program(&source).map_err(|e| format!("{path}: {e}"))?;
     dise_ir::check_program(&program).map_err(|e| format!("{path}: {e}"))?;
+    if program.procs.is_empty() {
+        return Err(format!(
+            "{path}: program declares no procedures (nothing to analyze)"
+        ));
+    }
     Ok(program)
 }
 
@@ -618,6 +638,186 @@ fn evolve_command(positional: &[&str], flags: &[&str]) -> Result<(), String> {
 
     session.finalize();
     Ok(())
+}
+
+/// Parses a `--flag N` / `--flag=N` numeric value for `gen`.
+fn parse_gen_count(flag: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("{flag} expects a non-negative integer"))
+}
+
+/// `dise gen` — emit deterministic scenario pairs and (optionally) run
+/// the differential harness on them. Like `run`, it parses its own
+/// arguments because every size knob takes a value.
+fn gen_command(args: &[String]) -> Result<(), String> {
+    let mut base_seed: u64 = 0;
+    let mut pairs: usize = 1;
+    let mut edits: usize = 2;
+    let mut params = dise_gen::GenParams::default();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut verify = false;
+    let mut seen_command = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        // Every value flag accepts both `--flag value` and `--flag=value`.
+        let mut value_of = |arg: &str, name: &str| -> Result<Option<String>, String> {
+            if let Some(value) = arg.strip_prefix(&format!("{name}=")) {
+                return Ok(Some(value.to_string()));
+            }
+            if arg == name {
+                return iter
+                    .next()
+                    .map(|v| Some(v.clone()))
+                    .ok_or_else(|| format!("{name} expects a value"));
+            }
+            Ok(None)
+        };
+        if let Some(value) = value_of(arg, "--seed")? {
+            base_seed = value
+                .parse::<u64>()
+                .map_err(|_| "--seed expects a non-negative integer".to_string())?;
+        } else if let Some(value) = value_of(arg, "--pairs")? {
+            pairs = parse_gen_count("--pairs", &value)?;
+        } else if let Some(value) = value_of(arg, "--edits")? {
+            edits = parse_gen_count("--edits", &value)?;
+        } else if let Some(value) = value_of(arg, "--arms")? {
+            params.arms = parse_gen_count("--arms", &value)?;
+        } else if let Some(value) = value_of(arg, "--guard-depth")? {
+            params.guard_depth = parse_gen_count("--guard-depth", &value)?;
+        } else if let Some(value) = value_of(arg, "--helpers")? {
+            params.helpers = parse_gen_count("--helpers", &value)?;
+        } else if let Some(value) = value_of(arg, "--call-depth")? {
+            params.call_depth = parse_gen_count("--call-depth", &value)?;
+        } else if let Some(value) = value_of(arg, "--globals")? {
+            params.globals = parse_gen_count("--globals", &value)?;
+        } else if let Some(value) = value_of(arg, "--out")? {
+            out = Some(std::path::PathBuf::from(value));
+        } else if arg == "--verify" {
+            verify = true;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}` for `gen`\n{USAGE}"));
+        } else if !seen_command && arg == "gen" {
+            seen_command = true;
+        } else {
+            return Err(format!("unexpected argument `{arg}` for `gen`\n{USAGE}"));
+        }
+    }
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+    }
+    let mut manifest_pairs = Vec::new();
+    for k in 0..pairs {
+        let seed = base_seed.wrapping_add(k as u64);
+        let scenario = dise_gen::Scenario::generate(&dise_gen::GenParams {
+            seed,
+            ..params.clone()
+        });
+        let evolution = dise_gen::evolve(&scenario, seed, edits);
+        let edit_tags: Vec<String> = evolution
+            .edits
+            .iter()
+            .map(|e| format!("{}({})", e.kind.tag(), render_markers(&e.markers)))
+            .collect();
+        println!(
+            "pair {k:04}: seed={seed} stmts={} procs={} edits=[{}]",
+            scenario.stmt_count(),
+            scenario.program().procs.len(),
+            edit_tags.join(", ")
+        );
+        if let Some(dir) = &out {
+            let base_file = format!("pair{k:04}_base.mj");
+            let mod_file = format!("pair{k:04}_mod.mj");
+            std::fs::write(dir.join(&base_file), scenario.source())
+                .map_err(|e| format!("cannot write `{base_file}`: {e}"))?;
+            std::fs::write(dir.join(&mod_file), evolution.modified.source())
+                .map_err(|e| format!("cannot write `{mod_file}`: {e}"))?;
+            let edits_json: Vec<String> = evolution
+                .edits
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{{\"kind\": \"{}\", \"markers\": [{}], \"description\": {}}}",
+                        e.kind.tag(),
+                        render_markers(&e.markers),
+                        json_string(&e.description)
+                    )
+                })
+                .collect();
+            let gt: Vec<String> = evolution
+                .ground_truth_markers()
+                .iter()
+                .map(|m| m.to_string())
+                .collect();
+            manifest_pairs.push(format!(
+                "    {{\"seed\": {seed}, \"base\": \"{base_file}\", \"modified\": \"{mod_file}\", \
+                 \"ground_truth_markers\": [{}], \"edits\": [{}]}}",
+                gt.join(", "),
+                edits_json.join(", ")
+            ));
+        }
+        if verify {
+            match dise_gen::check_pair(&scenario, &evolution) {
+                Ok(report) => println!(
+                    "  verify: ok ({} ground-truth node(s) covered, {} affected, \
+                     {} directed path(s), warm reuse {})",
+                    report.ground_truth_nodes,
+                    report.affected_nodes,
+                    report.directed_paths,
+                    report.warm_affected_reused
+                ),
+                Err(failure) => {
+                    return Err(format!("pair {k:04} (seed {seed}) failed: {failure}"));
+                }
+            }
+        }
+    }
+    if let Some(dir) = &out {
+        let manifest = format!(
+            "{{\n  \"generator\": \"dise-gen\",\n  \"proc\": \"{}\",\n  \"params\": \
+             {{\"seed\": {base_seed}, \"pairs\": {pairs}, \"edits\": {edits}, \"arms\": {}, \
+             \"guard_depth\": {}, \"helpers\": {}, \"call_depth\": {}, \"globals\": {}}},\n  \
+             \"pairs\": [\n{}\n  ]\n}}\n",
+            dise_gen::PROC_NAME,
+            params.arms,
+            params.guard_depth,
+            params.helpers,
+            params.call_depth,
+            params.globals,
+            manifest_pairs.join(",\n")
+        );
+        std::fs::write(dir.join("manifest.json"), manifest)
+            .map_err(|e| format!("cannot write manifest.json: {e}"))?;
+        println!("wrote {pairs} pair(s) + manifest.json to {}", dir.display());
+    }
+    Ok(())
+}
+
+fn render_markers(markers: &[i64]) -> String {
+    markers
+        .iter()
+        .map(|m| m.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Minimal JSON string escaping for manifest descriptions (the generator
+/// emits ASCII, but quoting defensively costs nothing).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// `dise store stat|clear [DIR]` — inspect or empty a persistent

@@ -1,0 +1,605 @@
+//! Randomized evolution edits with marker-tracked ground truth.
+//!
+//! [`evolve`] derives a modified [`Scenario`] from a base one by applying
+//! a seed-determined sequence of edits from the taxonomy below. Every edit
+//! rewrites (or inserts) statements that carry globally unique marker
+//! constants, and records those markers on the returned
+//! [`AppliedEdit`] — the *known-affected* ground truth the differential
+//! harness checks against the pipeline's computed affected sets.
+//!
+//! | kind | what changes | ground-truth markers |
+//! |---|---|---|
+//! | [`EditKind::GuardStrengthen`] | a guard's comparison gets harder to satisfy | the guard's |
+//! | [`EditKind::GuardWeaken`] | a guard's comparison gets easier to satisfy | the guard's |
+//! | [`EditKind::EffectRewrite`] | an assignment's coefficient changes | the assignment's |
+//! | [`EditKind::DeadBranchInsert`] | an infeasible `if` + write is inserted | two fresh markers |
+//! | [`EditKind::CalleeBodyEdit`] | a guard/effect edit inside a helper body | the helper site's |
+//!
+//! Each site is edited at most once per evolution, and every rewrite
+//! changes the statement's structure (operator or coefficient) while
+//! keeping its marker — so the edited statement differs structurally from
+//! *every* statement of the base version, which is what makes the
+//! ground-truth coverage property non-circular (see ARCHITECTURE.md,
+//! "Generated corpus").
+
+use std::collections::BTreeSet;
+
+use crate::scenario::{AssignSite, CmpOp, GStmt, GuardSite, Scenario};
+use crate::Rng;
+
+/// The edit taxonomy (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditKind {
+    /// Guard comparison made harder to satisfy (`<=` → `<`, …).
+    GuardStrengthen,
+    /// Guard comparison made easier to satisfy (`<` → `<=`, …).
+    GuardWeaken,
+    /// Assignment coefficient rewritten (`v * 3 + m` → `v * 4 + m`).
+    EffectRewrite,
+    /// An infeasible branch with a fresh write inserted after an existing
+    /// statement.
+    DeadBranchInsert,
+    /// A guard/effect edit applied inside a helper procedure's body (so
+    /// the change lands in *every* inlined copy).
+    CalleeBodyEdit,
+}
+
+impl EditKind {
+    /// Short tag used in manifests and failure dumps.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EditKind::GuardStrengthen => "guard-strengthen",
+            EditKind::GuardWeaken => "guard-weaken",
+            EditKind::EffectRewrite => "effect-rewrite",
+            EditKind::DeadBranchInsert => "dead-branch-insert",
+            EditKind::CalleeBodyEdit => "callee-body-edit",
+        }
+    }
+}
+
+/// One applied edit: its kind, the marker constants identifying the
+/// edited/inserted statements, and a human-readable description.
+#[derive(Debug, Clone)]
+pub struct AppliedEdit {
+    /// What was done.
+    pub kind: EditKind,
+    /// Marker constants of every statement this edit touched or created.
+    pub markers: Vec<i64>,
+    /// One-line description for manifests and failure dumps.
+    pub description: String,
+}
+
+/// A modified scenario plus the edit log that produced it.
+#[derive(Debug, Clone)]
+pub struct Evolution {
+    /// The evolved scenario.
+    pub modified: Scenario,
+    /// The edits applied, in order.
+    pub edits: Vec<AppliedEdit>,
+}
+
+impl Evolution {
+    /// The ground-truth marker set: every edited or inserted statement's
+    /// marker constant. The differential harness requires the CFG nodes
+    /// carrying these markers to be covered by the computed affected sets.
+    pub fn ground_truth_markers(&self) -> BTreeSet<i64> {
+        self.edits
+            .iter()
+            .flat_map(|e| e.markers.iter().copied())
+            .collect()
+    }
+
+    /// True when every applied edit landed in a dispatch arm — no
+    /// helper-body site was touched. A helper edit is inlined into every
+    /// calling arm, so its affected region grows with the program; the
+    /// scale benchmark selects arm-local evolutions to measure the
+    /// paper's localized-change economics.
+    pub fn is_arm_local(&self) -> bool {
+        let edited = self.ground_truth_markers();
+        let mut helper_sites = Vec::new();
+        for (i, helper) in self.modified.helpers.iter().enumerate() {
+            collect_sites(&helper.body, Some(i), &mut helper_sites);
+        }
+        helper_sites.iter().all(|s| !edited.contains(&s.marker))
+    }
+}
+
+/// Which kind of site a marker identifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteKind {
+    Guard,
+    Assign,
+}
+
+/// One editable site: where it lives and which marker identifies it.
+#[derive(Debug, Clone)]
+struct Site {
+    /// `Some(i)` when the site is inside `helpers[i]`'s body.
+    helper: Option<usize>,
+    kind: SiteKind,
+    marker: i64,
+}
+
+/// Applies `count` seed-determined edits to a copy of `base`. Equal
+/// `(base, seed, count)` produce byte-identical evolutions. `count` is
+/// silently capped at the number of editable sites.
+pub fn evolve(base: &Scenario, seed: u64, count: usize) -> Evolution {
+    let mut rng = Rng::new(seed.wrapping_mul(0x00ed_17ed).wrapping_add(3));
+    let mut modified = base.clone();
+
+    let mut sites = Vec::new();
+    for (i, helper) in modified.helpers.iter().enumerate() {
+        collect_sites(&helper.body, Some(i), &mut sites);
+    }
+    for arm in &modified.arms {
+        collect_sites(arm, None, &mut sites);
+    }
+    let main_sites: Vec<Site> = sites
+        .iter()
+        .filter(|s| s.helper.is_none())
+        .cloned()
+        .collect();
+    let helper_sites: Vec<Site> = sites
+        .iter()
+        .filter(|s| s.helper.is_some())
+        .cloned()
+        .collect();
+
+    let mut edited: BTreeSet<i64> = BTreeSet::new();
+    let mut edits = Vec::new();
+    let count = count.min(sites.len());
+    while edits.len() < count {
+        let kind = match rng.below(5) {
+            0 => EditKind::GuardStrengthen,
+            1 => EditKind::GuardWeaken,
+            2 => EditKind::EffectRewrite,
+            3 => EditKind::DeadBranchInsert,
+            _ => EditKind::CalleeBodyEdit,
+        };
+        let applied = match kind {
+            EditKind::GuardStrengthen | EditKind::GuardWeaken => {
+                apply_guard_edit(&mut modified, &mut rng, &main_sites, &edited, kind)
+            }
+            EditKind::EffectRewrite => {
+                apply_effect_edit(&mut modified, &mut rng, &main_sites, &edited, kind)
+            }
+            EditKind::DeadBranchInsert => {
+                apply_dead_branch(&mut modified, &mut rng, &main_sites, &edited)
+            }
+            EditKind::CalleeBodyEdit => {
+                // Route through the guard/effect editors, restricted to
+                // helper-body sites; call-free scenarios fall back to a
+                // main-body edit below.
+                if helper_sites.is_empty() {
+                    None
+                } else if rng.below(2) == 0 {
+                    apply_guard_edit(&mut modified, &mut rng, &helper_sites, &edited, kind)
+                } else {
+                    apply_effect_edit(&mut modified, &mut rng, &helper_sites, &edited, kind)
+                }
+            }
+        };
+        match applied {
+            Some(edit) => {
+                edited.extend(edit.markers.iter().copied());
+                edits.push(edit);
+            }
+            // The drawn kind had no eligible site left; the next draw
+            // picks again. Termination: every loop iteration either
+            // applies an edit or burns rng state, and EffectRewrite is
+            // always applicable while unedited assign sites remain (every
+            // scenario has more assign sites than `count`).
+            None => {
+                if let Some(edit) =
+                    apply_effect_edit(&mut modified, &mut rng, &sites, &edited, kind)
+                {
+                    edited.extend(edit.markers.iter().copied());
+                    edits.push(edit);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    Evolution { modified, edits }
+}
+
+fn collect_sites(body: &[GStmt], helper: Option<usize>, out: &mut Vec<Site>) {
+    for stmt in body {
+        match stmt {
+            GStmt::Assign(site) => out.push(Site {
+                helper,
+                kind: SiteKind::Assign,
+                marker: site.marker,
+            }),
+            GStmt::If {
+                guard,
+                then_b,
+                else_b,
+            } => {
+                out.push(Site {
+                    helper,
+                    kind: SiteKind::Guard,
+                    marker: guard.marker,
+                });
+                collect_sites(then_b, helper, out);
+                collect_sites(else_b, helper, out);
+            }
+            GStmt::Call { .. } => {}
+        }
+    }
+}
+
+/// Picks an unedited site of `kind` from `pool`, uniformly by rng.
+fn pick_site<'s>(
+    rng: &mut Rng,
+    pool: &'s [Site],
+    edited: &BTreeSet<i64>,
+    kind: SiteKind,
+) -> Option<&'s Site> {
+    let eligible: Vec<&Site> = pool
+        .iter()
+        .filter(|s| s.kind == kind && !edited.contains(&s.marker))
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    Some(eligible[rng.below(eligible.len() as u64) as usize])
+}
+
+/// A strictly harder-to-satisfy comparison (always a different operator).
+fn strengthen(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Le => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Gt,
+        CmpOp::Lt | CmpOp::Gt | CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Eq => CmpOp::Lt,
+    }
+}
+
+/// An easier-to-satisfy comparison (always a different operator).
+fn weaken(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Le,
+        CmpOp::Gt => CmpOp::Ge,
+        CmpOp::Le | CmpOp::Ge | CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Ge,
+    }
+}
+
+fn apply_guard_edit(
+    scenario: &mut Scenario,
+    rng: &mut Rng,
+    pool: &[Site],
+    edited: &BTreeSet<i64>,
+    kind: EditKind,
+) -> Option<AppliedEdit> {
+    let site = pick_site(rng, pool, edited, SiteKind::Guard)?.clone();
+    let mut description = String::new();
+    let strengthen_it = matches!(kind, EditKind::GuardStrengthen)
+        || (matches!(kind, EditKind::CalleeBodyEdit) && rng.below(2) == 0);
+    let changed = with_guard_mut(scenario, site.marker, |guard| {
+        let old = guard.op;
+        guard.op = if strengthen_it {
+            strengthen(old)
+        } else {
+            weaken(old)
+        };
+        description = format!(
+            "guard {} {} {} -> {} {} {}",
+            guard.var,
+            old.src(),
+            guard.marker,
+            guard.var,
+            guard.op.src(),
+            guard.marker
+        );
+    });
+    debug_assert!(changed, "collected guard site must exist");
+    changed.then_some(AppliedEdit {
+        kind,
+        markers: vec![site.marker],
+        description,
+    })
+}
+
+fn apply_effect_edit(
+    scenario: &mut Scenario,
+    rng: &mut Rng,
+    pool: &[Site],
+    edited: &BTreeSet<i64>,
+    kind: EditKind,
+) -> Option<AppliedEdit> {
+    let site = pick_site(rng, pool, edited, SiteKind::Assign)?.clone();
+    let mut description = String::new();
+    let changed = with_assign_mut(scenario, site.marker, |assign| {
+        let old = assign.coef;
+        assign.coef = if assign.coef >= 8 { 2 } else { assign.coef + 1 };
+        description = format!(
+            "effect {} = {} * {} + {} -> coef {}",
+            assign.target, assign.source, old, assign.marker, assign.coef
+        );
+    });
+    debug_assert!(changed, "collected assign site must exist");
+    changed.then_some(AppliedEdit {
+        kind: if matches!(kind, EditKind::CalleeBodyEdit) {
+            EditKind::CalleeBodyEdit
+        } else {
+            EditKind::EffectRewrite
+        },
+        markers: vec![site.marker],
+        description,
+    })
+}
+
+/// Inserts `if (Level > F && Level < F) { Reg = Level * c + F'; }` right
+/// after the main-body statement carrying the anchor marker. The branch
+/// condition is unsatisfiable (a genuinely dead branch), but both fresh
+/// nodes are *added* CFG nodes and must be seeded into the affected sets
+/// regardless of feasibility.
+fn apply_dead_branch(
+    scenario: &mut Scenario,
+    rng: &mut Rng,
+    main_sites: &[Site],
+    edited: &BTreeSet<i64>,
+) -> Option<AppliedEdit> {
+    // Any unedited main site works as the anchor; the anchor itself is
+    // not edited (insertion after it leaves it byte-identical), so it
+    // stays eligible for later edits.
+    let anchors: Vec<&Site> = main_sites
+        .iter()
+        .filter(|s| !edited.contains(&s.marker))
+        .collect();
+    if anchors.is_empty() {
+        return None;
+    }
+    let anchor = anchors[rng.below(anchors.len() as u64) as usize];
+    let guard_marker = scenario.next_marker;
+    let write_marker = scenario.next_marker + 1;
+    scenario.next_marker += 2;
+    let target = scenario.globals[rng.below(scenario.globals.len() as u64) as usize].clone();
+    let branch = GStmt::If {
+        guard: GuardSite {
+            var: "Level".to_string(),
+            op: CmpOp::Gt,
+            marker: guard_marker,
+            dead: true,
+        },
+        then_b: vec![GStmt::Assign(AssignSite {
+            target: target.clone(),
+            source: "Level".to_string(),
+            coef: 2 + rng.below(7) as i64,
+            marker: write_marker,
+        })],
+        else_b: Vec::new(),
+    };
+    let mut inserted = false;
+    for arm in &mut scenario.arms {
+        if insert_after(arm, anchor.marker, &branch) {
+            inserted = true;
+            break;
+        }
+    }
+    debug_assert!(inserted, "anchor must live in some arm");
+    inserted.then_some(AppliedEdit {
+        kind: EditKind::DeadBranchInsert,
+        markers: vec![guard_marker, write_marker],
+        description: format!(
+            "dead branch if (Level > {guard_marker} && Level < {guard_marker}) \
+             {{ {target} = … + {write_marker}; }} after marker {}",
+            anchor.marker
+        ),
+    })
+}
+
+/// Runs `f` on the guard carrying `marker` anywhere in the scenario.
+fn with_guard_mut(scenario: &mut Scenario, marker: i64, mut f: impl FnMut(&mut GuardSite)) -> bool {
+    fn walk(body: &mut [GStmt], marker: i64, f: &mut impl FnMut(&mut GuardSite)) -> bool {
+        for stmt in body {
+            if let GStmt::If {
+                guard,
+                then_b,
+                else_b,
+            } = stmt
+            {
+                if guard.marker == marker {
+                    f(guard);
+                    return true;
+                }
+                if walk(then_b, marker, f) || walk(else_b, marker, f) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    for helper in &mut scenario.helpers {
+        if walk(&mut helper.body, marker, &mut f) {
+            return true;
+        }
+    }
+    for arm in &mut scenario.arms {
+        if walk(arm, marker, &mut f) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs `f` on the assignment carrying `marker` anywhere in the scenario.
+fn with_assign_mut(
+    scenario: &mut Scenario,
+    marker: i64,
+    mut f: impl FnMut(&mut AssignSite),
+) -> bool {
+    fn walk(body: &mut [GStmt], marker: i64, f: &mut impl FnMut(&mut AssignSite)) -> bool {
+        for stmt in body {
+            match stmt {
+                GStmt::Assign(site) if site.marker == marker => {
+                    f(site);
+                    return true;
+                }
+                // The guard form clippy suggests cannot work here: match
+                // guards take shared borrows, and `walk` needs the
+                // bodies mutably.
+                #[allow(clippy::collapsible_match)]
+                GStmt::If { then_b, else_b, .. } => {
+                    if walk(then_b, marker, f) || walk(else_b, marker, f) {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+    for helper in &mut scenario.helpers {
+        if walk(&mut helper.body, marker, &mut f) {
+            return true;
+        }
+    }
+    for arm in &mut scenario.arms {
+        if walk(arm, marker, &mut f) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Inserts `new_stmt` right after the statement carrying `marker` (an
+/// assignment's own marker or an `if`'s guard marker) in `body` or any
+/// nested block. Returns `true` on success.
+fn insert_after(body: &mut Vec<GStmt>, marker: i64, new_stmt: &GStmt) -> bool {
+    let mut position = None;
+    for (i, stmt) in body.iter_mut().enumerate() {
+        match stmt {
+            GStmt::Assign(site) if site.marker == marker => {
+                position = Some(i);
+                break;
+            }
+            GStmt::If {
+                guard,
+                then_b,
+                else_b,
+            } => {
+                if guard.marker == marker {
+                    position = Some(i);
+                    break;
+                }
+                if insert_after(then_b, marker, new_stmt) || insert_after(else_b, marker, new_stmt)
+                {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(i) = position {
+        body.insert(i + 1, new_stmt.clone());
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::GenParams;
+
+    fn base() -> Scenario {
+        Scenario::generate(&GenParams {
+            seed: 5,
+            ..GenParams::default()
+        })
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let scenario = base();
+        let a = evolve(&scenario, 11, 3);
+        let b = evolve(&scenario, 11, 3);
+        assert_eq!(a.modified.source(), b.modified.source());
+        assert_eq!(a.ground_truth_markers(), b.ground_truth_markers());
+    }
+
+    #[test]
+    fn evolutions_change_the_program() {
+        let scenario = base();
+        for seed in 0..12 {
+            let evo = evolve(&scenario, seed, 2);
+            assert_eq!(evo.edits.len(), 2, "seed {seed}");
+            assert_ne!(
+                evo.modified.source(),
+                scenario.source(),
+                "seed {seed} produced an identity evolution"
+            );
+            assert!(!evo.ground_truth_markers().is_empty());
+        }
+    }
+
+    #[test]
+    fn edits_never_touch_the_same_site_twice() {
+        let scenario = base();
+        for seed in 0..12 {
+            let evo = evolve(&scenario, seed, 4);
+            let all: Vec<i64> = evo
+                .edits
+                .iter()
+                .flat_map(|e| e.markers.iter().copied())
+                .collect();
+            let distinct: BTreeSet<i64> = all.iter().copied().collect();
+            assert_eq!(all.len(), distinct.len(), "seed {seed}: {all:?}");
+        }
+    }
+
+    #[test]
+    fn modified_scenarios_still_parse_and_check() {
+        let scenario = base();
+        for seed in 0..12 {
+            let evo = evolve(&scenario, seed, 3);
+            evo.modified.program();
+        }
+    }
+
+    #[test]
+    fn dead_branch_markers_are_fresh() {
+        let scenario = base();
+        for seed in 0..24 {
+            let evo = evolve(&scenario, seed, 3);
+            for edit in &evo.edits {
+                if matches!(edit.kind, EditKind::DeadBranchInsert) {
+                    for marker in &edit.markers {
+                        assert!(*marker >= scenario.next_marker);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn callee_edits_land_in_helpers() {
+        let scenario = base();
+        let mut saw_callee_edit = false;
+        for seed in 0..48 {
+            let evo = evolve(&scenario, seed, 3);
+            for edit in &evo.edits {
+                if matches!(edit.kind, EditKind::CalleeBodyEdit) {
+                    saw_callee_edit = true;
+                    // The edited marker must belong to a helper body: the
+                    // helper sources changed, the arm sources for those
+                    // markers did not exist in the base.
+                    assert!(
+                        scenario
+                            .helpers
+                            .iter()
+                            .zip(&evo.modified.helpers)
+                            .any(|(b, m)| b != m),
+                        "seed {seed}: callee edit left every helper unchanged"
+                    );
+                }
+            }
+        }
+        assert!(saw_callee_edit, "taxonomy never drew a callee edit");
+    }
+}

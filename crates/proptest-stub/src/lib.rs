@@ -2,19 +2,43 @@
 //!
 //! The build environment cannot reach crates.io, so this workspace vendors
 //! a minimal, deterministic re-implementation of the proptest surface the
-//! test suites use: the [`proptest!`] macro, `any::<T>()`, integer-range
-//! strategies, [`strategy::Strategy::prop_map`], `prop::collection::vec`,
-//! and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertion
-//! macros.
+//! test suites use. **Exactly this subset is implemented:**
+//!
+//! * the [`proptest!`] macro — optional `#![proptest_config(...)]` header
+//!   followed by `#[test] fn name(arg in strategy, ...) { body }` items;
+//! * `any::<T>()` for `u64`, `u32`, `usize`, `i64`, `i32`, `bool`;
+//! * `Range`/`RangeInclusive` strategies over the primitive integers;
+//! * [`strategy::Strategy::prop_map`] and `prop::collection::vec`
+//!   (fixed element count);
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`;
+//! * `ProptestConfig::with_cases(n)` (the `cases` field is the only knob).
+//!
+//! How a run works: every case draws a fresh **case seed** from a
+//! splitmix64 stream keyed on the test's module path and name, then
+//! generates all argument values from a generator seeded with that case
+//! seed. The stream is fixed, so every run of the suite explores the same
+//! cases (reproducible CI), yet each case is independently replayable
+//! from its seed alone.
+//!
+//! On a `prop_assert!`-family failure the runner *shrinks at the seed
+//! level*: it rescans small seeds ascending and then walks a halving
+//! ladder down from the failing seed, re-running the property on each
+//! candidate, and reports the smallest failing seed it finds. The panic
+//! message includes a `PROPTEST_STUB_SEED=<seed>` replay line; setting
+//! that environment variable makes the next run execute exactly that one
+//! seed instead of the stream.
 //!
 //! Differences from real proptest, by design:
 //!
-//! * generation is a fixed splitmix64 stream seeded from the test name —
-//!   every run explores the same cases (reproducible CI);
-//! * there is no shrinking: a failing case panics with its message
-//!   directly;
-//! * rejected cases (`prop_assume!`) are retried up to a bounded factor of
-//!   the configured case count.
+//! * shrinking is seed-level only — there is no value-level simplification
+//!   of the generated arguments (no strategy `simplify`/`complicate`);
+//! * panics inside the body are **not** caught: only `prop_assert*`
+//!   failures drive shrinking, a plain `assert!`/`unwrap` aborts the test
+//!   immediately without seed reporting;
+//! * rejected cases (`prop_assume!`) consume a seed and are retried up to
+//!   a bounded factor (16x) of the configured case count;
+//! * there is no failure-persistence file; replay is via
+//!   `PROPTEST_STUB_SEED`.
 
 pub mod strategy {
     use super::test_runner::Rng;
@@ -151,13 +175,21 @@ pub mod test_runner {
     }
 
     impl Rng {
-        /// Seeds from an arbitrary string (the test name).
+        /// Seeds from an arbitrary string (the test name). Used for the
+        /// per-test *seed stream*, not for case generation.
         pub fn new(seed: &str) -> Rng {
             let mut state = 0x9e37_79b9_7f4a_7c15u64;
             for b in seed.bytes() {
                 state = state.wrapping_mul(31).wrapping_add(u64::from(b));
             }
             Rng { state }
+        }
+
+        /// Seeds from a case seed: every case's argument values are a pure
+        /// function of one `u64`, which is what makes seed-level shrinking
+        /// and `PROPTEST_STUB_SEED` replay possible.
+        pub fn from_seed(seed: u64) -> Rng {
+            Rng { state: seed }
         }
 
         /// Next raw 64-bit draw.
@@ -177,7 +209,8 @@ pub mod test_runner {
     pub enum TestCaseError {
         /// `prop_assume!` rejected the inputs; the case is retried.
         Reject,
-        /// `prop_assert!`-family failure; the test panics with the message.
+        /// `prop_assert!`-family failure; the runner shrinks the seed and
+        /// panics with the message.
         Fail(String),
     }
 
@@ -199,6 +232,96 @@ pub mod test_runner {
         fn default() -> Config {
             Config { cases: 64 }
         }
+    }
+
+    /// Small seeds scanned ascending during shrinking: the first failure
+    /// in `0..SHRINK_SCAN` is the smallest failing seed in that range.
+    const SHRINK_SCAN: u64 = 64;
+
+    /// Cap on halving-ladder steps, so shrinking an expensive property
+    /// stays bounded at `SHRINK_SCAN + SHRINK_LADDER_MAX` extra runs.
+    const SHRINK_LADDER_MAX: u32 = 64;
+
+    /// Seed-level shrinking: scan small seeds ascending (first failure is
+    /// the smallest in range, so return it immediately), then walk a
+    /// halving ladder down from the original failing seed. Returns the
+    /// smallest failing seed found, its failure message, and how many
+    /// candidates were tried.
+    fn shrink(
+        seed: u64,
+        message: String,
+        case: &mut dyn FnMut(u64) -> Result<(), TestCaseError>,
+    ) -> (u64, String, u32) {
+        let mut tried = 0u32;
+        for candidate in 0..SHRINK_SCAN.min(seed) {
+            tried += 1;
+            if let Err(TestCaseError::Fail(m)) = case(candidate) {
+                return (candidate, m, tried);
+            }
+        }
+        let mut best = seed;
+        let mut best_message = message;
+        let mut candidate = seed / 2;
+        while candidate >= SHRINK_SCAN && tried < SHRINK_SCAN as u32 + SHRINK_LADDER_MAX {
+            tried += 1;
+            if let Err(TestCaseError::Fail(m)) = case(candidate) {
+                best = candidate;
+                best_message = m;
+            }
+            candidate /= 2;
+        }
+        (best, best_message, tried)
+    }
+
+    /// Drives one property: draws case seeds from a stream keyed on
+    /// `test_name`, runs `case` on each until `config.cases` pass, and on
+    /// the first failure shrinks the seed and panics with a replayable
+    /// report. Honours `PROPTEST_STUB_SEED` as a single-seed replay
+    /// override. Called by the [`proptest!`](crate::proptest) expansion.
+    pub fn run(
+        config: Config,
+        test_name: &str,
+        case: &mut dyn FnMut(u64) -> Result<(), TestCaseError>,
+    ) {
+        if let Ok(replay) = std::env::var("PROPTEST_STUB_SEED") {
+            let seed: u64 = replay
+                .trim()
+                .parse()
+                .expect("PROPTEST_STUB_SEED must be a u64");
+            match case(seed) {
+                Ok(()) => return,
+                Err(TestCaseError::Reject) => {
+                    panic!("replay seed {seed} was rejected by prop_assume!")
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("property failed at replay seed {seed}: {message}")
+                }
+            }
+        }
+        let mut stream = Rng::new(test_name);
+        let mut passed = 0u32;
+        let mut attempts = 0u32;
+        let max_attempts = config.cases.saturating_mul(16).max(16);
+        while passed < config.cases && attempts < max_attempts {
+            attempts += 1;
+            let seed = stream.next();
+            match case(seed) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(message)) => {
+                    let (min_seed, min_message, tried) = shrink(seed, message, case);
+                    panic!(
+                        "property failed (case {attempts}, seed {seed}); smallest \
+                         failing seed after {tried} shrink candidate(s): {min_seed}\n\
+                         replay with PROPTEST_STUB_SEED={min_seed}\n{min_message}"
+                    );
+                }
+            }
+        }
+        assert!(
+            passed > 0,
+            "every generated case was rejected by prop_assume!"
+        );
     }
 }
 
@@ -238,26 +361,18 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::Config = $config;
-            let mut rng = $crate::test_runner::Rng::new(concat!(module_path!(), "::", stringify!($name)));
-            let mut passed: u32 = 0;
-            let mut attempts: u32 = 0;
-            let max_attempts = config.cases.saturating_mul(16).max(16);
-            while passed < config.cases && attempts < max_attempts {
-                attempts += 1;
+            // The whole case is a pure function of one seed, so the
+            // runner can replay it during shrinking.
+            let mut case = |seed: u64| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                let mut rng = $crate::test_runner::Rng::from_seed(seed);
                 $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
-                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| { $body ::std::result::Result::Ok(()) })();
-                match outcome {
-                    Ok(()) => passed += 1,
-                    Err($crate::test_runner::TestCaseError::Reject) => {}
-                    Err($crate::test_runner::TestCaseError::Fail(message)) => {
-                        panic!("property failed (case {attempts}): {message}");
-                    }
-                }
-            }
-            assert!(
-                passed > 0,
-                "every generated case was rejected by prop_assume!"
+                $body
+                ::std::result::Result::Ok(())
+            };
+            $crate::test_runner::run(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+                &mut case,
             );
         }
         $crate::__proptest_items! { ($config) $($rest)* }
@@ -338,4 +453,107 @@ macro_rules! prop_assume {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_runner::{run, Config, TestCaseError};
+
+    fn panic_message(result: std::thread::Result<()>) -> String {
+        let payload = result.expect_err("property should fail");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string")
+    }
+
+    /// A property failing on every seed shrinks all the way to seed 0: the
+    /// ascending scan finds it first, so the reported seed is minimal.
+    #[test]
+    fn shrinking_reports_the_smallest_failing_seed() {
+        let result = std::panic::catch_unwind(|| {
+            run(Config::with_cases(8), "always_fails", &mut |_seed| {
+                Err(TestCaseError::Fail("boom".to_string()))
+            });
+        });
+        let message = panic_message(result);
+        assert!(
+            message.contains("smallest failing seed after 1 shrink candidate(s): 0"),
+            "unexpected report: {message}"
+        );
+        assert!(
+            message.contains("replay with PROPTEST_STUB_SEED=0"),
+            "missing replay line: {message}"
+        );
+    }
+
+    /// When small seeds pass, the halving ladder still walks the failing
+    /// seed down and the reported seed fails while seeds below the scan
+    /// window were verified to pass.
+    #[test]
+    fn shrinking_walks_the_halving_ladder() {
+        let fails = |seed: u64| seed >= 1_000_000;
+        let result = std::panic::catch_unwind(|| {
+            run(Config::with_cases(8), "fails_when_large", &mut |seed| {
+                if fails(seed) {
+                    Err(TestCaseError::Fail(format!("large seed {seed}")))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let message = panic_message(result);
+        let reported: u64 = message
+            .split("shrink candidate(s): ")
+            .nth(1)
+            .and_then(|rest| rest.split('\n').next())
+            .and_then(|s| s.parse().ok())
+            .expect("report names the shrunk seed");
+        assert!(fails(reported), "reported seed {reported} does not fail");
+        // The ladder halves until it crosses the threshold, so the result
+        // lands within one doubling of the smallest failing seed.
+        assert!(
+            reported < 2_000_000,
+            "ladder did not shrink: reported {reported}"
+        );
+    }
+
+    /// Each case seed is drawn from a per-test stream, so two runs of the
+    /// same property see identical seed sequences (reproducible CI).
+    #[test]
+    fn seed_streams_are_deterministic_per_test() {
+        let collect = || {
+            let mut seeds = Vec::new();
+            run(Config::with_cases(5), "stream_probe", &mut |seed| {
+                seeds.push(seed);
+                Ok(())
+            });
+            seeds
+        };
+        let first = collect();
+        let second = collect();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+        assert!(
+            first.windows(2).all(|w| w[0] != w[1]),
+            "stream repeats seeds back-to-back: {first:?}"
+        );
+    }
+
+    /// Rejected cases consume seeds without counting as passes, and a
+    /// property that rejects everything is flagged rather than passing.
+    #[test]
+    fn exhausted_assume_is_reported() {
+        let result = std::panic::catch_unwind(|| {
+            run(Config::with_cases(4), "rejects_all", &mut |_seed| {
+                Err(TestCaseError::Reject)
+            });
+        });
+        let message = panic_message(result);
+        assert!(
+            message.contains("rejected by prop_assume!"),
+            "unexpected report: {message}"
+        );
+    }
 }

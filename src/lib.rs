@@ -22,6 +22,7 @@
 //! | [`artifacts`] | `dise-artifacts` | the WBS / OAE / ASW case studies and their mutants |
 //! | [`regression`] | `dise-regression` | test generation, selection and augmentation |
 //! | [`evolution`] | `dise-evolution` | differential witnesses, summaries, fault localization, impact reports |
+//! | [`gen`](mod@gen) | `dise-gen` | scenario generation, evolution edits, the ground-truth differential harness |
 //!
 //! # Quickstart
 //!
@@ -88,6 +89,7 @@ pub use dise_cfg as cfg;
 pub use dise_core as core;
 pub use dise_diff as diff;
 pub use dise_evolution as evolution;
+pub use dise_gen as gen;
 pub use dise_ir as ir;
 pub use dise_regression as regression;
 pub use dise_solver as solver;
