@@ -85,6 +85,33 @@
 //!                 summaries on/off equivalence, warm ≡ cold) and fail on
 //!                 the first violation
 //!
+//! dise serve [--jobs N] [--pool N] [--cache-bytes N] [--request-workers N]
+//!            [--store DIR] [--trace-json DIR] [--listen ADDR]
+//!     Resident analysis service: newline-delimited JSON-RPC 2.0 over
+//!     stdin/stdout (or a TCP listener with --listen). Methods `analyze`,
+//!     `evolve`, and `chain` expose the corresponding subcommands;
+//!     identical requests answer from an in-memory session cache or
+//!     coalesce onto one in-flight exploration, and `status`, `evict`,
+//!     and `shutdown` administer the server. Responses may arrive out of
+//!     order — clients match on the echoed `id`. The deterministic
+//!     members of each response are byte-identical to the one-shot
+//!     subcommand's output (for `analyze`, the indented PC block of
+//!     `dise run … --stats json` minus the registry lines).
+//!     --jobs N           frontier workers per exploration (default 1 or
+//!                        DISE_JOBS)
+//!     --pool N           total frontier-worker tokens across concurrent
+//!                        explorations (default: available parallelism)
+//!     --cache-bytes N    session-cache byte budget (default 64 MiB)
+//!     --request-workers N request-handler threads (default scales with
+//!                        the pool)
+//!     --store DIR        shared persistent store (default DISE_STORE);
+//!                        saves take the store's advisory lock, so the
+//!                        server can share DIR with one-shot runs
+//!     --trace-json DIR   write one validated trace log per request to
+//!                        DIR/<request_id>.jsonl
+//!     --listen ADDR      serve TCP connections on ADDR (e.g.
+//!                        127.0.0.1:7645) instead of stdin/stdout
+//!
 //! dise store stat [DIR]
 //! dise store clear [DIR]
 //!     Inspect or empty a persistent analysis store (DIR defaults to the
@@ -126,7 +153,7 @@ use dise_core::dise::DiseConfig;
 use dise_core::metrics::{exec_registry, result_registry};
 use dise_core::report::{
     duration_mmss, solver_stats_line, stage_stats_line, store_stats_line, summary_stats_line,
-    sweep_stats_line,
+    sweep_stats_line, verdict_pc_block,
 };
 use dise_core::session::AnalysisSession;
 use dise_core::DataflowPrecision;
@@ -165,6 +192,7 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
         Some("trace") => trace_command(&positional[1..]),
         Some("evolve") => evolve_command(&positional[1..], &flags),
         Some("gen") => gen_command(&args),
+        Some("serve") => serve_command(&args),
         Some("store") => store_command(&positional[1..]),
         Some("tests") => tests_command(&positional[1..]),
         Some("inspect") => inspect_command(&positional[1..], &flags),
@@ -184,6 +212,7 @@ const USAGE: &str = "usage:
   dise trace validate <FILE>
   dise evolve <base.mj> <modified.mj> <proc>
   dise gen [--seed N] [--pairs N] [--edits N] [--arms N] [--guard-depth N] [--helpers N] [--call-depth N] [--globals N] [--out DIR] [--verify]
+  dise serve [--jobs N] [--pool N] [--cache-bytes N] [--request-workers N] [--store DIR] [--trace-json DIR] [--listen ADDR]
   dise store stat|clear [DIR]
   dise tests <base.mj> <modified.mj> <proc>
   dise inspect <file.mj> <proc> [--dot]
@@ -448,14 +477,18 @@ fn print_hop(
         }
     }
     scopes.push((dise_scope, registry));
+    // The verdict block every byte-identity consumer shares (see
+    // `dise_core::report::verdict_pc_block`); `dise serve` renders its
+    // responses through the same function.
     if flags.contains(&"--simplify") {
-        for pc in dise_solver::simplify::simplify_pc_strings(result.summary.path_conditions()) {
-            println!("  {pc}");
-        }
+        print!(
+            "{}",
+            verdict_pc_block(dise_solver::simplify::simplify_pc_strings(
+                result.summary.path_conditions()
+            ))
+        );
     } else {
-        for pc in result.affected_pc_strings() {
-            println!("  {pc}");
-        }
+        print!("{}", verdict_pc_block(result.affected_pc_strings()));
     }
     if flags.contains(&"--trace") {
         println!("\naffected-set fixpoint trace:");
@@ -502,9 +535,7 @@ fn print_hop(
                 println!("summaries: {line}");
             }
         }
-        for pc in full.path_conditions() {
-            println!("  {pc}");
-        }
+        print!("{}", verdict_pc_block(full.path_conditions()));
         scopes.push((full_scope, full_registry));
     }
     Ok(())
@@ -820,6 +851,76 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// `dise serve` — the resident analysis service (see `dise-serve`).
+/// Parses its own arguments for the same reason `run` does: most flags
+/// take a value.
+fn serve_command(args: &[String]) -> Result<(), String> {
+    let mut config = dise_serve::ServeConfig {
+        store: std::env::var_os("DISE_STORE")
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from),
+        ..dise_serve::ServeConfig::default()
+    };
+    let mut request_workers = 0usize; // 0 = front-end default
+    let mut listen: Option<String> = None;
+    let mut pool_set = false;
+    let parse_count = |flag: &str, value: &str| -> Result<usize, String> {
+        match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("{flag} expects a count of at least 1")),
+        }
+    };
+    let mut seen_command = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| -> Result<String, String> {
+            match arg.strip_prefix(&format!("{flag}=")) {
+                Some(value) => Ok(value.to_string()),
+                None => iter
+                    .next()
+                    .map(|v| v.to_string())
+                    .ok_or_else(|| format!("{flag} expects a value")),
+            }
+        };
+        if arg == "--jobs" || arg.starts_with("--jobs=") {
+            config.jobs = parse_count("--jobs", &value_of("--jobs")?)?;
+        } else if arg == "--pool" || arg.starts_with("--pool=") {
+            config.pool = parse_count("--pool", &value_of("--pool")?)?;
+            pool_set = true;
+        } else if arg == "--cache-bytes" || arg.starts_with("--cache-bytes=") {
+            config.cache_bytes = parse_count("--cache-bytes", &value_of("--cache-bytes")?)?;
+        } else if arg == "--request-workers" || arg.starts_with("--request-workers=") {
+            request_workers = parse_count("--request-workers", &value_of("--request-workers")?)?;
+        } else if arg == "--store" || arg.starts_with("--store=") {
+            config.store = Some(std::path::PathBuf::from(value_of("--store")?));
+        } else if arg == "--trace-json" || arg.starts_with("--trace-json=") {
+            config.trace_dir = Some(std::path::PathBuf::from(value_of("--trace-json")?));
+        } else if arg == "--listen" || arg.starts_with("--listen=") {
+            listen = Some(value_of("--listen")?);
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}` for `serve`\n{USAGE}"));
+        } else if !seen_command && arg == "serve" {
+            seen_command = true;
+        } else {
+            return Err(format!("unexpected argument `{arg}` for `serve`\n{USAGE}"));
+        }
+    }
+    if pool_set && config.pool < config.jobs {
+        return Err("--pool must be at least --jobs".to_string());
+    }
+    // The default pool follows the host; an explicit --jobs above it
+    // still needs that many tokens for one exploration.
+    config.pool = config.pool.max(config.jobs);
+    let server = Arc::new(dise_serve::Server::new(config));
+    match listen {
+        Some(addr) => dise_serve::serve_tcp(server, &addr, request_workers, |bound| {
+            eprintln!("dise serve: listening on {bound}");
+        }),
+        None => dise_serve::serve_stdio(server, request_workers),
+    }
+    .map_err(|e| format!("serve: {e}"))
+}
+
 /// `dise store stat|clear [DIR]` — inspect or empty a persistent
 /// analysis store. `DIR` falls back to the `DISE_STORE` environment
 /// variable.
@@ -988,32 +1089,10 @@ fn witness_command(positional: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
-/// The `witness` report rendering, shared verbatim with `evolve`.
+/// The `witness` report rendering, shared verbatim with `evolve` and
+/// `dise serve` (see `dise_evolution::witness::render_report`).
 fn print_witness_report(report: &dise_evolution::witness::WitnessReport) {
-    println!(
-        "{} affected path condition(s): {} diverge, {} agree",
-        report.affected_pcs,
-        report.diverging_count(),
-        report.equivalent_count()
-    );
-    for witness in &report.witnesses {
-        let verdict = match &witness.divergence {
-            dise_evolution::witness::Divergence::None => "agrees".to_string(),
-            dise_evolution::witness::Divergence::Outcome { base, modified } => {
-                format!("outcome {base} -> {modified}")
-            }
-            dise_evolution::witness::Divergence::Effect(diffs) => diffs
-                .iter()
-                .map(|d| format!("{}: {} -> {}", d.var, d.base, d.modified))
-                .collect::<Vec<_>>()
-                .join(", "),
-        };
-        println!(
-            "  [{}] {}",
-            dise_evolution::inputs::render_env(&witness.input),
-            verdict
-        );
-    }
+    print!("{}", dise_evolution::witness::render_report(report));
 }
 
 fn localize_command(positional: &[&str], args: &[String]) -> Result<(), String> {
@@ -1046,19 +1125,10 @@ fn localize_command(positional: &[&str], args: &[String]) -> Result<(), String> 
     Ok(())
 }
 
-/// The `localize` ranking rendering, shared verbatim with `evolve`.
+/// The `localize` ranking rendering, shared verbatim with `evolve` and
+/// `dise serve` (see `dise_evolution::localize::render_localization`).
 fn print_localization(outcome: &dise_evolution::localize::ChangeLocalization) {
-    print!(
-        "{}",
-        dise_evolution::localize::render_ranking(&outcome.report, None, 10)
-    );
-    match (outcome.best_changed_rank, outcome.exam) {
-        (Some(rank), Some(exam)) => println!(
-            "changed statement: rank {rank} of {} (EXAM {exam:.2})",
-            outcome.report.ranking.len()
-        ),
-        _ => println!("no changed statement to rank (identical versions?)"),
-    }
+    print!("{}", dise_evolution::localize::render_localization(outcome));
 }
 
 fn classify_command(positional: &[&str]) -> Result<(), String> {

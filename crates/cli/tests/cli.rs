@@ -84,6 +84,26 @@ fn stderr(output: &Output) -> String {
     String::from_utf8_lossy(&output.stderr).into_owned()
 }
 
+/// The `.dise` entry files of a store directory, wherever the sharding
+/// layout put them (top level for legacy stores, `xx/` subdirs today).
+fn store_entry_files(dir: &std::path::Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .flat_map(|p| {
+            if p.is_dir() {
+                std::fs::read_dir(&p)
+                    .unwrap()
+                    .map(|e| e.unwrap().path())
+                    .collect()
+            } else {
+                vec![p]
+            }
+        })
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("dise"))
+        .collect()
+}
+
 #[test]
 fn run_reports_affected_path_conditions() {
     let fx = fixture();
@@ -513,11 +533,10 @@ fn corrupt_store_entries_warn_and_fall_back_cold() {
 
     let cold = dise(&["run", base, modified, "f", "--store", store]);
     assert!(cold.status.success(), "{}", stderr(&cold));
-    // Truncate the single entry file.
-    let entry = std::fs::read_dir(store_dir.path())
-        .unwrap()
-        .map(|e| e.unwrap().path())
-        .find(|p| p.extension().and_then(|e| e.to_str()) == Some("dise"))
+    // Truncate the single entry file (entries live in shard subdirs).
+    let entry = store_entry_files(store_dir.path())
+        .into_iter()
+        .next()
         .expect("entry file exists");
     let bytes = std::fs::read(&entry).unwrap();
     std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
@@ -573,18 +592,7 @@ fn dise_store_env_var_enables_persistence() {
         "{}",
         stdout(&out)
     );
-    let entries = std::fs::read_dir(store_dir.path())
-        .unwrap()
-        .filter(|e| {
-            e.as_ref()
-                .unwrap()
-                .path()
-                .extension()
-                .and_then(|x| x.to_str())
-                == Some("dise")
-        })
-        .count();
-    assert_eq!(entries, 1);
+    assert_eq!(store_entry_files(store_dir.path()).len(), 1);
 }
 
 #[test]
@@ -752,10 +760,9 @@ fn store_stat_reports_unreadable_entries_on_stderr() {
     ]);
     assert!(seeded.status.success(), "{}", stderr(&seeded));
     // Truncate the entry so `store stat` cannot read it.
-    let entry = std::fs::read_dir(store_dir.path())
-        .unwrap()
-        .map(|e| e.unwrap().path())
-        .find(|p| p.extension().and_then(|e| e.to_str()) == Some("dise"))
+    let entry = store_entry_files(store_dir.path())
+        .into_iter()
+        .next()
         .expect("entry file exists");
     let bytes = std::fs::read(&entry).unwrap();
     std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
@@ -878,4 +885,209 @@ fn zero_procedure_programs_fail_with_a_clear_error() {
             "{args:?}: {err}"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// `dise serve` — the resident analysis service over stdin/stdout.
+
+/// Spawns `dise serve`, pipes `requests` (one JSON-RPC line each), closes
+/// stdin, and returns the response lines.
+fn serve_session(args: &[&str], requests: &[String]) -> Vec<String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dise"))
+        .arg("serve")
+        .args(args)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    {
+        let mut stdin = child.stdin.take().expect("stdin piped");
+        for request in requests {
+            writeln!(stdin, "{request}").expect("request writes");
+        }
+        // Dropping stdin closes the pipe; the server drains and exits.
+    }
+    let stdout = child.stdout.take().expect("stdout piped");
+    let lines: Vec<String> = BufReader::new(stdout)
+        .lines()
+        .map(|l| l.expect("response line reads"))
+        .collect();
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status}");
+    lines
+}
+
+/// Finds the response with the given numeric id among out-of-order lines.
+fn response_with_id(lines: &[String], id: u64) -> dise_trace::json::JsonValue {
+    for line in lines {
+        let value = dise_trace::json::parse(line)
+            .unwrap_or_else(|e| panic!("response `{line}` parses: {e}"));
+        if value
+            .get("id")
+            .and_then(dise_trace::json::JsonValue::as_u64)
+            == Some(id)
+        {
+            return value;
+        }
+    }
+    panic!("no response with id {id} in {lines:?}");
+}
+
+fn result_str(value: &dise_trace::json::JsonValue, key: &str) -> String {
+    value
+        .get("result")
+        .and_then(|r| r.get(key))
+        .and_then(dise_trace::json::JsonValue::as_str)
+        .unwrap_or_else(|| panic!("result.{key} missing in {value:?}"))
+        .to_string()
+}
+
+#[test]
+fn serve_analyze_output_is_byte_identical_to_the_one_shot_residue() {
+    let fx = fixture();
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+    for jobs in ["1", "4"] {
+        // The one-shot verdict residue: `--stats json` stdout minus the
+        // registry lines.
+        let one_shot = dise(&[
+            "run", base, modified, "f", "--stats", "json", "--jobs", jobs,
+        ]);
+        assert!(one_shot.status.success(), "{}", stderr(&one_shot));
+        let residue: String = stdout(&one_shot)
+            .lines()
+            .filter(|l| !l.starts_with('{'))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(!residue.is_empty());
+
+        let request = format!(
+            "{{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"analyze\",\"params\":{{\
+             \"request_id\":\"e2e\",\"proc\":\"f\",\"base_path\":{base:?},\"mod_path\":{modified:?}}}}}",
+        );
+        let lines = serve_session(&["--jobs", jobs], &[request.clone(), request]);
+        assert_eq!(lines.len(), 2, "one response per request: {lines:?}");
+        let value = response_with_id(&lines, 1);
+        assert_eq!(
+            result_str(&value, "output"),
+            residue,
+            "serve output must be byte-identical to the one-shot residue (jobs={jobs})"
+        );
+        assert_eq!(result_str(&value, "request_id"), "e2e");
+        // The repeat is a cache hit or coalesced follower: same bytes.
+        assert_eq!(lines[0], lines[1], "identical requests, identical bytes");
+    }
+}
+
+#[test]
+fn serve_evolve_output_is_byte_identical_to_dise_evolve() {
+    let fx = fixture();
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+    let one_shot = dise(&["evolve", base, modified, "f"]);
+    assert!(one_shot.status.success(), "{}", stderr(&one_shot));
+
+    let request = format!(
+        "{{\"jsonrpc\":\"2.0\",\"id\":4,\"method\":\"evolve\",\"params\":{{\
+         \"proc\":\"f\",\"base_path\":{base:?},\"mod_path\":{modified:?}}}}}",
+    );
+    let lines = serve_session(&[], &[request]);
+    let value = response_with_id(&lines, 4);
+    assert_eq!(
+        result_str(&value, "output"),
+        stdout(&one_shot),
+        "serve evolve must render exactly what `dise evolve` prints"
+    );
+}
+
+#[test]
+fn serve_shares_a_store_with_one_shot_runs() {
+    let fx = fixture();
+    let store_dir = tempdir::TempDir::new("dise-cli-serve-store").expect("temp dir");
+    let store = store_dir.path().to_str().unwrap();
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+
+    // The server's exploration populates the shared store (saves take
+    // the store's advisory lock)...
+    let request = format!(
+        "{{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"analyze\",\"params\":{{\
+         \"proc\":\"f\",\"base_path\":{base:?},\"mod_path\":{modified:?}}}}}",
+    );
+    let lines = serve_session(&["--store", store], &[request]);
+    assert!(lines[0].contains("\"result\""), "{lines:?}");
+
+    // ...and a one-shot run warm-starts from it afterwards.
+    let warm = dise(&["run", base, modified, "f", "--store", store]);
+    assert!(warm.status.success(), "{}", stderr(&warm));
+    assert!(
+        stdout(&warm).contains("store: warm start"),
+        "{}",
+        stdout(&warm)
+    );
+    let stat = dise(&["store", "stat", store]);
+    assert!(stdout(&stat).contains("1 entry"), "{}", stdout(&stat));
+}
+
+#[test]
+fn serve_status_shutdown_and_bad_requests() {
+    let requests = vec![
+        "nonsense".to_string(),
+        r#"{"jsonrpc":"2.0","id":2,"method":"status"}"#.to_string(),
+        r#"{"jsonrpc":"2.0","id":3,"method":"shutdown"}"#.to_string(),
+    ];
+    let lines = serve_session(&[], &requests);
+    assert!(
+        lines.iter().any(|l| l.contains("-32700")),
+        "parse error reported: {lines:?}"
+    );
+    let status = response_with_id(&lines, 2);
+    assert!(
+        status
+            .get("result")
+            .and_then(|r| r.get("cache_budget"))
+            .is_some(),
+        "{status:?}"
+    );
+    let bye = response_with_id(&lines, 3);
+    assert!(
+        bye.get("result")
+            .and_then(|r| r.get("ok"))
+            .and_then(dise_trace::json::JsonValue::as_bool)
+            == Some(true),
+        "{bye:?}"
+    );
+}
+
+#[test]
+fn serve_writes_one_validated_trace_log_per_request() {
+    let fx = fixture();
+    let trace_dir = tempdir::TempDir::new("dise-cli-serve-trace").expect("temp dir");
+    let base = fx.base.to_str().unwrap();
+    let modified = fx.modified.to_str().unwrap();
+    let request = format!(
+        "{{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"analyze\",\"params\":{{\
+         \"request_id\":\"traced-1\",\"proc\":\"f\",\"base_path\":{base:?},\"mod_path\":{modified:?}}}}}",
+    );
+    let trace = trace_dir.path().to_str().unwrap();
+    serve_session(&["--trace-json", trace], &[request]);
+    let log = trace_dir.path().join("traced-1.jsonl");
+    assert!(log.exists(), "per-request trace log written");
+    let validated = dise(&["trace", "validate", log.to_str().unwrap()]);
+    assert!(
+        validated.status.success(),
+        "trace log validates: {}",
+        stderr(&validated)
+    );
+    let text = std::fs::read_to_string(&log).unwrap();
+    assert!(
+        text.contains("request.traced-1"),
+        "root span carries the request id"
+    );
+    assert!(
+        text.contains("\"scope\":\"traced-1.dise\""),
+        "stats records are scoped by the request id"
+    );
 }

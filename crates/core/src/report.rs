@@ -108,6 +108,21 @@ pub fn duration_mmss(d: std::time::Duration) -> String {
     format!("{minutes:02}:{seconds:02}.{millis:03}")
 }
 
+/// The deterministic verdict block of a directed run: one two-space
+/// indented line per affected path condition. This is exactly what a
+/// one-shot `dise run … --stats json` leaves on stdout once the
+/// registry dumps are stripped (`grep -v '^{'`), so every consumer
+/// that promises byte-identical verdicts — the CLI, `dise serve`
+/// responses, CI diff legs — renders through this one function.
+pub fn verdict_pc_block<T: std::fmt::Display>(pcs: impl IntoIterator<Item = T>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for pc in pcs {
+        let _ = writeln!(out, "  {pc}");
+    }
+    out
+}
+
 /// One-line summary of solver activity for the CLI: total checks, how many
 /// were answered incrementally vs. by monolithic fallback, and the
 /// combined cache/prefix hit rate. Reads the `solver.*` metrics of a

@@ -265,6 +265,27 @@ pub struct ChangeLocalization {
     pub affected_tests: usize,
 }
 
+/// The localization rendering shared verbatim by `dise localize`,
+/// `dise evolve`, and `dise serve`: the top-10 ranking plus the
+/// changed-statement rank line.
+pub fn render_localization(outcome: &ChangeLocalization) -> String {
+    use std::fmt::Write as _;
+    let mut out = render_ranking(&outcome.report, None, 10);
+    match (outcome.best_changed_rank, outcome.exam) {
+        (Some(rank), Some(exam)) => {
+            let _ = writeln!(
+                out,
+                "changed statement: rank {rank} of {} (EXAM {exam:.2})",
+                outcome.report.ranking.len()
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "no changed statement to rank (identical versions?)");
+        }
+    }
+    out
+}
+
 /// End-to-end change localization: builds the §5.2-style suite (base
 /// summary inputs + DiSE affected inputs), replays it on the modified
 /// version, and reports where the changed nodes rank.

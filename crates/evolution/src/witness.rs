@@ -117,6 +117,41 @@ impl WitnessReport {
     }
 }
 
+/// The report rendering shared verbatim by `dise witness`, `dise
+/// evolve`, and `dise serve` — one renderer so the byte-identity the
+/// CI pins between those surfaces holds by construction.
+pub fn render_report(report: &WitnessReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} affected path condition(s): {} diverge, {} agree",
+        report.affected_pcs,
+        report.diverging_count(),
+        report.equivalent_count()
+    );
+    for witness in &report.witnesses {
+        let verdict = match &witness.divergence {
+            Divergence::None => "agrees".to_string(),
+            Divergence::Outcome { base, modified } => {
+                format!("outcome {base} -> {modified}")
+            }
+            Divergence::Effect(diffs) => diffs
+                .iter()
+                .map(|d| format!("{}: {} -> {}", d.var, d.base, d.modified))
+                .collect::<Vec<_>>()
+                .join(", "),
+        };
+        let _ = writeln!(
+            out,
+            "  [{}] {}",
+            crate::inputs::render_env(&witness.input),
+            verdict
+        );
+    }
+    out
+}
+
 /// Runs DiSE on `base` → `modified` and replays every affected path
 /// condition's solved input on both versions.
 ///

@@ -19,7 +19,7 @@
 //! into the level-0 helpers (several arms share one helper — the fan-in
 //! procedure summaries need). Every *editable* statement — a guard or a
 //! register assignment — embeds a globally unique **marker constant**
-//! (integer literals counting up from [`MARKER_BASE`]): the guard's
+//! (integer literals counting up from `MARKER_BASE`): the guard's
 //! comparison bound, or the assignment's additive offset. Markers survive
 //! flattening (the inliner copies literals verbatim), which is what lets
 //! the evolution engine (`crate::edits`) track ground-truth affected nodes

@@ -1,0 +1,266 @@
+//! The in-memory session cache: rendered analysis responses keyed by
+//! content fingerprints, with byte-budgeted LRU eviction.
+//!
+//! The key deliberately contains no file paths, timestamps, or client
+//! identity — only the *content* of the request: the analyzed
+//! procedure, the fingerprints of every program version involved, and
+//! the solver configuration key (`SolverConfig::cache_key` via
+//! `ExecConfig`). Two clients analyzing the same change therefore
+//! share one entry, and a re-upload of byte-identical sources from a
+//! different path is still a hit.
+//!
+//! Eviction is by *bytes*, not entry count: every entry carries the
+//! size of its rendered body plus a fixed per-entry overhead, and
+//! inserting past the budget evicts least-recently-used entries until
+//! the cache fits again. An entry larger than the whole budget is
+//! admitted and then immediately evicted — the cache never refuses a
+//! computation, it just cannot retain one that big.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a cached analysis response is keyed by. `fingerprints` holds
+/// the [`dise_diff::proc_fingerprint`] of every program version in
+/// request order (two for `analyze`/`evolve`, one per version for
+/// `chain`), so any content change anywhere in the chain misses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// The request method (`analyze`, `evolve`, `chain`).
+    pub method: &'static str,
+    /// The analyzed procedure.
+    pub proc: String,
+    /// Content fingerprints of every program version, in order.
+    pub fingerprints: Vec<u64>,
+    /// The solver configuration key of the serving configuration.
+    pub solver_key: u64,
+}
+
+impl SessionKey {
+    /// The bookkeeping overhead an entry with this key costs beyond its
+    /// body: the key's own heap footprint plus a fixed allowance for
+    /// the map/order slots.
+    fn overhead(&self) -> usize {
+        self.proc.len() + self.fingerprints.len() * 8 + 64
+    }
+}
+
+/// A cached, fully rendered response body (the deterministic `result`
+/// members of a JSON-RPC response), shared by reference with every
+/// requester — leader, coalesced followers, and later cache hits all
+/// serve the same bytes.
+#[derive(Debug)]
+pub struct CachedBody {
+    /// The rendered JSON members (no surrounding braces).
+    pub body: String,
+    /// Pipeline solver calls the producing exploration spent — 0 for a
+    /// store-warm rebuild; surfaced so benches can pin the warm-hit
+    /// contract.
+    pub pipeline_solver_calls: u64,
+}
+
+/// Byte-budgeted LRU over [`SessionKey`] → [`CachedBody`].
+#[derive(Debug)]
+pub struct ByteLruCache {
+    budget: usize,
+    bytes: usize,
+    entries: HashMap<SessionKey, Arc<CachedBody>>,
+    /// Recency order, least-recently-used first.
+    order: Vec<SessionKey>,
+    evictions: u64,
+}
+
+impl ByteLruCache {
+    /// An empty cache holding at most `budget` bytes of entries.
+    pub fn new(budget: usize) -> ByteLruCache {
+        ByteLruCache {
+            budget,
+            bytes: 0,
+            entries: HashMap::new(),
+            order: Vec::new(),
+            evictions: 0,
+        }
+    }
+
+    fn cost(key: &SessionKey, body: &CachedBody) -> usize {
+        key.overhead() + body.body.len()
+    }
+
+    /// Looks `key` up, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &SessionKey) -> Option<Arc<CachedBody>> {
+        let hit = self.entries.get(key).cloned()?;
+        self.order.retain(|k| k != key);
+        self.order.push(key.clone());
+        Some(hit)
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used
+    /// entries until the cache fits its budget again.
+    pub fn insert(&mut self, key: SessionKey, body: Arc<CachedBody>) {
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= Self::cost(&key, &old);
+            self.order.retain(|k| k != &key);
+        }
+        self.bytes += Self::cost(&key, &body);
+        self.entries.insert(key.clone(), body);
+        self.order.push(key);
+        while self.bytes > self.budget {
+            let Some(victim) = self.order.first().cloned() else {
+                break;
+            };
+            self.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    fn remove(&mut self, key: &SessionKey) -> bool {
+        match self.entries.remove(key) {
+            Some(body) => {
+                self.bytes -= Self::cost(key, &body);
+                self.order.retain(|k| k != key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every entry (the `evict` method with no procedure filter);
+    /// returns `(entries_dropped, bytes_freed)`.
+    pub fn clear(&mut self) -> (usize, usize) {
+        let dropped = (self.entries.len(), self.bytes);
+        self.entries.clear();
+        self.order.clear();
+        self.bytes = 0;
+        dropped
+    }
+
+    /// Drops every entry for `proc`; returns `(entries_dropped,
+    /// bytes_freed)`.
+    pub fn clear_proc(&mut self, proc_name: &str) -> (usize, usize) {
+        let victims: Vec<SessionKey> = self
+            .order
+            .iter()
+            .filter(|k| k.proc == proc_name)
+            .cloned()
+            .collect();
+        let before = self.bytes;
+        let mut dropped = 0;
+        for key in &victims {
+            if self.remove(key) {
+                dropped += 1;
+            }
+        }
+        (dropped, before - self.bytes)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current byte footprint (bodies plus per-entry overhead).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Entries evicted by budget pressure since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(proc_name: &str, fp: u64) -> SessionKey {
+        SessionKey {
+            method: "analyze",
+            proc: proc_name.to_string(),
+            fingerprints: vec![fp, fp + 1],
+            solver_key: 7,
+        }
+    }
+
+    fn body(len: usize) -> Arc<CachedBody> {
+        Arc::new(CachedBody {
+            body: "x".repeat(len),
+            pipeline_solver_calls: 0,
+        })
+    }
+
+    #[test]
+    fn eviction_honors_the_byte_budget() {
+        let mut cache = ByteLruCache::new(1000);
+        // Each entry costs ~100 body + ~78 overhead.
+        for i in 0..10 {
+            cache.insert(key(&format!("p{i}"), i), body(100));
+            assert!(
+                cache.bytes() <= cache.budget(),
+                "cache at {} bytes exceeds budget {} after insert {i}",
+                cache.bytes(),
+                cache.budget()
+            );
+        }
+        assert!(cache.evictions() > 0, "budget pressure must have evicted");
+        assert!(cache.len() < 10);
+    }
+
+    #[test]
+    fn lru_order_evicts_the_coldest_entry() {
+        // Room for exactly two of these entries.
+        let mut cache = ByteLruCache::new(400);
+        cache.insert(key("a", 1), body(100));
+        cache.insert(key("b", 2), body(100));
+        // Touch `a`, making `b` the LRU victim.
+        assert!(cache.get(&key("a", 1)).is_some());
+        cache.insert(key("c", 3), body(100));
+        assert!(cache.get(&key("a", 1)).is_some(), "recently used survives");
+        assert!(cache.get(&key("b", 2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key("c", 3)).is_some());
+    }
+
+    #[test]
+    fn an_entry_larger_than_the_budget_is_not_retained() {
+        let mut cache = ByteLruCache::new(100);
+        cache.insert(key("big", 1), body(500));
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn replacing_an_entry_reuses_its_budget() {
+        let mut cache = ByteLruCache::new(1000);
+        cache.insert(key("a", 1), body(100));
+        let before = cache.bytes();
+        cache.insert(key("a", 1), body(100));
+        assert_eq!(cache.bytes(), before, "replacement does not leak bytes");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_proc_only_touches_that_procedure() {
+        let mut cache = ByteLruCache::new(10_000);
+        cache.insert(key("a", 1), body(100));
+        cache.insert(key("a", 9), body(100));
+        cache.insert(key("b", 2), body(100));
+        let (dropped, freed) = cache.clear_proc("a");
+        assert_eq!(dropped, 2);
+        assert!(freed > 200);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key("b", 2)).is_some());
+        let (dropped, _) = cache.clear();
+        assert_eq!(dropped, 1);
+        assert!(cache.is_empty());
+    }
+}

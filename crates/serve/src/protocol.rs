@@ -1,0 +1,206 @@
+//! The wire protocol: newline-delimited JSON-RPC 2.0.
+//!
+//! One request per line, one response per line. Requests:
+//!
+//! ```text
+//! {"jsonrpc":"2.0","id":1,"method":"analyze","params":{…}}
+//! ```
+//!
+//! Responses carry either a `result` object or an `error` object and
+//! echo the request's `id` verbatim. Because requests are handled
+//! concurrently, responses may arrive out of order — clients match on
+//! `id`. Parsing reuses `dise_trace::json`, the same hand-rolled codec
+//! the trace exporters are validated with.
+
+use dise_trace::json::{parse, quote, JsonValue};
+
+/// JSON-RPC error codes used by the server (the spec's reserved values
+/// plus one implementation-defined code for analysis failures).
+pub const PARSE_ERROR: i64 = -32700;
+pub const INVALID_REQUEST: i64 = -32600;
+pub const METHOD_NOT_FOUND: i64 = -32601;
+pub const INVALID_PARAMS: i64 = -32602;
+pub const ANALYSIS_ERROR: i64 = -32000;
+
+/// A parsed request line.
+#[derive(Debug)]
+pub struct Request {
+    /// The request's `id`, re-rendered as JSON (echoed in the
+    /// response). `null` when absent.
+    pub id: String,
+    /// The method name.
+    pub method: String,
+    /// The `params` object (`Null` when absent).
+    pub params: JsonValue,
+    /// The request's attribution id: the `request_id` param when the
+    /// client supplied one, else derived from `id`. Threaded through
+    /// span names, stats scopes, and trace file names.
+    pub request_id: String,
+}
+
+/// A protocol-level rejection: the error response to send.
+#[derive(Debug)]
+pub struct Rejection {
+    pub id: String,
+    pub code: i64,
+    pub message: String,
+}
+
+/// Renders any [`JsonValue`] back to JSON text (used to echo ids).
+pub fn render_json(value: &JsonValue) -> String {
+    match value {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Int(v) => v.to_string(),
+        JsonValue::UInt(v) => v.to_string(),
+        JsonValue::Float(v) => dise_trace::json::format_f64(*v),
+        JsonValue::Str(s) => quote(s),
+        JsonValue::Array(items) => {
+            let inner: Vec<String> = items.iter().map(render_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        JsonValue::Object(pairs) => {
+            let inner: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{}:{}", quote(k), render_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// Parses one request line. Protocol violations come back as the
+/// [`Rejection`] to send; the line never panics the server.
+pub fn parse_request(line: &str) -> Result<Request, Rejection> {
+    let value = parse(line).map_err(|e| Rejection {
+        id: "null".to_string(),
+        code: PARSE_ERROR,
+        message: format!("parse error: {e}"),
+    })?;
+    let id = value
+        .get("id")
+        .map(render_json)
+        .unwrap_or_else(|| "null".to_string());
+    let reject = |code: i64, message: String| Rejection {
+        id: id.clone(),
+        code,
+        message,
+    };
+    if value.as_object().is_none() {
+        return Err(reject(
+            INVALID_REQUEST,
+            "request is not a JSON object".to_string(),
+        ));
+    }
+    match value.get("jsonrpc").and_then(JsonValue::as_str) {
+        Some("2.0") => {}
+        _ => {
+            return Err(reject(
+                INVALID_REQUEST,
+                "missing or unsupported \"jsonrpc\" (expected \"2.0\")".to_string(),
+            ))
+        }
+    }
+    let method = match value.get("method").and_then(JsonValue::as_str) {
+        Some(m) => m.to_string(),
+        None => {
+            return Err(reject(
+                INVALID_REQUEST,
+                "missing or non-string \"method\"".to_string(),
+            ))
+        }
+    };
+    let params = value.get("params").cloned().unwrap_or(JsonValue::Null);
+    let request_id = params
+        .get("request_id")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("req-{}", id.trim_matches('"')));
+    Ok(Request {
+        id,
+        method,
+        params,
+        request_id,
+    })
+}
+
+/// A success response: `body` is the rendered members of the `result`
+/// object (no surrounding braces).
+pub fn response(id: &str, body: &str) -> String {
+    format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"result\":{{{body}}}}}")
+}
+
+/// An error response.
+pub fn error_response(id: &str, code: i64, message: &str) -> String {
+    format!(
+        "{{\"jsonrpc\":\"2.0\",\"id\":{id},\"error\":{{\"code\":{code},\"message\":{}}}}}",
+        quote(message)
+    )
+}
+
+impl Rejection {
+    /// The response line for this rejection.
+    pub fn render(&self) -> String {
+        error_response(&self.id, self.code, &self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_request() {
+        let req = parse_request(r#"{"jsonrpc":"2.0","id":7,"method":"status"}"#).unwrap();
+        assert_eq!(req.id, "7");
+        assert_eq!(req.method, "status");
+        assert_eq!(req.request_id, "req-7");
+        assert!(matches!(req.params, JsonValue::Null));
+    }
+
+    #[test]
+    fn client_request_ids_win() {
+        let req = parse_request(
+            r#"{"jsonrpc":"2.0","id":"abc","method":"analyze","params":{"request_id":"build-42"}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, "\"abc\"");
+        assert_eq!(req.request_id, "build-42");
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_spec_codes() {
+        assert_eq!(parse_request("not json").unwrap_err().code, PARSE_ERROR);
+        assert_eq!(parse_request("[1,2]").unwrap_err().code, INVALID_REQUEST);
+        let no_version = r#"{"id":1,"method":"status"}"#;
+        assert_eq!(parse_request(no_version).unwrap_err().code, INVALID_REQUEST);
+        let no_method = r#"{"jsonrpc":"2.0","id":1}"#;
+        let rejection = parse_request(no_method).unwrap_err();
+        assert_eq!(rejection.code, INVALID_REQUEST);
+        assert_eq!(rejection.id, "1", "the id is still echoed");
+        assert!(rejection.render().contains("\"error\""));
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_parser() {
+        let line = response("9", "\"ok\":true");
+        let value = parse(&line).unwrap();
+        assert_eq!(value.get("id").and_then(JsonValue::as_u64), Some(9));
+        assert_eq!(
+            value
+                .get("result")
+                .and_then(|r| r.get("ok"))
+                .and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        let err = error_response("null", ANALYSIS_ERROR, "boom \"quoted\"");
+        let value = parse(&err).unwrap();
+        assert_eq!(
+            value
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(JsonValue::as_str),
+            Some("boom \"quoted\"")
+        );
+    }
+}

@@ -23,6 +23,10 @@ pub enum StoreError {
     ChecksumMismatch,
     /// The payload decoded but violates a structural invariant.
     Corrupt(&'static str),
+    /// Another live process holds the store's advisory writer lock.
+    /// Saves fail with this; the caller degrades to a read-only run
+    /// (warm start intact, nothing recorded) with a warning.
+    Locked(u32),
 }
 
 impl fmt::Display for StoreError {
@@ -36,6 +40,9 @@ impl fmt::Display for StoreError {
             StoreError::Truncated => f.write_str("truncated store file"),
             StoreError::ChecksumMismatch => f.write_str("store checksum mismatch"),
             StoreError::Corrupt(what) => write!(f, "corrupt store entry ({what})"),
+            StoreError::Locked(pid) => {
+                write!(f, "store locked by process {pid}; ran read-only")
+            }
         }
     }
 }

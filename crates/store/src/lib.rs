@@ -129,6 +129,56 @@ impl ProcEntry {
     }
 }
 
+/// File name of the advisory writer lock inside a store directory.
+const LOCK_FILE: &str = "store.lock";
+
+/// How many times [`Store::save`] retries a contended advisory lock
+/// before degrading, and how long it sleeps between attempts. The
+/// window (~400 ms) comfortably covers another process's save — saves
+/// are one buffered write plus a rename — without stalling a
+/// degraded run noticeably.
+const LOCK_ATTEMPTS: u32 = 50;
+const LOCK_RETRY: std::time::Duration = std::time::Duration::from_millis(8);
+
+/// A held advisory writer lock on a store directory; dropping it
+/// releases the lock (removes the lock file).
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether the process named in a lock file is still alive. On Linux
+/// `/proc/<pid>` is authoritative; elsewhere a lock older than five
+/// minutes is presumed abandoned (saves hold it for milliseconds).
+fn lock_is_stale(path: &Path) -> bool {
+    let holder = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok());
+    if let Some(pid) = holder {
+        if Path::new("/proc").is_dir() {
+            return !Path::new(&format!("/proc/{pid}")).exists();
+        }
+    }
+    match std::fs::metadata(path).and_then(|m| m.modified()) {
+        Ok(modified) => matches!(modified.elapsed(), Ok(age) if age.as_secs() > 300),
+        Err(_) => true,
+    }
+}
+
+/// The pid recorded in a lock file, for diagnostics (0 if unreadable).
+fn lock_holder(path: &Path) -> u32 {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .unwrap_or(0)
+}
+
 /// One store directory. Opening never touches the filesystem; the
 /// directory is created on the first [`Store::save`].
 #[derive(Debug, Clone)]
@@ -147,8 +197,59 @@ impl Store {
         &self.dir
     }
 
-    /// The file path for `proc_name`'s entry.
-    pub fn entry_path(&self, proc_name: &str) -> PathBuf {
+    /// The advisory writer-lock path for this store.
+    pub fn lock_path(&self) -> PathBuf {
+        self.dir.join(LOCK_FILE)
+    }
+
+    /// Tries once to take the advisory writer lock. `Ok(None)` means
+    /// another live process holds it. A lock left behind by a dead
+    /// process is reclaimed transparently.
+    pub fn try_lock(&self) -> Result<Option<StoreLock>, StoreError> {
+        use std::io::Write as _;
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.lock_path();
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(Some(StoreLock { path }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if lock_is_stale(&path) {
+                        // Reclaim and retry the create; a racing
+                        // reclaimer simply loses the next create_new.
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    return Ok(None);
+                }
+                Err(e) => return Err(StoreError::Io(e)),
+            }
+        }
+    }
+
+    /// Takes the advisory writer lock, retrying a contended one for
+    /// ~400 ms before giving up with [`StoreError::Locked`].
+    fn acquire_lock(&self) -> Result<StoreLock, StoreError> {
+        for attempt in 0..LOCK_ATTEMPTS {
+            if let Some(lock) = self.try_lock()? {
+                return Ok(lock);
+            }
+            if attempt + 1 < LOCK_ATTEMPTS {
+                std::thread::sleep(LOCK_RETRY);
+            }
+        }
+        Err(StoreError::Locked(lock_holder(&self.lock_path())))
+    }
+
+    /// The entry file name for `proc_name` (without its shard
+    /// directory).
+    fn entry_file(proc_name: &str) -> String {
         let sanitized: String = proc_name
             .chars()
             .map(|c| {
@@ -159,10 +260,31 @@ impl Store {
                 }
             })
             .collect();
-        self.dir.join(format!(
+        format!(
             "{sanitized}-{:016x}.dise",
             format::fnv1a(proc_name.as_bytes())
-        ))
+        )
+    }
+
+    /// The shard subdirectory for `proc_name`: two hex digits of the
+    /// name hash, so concurrent savers of different procedures touch
+    /// different directories and listings stay cheap at corpus scale.
+    fn shard(proc_name: &str) -> String {
+        format!("{:02x}", format::fnv1a(proc_name.as_bytes()) & 0xff)
+    }
+
+    /// The file path for `proc_name`'s entry (sharded layout).
+    pub fn entry_path(&self, proc_name: &str) -> PathBuf {
+        self.dir
+            .join(Self::shard(proc_name))
+            .join(Self::entry_file(proc_name))
+    }
+
+    /// The pre-sharding flat path for `proc_name`'s entry; still read
+    /// (and cleaned up on save) so stores written by older builds warm
+    /// newer ones.
+    fn legacy_entry_path(&self, proc_name: &str) -> PathBuf {
+        self.dir.join(Self::entry_file(proc_name))
     }
 
     /// Loads an entry with the pipeline's degradation contract applied:
@@ -181,12 +303,21 @@ impl Store {
     /// every integrity failure is a typed error the caller downgrades to
     /// a cold run.
     pub fn load(&self, proc_name: &str) -> Result<Option<ProcEntry>, StoreError> {
-        let path = self.entry_path(proc_name);
-        let bytes = match std::fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(StoreError::Io(e)),
-        };
+        let mut bytes = None;
+        for path in [
+            self.entry_path(proc_name),
+            self.legacy_entry_path(proc_name),
+        ] {
+            match std::fs::read(&path) {
+                Ok(b) => {
+                    bytes = Some(b);
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(StoreError::Io(e)),
+            }
+        }
+        let Some(bytes) = bytes else { return Ok(None) };
         let entry = decode_entry(format::unframe(&bytes)?)?;
         if entry.proc_name != proc_name {
             return Err(StoreError::Corrupt("entry names a different procedure"));
@@ -194,16 +325,28 @@ impl Store {
         Ok(Some(entry))
     }
 
-    /// Persists `entry`, creating the directory if needed. Writes go
-    /// through a process-unique temporary file and a rename, so a crash
-    /// mid-save — or a concurrent saver of the same procedure — leaves
-    /// a complete entry in place, never a torn file.
+    /// Persists `entry`, creating the directory (and its shard) if
+    /// needed. Writes go through a process-unique temporary file and a
+    /// rename, so a crash mid-save leaves a complete entry in place,
+    /// never a torn file; the whole write additionally holds the
+    /// store's advisory lock, so two *processes* (say, a resident
+    /// `dise serve` and a one-shot CLI run sharing `--store`) can
+    /// never interleave their saves. A lock still contended after
+    /// ~400 ms fails with [`StoreError::Locked`], which callers treat
+    /// as a read-only run — warm start intact, nothing recorded.
     pub fn save(&self, entry: &ProcEntry) -> Result<(), StoreError> {
         use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Mutex;
         static SAVES: AtomicU64 = AtomicU64::new(0);
-        std::fs::create_dir_all(&self.dir)?;
-        let bytes = format::frame(&encode_entry(entry));
+        // Saves within one process (serve worker threads finalizing
+        // concurrently) serialize here; the file lock below only ever
+        // mediates between processes, whose liveness it can check.
+        static SAVE_GUARD: Mutex<()> = Mutex::new(());
+        let _process_guard = SAVE_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let _lock = self.acquire_lock()?;
         let path = self.entry_path(&entry.proc_name);
+        std::fs::create_dir_all(path.parent().expect("entry path has a shard dir"))?;
+        let bytes = format::frame(&encode_entry(entry));
         let tmp = path.with_extension(format!(
             "tmp-{}-{}",
             std::process::id(),
@@ -211,54 +354,78 @@ impl Store {
         ));
         std::fs::write(&tmp, &bytes)?;
         std::fs::rename(&tmp, &path)?;
+        // A successful sharded save supersedes any flat-layout entry a
+        // pre-sharding build left behind (load prefers the shard).
+        let legacy = self.legacy_entry_path(&entry.proc_name);
+        if legacy.exists() {
+            let _ = std::fs::remove_file(&legacy);
+        }
         Ok(())
     }
 
-    /// Every entry in the directory, with per-file decode outcomes so
-    /// `dise store stat` can flag damage without hiding healthy entries.
-    /// An absent directory is an empty store.
-    #[allow(clippy::type_complexity)]
-    pub fn entries(&self) -> Result<Vec<(String, Result<ProcEntry, StoreError>)>, StoreError> {
+    /// Every `.dise` entry file under the store — shard subdirectories
+    /// plus any flat legacy files — as paths relative to the store
+    /// directory. An absent directory is an empty store.
+    fn entry_files(&self) -> Result<Vec<String>, StoreError> {
         let mut out = Vec::new();
         let dir = match std::fs::read_dir(&self.dir) {
             Ok(dir) => dir,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
             Err(e) => return Err(StoreError::Io(e)),
         };
-        for item in dir {
-            let path = item?.path();
+        let mut push = |path: &Path, prefix: &str| {
             if path.extension().and_then(|e| e.to_str()) != Some("dise") {
-                continue;
+                return;
             }
             let name = path
                 .file_name()
                 .and_then(|n| n.to_str())
-                .unwrap_or("<non-utf8>")
-                .to_string();
-            let outcome = std::fs::read(&path)
+                .unwrap_or("<non-utf8>");
+            out.push(format!("{prefix}{name}"));
+        };
+        for item in dir {
+            let path = item?.path();
+            if path.is_dir() {
+                let shard = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or("<non-utf8>")
+                    .to_string();
+                for item in std::fs::read_dir(&path)? {
+                    push(&item?.path(), &format!("{shard}/"));
+                }
+            } else {
+                push(&path, "");
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Every entry in the directory, with per-file decode outcomes so
+    /// `dise store stat` can flag damage without hiding healthy entries.
+    /// Names are paths relative to the store directory (`a3/f-….dise`).
+    /// An absent directory is an empty store.
+    #[allow(clippy::type_complexity)]
+    pub fn entries(&self) -> Result<Vec<(String, Result<ProcEntry, StoreError>)>, StoreError> {
+        let mut out = Vec::new();
+        for name in self.entry_files()? {
+            let outcome = std::fs::read(self.dir.join(&name))
                 .map_err(StoreError::Io)
                 .and_then(|bytes| format::unframe(&bytes).and_then(decode_entry));
             out.push((name, outcome));
         }
-        out.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
     }
 
     /// Deletes every entry file; returns how many were removed. An
-    /// absent directory counts as already clear.
+    /// absent directory counts as already clear. The advisory lock
+    /// file, if present, is left alone.
     pub fn clear(&self) -> Result<usize, StoreError> {
         let mut removed = 0;
-        let dir = match std::fs::read_dir(&self.dir) {
-            Ok(dir) => dir,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
-            Err(e) => return Err(StoreError::Io(e)),
-        };
-        for item in dir {
-            let path = item?.path();
-            if path.extension().and_then(|e| e.to_str()) == Some("dise") {
-                std::fs::remove_file(&path)?;
-                removed += 1;
-            }
+        for name in self.entry_files()? {
+            std::fs::remove_file(self.dir.join(&name))?;
+            removed += 1;
         }
         Ok(removed)
     }
@@ -989,11 +1156,104 @@ mod tests {
         // Copy `update`'s file onto the slot another procedure would use.
         let source = store.entry_path("update");
         let target = store.entry_path("elsewhere");
+        std::fs::create_dir_all(target.parent().unwrap()).unwrap();
         std::fs::copy(&source, &target).unwrap();
         assert!(matches!(
             store.load("elsewhere"),
             Err(StoreError::Corrupt(_))
         ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn entries_are_sharded_by_name_hash() {
+        let (store, dir) = temp_store();
+        store.save(&sample_entry()).unwrap();
+        let path = store.entry_path("update");
+        assert!(path.exists());
+        let shard = path
+            .parent()
+            .and_then(|p| p.file_name())
+            .and_then(|n| n.to_str())
+            .expect("entry lives in a shard directory");
+        assert_eq!(shard.len(), 2, "shard is two hex digits, got {shard:?}");
+        assert!(shard.chars().all(|c| c.is_ascii_hexdigit()));
+        let listed = store.entries().unwrap();
+        assert_eq!(listed.len(), 1);
+        assert!(
+            listed[0].0.starts_with(&format!("{shard}/")),
+            "listing names are shard-relative paths"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn legacy_flat_entries_load_and_migrate_on_save() {
+        let (store, dir) = temp_store();
+        let entry = sample_entry();
+        // Write the pre-sharding flat layout by hand.
+        std::fs::create_dir_all(store.dir()).unwrap();
+        let flat = store.legacy_entry_path("update");
+        std::fs::write(&flat, format::frame(&encode_entry(&entry))).unwrap();
+        assert_eq!(
+            store.load("update").unwrap().expect("flat entry loads"),
+            entry
+        );
+        assert_eq!(store.entries().unwrap().len(), 1);
+        // A save migrates the entry into its shard and drops the flat file.
+        store.save(&entry).unwrap();
+        assert!(!flat.exists(), "save removes the superseded flat file");
+        assert!(store.entry_path("update").exists());
+        assert_eq!(store.entries().unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn a_held_lock_fails_saves_with_locked() {
+        let (store, dir) = temp_store();
+        std::fs::create_dir_all(store.dir()).unwrap();
+        // A live holder: our own pid (the test thread never releases it).
+        std::fs::write(store.lock_path(), format!("{}", std::process::id())).unwrap();
+        match store.save(&sample_entry()) {
+            Err(StoreError::Locked(pid)) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // Loads are lock-free: reads see whole files thanks to the
+        // tmp+rename protocol and must keep working under a held lock.
+        assert!(store.load("update").unwrap().is_none());
+        // Releasing the lock makes the next save succeed.
+        std::fs::remove_file(store.lock_path()).unwrap();
+        store.save(&sample_entry()).unwrap();
+        assert!(store.load("update").unwrap().is_some());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn stale_locks_are_reclaimed() {
+        let (store, dir) = temp_store();
+        std::fs::create_dir_all(store.dir()).unwrap();
+        // Pid u32::MAX is far beyond any live process on Linux
+        // (pid_max caps at 2^22), so the lock reads as abandoned.
+        std::fs::write(store.lock_path(), format!("{}", u32::MAX)).unwrap();
+        store.save(&sample_entry()).unwrap();
+        assert!(store.load("update").unwrap().is_some());
+        assert!(
+            !store.lock_path().exists(),
+            "a completed save releases the lock"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn try_lock_reports_contention_without_blocking() {
+        let (store, dir) = temp_store();
+        let held = store.try_lock().unwrap().expect("uncontended lock");
+        assert!(store.try_lock().unwrap().is_none(), "second taker loses");
+        drop(held);
+        assert!(
+            store.try_lock().unwrap().is_some(),
+            "drop releases the lock"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 }

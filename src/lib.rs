@@ -22,6 +22,7 @@
 //! | [`artifacts`] | `dise-artifacts` | the WBS / OAE / ASW case studies and their mutants |
 //! | [`regression`] | `dise-regression` | test generation, selection and augmentation |
 //! | [`evolution`] | `dise-evolution` | differential witnesses, summaries, fault localization, impact reports |
+//! | [`serve`] | `dise-serve` | the resident analysis service: session cache, request coalescing |
 //! | [`gen`](mod@gen) | `dise-gen` | scenario generation, evolution edits, the ground-truth differential harness |
 //!
 //! # Quickstart
@@ -92,6 +93,7 @@ pub use dise_evolution as evolution;
 pub use dise_gen as gen;
 pub use dise_ir as ir;
 pub use dise_regression as regression;
+pub use dise_serve as serve;
 pub use dise_solver as solver;
 pub use dise_store as store;
 pub use dise_symexec as symexec;
