@@ -53,5 +53,5 @@ pub use control_dep::ControlDeps;
 pub use defuse::DefUse;
 pub use dominator::PostDomTree;
 pub use graph::{EdgeLabel, NodeId};
-pub use reach::{DistanceTo, Reachability};
+pub use reach::{DistanceTo, Reachability, UncoveredDistance};
 pub use scc::Sccs;

@@ -172,6 +172,69 @@ impl DistanceTo {
     }
 }
 
+/// Minimal CFG-edge distance from every node to the nearest *uncovered*
+/// conditional — the `md2u` ("minimal distance to uncovered") feature of
+/// the pluggable search heuristic, after RustOOX's method-summary-cached
+/// variant.
+///
+/// "Uncovered" is a caller-supplied predicate over the CFG's conditional
+/// nodes; the directed pipeline passes "not in the affected sets", so the
+/// feature measures how much *unaffected* branching structure an arm must
+/// traverse — a signal [`DistanceTo`] (nearest affected node) cannot
+/// express. Nodes from which no uncovered conditional is reachable report
+/// [`UncoveredDistance::UNREACHABLE`]; with every conditional covered the
+/// whole map is the sentinel.
+///
+/// The computation is the same multi-source backward BFS as
+/// [`DistanceTo`], so the maps share cost characteristics and the
+/// per-fingerprint cache treats them uniformly.
+#[derive(Debug, Clone)]
+pub struct UncoveredDistance {
+    dist: DistanceTo,
+}
+
+impl UncoveredDistance {
+    /// Distance reported for nodes that cannot reach any uncovered
+    /// conditional.
+    pub const UNREACHABLE: u32 = DistanceTo::UNREACHABLE;
+
+    /// Computes distances to the nearest conditional of `cfg` for which
+    /// `covered` answers `false`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dise_cfg::{build_cfg, UncoveredDistance};
+    /// use dise_ir::parse_program;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = parse_program("proc f(int x) { if (x > 0) { x = 1; } }")?;
+    /// let cfg = build_cfg(&p.procs[0]);
+    /// let md2u = UncoveredDistance::new(&cfg, |_| false);
+    /// let branch = cfg.cond_nodes().next().unwrap();
+    /// assert_eq!(md2u.get(branch), 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(cfg: &Cfg, covered: impl Fn(NodeId) -> bool) -> UncoveredDistance {
+        let targets = cfg.cond_nodes().filter(|&n| !covered(n));
+        UncoveredDistance {
+            dist: DistanceTo::new(cfg, targets),
+        }
+    }
+
+    /// The distance from `n` to its nearest uncovered conditional
+    /// ([`UncoveredDistance::UNREACHABLE`] when none is reachable).
+    pub fn get(&self, n: NodeId) -> u32 {
+        self.dist.get(n)
+    }
+
+    /// The raw distance vector, indexed by [`NodeId::index`].
+    pub fn into_vec(self) -> Vec<u32> {
+        self.dist.into_vec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +439,78 @@ mod tests {
             .into_vec()
             .iter()
             .all(|&d| d == DistanceTo::UNREACHABLE));
+    }
+
+    #[test]
+    fn md2u_unreachable_arm_keeps_the_sentinel() {
+        // Cover the loop condition: the exit write reaches no other
+        // conditional, so it (and everything only it reaches) must answer
+        // the sentinel even though covered conditionals are nearby.
+        let (cfg, _) = setup("proc f(int x) { while (x > 0) { x = x - 1; } x = 9; }");
+        let branch = cfg.cond_nodes().next().unwrap();
+        let md2u = UncoveredDistance::new(&cfg, |n| n == branch);
+        let after = cfg.false_succ(branch);
+        assert_eq!(md2u.get(after), UncoveredDistance::UNREACHABLE);
+        assert_eq!(md2u.get(branch), UncoveredDistance::UNREACHABLE);
+    }
+
+    #[test]
+    fn md2u_tie_takes_the_minimum_regardless_of_order() {
+        // Two uncovered conditionals at equal distance from begin: the
+        // multi-source BFS must answer 1 however its queue dequeues, and
+        // the covered-predicate variant must agree with hand-built
+        // DistanceTo over the same target set.
+        let (cfg, _) = setup(
+            "proc f(int x, int y) {\n  if (x > 0) {\n    if (y > 0) { y = 1; }\n  } else {\n    if (y < 0) { y = 2; }\n  }\n}",
+        );
+        let outer = cfg.cond_nodes().next().unwrap();
+        let md2u = UncoveredDistance::new(&cfg, |n| n == outer);
+        assert_eq!(md2u.get(outer), 1, "both inner conditionals are 1 away");
+        let targets: Vec<NodeId> = cfg.cond_nodes().filter(|&n| n != outer).collect();
+        let reference = DistanceTo::new(&cfg, targets);
+        for n in cfg.node_ids() {
+            assert_eq!(
+                md2u.get(n),
+                reference.get(n),
+                "md2u/DistanceTo disagree at {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn md2u_empty_uncovered_set_is_everywhere_unreachable() {
+        // Every conditional covered (and the no-conditional program):
+        // the map is all sentinel, matching DistanceTo's empty-target
+        // contract the budget controller already relies on.
+        let (cfg, _) = setup("proc f(int x) { if (x > 0) { x = 1; } x = 2; }");
+        let all = UncoveredDistance::new(&cfg, |_| true);
+        for n in cfg.node_ids() {
+            assert_eq!(all.get(n), UncoveredDistance::UNREACHABLE);
+        }
+        assert!(all
+            .into_vec()
+            .iter()
+            .all(|&d| d == UncoveredDistance::UNREACHABLE));
+        let (straight, _) = setup("proc f(int x) { x = 1; }");
+        let none = UncoveredDistance::new(&straight, |_| false);
+        for n in straight.node_ids() {
+            assert_eq!(none.get(n), UncoveredDistance::UNREACHABLE);
+        }
+    }
+
+    #[test]
+    fn md2u_uncovered_conditionals_score_zero_on_themselves() {
+        let (cfg, _) = setup("proc f(int x) { if (x > 0) { x = 1; } x = 2; }");
+        let md2u = UncoveredDistance::new(&cfg, |_| false);
+        for c in cfg.cond_nodes() {
+            assert_eq!(md2u.get(c), 0);
+        }
+        // Distances agree with get through the raw vector.
+        let vec = md2u.clone().into_vec();
+        assert_eq!(vec.len(), cfg.len());
+        for n in cfg.node_ids() {
+            assert_eq!(md2u.get(n), vec[n.index()]);
+        }
     }
 
     #[test]

@@ -18,9 +18,10 @@
 //! row (the current state sequence plus the four sets).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use dise_cfg::{Cfg, DistanceTo, NodeId, Reachability, Sccs};
-use dise_symexec::{Strategy, SweepCostModel};
+use dise_cfg::{Cfg, DistanceTo, NodeId, Reachability, Sccs, UncoveredDistance};
+use dise_symexec::{FeatureMaps, HeuristicWeights, ScoreModel, Strategy};
 
 use crate::affected::AffectedSets;
 
@@ -60,20 +61,43 @@ pub struct DirectedStrategy {
     /// nodes only move between the explored/unexplored partitions — so
     /// this drives the static [`Strategy::speculation_hint`].
     affected_union: Vec<NodeId>,
-    /// Cost-model inputs for the budgeted speculative sweep
-    /// ([`Strategy::speculation_cost`]): per-node affected-cone sizes
-    /// (the [`AffectedSets::cone_sizes`] pass) and BFS distances to the
-    /// nearest affected node ([`DistanceTo`]).
-    sweep_cost: SweepCostModel,
+    /// The score model pricing the budgeted speculative sweep
+    /// ([`Strategy::speculation_cost`]): the per-node feature maps
+    /// (distance to the affected region, minimal distance to an
+    /// uncovered conditional, affected-cone size, trie prefix depth)
+    /// dotted with this run's heuristic weights.
+    score_model: ScoreModel,
     current_path: Vec<NodeId>,
     trace: Option<Vec<DirectedTraceRow>>,
 }
 
 impl DirectedStrategy {
-    /// Builds the strategy for `cfg` from the affected sets. Non-write
-    /// affected "steering" nodes (see [`crate::affected`]) live in the
-    /// write sets, matching their `AWN` seeding.
+    /// Builds the strategy for `cfg` from the affected sets with the
+    /// default (distance-only) heuristic weights. Non-write affected
+    /// "steering" nodes (see [`crate::affected`]) live in the write sets,
+    /// matching their `AWN` seeding.
     pub fn new(cfg: &Cfg, affected: &AffectedSets, record_trace: bool) -> DirectedStrategy {
+        Self::with_model(
+            cfg,
+            affected,
+            record_trace,
+            HeuristicWeights::default(),
+            None,
+        )
+    }
+
+    /// Builds the strategy with an explicit heuristic weight vector and
+    /// (optionally) precomputed feature maps — the analysis session passes
+    /// its per-fingerprint cache here so warm `advance()` chains skip the
+    /// backward BFS passes on unchanged CFGs. `features` must have been
+    /// computed for this exact (`cfg`, `affected`) pair.
+    pub fn with_model(
+        cfg: &Cfg,
+        affected: &AffectedSets,
+        record_trace: bool,
+        weights: HeuristicWeights,
+        features: Option<Arc<FeatureMaps>>,
+    ) -> DirectedStrategy {
         let mut terminal = vec![false; cfg.len()];
         for n in cfg.node_ids() {
             use dise_cfg::NodeKind;
@@ -87,11 +111,9 @@ impl DirectedStrategy {
             .chain(affected.awn())
             .copied()
             .collect();
-        let sweep_cost = SweepCostModel {
-            cone_count: affected.cone_sizes(cfg, &reach),
-            distance: DistanceTo::new(cfg, affected_union.iter().copied()).into_vec(),
-            affected_total: affected_union.len() as u32,
-        };
+        let features =
+            features.unwrap_or_else(|| Arc::new(features_with_reach(cfg, affected, &reach)));
+        let score_model = ScoreModel::new(weights, features);
         DirectedStrategy {
             reach,
             sccs: Sccs::new(cfg),
@@ -101,10 +123,25 @@ impl DirectedStrategy {
             unex_cond: affected.acn().clone(),
             unex_write: affected.awn().clone(),
             affected_union,
-            sweep_cost,
+            score_model,
             current_path: Vec::new(),
             trace: record_trace.then(Vec::new),
         }
+    }
+
+    /// Computes the per-node feature maps the score model consumes (see
+    /// [`FeatureMaps`] for the feature definitions). Exposed so callers
+    /// can cache the result across runs that share a CFG and affected
+    /// sets; [`DirectedStrategy::with_model`] accepts it back.
+    pub fn compute_features(cfg: &Cfg, affected: &AffectedSets) -> FeatureMaps {
+        features_with_reach(cfg, affected, &Reachability::new(cfg))
+    }
+
+    /// The score model this strategy hands to the speculative sweep
+    /// (its feature maps are shared via `Arc` — clone them out for
+    /// caching).
+    pub fn score_model(&self) -> &ScoreModel {
+        &self.score_model
     }
 
     /// The captured Table 1 trace (empty unless enabled).
@@ -240,12 +277,56 @@ impl Strategy for DirectedStrategy {
                 .any(|&affected| self.reach.is_cfg_path(node, affected))
     }
 
-    /// The cost model that prices the sweep: affected-cone sizes and
-    /// distances precomputed in [`DirectedStrategy::new`], plus the
-    /// affected total that sizes the automatic token grant.
-    fn speculation_cost(&self) -> Option<SweepCostModel> {
-        Some(self.sweep_cost.clone())
+    /// The score model that prices the sweep: feature maps precomputed
+    /// in [`DirectedStrategy::with_model`] dotted with the run's
+    /// heuristic weights, plus the affected total that sizes the
+    /// automatic token grant.
+    fn speculation_cost(&self) -> Option<ScoreModel> {
+        Some(self.score_model.clone())
     }
+}
+
+/// Builds the feature maps using an already-computed reachability
+/// closure (the constructor needs one anyway; [`compute_features`]
+/// builds a fresh one for external callers).
+///
+/// [`compute_features`]: DirectedStrategy::compute_features
+fn features_with_reach(cfg: &Cfg, affected: &AffectedSets, reach: &Reachability) -> FeatureMaps {
+    let affected_union: Vec<NodeId> = affected
+        .acn()
+        .iter()
+        .chain(affected.awn())
+        .copied()
+        .collect();
+    FeatureMaps {
+        distance: DistanceTo::new(cfg, affected_union.iter().copied()).into_vec(),
+        uncovered: UncoveredDistance::new(cfg, |n| affected.contains(n)).into_vec(),
+        cone: affected.cone_sizes(cfg, reach),
+        trie_depth: forward_depth(cfg),
+        affected_total: affected_union.len() as u32,
+    }
+}
+
+/// Forward BFS depth from the entry node: how many edges before a state
+/// at this node is reached, which is how deep into the shared prefix
+/// trie its path condition sits. Shallow nodes are likelier to hit
+/// prefixes the sweep already warmed. Unreachable nodes keep the
+/// sentinel.
+fn forward_depth(cfg: &Cfg) -> Vec<u32> {
+    let mut depth = vec![ScoreModel::UNREACHABLE; cfg.len()];
+    let mut queue = std::collections::VecDeque::new();
+    depth[cfg.begin().index()] = 0;
+    queue.push_back(cfg.begin());
+    while let Some(n) = queue.pop_front() {
+        let d = depth[n.index()];
+        for &(succ, _) in cfg.succs(n) {
+            if depth[succ.index()] == ScoreModel::UNREACHABLE {
+                depth[succ.index()] = d + 1;
+                queue.push_back(succ);
+            }
+        }
+    }
+    depth
 }
 
 #[cfg(test)]
@@ -483,16 +564,19 @@ mod tests {
         );
         let strategy = DirectedStrategy::new(&cfg_mod, &affected, false);
         let cost = strategy.speculation_cost().expect("directed has a model");
-        assert_eq!(cost.affected_total as usize, affected.len());
-        assert_eq!(cost.cone_count.len(), cfg_mod.len());
-        assert_eq!(cost.distance.len(), cfg_mod.len());
+        assert_eq!(cost.affected_total() as usize, affected.len());
+        let features = cost.features();
+        assert_eq!(features.cone.len(), cfg_mod.len());
+        assert_eq!(features.distance.len(), cfg_mod.len());
+        assert_eq!(features.uncovered.len(), cfg_mod.len());
+        assert_eq!(features.trie_depth.len(), cfg_mod.len());
         for n in cfg_mod.node_ids() {
-            let reaches_affected = cost.cone_count[n.index()] > 0;
+            let reaches_affected = features.cone[n.index()] > 0;
             // A node has a finite distance exactly when its cone is
             // non-empty, and the static hint admits exactly those nodes
             // plus terminals.
             assert_eq!(
-                cost.distance[n.index()] != dise_symexec::SweepCostModel::UNREACHABLE,
+                features.distance[n.index()] != ScoreModel::UNREACHABLE,
                 reaches_affected,
                 "distance/cone mismatch at {n}"
             );

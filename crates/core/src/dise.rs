@@ -31,7 +31,7 @@ use std::time::Duration;
 use dise_diff::DiffError;
 use dise_ir::ast::Program;
 use dise_ir::inline::InlineError;
-use dise_symexec::{ExecConfig, ExecError, SymbolicSummary};
+use dise_symexec::{ExecConfig, ExecError, HeuristicWeights, SymbolicSummary};
 
 use crate::affected::{AffectedSets, DataflowPrecision};
 use crate::session::{AnalysisSession, StageTimings};
@@ -146,6 +146,11 @@ pub struct DiseResult {
     pub stages: StageTimings,
     /// Persistent-store activity (`None` when no store was configured).
     pub store: Option<StoreStatus>,
+    /// The heuristic weight vector the directed exploration scored
+    /// speculative arms with, after resolving the configured
+    /// [`HeuristicChoice`](dise_symexec::HeuristicChoice) against any
+    /// store-persisted weights.
+    pub heuristic: HeuristicWeights,
 }
 
 impl DiseResult {

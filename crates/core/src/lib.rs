@@ -67,6 +67,7 @@ pub mod report;
 pub mod session;
 mod summaries;
 pub mod theorem;
+pub mod tune;
 
 pub use affected::{AffectedSets, DataflowPrecision, Rule};
 pub use directed::DirectedStrategy;

@@ -158,6 +158,23 @@ pub fn exec_registry(stats: &ExecStats) -> MetricsRegistry {
         Stability::Volatile,
     );
 
+    // Heuristic arm scoring: sweep-only, so everything here is
+    // volatile — the authoritative pass never consults the scores and
+    // the stable byte-identity contract must not see them.
+    reg.set_counter(
+        "heuristic.arms_scored",
+        f.heuristic_arms_scored,
+        Stability::Volatile,
+    );
+    reg.set_counter(
+        "heuristic.arms_displaced",
+        f.heuristic_arms_displaced,
+        Stability::Volatile,
+    );
+    if let Some(states) = f.sweep_states_to_affected {
+        reg.set_counter("heuristic.states_to_affected", states, Stability::Volatile);
+    }
+
     // Summary instantiation: counts follow the exploration order.
     let m = &stats.summary;
     reg.set_counter("summary.call_sites", m.call_sites, Stability::Volatile);
@@ -252,6 +269,18 @@ pub fn result_registry(result: &DiseResult) -> MetricsRegistry {
         result.affected_nodes as u64,
         Stability::Stable,
     );
+    // The resolved weight vector the run scored arms with. Volatile like
+    // the rest of `heuristic.*`: the stable surface stays weight-blind,
+    // matching the guarantee that weights never change verdicts.
+    let w = result.heuristic;
+    reg.set_gauge("heuristic.weight_distance", w.distance, Stability::Volatile);
+    reg.set_gauge(
+        "heuristic.weight_uncovered",
+        w.uncovered,
+        Stability::Volatile,
+    );
+    reg.set_gauge("heuristic.weight_cone", w.cone, Stability::Volatile);
+    reg.set_gauge("heuristic.weight_trie", w.trie, Stability::Volatile);
     reg.merge(&stage_registry(&result.stages));
     if let Some(status) = &result.store {
         reg.merge(&store_registry(status));
@@ -276,6 +305,29 @@ mod tests {
         assert!(!stable.contains("solver."), "{stable}");
         let volatile = reg.volatile_json();
         assert!(volatile.contains("\"solver.checks\":7"), "{volatile}");
+    }
+
+    #[test]
+    fn heuristic_metrics_stay_out_of_the_stable_surface() {
+        let mut stats = ExecStats::default();
+        stats.frontier.heuristic_arms_scored = 9;
+        stats.frontier.heuristic_arms_displaced = 4;
+        stats.frontier.sweep_states_to_affected = Some(17);
+        let reg = exec_registry(&stats);
+        assert!(!reg.stable_json().contains("heuristic."));
+        let volatile = reg.volatile_json();
+        assert!(
+            volatile.contains("\"heuristic.arms_scored\":9"),
+            "{volatile}"
+        );
+        assert!(
+            volatile.contains("\"heuristic.states_to_affected\":17"),
+            "{volatile}"
+        );
+        // A run that never latched the distance-0 counter omits the
+        // metric rather than reporting a bogus zero.
+        let reg = exec_registry(&ExecStats::default());
+        assert!(!reg.volatile_json().contains("states_to_affected"));
     }
 
     #[test]

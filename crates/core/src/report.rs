@@ -185,6 +185,46 @@ pub fn sweep_stats_line(reg: &MetricsRegistry) -> Option<String> {
     ))
 }
 
+/// One-line summary of the sweep's arm-scoring heuristic for the CLI's
+/// `heuristic:` line: the resolved weight vector, how many speculative
+/// branch arms were scored, how many the score order actually moved away
+/// from plain successor order, and (when the sweep reached it) how many
+/// states the sweep admitted before the first one inside the affected
+/// region. Returns `None` when no arms were scored — serial runs have no
+/// sweep to order. Reads the `heuristic.*` metrics of a registry built
+/// by [`crate::metrics::result_registry`].
+pub fn heuristic_stats_line(reg: &MetricsRegistry) -> Option<String> {
+    let scored = reg.counter("heuristic.arms_scored");
+    if scored == 0 {
+        return None;
+    }
+    let weight = |name: &str| {
+        let v = reg.gauge(name);
+        if v == v.trunc() {
+            format!("{v}")
+        } else {
+            format!("{v:.3}")
+        }
+    };
+    let mut line = format!(
+        "weights (distance {}, uncovered {}, cone {}, trie {}); \
+         {} arms scored, {} displaced",
+        weight("heuristic.weight_distance"),
+        weight("heuristic.weight_uncovered"),
+        weight("heuristic.weight_cone"),
+        weight("heuristic.weight_trie"),
+        scored,
+        reg.counter("heuristic.arms_displaced"),
+    );
+    if reg.contains("heuristic.states_to_affected") {
+        line.push_str(&format!(
+            "; first affected state after {} sweep state(s)",
+            reg.counter("heuristic.states_to_affected")
+        ));
+    }
+    Some(line)
+}
+
 /// One-line summary of procedure-summary activity for the CLI's
 /// `summaries:` line: call-site dispatches, summary paths instantiated,
 /// how many successors the witness fast path admitted without running a
@@ -405,6 +445,33 @@ mod tests {
         assert!(line.contains("sweep feedback reused"), "{line}");
         assert!(line.contains("2 procedure summaries reused"), "{line}");
         assert!(line.ends_with("saved"), "{line}");
+    }
+
+    #[test]
+    fn heuristic_stats_line_reports_weights_and_displacement() {
+        use dise_trace::Stability;
+        // Serial runs score no arms and print no line.
+        assert_eq!(heuristic_stats_line(&MetricsRegistry::new()), None);
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("heuristic.arms_scored", 12, Stability::Volatile);
+        reg.set_counter("heuristic.arms_displaced", 4, Stability::Volatile);
+        reg.set_gauge("heuristic.weight_distance", 1.0, Stability::Volatile);
+        reg.set_gauge("heuristic.weight_uncovered", 0.25, Stability::Volatile);
+        reg.set_gauge("heuristic.weight_cone", -0.5, Stability::Volatile);
+        reg.set_gauge("heuristic.weight_trie", 0.125, Stability::Volatile);
+        let line = heuristic_stats_line(&reg).unwrap();
+        assert!(
+            line.contains("weights (distance 1, uncovered 0.250, cone -0.500, trie 0.125)"),
+            "{line}"
+        );
+        assert!(line.contains("12 arms scored, 4 displaced"), "{line}");
+        assert!(!line.contains("first affected state"), "{line}");
+        reg.set_counter("heuristic.states_to_affected", 17, Stability::Volatile);
+        let line = heuristic_stats_line(&reg).unwrap();
+        assert!(
+            line.ends_with("first affected state after 17 sweep state(s)"),
+            "{line}"
+        );
     }
 
     #[test]

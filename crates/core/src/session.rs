@@ -47,7 +47,8 @@ use dise_ir::ast::Program;
 use dise_ir::inline::{contains_calls, inline_program, InlineError};
 use dise_store::{ProcEntry, Store, StoredAffected};
 use dise_symexec::{
-    ExecConfig, Executor, FullExploration, SummaryTable, SymbolicSummary, WarmHandoff,
+    ExecConfig, Executor, FeatureMaps, FullExploration, HeuristicWeights, SummaryTable,
+    SymbolicSummary, WarmHandoff,
 };
 
 use crate::affected::{AffectedSets, DataflowPrecision};
@@ -104,6 +105,9 @@ pub struct Explored {
     pub summary: SymbolicSummary,
     /// The Table 1 trace, when [`DiseConfig::trace_directed`] was set.
     pub directed_trace: Option<String>,
+    /// The heuristic weight vector the run scored speculative arms with
+    /// (after resolving [`ExecConfig::heuristic`] against the store).
+    pub weights: HeuristicWeights,
 }
 
 /// Shared borrows of every artifact up to the exploration stage, obtained
@@ -179,6 +183,14 @@ pub struct AnalysisSession {
     /// ([`AnalysisSession::advance`]); invalidated per callee against the
     /// new version's fingerprints before reuse.
     carried_summaries: Option<Arc<SummaryTable>>,
+
+    /// Heuristic feature maps keyed by `(mod_fingerprint, affected
+    /// digest)`, carried across [`AnalysisSession::advance`] hops like
+    /// the warm handoff: a chain that revisits a version (or a resident
+    /// `dise serve` session re-running an unchanged CFG) skips the
+    /// backward-BFS feature passes entirely. Feature maps are
+    /// weight-independent, so one cached entry serves any weight vector.
+    feature_cache: std::collections::HashMap<(u64, u64), Arc<FeatureMaps>>,
 
     // Lazily computed stages.
     diffed: Option<Diffed>,
@@ -272,6 +284,7 @@ impl AnalysisSession {
             saved: false,
             handoff: None,
             carried_summaries: None,
+            feature_cache: std::collections::HashMap::new(),
             diffed: None,
             affected: None,
             explored: None,
@@ -281,6 +294,13 @@ impl AnalysisSession {
             summaries: None,
             root_span,
         };
+        // The programs are flattened already, so fingerprinting cannot
+        // hit a fresh inline failure. Computed storeless too: the
+        // fingerprints also key the in-process feature cache.
+        session.fingerprints = (
+            proc_fingerprint(&session.base, &session.proc_name).map_err(DiseError::Inline)?,
+            proc_fingerprint(&session.modified, &session.proc_name).map_err(DiseError::Inline)?,
+        );
         if let Some(store) = &session.store {
             let span = session.begin_span("store.load");
             let (prior, warning) = store.load_warm(&session.proc_name);
@@ -299,13 +319,6 @@ impl AnalysisSession {
             if let Some(warning) = warning {
                 session.warn(&warning);
             }
-            // The programs are flattened already, so fingerprinting cannot
-            // hit a fresh inline failure.
-            session.fingerprints = (
-                proc_fingerprint(&session.base, &session.proc_name).map_err(DiseError::Inline)?,
-                proc_fingerprint(&session.modified, &session.proc_name)
-                    .map_err(DiseError::Inline)?,
-            );
         }
         Ok(session)
     }
@@ -335,6 +348,9 @@ impl AnalysisSession {
             .take()
             .map(|p| p.table)
             .or(self.carried_summaries.take());
+        // Feature maps survive too — keyed by fingerprints, a hop back to
+        // an already-seen version costs no backward BFS.
+        let features = std::mem::take(&mut self.feature_cache);
         let tracer = self.config.exec.tracer.clone();
         let root = tracer.as_ref().map(|h| h.begin("session"));
         let flatten_span = match (&tracer, &root) {
@@ -358,6 +374,7 @@ impl AnalysisSession {
         )?;
         session.handoff = handoff;
         session.carried_summaries = summaries;
+        session.feature_cache = features;
         Ok(session)
     }
 
@@ -573,8 +590,30 @@ impl AnalysisSession {
                 diffed.cfg_mod.len(),
                 "CFG construction must be deterministic"
             );
-            let mut strategy =
-                DirectedStrategy::new(&diffed.cfg_mod, affected, self.config.trace_directed);
+            // Resolve the run's weight vector: an explicit --heuristic /
+            // DISE_HEURISTIC choice wins; Inherit adopts whatever vector
+            // the store recorded for this procedure (so serve sessions
+            // and warm CLI runs keep a previously chosen heuristic).
+            let stored_weights = self
+                .prior
+                .as_ref()
+                .and_then(|e| e.heuristic)
+                .map(HeuristicWeights::from_array);
+            let weights = self.config.exec.heuristic.resolve(stored_weights);
+            let feature_key = (self.fingerprints.1, affected_digest(affected));
+            let cached_features = self.feature_cache.get(&feature_key).cloned();
+            let features_cached = cached_features.is_some();
+            let mut strategy = DirectedStrategy::with_model(
+                &diffed.cfg_mod,
+                affected,
+                self.config.trace_directed,
+                weights,
+                cached_features,
+            );
+            if !features_cached {
+                self.feature_cache
+                    .insert(feature_key, Arc::clone(strategy.score_model().features()));
+            }
             let summary = executor.explore(&mut strategy);
             let directed_trace = self.config.trace_directed.then(|| strategy.render_trace());
             self.timings.explore = start.elapsed();
@@ -595,12 +634,17 @@ impl AnalysisSession {
                             + s.solver.prefix_cache_hits
                             + s.solver.shared_trie_hits,
                     ),
+                    (
+                        "heuristic.features_cached".to_string(),
+                        features_cached as u64,
+                    ),
                 ],
             );
             self.executor = Some(executor);
             self.explored = Some(Explored {
                 summary,
                 directed_trace,
+                weights,
             });
         }
         Ok(self.explored.as_ref().expect("just computed"))
@@ -762,6 +806,7 @@ impl AnalysisSession {
             directed_trace: explored.directed_trace.clone(),
             stages: self.timings,
             store: self.status.clone(),
+            heuristic: explored.weights,
         })
     }
 
@@ -788,6 +833,7 @@ impl AnalysisSession {
             directed_trace: explored.directed_trace,
             stages: self.timings,
             store: status,
+            heuristic: explored.weights,
         })
     }
 
@@ -849,6 +895,7 @@ impl AnalysisSession {
             pc_count: explored.summary.pc_count() as u64,
             summary_digest: summary_digest(&explored.summary),
             sweep_feedback: executor.sweep_feedback(),
+            heuristic: Some(explored.weights.to_array()),
             affected: Some(StoredAffected {
                 precision: precision_tag(self.config.precision),
                 changed_nodes: diffed.diff.changed_node_count() as u64,
@@ -1017,6 +1064,22 @@ fn reusable_affected(
         to_set(&stored.acn),
         to_set(&stored.awn),
     ))
+}
+
+/// A stable digest of the affected sets, the second half of the feature
+/// cache key: one modified fingerprint can pair with different bases
+/// (and therefore different affected sets), and the feature maps depend
+/// on both.
+fn affected_digest(affected: &AffectedSets) -> u64 {
+    let mut bytes = Vec::with_capacity(4 * (affected.len() + 1));
+    for n in affected.acn() {
+        bytes.extend_from_slice(&(n.index() as u32).to_le_bytes());
+    }
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    for n in affected.awn() {
+        bytes.extend_from_slice(&(n.index() as u32).to_le_bytes());
+    }
+    dise_store::format::fnv1a(&bytes)
 }
 
 /// A stable digest of the summary's observable output (path conditions,

@@ -1,0 +1,432 @@
+//! `dise tune` — deterministic parameter search for the sweep heuristic.
+//!
+//! The directed strategy's arm scores (see `dise_symexec::heuristic`)
+//! only ever reorder the speculative sweep, so their quality is a pure
+//! scheduling question: *how much speculative work does a weight vector
+//! spend before the sweep first touches the affected region?* This
+//! module answers it without running a single solver check, by replaying
+//! the sweep's scheduling decisions on the CFG alone:
+//!
+//! 1. Every [`TuneCase`] runs the real pipeline front half — flatten,
+//!    diff, affected-location fixpoint — and builds the real
+//!    [`FeatureMaps`](dise_symexec::FeatureMaps) the frontier would
+//!    score against.
+//! 2. [`simulate`] walks the CFG exactly the way the sweep's owner
+//!    worker schedules arms: LIFO, best-scored arm popped first (the
+//!    `BudgetController::order_arms` comparator via
+//!    [`ScoreModel::ranked`]), one budget token per admitted state,
+//!    under the `SweepBudget::Auto` grant.
+//! 3. Every candidate vector in the [`candidate_grid`] is scored by the
+//!    simulated states (primary) and conditional-arm checks (secondary)
+//!    spent before first affected contact, summed over the corpus; ties
+//!    resolve to the earliest grid entry, so the distance-only baseline
+//!    wins unless a blend is strictly better.
+//!
+//! Everything here is integer/`total_cmp` arithmetic over deterministic
+//! graph walks — no threads, no clocks, no solver — so two `dise tune`
+//! invocations with the same corpus emit byte-identical weight files
+//! (CI pins this), and the checked-in `tuned.weights` /
+//! [`HeuristicWeights::TUNED`] pair stays reproducible.
+
+use std::sync::Arc;
+
+use dise_ir::Program;
+use dise_symexec::{HeuristicWeights, ScoreModel, TOKENS_PER_AFFECTED_NODE};
+
+use crate::directed::DirectedStrategy;
+use crate::dise::{DiseConfig, DiseError};
+use crate::report::TextTable;
+use crate::session::AnalysisSession;
+
+/// One corpus member: a version pair plus the procedure under analysis.
+#[derive(Debug, Clone)]
+pub struct TuneCase {
+    /// Display name (`WBS v2`, `gen seed 7`, …).
+    pub name: String,
+    /// The base (old) program.
+    pub base: Program,
+    /// The modified program.
+    pub modified: Program,
+    /// The analyzed procedure.
+    pub proc_name: String,
+}
+
+/// What one simulated sweep spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// Speculative states the walk admitted (each costs a budget token).
+    pub states: u64,
+    /// Conditional branch arms expanded — the sweep's solver-check proxy.
+    pub checks: u64,
+    /// States admitted before (and including) the first one inside the
+    /// affected region; `None` when the budget ran out first.
+    pub states_to_affected: Option<u64>,
+    /// Checks spent strictly before the first affected contact.
+    pub checks_to_affected: u64,
+    /// Checks spent up to the state that completed affected coverage
+    /// (meaningful only when [`states_to_cover`](Self::states_to_cover)
+    /// is `Some`).
+    pub checks_to_cover: u64,
+    /// Distinct affected nodes the walk admitted within budget.
+    pub affected_covered: u32,
+    /// States admitted until *every* reachable affected node was visited —
+    /// the trie-warming objective (the authoritative pass walks the whole
+    /// region, so full coverage, not first contact, is what pre-solves
+    /// it). `None` when the budget ran out first.
+    pub states_to_cover: Option<u64>,
+}
+
+/// Replays the sweep's scheduling on the CFG: a LIFO walk from `begin`
+/// where sibling arms are expanded best-score-first and every admitted
+/// state charges one token from `budget`. Each node is admitted at most
+/// once (the sweep's shared trie makes revisits free), so the walk
+/// terminates on cyclic CFGs without a depth bound.
+pub fn simulate(cfg: &dise_cfg::Cfg, model: &ScoreModel, budget: u64) -> SimOutcome {
+    // Full coverage is judged against the affected nodes the walk *can*
+    // reach from `begin`, not `affected_total` — an affected node on an
+    // unreachable (already-pruned) path must not make every candidate
+    // look budget-starved.
+    let reachable_affected = {
+        let mut seen = vec![false; cfg.len()];
+        let mut queue = vec![cfg.begin()];
+        let mut count = 0u32;
+        while let Some(node) = queue.pop() {
+            if std::mem::replace(&mut seen[node.index()], true) {
+                continue;
+            }
+            if model.distance(node.index()) == 0 {
+                count += 1;
+            }
+            queue.extend(cfg.succs(node).iter().map(|(s, _)| *s));
+        }
+        count
+    };
+    let mut visited = vec![false; cfg.len()];
+    let mut stack = vec![cfg.begin()];
+    let mut out = SimOutcome {
+        states: 0,
+        checks: 0,
+        states_to_affected: None,
+        checks_to_affected: 0,
+        checks_to_cover: 0,
+        affected_covered: 0,
+        states_to_cover: None,
+    };
+    while let Some(node) = stack.pop() {
+        if std::mem::replace(&mut visited[node.index()], true) {
+            continue;
+        }
+        if out.states >= budget {
+            break;
+        }
+        out.states += 1;
+        if model.distance(node.index()) == 0 {
+            if out.states_to_affected.is_none() {
+                out.states_to_affected = Some(out.states);
+                out.checks_to_affected = out.checks;
+            }
+            out.affected_covered += 1;
+            if out.affected_covered == reachable_affected && out.states_to_cover.is_none() {
+                out.states_to_cover = Some(out.states);
+                out.checks_to_cover = out.checks;
+            }
+        }
+        let succs = cfg.succs(node);
+        if succs.len() > 1 {
+            out.checks += succs.len() as u64;
+        }
+        let indices: Vec<usize> = succs.iter().map(|(s, _)| s.index()).collect();
+        // Best-ranked arm must pop first: push in worst-to-best order.
+        for &position in model.ranked(&indices).iter().rev() {
+            stack.push(succs[position].0);
+        }
+    }
+    out
+}
+
+/// A candidate's corpus-wide tally. Lower is better on every field.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateOutcome {
+    /// The scored weight vector.
+    pub weights: HeuristicWeights,
+    /// Summed states-to-full-coverage (the primary objective); a case
+    /// whose sweep exhausted its budget before covering the reachable
+    /// affected region contributes `granted budget + 1`.
+    pub states_to_cover: u64,
+    /// Summed states-to-first-affected-contact.
+    pub states_to_affected: u64,
+    /// Summed checks spent before first affected contact.
+    pub checks_to_affected: u64,
+    /// Cases whose simulated sweep never reached the affected region.
+    pub unreached: u64,
+}
+
+/// The search outcome: every candidate's tally plus the winner.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// One outcome per [`candidate_grid`] entry, in grid order.
+    pub candidates: Vec<CandidateOutcome>,
+    /// The corpus case names, for the rendered report.
+    pub case_names: Vec<String>,
+    best: usize,
+}
+
+impl TuneReport {
+    /// The winning candidate.
+    pub fn best(&self) -> &CandidateOutcome {
+        &self.candidates[self.best]
+    }
+
+    /// The canonical `tuned.weights` file body for the winner.
+    pub fn weights_file(&self) -> String {
+        self.best().weights.to_string()
+    }
+
+    /// A deterministic text report: corpus size, then one row per
+    /// candidate with the winner marked.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "weights [d, u, c, t]".into(),
+            "states-to-cover".into(),
+            "states-to-affected".into(),
+            "checks-to-affected".into(),
+            "unreached".into(),
+            "".into(),
+        ]);
+        for (i, c) in self.candidates.iter().enumerate() {
+            table.row(vec![
+                c.weights.vector(),
+                c.states_to_cover.to_string(),
+                c.states_to_affected.to_string(),
+                c.checks_to_affected.to_string(),
+                c.unreached.to_string(),
+                if i == self.best {
+                    "<- best".into()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+        format!(
+            "tuned over {} case(s): {}\n{}",
+            self.case_names.len(),
+            self.case_names.join(", "),
+            table.render()
+        )
+    }
+}
+
+/// The deterministic candidate lattice: distance is anchored at 1 (the
+/// score scale is arbitrary, so one weight can be fixed), and the other
+/// three features sweep small blends around the baseline. The first
+/// entry is exactly [`HeuristicWeights::DISTANCE_ONLY`], so ties keep
+/// the zero-config behavior.
+///
+/// The `uncovered` axis sweeps *negative* weights: md2u measures
+/// distance to the nearest **unaffected** conditional, so a negative
+/// weight penalizes arms close to unaffected branching structure (and
+/// the `UNREACHABLE` sentinel turns into a strong bonus for subtrees
+/// with no unaffected branching at all — pure affected work). Positive
+/// weights would steer the sweep *toward* unaffected branching, which
+/// is anti-directed and loses consistently on the corpus.
+pub fn candidate_grid() -> Vec<HeuristicWeights> {
+    let mut grid = Vec::with_capacity(27);
+    for &uncovered in &[0.0, -0.25, -0.5] {
+        for &cone in &[0.0, -0.25, -0.5] {
+            for &trie in &[0.0, 0.125, 0.25] {
+                grid.push(HeuristicWeights {
+                    distance: 1.0,
+                    uncovered,
+                    cone,
+                    trie,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Runs the parameter search over `cases` with the default
+/// [`candidate_grid`].
+///
+/// # Errors
+///
+/// Whatever the pipeline front half (flatten / diff / affected) raises
+/// on a corpus member.
+pub fn tune(cases: &[TuneCase]) -> Result<TuneReport, DiseError> {
+    tune_with(cases, &candidate_grid())
+}
+
+/// [`tune`] with an explicit candidate list (the benchmark sweeps a
+/// custom lattice).
+///
+/// # Errors
+///
+/// Whatever the pipeline front half raises on a corpus member.
+pub fn tune_with(
+    cases: &[TuneCase],
+    candidates: &[HeuristicWeights],
+) -> Result<TuneReport, DiseError> {
+    assert!(!candidates.is_empty(), "tune needs at least one candidate");
+    let mut outcomes: Vec<CandidateOutcome> = candidates
+        .iter()
+        .map(|&weights| CandidateOutcome {
+            weights,
+            states_to_cover: 0,
+            states_to_affected: 0,
+            checks_to_affected: 0,
+            unreached: 0,
+        })
+        .collect();
+    let mut case_names = Vec::with_capacity(cases.len());
+    for case in cases {
+        let mut session = AnalysisSession::open(
+            &case.base,
+            &case.modified,
+            &case.proc_name,
+            DiseConfig::default(),
+        )?;
+        let affected = session.affected()?.clone();
+        // A semantics-preserving edit has no affected region at all —
+        // every ordering is equally idle there, so the case carries no
+        // signal and only inflates the penalty columns.
+        if affected.is_empty() {
+            continue;
+        }
+        case_names.push(case.name.clone());
+        let diffed = session.diffed()?;
+        let features = Arc::new(DirectedStrategy::compute_features(
+            &diffed.cfg_mod,
+            &affected,
+        ));
+        // The same grant the frontier's cost model would issue (no prior
+        // feedback during tuning — tuning is a cold-corpus exercise).
+        let budget = u64::from(features.affected_total) * TOKENS_PER_AFFECTED_NODE;
+        for (candidate, outcome) in candidates.iter().zip(&mut outcomes) {
+            let model = ScoreModel::new(*candidate, Arc::clone(&features));
+            let sim = simulate(&diffed.cfg_mod, &model, budget);
+            match sim.states_to_affected {
+                Some(states) => outcome.states_to_affected += states,
+                None => {
+                    outcome.states_to_affected += budget + 1;
+                    outcome.unreached += 1;
+                }
+            }
+            outcome.states_to_cover += sim.states_to_cover.unwrap_or(budget + 1);
+            outcome.checks_to_affected += sim.checks_to_affected;
+        }
+    }
+    // Lexicographic minimum; `min_by_key` keeps the earliest entry on
+    // ties, so the distance-only baseline survives unless beaten.
+    let best = outcomes
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, c)| {
+            (
+                c.unreached,
+                c.states_to_cover,
+                c.states_to_affected,
+                c.checks_to_affected,
+            )
+        })
+        .map(|(i, _)| i)
+        .expect("at least one candidate");
+    Ok(TuneReport {
+        candidates: outcomes,
+        case_names,
+        best,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, base: &str, modified: &str) -> TuneCase {
+        TuneCase {
+            name: name.into(),
+            base: dise_ir::parse_program(base).unwrap(),
+            modified: dise_ir::parse_program(modified).unwrap(),
+            proc_name: "p".into(),
+        }
+    }
+
+    /// A diamond whose *second* branch leads to the change: ordering
+    /// decides how many states the walk spends before touching it.
+    fn diamond_case() -> TuneCase {
+        case(
+            "diamond",
+            "int y = 0; int z = 0;
+             proc p(int x) { if (x > 0) { y = 1; } else { y = 2; } if (y > 1) { z = 1; } else { z = 2; } }",
+            "int y = 0; int z = 0;
+             proc p(int x) { if (x > 0) { y = 1; } else { y = 2; } if (y > 1) { z = 1; } else { z = 9; } }",
+        )
+    }
+
+    #[test]
+    fn grid_starts_at_the_distance_only_baseline() {
+        let grid = candidate_grid();
+        assert_eq!(grid[0], HeuristicWeights::DISTANCE_ONLY);
+        assert_eq!(grid.len(), 27);
+        assert!(
+            grid.contains(&HeuristicWeights::TUNED),
+            "the checked-in vector is searchable"
+        );
+        // Distance stays anchored across the whole lattice.
+        assert!(grid.iter().all(|w| w.distance == 1.0));
+    }
+
+    #[test]
+    fn tune_is_deterministic_and_reaches_the_region() {
+        let cases = vec![diamond_case(), {
+            let mut c = diamond_case();
+            c.name = "diamond2".into();
+            c
+        }];
+        let a = tune(&cases).unwrap();
+        let b = tune(&cases).unwrap();
+        assert_eq!(a.weights_file(), b.weights_file());
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.best().unreached, 0);
+        assert!(a.best().states_to_affected > 0);
+        assert!(a.render().contains("<- best"));
+        // The emitted file round-trips through the parser.
+        assert_eq!(
+            HeuristicWeights::parse(&a.weights_file()),
+            Ok(a.best().weights)
+        );
+    }
+
+    #[test]
+    fn checked_in_weights_match_the_tuned_const() {
+        // `dise tune` wrote tuned.weights; `HeuristicWeights::TUNED` is
+        // its compiled-in mirror. They must never drift apart (CI also
+        // re-runs the tuner and byte-diffs against the file).
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tuned.weights");
+        let text = std::fs::read_to_string(path).expect("tuned.weights is checked in");
+        assert_eq!(HeuristicWeights::parse(&text), Ok(HeuristicWeights::TUNED));
+        assert_eq!(text, HeuristicWeights::TUNED.to_string());
+    }
+
+    #[test]
+    fn simulate_respects_the_budget() {
+        let c = diamond_case();
+        let mut session =
+            AnalysisSession::open(&c.base, &c.modified, &c.proc_name, DiseConfig::default())
+                .unwrap();
+        let affected = session.affected().unwrap().clone();
+        let diffed = session.diffed().unwrap();
+        let features = Arc::new(DirectedStrategy::compute_features(
+            &diffed.cfg_mod,
+            &affected,
+        ));
+        let model = ScoreModel::new(HeuristicWeights::DISTANCE_ONLY, Arc::clone(&features));
+        let starved = simulate(&diffed.cfg_mod, &model, 2);
+        assert_eq!(starved.states, 2);
+        let full = simulate(&diffed.cfg_mod, &model, u64::MAX);
+        assert!(full.states > 2);
+        assert!(full.states <= diffed.cfg_mod.len() as u64);
+        assert!(full.states_to_affected.is_some());
+        assert!(full.checks > 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The canonical heuristic-tuning corpus: one definition shared by
+//! `dise tune`, the `heuristic_tuning` benchmark, and CI's
+//! tuning-determinism job, so all three always sweep the same cases and
+//! the checked-in `tuned.weights` is reproducible from any of them.
+//!
+//! The corpus mixes three populations:
+//!
+//! * every version of the hand-written WBS / OAE / ASW artifacts
+//!   (optional — `dise tune --artifacts off` drops them);
+//! * generated pairs at the **default scenario shape** (the size the
+//!   paper's artifacts are at);
+//! * generated pairs at **10x scale** — the `generated_scale`
+//!   benchmark's shape (24 dispatch arms, a 3-wide 2-deep helper call
+//!   graph) — so the winning vector is not an artifact of small CFGs.
+//!
+//! Seeds derive deterministically from [`CorpusParams::seed`]; the 10x
+//! population is offset so the two generated populations never share a
+//! scenario.
+
+use crate::{evolve, GenParams, Scenario, PROC_NAME};
+use dise_core::tune::TuneCase;
+
+/// The 10x-scale scenario shape (kept in lockstep with the
+/// `generated_scale` benchmark's 10x tier).
+pub const SCALE_10X: GenParams = GenParams {
+    seed: 0,
+    arms: 24,
+    guard_depth: 2,
+    helpers: 3,
+    call_depth: 2,
+    globals: 3,
+};
+
+/// Seed offset separating the 10x population from the default-shape one.
+const SCALE_10X_SEED_OFFSET: u64 = 1 << 32;
+
+/// Parameters of the canonical tuning corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusParams {
+    /// Base seed every generated pair derives from.
+    pub seed: u64,
+    /// Generated pairs *per population* (default shape and 10x scale
+    /// each contribute this many).
+    pub pairs: u64,
+    /// Evolution edits applied to each generated pair.
+    pub edits: usize,
+    /// Whether the WBS / OAE / ASW artifact versions are included.
+    pub artifacts: bool,
+}
+
+impl Default for CorpusParams {
+    fn default() -> CorpusParams {
+        CorpusParams {
+            seed: 0,
+            pairs: 8,
+            edits: 2,
+            artifacts: true,
+        }
+    }
+}
+
+/// Builds the canonical tuning corpus for `params`.
+///
+/// # Examples
+///
+/// ```
+/// use dise_gen::corpus::{tune_corpus, CorpusParams};
+///
+/// let corpus = tune_corpus(&CorpusParams {
+///     pairs: 1,
+///     artifacts: false,
+///     ..CorpusParams::default()
+/// });
+/// assert_eq!(corpus.len(), 2); // one default-shape + one 10x pair
+/// ```
+pub fn tune_corpus(params: &CorpusParams) -> Vec<TuneCase> {
+    let mut cases = Vec::new();
+    if params.artifacts {
+        for artifact in [
+            dise_artifacts::wbs::artifact(),
+            dise_artifacts::oae::artifact(),
+            dise_artifacts::asw::artifact(),
+        ] {
+            for version in &artifact.versions {
+                cases.push(TuneCase {
+                    name: format!("{} {}", artifact.name, version.id),
+                    base: artifact.base.clone(),
+                    modified: version.program.clone(),
+                    proc_name: artifact.proc_name.to_string(),
+                });
+            }
+        }
+    }
+    for k in 0..params.pairs {
+        let seed = params.seed.wrapping_add(k);
+        let scenario = Scenario::generate(&GenParams {
+            seed,
+            ..GenParams::default()
+        });
+        let evolution = evolve(&scenario, seed, params.edits);
+        cases.push(TuneCase {
+            name: format!("gen seed {seed}"),
+            base: scenario.program(),
+            modified: evolution.modified.program(),
+            proc_name: PROC_NAME.to_string(),
+        });
+    }
+    for k in 0..params.pairs {
+        let seed = params.seed.wrapping_add(SCALE_10X_SEED_OFFSET + k);
+        let scenario = Scenario::generate(&GenParams { seed, ..SCALE_10X });
+        let evolution = evolve(&scenario, seed, params.edits);
+        cases.push(TuneCase {
+            name: format!("gen10x seed {seed}"),
+            base: scenario.program(),
+            modified: evolution.modified.program(),
+            proc_name: PROC_NAME.to_string(),
+        });
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_layered() {
+        let params = CorpusParams {
+            pairs: 2,
+            ..CorpusParams::default()
+        };
+        let a = tune_corpus(&params);
+        let b = tune_corpus(&params);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.modified, y.modified);
+        }
+        // Every artifact version + 2 default-shape + 2 10x pairs.
+        assert!(a.iter().any(|c| c.name.starts_with("WBS")));
+        assert!(a.iter().any(|c| c.name.starts_with("gen seed")));
+        assert!(a.iter().any(|c| c.name.starts_with("gen10x seed")));
+        let versions = dise_artifacts::wbs::artifact().versions.len()
+            + dise_artifacts::oae::artifact().versions.len()
+            + dise_artifacts::asw::artifact().versions.len();
+        assert_eq!(
+            a.len(),
+            tune_corpus(&CorpusParams {
+                pairs: 2,
+                artifacts: false,
+                ..CorpusParams::default()
+            })
+            .len()
+                + versions
+        );
+    }
+
+    #[test]
+    fn populations_never_share_a_seed() {
+        let corpus = tune_corpus(&CorpusParams {
+            pairs: 3,
+            artifacts: false,
+            ..CorpusParams::default()
+        });
+        let names: Vec<&str> = corpus.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names.len(), 6);
+        let unique: std::collections::BTreeSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), 6);
+    }
+}

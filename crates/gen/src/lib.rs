@@ -49,6 +49,7 @@
 //! assert!(report.ground_truth_nodes > 0);
 //! ```
 
+pub mod corpus;
 pub mod edits;
 pub mod harness;
 pub mod scenario;

@@ -1,0 +1,96 @@
+//! Property: heuristic weights may only *reorder* exploration, never
+//! change results. Any weight vector — including adversarial ones — must
+//! yield verdicts byte-identical to the `DistanceTo`-only baseline, at
+//! any job count.
+
+use dise_core::dise::{run_dise, DiseConfig};
+use dise_gen::harness::render_verdicts;
+use dise_gen::{evolve, GenParams, Scenario, PROC_NAME};
+use dise_symexec::{ExecConfig, HeuristicChoice, HeuristicWeights};
+
+fn run(
+    base: &dise_ir::Program,
+    modified: &dise_ir::Program,
+    jobs: usize,
+    heuristic: HeuristicChoice,
+) -> String {
+    let config = DiseConfig {
+        exec: ExecConfig {
+            jobs,
+            heuristic,
+            ..ExecConfig::default()
+        },
+        ..DiseConfig::default()
+    };
+    let result = run_dise(base, modified, PROC_NAME, &config).expect("pipeline runs");
+    render_verdicts(&result.summary)
+}
+
+/// Weight vectors chosen to stress every ordering regime: the baseline,
+/// the tuned blend, sign flips, zero (all arms tie — pure index order),
+/// and magnitudes that make each individual feature dominate.
+fn adversarial_vectors() -> Vec<HeuristicWeights> {
+    [
+        [1.0, 0.0, 0.0, 0.0],
+        [1.0, -0.25, 0.0, 0.0],
+        [0.0, 0.0, 0.0, 0.0],
+        [-1.0, 1.0, -1.0, 1.0],
+        [0.0, 0.0, -100.0, 0.0],
+        [0.001, 1000.0, 0.5, -273.15],
+    ]
+    .into_iter()
+    .map(HeuristicWeights::from_array)
+    .collect()
+}
+
+#[test]
+fn any_weight_vector_yields_verdicts_byte_identical_to_distance_only() {
+    for seed in 0..4u64 {
+        let scenario = Scenario::generate(&GenParams {
+            seed,
+            ..GenParams::default()
+        });
+        let evolution = evolve(&scenario, seed, 2);
+        let base = scenario.program();
+        let modified = evolution.modified.program();
+        let baseline = run(&base, &modified, 1, HeuristicChoice::Distance);
+        for weights in adversarial_vectors() {
+            for jobs in [1, 4] {
+                let verdicts = run(&base, &modified, jobs, HeuristicChoice::Custom(weights));
+                assert_eq!(
+                    verdicts,
+                    baseline,
+                    "seed {seed}, jobs {jobs}, weights {}: verdicts diverged",
+                    weights.vector()
+                );
+            }
+        }
+    }
+}
+
+/// The satellite tie-break pin: with the tuned vector (whose scores tie
+/// far more often than pure distance), jobs 1 and 4 must still agree
+/// byte-for-byte — ties break on the stable successor index, never on
+/// scheduling or map iteration order.
+#[test]
+fn tuned_weights_stay_byte_identical_across_job_counts() {
+    for seed in [11u64, 12, 13] {
+        let scenario = Scenario::generate(&GenParams {
+            seed,
+            arms: 8,
+            ..GenParams::default()
+        });
+        let evolution = evolve(&scenario, seed, 3);
+        let base = scenario.program();
+        let modified = evolution.modified.program();
+        let serial = run(&base, &modified, 1, HeuristicChoice::Tuned);
+        let parallel = run(&base, &modified, 4, HeuristicChoice::Tuned);
+        assert_eq!(serial, parallel, "seed {seed}: jobs 1 vs 4 diverged");
+        // And the tuned ordering itself never changes what is reported.
+        assert_eq!(
+            serial,
+            run(&base, &modified, 1, HeuristicChoice::Distance),
+            "seed {seed}: tuned vs distance verdicts diverged"
+        );
+    }
+}

@@ -23,7 +23,7 @@ pub const MAGIC: [u8; 8] = *b"DISESTOR";
 
 /// Current format version. Bump on any payload layout change — old
 /// readers reject new files (and vice versa) instead of misparsing them.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Header length in bytes (magic + version + length + checksum).
 pub const HEADER_LEN: usize = 8 + 4 + 8 + 8;

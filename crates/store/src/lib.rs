@@ -91,6 +91,12 @@ pub struct ProcEntry {
     pub summary_digest: u64,
     /// Measured trie-consumption ratio of the last speculative sweep.
     pub sweep_feedback: Option<f64>,
+    /// The heuristic weight vector the last run scored speculative
+    /// branch arms with, as `(distance, uncovered, cone, trie)` — the
+    /// field order of `dise-symexec`'s `HeuristicWeights`, kept as a
+    /// plain array so the store stays solver-layer only. Warm runs
+    /// whose config leaves the heuristic unset inherit these weights.
+    pub heuristic: Option<[f64; 4]>,
     /// Affected sets of the `(base, modified)` fingerprint pair.
     pub affected: Option<StoredAffected>,
     /// The solver's warm state.
@@ -105,8 +111,8 @@ pub struct ProcEntry {
 
 impl ProcEntry {
     /// The kinds of warm state this entry carries, as a `+`-joined list
-    /// (`trie`, `summary`, `feedback`, `affected`), or `empty`. Printed
-    /// by `dise store stat`.
+    /// (`trie`, `summary`, `feedback`, `heuristic`, `affected`), or
+    /// `empty`. Printed by `dise store stat`.
     pub fn kinds(&self) -> String {
         let mut kinds = Vec::new();
         if !self.trie.entries.is_empty() {
@@ -117,6 +123,9 @@ impl ProcEntry {
         }
         if self.sweep_feedback.is_some() {
             kinds.push("feedback");
+        }
+        if self.heuristic.is_some() {
+            kinds.push("heuristic");
         }
         if self.affected.is_some() {
             kinds.push("affected");
@@ -441,6 +450,15 @@ fn encode_entry(entry: &ProcEntry) -> Vec<u8> {
     w.u64(entry.pc_count);
     w.u64(entry.summary_digest);
     w.opt_f64(entry.sweep_feedback);
+    match &entry.heuristic {
+        None => w.u8(0),
+        Some(weights) => {
+            w.u8(1);
+            for &weight in weights {
+                w.f64(weight);
+            }
+        }
+    }
     match &entry.affected {
         None => w.u8(0),
         Some(affected) => {
@@ -482,6 +500,11 @@ fn decode_entry(payload: &[u8]) -> Result<ProcEntry, StoreError> {
     let pc_count = r.u64()?;
     let summary_digest = r.u64()?;
     let sweep_feedback = r.opt_f64()?;
+    let heuristic = match r.u8()? {
+        0 => None,
+        1 => Some([r.f64()?, r.f64()?, r.f64()?, r.f64()?]),
+        _ => return Err(StoreError::Corrupt("heuristic tag")),
+    };
     let affected = match r.u8()? {
         0 => None,
         1 => {
@@ -541,6 +564,7 @@ fn decode_entry(payload: &[u8]) -> Result<ProcEntry, StoreError> {
         pc_count,
         summary_digest,
         sweep_feedback,
+        heuristic,
         affected,
         trie,
         summaries,
@@ -1000,6 +1024,7 @@ mod tests {
             pc_count: 7,
             summary_digest: 0xfeed,
             sweep_feedback: Some(0.625),
+            heuristic: Some([1.0, 0.25, -0.5, 0.125]),
             affected: Some(StoredAffected {
                 precision: 1,
                 changed_nodes: 1,
@@ -1061,7 +1086,7 @@ mod tests {
         assert_eq!(loaded.summaries[0].paths[0].guards.len(), 1);
         assert_eq!(
             loaded.kinds(),
-            "trie+summary+feedback+affected",
+            "trie+summary+feedback+heuristic+affected",
             "stat kinds reflect the stored payloads"
         );
         std::fs::remove_dir_all(dir).ok();

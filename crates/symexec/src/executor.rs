@@ -72,14 +72,15 @@ pub trait Strategy {
         true
     }
 
-    /// Cost-model inputs for budgeting the speculative sweep (see
-    /// [`crate::frontier::budget`]): per-node affected-cone sizes and
-    /// distances, plus the total affected-node count that sizes the
+    /// The score model pricing the speculative sweep (see
+    /// [`crate::frontier::budget`] and [`crate::heuristic`]): per-node
+    /// feature maps dotted with the run's heuristic weights, plus the
+    /// total affected-node count that sizes the
     /// [`SweepBudget::Auto`](crate::SweepBudget::Auto) token grant. The
-    /// default (`None`) leaves the sweep unbudgeted under `Auto`;
-    /// strategies that know their target set — the directed strategy in
-    /// `dise-core` — should return one.
-    fn speculation_cost(&self) -> Option<crate::frontier::SweepCostModel> {
+    /// default (`None`) leaves the sweep unbudgeted and unordered under
+    /// `Auto`; strategies that know their target set — the directed
+    /// strategy in `dise-core` — should return one.
+    fn speculation_cost(&self) -> Option<crate::heuristic::ScoreModel> {
         None
     }
 }
@@ -185,6 +186,16 @@ pub struct ExecConfig {
     /// (`on`, `off`, or `auto`), falling back to
     /// [`SummaryMode::Auto`].
     pub summaries: SummaryMode,
+    /// Which heuristic weight vector scores speculative branch arms (see
+    /// [`crate::heuristic`]). The default honors the `DISE_HEURISTIC`
+    /// environment variable (`distance`, `tuned`, or a weights-file
+    /// path), falling back to
+    /// [`HeuristicChoice::Inherit`](crate::heuristic::HeuristicChoice::Inherit),
+    /// which adopts store-recorded weights on warm runs and otherwise
+    /// behaves exactly like `distance`. Affects only the speculative
+    /// sweep's arm ordering — recorded verdicts are byte-identical under
+    /// any choice.
+    pub heuristic: crate::heuristic::HeuristicChoice,
     /// Constraint-solver tuning.
     pub solver: SolverConfig,
     /// Observability hook: when set, pipeline stages, frontier workers,
@@ -218,6 +229,21 @@ fn default_sweep_budget() -> crate::frontier::SweepBudget {
     })
 }
 
+/// The `DISE_HEURISTIC` default, read once per process. A malformed
+/// value falls back to [`HeuristicChoice::Inherit`] silently — the CLI
+/// reports parse errors on its own explicit flag, and an env var should
+/// never abort library consumers.
+fn default_heuristic() -> crate::heuristic::HeuristicChoice {
+    static CHOICE: std::sync::OnceLock<crate::heuristic::HeuristicChoice> =
+        std::sync::OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        std::env::var("DISE_HEURISTIC")
+            .ok()
+            .and_then(|v| crate::heuristic::HeuristicChoice::parse_spec(&v).ok())
+            .unwrap_or_default()
+    })
+}
+
 /// The `DISE_SUMMARIES` default, read once per process.
 fn default_summaries() -> SummaryMode {
     static MODE: std::sync::OnceLock<SummaryMode> = std::sync::OnceLock::new();
@@ -242,6 +268,7 @@ impl Default for ExecConfig {
             jobs: default_jobs(),
             sweep_budget: default_sweep_budget(),
             summaries: default_summaries(),
+            heuristic: default_heuristic(),
             solver: SolverConfig::default(),
             tracer: None,
         }

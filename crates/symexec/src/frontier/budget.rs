@@ -9,32 +9,35 @@
 //! verdicts the authoritative pass never consults. This module turns the
 //! all-or-nothing sweep into an admission-controlled one:
 //!
-//! * a [`SweepCostModel`] built by the strategy (for the directed strategy:
-//!   the affected-cone sizing pass in `dise-core` plus the
-//!   `dise_cfg::DistanceTo` precompute) prices every branch arm by the
-//!   number of affected nodes under it and its CFG distance to the nearest
-//!   affected node;
+//! * a [`ScoreModel`] built by the strategy (for the directed strategy:
+//!   the feature maps of [`crate::heuristic`] — affected distance, md2u,
+//!   cone size, trie-prefix depth — dotted with the run's
+//!   [`HeuristicWeights`]) prices every branch arm;
 //! * a global token budget ([`SweepBudget`], default
 //!   [`SweepBudget::Auto`] — proportional to the affected-node count,
 //!   scaled by the *measured* trie-consumption ratio of earlier runs of
 //!   the same executor) is charged one token per speculative state; when
 //!   it runs out the sweep drains and the serial pass proceeds with
 //!   whatever the trie holds;
-//! * while the budget has headroom, workers spend it on low-distance arms
-//!   first (`BudgetController::order_arms`), because those arms' prefix
-//!   verdicts are the ones the authoritative pass is most likely to
-//!   consume.
+//! * while the budget has headroom, workers spend it on the best-scored
+//!   arms first (`BudgetController::order_arms`), because those arms'
+//!   prefix verdicts are the ones the authoritative pass is most likely
+//!   to consume.
 //!
 //! Budgeting never changes results: the sweep's only observable effect is
 //! the shared trie, and a colder trie just means the serial pass solves
 //! more itself. `tests/sweep_budget.rs` pins byte-identical summaries at
-//! every budget, including `0` (sweep disabled entirely).
+//! every budget, including `0` (sweep disabled entirely), and the
+//! `dise-gen` property suite pins byte-identical verdicts under arbitrary
+//! weight vectors.
 //!
 //! [`Strategy::speculation_hint`]: crate::Strategy::speculation_hint
+//! [`HeuristicWeights`]: crate::heuristic::HeuristicWeights
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::executor::Succ;
+use crate::heuristic::ScoreModel;
 
 /// Tokens granted per affected node by [`SweepBudget::Auto`]. One token
 /// admits one speculative state, so the default sweep is a small constant
@@ -86,64 +89,51 @@ impl std::fmt::Display for SweepBudget {
     }
 }
 
-/// Per-node cost-model inputs for the sweep, produced by
-/// [`Strategy::speculation_cost`]. Both vectors are indexed by
-/// [`dise_cfg::NodeId::index`].
-///
-/// [`Strategy::speculation_cost`]: crate::Strategy::speculation_cost
-#[derive(Debug, Clone)]
-pub struct SweepCostModel {
-    /// Number of affected nodes reachable from each CFG node (the
-    /// affected-node count *under* an arm rooted there). Zero means the
-    /// static hint will prune the arm on entry.
-    pub cone_count: Vec<u32>,
-    /// CFG-edge distance to the nearest affected node
-    /// ([`SweepCostModel::UNREACHABLE`] when none is reachable).
-    pub distance: Vec<u32>,
-    /// Total affected nodes (`|ACN ∪ AWN|`) — the [`SweepBudget::Auto`]
-    /// sizing basis.
-    pub affected_total: u32,
-}
-
-impl SweepCostModel {
-    /// Distance reported for nodes that reach no affected node — the
-    /// same sentinel the distances are produced with, so the two can
-    /// never silently drift apart.
-    pub const UNREACHABLE: u32 = dise_cfg::DistanceTo::UNREACHABLE;
-}
-
 /// The shared admission controller for one speculative sweep: the granted
-/// token pool plus the cost model used for arm ordering.
+/// token pool plus the score model used for arm ordering.
 #[derive(Debug)]
 pub(crate) struct BudgetController {
     granted: u64,
     remaining: AtomicU64,
     exhausted: AtomicBool,
-    cost: Option<SweepCostModel>,
+    model: Option<ScoreModel>,
+    /// Arms passed through [`BudgetController::order_arms`].
+    arms_scored: AtomicU64,
+    /// Arms the score moved away from their stable successor position.
+    arms_displaced: AtomicU64,
+    /// Speculative states admitted before the first affected-region state
+    /// (`u64::MAX` until latched) — the sweep-side "states to affected
+    /// region" the tuner scores.
+    states_to_affected: AtomicU64,
+    states_admitted: AtomicU64,
 }
 
 impl BudgetController {
-    /// Resolves `budget` against the strategy's cost model and the
+    /// Resolves `budget` against the strategy's score model and the
     /// measured consumption ratio of earlier runs (`feedback`, in
     /// `[0, 1]`: trie answers consumed per speculative state).
     pub fn new(
         budget: SweepBudget,
-        cost: Option<SweepCostModel>,
+        model: Option<ScoreModel>,
         feedback: Option<f64>,
     ) -> BudgetController {
-        let granted = match (budget, &cost) {
+        let granted = match (budget, &model) {
             (SweepBudget::Unlimited, _) => u64::MAX,
             (SweepBudget::Tokens(n), _) => n,
-            // Auto without a cost model cannot size anything: behave like
+            // Auto without a score model cannot size anything: behave like
             // the unbudgeted PR 2 sweep.
             (SweepBudget::Auto, None) => u64::MAX,
-            (SweepBudget::Auto, Some(cost)) => auto_tokens(cost.affected_total, feedback),
+            (SweepBudget::Auto, Some(model)) => auto_tokens(model.affected_total(), feedback),
         };
         BudgetController {
             granted,
             remaining: AtomicU64::new(granted),
             exhausted: AtomicBool::new(false),
-            cost,
+            model,
+            arms_scored: AtomicU64::new(0),
+            arms_displaced: AtomicU64::new(0),
+            states_to_affected: AtomicU64::new(u64::MAX),
+            states_admitted: AtomicU64::new(0),
         }
     }
 
@@ -186,30 +176,82 @@ impl BudgetController {
         self.exhausted.load(Ordering::Relaxed)
     }
 
+    /// Notes one admitted speculative state, latching the
+    /// states-to-affected counter the first time a state *in* the
+    /// affected region (distance 0) is seen.
+    pub fn note_state(&self, node_index: usize) {
+        let seen = self.states_admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(model) = &self.model {
+            if model.distance(node_index) == 0 {
+                // Keep the first (smallest) latch; racing workers may both
+                // try, the min wins.
+                self.states_to_affected.fetch_min(seen, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Speculative states admitted before the first affected-region state
+    /// was reached (`None` when the sweep never got there).
+    pub fn states_to_affected(&self) -> Option<u64> {
+        match self.states_to_affected.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            n => Some(n),
+        }
+    }
+
+    /// `(arms scored, arms displaced)` by [`BudgetController::order_arms`]
+    /// over the whole sweep.
+    pub fn arm_stats(&self) -> (u64, u64) {
+        (
+            self.arms_scored.load(Ordering::Relaxed),
+            self.arms_displaced.load(Ordering::Relaxed),
+        )
+    }
+
     /// Orders sibling branch arms so budget is spent where the
-    /// authoritative pass will look first: the cheapest arm (ascending
-    /// distance to the nearest affected node, then descending
-    /// affected-cone size) comes first — the worker continues with it —
-    /// and the remaining arms are left worst-to-best, because the worker
-    /// enqueues them in order and pops its own deque LIFO. Only called on
-    /// the sweep (nothing is recorded there, so candidate order is free to
-    /// change); a no-op without a cost model.
+    /// authoritative pass will look first: the best-scored arm (ascending
+    /// [`ScoreModel::score`], ties by descending affected-cone size and
+    /// then by stable successor index) comes first — the worker continues
+    /// with it — and the remaining arms are left worst-to-best, because
+    /// the worker enqueues them in order and pops its own deque LIFO.
+    /// Only called on the sweep (nothing is recorded there, so candidate
+    /// order is free to change); a no-op without a score model.
     pub fn order_arms(&self, succs: &mut [Succ]) {
-        let Some(cost) = &self.cost else {
+        let Some(model) = &self.model else {
             return;
         };
-        succs.sort_by_key(|succ| {
-            let i = succ.state.node.index();
-            let distance = cost
-                .distance
-                .get(i)
-                .copied()
-                .unwrap_or(SweepCostModel::UNREACHABLE);
-            let cone = cost.cone_count.get(i).copied().unwrap_or(0);
-            (distance, std::cmp::Reverse(cone))
-        });
+        let nodes: Vec<usize> = succs.iter().map(|s| s.state.node.index()).collect();
+        let order = model.ranked(&nodes);
+        let displaced = order
+            .iter()
+            .enumerate()
+            .filter(|(to, &from)| *to != from)
+            .count();
+        self.arms_scored
+            .fetch_add(succs.len() as u64, Ordering::Relaxed);
+        self.arms_displaced
+            .fetch_add(displaced as u64, Ordering::Relaxed);
+        apply_permutation(succs, order);
         if succs.len() > 2 {
             succs[1..].reverse();
+        }
+    }
+}
+
+/// Rearranges `items` so that `items[i]` becomes the element previously at
+/// `order[i]` — in place, by cycle-walking swaps (the elements are not
+/// `Clone`). Consumes `order` as the visited marking.
+fn apply_permutation<T>(items: &mut [T], mut order: Vec<usize>) {
+    for i in 0..items.len() {
+        let mut current = i;
+        loop {
+            let next = order[current];
+            order[current] = current;
+            if order[next] == next {
+                break;
+            }
+            items.swap(current, next);
+            current = next;
         }
     }
 }
@@ -263,12 +305,24 @@ mod tests {
         }
     }
 
-    fn model(affected_total: u32) -> SweepCostModel {
-        SweepCostModel {
-            cone_count: vec![2, 1, 0],
-            distance: vec![1, 0, SweepCostModel::UNREACHABLE],
+    fn model(affected_total: u32) -> ScoreModel {
+        model_with(
             affected_total,
-        }
+            crate::heuristic::HeuristicWeights::DISTANCE_ONLY,
+        )
+    }
+
+    fn model_with(affected_total: u32, weights: crate::heuristic::HeuristicWeights) -> ScoreModel {
+        ScoreModel::new(
+            weights,
+            std::sync::Arc::new(crate::heuristic::FeatureMaps {
+                distance: vec![1, 0, ScoreModel::UNREACHABLE],
+                uncovered: vec![0, 2, 1],
+                cone: vec![2, 1, 0],
+                trie_depth: vec![1, 1, 1],
+                affected_total,
+            }),
+        )
     }
 
     #[test]
@@ -340,11 +394,71 @@ mod tests {
         // remaining arms sit worst-first so the owner's LIFO pop takes
         // node 0 (distance 1) before node 2 (unreachable).
         assert_eq!(order, vec![1, 2, 0]);
-        // Without a cost model the order is untouched.
+        // Without a score model the order is untouched.
         let plain = BudgetController::new(SweepBudget::Unlimited, None, None);
         let mut succs = vec![succ_at(2), succ_at(0)];
         plain.order_arms(&mut succs);
         let order: Vec<u32> = succs.iter().map(|s| s.state.node.0).collect();
         assert_eq!(order, vec![2, 0]);
+    }
+
+    #[test]
+    fn order_arms_counts_scored_and_displaced_arms() {
+        let controller = BudgetController::new(SweepBudget::Auto, Some(model(3)), None);
+        let mut succs = vec![succ_at(2), succ_at(0), succ_at(1)];
+        controller.order_arms(&mut succs);
+        let (scored, displaced) = controller.arm_stats();
+        assert_eq!(scored, 3);
+        // Score order swaps the first and last arms; the middle one keeps
+        // its position (the LIFO reverse afterwards is arrangement, not
+        // scoring).
+        assert_eq!(displaced, 2);
+        // Already-ordered input displaces nothing further.
+        let mut sorted = vec![succ_at(1), succ_at(0)];
+        controller.order_arms(&mut sorted);
+        assert_eq!(controller.arm_stats(), (5, 2));
+    }
+
+    #[test]
+    fn custom_weights_change_the_sweep_order_only() {
+        // Negative cone weight with zero distance weight: the
+        // affected-heaviest arm (node 0, cone 2) is continued first.
+        let weights = crate::heuristic::HeuristicWeights {
+            distance: 0.0,
+            uncovered: 0.0,
+            cone: -1.0,
+            trie: 0.0,
+        };
+        let controller =
+            BudgetController::new(SweepBudget::Auto, Some(model_with(3, weights)), None);
+        let mut succs = vec![succ_at(2), succ_at(0), succ_at(1)];
+        controller.order_arms(&mut succs);
+        let order: Vec<u32> = succs.iter().map(|s| s.state.node.0).collect();
+        // Score order is [0, 1, 2]; the tail flips worst-first for the
+        // owner's LIFO pop.
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn note_state_latches_states_to_affected() {
+        let controller = BudgetController::new(SweepBudget::Auto, Some(model(3)), None);
+        assert_eq!(controller.states_to_affected(), None);
+        controller.note_state(0); // distance 1
+        controller.note_state(2); // unreachable
+        controller.note_state(1); // distance 0: latch at 2 prior states
+        controller.note_state(1); // later hits keep the first latch
+        assert_eq!(controller.states_to_affected(), Some(2));
+    }
+
+    #[test]
+    fn apply_permutation_matches_indexing() {
+        let cases: [&[usize]; 5] = [&[], &[0], &[1, 0], &[2, 0, 1], &[3, 1, 0, 2]];
+        for order in cases {
+            let items: Vec<usize> = (0..order.len()).collect();
+            let expected: Vec<usize> = order.to_vec();
+            let mut actual = items.clone();
+            apply_permutation(&mut actual, order.to_vec());
+            assert_eq!(actual, expected, "permutation {order:?}");
+        }
     }
 }

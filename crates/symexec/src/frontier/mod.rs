@@ -49,13 +49,14 @@
 //!    whose solver answers from the shared trie. Identical algorithm ⇒
 //!    identical summary; the solver work was done in parallel.
 //!
-//! The sweep is **admission-controlled** by a cost model ([`budget`]):
-//! a global token budget — by default proportional to the affected-node
-//! count ([`SweepBudget::Auto`]), overridable via
+//! The sweep is **admission-controlled** ([`budget`]): a global token
+//! budget — by default proportional to the affected-node count
+//! ([`SweepBudget::Auto`]), overridable via
 //! [`ExecConfig::sweep_budget`] / `--sweep-budget` /
 //! `DISE_SWEEP_BUDGET` — is charged one token per speculative state,
-//! and workers spend it on branch arms closest to the affected region
-//! first. The serial pass records which trie answers it actually
+//! and workers spend it on the branch arms the run's heuristic score
+//! model ([`crate::heuristic`]) ranks cheapest (by default: closest to
+//! the affected region). The serial pass records which trie answers it actually
 //! consumed ([`dise_solver::SharedTrie::consumed`]); that measured
 //! ratio scales the next run's automatic grant. Budgeting changes only
 //! how warm the trie is, never the summary — a drained budget means the
@@ -93,7 +94,7 @@ use dise_solver::SharedTrie;
 use crate::executor::{ExecStats, Executor, PathSummary, Strategy, SymbolicSummary};
 use crate::state::SymState;
 use budget::BudgetController;
-pub use budget::{SweepBudget, SweepCostModel};
+pub use budget::{SweepBudget, TOKENS_PER_AFFECTED_NODE};
 use pool::{Pool, Task};
 use worker::{Worker, WorkerOutcome};
 
@@ -122,6 +123,17 @@ pub struct FrontierStats {
     pub sweep_budget: u64,
     /// Whether the sweep ran out of budget before draining its cone.
     pub sweep_exhausted: bool,
+    /// Branch arms the sweep's heuristic score model ranked (speculative
+    /// mode with a score model only).
+    pub heuristic_arms_scored: u64,
+    /// Ranked arms whose position changed relative to the CFG's stable
+    /// successor order — how often the heuristic actually disagreed with
+    /// naive ordering.
+    pub heuristic_arms_displaced: u64,
+    /// Speculative states admitted before the sweep first touched a
+    /// distance-0 (affected) node; `None` when the sweep never reached
+    /// the affected region (or did not run).
+    pub sweep_states_to_affected: Option<u64>,
     /// Edges in the shared prefix trie at the end of the run.
     pub shared_trie_entries: u64,
     /// Decided prefixes seeded from a persistent store before the run
@@ -178,6 +190,8 @@ pub(crate) fn explore_parallel(
         let sweep_span = tracer.as_ref().map(|h| h.begin("frontier.sweep"));
         let sweep = run_pool(exec, forks, &shared, false, Some(&controller));
         let speculative_solves = sweep.stats.solver.pipeline_checks();
+        let (arms_scored, arms_displaced) = controller.arm_stats();
+        let states_to_affected = controller.states_to_affected();
         if let (Some(h), Some(span)) = (&tracer, sweep_span) {
             h.end_with(
                 span,
@@ -187,6 +201,12 @@ pub(crate) fn explore_parallel(
                         sweep.stats.states_explored,
                     ),
                     ("speculative_solves".to_string(), speculative_solves),
+                    ("heuristic.arms_scored".to_string(), arms_scored),
+                    ("heuristic.arms_displaced".to_string(), arms_displaced),
+                    (
+                        "heuristic.states_to_affected".to_string(),
+                        states_to_affected.unwrap_or(0),
+                    ),
                 ],
             );
         }
@@ -222,6 +242,9 @@ pub(crate) fn explore_parallel(
         summary.stats.frontier.trie_answers_consumed = shared.consumed();
         summary.stats.frontier.sweep_budget = controller.granted();
         summary.stats.frontier.sweep_exhausted = controller.exhausted();
+        summary.stats.frontier.heuristic_arms_scored = arms_scored;
+        summary.stats.frontier.heuristic_arms_displaced = arms_displaced;
+        summary.stats.frontier.sweep_states_to_affected = states_to_affected;
         summary.stats.frontier.shared_trie_entries = shared.len() as u64;
         if sweep.stats.states_explored > 0 {
             exec.sweep_feedback =
@@ -540,12 +563,17 @@ proc f(int a, int b, int c, int d) {
             fn should_explore(&mut self, _node: dise_cfg::NodeId) -> bool {
                 false
             }
-            fn speculation_cost(&self) -> Option<crate::frontier::SweepCostModel> {
-                Some(crate::frontier::SweepCostModel {
-                    cone_count: Vec::new(),
-                    distance: Vec::new(),
-                    affected_total: 4,
-                })
+            fn speculation_cost(&self) -> Option<crate::heuristic::ScoreModel> {
+                Some(crate::heuristic::ScoreModel::new(
+                    crate::heuristic::HeuristicWeights::default(),
+                    Arc::new(crate::heuristic::FeatureMaps {
+                        distance: Vec::new(),
+                        uncovered: Vec::new(),
+                        cone: Vec::new(),
+                        trie_depth: Vec::new(),
+                        affected_total: 4,
+                    }),
+                ))
             }
         }
         let program = parse_program(WIDE).unwrap();

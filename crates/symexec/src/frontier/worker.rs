@@ -191,6 +191,7 @@ impl Worker<'_> {
                 if !budget.try_charge() {
                     break;
                 }
+                budget.note_state(state.node.index());
             }
             if !self.pool.try_enter_state() {
                 break;

@@ -1,0 +1,529 @@
+//! Pluggable feature-vector search heuristics for the directed frontier.
+//!
+//! Until this module, the speculative sweep ordered sibling branch arms by
+//! one hard-coded signal: `dise_cfg::DistanceTo` the nearest affected node
+//! (with the affected-cone size as a fixed tie-break). Following "Enhancing
+//! Dynamic Symbolic Execution by Automatically Learning Search Heuristics",
+//! the ordering is now a *scored* decision over a per-node feature vector:
+//!
+//! | feature    | map                              | meaning                               |
+//! |------------|----------------------------------|---------------------------------------|
+//! | `distance` | [`FeatureMaps::distance`]        | CFG edges to the nearest affected node|
+//! | `uncovered`| [`FeatureMaps::uncovered`]       | md2u: edges to the nearest unaffected conditional ([`dise_cfg::UncoveredDistance`]) |
+//! | `cone`     | [`FeatureMaps::cone`]            | affected nodes reachable from the arm |
+//! | `trie`     | [`FeatureMaps::trie_depth`]      | forward depth from `begin` — a proxy for shared-trie prefix warm-hit likelihood (shallow prefixes are the ones a warm trie has already decided) |
+//!
+//! A [`ScoreModel`] is a [`HeuristicWeights`] vector dotted with those
+//! features: `score = w·f`, lower explores first. The zero-config default
+//! ([`HeuristicWeights::DISTANCE_ONLY`]) weights only `distance`, which —
+//! together with the fixed structural tie-break (descending cone, then
+//! stable successor index) — reproduces the previous hard-coded ordering
+//! bit for bit.
+//!
+//! # The determinism contract
+//!
+//! Scores *reorder* work; they never change results. The only consumer
+//! that permutes anything is the speculative sweep's arm ordering
+//! (`BudgetController::order_arms`), whose sole observable product is a
+//! warmer shared verdict trie; the authoritative pass consumes the same
+//! scores as per-arm attribution metrics without ever permuting its fixed
+//! serial order. Ties are broken by descending cone and then by the
+//! arm's *stable successor index* — never by map iteration order — so
+//! any weight vector yields byte-identical verdicts at any `DISE_JOBS`.
+//!
+//! Weights come from `--heuristic distance|tuned|FILE`, the
+//! `DISE_HEURISTIC` environment variable, or — for warm runs with neither
+//! given — the weights persisted in `dise-store` next to the sweep
+//! feedback ([`HeuristicChoice::Inherit`]). `dise tune` searches the
+//! weight space against a generated corpus and emits the checked-in
+//! `tuned.weights` ([`HeuristicWeights::TUNED`]).
+
+use std::sync::Arc;
+
+/// One weight per feature of the arm-scoring vector. The score of an arm
+/// rooted at node `n` is the dot product with [`FeatureMaps`] row `n`;
+/// lower scores explore first, so a *negative* weight turns its feature
+/// into a preference (e.g. `cone = -1` prefers affected-heavy arms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeuristicWeights {
+    /// Weight of the distance-to-nearest-affected-node feature.
+    pub distance: f64,
+    /// Weight of the md2u (distance-to-uncovered-conditional) feature.
+    pub uncovered: f64,
+    /// Weight of the affected-cone-size feature.
+    pub cone: f64,
+    /// Weight of the trie-prefix-depth (warm-hit likelihood) feature.
+    pub trie: f64,
+}
+
+impl Default for HeuristicWeights {
+    fn default() -> HeuristicWeights {
+        HeuristicWeights::DISTANCE_ONLY
+    }
+}
+
+impl HeuristicWeights {
+    /// The zero-config default: score equals the distance to the nearest
+    /// affected node, reproducing the pre-heuristic ordering exactly.
+    pub const DISTANCE_ONLY: HeuristicWeights = HeuristicWeights {
+        distance: 1.0,
+        uncovered: 0.0,
+        cone: 0.0,
+        trie: 0.0,
+    };
+
+    /// The corpus-tuned weights `dise tune` found (the checked-in
+    /// `tuned.weights`; `dise-core`'s tests pin the two against each
+    /// other). Distance still leads; the negative md2u weight penalizes
+    /// arms *close to unaffected branching* (and, via the `UNREACHABLE`
+    /// sentinel, strongly prefers subtrees containing no unaffected
+    /// conditionals at all — pure affected work). On the generated
+    /// corpus this covers the whole affected region in 15-25% fewer
+    /// speculative states than pure distance; the hand-written
+    /// WBS/OAE/ASW artifacts are small enough that their sweep schedule
+    /// is fully determined either way (parity, no regression).
+    pub const TUNED: HeuristicWeights = HeuristicWeights {
+        distance: 1.0,
+        uncovered: -0.25,
+        cone: 0.0,
+        trie: 0.0,
+    };
+
+    /// Parses the `tuned.weights` file format: one `feature = value` line
+    /// per feature, `#` comments and blank lines ignored. Every feature
+    /// must appear exactly once and every value must be finite.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed line, unknown
+    /// or duplicate feature, non-finite value, or missing feature.
+    pub fn parse(text: &str) -> Result<HeuristicWeights, String> {
+        let mut seen: [Option<f64>; 4] = [None; 4];
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `feature = value`", lineno + 1))?;
+            let slot = match name.trim() {
+                "distance" => 0,
+                "uncovered" => 1,
+                "cone" => 2,
+                "trie" => 3,
+                other => return Err(format!("line {}: unknown feature {other:?}", lineno + 1)),
+            };
+            if seen[slot].is_some() {
+                return Err(format!(
+                    "line {}: duplicate feature {:?}",
+                    lineno + 1,
+                    name.trim()
+                ));
+            }
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: {:?} is not a number", lineno + 1, value.trim()))?;
+            if !value.is_finite() {
+                return Err(format!("line {}: weights must be finite", lineno + 1));
+            }
+            seen[slot] = Some(value);
+        }
+        match seen {
+            [Some(distance), Some(uncovered), Some(cone), Some(trie)] => Ok(HeuristicWeights {
+                distance,
+                uncovered,
+                cone,
+                trie,
+            }),
+            _ => {
+                let names = ["distance", "uncovered", "cone", "trie"];
+                let missing: Vec<&str> = names
+                    .iter()
+                    .zip(seen)
+                    .filter(|(_, v)| v.is_none())
+                    .map(|(n, _)| *n)
+                    .collect();
+                Err(format!("missing feature(s): {}", missing.join(", ")))
+            }
+        }
+    }
+
+    /// The weights as a plain `[distance, uncovered, cone, trie]` array —
+    /// the shape `dise-store` persists (it must not depend on this
+    /// crate).
+    pub fn to_array(self) -> [f64; 4] {
+        [self.distance, self.uncovered, self.cone, self.trie]
+    }
+
+    /// [`HeuristicWeights::to_array`]'s inverse.
+    pub fn from_array([distance, uncovered, cone, trie]: [f64; 4]) -> HeuristicWeights {
+        HeuristicWeights {
+            distance,
+            uncovered,
+            cone,
+            trie,
+        }
+    }
+
+    /// The weights as one bracketed vector for stats lines:
+    /// `[distance, uncovered, cone, trie]`.
+    pub fn vector(&self) -> String {
+        format!(
+            "[{}, {}, {}, {}]",
+            self.distance, self.uncovered, self.cone, self.trie
+        )
+    }
+}
+
+/// [`HeuristicWeights::parse`]'s inverse: the canonical `*.weights` file
+/// body. `dise tune` writes exactly this (the CI tuning-determinism job
+/// byte-diffs two emissions), and `f64`'s shortest-roundtrip `Display`
+/// keeps it stable across runs.
+impl std::fmt::Display for HeuristicWeights {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "# dise heuristic weights: score = w . features,")?;
+        writeln!(
+            f,
+            "# lower score explores first; negative weight = preference."
+        )?;
+        writeln!(f, "distance = {}", self.distance)?;
+        writeln!(f, "uncovered = {}", self.uncovered)?;
+        writeln!(f, "cone = {}", self.cone)?;
+        writeln!(f, "trie = {}", self.trie)
+    }
+}
+
+/// How the run picks its weight vector (CLI `--heuristic`, environment
+/// `DISE_HEURISTIC`, or nothing at all).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum HeuristicChoice {
+    /// Nothing requested: inherit the weights persisted in the analysis
+    /// store for this procedure when present (warm CLI runs and `dise
+    /// serve` sessions keep whatever a previous `--heuristic` run
+    /// recorded), else fall back to [`HeuristicWeights::DISTANCE_ONLY`].
+    #[default]
+    Inherit,
+    /// `--heuristic distance`: the explicit pre-heuristic baseline.
+    Distance,
+    /// `--heuristic tuned`: the checked-in corpus-tuned vector.
+    Tuned,
+    /// `--heuristic FILE`: a custom weight vector from a `*.weights`
+    /// file.
+    Custom(HeuristicWeights),
+}
+
+impl HeuristicChoice {
+    /// Parses a CLI/env spec: `distance`, `tuned`, or a path to a
+    /// `*.weights` file.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description when the file cannot be read or does
+    /// not parse.
+    pub fn parse_spec(spec: &str) -> Result<HeuristicChoice, String> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("distance") {
+            return Ok(HeuristicChoice::Distance);
+        }
+        if spec.eq_ignore_ascii_case("tuned") {
+            return Ok(HeuristicChoice::Tuned);
+        }
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| format!("cannot read weights file {spec:?}: {e}"))?;
+        HeuristicWeights::parse(&text)
+            .map(HeuristicChoice::Custom)
+            .map_err(|e| format!("weights file {spec:?}: {e}"))
+    }
+
+    /// Resolves the choice to concrete weights. `stored` is the vector the
+    /// analysis store recorded for this procedure, consulted only by
+    /// [`HeuristicChoice::Inherit`].
+    pub fn resolve(&self, stored: Option<HeuristicWeights>) -> HeuristicWeights {
+        match self {
+            HeuristicChoice::Inherit => stored.unwrap_or(HeuristicWeights::DISTANCE_ONLY),
+            HeuristicChoice::Distance => HeuristicWeights::DISTANCE_ONLY,
+            HeuristicChoice::Tuned => HeuristicWeights::TUNED,
+            HeuristicChoice::Custom(weights) => *weights,
+        }
+    }
+
+    /// The short name stats lines print (`heuristic:` prefix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HeuristicChoice::Inherit => "inherit",
+            HeuristicChoice::Distance => "distance",
+            HeuristicChoice::Tuned => "tuned",
+            HeuristicChoice::Custom(_) => "custom",
+        }
+    }
+}
+
+/// The per-node feature maps a [`ScoreModel`] scores against, indexed by
+/// `dise_cfg::NodeId::index`. Weight-independent and determined entirely
+/// by `(CFG, affected sets)`, so sessions cache one `Arc` per procedure
+/// fingerprint and re-score it under any weight vector for free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureMaps {
+    /// CFG-edge distance to the nearest affected node
+    /// ([`ScoreModel::UNREACHABLE`] when none is reachable).
+    pub distance: Vec<u32>,
+    /// md2u: CFG-edge distance to the nearest *unaffected* conditional
+    /// (`dise_cfg::UncoveredDistance`; the sentinel when none is
+    /// reachable).
+    pub uncovered: Vec<u32>,
+    /// Number of affected nodes reachable from each node (the affected
+    /// mass *under* an arm rooted there). Zero means the static
+    /// speculation hint prunes the arm on entry.
+    pub cone: Vec<u32>,
+    /// Forward BFS depth from the CFG's `begin` node (the sentinel for
+    /// unreachable nodes) — shallow depth predicts a warm-trie prefix
+    /// hit.
+    pub trie_depth: Vec<u32>,
+    /// Total affected nodes (`|ACN ∪ AWN|`) — the `SweepBudget::Auto`
+    /// sizing basis.
+    pub affected_total: u32,
+}
+
+/// A weight vector bound to its feature maps: the pluggable heuristic the
+/// frontier consumes. Produced by `Strategy::speculation_cost` (the
+/// directed strategy builds one; full exploration has none).
+#[derive(Debug, Clone)]
+pub struct ScoreModel {
+    weights: HeuristicWeights,
+    features: Arc<FeatureMaps>,
+}
+
+impl ScoreModel {
+    /// The sentinel all distance-flavored feature maps use for "no target
+    /// reachable" — the same value `dise_cfg::DistanceTo` produces, so
+    /// the maps and their consumers can never silently drift apart.
+    pub const UNREACHABLE: u32 = dise_cfg::DistanceTo::UNREACHABLE;
+
+    pub fn new(weights: HeuristicWeights, features: Arc<FeatureMaps>) -> ScoreModel {
+        ScoreModel { weights, features }
+    }
+
+    /// The bound weight vector.
+    pub fn weights(&self) -> HeuristicWeights {
+        self.weights
+    }
+
+    /// The shared feature maps.
+    pub fn features(&self) -> &Arc<FeatureMaps> {
+        &self.features
+    }
+
+    /// Total affected nodes — the `SweepBudget::Auto` sizing basis.
+    pub fn affected_total(&self) -> u32 {
+        self.features.affected_total
+    }
+
+    /// The arm score for the node at `index`: the weight vector dotted
+    /// with the node's feature row. Lower explores first. Out-of-range
+    /// indices read as maximally distant with no affected mass, matching
+    /// the previous hard-coded fallbacks.
+    pub fn score(&self, index: usize) -> f64 {
+        let f = &self.features;
+        let at = |v: &Vec<u32>, sentinel: u32| v.get(index).copied().unwrap_or(sentinel) as f64;
+        self.weights.distance * at(&f.distance, Self::UNREACHABLE)
+            + self.weights.uncovered * at(&f.uncovered, Self::UNREACHABLE)
+            + self.weights.cone * at(&f.cone, 0)
+            + self.weights.trie * at(&f.trie_depth, Self::UNREACHABLE)
+    }
+
+    /// The node's affected-cone size (the fixed structural tie-break:
+    /// equal scores explore the affected-heavier arm first).
+    pub fn cone(&self, index: usize) -> u32 {
+        self.features.cone.get(index).copied().unwrap_or(0)
+    }
+
+    /// The distance feature alone (the sweep's states-to-affected latch
+    /// asks whether a node *is* the affected region, i.e. distance 0).
+    pub fn distance(&self, index: usize) -> u32 {
+        self.features
+            .distance
+            .get(index)
+            .copied()
+            .unwrap_or(Self::UNREACHABLE)
+    }
+
+    /// Sorts arm indices `0..n` by `(score ascending, cone descending,
+    /// stable successor index)` — the one canonical comparator every
+    /// consumer shares. Returns the permutation instead of permuting, so
+    /// callers can count displaced arms and apply it to non-`Clone` data.
+    pub fn ranked(&self, node_indices: &[usize]) -> Vec<usize> {
+        let keys: Vec<(f64, u32)> = node_indices
+            .iter()
+            .map(|&n| (self.score(n), self.cone(n)))
+            .collect();
+        let mut order: Vec<usize> = (0..node_indices.len()).collect();
+        order.sort_by(|&a, &b| {
+            keys[a]
+                .0
+                .total_cmp(&keys[b].0)
+                .then(keys[b].1.cmp(&keys[a].1))
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn maps() -> Arc<FeatureMaps> {
+        Arc::new(FeatureMaps {
+            distance: vec![1, 0, ScoreModel::UNREACHABLE, 1],
+            uncovered: vec![2, 3, 0, ScoreModel::UNREACHABLE],
+            cone: vec![2, 1, 0, 5],
+            trie_depth: vec![0, 1, 2, 3],
+            affected_total: 3,
+        })
+    }
+
+    #[test]
+    fn default_weights_score_pure_distance() {
+        let model = ScoreModel::new(HeuristicWeights::default(), maps());
+        assert_eq!(model.score(0), 1.0);
+        assert_eq!(model.score(1), 0.0);
+        assert_eq!(model.score(2), f64::from(ScoreModel::UNREACHABLE));
+        // Out of range reads as unreachable, like the old fallback.
+        assert_eq!(model.score(99), f64::from(ScoreModel::UNREACHABLE));
+        assert_eq!(model.cone(99), 0);
+    }
+
+    #[test]
+    fn ranked_orders_by_score_then_cone_then_index() {
+        let model = ScoreModel::new(HeuristicWeights::default(), maps());
+        // Nodes 0 and 3 tie on distance 1; node 3's bigger cone wins.
+        assert_eq!(model.ranked(&[2, 0, 3, 1]), vec![3, 2, 1, 0]);
+        // A full tie falls back to the stable successor index.
+        let flat = ScoreModel::new(
+            HeuristicWeights {
+                distance: 0.0,
+                uncovered: 0.0,
+                cone: 0.0,
+                trie: 0.0,
+            },
+            Arc::new(FeatureMaps {
+                distance: vec![7, 7],
+                uncovered: vec![0, 0],
+                cone: vec![4, 4],
+                trie_depth: vec![0, 0],
+                affected_total: 1,
+            }),
+        );
+        assert_eq!(flat.ranked(&[1, 0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_cone_weight_prefers_heavy_arms() {
+        let model = ScoreModel::new(
+            HeuristicWeights {
+                distance: 0.0,
+                uncovered: 0.0,
+                cone: -1.0,
+                trie: 0.0,
+            },
+            maps(),
+        );
+        assert_eq!(model.ranked(&[0, 1, 3]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn weights_render_and_parse_round_trip() {
+        for weights in [
+            HeuristicWeights::DISTANCE_ONLY,
+            HeuristicWeights::TUNED,
+            HeuristicWeights {
+                distance: 0.375,
+                uncovered: -2.0,
+                cone: 0.0,
+                trie: 13.25,
+            },
+        ] {
+            let text = weights.to_string();
+            assert_eq!(HeuristicWeights::parse(&text), Ok(weights), "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(
+            HeuristicWeights::parse("distance = 1").is_err(),
+            "missing features"
+        );
+        assert!(
+            HeuristicWeights::parse("bogus = 1").is_err(),
+            "unknown feature"
+        );
+        assert!(
+            HeuristicWeights::parse(
+                "distance = 1\ndistance = 2\nuncovered = 0\ncone = 0\ntrie = 0"
+            )
+            .is_err(),
+            "duplicate feature"
+        );
+        assert!(
+            HeuristicWeights::parse("distance = inf\nuncovered = 0\ncone = 0\ntrie = 0").is_err(),
+            "non-finite weight"
+        );
+        assert!(
+            HeuristicWeights::parse("distance 1\nuncovered = 0\ncone = 0\ntrie = 0").is_err(),
+            "no equals sign"
+        );
+    }
+
+    #[test]
+    fn choice_resolution_and_inheritance() {
+        let stored = HeuristicWeights {
+            distance: 2.0,
+            uncovered: 1.0,
+            cone: -1.0,
+            trie: 0.5,
+        };
+        assert_eq!(
+            HeuristicChoice::Inherit.resolve(Some(stored)),
+            stored,
+            "warm runs inherit recorded weights"
+        );
+        assert_eq!(
+            HeuristicChoice::Inherit.resolve(None),
+            HeuristicWeights::DISTANCE_ONLY
+        );
+        assert_eq!(
+            HeuristicChoice::Distance.resolve(Some(stored)),
+            HeuristicWeights::DISTANCE_ONLY,
+            "an explicit choice beats the store"
+        );
+        assert_eq!(
+            HeuristicChoice::Tuned.resolve(Some(stored)),
+            HeuristicWeights::TUNED
+        );
+        assert_eq!(
+            HeuristicChoice::parse_spec("distance"),
+            Ok(HeuristicChoice::Distance)
+        );
+        assert_eq!(
+            HeuristicChoice::parse_spec("TUNED"),
+            Ok(HeuristicChoice::Tuned)
+        );
+        assert!(HeuristicChoice::parse_spec("/nonexistent/path.weights").is_err());
+    }
+
+    #[test]
+    fn choice_parses_a_weights_file() {
+        let dir = std::env::temp_dir().join(format!("dise-heuristic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.weights");
+        std::fs::write(&path, HeuristicWeights::TUNED.to_string()).unwrap();
+        assert_eq!(
+            HeuristicChoice::parse_spec(path.to_str().unwrap()),
+            Ok(HeuristicChoice::Custom(HeuristicWeights::TUNED))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

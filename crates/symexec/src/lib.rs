@@ -63,6 +63,7 @@ pub mod env;
 pub mod eval;
 pub mod executor;
 pub mod frontier;
+pub mod heuristic;
 pub mod state;
 pub mod summary;
 pub mod tree;
@@ -74,7 +75,8 @@ pub use executor::{
     ExecConfig, ExecError, ExecStats, Executor, FilterScope, FullExploration, PathOutcome,
     PathSummary, Strategy, SymbolicSummary, WarmHandoff,
 };
-pub use frontier::{FrontierStats, SweepBudget, SweepCostModel};
+pub use frontier::{FrontierStats, SweepBudget, TOKENS_PER_AFFECTED_NODE};
+pub use heuristic::{FeatureMaps, HeuristicChoice, HeuristicWeights, ScoreModel};
 pub use state::SymState;
 pub use summary::{
     build_summary, ProcSummary, SummaryBuildError, SummaryMode, SummaryStats, SummaryTable,
